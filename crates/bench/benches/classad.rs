@@ -1,0 +1,59 @@
+//! Criterion benches: ClassAd parse/evaluate/match throughput.
+//!
+//! A production matchmaker evaluates requirements against every candidate
+//! machine per scheduling pass, so match throughput bounds cluster size.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use resmatch_classad::bridge::{job_ad, machine_ad};
+use resmatch_classad::{matches, parse, ClassAd};
+use resmatch_cluster::{Capacity, Demand};
+
+fn bench_classad(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classad");
+
+    let requirement =
+        "other.Memory >= my.RequestedMemory && other.Disk >= my.RequestedDisk && \
+         (other.Arch == \"x86_64\" || other.Arch == \"sparc\")";
+    group.bench_function("parse_requirements", |b| {
+        b.iter(|| black_box(parse(black_box(requirement)).unwrap()))
+    });
+
+    let mut job = ClassAd::new();
+    job.insert_int("RequestedMemory", 16 * 1024)
+        .insert_int("RequestedDisk", 0)
+        .insert_expr("Requirements", requirement)
+        .unwrap();
+    let mut machine = ClassAd::new();
+    machine
+        .insert_int("Memory", 24 * 1024)
+        .insert_int("Disk", 1 << 30)
+        .insert_str("Arch", "x86_64")
+        .insert_expr("Requirements", "other.RequestedMemory <= my.Memory")
+        .unwrap();
+    group.bench_function("symmetric_match", |b| {
+        b.iter(|| black_box(matches(black_box(&job), black_box(&machine)).unwrap()))
+    });
+
+    // Matchmaking sweep: one job ad against a 1024-machine pool's distinct
+    // capacities (the pooled matcher's worst case, fully declarative).
+    let machines: Vec<ClassAd> = (1..=32)
+        .map(|mb| machine_ad(&Capacity::memory(mb * 1024)))
+        .collect();
+    let demand_ad = job_ad(&Demand::memory(16 * 1024));
+    group.bench_function("match_32_capacity_classes", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for m in &machines {
+                if matches(black_box(&demand_ad), m).unwrap() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_classad);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion benches: allocator hot path.
+//!
+//! `try_allocate`/`release` run on every scheduling pass; the paper-scale
+//! simulation performs millions of them, so the pooled free-list design is
+//! benchmarked here against allocation sizes and policies.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use resmatch_cluster::{ClusterBuilder, Demand, MatchPolicy};
+
+const MB: u64 = 1024;
+
+fn bench_cluster(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocator");
+    for &nodes in &[32u32, 256] {
+        for policy in [
+            MatchPolicy::BestFit,
+            MatchPolicy::FirstFit,
+            MatchPolicy::WorstFit,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("alloc_release_{policy:?}"), nodes),
+                &nodes,
+                |b, &nodes| {
+                    let mut cluster = ClusterBuilder::new()
+                        .pool(512, 32 * MB)
+                        .pool(512, 24 * MB)
+                        .build();
+                    let demand = Demand::memory(20 * MB);
+                    b.iter(|| {
+                        let a = cluster
+                            .try_allocate(nodes, black_box(&demand), policy, 1)
+                            .expect("fits");
+                        cluster.release(a);
+                    })
+                },
+            );
+        }
+    }
+
+    group.bench_function("failed_probe", |b| {
+        let mut cluster = ClusterBuilder::new()
+            .pool(512, 32 * MB)
+            .pool(512, 24 * MB)
+            .build();
+        // Saturate the 32 MB pool so high-memory probes fail fast.
+        let _held = cluster
+            .try_allocate(512, &Demand::memory(32 * MB), MatchPolicy::BestFit, 7)
+            .expect("fits");
+        let demand = Demand::memory(28 * MB);
+        b.iter(|| {
+            assert!(cluster
+                .try_allocate(4, black_box(&demand), MatchPolicy::BestFit, 8)
+                .is_none());
+        })
+    });
+
+    group.bench_function("ladder_round_up", |b| {
+        let cluster = ClusterBuilder::new()
+            .pool(512, 32 * MB)
+            .pool(256, 24 * MB)
+            .pool(128, 16 * MB)
+            .pool(128, 8 * MB)
+            .build();
+        let ladder = cluster.memory_ladder();
+        b.iter(|| {
+            let mut acc = 0u64;
+            for kb in (1..200).map(|i| i * 173) {
+                acc = acc.wrapping_add(ladder.round_up(black_box(kb)).unwrap_or(kb));
+            }
+            black_box(acc)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Criterion benches: estimator decision throughput.
+//!
+//! The estimator sits on the scheduler's submission path, so its
+//! per-decision cost matters. These benches measure estimate+feedback
+//! cycles for each estimator over a realistic job stream.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use resmatch_cluster::CapacityLadder;
+use resmatch_core::prelude::*;
+use resmatch_workload::job::JobBuilder;
+use resmatch_workload::Job;
+
+const MB: u64 = 1024;
+
+fn job_stream(n: u64) -> Vec<Job> {
+    (0..n)
+        .map(|i| {
+            JobBuilder::new(i)
+                .user((i % 50) as u32)
+                .app((i % 20) as u32)
+                .requested_mem_kb((8 + (i % 4) * 8) * MB)
+                .used_mem_kb((2 + (i % 6)) * MB)
+                .build()
+        })
+        .collect()
+}
+
+fn ladder() -> CapacityLadder {
+    CapacityLadder::new(vec![32 * MB, 24 * MB, 16 * MB, 8 * MB, 4 * MB])
+}
+
+fn drive(est: &mut dyn ResourceEstimator, jobs: &[Job]) -> u64 {
+    let ctx = EstimateContext::default();
+    let mut acc = 0u64;
+    for job in jobs {
+        let d = est.estimate(job, &ctx);
+        acc = acc.wrapping_add(d.mem_kb);
+        let ok = job.used_mem_kb <= d.mem_kb.max(4 * MB);
+        est.feedback(
+            job,
+            &d,
+            &if ok {
+                Feedback::success()
+            } else {
+                Feedback::failure()
+            },
+            &ctx,
+        );
+    }
+    acc
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let jobs = job_stream(10_000);
+    let mut group = c.benchmark_group("estimator_10k_decisions");
+    group.bench_function("successive_approximation", |b| {
+        b.iter(|| {
+            let mut est = SuccessiveApproximation::new(SuccessiveConfig::default(), ladder());
+            black_box(drive(&mut est, &jobs))
+        })
+    });
+    group.bench_function("last_instance", |b| {
+        b.iter(|| {
+            let mut est = LastInstance::new(LastInstanceConfig::default());
+            black_box(drive(&mut est, &jobs))
+        })
+    });
+    group.bench_function("reinforcement", |b| {
+        b.iter(|| {
+            let mut est = ReinforcementEstimator::new(ReinforcementConfig::default());
+            black_box(drive(&mut est, &jobs))
+        })
+    });
+    group.bench_function("regression", |b| {
+        b.iter(|| {
+            let mut est = RegressionEstimator::new(RegressionConfig::default());
+            black_box(drive(&mut est, &jobs))
+        })
+    });
+    group.bench_function("robust_bisection", |b| {
+        b.iter(|| {
+            let mut est = RobustBisection::new(RobustConfig::default());
+            black_box(drive(&mut est, &jobs))
+        })
+    });
+    group.bench_function("pass_through", |b| {
+        b.iter(|| {
+            let mut est = PassThrough;
+            black_box(drive(&mut est, &jobs))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimators);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion benches: end-to-end simulator throughput.
+//!
+//! Measures whole simulations (events per second is the budget that bounds
+//! how large a trace the figure binaries can sweep) for the baseline and
+//! the Algorithm 1 estimator, under FCFS and EASY backfilling.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use resmatch_cluster::builder::paper_cluster;
+use resmatch_sim::prelude::*;
+use resmatch_workload::load::scale_to_load;
+use resmatch_workload::synthetic::{generate, Cm5Config};
+use resmatch_workload::Workload;
+
+fn trace(jobs: usize) -> Workload {
+    let mut w = generate(
+        &Cm5Config {
+            jobs,
+            ..Cm5Config::default()
+        },
+        42,
+    );
+    w.retain_max_nodes(512);
+    scale_to_load(&w, 1024, 1.0)
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    for jobs in [1_000usize, 5_000] {
+        let w = trace(jobs);
+        group.bench_with_input(BenchmarkId::new("fcfs_pass_through", jobs), &w, |b, w| {
+            b.iter(|| {
+                black_box(
+                    Simulation::new(
+                        SimConfig::default(),
+                        paper_cluster(24),
+                        EstimatorSpec::PassThrough,
+                    )
+                    .run(w),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fcfs_successive", jobs), &w, |b, w| {
+            b.iter(|| {
+                black_box(
+                    Simulation::new(
+                        SimConfig::default(),
+                        paper_cluster(24),
+                        EstimatorSpec::paper_successive(),
+                    )
+                    .run(w),
+                )
+            })
+        });
+        let easy = SimConfig {
+            scheduling: SchedulingPolicy::EasyBackfill,
+            ..SimConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("easy_successive", jobs), &w, |b, w| {
+            b.iter(|| {
+                black_box(
+                    Simulation::new(easy, paper_cluster(24), EstimatorSpec::paper_successive())
+                        .run(w),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

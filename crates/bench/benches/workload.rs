@@ -1,0 +1,62 @@
+//! Criterion benches: workload substrate throughput.
+//!
+//! Trace generation, SWF round-trips, and analysis passes all run at
+//! trace scale (122k jobs), so their constants matter for the experiment
+//! harness's turnaround time.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use resmatch_workload::analysis::{group_jobs, overprovisioning_histogram};
+use resmatch_workload::load::scale_to_load;
+use resmatch_workload::swf;
+use resmatch_workload::synthetic::{generate, Cm5Config};
+
+fn bench_workload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload");
+    group.sample_size(10);
+
+    group.bench_function("generate_20k", |b| {
+        b.iter(|| {
+            black_box(generate(
+                &Cm5Config {
+                    jobs: 20_000,
+                    ..Cm5Config::default()
+                },
+                black_box(42),
+            ))
+        })
+    });
+
+    let trace = generate(
+        &Cm5Config {
+            jobs: 20_000,
+            ..Cm5Config::default()
+        },
+        42,
+    );
+
+    group.bench_function("swf_write_20k", |b| {
+        b.iter(|| black_box(swf::write_str(&trace, &["bench"])))
+    });
+
+    let text = swf::write_str(&trace, &["bench"]);
+    group.bench_function("swf_parse_20k", |b| {
+        b.iter(|| black_box(swf::parse_str(&text).unwrap()))
+    });
+
+    group.bench_function("group_jobs_20k", |b| {
+        b.iter(|| black_box(group_jobs(&trace).len()))
+    });
+
+    group.bench_function("overprovisioning_histogram_20k", |b| {
+        b.iter(|| black_box(overprovisioning_histogram(&trace, 8)))
+    });
+
+    group.bench_function("scale_to_load_20k", |b| {
+        b.iter(|| black_box(scale_to_load(&trace, 1024, 1.0)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_workload);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Property test: the declarative ClassAd matchmaker and the native
+//! capacity matcher agree on every (demand, capacity) pair.
+
+use proptest::prelude::*;
+use resmatch_classad::bridge::{job_ad, machine_ad};
+use resmatch_classad::matches;
+use resmatch_cluster::{Capacity, Demand};
+
+proptest! {
+    #[test]
+    fn declarative_equals_native(
+        node_mem in 0u64..100_000,
+        node_disk in 0u64..100_000,
+        node_pkgs in any::<u32>(),
+        req_mem in 0u64..100_000,
+        req_disk in 0u64..100_000,
+        req_pkgs in any::<u32>(),
+    ) {
+        let capacity = Capacity::new(node_mem, node_disk, node_pkgs);
+        let demand = Demand::new(req_mem, req_disk, req_pkgs);
+        let native = capacity.satisfies(&demand);
+        let declarative = matches(&job_ad(&demand), &machine_ad(&capacity)).unwrap();
+        prop_assert_eq!(native, declarative);
+    }
+
+    #[test]
+    fn estimation_only_widens_the_match_set(
+        node_mem in 0u64..100_000,
+        req_mem in 1u64..100_000,
+        shrink in 0.01f64..1.0,
+    ) {
+        // An estimator only lowers demands; a machine matching the raw
+        // request must also match the estimate.
+        let capacity = Capacity::memory(node_mem);
+        let raw = Demand::memory(req_mem);
+        let estimated = Demand::memory(((req_mem as f64 * shrink) as u64).max(1));
+        let raw_match = matches(&job_ad(&raw), &machine_ad(&capacity)).unwrap();
+        let est_match = matches(&job_ad(&estimated), &machine_ad(&capacity)).unwrap();
+        prop_assert!(!raw_match || est_match, "estimation must never shrink the candidate set");
+    }
+}

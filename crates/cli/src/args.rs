@@ -1,0 +1,183 @@
+//! A small argument parser: positionals plus `--flag value` / `--switch`
+//! options, with typed accessors and unknown-flag rejection.
+
+use std::collections::HashMap;
+
+use crate::{CliError, CliResult};
+
+/// Parsed arguments for one subcommand.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    positionals: Vec<String>,
+    options: HashMap<String, String>,
+    switches: Vec<String>,
+    consumed: std::cell::RefCell<Vec<String>>,
+}
+
+/// Declares which `--flags` take values and which are bare switches, then
+/// parses a token stream.
+pub struct ArgSpec {
+    valued: Vec<&'static str>,
+    switches: Vec<&'static str>,
+}
+
+impl ArgSpec {
+    /// Start an empty spec.
+    pub fn new() -> Self {
+        ArgSpec {
+            valued: Vec::new(),
+            switches: Vec::new(),
+        }
+    }
+
+    /// Register a `--flag <value>` option.
+    pub fn value(mut self, name: &'static str) -> Self {
+        self.valued.push(name);
+        self
+    }
+
+    /// Register a bare `--switch`.
+    pub fn switch(mut self, name: &'static str) -> Self {
+        self.switches.push(name);
+        self
+    }
+
+    /// Parse tokens (without the program/subcommand names).
+    pub fn parse<I: IntoIterator<Item = String>>(&self, tokens: I) -> CliResult<Args> {
+        let mut args = Args::default();
+        let mut iter = tokens.into_iter();
+        while let Some(token) = iter.next() {
+            if let Some(name) = token.strip_prefix("--") {
+                if self.switches.contains(&name) {
+                    args.switches.push(name.to_string());
+                } else if self.valued.contains(&name) {
+                    let value = iter.next().ok_or_else(|| {
+                        CliError::new(format!("--{name} requires a value"))
+                    })?;
+                    if args.options.insert(name.to_string(), value).is_some() {
+                        return Err(CliError::new(format!("--{name} given twice")));
+                    }
+                } else {
+                    return Err(CliError::new(format!("unknown flag --{name}")));
+                }
+            } else {
+                args.positionals.push(token);
+            }
+        }
+        Ok(args)
+    }
+}
+
+impl Default for ArgSpec {
+    fn default() -> Self {
+        ArgSpec::new()
+    }
+}
+
+impl Args {
+    /// Positional argument by index.
+    pub fn positional(&self, idx: usize) -> Option<&str> {
+        self.positionals.get(idx).map(String::as_str)
+    }
+
+    /// Number of positionals.
+    pub fn positional_count(&self) -> usize {
+        self.positionals.len()
+    }
+
+    /// Raw option value.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.consumed.borrow_mut().push(name.to_string());
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// Typed option with default.
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> CliResult<T> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| CliError::new(format!("--{name}: cannot parse {raw:?}"))),
+        }
+    }
+
+    /// Required typed option.
+    pub fn require<T: std::str::FromStr>(&self, name: &str) -> CliResult<T> {
+        let raw = self
+            .get(name)
+            .ok_or_else(|| CliError::new(format!("--{name} is required")))?;
+        raw.parse()
+            .map_err(|_| CliError::new(format!("--{name}: cannot parse {raw:?}")))
+    }
+
+    /// Was a switch given?
+    pub fn has_switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    fn spec() -> ArgSpec {
+        ArgSpec::new().value("jobs").value("seed").switch("explicit")
+    }
+
+    #[test]
+    fn parses_positionals_options_switches() {
+        let a = spec()
+            .parse(toks("trace.swf --jobs 100 --explicit extra"))
+            .unwrap();
+        assert_eq!(a.positional(0), Some("trace.swf"));
+        assert_eq!(a.positional(1), Some("extra"));
+        assert_eq!(a.positional_count(), 2);
+        assert_eq!(a.get("jobs"), Some("100"));
+        assert!(a.has_switch("explicit"));
+        assert!(!a.has_switch("other"));
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let a = spec().parse(toks("--jobs 100")).unwrap();
+        assert_eq!(a.get_parsed("jobs", 5usize).unwrap(), 100);
+        assert_eq!(a.get_parsed("seed", 42u64).unwrap(), 42);
+        assert_eq!(a.require::<usize>("jobs").unwrap(), 100);
+        assert!(a.require::<usize>("seed").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        let err = spec().parse(toks("--bogus 1")).unwrap_err();
+        assert!(err.message.contains("unknown flag --bogus"));
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        let err = spec().parse(toks("--jobs")).unwrap_err();
+        assert!(err.message.contains("requires a value"));
+    }
+
+    #[test]
+    fn rejects_duplicate_option() {
+        let err = spec().parse(toks("--jobs 1 --jobs 2")).unwrap_err();
+        assert!(err.message.contains("given twice"));
+    }
+
+    #[test]
+    fn rejects_bad_parse() {
+        let a = spec().parse(toks("--jobs banana")).unwrap();
+        assert!(a.get_parsed("jobs", 0usize).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let a = spec().parse(Vec::<String>::new()).unwrap();
+        assert_eq!(a.positional_count(), 0);
+        assert_eq!(a.get_parsed("jobs", 7usize).unwrap(), 7);
+    }
+}

@@ -1,0 +1,368 @@
+//! Subcommand implementations. Each takes parsed [`crate::args::Args`] and
+//! returns the text to print, so commands stay unit-testable without
+//! spawning processes.
+
+use resmatch_cluster::Cluster;
+use resmatch_sim::prelude::*;
+use resmatch_workload::analysis::{
+    group_size_distribution, histogram_log_fit, overprovisioning_histogram, trace_stats,
+};
+use resmatch_workload::calibration::{measure, CalibrationReport, CalibrationTargets};
+use resmatch_workload::load::scale_to_load;
+use resmatch_workload::swf;
+use resmatch_workload::synthetic::{generate, Cm5Config};
+use resmatch_workload::Workload;
+
+use crate::args::{ArgSpec, Args};
+use crate::parse::{parse_cluster, parse_estimator, parse_loads};
+use crate::{CliError, CliResult};
+
+/// Load a trace: positional SWF path, or `--synthetic N` jobs.
+fn load_trace(args: &Args, seed: u64) -> CliResult<Workload> {
+    if let Some(path) = args.positional(0) {
+        let parsed = swf::parse_file(std::path::Path::new(path))
+            .map_err(|e| CliError::new(format!("cannot read {path}: {e}")))?
+            .map_err(|e| CliError::new(format!("cannot parse {path}: {e}")))?;
+        Ok(parsed.workload)
+    } else {
+        let jobs: usize = args.get_parsed("synthetic", 0usize)?;
+        if jobs == 0 {
+            return Err(CliError::new(
+                "give an SWF path or --synthetic <jobs> to generate one",
+            ));
+        }
+        let mut w = generate(
+            &Cm5Config {
+                jobs,
+                ..Cm5Config::default()
+            },
+            seed,
+        );
+        w.retain_max_nodes(512);
+        Ok(w)
+    }
+}
+
+fn cluster_from(args: &Args) -> CliResult<Cluster> {
+    let layout = args
+        .get("cluster")
+        .unwrap_or("512x32M,512x24M")
+        .to_string();
+    parse_cluster(&layout)
+}
+
+fn sim_config(args: &Args) -> CliResult<SimConfig> {
+    let policy = match args.get("policy").unwrap_or("fcfs") {
+        "fcfs" => SchedulingPolicy::Fcfs,
+        "sjf" => SchedulingPolicy::Sjf,
+        "easy" => SchedulingPolicy::EasyBackfill,
+        other => {
+            return Err(CliError::new(format!(
+                "unknown policy {other:?}; expected fcfs, sjf, or easy"
+            )))
+        }
+    };
+    Ok(SimConfig {
+        scheduling: policy,
+        feedback: if args.has_switch("explicit") {
+            FeedbackMode::Explicit
+        } else {
+            FeedbackMode::Implicit
+        },
+        seed: args.get_parsed("sim-seed", 0xC0FFEEu64)?,
+        ..SimConfig::default()
+    })
+}
+
+/// `resmatch generate --jobs N [--seed S] [--diurnal A] --out trace.swf`
+pub fn cmd_generate(tokens: Vec<String>) -> CliResult<String> {
+    let args = ArgSpec::new()
+        .value("jobs")
+        .value("seed")
+        .value("diurnal")
+        .value("out")
+        .parse(tokens)?;
+    let jobs: usize = args.get_parsed("jobs", 122_055)?;
+    let seed: u64 = args.get_parsed("seed", 42)?;
+    let diurnal: f64 = args.get_parsed("diurnal", 0.0)?;
+    let trace = generate(
+        &Cm5Config {
+            jobs,
+            diurnal_amplitude: diurnal,
+            ..Cm5Config::default()
+        },
+        seed,
+    );
+    let text = swf::write_str(
+        &swf::quantize(&trace),
+        &[
+            "Computer: synthetic Thinking Machines CM-5 (resmatch)",
+            "MaxNodes: 1024",
+        ],
+    );
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &text)
+                .map_err(|e| CliError::new(format!("cannot write {path}: {e}")))?;
+            Ok(format!("wrote {jobs} jobs to {path}"))
+        }
+        None => Ok(text),
+    }
+}
+
+/// `resmatch analyze [trace.swf | --synthetic N] [--seed S]`
+pub fn cmd_analyze(tokens: Vec<String>) -> CliResult<String> {
+    use std::fmt::Write as _;
+    let args = ArgSpec::new().value("synthetic").value("seed").parse(tokens)?;
+    let seed: u64 = args.get_parsed("seed", 42)?;
+    let trace = load_trace(&args, seed)?;
+    let stats = trace_stats(&trace);
+    let mut out = String::new();
+    let _ = writeln!(out, "jobs:                  {}", stats.jobs);
+    let _ = writeln!(
+        out,
+        "similarity groups:     {} (mean size {:.1})",
+        stats.groups, stats.mean_group_size
+    );
+    let _ = writeln!(
+        out,
+        "P(request >= 2x used): {:.1}%",
+        stats.overprovisioned_2x * 100.0
+    );
+    let _ = writeln!(out, "max ratio:             {:.0}x", stats.max_ratio);
+    let hist = overprovisioning_histogram(&trace, 8);
+    if let Some(fit) = histogram_log_fit(&hist) {
+        let _ = writeln!(out, "histogram log-fit R^2: {:.2}", fit.r_squared);
+    }
+    let big: f64 = group_size_distribution(&trace)
+        .iter()
+        .filter(|b| b.size >= 10)
+        .map(|b| b.job_fraction)
+        .sum();
+    let _ = writeln!(out, "jobs in groups >= 10:  {:.1}%", big * 100.0);
+    let report = CalibrationReport::compare(&measure(&trace), &CalibrationTargets::paper());
+    let _ = writeln!(
+        out,
+        "calibration vs. paper: worst relative error {:.1}% ({})",
+        report.worst_error() * 100.0,
+        if report.passes(0.30) { "PASS" } else { "DRIFT" }
+    );
+    Ok(out)
+}
+
+/// `resmatch simulate [trace | --synthetic N] --cluster L --estimator E
+///  [--load X] [--policy P] [--alpha A] [--beta B] [--explicit]`
+pub fn cmd_simulate(tokens: Vec<String>) -> CliResult<String> {
+    use std::fmt::Write as _;
+    let args = ArgSpec::new()
+        .value("synthetic")
+        .value("seed")
+        .value("cluster")
+        .value("estimator")
+        .value("load")
+        .value("policy")
+        .value("alpha")
+        .value("beta")
+        .value("sim-seed")
+        .switch("explicit")
+        .parse(tokens)?;
+    let seed: u64 = args.get_parsed("seed", 42)?;
+    let trace = load_trace(&args, seed)?;
+    let cluster = cluster_from(&args)?;
+    let alpha: f64 = args.get_parsed("alpha", 2.0)?;
+    let beta: f64 = args.get_parsed("beta", 0.0)?;
+    let spec = parse_estimator(args.get("estimator").unwrap_or("successive"), alpha, beta)?;
+    let cfg = sim_config(&args)?;
+    let load: f64 = args.get_parsed("load", 0.0)?;
+    let trace = if load > 0.0 {
+        scale_to_load(&trace, cluster.total_nodes(), load)
+    } else {
+        trace
+    };
+    let r = Simulation::new(cfg, cluster, spec).run(&trace);
+    let mut out = String::new();
+    let _ = writeln!(out, "estimator:            {}", r.estimator);
+    let _ = writeln!(out, "completed jobs:       {}", r.completed_jobs);
+    let _ = writeln!(out, "dropped jobs:         {}", r.dropped_jobs);
+    let _ = writeln!(out, "utilization:          {:.4}", r.utilization());
+    let _ = writeln!(out, "busy utilization:     {:.4}", r.busy_utilization());
+    let _ = writeln!(out, "mean slowdown:        {:.2}", r.mean_slowdown());
+    let _ = writeln!(out, "mean wait:            {:.0} s", r.mean_wait_s());
+    let _ = writeln!(
+        out,
+        "failed executions:    {} ({:.4}%)",
+        r.failed_executions,
+        r.failed_execution_fraction() * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "lowered jobs:         {:.1}%",
+        r.lowered_job_fraction() * 100.0
+    );
+    Ok(out)
+}
+
+/// `resmatch sweep [trace | --synthetic N] --loads 0.2,0.4 ... [--csv out]`
+pub fn cmd_sweep(tokens: Vec<String>) -> CliResult<String> {
+    let args = ArgSpec::new()
+        .value("synthetic")
+        .value("seed")
+        .value("cluster")
+        .value("estimator")
+        .value("loads")
+        .value("policy")
+        .value("alpha")
+        .value("beta")
+        .value("sim-seed")
+        .value("csv")
+        .switch("explicit")
+        .parse(tokens)?;
+    let seed: u64 = args.get_parsed("seed", 42)?;
+    let trace = load_trace(&args, seed)?;
+    let cluster = cluster_from(&args)?;
+    let alpha: f64 = args.get_parsed("alpha", 2.0)?;
+    let beta: f64 = args.get_parsed("beta", 0.0)?;
+    let spec = parse_estimator(args.get("estimator").unwrap_or("successive"), alpha, beta)?;
+    let loads = parse_loads(args.get("loads").unwrap_or("0.2,0.4,0.6,0.8,1.0,1.2"))?;
+    let sweep = SweepConfig {
+        sim: sim_config(&args)?,
+        loads,
+    };
+    let points = run_load_sweep(&trace, &cluster, spec, &sweep);
+    let csv = load_sweep_csv(&points);
+    match args.get("csv") {
+        Some(path) => {
+            std::fs::write(path, &csv)
+                .map_err(|e| CliError::new(format!("cannot write {path}: {e}")))?;
+            Ok(format!("wrote {} sweep points to {path}", points.len()))
+        }
+        None => Ok(csv),
+    }
+}
+
+/// Usage text.
+pub fn usage() -> String {
+    "resmatch — resource matching with estimation of actual job requirements\n\
+     \n\
+     USAGE:\n\
+     resmatch generate --jobs N [--seed S] [--diurnal A] [--out trace.swf]\n\
+     resmatch analyze  [trace.swf | --synthetic N] [--seed S]\n\
+     resmatch simulate [trace.swf | --synthetic N] [--cluster 512x32M,512x24M]\n\
+     \x20                [--estimator NAME] [--load X] [--policy fcfs|sjf|easy]\n\
+     \x20                [--alpha A] [--beta B] [--explicit]\n\
+     resmatch sweep    [trace.swf | --synthetic N] [--loads 0.2,0.4,...]\n\
+     \x20                [--cluster ...] [--estimator NAME] [--csv out.csv]\n\
+     \n\
+     Estimators: pass-through, oracle, successive, last-instance, regression,\n\
+     \x20           reinforcement, robust, multi-resource, quantile, adaptive,\n\
+     \x20           warm-start\n"
+        .to_string()
+}
+
+/// Dispatch a full command line (without the program name).
+pub fn dispatch(mut argv: Vec<String>) -> CliResult<String> {
+    if argv.is_empty() {
+        return Ok(usage());
+    }
+    let cmd = argv.remove(0);
+    match cmd.as_str() {
+        "generate" => cmd_generate(argv),
+        "analyze" => cmd_analyze(argv),
+        "simulate" => cmd_simulate(argv),
+        "sweep" => cmd_sweep(argv),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(CliError::new(format!(
+            "unknown subcommand {other:?}; try `resmatch help`"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn generate_to_stdout_is_parseable_swf() {
+        let out = cmd_generate(toks("--jobs 50 --seed 7")).unwrap();
+        let parsed = swf::parse_str(&out).unwrap();
+        assert_eq!(parsed.workload.len(), 50);
+        assert_eq!(parsed.header.max_nodes, Some(1024));
+    }
+
+    #[test]
+    fn analyze_synthetic_reports_stats() {
+        let out = cmd_analyze(toks("--synthetic 2000 --seed 1")).unwrap();
+        assert!(out.contains("jobs:"));
+        assert!(out.contains("similarity groups:"));
+        assert!(out.contains("calibration vs. paper:"));
+    }
+
+    #[test]
+    fn analyze_without_input_errors() {
+        let err = cmd_analyze(Vec::new()).unwrap_err();
+        assert!(err.message.contains("--synthetic"));
+    }
+
+    #[test]
+    fn simulate_end_to_end() {
+        let out = cmd_simulate(toks(
+            "--synthetic 400 --estimator successive --load 1.0 --cluster 512x32M,512x24M",
+        ))
+        .unwrap();
+        assert!(out.contains("utilization:"), "{out}");
+        assert!(out.contains("completed jobs:       400"), "{out}");
+    }
+
+    #[test]
+    fn simulate_rejects_bad_estimator_and_policy() {
+        assert!(cmd_simulate(toks("--synthetic 10 --estimator bogus"))
+            .unwrap_err()
+            .message
+            .contains("unknown estimator"));
+        assert!(cmd_simulate(toks("--synthetic 10 --policy bogus"))
+            .unwrap_err()
+            .message
+            .contains("unknown policy"));
+    }
+
+    #[test]
+    fn sweep_produces_csv() {
+        let out = cmd_sweep(toks(
+            "--synthetic 300 --loads 0.5,1.0 --cluster 64x32M,64x24M",
+        ))
+        .unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("offered_load,"));
+    }
+
+    #[test]
+    fn dispatch_routes_and_help() {
+        assert!(dispatch(toks("help")).unwrap().contains("USAGE"));
+        assert!(dispatch(Vec::new()).unwrap().contains("USAGE"));
+        assert!(dispatch(toks("frobnicate"))
+            .unwrap_err()
+            .message
+            .contains("unknown subcommand"));
+    }
+
+    #[test]
+    fn generate_writes_file_round_trip() {
+        let dir = std::env::temp_dir().join("resmatch_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.swf");
+        let msg = cmd_generate(toks(&format!(
+            "--jobs 30 --out {}",
+            path.display()
+        )))
+        .unwrap();
+        assert!(msg.contains("wrote 30 jobs"));
+        let parsed = swf::parse_file(&path).unwrap().unwrap();
+        assert_eq!(parsed.workload.len(), 30);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,17 @@
+//! The `resmatch` binary: thin shell over [`resmatch_cli::commands`].
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match resmatch_cli::commands::dispatch(argv) {
+        Ok(output) => {
+            print!("{output}");
+            if !output.ends_with('\n') {
+                println!();
+            }
+        }
+        Err(err) => {
+            eprintln!("resmatch: {err}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Domain-value parsing: cluster layouts, estimator names, load lists.
+
+use resmatch_cluster::{Cluster, ClusterBuilder};
+use resmatch_core::prelude::*;
+use resmatch_sim::EstimatorSpec;
+
+use crate::{CliError, CliResult};
+
+/// Parse a memory size: a plain number is KB; `M`/`m` suffix means MB,
+/// `G`/`g` GB.
+pub fn parse_mem_kb(raw: &str) -> CliResult<u64> {
+    let raw = raw.trim();
+    let (digits, factor) = match raw.chars().last() {
+        Some('M') | Some('m') => (&raw[..raw.len() - 1], 1024),
+        Some('G') | Some('g') => (&raw[..raw.len() - 1], 1024 * 1024),
+        _ => (raw, 1),
+    };
+    let value: u64 = digits
+        .parse()
+        .map_err(|_| CliError::new(format!("bad memory size {raw:?}")))?;
+    Ok(value * factor)
+}
+
+/// Parse a cluster layout: comma-separated `COUNTxMEM` pools, e.g.
+/// `512x32M,512x24M`.
+pub fn parse_cluster(raw: &str) -> CliResult<Cluster> {
+    let mut builder = ClusterBuilder::new();
+    let mut any = false;
+    for pool in raw.split(',') {
+        let (count, mem) = pool
+            .split_once(['x', 'X'])
+            .ok_or_else(|| CliError::new(format!("pool {pool:?} must look like 512x32M")))?;
+        let count: u32 = count
+            .trim()
+            .parse()
+            .map_err(|_| CliError::new(format!("bad node count in {pool:?}")))?;
+        if count == 0 {
+            return Err(CliError::new(format!("pool {pool:?} has zero nodes")));
+        }
+        builder = builder.pool(count, parse_mem_kb(mem)?);
+        any = true;
+    }
+    if !any {
+        return Err(CliError::new("cluster layout is empty"));
+    }
+    Ok(builder.build())
+}
+
+/// Estimator names accepted by `--estimator`.
+pub const ESTIMATOR_NAMES: &[&str] = &[
+    "pass-through",
+    "oracle",
+    "successive",
+    "last-instance",
+    "regression",
+    "reinforcement",
+    "robust",
+    "multi-resource",
+    "quantile",
+    "adaptive",
+    "warm-start",
+];
+
+/// Parse an estimator name into a spec with default configuration,
+/// honoring `--alpha`/`--beta` overrides for the successive family.
+pub fn parse_estimator(name: &str, alpha: f64, beta: f64) -> CliResult<EstimatorSpec> {
+    let successive = SuccessiveConfig {
+        alpha,
+        beta,
+        ..SuccessiveConfig::default()
+    };
+    Ok(match name {
+        "pass-through" | "none" => EstimatorSpec::PassThrough,
+        "oracle" => EstimatorSpec::Oracle,
+        "successive" => EstimatorSpec::Successive(successive),
+        "last-instance" => EstimatorSpec::LastInstance(LastInstanceConfig::default()),
+        "regression" => EstimatorSpec::Regression(RegressionConfig::default()),
+        "reinforcement" => EstimatorSpec::Reinforcement(ReinforcementConfig::default()),
+        "robust" => EstimatorSpec::Robust(RobustConfig::default()),
+        "quantile" => EstimatorSpec::Quantile(QuantileConfig::default()),
+        "multi-resource" => EstimatorSpec::MultiResource(MultiResourceConfig {
+            memory: successive,
+            ..MultiResourceConfig::default()
+        }),
+        "adaptive" => EstimatorSpec::Adaptive(AdaptiveConfig {
+            successive,
+            ..AdaptiveConfig::default()
+        }),
+        "warm-start" => EstimatorSpec::WarmStart(WarmStartConfig {
+            successive,
+            ..WarmStartConfig::default()
+        }),
+        other => {
+            return Err(CliError::new(format!(
+                "unknown estimator {other:?}; expected one of {}",
+                ESTIMATOR_NAMES.join(", ")
+            )))
+        }
+    })
+}
+
+/// Parse a comma-separated load list, e.g. `0.2,0.4,0.8`.
+pub fn parse_loads(raw: &str) -> CliResult<Vec<f64>> {
+    let loads: Result<Vec<f64>, _> = raw.split(',').map(|s| s.trim().parse::<f64>()).collect();
+    let loads = loads.map_err(|_| CliError::new(format!("bad load list {raw:?}")))?;
+    if loads.is_empty() || loads.iter().any(|&l| l <= 0.0 || !l.is_finite()) {
+        return Err(CliError::new("loads must be positive numbers"));
+    }
+    Ok(loads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_suffixes() {
+        assert_eq!(parse_mem_kb("1024").unwrap(), 1024);
+        assert_eq!(parse_mem_kb("32M").unwrap(), 32 * 1024);
+        assert_eq!(parse_mem_kb("32m").unwrap(), 32 * 1024);
+        assert_eq!(parse_mem_kb("2G").unwrap(), 2 * 1024 * 1024);
+        assert!(parse_mem_kb("abc").is_err());
+        assert!(parse_mem_kb("12.5M").is_err());
+    }
+
+    #[test]
+    fn cluster_layouts() {
+        let c = parse_cluster("512x32M,512x24M").unwrap();
+        assert_eq!(c.total_nodes(), 1024);
+        assert_eq!(c.memory_ladder().rungs(), &[24 * 1024, 32 * 1024]);
+        let single = parse_cluster("16x8M").unwrap();
+        assert_eq!(single.total_nodes(), 16);
+    }
+
+    #[test]
+    fn cluster_layout_errors() {
+        assert!(parse_cluster("512").is_err());
+        assert!(parse_cluster("0x32M").is_err());
+        assert!(parse_cluster("ax32M").is_err());
+        assert!(parse_cluster("512xbogus").is_err());
+    }
+
+    #[test]
+    fn estimator_names_all_parse() {
+        for name in ESTIMATOR_NAMES {
+            assert!(
+                parse_estimator(name, 2.0, 0.0).is_ok(),
+                "estimator {name} failed to parse"
+            );
+        }
+        assert!(parse_estimator("bogus", 2.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn estimator_honors_alpha_beta() {
+        match parse_estimator("successive", 4.0, 0.5).unwrap() {
+            EstimatorSpec::Successive(cfg) => {
+                assert_eq!(cfg.alpha, 4.0);
+                assert_eq!(cfg.beta, 0.5);
+            }
+            other => panic!("unexpected spec {other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_lists() {
+        assert_eq!(parse_loads("0.2,0.4").unwrap(), vec![0.2, 0.4]);
+        assert_eq!(parse_loads(" 1.0 ").unwrap(), vec![1.0]);
+        assert!(parse_loads("0.2,-1").is_err());
+        assert!(parse_loads("abc").is_err());
+        assert!(parse_loads("0").is_err());
+    }
+}

@@ -1,0 +1,537 @@
+//! The cluster proper: node pools, allocation, and match policies.
+//!
+//! Nodes with identical capacities form *pools*; allocation pops free nodes
+//! from eligible pools in a policy-determined order. Pool-level bookkeeping
+//! keeps `try_allocate` O(#pools) — a cluster has thousands of nodes but a
+//! handful of distinct capacities — which matters because the simulator
+//! retries the queue head on every completion event.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ladder::CapacityLadder;
+use crate::resources::{Capacity, Demand};
+
+/// Index of a node within its cluster.
+pub type NodeId = u32;
+
+/// How eligible pools are ordered when a job can run on more than one kind
+/// of node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MatchPolicy {
+    /// Pools in construction order.
+    FirstFit,
+    /// Smallest sufficient memory first — preserves large-memory nodes for
+    /// jobs that need them, the natural choice for the paper's scenario
+    /// (§1.1: J1 should not squat on M1 when M2 suffices).
+    BestFit,
+    /// Largest memory first.
+    WorstFit,
+}
+
+/// Occupant sentinel for nodes that have left the cluster.
+const OFFLINE_TOKEN: u64 = u64::MAX;
+
+#[derive(Debug, Clone)]
+struct Pool {
+    capacity: Capacity,
+    /// Free node ids, used as a stack.
+    free: Vec<NodeId>,
+    /// Nodes currently out of the cluster (dynamic leave).
+    offline: Vec<NodeId>,
+    total: u32,
+}
+
+/// A granted set of nodes. Must be handed back via [`Cluster::release`];
+/// passing by value makes double-release a move error instead of a runtime
+/// bug.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Allocation {
+    nodes: Vec<NodeId>,
+    token: u64,
+}
+
+impl Allocation {
+    /// The node ids granted.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The caller-supplied token (typically the job id) recorded as the
+    /// occupant of each node.
+    pub fn token(&self) -> u64 {
+        self.token
+    }
+}
+
+/// A space-shared heterogeneous cluster.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    pools: Vec<Pool>,
+    /// Pool index per node.
+    node_pool: Vec<u16>,
+    /// Occupant token per node; `None` = free.
+    occupant: Vec<Option<u64>>,
+    free_count: u32,
+}
+
+impl Cluster {
+    /// Build from `(count, capacity)` pool specs. Prefer
+    /// [`crate::builder::ClusterBuilder`].
+    ///
+    /// # Panics
+    /// Panics when no nodes are specified or pool count exceeds `u16` pools.
+    pub fn from_pools(specs: &[(u32, Capacity)]) -> Self {
+        let total: u32 = specs.iter().map(|(n, _)| n).sum();
+        assert!(total > 0, "a cluster needs at least one node");
+        assert!(specs.len() <= u16::MAX as usize, "too many pools");
+        let mut pools = Vec::with_capacity(specs.len());
+        let mut node_pool = Vec::with_capacity(total as usize);
+        let mut next_id: NodeId = 0;
+        for (pi, &(count, capacity)) in specs.iter().enumerate() {
+            // Free stack is popped from the back; pushing descending ids
+            // hands nodes out in ascending order, which keeps tests and
+            // traces readable.
+            let free: Vec<NodeId> = (next_id..next_id + count).rev().collect();
+            node_pool.extend(std::iter::repeat_n(pi as u16, count as usize));
+            next_id += count;
+            pools.push(Pool {
+                capacity,
+                free,
+                offline: Vec::new(),
+                total: count,
+            });
+        }
+        Cluster {
+            pools,
+            node_pool,
+            occupant: vec![None; total as usize],
+            free_count: total,
+        }
+    }
+
+    /// Total number of nodes.
+    pub fn total_nodes(&self) -> u32 {
+        self.occupant.len() as u32
+    }
+
+    /// Currently free nodes.
+    pub fn free_nodes(&self) -> u32 {
+        self.free_count
+    }
+
+    /// Currently busy nodes.
+    pub fn busy_nodes(&self) -> u32 {
+        self.total_nodes() - self.free_count
+    }
+
+    /// Free nodes whose capacity satisfies `demand`.
+    pub fn free_nodes_satisfying(&self, demand: &Demand) -> u32 {
+        self.pools
+            .iter()
+            .filter(|p| p.capacity.satisfies(demand))
+            .map(|p| p.free.len() as u32)
+            .sum()
+    }
+
+    /// Currently *online* nodes (free or busy) whose capacity satisfies
+    /// `demand` — the job's candidate-machine count, the quantity the
+    /// paper's Figure 8 analysis counts for "benefiting" jobs.
+    pub fn nodes_satisfying(&self, demand: &Demand) -> u32 {
+        self.pools
+            .iter()
+            .filter(|p| p.capacity.satisfies(demand))
+            .map(|p| p.total - p.offline.len() as u32)
+            .sum()
+    }
+
+    /// Nodes currently offline (dynamically departed).
+    pub fn offline_nodes(&self) -> u32 {
+        self.pools.iter().map(|p| p.offline.len() as u32).sum()
+    }
+
+    /// Dynamically remove up to `count` *free* nodes of memory capacity
+    /// `mem_kb` from the cluster (the paper's "machines can dynamically
+    /// join and leave the systems at any time"). Busy nodes are never
+    /// revoked — leaves take effect as nodes drain. Returns how many nodes
+    /// actually left.
+    pub fn take_offline(&mut self, mem_kb: u64, count: u32) -> u32 {
+        let mut taken = 0;
+        for pool in self.pools.iter_mut().filter(|p| p.capacity.mem_kb == mem_kb) {
+            while taken < count {
+                match pool.free.pop() {
+                    Some(id) => {
+                        self.occupant[id as usize] = Some(OFFLINE_TOKEN);
+                        pool.offline.push(id);
+                        taken += 1;
+                    }
+                    None => break,
+                }
+            }
+            if taken == count {
+                break;
+            }
+        }
+        self.free_count -= taken;
+        taken
+    }
+
+    /// Bring up to `count` previously departed nodes of memory capacity
+    /// `mem_kb` back online. Returns how many rejoined.
+    pub fn bring_online(&mut self, mem_kb: u64, count: u32) -> u32 {
+        let mut restored = 0;
+        for pool in self.pools.iter_mut().filter(|p| p.capacity.mem_kb == mem_kb) {
+            while restored < count {
+                match pool.offline.pop() {
+                    Some(id) => {
+                        debug_assert_eq!(self.occupant[id as usize], Some(OFFLINE_TOKEN));
+                        self.occupant[id as usize] = None;
+                        pool.free.push(id);
+                        restored += 1;
+                    }
+                    None => break,
+                }
+            }
+            if restored == count {
+                break;
+            }
+        }
+        self.free_count += restored;
+        restored
+    }
+
+    /// Capacity of a node.
+    ///
+    /// # Panics
+    /// Panics for out-of-range ids.
+    pub fn node_capacity(&self, node: NodeId) -> Capacity {
+        self.pools[self.node_pool[node as usize] as usize].capacity
+    }
+
+    /// The distinct memory capacities, as a ladder for Algorithm 1.
+    pub fn memory_ladder(&self) -> CapacityLadder {
+        CapacityLadder::new(self.pools.iter().map(|p| p.capacity.mem_kb).collect())
+    }
+
+    /// Try to allocate `count` nodes, each satisfying `demand`, recording
+    /// `token` as their occupant. Returns `None` — allocating nothing — when
+    /// fewer than `count` eligible nodes are free.
+    pub fn try_allocate(
+        &mut self,
+        count: u32,
+        demand: &Demand,
+        policy: MatchPolicy,
+        token: u64,
+    ) -> Option<Allocation> {
+        if count == 0 {
+            return Some(Allocation {
+                nodes: Vec::new(),
+                token,
+            });
+        }
+        let mut eligible: Vec<usize> = (0..self.pools.len())
+            .filter(|&i| self.pools[i].capacity.satisfies(demand))
+            .collect();
+        let available: u32 = eligible
+            .iter()
+            .map(|&i| self.pools[i].free.len() as u32)
+            .sum();
+        if available < count {
+            return None;
+        }
+        match policy {
+            MatchPolicy::FirstFit => {}
+            MatchPolicy::BestFit => {
+                eligible.sort_by_key(|&i| {
+                    let c = self.pools[i].capacity;
+                    (c.mem_kb, c.disk_kb, c.packages.count_ones())
+                });
+            }
+            MatchPolicy::WorstFit => {
+                eligible.sort_by_key(|&i| {
+                    let c = self.pools[i].capacity;
+                    std::cmp::Reverse((c.mem_kb, c.disk_kb, c.packages.count_ones()))
+                });
+            }
+        }
+        let mut nodes = Vec::with_capacity(count as usize);
+        let mut remaining = count;
+        for &pi in &eligible {
+            let pool = &mut self.pools[pi];
+            while remaining > 0 {
+                match pool.free.pop() {
+                    Some(id) => {
+                        debug_assert!(self.occupant[id as usize].is_none());
+                        self.occupant[id as usize] = Some(token);
+                        nodes.push(id);
+                        remaining -= 1;
+                    }
+                    None => break,
+                }
+            }
+            if remaining == 0 {
+                break;
+            }
+        }
+        debug_assert_eq!(remaining, 0, "availability was pre-checked");
+        self.free_count -= count;
+        Some(Allocation { nodes, token })
+    }
+
+    /// Return an allocation's nodes to their pools.
+    ///
+    /// # Panics
+    /// Panics when a node's recorded occupant does not match the
+    /// allocation's token — that is always a scheduler logic bug worth
+    /// failing loudly on.
+    pub fn release(&mut self, alloc: Allocation) {
+        for &id in &alloc.nodes {
+            let occupant = self.occupant[id as usize].take();
+            assert_eq!(
+                occupant,
+                Some(alloc.token),
+                "release of node {id} not held by token {}",
+                alloc.token
+            );
+            self.pools[self.node_pool[id as usize] as usize].free.push(id);
+        }
+        self.free_count += alloc.nodes.len() as u32;
+    }
+
+    /// Smallest memory capacity among the nodes an allocation granted —
+    /// the amount the job can actually consume everywhere. The simulator
+    /// compares this against actual usage to decide failure.
+    pub fn allocation_min_mem(&self, alloc: &Allocation) -> u64 {
+        alloc
+            .nodes
+            .iter()
+            .map(|&id| self.node_capacity(id).mem_kb)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Per-pool occupancy snapshot: `(memory_kb, total, busy)` per pool, in
+    /// construction order. Offline nodes count as neither free nor busy.
+    pub fn pool_occupancy(&self) -> Vec<(u64, u32, u32)> {
+        self.pools
+            .iter()
+            .map(|p| {
+                let offline = p.offline.len() as u32;
+                let busy = p.total - p.free.len() as u32 - offline;
+                (p.capacity.mem_kb, p.total, busy)
+            })
+            .collect()
+    }
+
+    /// Packages installed on *every* node of an allocation (bitwise
+    /// intersection) — what the job can actually rely on. Empty allocations
+    /// report all packages.
+    pub fn allocation_packages(&self, alloc: &Allocation) -> u32 {
+        alloc
+            .nodes
+            .iter()
+            .map(|&id| self.node_capacity(id).packages)
+            .fold(u32::MAX, |acc, p| acc & p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_pool_cluster() -> Cluster {
+        Cluster::from_pools(&[
+            (4, Capacity::memory(32 * 1024)),
+            (4, Capacity::memory(24 * 1024)),
+        ])
+    }
+
+    #[test]
+    fn construction_counts() {
+        let c = two_pool_cluster();
+        assert_eq!(c.total_nodes(), 8);
+        assert_eq!(c.free_nodes(), 8);
+        assert_eq!(c.busy_nodes(), 0);
+        assert_eq!(c.node_capacity(0).mem_kb, 32 * 1024);
+        assert_eq!(c.node_capacity(7).mem_kb, 24 * 1024);
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient() {
+        let mut c = two_pool_cluster();
+        let a = c
+            .try_allocate(2, &Demand::memory(10 * 1024), MatchPolicy::BestFit, 1)
+            .unwrap();
+        // Both pools satisfy 10 MB; best-fit picks the 24 MB pool (ids 4..8).
+        assert!(a.nodes().iter().all(|&id| id >= 4));
+        c.release(a);
+    }
+
+    #[test]
+    fn worst_fit_prefers_largest() {
+        let mut c = two_pool_cluster();
+        let a = c
+            .try_allocate(2, &Demand::memory(10 * 1024), MatchPolicy::WorstFit, 1)
+            .unwrap();
+        assert!(a.nodes().iter().all(|&id| id < 4));
+        c.release(a);
+    }
+
+    #[test]
+    fn first_fit_takes_pool_order() {
+        let mut c = Cluster::from_pools(&[
+            (2, Capacity::memory(24 * 1024)),
+            (2, Capacity::memory(32 * 1024)),
+        ]);
+        let a = c
+            .try_allocate(3, &Demand::memory(10 * 1024), MatchPolicy::FirstFit, 1)
+            .unwrap();
+        // Exhausts the first pool (0, 1) then spills into the second.
+        assert_eq!(a.nodes().len(), 3);
+        assert!(a.nodes().contains(&0) && a.nodes().contains(&1));
+    }
+
+    #[test]
+    fn allocation_spans_pools_when_needed() {
+        let mut c = two_pool_cluster();
+        let a = c
+            .try_allocate(6, &Demand::memory(1024), MatchPolicy::BestFit, 9)
+            .unwrap();
+        assert_eq!(a.nodes().len(), 6);
+        assert_eq!(c.free_nodes(), 2);
+        c.release(a);
+        assert_eq!(c.free_nodes(), 8);
+    }
+
+    #[test]
+    fn demand_filters_pools() {
+        let mut c = two_pool_cluster();
+        // Only the 32 MB pool satisfies 28 MB: asking for 5 nodes must fail
+        // even though 8 are free.
+        assert!(c
+            .try_allocate(5, &Demand::memory(28 * 1024), MatchPolicy::BestFit, 1)
+            .is_none());
+        // Failed allocation must not leak nodes.
+        assert_eq!(c.free_nodes(), 8);
+        let a = c
+            .try_allocate(4, &Demand::memory(28 * 1024), MatchPolicy::BestFit, 1)
+            .unwrap();
+        assert!(a.nodes().iter().all(|&id| id < 4));
+    }
+
+    #[test]
+    fn zero_count_is_trivially_granted() {
+        let mut c = two_pool_cluster();
+        let a = c
+            .try_allocate(0, &Demand::memory(u64::MAX), MatchPolicy::BestFit, 1)
+            .unwrap();
+        assert!(a.nodes().is_empty());
+        assert_eq!(c.free_nodes(), 8);
+        c.release(a);
+    }
+
+    #[test]
+    fn free_counts_by_demand() {
+        let mut c = two_pool_cluster();
+        assert_eq!(c.free_nodes_satisfying(&Demand::memory(28 * 1024)), 4);
+        assert_eq!(c.free_nodes_satisfying(&Demand::memory(1024)), 8);
+        assert_eq!(c.nodes_satisfying(&Demand::memory(28 * 1024)), 4);
+        let _a = c
+            .try_allocate(2, &Demand::memory(28 * 1024), MatchPolicy::BestFit, 1)
+            .unwrap();
+        assert_eq!(c.free_nodes_satisfying(&Demand::memory(28 * 1024)), 2);
+        // Total candidates are unaffected by occupancy.
+        assert_eq!(c.nodes_satisfying(&Demand::memory(28 * 1024)), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "not held by token")]
+    fn release_with_wrong_token_panics() {
+        let mut c = two_pool_cluster();
+        let a = c
+            .try_allocate(1, &Demand::memory(1024), MatchPolicy::BestFit, 1)
+            .unwrap();
+        let forged = Allocation {
+            nodes: a.nodes().to_vec(),
+            token: 999,
+        };
+        c.release(forged);
+    }
+
+    #[test]
+    fn allocation_min_mem_reports_weakest_node() {
+        let mut c = two_pool_cluster();
+        let a = c
+            .try_allocate(6, &Demand::memory(1024), MatchPolicy::WorstFit, 1)
+            .unwrap();
+        // Worst-fit takes all four 32 MB nodes then two 24 MB nodes.
+        assert_eq!(c.allocation_min_mem(&a), 24 * 1024);
+        c.release(a);
+    }
+
+    #[test]
+    fn memory_ladder_from_pools() {
+        let c = two_pool_cluster();
+        assert_eq!(c.memory_ladder().rungs(), &[24 * 1024, 32 * 1024]);
+    }
+
+    #[test]
+    fn exhaustion_and_reuse() {
+        let mut c = Cluster::from_pools(&[(2, Capacity::memory(1024))]);
+        let a = c
+            .try_allocate(2, &Demand::memory(512), MatchPolicy::FirstFit, 1)
+            .unwrap();
+        assert!(c
+            .try_allocate(1, &Demand::memory(512), MatchPolicy::FirstFit, 2)
+            .is_none());
+        c.release(a);
+        assert!(c
+            .try_allocate(1, &Demand::memory(512), MatchPolicy::FirstFit, 2)
+            .is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_cluster_rejected() {
+        let _ = Cluster::from_pools(&[]);
+    }
+
+    #[test]
+    fn churn_take_and_restore() {
+        let mut c = two_pool_cluster();
+        assert_eq!(c.take_offline(32 * 1024, 3), 3);
+        assert_eq!(c.free_nodes(), 5);
+        assert_eq!(c.offline_nodes(), 3);
+        assert_eq!(c.nodes_satisfying(&Demand::memory(1024)), 5);
+        // Only one 32 MB node remains online: a two-node 28 MB demand fails.
+        assert!(c
+            .try_allocate(2, &Demand::memory(28 * 1024), MatchPolicy::BestFit, 1)
+            .is_none());
+        assert_eq!(c.bring_online(32 * 1024, 2), 2);
+        assert_eq!(c.free_nodes(), 7);
+        assert!(c
+            .try_allocate(2, &Demand::memory(28 * 1024), MatchPolicy::BestFit, 1)
+            .is_some());
+    }
+
+    #[test]
+    fn churn_never_revokes_busy_nodes() {
+        let mut c = two_pool_cluster();
+        let a = c
+            .try_allocate(4, &Demand::memory(24 * 1024), MatchPolicy::BestFit, 1)
+            .unwrap();
+        // All four 24 MB nodes are busy: nothing to take.
+        assert_eq!(c.take_offline(24 * 1024, 4), 0);
+        c.release(a);
+        assert_eq!(c.take_offline(24 * 1024, 4), 4);
+    }
+
+    #[test]
+    fn churn_caps_at_available() {
+        let mut c = two_pool_cluster();
+        assert_eq!(c.take_offline(24 * 1024, 100), 4);
+        assert_eq!(c.bring_online(24 * 1024, 100), 4);
+        // Unknown capacity: no-op.
+        assert_eq!(c.take_offline(999, 1), 0);
+        assert_eq!(c.bring_online(999, 1), 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Node capacities and job demands.
+//!
+//! The paper's over-provisioning problem concerns resources "in a given
+//! computing machine that can affect the completion of the job execution":
+//! memory size, disk space, and prerequisite software packages. A
+//! [`Capacity`] describes what a node offers; a [`Demand`] what a job needs.
+//! Satisfaction is componentwise: scalars by `>=`, packages by set
+//! inclusion.
+
+use serde::{Deserialize, Serialize};
+
+/// What one node offers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Capacity {
+    /// Physical memory, KB.
+    pub mem_kb: u64,
+    /// Scratch disk space, KB.
+    pub disk_kb: u64,
+    /// Bitmask of installed software packages.
+    pub packages: u32,
+}
+
+impl Capacity {
+    /// A memory-only capacity (unbounded disk, all packages) — the common
+    /// case for the paper's experiments, which estimate memory alone.
+    pub fn memory(mem_kb: u64) -> Self {
+        Capacity {
+            mem_kb,
+            disk_kb: u64::MAX,
+            packages: u32::MAX,
+        }
+    }
+
+    /// Full constructor.
+    pub fn new(mem_kb: u64, disk_kb: u64, packages: u32) -> Self {
+        Capacity {
+            mem_kb,
+            disk_kb,
+            packages,
+        }
+    }
+
+    /// Does this node cover `demand`?
+    pub fn satisfies(&self, demand: &Demand) -> bool {
+        self.mem_kb >= demand.mem_kb
+            && self.disk_kb >= demand.disk_kb
+            && (demand.packages & !self.packages) == 0
+    }
+}
+
+/// What a job needs from every node it runs on.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct Demand {
+    /// Memory, KB per node.
+    pub mem_kb: u64,
+    /// Disk, KB per node.
+    pub disk_kb: u64,
+    /// Bitmask of required packages.
+    pub packages: u32,
+}
+
+impl Demand {
+    /// A memory-only demand.
+    pub fn memory(mem_kb: u64) -> Self {
+        Demand {
+            mem_kb,
+            ..Demand::default()
+        }
+    }
+
+    /// Full constructor.
+    pub fn new(mem_kb: u64, disk_kb: u64, packages: u32) -> Self {
+        Demand {
+            mem_kb,
+            disk_kb,
+            packages,
+        }
+    }
+
+    /// Componentwise: is this demand no larger than `other`? (Scalar `<=`,
+    /// package subset.) Used to assert that estimators only ever *shrink*
+    /// demands.
+    pub fn within(&self, other: &Demand) -> bool {
+        self.mem_kb <= other.mem_kb
+            && self.disk_kb <= other.disk_kb
+            && (self.packages & !other.packages) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_capacity_satisfies_by_threshold() {
+        let node = Capacity::memory(32 * 1024);
+        assert!(node.satisfies(&Demand::memory(32 * 1024)));
+        assert!(node.satisfies(&Demand::memory(1)));
+        assert!(!node.satisfies(&Demand::memory(32 * 1024 + 1)));
+        assert!(node.satisfies(&Demand::default()));
+    }
+
+    #[test]
+    fn packages_checked_by_inclusion() {
+        let node = Capacity::new(1024, 0, 0b0110);
+        assert!(node.satisfies(&Demand::new(512, 0, 0b0100)));
+        assert!(node.satisfies(&Demand::new(512, 0, 0b0110)));
+        assert!(!node.satisfies(&Demand::new(512, 0, 0b0001)));
+        assert!(!node.satisfies(&Demand::new(512, 0, 0b1110)));
+    }
+
+    #[test]
+    fn disk_checked_as_scalar() {
+        let node = Capacity::new(1024, 2048, u32::MAX);
+        assert!(node.satisfies(&Demand::new(0, 2048, 0)));
+        assert!(!node.satisfies(&Demand::new(0, 2049, 0)));
+    }
+
+    #[test]
+    fn demand_within_is_a_partial_order() {
+        let small = Demand::new(10, 5, 0b001);
+        let big = Demand::new(20, 5, 0b011);
+        assert!(small.within(&big));
+        assert!(!big.within(&small));
+        assert!(small.within(&small));
+        // Incomparable pair: neither within the other.
+        let a = Demand::new(10, 0, 0b010);
+        let b = Demand::new(5, 0, 0b001);
+        assert!(!a.within(&b));
+        assert!(!b.within(&a));
+    }
+
+    #[test]
+    fn memory_only_demand_ignores_other_axes() {
+        let d = Demand::memory(100);
+        assert_eq!(d.disk_kb, 0);
+        assert_eq!(d.packages, 0);
+        // Any node with enough memory satisfies it, whatever its packages.
+        assert!(Capacity::new(100, 0, 0).satisfies(&d));
+    }
+}

@@ -1,0 +1,88 @@
+//! Reference estimators bounding the design space.
+//!
+//! [`PassThrough`] is the status quo every conventional matcher implements:
+//! allocate exactly what the user asked for. [`Oracle`] allocates exactly
+//! what the job will use — unattainable in practice (it reads the trace's
+//! recorded usage) but the upper bound any learning estimator can approach.
+
+use resmatch_cluster::Demand;
+use resmatch_workload::Job;
+
+use crate::traits::{used_demand, EstimateContext, Feedback, ResourceEstimator};
+
+/// No estimation: the demand is the user request, verbatim.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PassThrough;
+
+impl ResourceEstimator for PassThrough {
+    fn name(&self) -> &'static str {
+        "pass-through"
+    }
+
+    fn estimate(&mut self, job: &Job, _ctx: &EstimateContext) -> Demand {
+        crate::traits::requested_demand(job)
+    }
+
+    fn feedback(&mut self, _job: &Job, _granted: &Demand, _fb: &Feedback, _ctx: &EstimateContext) {}
+}
+
+/// Perfect estimation: the demand is the job's actual usage.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Oracle;
+
+impl ResourceEstimator for Oracle {
+    fn name(&self) -> &'static str {
+        "oracle"
+    }
+
+    fn estimate(&mut self, job: &Job, _ctx: &EstimateContext) -> Demand {
+        used_demand(job)
+    }
+
+    fn feedback(&mut self, _job: &Job, _granted: &Demand, _fb: &Feedback, _ctx: &EstimateContext) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resmatch_workload::job::JobBuilder;
+
+    #[test]
+    fn pass_through_echoes_request() {
+        let mut e = PassThrough;
+        let j = JobBuilder::new(1)
+            .requested_mem_kb(100)
+            .used_mem_kb(10)
+            .requested_packages(0b11)
+            .build();
+        let d = e.estimate(&j, &EstimateContext::default());
+        assert_eq!(d.mem_kb, 100);
+        assert_eq!(d.packages, 0b11);
+    }
+
+    #[test]
+    fn oracle_echoes_usage() {
+        let mut e = Oracle;
+        let j = JobBuilder::new(1)
+            .requested_mem_kb(100)
+            .used_mem_kb(10)
+            .requested_packages(0b11)
+            .used_packages(0b01)
+            .build();
+        let d = e.estimate(&j, &EstimateContext::default());
+        assert_eq!(d.mem_kb, 10);
+        assert_eq!(d.packages, 0b01);
+    }
+
+    #[test]
+    fn feedback_is_inert() {
+        let mut p = PassThrough;
+        let mut o = Oracle;
+        let j = JobBuilder::new(1).build();
+        let ctx = EstimateContext::default();
+        let d = p.estimate(&j, &ctx);
+        p.feedback(&j, &d, &Feedback::failure(), &ctx);
+        o.feedback(&j, &d, &Feedback::failure(), &ctx);
+        assert_eq!(p.estimate(&j, &ctx), d);
+    }
+}

@@ -1,0 +1,312 @@
+//! Regression modeling: explicit feedback, no similarity groups.
+//!
+//! Table 1's explicit-feedback/no-similarity quadrant (§4): "regression
+//! models (either linear or non-linear) can be used to learn a mapping from
+//! the request file parameters to the actual resource capacities used". The
+//! model here is linear least squares over request-file features (requested
+//! memory, node count, requested runtime, and an intercept), trained either
+//! offline on a historical trace ([`RegressionEstimator::fit_offline`]) or
+//! online by periodic refits on accumulated explicit feedback.
+//!
+//! Because a linear fit can under-predict individual jobs, predictions are
+//! inflated by a configurable safety factor and clamped into
+//! `[floor, request]`. Until enough samples accumulate the estimator passes
+//! the request through unchanged.
+
+use resmatch_cluster::Demand;
+use resmatch_stats::regression::LeastSquares;
+use resmatch_workload::{Job, Workload};
+
+use crate::traits::{EstimateContext, Feedback, ResourceEstimator};
+
+/// Tunables for [`RegressionEstimator`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegressionConfig {
+    /// Minimum observations before the model is trusted.
+    pub min_samples: usize,
+    /// Refit cadence: every this many new observations.
+    pub refit_interval: usize,
+    /// Multiplier on predictions (>= 1) absorbing residual error.
+    pub safety_factor: f64,
+    /// Lower clamp on estimates, KB.
+    pub floor_kb: u64,
+    /// Ridge regularization passed to the solver.
+    pub ridge: f64,
+}
+
+impl Default for RegressionConfig {
+    fn default() -> Self {
+        RegressionConfig {
+            min_samples: 50,
+            refit_interval: 200,
+            safety_factor: 1.25,
+            floor_kb: 64,
+            ridge: 1e-6,
+        }
+    }
+}
+
+/// The regression estimator.
+pub struct RegressionEstimator {
+    cfg: RegressionConfig,
+    model: Option<LeastSquares>,
+    rows: Vec<Vec<f64>>,
+    targets: Vec<f64>,
+    since_refit: usize,
+}
+
+fn features(job: &Job) -> Vec<f64> {
+    vec![
+        job.requested_mem_kb as f64,
+        job.nodes as f64,
+        job.requested_runtime.as_secs_f64(),
+        1.0,
+    ]
+}
+
+impl RegressionEstimator {
+    /// Create an untrained estimator.
+    ///
+    /// # Panics
+    /// Panics when `safety_factor < 1` or `min_samples == 0`.
+    pub fn new(cfg: RegressionConfig) -> Self {
+        assert!(cfg.safety_factor >= 1.0, "safety factor must be at least 1");
+        assert!(cfg.min_samples > 0, "min_samples must be positive");
+        RegressionEstimator {
+            cfg,
+            model: None,
+            rows: Vec::new(),
+            targets: Vec::new(),
+            since_refit: 0,
+        }
+    }
+
+    /// Pre-train on a historical trace whose jobs carry recorded usage —
+    /// the paper's offline customization phase.
+    pub fn fit_offline(&mut self, history: &Workload) {
+        for job in history.jobs() {
+            if job.used_mem_kb > 0 {
+                self.rows.push(features(job));
+                self.targets.push(job.used_mem_kb as f64);
+            }
+        }
+        self.refit();
+    }
+
+    /// Whether a model is currently fitted.
+    pub fn is_trained(&self) -> bool {
+        self.model.is_some()
+    }
+
+    /// Training R² of the current model, if any.
+    pub fn training_r_squared(&self) -> Option<f64> {
+        self.model.as_ref().map(|m| m.r_squared)
+    }
+
+    /// Number of accumulated training observations.
+    pub fn samples(&self) -> usize {
+        self.targets.len()
+    }
+
+    fn refit(&mut self) {
+        self.since_refit = 0;
+        if self.targets.len() >= self.cfg.min_samples {
+            self.model = LeastSquares::fit(&self.rows, &self.targets, self.cfg.ridge);
+        }
+    }
+}
+
+impl ResourceEstimator for RegressionEstimator {
+    fn name(&self) -> &'static str {
+        "regression"
+    }
+
+    fn estimate(&mut self, job: &Job, _ctx: &EstimateContext) -> Demand {
+        let request = job.requested_mem_kb;
+        let mem_kb = match &self.model {
+            None => request,
+            Some(model) => {
+                let pred = model.predict(&features(job)) * self.cfg.safety_factor;
+                (pred.ceil().max(0.0) as u64).clamp(self.cfg.floor_kb.min(request), request)
+            }
+        };
+        Demand {
+            mem_kb,
+            disk_kb: 0,
+            packages: job.requested_packages,
+        }
+    }
+
+    fn feedback(&mut self, job: &Job, _granted: &Demand, fb: &Feedback, _ctx: &EstimateContext) {
+        // Only clean, explicitly measured runs are training data: a failed
+        // run's peak is truncated by the allocation it was granted.
+        if let Feedback::Explicit { success: true, used } = fb {
+            if used.mem_kb > 0 {
+                self.rows.push(features(job));
+                self.targets.push(used.mem_kb as f64);
+                self.since_refit += 1;
+                if self.since_refit >= self.cfg.refit_interval
+                    || (self.model.is_none() && self.targets.len() >= self.cfg.min_samples)
+                {
+                    self.refit();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resmatch_workload::job::JobBuilder;
+    use resmatch_workload::Time;
+
+    /// A synthetic population where usage = 25% of the request.
+    fn quarter_usage_history(n: u64) -> Workload {
+        Workload::new(
+            (0..n)
+                .map(|i| {
+                    let req = 8_192 + (i % 7) * 4_096;
+                    JobBuilder::new(i)
+                        .submit(Time::from_secs(i))
+                        .requested_mem_kb(req)
+                        .used_mem_kb(req / 4)
+                        .nodes(32)
+                        .build()
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn untrained_passes_request_through() {
+        let mut e = RegressionEstimator::new(RegressionConfig::default());
+        let j = JobBuilder::new(1).requested_mem_kb(10_000).build();
+        assert_eq!(e.estimate(&j, &EstimateContext::default()).mem_kb, 10_000);
+        assert!(!e.is_trained());
+    }
+
+    #[test]
+    fn offline_fit_learns_the_paper_example() {
+        // §4's example: "if all users over-estimated by 100% ... divide each
+        // requested resource capacity by 2"; here the factor is 4.
+        let mut e = RegressionEstimator::new(RegressionConfig {
+            safety_factor: 1.0,
+            ..RegressionConfig::default()
+        });
+        e.fit_offline(&quarter_usage_history(200));
+        assert!(e.is_trained());
+        assert!(e.training_r_squared().unwrap() > 0.99);
+        let j = JobBuilder::new(999)
+            .requested_mem_kb(16_384)
+            .nodes(32)
+            .build();
+        let d = e.estimate(&j, &EstimateContext::default());
+        let expected = 16_384 / 4;
+        assert!(
+            (d.mem_kb as i64 - expected as i64).unsigned_abs() < 200,
+            "predicted {} for expected {expected}",
+            d.mem_kb
+        );
+    }
+
+    #[test]
+    fn online_learning_kicks_in_after_min_samples() {
+        let cfg = RegressionConfig {
+            min_samples: 30,
+            refit_interval: 10,
+            safety_factor: 1.0,
+            ..RegressionConfig::default()
+        };
+        let mut e = RegressionEstimator::new(cfg);
+        let ctx = EstimateContext::default();
+        for i in 0..40u64 {
+            let req = 8_192 + (i % 5) * 2_048;
+            let j = JobBuilder::new(i)
+                .requested_mem_kb(req)
+                .nodes(16)
+                .build();
+            let d = e.estimate(&j, &ctx);
+            if i < 30 {
+                assert_eq!(d.mem_kb, req, "untrained model must pass through");
+            }
+            e.feedback(
+                &j,
+                &d,
+                &Feedback::explicit(true, Demand::memory(req / 2)),
+                &ctx,
+            );
+        }
+        assert!(e.is_trained());
+        let j = JobBuilder::new(99).requested_mem_kb(10_240).nodes(16).build();
+        let d = e.estimate(&j, &ctx);
+        assert!((d.mem_kb as i64 - 5_120).unsigned_abs() < 200, "{}", d.mem_kb);
+    }
+
+    #[test]
+    fn predictions_clamped_to_request_and_floor() {
+        let mut e = RegressionEstimator::new(RegressionConfig {
+            safety_factor: 1.0,
+            floor_kb: 1_000,
+            ..RegressionConfig::default()
+        });
+        e.fit_offline(&quarter_usage_history(100));
+        // Tiny request: prediction would go below the floor.
+        let j = JobBuilder::new(1)
+            .requested_mem_kb(2_000)
+            .nodes(32)
+            .build();
+        let d = e.estimate(&j, &EstimateContext::default());
+        assert!(d.mem_kb >= 1_000);
+        assert!(d.mem_kb <= 2_000);
+    }
+
+    #[test]
+    fn failed_runs_are_not_training_data() {
+        let mut e = RegressionEstimator::new(RegressionConfig {
+            min_samples: 1,
+            refit_interval: 1,
+            ..RegressionConfig::default()
+        });
+        let ctx = EstimateContext::default();
+        let j = JobBuilder::new(1).requested_mem_kb(8_192).build();
+        let d = e.estimate(&j, &ctx);
+        e.feedback(&j, &d, &Feedback::explicit(false, Demand::memory(100)), &ctx);
+        e.feedback(&j, &d, &Feedback::failure(), &ctx);
+        assert_eq!(e.samples(), 0);
+        assert!(!e.is_trained());
+    }
+
+    #[test]
+    fn safety_factor_inflates() {
+        let mut plain = RegressionEstimator::new(RegressionConfig {
+            safety_factor: 1.0,
+            ..RegressionConfig::default()
+        });
+        let mut padded = RegressionEstimator::new(RegressionConfig {
+            safety_factor: 1.5,
+            ..RegressionConfig::default()
+        });
+        let h = quarter_usage_history(100);
+        plain.fit_offline(&h);
+        padded.fit_offline(&h);
+        let j = JobBuilder::new(1)
+            .requested_mem_kb(16_384)
+            .nodes(32)
+            .build();
+        let ctx = EstimateContext::default();
+        let a = plain.estimate(&j, &ctx).mem_kb;
+        let b = padded.estimate(&j, &ctx).mem_kb;
+        assert!(b > a);
+        assert!((b as f64 / a as f64 - 1.5).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "safety factor must be at least 1")]
+    fn rejects_deflating_safety_factor() {
+        let _ = RegressionEstimator::new(RegressionConfig {
+            safety_factor: 0.5,
+            ..RegressionConfig::default()
+        });
+    }
+}

@@ -1,0 +1,288 @@
+//! Robust bisection refinement — the §2.3 extension.
+//!
+//! Algorithm 1 assumes every member of a similarity group uses the same
+//! actual capacity; the paper notes that for wider groups "this problem can
+//! be solved using a class of robust line search algorithms" (citing
+//! Anderson & Ferris's direct search for noisy evaluations). This estimator
+//! implements that extension: per group it maintains a *bracket*
+//! `(lo, hi]` — `lo` the largest allocation observed to fail, `hi` the
+//! smallest observed to succeed — and probes the geometric midpoint until
+//! the bracket is tight, then serves `hi`.
+//!
+//! Heterogeneous groups are handled by bracket repair: when a member fails
+//! at (or above) the accepted `hi`, the bracket is re-opened up to the
+//! request, so the estimate climbs toward the group's *maximum* usage
+//! instead of oscillating.
+
+use resmatch_cluster::Demand;
+use resmatch_workload::Job;
+
+use crate::similarity::{GroupTable, SimilarityPolicy};
+use crate::traits::{EstimateContext, Feedback, ResourceEstimator};
+
+/// Tunables for [`RobustBisection`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustConfig {
+    /// Stop probing when `hi / lo` falls below this (> 1).
+    pub tolerance: f64,
+    /// Similarity keying.
+    pub policy: SimilarityPolicy,
+}
+
+impl Default for RobustConfig {
+    fn default() -> Self {
+        RobustConfig {
+            tolerance: 1.25,
+            policy: SimilarityPolicy::UserAppRequest,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Bracket {
+    /// Largest allocation that failed (0 until a failure is seen).
+    lo: f64,
+    /// Smallest allocation that succeeded (starts at the request).
+    hi: f64,
+    request: f64,
+    /// True until the first feedback arrives; the virgin submission trusts
+    /// the request.
+    virgin: bool,
+}
+
+impl Bracket {
+    fn converged(&self, tolerance: f64) -> bool {
+        self.lo > 0.0 && self.hi / self.lo.max(1.0) <= tolerance
+    }
+
+    fn probe(&self, tolerance: f64) -> f64 {
+        if self.converged(tolerance) {
+            self.hi
+        } else if self.lo <= 0.0 {
+            // No failure yet: halve, like Algorithm 1 with α = 2.
+            self.hi / 2.0
+        } else {
+            (self.lo * self.hi).sqrt()
+        }
+    }
+}
+
+/// The robust direct-search estimator.
+pub struct RobustBisection {
+    cfg: RobustConfig,
+    groups: GroupTable<Bracket>,
+}
+
+impl RobustBisection {
+    /// Create with the given configuration.
+    ///
+    /// # Panics
+    /// Panics unless `tolerance > 1`.
+    pub fn new(cfg: RobustConfig) -> Self {
+        assert!(cfg.tolerance > 1.0, "tolerance must exceed 1");
+        let policy = cfg.policy;
+        RobustBisection {
+            cfg,
+            groups: GroupTable::new(policy),
+        }
+    }
+
+    /// Number of groups observed.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The group's current bracket `(lo, hi)`, if it exists.
+    pub fn bracket(&self, job: &Job) -> Option<(f64, f64)> {
+        self.groups.get(job).map(|b| (b.lo, b.hi))
+    }
+}
+
+impl ResourceEstimator for RobustBisection {
+    fn name(&self) -> &'static str {
+        "robust-bisection"
+    }
+
+    fn estimate(&mut self, job: &Job, _ctx: &EstimateContext) -> Demand {
+        let tolerance = self.cfg.tolerance;
+        let group = self.groups.get_or_insert_with(job, |j| {
+            let request = j.requested_mem_kb as f64;
+            Bracket {
+                lo: 0.0,
+                hi: request,
+                request,
+                virgin: true,
+            }
+        });
+        // The very first submission trusts the request; afterwards probe
+        // the bracket.
+        let mem = if group.virgin {
+            group.request
+        } else {
+            group.probe(tolerance)
+        };
+        let mem_kb = (mem.ceil().max(64.0) as u64).min(job.requested_mem_kb);
+        Demand {
+            mem_kb,
+            disk_kb: 0,
+            packages: job.requested_packages,
+        }
+    }
+
+    fn feedback(&mut self, job: &Job, granted: &Demand, fb: &Feedback, _ctx: &EstimateContext) {
+        let Some(group) = self.groups.get_mut(job) else {
+            return;
+        };
+        let g = granted.mem_kb as f64;
+        group.virgin = false;
+        if fb.is_success() {
+            group.hi = group.hi.min(g);
+        } else {
+            group.lo = group.lo.max(g);
+            if group.lo >= group.hi {
+                // A member outgrew the accepted ceiling: re-open the bracket
+                // toward the request.
+                group.hi = group.request.max(group.lo);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resmatch_workload::job::JobBuilder;
+
+    const MB: u64 = 1024;
+
+    fn job(req_mb: u64, used_mb: u64) -> Job {
+        JobBuilder::new(1)
+            .user(1)
+            .app(1)
+            .requested_mem_kb(req_mb * MB)
+            .used_mem_kb(used_mb * MB)
+            .build()
+    }
+
+    /// Run estimate/feedback cycles where success means granted >= used.
+    fn drive(est: &mut RobustBisection, j: &Job, cycles: usize) -> u64 {
+        let ctx = EstimateContext::default();
+        let mut last = 0;
+        for _ in 0..cycles {
+            let d = est.estimate(j, &ctx);
+            last = d.mem_kb;
+            let fb = if d.mem_kb >= j.used_mem_kb {
+                Feedback::success()
+            } else {
+                Feedback::failure()
+            };
+            est.feedback(j, &d, &fb, &ctx);
+        }
+        last
+    }
+
+    #[test]
+    fn first_submission_trusts_request() {
+        let mut e = RobustBisection::new(RobustConfig::default());
+        let d = e.estimate(&job(64, 5), &EstimateContext::default());
+        assert_eq!(d.mem_kb, 64 * MB);
+    }
+
+    #[test]
+    fn converges_to_tight_bound() {
+        let mut e = RobustBisection::new(RobustConfig::default());
+        let j = job(64, 5);
+        let settled = drive(&mut e, &j, 25);
+        // Converged estimate covers usage within the tolerance.
+        assert!(settled >= 5 * MB, "{settled}");
+        assert!(
+            (settled as f64) <= 5.0 * MB as f64 * 1.6,
+            "settled {settled} too loose"
+        );
+    }
+
+    #[test]
+    fn tighter_tolerance_gets_closer() {
+        let loose = {
+            let mut e = RobustBisection::new(RobustConfig {
+                tolerance: 2.0,
+                ..RobustConfig::default()
+            });
+            drive(&mut e, &job(64, 5), 30)
+        };
+        let tight = {
+            let mut e = RobustBisection::new(RobustConfig {
+                tolerance: 1.05,
+                ..RobustConfig::default()
+            });
+            drive(&mut e, &job(64, 5), 60)
+        };
+        assert!(tight <= loose);
+        assert!(tight >= 5 * MB);
+    }
+
+    #[test]
+    fn heterogeneous_group_climbs_to_max_member() {
+        // Members alternate between 5 MB and 18 MB of usage — the paper's
+        // §2.3 J1/J2 example, where Algorithm 1 gets stuck. The bracket must
+        // end up covering the larger member.
+        let mut e = RobustBisection::new(RobustConfig::default());
+        let ctx = EstimateContext::default();
+        let small = job(64, 5);
+        let large = job(64, 18);
+        for i in 0..60 {
+            let j = if i % 2 == 0 { &small } else { &large };
+            let d = e.estimate(j, &ctx);
+            let fb = if d.mem_kb >= j.used_mem_kb {
+                Feedback::success()
+            } else {
+                Feedback::failure()
+            };
+            e.feedback(j, &d, &fb, &ctx);
+        }
+        // After convergence both members must succeed.
+        let d = e.estimate(&large, &ctx);
+        assert!(d.mem_kb >= 18 * MB, "estimate {} starves J2", d.mem_kb);
+        assert!(d.mem_kb < 64 * MB, "no reduction achieved at all");
+    }
+
+    #[test]
+    fn failures_never_push_above_request() {
+        let mut e = RobustBisection::new(RobustConfig::default());
+        let j = job(16, 16); // usage equals request: every reduction fails
+        let ctx = EstimateContext::default();
+        for _ in 0..20 {
+            let d = e.estimate(&j, &ctx);
+            assert!(d.mem_kb <= 16 * MB);
+            let fb = if d.mem_kb >= j.used_mem_kb {
+                Feedback::success()
+            } else {
+                Feedback::failure()
+            };
+            e.feedback(&j, &d, &fb, &ctx);
+        }
+        // Must settle back at the request, which is the only safe value.
+        let d = e.estimate(&j, &ctx);
+        assert_eq!(d.mem_kb, 16 * MB);
+    }
+
+    #[test]
+    fn bracket_inspection() {
+        let mut e = RobustBisection::new(RobustConfig::default());
+        let j = job(64, 5);
+        assert!(e.bracket(&j).is_none());
+        drive(&mut e, &j, 3);
+        let (lo, hi) = e.bracket(&j).unwrap();
+        assert!(lo < hi);
+        assert!(hi <= 64.0 * MB as f64);
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance must exceed 1")]
+    fn rejects_unit_tolerance() {
+        let _ = RobustBisection::new(RobustConfig {
+            tolerance: 1.0,
+            ..RobustConfig::default()
+        });
+    }
+}

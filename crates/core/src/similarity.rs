@@ -1,0 +1,205 @@
+//! Similarity keys and group tables.
+//!
+//! "Similar jobs are disjoint groups of job submissions that use similar
+//! amounts of resource capacities" (§2.1). Since job IDs are rarely
+//! available, groups are identified by a tuple of job-request parameters;
+//! for the LANL CM5 the paper settles on (user ID, application number,
+//! requested memory). There is no formal method to pick the parameter set —
+//! it is a trial-and-error design choice — so [`SimilarityPolicy`] makes the
+//! key configurable and [`GroupTable`] stores per-group learning state for
+//! any policy.
+
+use std::collections::HashMap;
+
+use resmatch_workload::Job;
+use serde::{Deserialize, Serialize};
+
+/// Which job-request parameters make up the similarity key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SimilarityPolicy {
+    /// (user, application, requested memory) — the paper's CM5 key.
+    #[default]
+    UserAppRequest,
+    /// (user, application) — coarser: one group per program per user.
+    UserApp,
+    /// (user) — coarsest: one group per user.
+    User,
+    /// (application, requested memory) — ignores the submitting user.
+    AppRequest,
+}
+
+/// A concrete similarity-group key under some policy. Unused components are
+/// `None` so keys from different policies never collide accidentally.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct SimilarityKey {
+    /// User component, if the policy includes it.
+    pub user: Option<u32>,
+    /// Application component, if the policy includes it.
+    pub app: Option<u32>,
+    /// Requested-memory component, if the policy includes it.
+    pub requested_mem_kb: Option<u64>,
+}
+
+impl SimilarityPolicy {
+    /// Extract the key for `job`.
+    pub fn key(&self, job: &Job) -> SimilarityKey {
+        match self {
+            SimilarityPolicy::UserAppRequest => SimilarityKey {
+                user: Some(job.user),
+                app: Some(job.app),
+                requested_mem_kb: Some(job.requested_mem_kb),
+            },
+            SimilarityPolicy::UserApp => SimilarityKey {
+                user: Some(job.user),
+                app: Some(job.app),
+                requested_mem_kb: None,
+            },
+            SimilarityPolicy::User => SimilarityKey {
+                user: Some(job.user),
+                app: None,
+                requested_mem_kb: None,
+            },
+            SimilarityPolicy::AppRequest => SimilarityKey {
+                user: None,
+                app: Some(job.app),
+                requested_mem_kb: Some(job.requested_mem_kb),
+            },
+        }
+    }
+}
+
+/// Per-group learning state, keyed by [`SimilarityKey`].
+///
+/// The paper highlights that Algorithm 1 "is very memory space efficient: it
+/// only saves two parameters per similarity group" — this table is the
+/// realization of that registry.
+#[derive(Debug, Clone, Default)]
+pub struct GroupTable<T> {
+    policy: SimilarityPolicy,
+    groups: HashMap<SimilarityKey, T>,
+}
+
+impl<T> GroupTable<T> {
+    /// Create a table under the given policy.
+    pub fn new(policy: SimilarityPolicy) -> Self {
+        GroupTable {
+            policy,
+            groups: HashMap::new(),
+        }
+    }
+
+    /// The policy keys are extracted with.
+    pub fn policy(&self) -> SimilarityPolicy {
+        self.policy
+    }
+
+    /// Number of groups seen so far.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True when no group exists yet.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// The group state for `job`, if the group exists.
+    pub fn get(&self, job: &Job) -> Option<&T> {
+        self.groups.get(&self.policy.key(job))
+    }
+
+    /// Mutable group state for `job`, if the group exists.
+    pub fn get_mut(&mut self, job: &Job) -> Option<&mut T> {
+        self.groups.get_mut(&self.policy.key(job))
+    }
+
+    /// The group state for `job`, creating it with `init` on first sight
+    /// (Algorithm 1 line 4: "Initialize a new group").
+    pub fn get_or_insert_with(&mut self, job: &Job, init: impl FnOnce(&Job) -> T) -> &mut T {
+        self.groups
+            .entry(self.policy.key(job))
+            .or_insert_with(|| init(job))
+    }
+
+    /// Iterate over `(key, state)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&SimilarityKey, &T)> {
+        self.groups.iter()
+    }
+
+    /// Insert state under an explicit key (state restoration after a
+    /// scheduler restart). Replaces any existing entry.
+    pub fn insert_key(&mut self, key: SimilarityKey, value: T) {
+        self.groups.insert(key, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resmatch_workload::job::JobBuilder;
+
+    fn job(user: u32, app: u32, req: u64) -> Job {
+        JobBuilder::new(1)
+            .user(user)
+            .app(app)
+            .requested_mem_kb(req)
+            .build()
+    }
+
+    #[test]
+    fn paper_policy_distinguishes_all_three_fields() {
+        let p = SimilarityPolicy::UserAppRequest;
+        let base = p.key(&job(1, 2, 100));
+        assert_eq!(base, p.key(&job(1, 2, 100)));
+        assert_ne!(base, p.key(&job(9, 2, 100)));
+        assert_ne!(base, p.key(&job(1, 9, 100)));
+        assert_ne!(base, p.key(&job(1, 2, 999)));
+    }
+
+    #[test]
+    fn coarser_policies_merge() {
+        assert_eq!(
+            SimilarityPolicy::UserApp.key(&job(1, 2, 100)),
+            SimilarityPolicy::UserApp.key(&job(1, 2, 999))
+        );
+        assert_eq!(
+            SimilarityPolicy::User.key(&job(1, 2, 100)),
+            SimilarityPolicy::User.key(&job(1, 9, 999))
+        );
+        assert_eq!(
+            SimilarityPolicy::AppRequest.key(&job(1, 2, 100)),
+            SimilarityPolicy::AppRequest.key(&job(7, 2, 100))
+        );
+    }
+
+    #[test]
+    fn keys_from_different_policies_do_not_collide() {
+        // UserApp leaves requested_mem None; UserAppRequest fills it.
+        let a = SimilarityPolicy::UserApp.key(&job(1, 2, 100));
+        let b = SimilarityPolicy::UserAppRequest.key(&job(1, 2, 100));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn table_creates_groups_lazily() {
+        let mut t: GroupTable<u32> = GroupTable::new(SimilarityPolicy::UserAppRequest);
+        assert!(t.is_empty());
+        assert!(t.get(&job(1, 1, 100)).is_none());
+        *t.get_or_insert_with(&job(1, 1, 100), |_| 0) += 5;
+        *t.get_or_insert_with(&job(1, 1, 100), |_| 0) += 5;
+        *t.get_or_insert_with(&job(2, 1, 100), |_| 100) += 1;
+        assert_eq!(t.len(), 2);
+        assert_eq!(*t.get(&job(1, 1, 100)).unwrap(), 10);
+        assert_eq!(*t.get(&job(2, 1, 100)).unwrap(), 101);
+    }
+
+    #[test]
+    fn get_mut_edits_in_place() {
+        let mut t: GroupTable<Vec<u32>> = GroupTable::new(SimilarityPolicy::User);
+        t.get_or_insert_with(&job(1, 1, 100), |_| vec![]);
+        t.get_mut(&job(1, 5, 7)).unwrap().push(3); // same user → same group
+        assert_eq!(t.get(&job(1, 0, 0)).unwrap(), &[3]);
+    }
+}

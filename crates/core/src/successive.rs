@@ -1,0 +1,630 @@
+//! Algorithm 1: successive approximation with implicit feedback.
+//!
+//! Per similarity group the estimator keeps just two learning parameters —
+//! the current estimate `Eᵢ` (initialized to the first job's request `R`)
+//! and a learning rate `αᵢ` (initialized to the global `α`):
+//!
+//! - every submission is granted `E′ = ⌈Eᵢ⌉`, the estimate rounded up to the
+//!   lowest cluster capacity that can hold it;
+//! - success ⇒ `Eᵢ ← E′ / αᵢ` — probe lower next time;
+//! - failure ⇒ restore `Eᵢ` to its previous (working) value and shrink the
+//!   learning rate, `αᵢ ← max(1, β·αᵢ)`; at `αᵢ = 1` the estimate freezes.
+//!
+//! With the paper's settings `α = 2, β = 0` this produces exactly the
+//! Figure 7 trajectory: 32 → 16 → 8 → (4 fails) → 8 frozen.
+//!
+//! Two notes on fidelity:
+//!
+//! - The pseudocode's success update divides the *rounded* `E′` by `αᵢ`
+//!   (line 9), which fixed-points at `E′/α` when the ladder is coarse; the
+//!   §2.3 prose narrates an unrounded descent instead. We implement the
+//!   pseudocode — its conclusions (with α = 2 a 32→4 MB descent stalls at
+//!   the 24 MB rung; α = 10 reaches the 4 MB machines) hold either way.
+//! - The published algorithm assumes serial, in-order feedback. Under a real
+//!   scheduler several group members are in flight at once, so updates are
+//!   guarded to be monotone: a success never *raises* the estimate and a
+//!   failure never lowers it.
+
+use resmatch_cluster::{CapacityLadder, Demand};
+use resmatch_workload::Job;
+use serde::{Deserialize, Serialize};
+
+use crate::similarity::{GroupTable, SimilarityKey, SimilarityPolicy};
+use crate::traits::{EstimateContext, Feedback, ResourceEstimator};
+
+/// Tunables of Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuccessiveConfig {
+    /// Initial learning rate `α > 1`: each success divides the estimate by
+    /// this. Paper experiments use 2.
+    pub alpha: f64,
+    /// Learning-rate decay on failure, `0 <= β < 1`. Paper experiments use
+    /// 0, freezing a group after its first failure.
+    pub beta: f64,
+    /// How similarity groups are keyed.
+    pub policy: SimilarityPolicy,
+}
+
+impl Default for SuccessiveConfig {
+    fn default() -> Self {
+        SuccessiveConfig {
+            alpha: 2.0,
+            beta: 0.0,
+            policy: SimilarityPolicy::UserAppRequest,
+        }
+    }
+}
+
+/// Public snapshot of a group's learning state (Figure 7's y-axis).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupSnapshot {
+    /// Current estimate `Eᵢ`, KB.
+    pub estimate_kb: f64,
+    /// Current learning rate `αᵢ`.
+    pub alpha: f64,
+    /// Successful executions fed back so far.
+    pub successes: u64,
+    /// Failed executions fed back so far.
+    pub failures: u64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct GroupState {
+    /// `Eᵢ`.
+    estimate: f64,
+    /// `αᵢ`.
+    alpha: f64,
+    /// The last estimate known to work; failures restore to it.
+    prev: f64,
+    /// The group's initial request `R` — estimates never exceed it.
+    request: f64,
+    successes: u64,
+    failures: u64,
+}
+
+/// A persisted group: key plus full learning state. The paper highlights
+/// Algorithm 1's tiny per-group footprint ("only two parameters per
+/// similarity group"); this is that footprint made durable, so a scheduler
+/// restart does not forget months of learning.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct PersistedGroup {
+    /// Similarity key the state belongs to.
+    pub key: SimilarityKey,
+    /// Current estimate `Eᵢ`, KB.
+    pub estimate_kb: f64,
+    /// Learning rate `αᵢ`.
+    pub alpha: f64,
+    /// Restore point, KB.
+    pub prev_kb: f64,
+    /// Group request `R`, KB.
+    pub request_kb: f64,
+    /// Successful executions observed.
+    pub successes: u64,
+    /// Failed executions observed.
+    pub failures: u64,
+}
+
+/// The Algorithm 1 estimator.
+pub struct SuccessiveApproximation {
+    cfg: SuccessiveConfig,
+    ladder: CapacityLadder,
+    groups: GroupTable<GroupState>,
+    lowered_submissions: u64,
+    total_submissions: u64,
+}
+
+impl SuccessiveApproximation {
+    /// Create for a cluster described by `ladder`.
+    ///
+    /// # Panics
+    /// Panics unless `alpha > 1` and `0 <= beta < 1`.
+    pub fn new(cfg: SuccessiveConfig, ladder: CapacityLadder) -> Self {
+        assert!(cfg.alpha > 1.0, "alpha must exceed 1");
+        assert!((0.0..1.0).contains(&cfg.beta), "beta must be in [0, 1)");
+        let policy = cfg.policy;
+        SuccessiveApproximation {
+            cfg,
+            ladder,
+            groups: GroupTable::new(policy),
+            lowered_submissions: 0,
+            total_submissions: 0,
+        }
+    }
+
+    /// `⌈x⌉`: lowest cluster capacity ≥ x, or x itself above the ladder.
+    fn round_up(&self, x: f64) -> f64 {
+        let as_kb = x.ceil().max(0.0) as u64;
+        self.ladder.round_up(as_kb).map_or(x, |rung| rung as f64)
+    }
+
+    /// Number of similarity groups created so far.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Fraction of submissions estimated below the job request's own rung —
+    /// the paper reports 15%–40% across cluster configurations.
+    pub fn lowered_fraction(&self) -> f64 {
+        if self.total_submissions == 0 {
+            0.0
+        } else {
+            self.lowered_submissions as f64 / self.total_submissions as f64
+        }
+    }
+
+    /// Seed the group `job` belongs to with an initial estimate (KB)
+    /// *before* its first submission — the hook behind the paper's §4
+    /// future-work item of initializing the learning parameters formally
+    /// instead of starting from the raw request. The seed is clamped to the
+    /// request; seeding an existing group is a no-op (learning state wins).
+    /// Returns true when a new group was created.
+    pub fn seed_group(&mut self, job: &Job, initial_estimate_kb: f64) -> bool {
+        if self.groups.get(job).is_some() {
+            return false;
+        }
+        let alpha = self.cfg.alpha;
+        let request = job.requested_mem_kb as f64;
+        let seed = initial_estimate_kb.clamp(0.0, request);
+        self.groups.get_or_insert_with(job, |_| GroupState {
+            estimate: seed,
+            alpha,
+            // The seed is a prior, not an observation: restores fall back
+            // to the trusted request until a success confirms something
+            // lower.
+            prev: request,
+            request,
+            successes: 0,
+            failures: 0,
+        });
+        true
+    }
+
+    /// Export every group's learning state, sorted by key for
+    /// deterministic output. Serialize the result (it implements serde) to
+    /// persist across scheduler restarts.
+    pub fn export_state(&self) -> Vec<PersistedGroup> {
+        let mut out: Vec<PersistedGroup> = self
+            .groups
+            .iter()
+            .map(|(key, g)| PersistedGroup {
+                key: *key,
+                estimate_kb: g.estimate,
+                alpha: g.alpha,
+                prev_kb: g.prev,
+                request_kb: g.request,
+                successes: g.successes,
+                failures: g.failures,
+            })
+            .collect();
+        out.sort_by(|a, b| a.key.cmp(&b.key));
+        out
+    }
+
+    /// Restore previously exported learning state (replacing any existing
+    /// entry for the same key). Entries must come from an estimator with
+    /// the same similarity policy — keys from other policies simply never
+    /// match any job.
+    pub fn import_state(&mut self, entries: &[PersistedGroup]) {
+        for e in entries {
+            self.groups.insert_key(
+                e.key,
+                GroupState {
+                    estimate: e.estimate_kb,
+                    alpha: e.alpha.max(1.0),
+                    prev: e.prev_kb,
+                    request: e.request_kb,
+                    successes: e.successes,
+                    failures: e.failures,
+                },
+            );
+        }
+    }
+
+    /// Snapshot of the group `job` belongs to, if it exists.
+    pub fn group_snapshot(&self, job: &Job) -> Option<GroupSnapshot> {
+        self.groups.get(job).map(|g| GroupSnapshot {
+            estimate_kb: g.estimate,
+            alpha: g.alpha,
+            successes: g.successes,
+            failures: g.failures,
+        })
+    }
+}
+
+impl ResourceEstimator for SuccessiveApproximation {
+    fn name(&self) -> &'static str {
+        "successive-approximation"
+    }
+
+    fn estimate(&mut self, job: &Job, _ctx: &EstimateContext) -> Demand {
+        let alpha = self.cfg.alpha;
+        let group = self.groups.get_or_insert_with(job, |j| GroupState {
+            estimate: j.requested_mem_kb as f64,
+            alpha,
+            prev: j.requested_mem_kb as f64,
+            request: j.requested_mem_kb as f64,
+            successes: 0,
+            failures: 0,
+        });
+        let estimate = group.estimate;
+        let request = job.requested_mem_kb as f64;
+        let rounded = self.round_up(estimate);
+        self.total_submissions += 1;
+        if rounded < self.round_up(request) {
+            self.lowered_submissions += 1;
+        }
+        // Matching against min(E', R) selects exactly the machines E' would
+        // (no rung lies strictly between), while keeping the public
+        // invariant that estimates never exceed the user request.
+        let granted = rounded.min(request).max(0.0) as u64;
+        Demand {
+            mem_kb: granted,
+            disk_kb: 0,
+            packages: job.requested_packages,
+        }
+    }
+
+    fn feedback(
+        &mut self,
+        job: &Job,
+        granted: &Demand,
+        feedback: &Feedback,
+        _ctx: &EstimateContext,
+    ) {
+        // Recover E' from the granted demand: identical rounding as at
+        // estimate time because the ladder is fixed.
+        let e_prime = self.round_up(granted.mem_kb as f64);
+        let Some(group) = self.groups.get_mut(job) else {
+            // Feedback for a job never estimated (e.g. an engine bypass
+            // before the first estimate) — nothing to learn from.
+            return;
+        };
+        if feedback.is_success() {
+            group.successes += 1;
+            let proposal = e_prime / group.alpha;
+            // Monotone guard: concurrent stale successes must not raise the
+            // estimate, and the estimate never exceeds the group request.
+            group.prev = group.prev.min(e_prime).min(group.request);
+            group.estimate = group.estimate.min(proposal).min(group.request);
+        } else {
+            group.failures += 1;
+            // Restore to the last working value (never lowering), and
+            // refine the learning rate: αᵢ ← max(1, β·αᵢ).
+            group.estimate = group.estimate.max(group.prev);
+            group.alpha = (group.alpha * self.cfg.beta).max(1.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resmatch_workload::job::JobBuilder;
+
+    const MB: u64 = 1024;
+
+    fn job(req_mb: u64, used_mb: u64) -> Job {
+        JobBuilder::new(1)
+            .user(1)
+            .app(1)
+            .requested_mem_kb(req_mb * MB)
+            .used_mem_kb(used_mb * MB)
+            .build()
+    }
+
+    fn estimator(rungs: &[u64], alpha: f64, beta: f64) -> SuccessiveApproximation {
+        SuccessiveApproximation::new(
+            SuccessiveConfig {
+                alpha,
+                beta,
+                policy: SimilarityPolicy::UserAppRequest,
+            },
+            CapacityLadder::new(rungs.iter().map(|&r| r * MB).collect()),
+        )
+    }
+
+    /// Drive one estimate/feedback cycle; success iff granted memory covers
+    /// the job's actual usage (the simulator's failure rule).
+    fn cycle(est: &mut SuccessiveApproximation, j: &Job) -> (u64, bool) {
+        let ctx = EstimateContext::default();
+        let d = est.estimate(j, &ctx);
+        // The machine granted is the rounded-up rung (or the raw demand when
+        // above the ladder).
+        let node_mem = est.round_up(d.mem_kb as f64) as u64;
+        let success = j.used_mem_kb <= node_mem;
+        est.feedback(
+            j,
+            &d,
+            &if success {
+                Feedback::success()
+            } else {
+                Feedback::failure()
+            },
+            &ctx,
+        );
+        (d.mem_kb, success)
+    }
+
+    #[test]
+    fn figure7_trajectory() {
+        // Requested 32 MB, actual slightly above 5 MB, rungs at every power
+        // of two: estimates must walk 32 → 16 → 8, fail at 4, restore to 8
+        // and freeze (α = 2, β = 0).
+        let mut est = estimator(&[32, 24, 16, 8, 4], 2.0, 0.0);
+        let j = job(32, 5); // uses slightly more than 5 MB? 5 MB exactly: fails below 8.
+        let mut granted = Vec::new();
+        for _ in 0..7 {
+            let (g, _) = cycle(&mut est, &j);
+            granted.push(g / MB);
+        }
+        assert_eq!(granted, vec![32, 16, 8, 4, 8, 8, 8]);
+        let snap = est.group_snapshot(&j).unwrap();
+        assert_eq!(snap.estimate_kb as u64 / MB, 8);
+        assert_eq!(snap.alpha, 1.0);
+        assert_eq!(snap.failures, 1);
+        // A four-fold reduction in memory, as the paper reports.
+    }
+
+    #[test]
+    fn section23_alpha2_stalls_above_small_machines() {
+        // §2.3: machines of 32/24/4 MB, request 32, usage 4 MB, α = 2:
+        // estimation reaches the 24 MB machines but never the 4 MB ones.
+        let mut est = estimator(&[32, 24, 4], 2.0, 0.0);
+        let j = job(32, 4);
+        let mut minimum = u64::MAX;
+        for _ in 0..10 {
+            let (g, success) = cycle(&mut est, &j);
+            assert!(success, "nothing below 24 MB is ever granted");
+            minimum = minimum.min(est.round_up(g as f64) as u64);
+        }
+        assert_eq!(minimum / MB, 24);
+    }
+
+    #[test]
+    fn section23_alpha10_reaches_small_machines() {
+        // Same cluster, α = 10: 32 → 3.2 rounds up to the 4 MB machines.
+        let mut est = estimator(&[32, 24, 4], 10.0, 0.0);
+        let j = job(32, 4);
+        let (g1, s1) = cycle(&mut est, &j);
+        assert_eq!(g1 / MB, 32);
+        assert!(s1);
+        let (g2, s2) = cycle(&mut est, &j);
+        assert_eq!(g2 / MB, 4);
+        assert!(s2, "4 MB machines hold a 4 MB job");
+    }
+
+    #[test]
+    fn section23_alpha10_overshoot_reverts_to_request() {
+        // The paper's caveat: with usage 5 MB instead of 4, the α = 10 probe
+        // at 4 MB fails and the estimate reverts to 32, not 24.
+        let mut est = estimator(&[32, 24, 4], 10.0, 0.0);
+        let j = job(32, 5);
+        cycle(&mut est, &j); // 32, ok
+        let (g2, s2) = cycle(&mut est, &j);
+        assert_eq!(g2 / MB, 4);
+        assert!(!s2);
+        let (g3, s3) = cycle(&mut est, &j);
+        assert_eq!(g3 / MB, 32);
+        assert!(s3);
+    }
+
+    #[test]
+    fn beta_enables_finer_refinement() {
+        // β = 0.5, α = 4, rungs at every MB: after a failure the learning
+        // rate halves and probing resumes more carefully.
+        let rungs: Vec<u64> = (1..=32).collect();
+        let mut est = SuccessiveApproximation::new(
+            SuccessiveConfig {
+                alpha: 4.0,
+                beta: 0.5,
+                policy: SimilarityPolicy::UserAppRequest,
+            },
+            CapacityLadder::new(rungs.iter().map(|&r| r * MB).collect()),
+        );
+        let j = job(32, 7);
+        let mut history = Vec::new();
+        for _ in 0..8 {
+            let (g, s) = cycle(&mut est, &j);
+            history.push((g / MB, s));
+        }
+        // 32 ok → 8 ok → 2 fail (α→2) → 8 ok → 4 fail (α→1) → 8 frozen.
+        assert_eq!(
+            history,
+            vec![
+                (32, true),
+                (8, true),
+                (2, false),
+                (8, true),
+                (4, false),
+                (8, true),
+                (8, true),
+                (8, true),
+            ]
+        );
+    }
+
+    #[test]
+    fn estimate_never_exceeds_request() {
+        let mut est = estimator(&[32, 24, 8], 1.5, 0.5);
+        let j = job(20, 6);
+        let ctx = EstimateContext::default();
+        for _ in 0..20 {
+            let d = est.estimate(&j, &ctx);
+            assert!(d.mem_kb <= j.requested_mem_kb);
+            let node_mem = est.round_up(d.mem_kb as f64) as u64;
+            let fb = if j.used_mem_kb <= node_mem {
+                Feedback::success()
+            } else {
+                Feedback::failure()
+            };
+            est.feedback(&j, &d, &fb, &ctx);
+        }
+    }
+
+    #[test]
+    fn groups_learn_independently() {
+        let mut est = estimator(&[32, 16, 8], 2.0, 0.0);
+        let a = JobBuilder::new(1)
+            .user(1)
+            .app(1)
+            .requested_mem_kb(32 * MB)
+            .used_mem_kb(4 * MB)
+            .build();
+        let b = JobBuilder::new(2)
+            .user(2)
+            .app(1)
+            .requested_mem_kb(32 * MB)
+            .used_mem_kb(30 * MB)
+            .build();
+        cycle(&mut est, &a);
+        cycle(&mut est, &a);
+        // Group A has walked down; group B starts fresh at its request.
+        let ctx = EstimateContext::default();
+        let db = est.estimate(&b, &ctx);
+        assert_eq!(db.mem_kb, 32 * MB);
+        assert_eq!(est.group_count(), 2);
+    }
+
+    #[test]
+    fn stale_success_cannot_raise_estimate() {
+        let mut est = estimator(&[32, 16, 8, 4], 2.0, 0.0);
+        let j = job(32, 4);
+        let ctx = EstimateContext::default();
+        // Walk the estimate down to 8.
+        cycle(&mut est, &j);
+        cycle(&mut est, &j);
+        let before = est.group_snapshot(&j).unwrap().estimate_kb;
+        assert!(before <= 8.0 * MB as f64);
+        // A stale success for an old execution granted the full request.
+        est.feedback(&j, &Demand::memory(32 * MB), &Feedback::success(), &ctx);
+        let after = est.group_snapshot(&j).unwrap().estimate_kb;
+        assert!(after <= before);
+    }
+
+    #[test]
+    fn stale_failure_cannot_lower_estimate() {
+        let mut est = estimator(&[32, 16, 8, 4], 2.0, 0.0);
+        let j = job(32, 4);
+        cycle(&mut est, &j); // estimate now 16
+        let ctx = EstimateContext::default();
+        let before = est.group_snapshot(&j).unwrap().estimate_kb;
+        est.feedback(&j, &Demand::memory(4 * MB), &Feedback::failure(), &ctx);
+        let after = est.group_snapshot(&j).unwrap().estimate_kb;
+        assert!(after >= before);
+    }
+
+    #[test]
+    fn feedback_without_estimate_is_ignored() {
+        let mut est = estimator(&[32], 2.0, 0.0);
+        let j = job(32, 4);
+        let ctx = EstimateContext::default();
+        est.feedback(&j, &Demand::memory(32 * MB), &Feedback::success(), &ctx);
+        assert_eq!(est.group_count(), 0);
+    }
+
+    #[test]
+    fn lowered_fraction_counts() {
+        let mut est = estimator(&[32, 16], 2.0, 0.0);
+        let j = job(32, 4);
+        let ctx = EstimateContext::default();
+        let d1 = est.estimate(&j, &ctx);
+        est.feedback(&j, &d1, &Feedback::success(), &ctx);
+        assert_eq!(est.lowered_fraction(), 0.0); // first was at the request rung
+        let _ = est.estimate(&j, &ctx);
+        assert_eq!(est.lowered_fraction(), 0.5); // second was lowered
+    }
+
+    #[test]
+    fn estimate_above_ladder_passes_through() {
+        // Request exceeds every machine: the estimator must not round away
+        // the impossibility; the raw request is preserved.
+        let mut est = estimator(&[16, 8], 2.0, 0.0);
+        let j = job(32, 4);
+        let ctx = EstimateContext::default();
+        let d = est.estimate(&j, &ctx);
+        assert_eq!(d.mem_kb, 32 * MB);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must exceed 1")]
+    fn rejects_alpha_at_most_one() {
+        let _ = estimator(&[32], 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be in [0, 1)")]
+    fn rejects_beta_of_one() {
+        let _ = estimator(&[32], 2.0, 1.0);
+    }
+
+    #[test]
+    fn state_round_trips_across_restart() {
+        // Learn, export, restart, import: the new estimator must continue
+        // exactly where the old one stopped.
+        let mut before = estimator(&[32, 24, 16, 8, 4], 2.0, 0.0);
+        let j = job(32, 5);
+        for _ in 0..5 {
+            cycle(&mut before, &j);
+        }
+        let state = before.export_state();
+        assert_eq!(state.len(), 1);
+        assert_eq!(state[0].failures, 1);
+
+        let mut after = estimator(&[32, 24, 16, 8, 4], 2.0, 0.0);
+        after.import_state(&state);
+        let ctx = EstimateContext::default();
+        assert_eq!(
+            after.estimate(&j, &ctx).mem_kb,
+            before.estimate(&j, &ctx).mem_kb,
+            "restored estimator must serve the learned estimate, not R"
+        );
+        assert_eq!(after.export_state(), state);
+    }
+
+    #[test]
+    fn import_sanitizes_alpha_below_one() {
+        let mut est = estimator(&[32, 16], 2.0, 0.0);
+        let j = job(32, 4);
+        cycle(&mut est, &j);
+        let mut state = est.export_state();
+        state[0].alpha = 0.5; // corrupted persistence
+        let mut fresh = estimator(&[32, 16], 2.0, 0.0);
+        fresh.import_state(&state);
+        // alpha is floored at 1 so estimates can never grow via division.
+        let ctx = EstimateContext::default();
+        let d1 = fresh.estimate(&j, &ctx);
+        fresh.feedback(&j, &d1, &Feedback::success(), &ctx);
+        let d2 = fresh.estimate(&j, &ctx);
+        assert!(d2.mem_kb <= d1.mem_kb);
+    }
+
+    #[test]
+    fn exported_state_is_sorted_and_serializable() {
+        let mut est = estimator(&[32, 16], 2.0, 0.0);
+        for user in [3u32, 1, 2] {
+            let j = JobBuilder::new(1)
+                .user(user)
+                .app(1)
+                .requested_mem_kb(32 * MB)
+                .used_mem_kb(4 * MB)
+                .build();
+            let ctx = EstimateContext::default();
+            let d = est.estimate(&j, &ctx);
+            est.feedback(&j, &d, &Feedback::success(), &ctx);
+        }
+        let state = est.export_state();
+        assert_eq!(state.len(), 3);
+        assert!(state.windows(2).all(|w| w[0].key <= w[1].key));
+    }
+
+    #[test]
+    fn packages_pass_through_untouched() {
+        let mut est = estimator(&[32], 2.0, 0.0);
+        let j = JobBuilder::new(1)
+            .requested_mem_kb(32 * MB)
+            .requested_packages(0b101)
+            .build();
+        let d = est.estimate(&j, &EstimateContext::default());
+        assert_eq!(d.packages, 0b101);
+    }
+}

@@ -1,0 +1,161 @@
+//! The estimator interface.
+//!
+//! The paper's Figure 2 places the estimator between job submission and
+//! resource allocation: `estimate` maps a job (plus a little scheduler
+//! context) to the demand the allocator should match, and `feedback` closes
+//! the loop when the job terminates. The estimator is deliberately
+//! independent of scheduling policy and allocation scheme — the same trait
+//! object plugs into FCFS, backfilling, or SJF unchanged.
+
+use resmatch_cluster::Demand;
+use resmatch_workload::Job;
+
+/// Scheduler-side context available at estimation time. Similarity-based
+/// estimators ignore it; the reinforcement-learning estimator conditions its
+/// policy on it (the paper's §4: "the status of each node ... and the
+/// requested resource capacities of the jobs in the queue").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimateContext {
+    /// Jobs currently waiting.
+    pub queue_len: usize,
+    /// Fraction of cluster nodes currently free, in `[0, 1]`.
+    pub free_fraction: f64,
+}
+
+impl Default for EstimateContext {
+    fn default() -> Self {
+        EstimateContext {
+            queue_len: 0,
+            free_fraction: 1.0,
+        }
+    }
+}
+
+/// Termination feedback for one job execution.
+///
+/// *Implicit* feedback is the bare success/failure bit every cluster
+/// reports. *Explicit* feedback adds the actually used capacities, which
+/// requires monitoring infrastructure but lets estimators distinguish
+/// under-allocation from unrelated failures (the paper's false-positive
+/// discussion in §2.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Feedback {
+    /// Only the termination status is known.
+    Implicit {
+        /// Did the job complete successfully?
+        success: bool,
+    },
+    /// The termination status plus measured peak usage.
+    Explicit {
+        /// Did the job complete successfully?
+        success: bool,
+        /// Peak capacities the job actually consumed, per node.
+        used: Demand,
+    },
+}
+
+impl Feedback {
+    /// Implicit success.
+    pub fn success() -> Self {
+        Feedback::Implicit { success: true }
+    }
+
+    /// Implicit failure.
+    pub fn failure() -> Self {
+        Feedback::Implicit { success: false }
+    }
+
+    /// Explicit feedback with measured usage.
+    pub fn explicit(success: bool, used: Demand) -> Self {
+        Feedback::Explicit { success, used }
+    }
+
+    /// The success bit, whichever variant.
+    pub fn is_success(&self) -> bool {
+        match *self {
+            Feedback::Implicit { success } | Feedback::Explicit { success, .. } => success,
+        }
+    }
+
+    /// Measured usage, when available.
+    pub fn used(&self) -> Option<Demand> {
+        match *self {
+            Feedback::Explicit { used, .. } => Some(used),
+            Feedback::Implicit { .. } => None,
+        }
+    }
+}
+
+/// A resource-requirement estimator (Figure 2's "Estimator" box).
+///
+/// Contract: `estimate` must never exceed the job's stated request on any
+/// axis — the paper assumes requests always cover actual usage, so
+/// estimation only ever *frees* capacity. All implementations in this crate
+/// uphold this, and the simulator debug-asserts it.
+pub trait ResourceEstimator: Send {
+    /// Estimator name for reports and experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Estimate the demand to allocate for `job`.
+    fn estimate(&mut self, job: &Job, ctx: &EstimateContext) -> Demand;
+
+    /// Learn from a terminated execution of `job` that was `granted` the
+    /// given demand.
+    fn feedback(&mut self, job: &Job, granted: &Demand, feedback: &Feedback, ctx: &EstimateContext);
+}
+
+/// The demand a job's raw request corresponds to (no estimation).
+pub fn requested_demand(job: &Job) -> Demand {
+    Demand {
+        mem_kb: job.requested_mem_kb,
+        disk_kb: 0,
+        packages: job.requested_packages,
+    }
+}
+
+/// The demand a job actually needs (oracle knowledge).
+pub fn used_demand(job: &Job) -> Demand {
+    Demand {
+        mem_kb: job.used_mem_kb,
+        disk_kb: 0,
+        packages: job.used_packages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resmatch_workload::job::JobBuilder;
+
+    #[test]
+    fn feedback_accessors() {
+        assert!(Feedback::success().is_success());
+        assert!(!Feedback::failure().is_success());
+        assert_eq!(Feedback::success().used(), None);
+        let fb = Feedback::explicit(true, Demand::memory(42));
+        assert!(fb.is_success());
+        assert_eq!(fb.used(), Some(Demand::memory(42)));
+    }
+
+    #[test]
+    fn demand_extraction() {
+        let job = JobBuilder::new(1)
+            .requested_mem_kb(100)
+            .used_mem_kb(30)
+            .requested_packages(0b11)
+            .used_packages(0b01)
+            .build();
+        assert_eq!(requested_demand(&job).mem_kb, 100);
+        assert_eq!(requested_demand(&job).packages, 0b11);
+        assert_eq!(used_demand(&job).mem_kb, 30);
+        assert_eq!(used_demand(&job).packages, 0b01);
+        assert!(used_demand(&job).within(&requested_demand(&job)));
+    }
+
+    #[test]
+    fn default_context_is_idle() {
+        let ctx = EstimateContext::default();
+        assert_eq!(ctx.queue_len, 0);
+        assert_eq!(ctx.free_fraction, 1.0);
+    }
+}

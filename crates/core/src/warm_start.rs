@@ -1,0 +1,279 @@
+//! Warm-started successive approximation — the §4 initialization
+//! future-work item.
+//!
+//! Algorithm 1 initializes every new group's estimate at the user request
+//! `R` and pays one probing step per halving to walk down from it; the
+//! paper lists "more formal ways to initialize the learning algorithm's
+//! parameters" as an open problem. This estimator initializes each new
+//! group's `Eᵢ` from an offline regression prior instead: a linear model
+//! trained on a historical trace (with recorded usage) predicts the group's
+//! likely need, inflated by a configurable head-room factor, and the group
+//! starts its successive-approximation walk from there.
+//!
+//! The prior is only a starting point — failures still restore to the
+//! trusted request (the seed is never treated as a confirmed-safe level),
+//! so a bad prior costs one extra failure, never a stuck group.
+
+use resmatch_cluster::{CapacityLadder, Demand};
+use resmatch_workload::{Job, Workload};
+
+use crate::regression::{RegressionConfig, RegressionEstimator};
+use crate::successive::{SuccessiveApproximation, SuccessiveConfig};
+use crate::traits::{EstimateContext, Feedback, ResourceEstimator};
+
+/// Tunables for [`WarmStartEstimator`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WarmStartConfig {
+    /// Inner Algorithm 1 parameters.
+    pub successive: SuccessiveConfig,
+    /// Prior-model parameters.
+    pub regression: RegressionConfig,
+    /// Multiplier on the prior prediction (>= 1); absorbs model error so a
+    /// slightly-low prior does not start the group under water.
+    pub prior_headroom: f64,
+}
+
+impl Default for WarmStartConfig {
+    fn default() -> Self {
+        WarmStartConfig {
+            successive: SuccessiveConfig::default(),
+            regression: RegressionConfig::default(),
+            prior_headroom: 2.0,
+        }
+    }
+}
+
+/// Successive approximation with regression-seeded group initialization.
+pub struct WarmStartEstimator {
+    cfg: WarmStartConfig,
+    inner: SuccessiveApproximation,
+    prior: RegressionEstimator,
+    seeded_groups: u64,
+}
+
+impl WarmStartEstimator {
+    /// Create untrained (groups start at the request until the prior is
+    /// fitted); call [`Self::fit_offline`] to arm the prior.
+    ///
+    /// # Panics
+    /// Panics unless `prior_headroom >= 1`.
+    pub fn new(cfg: WarmStartConfig, ladder: CapacityLadder) -> Self {
+        assert!(cfg.prior_headroom >= 1.0, "headroom must be at least 1");
+        WarmStartEstimator {
+            inner: SuccessiveApproximation::new(cfg.successive, ladder),
+            prior: RegressionEstimator::new(cfg.regression),
+            cfg,
+            seeded_groups: 0,
+        }
+    }
+
+    /// Train the prior on a historical trace with recorded usage (the
+    /// paper's offline customization phase).
+    pub fn fit_offline(&mut self, history: &Workload) {
+        self.prior.fit_offline(history);
+    }
+
+    /// Whether the prior model is armed.
+    pub fn prior_trained(&self) -> bool {
+        self.prior.is_trained()
+    }
+
+    /// Groups whose initial estimate came from the prior.
+    pub fn seeded_groups(&self) -> u64 {
+        self.seeded_groups
+    }
+
+    /// Access the inner Algorithm 1 estimator.
+    pub fn inner(&self) -> &SuccessiveApproximation {
+        &self.inner
+    }
+}
+
+impl ResourceEstimator for WarmStartEstimator {
+    fn name(&self) -> &'static str {
+        "warm-start-successive"
+    }
+
+    fn estimate(&mut self, job: &Job, ctx: &EstimateContext) -> Demand {
+        if self.prior.is_trained() && self.inner.group_snapshot(job).is_none() {
+            let predicted = self.prior.estimate(job, ctx).mem_kb as f64;
+            let seed = predicted * self.cfg.prior_headroom;
+            if self.inner.seed_group(job, seed) {
+                self.seeded_groups += 1;
+            }
+        }
+        self.inner.estimate(job, ctx)
+    }
+
+    fn feedback(&mut self, job: &Job, granted: &Demand, fb: &Feedback, ctx: &EstimateContext) {
+        self.inner.feedback(job, granted, fb, ctx);
+        // Keep improving the prior whenever measured usage is available.
+        self.prior.feedback(job, granted, fb, ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resmatch_workload::job::JobBuilder;
+    use resmatch_workload::Time;
+
+    const MB: u64 = 1024;
+
+    fn ladder() -> CapacityLadder {
+        CapacityLadder::new(vec![32 * MB, 24 * MB, 16 * MB, 8 * MB, 4 * MB])
+    }
+
+    /// History where every job uses a quarter of its request.
+    fn history(n: u64) -> Workload {
+        Workload::new(
+            (0..n)
+                .map(|i| {
+                    let req = 16 * MB + (i % 3) * 8 * MB;
+                    JobBuilder::new(i)
+                        .submit(Time::from_secs(i))
+                        .nodes(32)
+                        .requested_mem_kb(req)
+                        .used_mem_kb(req / 4)
+                        .build()
+                })
+                .collect(),
+        )
+    }
+
+    fn job(id: u64) -> Job {
+        JobBuilder::new(id)
+            .user(9)
+            .app(9)
+            .nodes(32)
+            .requested_mem_kb(32 * MB)
+            .used_mem_kb(7 * MB)
+            .build()
+    }
+
+    #[test]
+    fn untrained_behaves_like_plain_successive() {
+        let mut warm = WarmStartEstimator::new(WarmStartConfig::default(), ladder());
+        let mut plain = SuccessiveApproximation::new(SuccessiveConfig::default(), ladder());
+        let ctx = EstimateContext::default();
+        assert!(!warm.prior_trained());
+        assert_eq!(
+            warm.estimate(&job(1), &ctx),
+            plain.estimate(&job(1), &ctx)
+        );
+        assert_eq!(warm.seeded_groups(), 0);
+    }
+
+    #[test]
+    fn trained_prior_skips_the_walk() {
+        let mut warm = WarmStartEstimator::new(WarmStartConfig::default(), ladder());
+        warm.fit_offline(&history(200));
+        assert!(warm.prior_trained());
+        let ctx = EstimateContext::default();
+        // Prior predicts ~8 MB (32/4); headroom 2 → seed ~16 MB: the very
+        // first submission already probes below the request.
+        let d = warm.estimate(&job(1), &ctx);
+        assert!(
+            d.mem_kb < 32 * MB,
+            "first estimate {} should start below the request",
+            d.mem_kb
+        );
+        assert!(d.mem_kb >= 7 * MB, "seed must still cover actual usage");
+        assert_eq!(warm.seeded_groups(), 1);
+    }
+
+    #[test]
+    fn bad_prior_recovers_via_restore_to_request() {
+        // A prior that under-predicts: usage history says 1/4, but this
+        // group uses 90% of its request. The seeded first attempt fails and
+        // the restore must go to the *request*, not the bogus seed.
+        let mut warm = WarmStartEstimator::new(
+            WarmStartConfig {
+                prior_headroom: 1.0,
+                ..WarmStartConfig::default()
+            },
+            ladder(),
+        );
+        warm.fit_offline(&history(200));
+        let hungry = JobBuilder::new(1)
+            .user(3)
+            .app(3)
+            .nodes(32)
+            .requested_mem_kb(32 * MB)
+            .used_mem_kb(30 * MB)
+            .build();
+        let ctx = EstimateContext::default();
+        let d1 = warm.estimate(&hungry, &ctx);
+        assert!(d1.mem_kb < 30 * MB, "seed under-predicts by construction");
+        warm.feedback(&hungry, &d1, &Feedback::failure(), &ctx);
+        let d2 = warm.estimate(&hungry, &ctx);
+        assert_eq!(d2.mem_kb, 32 * MB, "restore must fall back to the request");
+        warm.feedback(&hungry, &d2, &Feedback::success(), &ctx);
+    }
+
+    #[test]
+    fn seed_never_exceeds_request() {
+        let mut warm = WarmStartEstimator::new(
+            WarmStartConfig {
+                prior_headroom: 100.0,
+                ..WarmStartConfig::default()
+            },
+            ladder(),
+        );
+        warm.fit_offline(&history(200));
+        let ctx = EstimateContext::default();
+        let d = warm.estimate(&job(1), &ctx);
+        assert!(d.mem_kb <= 32 * MB);
+    }
+
+    #[test]
+    fn seeding_happens_once_per_group() {
+        let mut warm = WarmStartEstimator::new(WarmStartConfig::default(), ladder());
+        warm.fit_offline(&history(200));
+        let ctx = EstimateContext::default();
+        for i in 0..5 {
+            let _ = warm.estimate(&job(i), &ctx); // same (user, app, request)
+        }
+        assert_eq!(warm.seeded_groups(), 1);
+    }
+
+    #[test]
+    fn explicit_feedback_keeps_training_the_prior() {
+        let mut warm = WarmStartEstimator::new(
+            WarmStartConfig {
+                regression: RegressionConfig {
+                    min_samples: 10,
+                    refit_interval: 5,
+                    ..RegressionConfig::default()
+                },
+                ..WarmStartConfig::default()
+            },
+            ladder(),
+        );
+        let ctx = EstimateContext::default();
+        for i in 0..30u64 {
+            let j = JobBuilder::new(i)
+                .user(i as u32)
+                .app(1)
+                .nodes(16)
+                .requested_mem_kb(16 * MB)
+                .used_mem_kb(4 * MB)
+                .build();
+            let d = warm.estimate(&j, &ctx);
+            warm.feedback(&j, &d, &Feedback::explicit(true, Demand::memory(4 * MB)), &ctx);
+        }
+        assert!(warm.prior_trained(), "online explicit feedback must arm the prior");
+    }
+
+    #[test]
+    #[should_panic(expected = "headroom must be at least 1")]
+    fn rejects_deflating_headroom() {
+        let _ = WarmStartEstimator::new(
+            WarmStartConfig {
+                prior_headroom: 0.5,
+                ..WarmStartConfig::default()
+            },
+            ladder(),
+        );
+    }
+}

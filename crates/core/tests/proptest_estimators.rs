@@ -1,0 +1,182 @@
+//! Property-based tests on estimator invariants.
+//!
+//! The load-bearing contract: an estimator's demand never exceeds the job's
+//! request on any axis, whatever feedback history it has seen — that is
+//! what makes estimation purely capacity-*freeing*.
+
+use proptest::prelude::*;
+use resmatch_cluster::{CapacityLadder, Demand};
+use resmatch_core::prelude::*;
+use resmatch_workload::job::JobBuilder;
+use resmatch_workload::Job;
+
+const MB: u64 = 1024;
+
+/// A compact script of job submissions with outcomes decided by usage vs.
+/// granted capacity (like the simulator does).
+#[derive(Debug, Clone)]
+struct Submission {
+    user: u32,
+    app: u32,
+    req_mb: u64,
+    used_frac: f64,
+}
+
+fn arb_submissions() -> impl Strategy<Value = Vec<Submission>> {
+    prop::collection::vec(
+        (0u32..4, 0u32..3, 1u64..33, 0.01f64..1.0).prop_map(|(user, app, req_mb, used_frac)| {
+            Submission {
+                user,
+                app,
+                req_mb,
+                used_frac,
+            }
+        }),
+        1..80,
+    )
+}
+
+fn to_job(id: u64, s: &Submission) -> Job {
+    let req = s.req_mb * MB;
+    let used = ((req as f64 * s.used_frac) as u64).max(1);
+    JobBuilder::new(id)
+        .user(s.user)
+        .app(s.app)
+        .requested_mem_kb(req)
+        .used_mem_kb(used)
+        .build()
+}
+
+fn ladder() -> CapacityLadder {
+    CapacityLadder::new(vec![32 * MB, 24 * MB, 16 * MB, 8 * MB, 4 * MB, 2 * MB, MB])
+}
+
+/// Drive an estimator through the script; assert the contract at each step.
+fn assert_contract(est: &mut dyn ResourceEstimator, subs: &[Submission]) -> Result<(), TestCaseError> {
+    let ctx = EstimateContext::default();
+    let l = ladder();
+    for (i, s) in subs.iter().enumerate() {
+        let job = to_job(i as u64, s);
+        let d = est.estimate(&job, &ctx);
+        prop_assert!(
+            d.mem_kb <= job.requested_mem_kb,
+            "{}: demand {} exceeds request {}",
+            est.name(),
+            d.mem_kb,
+            job.requested_mem_kb
+        );
+        prop_assert!(d.mem_kb > 0, "{}: zero demand", est.name());
+        prop_assert_eq!(d.packages & !job.requested_packages, 0);
+        // Outcome by the simulator's rule: the node granted is the rung
+        // covering the demand.
+        let node = l.round_up(d.mem_kb).unwrap_or(d.mem_kb);
+        let success = job.used_mem_kb <= node;
+        let fb = if success {
+            Feedback::explicit(true, Demand::memory(job.used_mem_kb))
+        } else {
+            Feedback::explicit(false, Demand::memory(node))
+        };
+        est.feedback(&job, &d, &fb, &ctx);
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn successive_never_exceeds_request(subs in arb_submissions()) {
+        let mut est = SuccessiveApproximation::new(SuccessiveConfig::default(), ladder());
+        assert_contract(&mut est, &subs)?;
+    }
+
+    #[test]
+    fn successive_contract_holds_for_any_alpha_beta(
+        subs in arb_submissions(),
+        alpha in 1.01f64..16.0,
+        beta in 0.0f64..0.99,
+    ) {
+        let mut est = SuccessiveApproximation::new(
+            SuccessiveConfig {
+                alpha,
+                beta,
+                policy: resmatch_core::similarity::SimilarityPolicy::UserAppRequest,
+            },
+            ladder(),
+        );
+        assert_contract(&mut est, &subs)?;
+    }
+
+    #[test]
+    fn last_instance_never_exceeds_request(subs in arb_submissions()) {
+        let mut est = LastInstance::new(LastInstanceConfig::default());
+        assert_contract(&mut est, &subs)?;
+    }
+
+    #[test]
+    fn regression_never_exceeds_request(subs in arb_submissions()) {
+        let mut est = RegressionEstimator::new(RegressionConfig {
+            min_samples: 5,
+            refit_interval: 7,
+            ..RegressionConfig::default()
+        });
+        assert_contract(&mut est, &subs)?;
+    }
+
+    #[test]
+    fn reinforcement_never_exceeds_request(subs in arb_submissions(), seed in 0u64..1000) {
+        let mut est = ReinforcementEstimator::new(ReinforcementConfig {
+            seed,
+            ..ReinforcementConfig::default()
+        });
+        assert_contract(&mut est, &subs)?;
+    }
+
+    #[test]
+    fn robust_never_exceeds_request(subs in arb_submissions()) {
+        let mut est = RobustBisection::new(RobustConfig::default());
+        assert_contract(&mut est, &subs)?;
+    }
+
+    #[test]
+    fn successive_estimates_are_monotone_between_failures(
+        req_mb in 2u64..33,
+        used_frac in 0.01f64..1.0,
+        cycles in 2usize..30,
+    ) {
+        // Within a streak of successes, granted capacity never increases.
+        let mut est = SuccessiveApproximation::new(SuccessiveConfig::default(), ladder());
+        let ctx = EstimateContext::default();
+        let l = ladder();
+        let mut last_granted = u64::MAX;
+        for i in 0..cycles {
+            let s = Submission { user: 1, app: 1, req_mb, used_frac };
+            let job = to_job(i as u64, &s);
+            let d = est.estimate(&job, &ctx);
+            let node = l.round_up(d.mem_kb).unwrap_or(d.mem_kb);
+            let success = job.used_mem_kb <= node;
+            if success {
+                prop_assert!(d.mem_kb <= last_granted);
+                last_granted = d.mem_kb;
+            } else {
+                last_granted = u64::MAX; // restore may raise the estimate
+            }
+            est.feedback(
+                &job,
+                &d,
+                &if success { Feedback::success() } else { Feedback::failure() },
+                &ctx,
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_and_passthrough_are_exact(subs in arb_submissions()) {
+        let ctx = EstimateContext::default();
+        let mut oracle = Oracle;
+        let mut pt = PassThrough;
+        for (i, s) in subs.iter().enumerate() {
+            let job = to_job(i as u64, s);
+            prop_assert_eq!(oracle.estimate(&job, &ctx).mem_kb, job.used_mem_kb);
+            prop_assert_eq!(pt.estimate(&job, &ctx).mem_kb, job.requested_mem_kb);
+        }
+    }
+}

@@ -1,0 +1,1343 @@
+//! The discrete-event simulation engine.
+//!
+//! Faithfully implements the paper's §3.1 environment:
+//!
+//! - jobs arrive by trace submit time and pass through the estimator before
+//!   resource matching (Figure 2's pipeline);
+//! - space sharing, no preemption;
+//! - a job whose allocation cannot actually hold it (actual usage exceeds
+//!   the weakest allocated node, or an exercised package is missing) "fails
+//!   after a random time, drawn uniformly between zero and the execution
+//!   run-time of that job" and "returns to the head of the queue";
+//! - failed work is wasted: utilization counts goodput only.
+//!
+//! Engine-level semantics the paper leaves implicit:
+//!
+//! - estimates are *refreshed* while a job queues: feedback from any
+//!   completed execution advances a global epoch, and a queued entry whose
+//!   estimate predates the epoch is re-estimated just before allocation —
+//!   matching a live scheduler, where matching always consults the
+//!   estimator's current state;
+//! - after `max_estimation_attempts` failed executions the engine bypasses
+//!   the estimator and submits the raw user request, bounding retry storms
+//!   for pathological groups;
+//! - jobs whose full request can never be satisfied by the cluster are
+//!   dropped up front (the paper removes the six 1024-node CM5 jobs for the
+//!   same reason).
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use resmatch_cluster::{Allocation, Cluster, Demand, MatchPolicy};
+use resmatch_core::traits::{requested_demand, used_demand};
+use resmatch_core::{EstimateContext, Feedback, ResourceEstimator};
+use resmatch_workload::{Job, JobId, Time, Workload};
+
+use crate::event::{Event, EventQueue};
+use crate::metrics::{JobRecord, SimResult};
+use crate::scheduler::{shadow_time, SchedulingPolicy};
+use crate::spec::EstimatorSpec;
+use crate::tracelog::{TraceKind, TraceLog};
+
+/// Which feedback the cluster infrastructure can deliver (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FeedbackMode {
+    /// Success/failure bit only — "supported by every cluster and
+    /// scheduling system"; the paper's simulations assume this.
+    #[default]
+    Implicit,
+    /// Success plus measured peak usage — requires monitoring
+    /// infrastructure.
+    Explicit,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Queue discipline (paper: FCFS).
+    pub scheduling: SchedulingPolicy,
+    /// Pool ordering for allocation (paper scenario implies best-fit).
+    pub match_policy: MatchPolicy,
+    /// Feedback the estimator receives.
+    pub feedback: FeedbackMode,
+    /// Failed executions after which the engine bypasses the estimator and
+    /// submits the raw request.
+    pub max_estimation_attempts: u32,
+    /// Probability that a correctly provisioned execution fails anyway
+    /// (faulty program / faulty machine — the §2.1 false-positive hazard).
+    pub false_positive_rate: f64,
+    /// Seed for failure-time draws and fault injection.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            scheduling: SchedulingPolicy::Fcfs,
+            match_policy: MatchPolicy::BestFit,
+            feedback: FeedbackMode::Implicit,
+            max_estimation_attempts: 3,
+            false_positive_rate: 0.0,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// A queued (re)submission.
+#[derive(Debug, Clone)]
+struct Queued {
+    job: usize,
+    attempts: u32,
+    demand: Demand,
+    /// Feedback epoch the estimate was computed at.
+    epoch: u64,
+    /// Demand is strictly below the request (memory or packages).
+    lowered: bool,
+    /// Estimation strictly enlarged the candidate-machine set.
+    benefited: bool,
+}
+
+/// A running execution.
+struct Running {
+    job: usize,
+    start: Time,
+    /// Conservative completion estimate for backfilling reservations.
+    expected_end: Time,
+    alloc: Allocation,
+    lowered: bool,
+    benefited: bool,
+    /// The execution was granted the full user request (no estimation).
+    at_request: bool,
+    /// The allocation genuinely cannot hold the job (as opposed to an
+    /// injected fault).
+    resource_failure: bool,
+}
+
+/// Per-job progress across retries.
+#[derive(Debug, Clone, Copy, Default)]
+struct Progress {
+    failed_executions: u32,
+    wasted_node_seconds: f64,
+}
+
+/// Mutable state of one simulation run.
+struct RunState<'a> {
+    jobs: &'a [Job],
+    queue: VecDeque<Queued>,
+    /// Slab of executions; `ExecutionEnd.run_id` indexes it. Entries are
+    /// taken when they end.
+    running: Vec<Option<Running>>,
+    running_count: usize,
+    events: EventQueue,
+    progress: Vec<Progress>,
+    records: Vec<JobRecord>,
+    rng: StdRng,
+    /// Bumped on every estimator feedback; stale queue entries re-estimate.
+    epoch: u64,
+    total_executions: u64,
+    failed_executions: u64,
+    goodput: f64,
+    wasted: f64,
+    last_completion: Time,
+    /// Jobs rejected up front or abandoned after failing at their full
+    /// request (the trace's request did not cover its usage).
+    dropped_jobs: usize,
+    /// Decision log, when enabled.
+    log: Option<TraceLog>,
+    /// Time-weighted accumulators for queue statistics.
+    last_event_time: Time,
+    queue_len_time: f64,
+    busy_nodes_time: f64,
+    weighted_span_s: f64,
+    /// Busy-node-seconds per pool (construction order).
+    pool_busy_time: Vec<f64>,
+}
+
+/// A scheduled change in cluster membership — the paper's §1.1 setting
+/// where "machines can dynamically join and leave the systems at any time".
+///
+/// Negative `delta` takes up to that many *free* nodes of the given memory
+/// capacity offline — the engine never revokes a running job, so if fewer
+/// are free, fewer leave. Positive `delta` brings previously departed
+/// nodes back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnEvent {
+    /// When the change takes effect.
+    pub time: Time,
+    /// Memory capacity (KB) identifying the pool.
+    pub mem_kb: u64,
+    /// Nodes leaving (< 0) or rejoining (> 0).
+    pub delta: i64,
+}
+
+/// A configured simulation, ready to run a workload.
+pub struct Simulation {
+    cfg: SimConfig,
+    cluster: Cluster,
+    estimator: Box<dyn ResourceEstimator>,
+    churn: Vec<ChurnEvent>,
+    trace_log: bool,
+}
+
+impl Simulation {
+    /// Build from an estimator spec (instantiated against this cluster's
+    /// capacity ladder).
+    pub fn new(cfg: SimConfig, cluster: Cluster, spec: EstimatorSpec) -> Self {
+        let estimator = spec.build(&cluster.memory_ladder());
+        Simulation {
+            cfg,
+            cluster,
+            estimator,
+            churn: Vec::new(),
+            trace_log: false,
+        }
+    }
+
+    /// Build with a caller-provided estimator (custom implementations).
+    pub fn with_estimator(
+        cfg: SimConfig,
+        cluster: Cluster,
+        estimator: Box<dyn ResourceEstimator>,
+    ) -> Self {
+        Simulation {
+            cfg,
+            cluster,
+            estimator,
+            churn: Vec::new(),
+            trace_log: false,
+        }
+    }
+
+    /// Record every scheduling decision into [`SimResult::trace_log`]
+    /// (off by default: large traces produce large logs).
+    pub fn with_trace_log(mut self) -> Self {
+        self.trace_log = true;
+        self
+    }
+
+    /// Attach a dynamic-membership schedule. A job that can never run on
+    /// the nodes remaining online is eventually counted as dropped rather
+    /// than waited on forever.
+    pub fn with_churn(mut self, churn: Vec<ChurnEvent>) -> Self {
+        self.churn = churn;
+        self
+    }
+
+    /// Run the workload to completion and report metrics.
+    pub fn run(mut self, workload: &Workload) -> SimResult {
+        let jobs = workload.jobs();
+        let total_nodes = self.cluster.total_nodes();
+        let first_submit = jobs.first().map(|j| j.submit).unwrap_or(Time::ZERO);
+
+        let mut state = RunState {
+            jobs,
+            queue: VecDeque::new(),
+            running: Vec::new(),
+            running_count: 0,
+            events: EventQueue::new(),
+            progress: vec![Progress::default(); jobs.len()],
+            records: Vec::with_capacity(jobs.len()),
+            rng: StdRng::seed_from_u64(self.cfg.seed),
+            epoch: 0,
+            total_executions: 0,
+            failed_executions: 0,
+            goodput: 0.0,
+            wasted: 0.0,
+            last_completion: Time::ZERO,
+            dropped_jobs: 0,
+            log: self.trace_log.then(TraceLog::default),
+            last_event_time: first_submit,
+            queue_len_time: 0.0,
+            busy_nodes_time: 0.0,
+            weighted_span_s: 0.0,
+            pool_busy_time: vec![0.0; self.cluster.pool_occupancy().len()],
+        };
+
+        for (idx, job) in jobs.iter().enumerate() {
+            if self.cluster.nodes_satisfying(&requested_demand(job)) < job.nodes {
+                state.dropped_jobs += 1;
+            } else {
+                state.events.push(job.submit, Event::Arrival { job: idx });
+            }
+        }
+        for (index, churn) in self.churn.iter().enumerate() {
+            state.events.push(churn.time, Event::Churn { index });
+        }
+
+        while let Some((now, event)) = state.events.pop() {
+            // Time-weighted queue/occupancy statistics: the state observed
+            // since the previous event held for `dt`.
+            let dt = now.saturating_sub(state.last_event_time).as_secs_f64();
+            state.last_event_time = now;
+            state.queue_len_time += state.queue.len() as f64 * dt;
+            state.busy_nodes_time += self.cluster.busy_nodes() as f64 * dt;
+            state.weighted_span_s += dt;
+            if dt > 0.0 {
+                for (slot, (_, _, busy)) in state
+                    .pool_busy_time
+                    .iter_mut()
+                    .zip(self.cluster.pool_occupancy())
+                {
+                    *slot += busy as f64 * dt;
+                }
+            }
+            match event {
+                Event::Arrival { job } => {
+                    let queue_len = state.queue.len();
+                    let queued = self.admit(&jobs[job], job, 0, queue_len, state.epoch);
+                    if let Some(log) = &mut state.log {
+                        log.push(
+                            now,
+                            jobs[job].id,
+                            TraceKind::Admitted {
+                                demand_kb: queued.demand.mem_kb,
+                                attempt: 0,
+                            },
+                        );
+                    }
+                    state.queue.push_back(queued);
+                }
+                Event::ExecutionEnd { run_id, success } => {
+                    self.finish_execution(&mut state, now, run_id, success);
+                }
+                Event::Churn { index } => {
+                    let ev = self.churn[index];
+                    let applied = if ev.delta < 0 {
+                        -(self.cluster.take_offline(ev.mem_kb, (-ev.delta) as u32) as i64)
+                    } else {
+                        self.cluster.bring_online(ev.mem_kb, ev.delta as u32) as i64
+                    };
+                    if let Some(log) = &mut state.log {
+                        log.push(now, JobId(0), TraceKind::Churn { delta: applied });
+                    }
+                    // Capacity changed: queued estimates may now round to
+                    // different rungs, so force re-admission.
+                    state.epoch += 1;
+                }
+            }
+            self.schedule(&mut state, now);
+        }
+
+        // With dynamic membership a queued job can outlive the nodes it
+        // needs; whatever is still queued after the last event can never
+        // start and is accounted as dropped.
+        state.dropped_jobs += state.queue.len();
+        debug_assert!(
+            !self.churn.is_empty() || state.queue.is_empty(),
+            "without churn no job may starve"
+        );
+        debug_assert_eq!(state.running_count, 0);
+        debug_assert_eq!(
+            self.cluster.free_nodes() + self.cluster.offline_nodes(),
+            total_nodes
+        );
+
+        SimResult {
+            estimator: self.estimator.name().to_string(),
+            completed_jobs: state.records.len(),
+            dropped_jobs: state.dropped_jobs,
+            total_executions: state.total_executions,
+            failed_executions: state.failed_executions,
+            total_nodes,
+            first_submit,
+            last_completion: state.last_completion,
+            goodput_node_seconds: state.goodput,
+            wasted_node_seconds: state.wasted,
+            records: state.records,
+            trace_log: state.log.unwrap_or_default(),
+            mean_queue_length: if state.weighted_span_s > 0.0 {
+                state.queue_len_time / state.weighted_span_s
+            } else {
+                0.0
+            },
+            mean_busy_nodes: if state.weighted_span_s > 0.0 {
+                state.busy_nodes_time / state.weighted_span_s
+            } else {
+                0.0
+            },
+            pool_stats: self
+                .cluster
+                .pool_occupancy()
+                .iter()
+                .zip(&state.pool_busy_time)
+                .map(|(&(mem_kb, nodes, _), &busy_time)| crate::metrics::PoolStats {
+                    mem_kb,
+                    nodes,
+                    mean_busy_fraction: if state.weighted_span_s > 0.0 && nodes > 0 {
+                        busy_time / (state.weighted_span_s * nodes as f64)
+                    } else {
+                        0.0
+                    },
+                })
+                .collect(),
+        }
+    }
+
+    /// Handle an execution's end: release nodes, deliver feedback, record or
+    /// requeue.
+    fn finish_execution(&mut self, state: &mut RunState<'_>, now: Time, run_id: u64, success: bool) {
+        let run = state.running[run_id as usize]
+            .take()
+            .expect("execution ends exactly once");
+        state.running_count -= 1;
+        let job = &state.jobs[run.job];
+        let min_mem = self.cluster.allocation_min_mem(&run.alloc);
+        let granted = Demand {
+            mem_kb: min_mem,
+            disk_kb: 0,
+            packages: self.cluster.allocation_packages(&run.alloc) & job.requested_packages,
+        };
+        self.cluster.release(run.alloc);
+
+        let ctx = EstimateContext {
+            queue_len: state.queue.len(),
+            free_fraction: self.cluster.free_nodes() as f64 / self.cluster.total_nodes() as f64,
+        };
+        let fb = match (self.cfg.feedback, success) {
+            (FeedbackMode::Implicit, s) => Feedback::Implicit { success: s },
+            (FeedbackMode::Explicit, true) => Feedback::explicit(true, used_demand(job)),
+            (FeedbackMode::Explicit, false) => {
+                // A failed run's measurement is truncated at the
+                // allocation's ceiling.
+                let mut used = used_demand(job);
+                used.mem_kb = used.mem_kb.min(min_mem);
+                Feedback::explicit(false, used)
+            }
+        };
+        self.estimator.feedback(job, &granted, &fb, &ctx);
+        state.epoch += 1;
+        if let Some(log) = &mut state.log {
+            log.push(
+                now,
+                job.id,
+                if success {
+                    TraceKind::Completed
+                } else {
+                    TraceKind::Failed
+                },
+            );
+        }
+
+        if success {
+            state.goodput += job.nodes as f64 * job.runtime.as_secs_f64();
+            state.last_completion = state.last_completion.max(now);
+            state.records.push(JobRecord {
+                id: job.id,
+                submit: job.submit,
+                final_start: run.start,
+                completion: now,
+                runtime: job.runtime,
+                nodes: job.nodes,
+                failed_executions: state.progress[run.job].failed_executions,
+                lowered: run.lowered,
+                benefited: run.benefited,
+                wasted_node_seconds: state.progress[run.job].wasted_node_seconds,
+            });
+        } else {
+            state.failed_executions += 1;
+            let burn = job.nodes as f64 * now.saturating_sub(run.start).as_secs_f64();
+            state.wasted += burn;
+            state.progress[run.job].failed_executions += 1;
+            state.progress[run.job].wasted_node_seconds += burn;
+            if run.resource_failure && run.at_request {
+                // Even the full user request cannot hold this job — the
+                // trace violates the paper's request-covers-usage
+                // assumption. Retrying can never succeed; abandon it.
+                state.dropped_jobs += 1;
+            } else {
+                // "Once it fails, the job returns to the head of the
+                // queue" — with a fresh (post-feedback) estimate.
+                let attempts = state.progress[run.job].failed_executions;
+                let queue_len = state.queue.len();
+                let queued = self.admit(job, run.job, attempts, queue_len, state.epoch);
+                if let Some(log) = &mut state.log {
+                    log.push(
+                        now,
+                        job.id,
+                        TraceKind::Admitted {
+                            demand_kb: queued.demand.mem_kb,
+                            attempt: attempts,
+                        },
+                    );
+                }
+                state.queue.push_front(queued);
+            }
+        }
+    }
+
+    /// Build the queue entry for a (re)submission: run the estimator (or
+    /// bypass it after too many failures) and precompute bookkeeping flags.
+    fn admit(&mut self, job: &Job, idx: usize, attempts: u32, queue_len: usize, epoch: u64) -> Queued {
+        let request = requested_demand(job);
+        let demand = if attempts >= self.cfg.max_estimation_attempts {
+            request
+        } else {
+            let ctx = EstimateContext {
+                queue_len,
+                free_fraction: self.cluster.free_nodes() as f64
+                    / self.cluster.total_nodes() as f64,
+            };
+            let d = self.estimator.estimate(job, &ctx);
+            debug_assert!(
+                d.within(&request),
+                "estimator {} produced a demand above the request",
+                self.estimator.name()
+            );
+            d
+        };
+        let lowered = demand != request && demand.within(&request);
+        let benefited =
+            self.cluster.nodes_satisfying(&demand) > self.cluster.nodes_satisfying(&request);
+        Queued {
+            job: idx,
+            attempts,
+            demand,
+            epoch,
+            lowered,
+            benefited,
+        }
+    }
+
+    /// Try to start the queued entry at `idx`, refreshing its estimate if
+    /// feedback has arrived since it was admitted. Removes it from the
+    /// queue and returns true on success.
+    fn try_start_at(&mut self, state: &mut RunState<'_>, idx: usize, now: Time) -> bool {
+        if state.queue[idx].epoch != state.epoch {
+            let (job_idx, attempts) = {
+                let q = &state.queue[idx];
+                (q.job, q.attempts)
+            };
+            let queue_len = state.queue.len();
+            state.queue[idx] =
+                self.admit(&state.jobs[job_idx], job_idx, attempts, queue_len, state.epoch);
+        }
+        let queued = &state.queue[idx];
+        let job = &state.jobs[queued.job];
+        let run_id = state.running.len() as u64;
+        let Some(alloc) =
+            self.cluster
+                .try_allocate(job.nodes, &queued.demand, self.cfg.match_policy, run_id)
+        else {
+            return false;
+        };
+        state.total_executions += 1;
+
+        // Does the allocation actually hold the job? Whole nodes are
+        // granted, so the job may consume up to the weakest node's capacity
+        // regardless of the (smaller) estimated demand.
+        let min_mem = self.cluster.allocation_min_mem(&alloc);
+        let packages = self.cluster.allocation_packages(&alloc);
+        let resources_ok = job.used_mem_kb <= min_mem && (job.used_packages & !packages) == 0;
+        let injected_fault = self.cfg.false_positive_rate > 0.0
+            && state.rng.random::<f64>() < self.cfg.false_positive_rate;
+        let success = resources_ok && !injected_fault;
+
+        let end = if success {
+            now + job.runtime
+        } else {
+            // Uniform failure point within the run time.
+            now + Time::from_millis(
+                (state.rng.random::<f64>() * job.runtime.as_millis() as f64) as u64,
+            )
+        };
+        state.events.push(end, Event::ExecutionEnd { run_id, success });
+        if let Some(log) = &mut state.log {
+            log.push(
+                now,
+                job.id,
+                TraceKind::Started {
+                    granted_kb: min_mem,
+                    nodes: job.nodes,
+                },
+            );
+        }
+        let queued = state.queue.remove(idx).expect("index in range");
+        state.running.push(Some(Running {
+            job: queued.job,
+            start: now,
+            expected_end: now + job.requested_runtime,
+            alloc,
+            lowered: queued.lowered,
+            benefited: queued.benefited,
+            at_request: queued.demand == requested_demand(job),
+            resource_failure: !resources_ok,
+        }));
+        state.running_count += 1;
+        true
+    }
+
+    /// One scheduling pass under the configured policy.
+    fn schedule(&mut self, state: &mut RunState<'_>, now: Time) {
+        match self.cfg.scheduling {
+            SchedulingPolicy::Fcfs => {
+                while !state.queue.is_empty() {
+                    if !self.try_start_at(state, 0, now) {
+                        break;
+                    }
+                }
+            }
+            SchedulingPolicy::Sjf => loop {
+                let Some((idx, _)) = state
+                    .queue
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, q)| state.jobs[q.job].requested_runtime)
+                else {
+                    break;
+                };
+                if !self.try_start_at(state, idx, now) {
+                    break;
+                }
+            },
+            SchedulingPolicy::EasyBackfill => loop {
+                // Phase 1: drain the head while it fits.
+                let mut head_started = true;
+                while head_started && !state.queue.is_empty() {
+                    head_started = self.try_start_at(state, 0, now);
+                }
+                if state.queue.len() < 2 {
+                    break;
+                }
+                // Phase 2: reservation for the blocked head.
+                let head_demand = state.queue[0].demand;
+                let head_nodes = state.jobs[state.queue[0].job].nodes;
+                let free_now = self.cluster.free_nodes_satisfying(&head_demand);
+                let releases: Vec<(Time, u32)> = state
+                    .running
+                    .iter()
+                    .flatten()
+                    .map(|r| {
+                        let eligible = r
+                            .alloc
+                            .nodes()
+                            .iter()
+                            .filter(|&&n| self.cluster.node_capacity(n).satisfies(&head_demand))
+                            .count() as u32;
+                        (r.expected_end, eligible)
+                    })
+                    .collect();
+                let Some(shadow) = shadow_time(free_now, head_nodes, &releases, now) else {
+                    // The head's demand exceeds what even a drained cluster
+                    // offers right now; completions will shrink it later.
+                    break;
+                };
+                // Phase 3: backfill the first job that fits now and is
+                // conservatively done before the shadow time.
+                let mut started = false;
+                for idx in 1..state.queue.len() {
+                    let expected = now + state.jobs[state.queue[idx].job].requested_runtime;
+                    if expected <= shadow && self.try_start_at(state, idx, now) {
+                        started = true;
+                        break;
+                    }
+                }
+                if !started {
+                    break;
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resmatch_cluster::ClusterBuilder;
+    use resmatch_workload::job::JobBuilder;
+
+    const MB: u64 = 1024;
+
+    fn cluster_32_24(per_pool: u32) -> Cluster {
+        ClusterBuilder::new()
+            .pool(per_pool, 32 * MB)
+            .pool(per_pool, 24 * MB)
+            .build()
+    }
+
+    fn wl(jobs: Vec<Job>) -> Workload {
+        Workload::new(jobs)
+    }
+
+    #[test]
+    fn single_job_runs_to_completion() {
+        let jobs = wl(vec![JobBuilder::new(1)
+            .nodes(4)
+            .runtime(Time::from_secs(100))
+            .requested_mem_kb(32 * MB)
+            .used_mem_kb(10 * MB)
+            .build()]);
+        let r = Simulation::new(SimConfig::default(), cluster_32_24(4), EstimatorSpec::PassThrough)
+            .run(&jobs);
+        assert_eq!(r.completed_jobs, 1);
+        assert_eq!(r.failed_executions, 0);
+        assert_eq!(r.records[0].wait(), Time::ZERO);
+        assert_eq!(r.records[0].completion, Time::from_secs(100));
+    }
+
+    #[test]
+    fn fcfs_head_of_line_blocking() {
+        // Two 32 MB-requesting jobs saturate the 32 MB pool; a third small
+        // job behind them must wait even though 24 MB nodes idle.
+        let jobs = wl(vec![
+            JobBuilder::new(1)
+                .submit(Time::from_secs(0))
+                .nodes(4)
+                .runtime(Time::from_secs(100))
+                .requested_mem_kb(32 * MB)
+                .build(),
+            JobBuilder::new(2)
+                .submit(Time::from_secs(1))
+                .nodes(4)
+                .runtime(Time::from_secs(100))
+                .requested_mem_kb(32 * MB)
+                .build(),
+            JobBuilder::new(3)
+                .submit(Time::from_secs(2))
+                .nodes(2)
+                .runtime(Time::from_secs(10))
+                .requested_mem_kb(8 * MB)
+                .used_mem_kb(8 * MB)
+                .build(),
+        ]);
+        let r = Simulation::new(SimConfig::default(), cluster_32_24(4), EstimatorSpec::PassThrough)
+            .run(&jobs);
+        assert_eq!(r.completed_jobs, 3);
+        let job2 = r.records.iter().find(|x| x.id.0 == 2).unwrap();
+        let job3 = r.records.iter().find(|x| x.id.0 == 3).unwrap();
+        // Job 2 waits for job 1's pool; job 3 (FCFS) waits behind job 2.
+        assert_eq!(job2.final_start, Time::from_secs(100));
+        assert!(job3.final_start >= job2.final_start);
+    }
+
+    #[test]
+    fn backfilling_slips_small_jobs_through() {
+        let jobs = wl(vec![
+            JobBuilder::new(1)
+                .submit(Time::from_secs(0))
+                .nodes(4)
+                .runtime(Time::from_secs(100))
+                .requested_mem_kb(32 * MB)
+                .build(),
+            JobBuilder::new(2)
+                .submit(Time::from_secs(1))
+                .nodes(4)
+                .runtime(Time::from_secs(100))
+                .requested_mem_kb(32 * MB)
+                .build(),
+            JobBuilder::new(3)
+                .submit(Time::from_secs(2))
+                .nodes(2)
+                .runtime(Time::from_secs(10))
+                .requested_mem_kb(8 * MB)
+                .used_mem_kb(8 * MB)
+                .build(),
+        ]);
+        let cfg = SimConfig {
+            scheduling: SchedulingPolicy::EasyBackfill,
+            ..SimConfig::default()
+        };
+        let r = Simulation::new(cfg, cluster_32_24(4), EstimatorSpec::PassThrough).run(&jobs);
+        let job3 = r.records.iter().find(|x| x.id.0 == 3).unwrap();
+        // Job 3 finishes before job 2's shadow time, so it backfills at its
+        // own arrival instead of waiting 100 s.
+        assert_eq!(job3.final_start, Time::from_secs(2));
+    }
+
+    #[test]
+    fn sjf_runs_shortest_first() {
+        let jobs = wl(vec![
+            // Job 1 occupies everything; 2 and 3 queue.
+            JobBuilder::new(1)
+                .submit(Time::from_secs(0))
+                .nodes(8)
+                .runtime(Time::from_secs(50))
+                .requested_mem_kb(8 * MB)
+                .used_mem_kb(8 * MB)
+                .build(),
+            JobBuilder::new(2)
+                .submit(Time::from_secs(1))
+                .nodes(8)
+                .runtime(Time::from_secs(100))
+                .requested_mem_kb(8 * MB)
+                .used_mem_kb(8 * MB)
+                .build(),
+            JobBuilder::new(3)
+                .submit(Time::from_secs(2))
+                .nodes(8)
+                .runtime(Time::from_secs(10))
+                .requested_mem_kb(8 * MB)
+                .used_mem_kb(8 * MB)
+                .build(),
+        ]);
+        let cfg = SimConfig {
+            scheduling: SchedulingPolicy::Sjf,
+            ..SimConfig::default()
+        };
+        let r = Simulation::new(cfg, cluster_32_24(4), EstimatorSpec::PassThrough).run(&jobs);
+        let start = |id: u64| {
+            r.records
+                .iter()
+                .find(|x| x.id.0 == id)
+                .unwrap()
+                .final_start
+        };
+        // Job 3 (10 s) jumps ahead of job 2 (100 s) once job 1 finishes.
+        assert!(start(3) < start(2));
+    }
+
+    #[test]
+    fn under_provisioned_job_fails_and_retries() {
+        // The estimator walks 32 → 16 → 8 MB with a job using 10 MB: the
+        // probe at 8 MB fails once, the job retries at the restored
+        // estimate and completes.
+        let mut jobs = Vec::new();
+        for i in 0..6 {
+            jobs.push(
+                JobBuilder::new(i)
+                    .user(1)
+                    .app(1)
+                    .submit(Time::from_secs(i * 1_000))
+                    .nodes(2)
+                    .runtime(Time::from_secs(100))
+                    .requested_mem_kb(32 * MB)
+                    .used_mem_kb(10 * MB)
+                    .build(),
+            );
+        }
+        let cluster = ClusterBuilder::new()
+            .pool(4, 32 * MB)
+            .pool(4, 16 * MB)
+            .pool(4, 8 * MB)
+            .build();
+        let r = Simulation::new(
+            SimConfig::default(),
+            cluster,
+            EstimatorSpec::paper_successive(),
+        )
+        .run(&wl(jobs));
+        assert_eq!(r.completed_jobs, 6);
+        assert_eq!(r.failed_executions, 1, "exactly the 8 MB probe fails");
+        assert!(r.wasted_node_seconds > 0.0);
+        // Later jobs run with lowered estimates on the 16 MB pool.
+        assert!(r.lowered_job_fraction() > 0.0);
+    }
+
+    #[test]
+    fn impossible_jobs_are_dropped() {
+        let jobs = wl(vec![
+            JobBuilder::new(1)
+                .nodes(100)
+                .requested_mem_kb(32 * MB)
+                .build(),
+            JobBuilder::new(2)
+                .nodes(2)
+                .requested_mem_kb(8 * MB)
+                .used_mem_kb(8 * MB)
+                .build(),
+        ]);
+        let r = Simulation::new(SimConfig::default(), cluster_32_24(4), EstimatorSpec::PassThrough)
+            .run(&jobs);
+        assert_eq!(r.dropped_jobs, 1);
+        assert_eq!(r.completed_jobs, 1);
+    }
+
+    #[test]
+    fn request_violating_job_is_abandoned_not_retried_forever() {
+        // A trace that violates the request-covers-usage assumption: the
+        // job uses 30 MB but requests 8 MB, so best-fit places it on 24 MB
+        // nodes and even the full request cannot save it. The engine must
+        // abandon it after the request-level attempt instead of looping.
+        let jobs = wl(vec![
+            JobBuilder::new(1)
+                .nodes(2)
+                .requested_mem_kb(8 * MB)
+                .used_mem_kb(30 * MB)
+                .runtime(Time::from_secs(10))
+                .build(),
+            JobBuilder::new(2)
+                .submit(Time::from_secs(1))
+                .nodes(2)
+                .requested_mem_kb(8 * MB)
+                .used_mem_kb(8 * MB)
+                .runtime(Time::from_secs(10))
+                .build(),
+        ]);
+        let r = Simulation::new(SimConfig::default(), cluster_32_24(4), EstimatorSpec::PassThrough)
+            .run(&jobs);
+        assert_eq!(r.dropped_jobs, 1);
+        assert_eq!(r.completed_jobs, 1);
+        assert_eq!(r.failed_executions, 1, "exactly one doomed execution");
+    }
+
+    #[test]
+    fn estimation_lets_jobs_use_small_pool() {
+        // Phase 1: the group learns while the cluster is empty. Phase 2: a
+        // hog occupies the whole 32 MB pool for a long time. Phase 3: more
+        // group members arrive — with estimation they run on the 24 MB pool
+        // immediately; without it they wait out the hog.
+        let mut jobs = Vec::new();
+        for i in 0..3 {
+            jobs.push(
+                JobBuilder::new(i)
+                    .user(7)
+                    .app(7)
+                    .submit(Time::from_secs(i * 200))
+                    .nodes(4)
+                    .runtime(Time::from_secs(100))
+                    .requested_mem_kb(32 * MB)
+                    .used_mem_kb(4 * MB)
+                    .build(),
+            );
+        }
+        jobs.push(
+            JobBuilder::new(100)
+                .submit(Time::from_secs(1_000))
+                .nodes(4)
+                .runtime(Time::from_secs(10_000))
+                .requested_mem_kb(32 * MB)
+                .used_mem_kb(32 * MB)
+                .build(),
+        );
+        for i in 0..4 {
+            jobs.push(
+                JobBuilder::new(200 + i)
+                    .user(7)
+                    .app(7)
+                    .submit(Time::from_secs(1_100 + i * 10))
+                    .nodes(4)
+                    .runtime(Time::from_secs(100))
+                    .requested_mem_kb(32 * MB)
+                    .used_mem_kb(4 * MB)
+                    .build(),
+            );
+        }
+        let workload = wl(jobs);
+        let base = Simulation::new(
+            SimConfig::default(),
+            cluster_32_24(4),
+            EstimatorSpec::PassThrough,
+        )
+        .run(&workload);
+        let est = Simulation::new(
+            SimConfig::default(),
+            cluster_32_24(4),
+            EstimatorSpec::paper_successive(),
+        )
+        .run(&workload);
+        assert_eq!(est.completed_jobs, base.completed_jobs);
+        // Baseline: the four phase-3 jobs wait ~10,000 s behind the hog.
+        assert!(base.mean_wait_s() > 4_000.0, "baseline {}", base.mean_wait_s());
+        // Estimation: they run on the 24 MB pool immediately.
+        assert!(
+            est.mean_wait_s() < 100.0,
+            "estimation wait {}",
+            est.mean_wait_s()
+        );
+        assert!(est.utilization() > base.utilization());
+        // Phase-3 jobs were lowered and benefited.
+        let benefited = est.records.iter().filter(|r| r.benefited).count();
+        assert!(benefited >= 4, "benefited {benefited}");
+    }
+
+    #[test]
+    fn queued_jobs_pick_up_fresh_estimates() {
+        // A member is queued behind the hog *before* its group has learned;
+        // the learning happens while it waits (an earlier member finishes).
+        // On the next scheduling pass the queued member must use the fresh
+        // estimate and slip onto the 24 MB pool.
+        let jobs = wl(vec![
+            // The learner: starts immediately, finishes at t=100.
+            JobBuilder::new(1)
+                .user(7)
+                .app(7)
+                .submit(Time::ZERO)
+                .nodes(2)
+                .runtime(Time::from_secs(100))
+                .requested_mem_kb(32 * MB)
+                .used_mem_kb(4 * MB)
+                .build(),
+            // The hog: grabs the remaining 32 MB nodes until t=10,000.
+            JobBuilder::new(2)
+                .submit(Time::from_secs(1))
+                .nodes(2)
+                .runtime(Time::from_secs(10_000))
+                .requested_mem_kb(32 * MB)
+                .used_mem_kb(32 * MB)
+                .build(),
+            // The beneficiary: queued at t=2 with a cold estimate (32 MB),
+            // blocked; at t=100 the learner's feedback refreshes it.
+            JobBuilder::new(3)
+                .user(7)
+                .app(7)
+                .submit(Time::from_secs(2))
+                .nodes(2)
+                .runtime(Time::from_secs(50))
+                .requested_mem_kb(32 * MB)
+                .used_mem_kb(4 * MB)
+                .build(),
+        ]);
+        let r = Simulation::new(
+            SimConfig::default(),
+            cluster_32_24(2),
+            EstimatorSpec::paper_successive(),
+        )
+        .run(&jobs);
+        let job3 = r.records.iter().find(|x| x.id.0 == 3).unwrap();
+        assert_eq!(
+            job3.final_start,
+            Time::from_secs(100),
+            "job 3 must start the moment the learner's feedback lands"
+        );
+        assert!(job3.lowered);
+    }
+
+    #[test]
+    fn oracle_never_fails_and_packs_tightest() {
+        let mut jobs = Vec::new();
+        for i in 0..20 {
+            jobs.push(
+                JobBuilder::new(i)
+                    .user(i as u32 % 3)
+                    .app(1)
+                    .submit(Time::from_secs(i))
+                    .nodes(2)
+                    .runtime(Time::from_secs(50))
+                    .requested_mem_kb(32 * MB)
+                    .used_mem_kb(6 * MB)
+                    .build(),
+            );
+        }
+        let r = Simulation::new(SimConfig::default(), cluster_32_24(4), EstimatorSpec::Oracle)
+            .run(&wl(jobs));
+        assert_eq!(r.failed_executions, 0);
+        assert_eq!(r.completed_jobs, 20);
+    }
+
+    #[test]
+    fn false_positive_injection_retries_to_completion() {
+        let jobs = wl((0..10)
+            .map(|i| {
+                JobBuilder::new(i)
+                    .submit(Time::from_secs(i * 5))
+                    .nodes(2)
+                    .runtime(Time::from_secs(20))
+                    .requested_mem_kb(8 * MB)
+                    .used_mem_kb(8 * MB)
+                    .build()
+            })
+            .collect());
+        let cfg = SimConfig {
+            false_positive_rate: 0.3,
+            seed: 11,
+            ..SimConfig::default()
+        };
+        let r = Simulation::new(cfg, cluster_32_24(4), EstimatorSpec::PassThrough).run(&jobs);
+        assert_eq!(r.completed_jobs, 10, "every job must eventually finish");
+        assert!(r.failed_executions > 0, "injection must actually fire");
+        assert!(r.busy_utilization() > r.utilization());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let jobs: Workload = (0..50)
+            .map(|i| {
+                JobBuilder::new(i)
+                    .user(i as u32 % 5)
+                    .app(i as u32 % 3)
+                    .submit(Time::from_secs(i * 7))
+                    .nodes(1 + (i as u32 % 4))
+                    .runtime(Time::from_secs(30 + i * 3))
+                    .requested_mem_kb(32 * MB)
+                    .used_mem_kb((4 + (i % 20)) * MB)
+                    .build()
+            })
+            .collect();
+        let run = || {
+            Simulation::new(
+                SimConfig::default(),
+                cluster_32_24(8),
+                EstimatorSpec::paper_successive(),
+            )
+            .run(&jobs)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn explicit_feedback_with_last_instance() {
+        use resmatch_core::last_instance::LastInstanceConfig;
+        let jobs: Workload = (0..10)
+            .map(|i| {
+                JobBuilder::new(i)
+                    .user(1)
+                    .app(1)
+                    .submit(Time::from_secs(i * 200))
+                    .nodes(2)
+                    .runtime(Time::from_secs(100))
+                    .requested_mem_kb(32 * MB)
+                    .used_mem_kb(5 * MB)
+                    .build()
+            })
+            .collect();
+        let cfg = SimConfig {
+            feedback: FeedbackMode::Explicit,
+            ..SimConfig::default()
+        };
+        let r = Simulation::new(
+            cfg,
+            cluster_32_24(4),
+            EstimatorSpec::LastInstance(LastInstanceConfig::default()),
+        )
+        .run(&jobs);
+        assert_eq!(r.completed_jobs, 10);
+        assert_eq!(r.failed_executions, 0, "explicit feedback never probes blind");
+        // All but the first submission run lowered.
+        assert!(r.lowered_job_fraction() >= 0.8);
+    }
+
+    #[test]
+    fn queue_statistics_are_time_weighted() {
+        // Job 1 occupies all 8 nodes for 100 s; job 2 queues the whole
+        // time, then runs 100 s. Queue length is 1 for the first half of
+        // the 200 s horizon and 0 for the second; 8 nodes stay busy
+        // throughout.
+        let jobs = wl(vec![
+            JobBuilder::new(1)
+                .nodes(8)
+                .runtime(Time::from_secs(100))
+                .requested_mem_kb(8 * MB)
+                .used_mem_kb(8 * MB)
+                .build(),
+            JobBuilder::new(2)
+                .nodes(8)
+                .runtime(Time::from_secs(100))
+                .requested_mem_kb(8 * MB)
+                .used_mem_kb(8 * MB)
+                .build(),
+        ]);
+        let r = Simulation::new(SimConfig::default(), cluster_32_24(4), EstimatorSpec::PassThrough)
+            .run(&jobs);
+        assert!((r.mean_queue_length - 0.5).abs() < 1e-9, "{}", r.mean_queue_length);
+        assert!((r.mean_busy_nodes - 8.0).abs() < 1e-9, "{}", r.mean_busy_nodes);
+        // Per-pool: 8 MB requests land on the 24 MB pool (best-fit) plus
+        // spill to 32 MB: both pools of 4 are fully busy throughout.
+        assert_eq!(r.pool_stats.len(), 2);
+        for p in &r.pool_stats {
+            assert!((p.mean_busy_fraction - 1.0).abs() < 1e-9, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn pool_stats_show_the_idle_small_pool() {
+        // 32 MB-requesting jobs keep the 32 MB pool busy; the 24 MB pool
+        // never sees work without estimation.
+        let jobs = wl((0..4)
+            .map(|i| {
+                JobBuilder::new(i)
+                    .submit(Time::from_secs(i * 100))
+                    .nodes(4)
+                    .runtime(Time::from_secs(100))
+                    .requested_mem_kb(32 * MB)
+                    .used_mem_kb(4 * MB)
+                    .build()
+            })
+            .collect());
+        let r = Simulation::new(SimConfig::default(), cluster_32_24(4), EstimatorSpec::PassThrough)
+            .run(&jobs);
+        let pool = |mem_mb: u64| {
+            r.pool_stats
+                .iter()
+                .find(|p| p.mem_kb == mem_mb * MB)
+                .unwrap()
+                .mean_busy_fraction
+        };
+        assert!((pool(32) - 1.0).abs() < 1e-9);
+        assert_eq!(pool(24), 0.0);
+    }
+
+    #[test]
+    fn trace_log_records_the_figure7_story() {
+        use crate::tracelog::TraceKind;
+        // A group walking 32 → 16 → 8 → 4(fail) → 8: the log must contain
+        // every admission, start, completion, and the one failure.
+        let mut jobs = Vec::new();
+        for i in 0..6 {
+            jobs.push(
+                JobBuilder::new(i + 1)
+                    .user(1)
+                    .app(1)
+                    .submit(Time::from_secs(i * 1_000))
+                    .nodes(2)
+                    .runtime(Time::from_secs(100))
+                    .requested_mem_kb(32 * MB)
+                    .used_mem_kb(5 * MB)
+                    .build(),
+            );
+        }
+        let cluster = ClusterBuilder::new()
+            .pool(4, 32 * MB)
+            .pool(4, 16 * MB)
+            .pool(4, 8 * MB)
+            .pool(4, 4 * MB)
+            .build();
+        let r = Simulation::new(
+            SimConfig::default(),
+            cluster,
+            EstimatorSpec::paper_successive(),
+        )
+        .with_trace_log()
+        .run(&wl(jobs));
+        assert!(!r.trace_log.is_empty());
+        // Jobs run serially, so the granted trajectory across successive
+        // group members is the Figure 7 staircase.
+        let granted: Vec<u64> = r
+            .trace_log
+            .entries()
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceKind::Started { granted_kb, .. } => Some(granted_kb / MB),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(granted, vec![32, 16, 8, 4, 8, 8, 8]);
+        let failures = r
+            .trace_log
+            .entries()
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::Failed))
+            .count();
+        assert_eq!(failures, 1);
+        // Disabled by default: a fresh run carries no log.
+        let quiet = Simulation::new(
+            SimConfig::default(),
+            cluster_32_24(4),
+            EstimatorSpec::PassThrough,
+        )
+        .run(&wl(vec![JobBuilder::new(1).nodes(1).build()]));
+        assert!(quiet.trace_log.is_empty());
+    }
+
+    #[test]
+    fn churn_leave_blocks_and_rejoin_unblocks() {
+        // The whole 32 MB pool leaves at t=50; a 28 MB-demanding job
+        // arriving at t=100 must wait until the pool rejoins at t=500.
+        let jobs = wl(vec![JobBuilder::new(1)
+            .submit(Time::from_secs(100))
+            .nodes(2)
+            .runtime(Time::from_secs(10))
+            .requested_mem_kb(28 * MB)
+            .used_mem_kb(28 * MB)
+            .build()]);
+        let r = Simulation::new(SimConfig::default(), cluster_32_24(4), EstimatorSpec::PassThrough)
+            .with_churn(vec![
+                ChurnEvent {
+                    time: Time::from_secs(50),
+                    mem_kb: 32 * MB,
+                    delta: -4,
+                },
+                ChurnEvent {
+                    time: Time::from_secs(500),
+                    mem_kb: 32 * MB,
+                    delta: 4,
+                },
+            ])
+            .run(&jobs);
+        assert_eq!(r.completed_jobs, 1);
+        assert_eq!(r.records[0].final_start, Time::from_secs(500));
+    }
+
+    #[test]
+    fn churn_permanent_leave_drops_starved_jobs() {
+        let jobs = wl(vec![
+            JobBuilder::new(1)
+                .submit(Time::from_secs(100))
+                .nodes(2)
+                .runtime(Time::from_secs(10))
+                .requested_mem_kb(28 * MB)
+                .used_mem_kb(28 * MB)
+                .build(),
+            JobBuilder::new(2)
+                .submit(Time::from_secs(100))
+                .nodes(2)
+                .runtime(Time::from_secs(5))
+                .requested_mem_kb(8 * MB)
+                .used_mem_kb(8 * MB)
+                .build(),
+        ]);
+        let r = Simulation::new(
+            SimConfig {
+                // Under SJF the shorter job 2 is tried first and runs; the
+                // starved job 1 is abandoned when events drain.
+                scheduling: SchedulingPolicy::Sjf,
+                ..SimConfig::default()
+            },
+            cluster_32_24(4),
+            EstimatorSpec::PassThrough,
+        )
+        .with_churn(vec![ChurnEvent {
+            time: Time::from_secs(50),
+            mem_kb: 32 * MB,
+            delta: -4,
+        }])
+        .run(&jobs);
+        assert_eq!(r.completed_jobs, 1);
+        assert_eq!(r.dropped_jobs, 1);
+    }
+
+    #[test]
+    fn churn_never_revokes_running_jobs() {
+        // The leave fires mid-run; the running job must finish unharmed.
+        let jobs = wl(vec![JobBuilder::new(1)
+            .nodes(4)
+            .runtime(Time::from_secs(100))
+            .requested_mem_kb(28 * MB)
+            .used_mem_kb(20 * MB)
+            .build()]);
+        let r = Simulation::new(SimConfig::default(), cluster_32_24(4), EstimatorSpec::PassThrough)
+            .with_churn(vec![ChurnEvent {
+                time: Time::from_secs(10),
+                mem_kb: 32 * MB,
+                delta: -4,
+            }])
+            .run(&jobs);
+        assert_eq!(r.completed_jobs, 1);
+        assert_eq!(r.failed_executions, 0);
+        assert_eq!(r.records[0].completion, Time::from_secs(100));
+    }
+
+    #[test]
+    fn max_attempts_falls_back_to_request() {
+        // A pathological group: members alternate usage so a frozen
+        // estimate would starve one member; the engine must bail it out.
+        let mut jobs = Vec::new();
+        for i in 0..12 {
+            let used = if i % 2 == 0 { 4 * MB } else { 20 * MB };
+            jobs.push(
+                JobBuilder::new(i)
+                    .user(1)
+                    .app(1)
+                    .submit(Time::from_secs(i * 500))
+                    .nodes(2)
+                    .runtime(Time::from_secs(100))
+                    .requested_mem_kb(32 * MB)
+                    .used_mem_kb(used)
+                    .build(),
+            );
+        }
+        let cluster = ClusterBuilder::new()
+            .pool(4, 32 * MB)
+            .pool(4, 8 * MB)
+            .build();
+        let r = Simulation::new(
+            SimConfig::default(),
+            cluster,
+            EstimatorSpec::paper_successive(),
+        )
+        .run(&wl(jobs));
+        assert_eq!(r.completed_jobs, 12, "no member may starve");
+    }
+}

@@ -1,0 +1,165 @@
+//! The event queue: a deterministic min-heap of timestamped events.
+//!
+//! Ties are broken by insertion sequence so two runs of the same simulation
+//! pop events in exactly the same order — the foundation of the workspace's
+//! bit-reproducibility guarantee.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use resmatch_workload::Time;
+
+/// What can happen in the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A job (by index into the workload) is submitted.
+    Arrival {
+        /// Index into the workload's job slice.
+        job: usize,
+    },
+    /// A running execution ends.
+    ExecutionEnd {
+        /// Identifier handed out when the execution started.
+        run_id: u64,
+        /// True when the execution completed successfully; false when it
+        /// died from under-provisioned resources (or injected faults).
+        success: bool,
+    },
+    /// A scheduled node join/leave takes effect (dynamic cluster
+    /// membership).
+    Churn {
+        /// Index into the simulation's churn schedule.
+        index: usize,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    time: Time,
+    seq: u64,
+    event: Event,
+}
+
+// Reversed ordering: BinaryHeap is a max-heap, we need earliest-first.
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Deterministic future-event list.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Entry>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedule `event` at `time`. Events at equal times pop in insertion
+    /// order.
+    pub fn push(&mut self, time: Time, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<(Time, Event)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// Time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_secs(30), Event::Arrival { job: 3 });
+        q.push(Time::from_secs(10), Event::Arrival { job: 1 });
+        q.push(Time::from_secs(20), Event::Arrival { job: 2 });
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::Arrival { job } => job,
+                _ => panic!("unexpected event"),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = Time::from_secs(5);
+        for job in 0..100 {
+            q.push(t, Event::Arrival { job });
+        }
+        for expect in 0..100 {
+            let (time, e) = q.pop().unwrap();
+            assert_eq!(time, t);
+            assert_eq!(e, Event::Arrival { job: expect });
+        }
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_secs(10), Event::Arrival { job: 1 });
+        q.push(
+            Time::from_secs(5),
+            Event::ExecutionEnd {
+                run_id: 7,
+                success: true,
+            },
+        );
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(t, Time::from_secs(5));
+        assert!(matches!(e, Event::ExecutionEnd { run_id: 7, .. }));
+        q.push(Time::from_secs(1), Event::Arrival { job: 9 });
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, Time::from_secs(1));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop().unwrap();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_secs(2), Event::Arrival { job: 0 });
+        assert_eq!(q.peek_time(), Some(Time::from_secs(2)));
+        assert_eq!(q.len(), 1);
+    }
+}

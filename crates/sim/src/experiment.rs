@@ -1,0 +1,312 @@
+//! Experiment drivers: offered-load sweeps (Figures 5 and 6) and
+//! cluster-heterogeneity sweeps (Figure 8).
+//!
+//! Sweep points are embarrassingly parallel — each is its own deterministic
+//! simulation — so they run on crossbeam scoped threads, one point per
+//! thread. Determinism is preserved because every simulation owns its RNG
+//! seeded from the experiment seed, and results are collected by slot, not
+//! by completion order.
+
+use resmatch_cluster::builder::paper_cluster;
+use resmatch_cluster::Cluster;
+use resmatch_workload::load::scale_to_load;
+use resmatch_workload::Workload;
+
+use crate::engine::{SimConfig, Simulation};
+use crate::metrics::SimResult;
+use crate::spec::EstimatorSpec;
+
+/// Configuration for a load sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Engine configuration shared by all points.
+    pub sim: SimConfig,
+    /// Offered loads to evaluate (e.g. 0.3 ..= 1.5).
+    pub loads: Vec<f64>,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            sim: SimConfig::default(),
+            loads: vec![0.3, 0.45, 0.6, 0.75, 0.9, 1.05, 1.2],
+        }
+    }
+}
+
+/// One point of a load sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadPoint {
+    /// Offered load the trace was rescaled to.
+    pub offered_load: f64,
+    /// Simulation outcome.
+    pub result: SimResult,
+}
+
+/// Run `estimator` over all loads in `cfg`, one simulation per point, in
+/// parallel. Points come back in `cfg.loads` order.
+pub fn run_load_sweep(
+    workload: &Workload,
+    cluster: &Cluster,
+    estimator: EstimatorSpec,
+    cfg: &SweepConfig,
+) -> Vec<LoadPoint> {
+    let mut slots: Vec<Option<LoadPoint>> = cfg.loads.iter().map(|_| None).collect();
+    crossbeam::scope(|scope| {
+        for (slot, &load) in slots.iter_mut().zip(&cfg.loads) {
+            let sim_cfg = cfg.sim;
+            scope.spawn(move |_| {
+                let scaled = scale_to_load(workload, cluster.total_nodes(), load);
+                let result = Simulation::new(sim_cfg, cluster.clone(), estimator).run(&scaled);
+                *slot = Some(LoadPoint {
+                    offered_load: load,
+                    result,
+                });
+            });
+        }
+    })
+    .expect("sweep threads must not panic");
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect()
+}
+
+/// One point of the Figure 8 cluster sweep: the paper's 512×32 MB +
+/// 512×`m` MB cluster evaluated with and without estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSweepPoint {
+    /// Memory of the second pool, MB.
+    pub second_pool_mb: u64,
+    /// Without estimation (pass-through).
+    pub baseline: SimResult,
+    /// With the estimator under test.
+    pub estimated: SimResult,
+}
+
+impl ClusterSweepPoint {
+    /// Figure 8's y-axis: utilization with estimation over utilization
+    /// without. 1.0 when the baseline achieved nothing (degenerate).
+    pub fn utilization_ratio(&self) -> f64 {
+        let base = self.baseline.utilization();
+        if base <= 0.0 {
+            1.0
+        } else {
+            self.estimated.utilization() / base
+        }
+    }
+}
+
+/// Run the Figure 8 sweep: for each second-pool size, simulate the trace at
+/// `offered_load` (a saturating load measures the plateau) with and without
+/// estimation. Points run in parallel and return in input order.
+pub fn run_cluster_sweep(
+    workload: &Workload,
+    second_pool_mbs: &[u64],
+    estimator: EstimatorSpec,
+    sim: SimConfig,
+    offered_load: f64,
+) -> Vec<ClusterSweepPoint> {
+    let mut slots: Vec<Option<ClusterSweepPoint>> =
+        second_pool_mbs.iter().map(|_| None).collect();
+    crossbeam::scope(|scope| {
+        for (slot, &mb) in slots.iter_mut().zip(second_pool_mbs) {
+            scope.spawn(move |_| {
+                let cluster = paper_cluster(mb);
+                let scaled = scale_to_load(workload, cluster.total_nodes(), offered_load);
+                let baseline =
+                    Simulation::new(sim, cluster.clone(), EstimatorSpec::PassThrough).run(&scaled);
+                let estimated = Simulation::new(sim, cluster, estimator).run(&scaled);
+                *slot = Some(ClusterSweepPoint {
+                    second_pool_mb: mb,
+                    baseline,
+                    estimated,
+                });
+            });
+        }
+    })
+    .expect("sweep threads must not panic");
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect()
+}
+
+/// Render a load sweep as CSV (one row per point) for external plotting.
+pub fn load_sweep_csv(points: &[LoadPoint]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from(
+        "offered_load,utilization,busy_utilization,mean_slowdown,mean_bounded_slowdown,\
+         mean_wait_s,failed_execution_fraction,lowered_job_fraction,completed_jobs\n",
+    );
+    for p in points {
+        let r = &p.result;
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{}",
+            p.offered_load,
+            r.utilization(),
+            r.busy_utilization(),
+            r.mean_slowdown(),
+            r.mean_bounded_slowdown(),
+            r.mean_wait_s(),
+            r.failed_execution_fraction(),
+            r.lowered_job_fraction(),
+            r.completed_jobs,
+        );
+    }
+    out
+}
+
+/// Render a cluster sweep as CSV (one row per second-pool size).
+pub fn cluster_sweep_csv(points: &[ClusterSweepPoint]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from(
+        "second_pool_mb,baseline_utilization,estimated_utilization,utilization_ratio,\
+         benefiting_node_count,failed_execution_fraction,lowered_job_fraction\n",
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{}",
+            p.second_pool_mb,
+            p.baseline.utilization(),
+            p.estimated.utilization(),
+            p.utilization_ratio(),
+            p.estimated.benefiting_node_count(),
+            p.estimated.failed_execution_fraction(),
+            p.estimated.lowered_job_fraction(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resmatch_cluster::ClusterBuilder;
+    use resmatch_workload::synthetic::{generate, Cm5Config};
+
+    const MB: u64 = 1024;
+
+    fn small_trace(jobs: usize) -> Workload {
+        let mut w = generate(
+            &Cm5Config {
+                jobs,
+                ..Cm5Config::default()
+            },
+            42,
+        );
+        w.retain_max_nodes(512);
+        w
+    }
+
+    fn small_cluster() -> Cluster {
+        ClusterBuilder::new()
+            .pool(512, 32 * MB)
+            .pool(512, 24 * MB)
+            .build()
+    }
+
+    #[test]
+    fn load_sweep_returns_points_in_order() {
+        let trace = small_trace(300);
+        let cfg = SweepConfig {
+            loads: vec![0.4, 0.8],
+            ..SweepConfig::default()
+        };
+        let points = run_load_sweep(&trace, &small_cluster(), EstimatorSpec::PassThrough, &cfg);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].offered_load, 0.4);
+        assert_eq!(points[1].offered_load, 0.8);
+        for p in &points {
+            assert!(p.result.completed_jobs > 0);
+        }
+    }
+
+    #[test]
+    fn utilization_grows_with_load_until_saturation() {
+        let trace = small_trace(800);
+        let cfg = SweepConfig {
+            loads: vec![0.2, 0.6, 1.2],
+            ..SweepConfig::default()
+        };
+        let points = run_load_sweep(
+            &trace,
+            &small_cluster(),
+            EstimatorSpec::paper_successive(),
+            &cfg,
+        );
+        let utils: Vec<f64> = points.iter().map(|p| p.result.utilization()).collect();
+        assert!(
+            utils[1] > utils[0],
+            "utilization must grow in the linear region: {utils:?}"
+        );
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial() {
+        let trace = small_trace(200);
+        let cluster = small_cluster();
+        let cfg = SweepConfig {
+            loads: vec![0.5, 1.0],
+            ..SweepConfig::default()
+        };
+        let parallel = run_load_sweep(&trace, &cluster, EstimatorSpec::PassThrough, &cfg);
+        // Serial reference.
+        for (i, &load) in cfg.loads.iter().enumerate() {
+            let scaled = scale_to_load(&trace, cluster.total_nodes(), load);
+            let serial = Simulation::new(cfg.sim, cluster.clone(), EstimatorSpec::PassThrough)
+                .run(&scaled);
+            assert_eq!(parallel[i].result, serial, "point {i} diverged");
+        }
+    }
+
+    #[test]
+    fn csv_exports_are_well_formed() {
+        let trace = small_trace(150);
+        let cfg = SweepConfig {
+            loads: vec![0.5, 1.0],
+            ..SweepConfig::default()
+        };
+        let load_points =
+            run_load_sweep(&trace, &small_cluster(), EstimatorSpec::PassThrough, &cfg);
+        let csv = load_sweep_csv(&load_points);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3, "header + one row per point");
+        let cols = lines[0].split(',').count();
+        assert!(lines[1..].iter().all(|l| l.split(',').count() == cols));
+
+        let cluster_points = run_cluster_sweep(
+            &trace,
+            &[24, 32],
+            EstimatorSpec::paper_successive(),
+            SimConfig::default(),
+            1.0,
+        );
+        let csv = cluster_sweep_csv(&cluster_points);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("24,"));
+        assert!(lines[2].starts_with("32,"));
+    }
+
+    #[test]
+    fn cluster_sweep_homogeneous_extreme_is_neutral() {
+        let trace = small_trace(400);
+        let points = run_cluster_sweep(
+            &trace,
+            &[32],
+            EstimatorSpec::paper_successive(),
+            SimConfig::default(),
+            1.2,
+        );
+        // All machines identical: estimation cannot enlarge any candidate
+        // set, so the ratio sits at 1 (allowing failure-probe noise).
+        let ratio = points[0].utilization_ratio();
+        assert!(
+            (ratio - 1.0).abs() < 0.05,
+            "homogeneous cluster ratio {ratio}"
+        );
+    }
+}

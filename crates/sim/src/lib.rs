@@ -1,0 +1,56 @@
+//! Discrete-event cluster scheduling simulator for the `resmatch` workspace.
+//!
+//! Reproduces the paper's §3.1 simulation environment: a space-shared
+//! heterogeneous cluster, FCFS scheduling with no preemption (plus EASY
+//! backfilling and shortest-job-first as the extensions the paper defers to
+//! future work), and the paper's failure semantics — "when a job is
+//! scheduled for execution, but not enough resources are allocated for it,
+//! it fails after a random time, drawn uniformly between zero and the
+//! execution run-time of that job. Once it fails, the job returns to the
+//! head of the queue."
+//!
+//! The estimator under test plugs in through
+//! [`resmatch_core::ResourceEstimator`]; [`spec::EstimatorSpec`] names every
+//! estimator in the workspace so experiments stay declarative, and
+//! [`experiment`] drives offered-load and cluster sweeps (in parallel, one
+//! deterministic simulation per thread).
+//!
+//! # Quick example
+//!
+//! ```
+//! use resmatch_sim::prelude::*;
+//! use resmatch_cluster::ClusterBuilder;
+//! use resmatch_workload::synthetic::{generate, Cm5Config};
+//!
+//! let trace = generate(&Cm5Config { jobs: 300, ..Cm5Config::default() }, 7);
+//! let cluster = ClusterBuilder::new().pool(512, 32 * 1024).pool(512, 24 * 1024).build();
+//! let result = Simulation::new(SimConfig::default(), cluster, EstimatorSpec::PassThrough)
+//!     .run(&trace);
+//! assert_eq!(result.completed_jobs, 300);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod event;
+pub mod experiment;
+pub mod metrics;
+pub mod scheduler;
+pub mod spec;
+pub mod tracelog;
+
+/// Common imports for simulator users.
+pub mod prelude {
+    pub use crate::engine::{ChurnEvent, FeedbackMode, SimConfig, Simulation};
+    pub use crate::experiment::{
+        cluster_sweep_csv, load_sweep_csv, run_cluster_sweep, run_load_sweep, ClusterSweepPoint,
+        LoadPoint, SweepConfig,
+    };
+    pub use crate::metrics::{saturation_utilization, JobRecord, SimResult};
+    pub use crate::scheduler::SchedulingPolicy;
+    pub use crate::spec::EstimatorSpec;
+    pub use crate::tracelog::{TraceEntry, TraceKind, TraceLog};
+}
+
+pub use prelude::*;

@@ -1,0 +1,91 @@
+//! Scheduling policies and reservation arithmetic.
+//!
+//! The paper evaluates with strict FCFS ("we used first-come-first-served as
+//! the scheduling policy ... we expect that the results with more aggressive
+//! scheduling policies like backfilling will be correlated") — this module
+//! adds EASY backfilling and shortest-job-first so that expectation can be
+//! tested (see the scheduler ablation experiment).
+
+use resmatch_workload::Time;
+use serde::{Deserialize, Serialize};
+
+/// Queue discipline for the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum SchedulingPolicy {
+    /// Strict first-come-first-served: when the head cannot start, nothing
+    /// behind it may (the paper's configuration).
+    #[default]
+    Fcfs,
+    /// Shortest (requested-runtime) job first, no skipping: jobs are tried
+    /// in increasing runtime-estimate order and scheduling stops at the
+    /// first that does not fit.
+    Sjf,
+    /// EASY backfilling: the head gets a reservation at its shadow time;
+    /// any queued job that fits *now* and would finish before the shadow
+    /// time may jump ahead.
+    EasyBackfill,
+}
+
+/// Earliest time at which at least `needed` eligible nodes are simultaneously
+/// free, given `free_now` already-free eligible nodes and future `releases`
+/// of `(time, eligible_node_count)` from running jobs.
+///
+/// `releases` need not be sorted. Returns `None` when even all releases
+/// cannot satisfy `needed` (the job is simply too big for the machine).
+pub fn shadow_time(free_now: u32, needed: u32, releases: &[(Time, u32)], now: Time) -> Option<Time> {
+    if free_now >= needed {
+        return Some(now);
+    }
+    let mut sorted: Vec<(Time, u32)> = releases.to_vec();
+    sorted.sort_by_key(|&(t, _)| t);
+    let mut free = free_now;
+    for (t, count) in sorted {
+        free += count;
+        if free >= needed {
+            return Some(t.max(now));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> Time {
+        Time::from_secs(s)
+    }
+
+    #[test]
+    fn immediate_when_already_free() {
+        assert_eq!(shadow_time(8, 4, &[], t(100)), Some(t(100)));
+        assert_eq!(shadow_time(4, 4, &[], t(100)), Some(t(100)));
+    }
+
+    #[test]
+    fn accumulates_releases_in_time_order() {
+        // Unsorted input: releases at 30 (2 nodes), 10 (1), 20 (3).
+        let releases = [(t(30), 2), (t(10), 1), (t(20), 3)];
+        // Need 4 with 1 free: 1+1=2 at 10, +3=5 at 20 → shadow = 20.
+        assert_eq!(shadow_time(1, 4, &releases, t(0)), Some(t(20)));
+        // Need 7: 1+1+3+2 = 7 at 30.
+        assert_eq!(shadow_time(1, 7, &releases, t(0)), Some(t(30)));
+    }
+
+    #[test]
+    fn impossible_demand_is_none() {
+        let releases = [(t(10), 2)];
+        assert_eq!(shadow_time(1, 10, &releases, t(0)), None);
+    }
+
+    #[test]
+    fn shadow_never_precedes_now() {
+        let releases = [(t(5), 4)];
+        assert_eq!(shadow_time(0, 4, &releases, t(50)), Some(t(50)));
+    }
+
+    #[test]
+    fn zero_needed_is_immediate() {
+        assert_eq!(shadow_time(0, 0, &[], t(3)), Some(t(3)));
+    }
+}

@@ -1,0 +1,148 @@
+//! Declarative estimator selection.
+//!
+//! Experiments describe *which* estimator to run as data rather than code so
+//! sweeps can clone configurations across threads and report tables can name
+//! their rows. [`EstimatorSpec::build`] instantiates the estimator against a
+//! concrete cluster's capacity ladder.
+
+use resmatch_cluster::CapacityLadder;
+use resmatch_core::adaptive::{AdaptiveConfig, AdaptiveSimilarity};
+use resmatch_core::last_instance::{LastInstance, LastInstanceConfig};
+use resmatch_core::multi::{MultiResourceConfig, MultiResourceEstimator};
+use resmatch_core::quantile::{QuantileConfig, QuantileEstimator};
+use resmatch_core::reinforcement::{ReinforcementConfig, ReinforcementEstimator};
+use resmatch_core::regression::{RegressionConfig, RegressionEstimator};
+use resmatch_core::robust::{RobustBisection, RobustConfig};
+use resmatch_core::successive::{SuccessiveApproximation, SuccessiveConfig};
+use resmatch_core::warm_start::{WarmStartConfig, WarmStartEstimator};
+use resmatch_core::{Oracle, PassThrough, ResourceEstimator};
+
+/// Every estimator the workspace provides, with its configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EstimatorSpec {
+    /// No estimation (the conventional scheduler).
+    PassThrough,
+    /// Perfect knowledge of actual usage.
+    Oracle,
+    /// Algorithm 1 (implicit feedback + similarity groups).
+    Successive(SuccessiveConfig),
+    /// Last-instance identification (explicit feedback + similarity).
+    LastInstance(LastInstanceConfig),
+    /// Linear regression on request features (explicit, no similarity).
+    Regression(RegressionConfig),
+    /// Contextual-bandit RL (implicit, no similarity).
+    Reinforcement(ReinforcementConfig),
+    /// Robust direct-search bisection (§2.3 extension).
+    Robust(RobustConfig),
+    /// Multi-resource coordinate descent (§2.3 extension).
+    MultiResource(MultiResourceConfig),
+    /// Quantile-of-window estimation (explicit feedback + similarity, with
+    /// a risk dial).
+    Quantile(QuantileConfig),
+    /// Hierarchical online similarity refinement (§4 future work).
+    Adaptive(AdaptiveConfig),
+    /// Regression-seeded successive approximation (§4 future work). Built
+    /// untrained; it arms its prior from explicit feedback online (run it
+    /// under [`crate::engine::FeedbackMode::Explicit`]).
+    WarmStart(WarmStartConfig),
+}
+
+impl EstimatorSpec {
+    /// Algorithm 1 with the paper's experimental settings (α = 2, β = 0).
+    pub fn paper_successive() -> Self {
+        EstimatorSpec::Successive(SuccessiveConfig::default())
+    }
+
+    /// Instantiate for a cluster with the given capacity ladder.
+    pub fn build(&self, ladder: &CapacityLadder) -> Box<dyn ResourceEstimator> {
+        match *self {
+            EstimatorSpec::PassThrough => Box::new(PassThrough),
+            EstimatorSpec::Oracle => Box::new(Oracle),
+            EstimatorSpec::Successive(cfg) => {
+                Box::new(SuccessiveApproximation::new(cfg, ladder.clone()))
+            }
+            EstimatorSpec::LastInstance(cfg) => Box::new(LastInstance::new(cfg)),
+            EstimatorSpec::Regression(cfg) => Box::new(RegressionEstimator::new(cfg)),
+            EstimatorSpec::Reinforcement(cfg) => Box::new(ReinforcementEstimator::new(cfg)),
+            EstimatorSpec::Robust(cfg) => Box::new(RobustBisection::new(cfg)),
+            EstimatorSpec::MultiResource(cfg) => {
+                Box::new(MultiResourceEstimator::new(cfg, ladder.clone()))
+            }
+            EstimatorSpec::Quantile(cfg) => Box::new(QuantileEstimator::new(cfg)),
+            EstimatorSpec::Adaptive(cfg) => {
+                Box::new(AdaptiveSimilarity::new(cfg, ladder.clone()))
+            }
+            EstimatorSpec::WarmStart(cfg) => {
+                Box::new(WarmStartEstimator::new(cfg, ladder.clone()))
+            }
+        }
+    }
+
+    /// Human-readable name matching the built estimator's `name()`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EstimatorSpec::PassThrough => "pass-through",
+            EstimatorSpec::Oracle => "oracle",
+            EstimatorSpec::Successive(_) => "successive-approximation",
+            EstimatorSpec::LastInstance(_) => "last-instance",
+            EstimatorSpec::Regression(_) => "regression",
+            EstimatorSpec::Reinforcement(_) => "reinforcement-learning",
+            EstimatorSpec::Robust(_) => "robust-bisection",
+            EstimatorSpec::MultiResource(_) => "multi-resource",
+            EstimatorSpec::Quantile(_) => "quantile",
+            EstimatorSpec::Adaptive(_) => "adaptive-similarity",
+            EstimatorSpec::WarmStart(_) => "warm-start-successive",
+        }
+    }
+
+    /// Whether this estimator needs explicit (measured-usage) feedback to
+    /// function as designed.
+    pub fn wants_explicit_feedback(&self) -> bool {
+        matches!(
+            self,
+            EstimatorSpec::LastInstance(_)
+                | EstimatorSpec::Regression(_)
+                | EstimatorSpec::WarmStart(_)
+                | EstimatorSpec::Quantile(_)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ladder() -> CapacityLadder {
+        CapacityLadder::new(vec![32 * 1024, 24 * 1024])
+    }
+
+    #[test]
+    fn every_spec_builds_and_names_consistently() {
+        let specs = [
+            EstimatorSpec::PassThrough,
+            EstimatorSpec::Oracle,
+            EstimatorSpec::paper_successive(),
+            EstimatorSpec::LastInstance(LastInstanceConfig::default()),
+            EstimatorSpec::Regression(RegressionConfig::default()),
+            EstimatorSpec::Reinforcement(ReinforcementConfig::default()),
+            EstimatorSpec::Robust(RobustConfig::default()),
+            EstimatorSpec::MultiResource(MultiResourceConfig::default()),
+            EstimatorSpec::Quantile(QuantileConfig::default()),
+            EstimatorSpec::Adaptive(AdaptiveConfig::default()),
+            EstimatorSpec::WarmStart(WarmStartConfig::default()),
+        ];
+        for spec in specs {
+            let built = spec.build(&ladder());
+            assert_eq!(built.name(), spec.name());
+        }
+    }
+
+    #[test]
+    fn explicit_feedback_flags() {
+        assert!(EstimatorSpec::LastInstance(LastInstanceConfig::default())
+            .wants_explicit_feedback());
+        assert!(EstimatorSpec::Regression(RegressionConfig::default()).wants_explicit_feedback());
+        assert!(!EstimatorSpec::paper_successive().wants_explicit_feedback());
+        assert!(!EstimatorSpec::PassThrough.wants_explicit_feedback());
+    }
+}

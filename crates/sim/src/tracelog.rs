@@ -1,0 +1,176 @@
+//! Optional per-decision trace logging.
+//!
+//! When enabled, the engine records every scheduling decision — admissions
+//! with their estimated demands, execution starts with the granted
+//! capacity, completions, failures, and churn — as a flat, serializable
+//! event list. This is the observability surface a production deployment
+//! of the estimator would need (the paper's Figure 7 is exactly one group's
+//! slice of such a log), and what the `fig7`-style analyses consume.
+
+use resmatch_workload::{JobId, Time};
+use serde::{Deserialize, Serialize};
+
+/// One logged decision.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// When it happened.
+    pub time: Time,
+    /// The job concerned (`JobId(0)` for cluster-level events).
+    pub job: JobId,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// Decision kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A (re)submission entered the queue with this estimated demand.
+    Admitted {
+        /// Estimated memory demand, KB per node.
+        demand_kb: u64,
+        /// Retry count (0 for the first submission).
+        attempt: u32,
+    },
+    /// An execution started.
+    Started {
+        /// Weakest allocated node's memory, KB — the capacity the job can
+        /// actually use.
+        granted_kb: u64,
+        /// Nodes allocated.
+        nodes: u32,
+    },
+    /// An execution completed successfully.
+    Completed,
+    /// An execution died (under-provisioning or injected fault).
+    Failed,
+    /// Cluster membership changed by this many nodes (negative = leave).
+    Churn {
+        /// Signed node delta.
+        delta: i64,
+    },
+}
+
+/// A run's decision log.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceLog {
+    entries: Vec<TraceEntry>,
+}
+
+impl TraceLog {
+    /// All entries, in event order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Append one entry.
+    pub fn push(&mut self, time: Time, job: JobId, kind: TraceKind) {
+        self.entries.push(TraceEntry { time, job, kind });
+    }
+
+    /// Entries concerning one job.
+    pub fn for_job(&self, job: JobId) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter().filter(move |e| e.job == job)
+    }
+
+    /// The granted-capacity trajectory of one job's executions — Figure 7's
+    /// series when the job belongs to the traced group.
+    pub fn granted_trajectory(&self, job: JobId) -> Vec<u64> {
+        self.for_job(job)
+            .filter_map(|e| match e.kind {
+                TraceKind::Started { granted_kb, .. } => Some(granted_kb),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Render as CSV for external tooling.
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("time_ms,job,kind,demand_kb,granted_kb,nodes,attempt,delta\n");
+        for e in &self.entries {
+            let (kind, demand, granted, nodes, attempt, delta) = match e.kind {
+                TraceKind::Admitted { demand_kb, attempt } => {
+                    ("admitted", demand_kb as i64, -1, -1, attempt as i64, 0)
+                }
+                TraceKind::Started { granted_kb, nodes } => {
+                    ("started", -1, granted_kb as i64, nodes as i64, -1, 0)
+                }
+                TraceKind::Completed => ("completed", -1, -1, -1, -1, 0),
+                TraceKind::Failed => ("failed", -1, -1, -1, -1, 0),
+                TraceKind::Churn { delta } => ("churn", -1, -1, -1, -1, delta),
+            };
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{}",
+                e.time.as_millis(),
+                e.job.0,
+                kind,
+                demand,
+                granted,
+                nodes,
+                attempt,
+                delta
+            );
+        }
+        out
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing was logged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query() {
+        let mut log = TraceLog::default();
+        log.push(
+            Time::from_secs(1),
+            JobId(7),
+            TraceKind::Admitted {
+                demand_kb: 100,
+                attempt: 0,
+            },
+        );
+        log.push(
+            Time::from_secs(2),
+            JobId(7),
+            TraceKind::Started {
+                granted_kb: 128,
+                nodes: 4,
+            },
+        );
+        log.push(Time::from_secs(3), JobId(9), TraceKind::Completed);
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.for_job(JobId(7)).count(), 2);
+        assert_eq!(log.granted_trajectory(JobId(7)), vec![128]);
+        assert!(log.granted_trajectory(JobId(9)).is_empty());
+    }
+
+    #[test]
+    fn csv_has_one_row_per_entry() {
+        let mut log = TraceLog::default();
+        log.push(Time::ZERO, JobId(1), TraceKind::Failed);
+        log.push(Time::ZERO, JobId(0), TraceKind::Churn { delta: -4 });
+        let csv = log.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.contains("churn"));
+        assert!(csv.contains(",-4"));
+    }
+
+    #[test]
+    fn empty_log() {
+        let log = TraceLog::default();
+        assert!(log.is_empty());
+        assert_eq!(log.to_csv().lines().count(), 1);
+    }
+}

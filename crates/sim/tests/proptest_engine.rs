@@ -1,0 +1,189 @@
+//! Property-based tests on the simulation engine: conservation laws and
+//! sanity invariants under arbitrary small workloads and estimators.
+
+use proptest::prelude::*;
+use resmatch_cluster::ClusterBuilder;
+use resmatch_core::prelude::*;
+use resmatch_sim::prelude::*;
+use resmatch_workload::job::JobBuilder;
+use resmatch_workload::{Time, Workload};
+
+const MB: u64 = 1024;
+
+#[derive(Debug, Clone)]
+struct JobSpec {
+    user: u32,
+    app: u32,
+    submit_s: u64,
+    runtime_s: u64,
+    nodes: u32,
+    req_mb: u64,
+    used_frac: f64,
+}
+
+fn arb_jobs() -> impl Strategy<Value = Vec<JobSpec>> {
+    prop::collection::vec(
+        (
+            0u32..4,
+            0u32..3,
+            0u64..5_000,
+            1u64..2_000,
+            1u32..12,
+            1u64..33,
+            0.01f64..1.0,
+        )
+            .prop_map(
+                |(user, app, submit_s, runtime_s, nodes, req_mb, used_frac)| JobSpec {
+                    user,
+                    app,
+                    submit_s,
+                    runtime_s,
+                    nodes,
+                    req_mb,
+                    used_frac,
+                },
+            ),
+        1..60,
+    )
+}
+
+fn workload(specs: &[JobSpec]) -> Workload {
+    Workload::new(
+        specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let req = s.req_mb * MB;
+                JobBuilder::new(i as u64 + 1)
+                    .user(s.user)
+                    .app(s.app)
+                    .submit(Time::from_secs(s.submit_s))
+                    .runtime(Time::from_secs(s.runtime_s))
+                    .nodes(s.nodes)
+                    .requested_mem_kb(req)
+                    .used_mem_kb(((req as f64 * s.used_frac) as u64).max(1))
+                    .build()
+            })
+            .collect(),
+    )
+}
+
+fn arb_spec() -> impl Strategy<Value = EstimatorSpec> {
+    prop_oneof![
+        Just(EstimatorSpec::PassThrough),
+        Just(EstimatorSpec::Oracle),
+        Just(EstimatorSpec::paper_successive()),
+        Just(EstimatorSpec::Robust(RobustConfig::default())),
+        Just(EstimatorSpec::Reinforcement(ReinforcementConfig::default())),
+        Just(EstimatorSpec::LastInstance(LastInstanceConfig::default())),
+        Just(EstimatorSpec::Adaptive(AdaptiveConfig::default())),
+    ]
+}
+
+fn arb_policy() -> impl Strategy<Value = SchedulingPolicy> {
+    prop_oneof![
+        Just(SchedulingPolicy::Fcfs),
+        Just(SchedulingPolicy::Sjf),
+        Just(SchedulingPolicy::EasyBackfill),
+    ]
+}
+
+fn cluster() -> resmatch_cluster::Cluster {
+    ClusterBuilder::new()
+        .pool(8, 32 * MB)
+        .pool(8, 24 * MB)
+        .pool(8, 8 * MB)
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_job_completes_or_is_dropped(
+        specs in arb_jobs(),
+        spec in arb_spec(),
+        policy in arb_policy(),
+        explicit in any::<bool>(),
+    ) {
+        let w = workload(&specs);
+        let cfg = SimConfig {
+            scheduling: policy,
+            feedback: if explicit { FeedbackMode::Explicit } else { FeedbackMode::Implicit },
+            ..SimConfig::default()
+        };
+        let r = Simulation::new(cfg, cluster(), spec).run(&w);
+        prop_assert_eq!(r.completed_jobs + r.dropped_jobs, w.len());
+        prop_assert_eq!(r.records.len(), r.completed_jobs);
+    }
+
+    #[test]
+    fn conservation_and_bounds(specs in arb_jobs(), spec in arb_spec()) {
+        let w = workload(&specs);
+        let r = Simulation::new(SimConfig::default(), cluster(), spec).run(&w);
+        // Goodput equals the node-seconds of completed jobs exactly.
+        let expected: f64 = r
+            .records
+            .iter()
+            .map(|rec| rec.nodes as f64 * rec.runtime.as_secs_f64())
+            .sum();
+        prop_assert!((r.goodput_node_seconds - expected).abs() < 1e-6 * (1.0 + expected));
+        // Utilizations are proper fractions.
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&r.utilization()));
+        prop_assert!(r.busy_utilization() + 1e-9 >= r.utilization());
+        prop_assert!(r.busy_utilization() <= 1.0 + 1e-9);
+        // Queue statistics are non-negative and bounded by the cluster.
+        prop_assert!(r.mean_queue_length >= 0.0);
+        prop_assert!(r.mean_busy_nodes <= r.total_nodes as f64 + 1e-9);
+    }
+
+    #[test]
+    fn per_job_timing_invariants(specs in arb_jobs(), spec in arb_spec()) {
+        let w = workload(&specs);
+        let r = Simulation::new(SimConfig::default(), cluster(), spec).run(&w);
+        for rec in &r.records {
+            prop_assert!(rec.final_start >= rec.submit);
+            prop_assert_eq!(rec.completion, rec.final_start + rec.runtime);
+            prop_assert!(rec.slowdown() >= 1.0 - 1e-12);
+            prop_assert!(rec.bounded_slowdown(10.0) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic(specs in arb_jobs(), spec in arb_spec()) {
+        let w = workload(&specs);
+        let run = || Simulation::new(SimConfig::default(), cluster(), spec).run(&w);
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn oracle_never_fails_on_any_workload(specs in arb_jobs(), policy in arb_policy()) {
+        let w = workload(&specs);
+        let cfg = SimConfig { scheduling: policy, ..SimConfig::default() };
+        let r = Simulation::new(cfg, cluster(), EstimatorSpec::Oracle).run(&w);
+        prop_assert_eq!(r.failed_executions, 0);
+        prop_assert_eq!(r.wasted_node_seconds, 0.0);
+    }
+
+    #[test]
+    fn estimation_never_loses_to_baseline_badly(specs in arb_jobs()) {
+        // Whatever the workload, Algorithm 1's goodput utilization stays
+        // within a whisker of the baseline's (it can spend a little on
+        // probing failures, never more).
+        let w = workload(&specs);
+        let base = Simulation::new(SimConfig::default(), cluster(), EstimatorSpec::PassThrough)
+            .run(&w);
+        let est = Simulation::new(
+            SimConfig::default(),
+            cluster(),
+            EstimatorSpec::paper_successive(),
+        )
+        .run(&w);
+        prop_assert!(
+            est.utilization() >= base.utilization() * 0.85 - 1e-9,
+            "estimation {} vs baseline {}",
+            est.utilization(),
+            base.utilization()
+        );
+    }
+}

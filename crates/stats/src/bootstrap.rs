@@ -1,0 +1,175 @@
+//! Percentile-bootstrap confidence intervals.
+//!
+//! Experiment binaries report single utilization/slowdown numbers per
+//! configuration; the bootstrap quantifies how much trace-sampling noise
+//! those numbers carry. The resampler uses an internal SplitMix64 stream so
+//! this crate stays dependency-free and results stay deterministic per
+//! seed.
+
+use crate::descriptive::Summary;
+
+/// Deterministic SplitMix64 — a tiny, well-mixed PRNG adequate for
+/// resampling indices (not for cryptography).
+#[derive(Debug, Clone, Copy)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform index in `[0, n)`.
+    fn index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// A two-sided bootstrap confidence interval for a statistic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// The statistic on the full sample.
+    pub point: f64,
+    /// Lower percentile bound.
+    pub lower: f64,
+    /// Upper percentile bound.
+    pub upper: f64,
+    /// Confidence level, e.g. 0.95.
+    pub level: f64,
+}
+
+/// Percentile-bootstrap CI for an arbitrary statistic of a sample.
+///
+/// Returns `None` for empty data, `resamples == 0`, or a `level` outside
+/// `(0, 1)`.
+pub fn bootstrap_ci<F>(
+    data: &[f64],
+    statistic: F,
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> Option<ConfidenceInterval>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    if data.is_empty() || resamples == 0 || !(0.0 < level && level < 1.0) {
+        return None;
+    }
+    let point = statistic(data);
+    let mut rng = SplitMix64::new(seed);
+    let mut scratch = vec![0.0; data.len()];
+    let mut stats = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        for slot in scratch.iter_mut() {
+            *slot = data[rng.index(data.len())];
+        }
+        stats.push(statistic(&scratch));
+    }
+    let summary = Summary::from_slice(&stats);
+    let alpha = (1.0 - level) / 2.0;
+    Some(ConfidenceInterval {
+        point,
+        lower: summary.percentile(alpha * 100.0)?,
+        upper: summary.percentile((1.0 - alpha) * 100.0)?,
+        level,
+    })
+}
+
+/// Bootstrap CI for the mean — the common case for slowdown and wait-time
+/// reporting.
+pub fn bootstrap_mean_ci(
+    data: &[f64],
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> Option<ConfidenceInterval> {
+    bootstrap_ci(
+        data,
+        |s| s.iter().sum::<f64>() / s.len() as f64,
+        resamples,
+        level,
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<f64> {
+        (0..200).map(|i| ((i * 37) % 100) as f64).collect()
+    }
+
+    #[test]
+    fn interval_brackets_the_point() {
+        let ci = bootstrap_mean_ci(&sample(), 500, 0.95, 7).unwrap();
+        assert!(ci.lower <= ci.point);
+        assert!(ci.point <= ci.upper);
+        assert_eq!(ci.level, 0.95);
+    }
+
+    #[test]
+    fn interval_shrinks_with_confidence_level() {
+        let data = sample();
+        let wide = bootstrap_mean_ci(&data, 800, 0.99, 7).unwrap();
+        let narrow = bootstrap_mean_ci(&data, 800, 0.80, 7).unwrap();
+        assert!(narrow.upper - narrow.lower < wide.upper - wide.lower);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = sample();
+        let a = bootstrap_mean_ci(&data, 300, 0.95, 1).unwrap();
+        let b = bootstrap_mean_ci(&data, 300, 0.95, 1).unwrap();
+        assert_eq!(a, b);
+        let c = bootstrap_mean_ci(&data, 300, 0.95, 2).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(bootstrap_mean_ci(&[], 100, 0.95, 1).is_none());
+        assert!(bootstrap_mean_ci(&[1.0], 0, 0.95, 1).is_none());
+        assert!(bootstrap_mean_ci(&[1.0], 100, 1.0, 1).is_none());
+        assert!(bootstrap_mean_ci(&[1.0], 100, 0.0, 1).is_none());
+    }
+
+    #[test]
+    fn constant_sample_collapses() {
+        let ci = bootstrap_mean_ci(&[5.0; 50], 200, 0.95, 3).unwrap();
+        assert_eq!(ci.point, 5.0);
+        assert_eq!(ci.lower, 5.0);
+        assert_eq!(ci.upper, 5.0);
+    }
+
+    #[test]
+    fn custom_statistic() {
+        let data = sample();
+        let ci = bootstrap_ci(
+            &data,
+            |s| Summary::from_slice(s).median().unwrap(),
+            300,
+            0.9,
+            11,
+        )
+        .unwrap();
+        assert!(ci.lower <= ci.point && ci.point <= ci.upper);
+    }
+
+    #[test]
+    fn mean_ci_covers_true_mean_for_large_samples() {
+        let data = sample();
+        let true_mean = data.iter().sum::<f64>() / data.len() as f64;
+        let ci = bootstrap_mean_ci(&data, 1_000, 0.99, 5).unwrap();
+        assert!(ci.lower <= true_mean && true_mean <= ci.upper);
+    }
+}

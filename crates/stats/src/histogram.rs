@@ -1,0 +1,289 @@
+//! Fixed-bin histograms over linear and logarithmic domains.
+//!
+//! Figure 1 of the paper is a histogram of requested/used memory ratios whose
+//! horizontal axis spans two orders of magnitude, so [`LogHistogram`] bins by
+//! powers of a configurable base. [`Histogram`] covers linear domains such as
+//! group sizes (Figure 3).
+
+/// A linear-bin histogram over `[lo, hi)` with equally wide bins.
+///
+/// Values below `lo` land in an underflow counter, values `>= hi` in an
+/// overflow counter, so no observation is silently dropped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Create a histogram with `bins` equal-width bins covering `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `lo >= hi` or either bound is non-finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid range");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: f64) {
+        self.total += 1;
+        if value < self.lo {
+            self.underflow += 1;
+        } else if value >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((value - self.lo) / width) as usize;
+            // Floating point can round up to the bin count at the very edge.
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Record every value in `values`.
+    pub fn record_all<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.record(v);
+        }
+    }
+
+    /// Count in bin `idx`.
+    pub fn count(&self, idx: usize) -> u64 {
+        self.bins[idx]
+    }
+
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Total observations recorded, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Midpoint of bin `idx`.
+    pub fn bin_center(&self, idx: usize) -> f64 {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        self.lo + width * (idx as f64 + 0.5)
+    }
+
+    /// `(center, count)` pairs for all bins.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        (0..self.bins.len()).map(|i| (self.bin_center(i), self.bins[i]))
+    }
+
+    /// Fraction of in-range observations in bin `idx` relative to the total.
+    pub fn fraction(&self, idx: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.bins[idx] as f64 / self.total as f64
+        }
+    }
+}
+
+/// A histogram whose bins are powers of `base` starting at `first`:
+/// bin k covers `[first * base^k, first * base^(k+1))`.
+///
+/// This is the natural binning for the over-provisioning-ratio histogram of
+/// Figure 1 (base 2, first bin at ratio 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogHistogram {
+    first: f64,
+    base: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl LogHistogram {
+    /// Create a log histogram of `bins` bins with the given `base`, the first
+    /// bin starting at `first`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0`, `base <= 1`, or `first <= 0`.
+    pub fn new(first: f64, base: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(base > 1.0, "log base must exceed 1");
+        assert!(first > 0.0 && first.is_finite(), "first edge must be positive");
+        LogHistogram {
+            first,
+            base,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: f64) {
+        self.total += 1;
+        if !(value >= self.first) {
+            self.underflow += 1;
+            return;
+        }
+        let idx = (value / self.first).log(self.base).floor() as usize;
+        if idx >= self.bins.len() {
+            self.overflow += 1;
+        } else {
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Record every value in `values`.
+    pub fn record_all<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.record(v);
+        }
+    }
+
+    /// Count in bin `idx`.
+    pub fn count(&self, idx: usize) -> u64 {
+        self.bins[idx]
+    }
+
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Total observations recorded, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations below the first edge.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations beyond the last bin.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Lower edge of bin `idx`.
+    pub fn bin_lower(&self, idx: usize) -> f64 {
+        self.first * self.base.powi(idx as i32)
+    }
+
+    /// Geometric midpoint of bin `idx`.
+    pub fn bin_center(&self, idx: usize) -> f64 {
+        self.bin_lower(idx) * self.base.sqrt()
+    }
+
+    /// Fraction of observations in bin `idx` relative to the total.
+    pub fn fraction(&self, idx: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.bins[idx] as f64 / self.total as f64
+        }
+    }
+
+    /// `(lower_edge, count)` pairs for all bins.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        (0..self.bins.len()).map(|i| (self.bin_lower(i), self.bins[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_binning_places_values() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.record_all([0.0, 1.9, 2.0, 9.99, 10.0, -0.1]);
+        assert_eq!(h.count(0), 2); // 0.0 and 1.9
+        assert_eq!(h.count(1), 1); // 2.0
+        assert_eq!(h.count(4), 1); // 9.99
+        assert_eq!(h.overflow(), 1); // 10.0
+        assert_eq!(h.underflow(), 1); // -0.1
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn linear_bin_centers() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        assert!((h.bin_center(0) - 1.0).abs() < 1e-12);
+        assert!((h.bin_center(4) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_edge_value_rounds_into_last_bin() {
+        let mut h = Histogram::new(0.0, 1.0, 3);
+        // A value just below hi must not index out of bounds.
+        h.record(1.0 - 1e-16);
+        assert_eq!(h.count(2) + h.overflow(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn log_binning_by_powers_of_two() {
+        let mut h = LogHistogram::new(1.0, 2.0, 4);
+        h.record_all([1.0, 1.5, 2.0, 3.9, 4.0, 8.0, 100.0, 0.5]);
+        assert_eq!(h.count(0), 2); // [1,2): 1.0, 1.5
+        assert_eq!(h.count(1), 2); // [2,4): 2.0, 3.9
+        assert_eq!(h.count(2), 1); // [4,8): 4.0
+        assert_eq!(h.count(3), 1); // [8,16): 8.0
+        assert_eq!(h.overflow(), 1); // 100
+        assert_eq!(h.underflow(), 1); // 0.5
+    }
+
+    #[test]
+    fn log_bin_edges() {
+        let h = LogHistogram::new(1.0, 2.0, 8);
+        assert!((h.bin_lower(0) - 1.0).abs() < 1e-12);
+        assert!((h.bin_lower(3) - 8.0).abs() < 1e-12);
+        assert!((h.bin_center(0) - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_nan_counts_as_underflow() {
+        let mut h = LogHistogram::new(1.0, 2.0, 4);
+        h.record(f64::NAN);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.total(), 1);
+    }
+
+    #[test]
+    fn fractions_sum_to_at_most_one() {
+        let mut h = LogHistogram::new(1.0, 2.0, 4);
+        h.record_all([1.0, 2.0, 4.0, 50.0]);
+        let in_range: f64 = (0..h.num_bins()).map(|i| h.fraction(i)).sum();
+        assert!(in_range <= 1.0 + 1e-12);
+        assert!((in_range - 0.75).abs() < 1e-12);
+    }
+}

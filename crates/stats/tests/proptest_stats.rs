@@ -1,0 +1,140 @@
+//! Property-based tests for the statistics substrate.
+
+use proptest::prelude::*;
+use resmatch_stats::descriptive::Summary;
+use resmatch_stats::empirical::EmpiricalDistribution;
+use resmatch_stats::histogram::{Histogram, LogHistogram};
+use resmatch_stats::online::Welford;
+use resmatch_stats::regression::{r_squared, LeastSquares, SimpleLinearRegression};
+
+fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, 1..max_len)
+}
+
+proptest! {
+    #[test]
+    fn welford_matches_batch(data in finite_vec(200)) {
+        let mut w = Welford::new();
+        for &v in &data {
+            w.update(v);
+        }
+        let s = Summary::from_slice(&data);
+        prop_assert_eq!(w.count() as usize, s.count);
+        prop_assert!((w.mean() - s.mean).abs() < 1e-6 * (1.0 + s.mean.abs()));
+        prop_assert!((w.variance() - s.variance).abs() < 1e-4 * (1.0 + s.variance));
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential(data in finite_vec(200), split in 0usize..200) {
+        let split = split.min(data.len());
+        let mut all = Welford::new();
+        for &v in &data {
+            all.update(v);
+        }
+        let mut left = Welford::new();
+        let mut right = Welford::new();
+        for &v in &data[..split] {
+            left.update(v);
+        }
+        for &v in &data[split..] {
+            right.update(v);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), all.count());
+        prop_assert!((left.mean() - all.mean()).abs() < 1e-6 * (1.0 + all.mean().abs()));
+        prop_assert!((left.variance() - all.variance()).abs() < 1e-4 * (1.0 + all.variance()));
+    }
+
+    #[test]
+    fn histogram_conserves_observations(data in finite_vec(300)) {
+        let mut h = Histogram::new(-1e5, 1e5, 16);
+        h.record_all(data.iter().copied());
+        let binned: u64 = (0..h.num_bins()).map(|i| h.count(i)).sum();
+        prop_assert_eq!(binned + h.underflow() + h.overflow(), data.len() as u64);
+    }
+
+    #[test]
+    fn log_histogram_conserves_observations(data in prop::collection::vec(1e-3f64..1e6, 1..300)) {
+        let mut h = LogHistogram::new(1.0, 2.0, 12);
+        h.record_all(data.iter().copied());
+        let binned: u64 = (0..h.num_bins()).map(|i| h.count(i)).sum();
+        prop_assert_eq!(binned + h.underflow() + h.overflow(), data.len() as u64);
+    }
+
+    #[test]
+    fn percentiles_are_monotone(data in finite_vec(100)) {
+        let s = Summary::from_slice(&data);
+        let mut last = f64::NEG_INFINITY;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0] {
+            let q = s.percentile(p).unwrap();
+            prop_assert!(q >= last);
+            prop_assert!(q >= s.min && q <= s.max);
+            last = q;
+        }
+    }
+
+    #[test]
+    fn r_squared_is_bounded(
+        ys in finite_vec(100),
+        noise in prop::collection::vec(-10.0f64..10.0, 100),
+    ) {
+        let preds: Vec<f64> = ys.iter().zip(&noise).map(|(y, n)| y + n).collect();
+        let r2 = r_squared(&ys, &preds[..ys.len().min(preds.len())].to_vec());
+        prop_assert!((0.0..=1.0).contains(&r2));
+    }
+
+    #[test]
+    fn regression_recovers_planted_line(
+        slope in -100.0f64..100.0,
+        intercept in -100.0f64..100.0,
+        n in 3usize..50,
+    ) {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
+        let fit = SimpleLinearRegression::fit(&xs, &ys).unwrap();
+        prop_assert!((fit.slope - slope).abs() < 1e-6 * (1.0 + slope.abs()));
+        prop_assert!((fit.intercept - intercept).abs() < 1e-5 * (1.0 + intercept.abs()));
+    }
+
+    #[test]
+    fn least_squares_recovers_planted_plane(
+        a in -10.0f64..10.0,
+        b in -10.0f64..10.0,
+        c in -10.0f64..10.0,
+    ) {
+        let rows: Vec<Vec<f64>> = (0..30)
+            .map(|i| {
+                let x = i as f64;
+                let y = ((i * 7) % 13) as f64;
+                vec![x, y, 1.0]
+            })
+            .collect();
+        let ys: Vec<f64> = rows.iter().map(|r| a * r[0] + b * r[1] + c).collect();
+        let fit = LeastSquares::fit(&rows, &ys, 0.0).unwrap();
+        prop_assert!((fit.coefficients[0] - a).abs() < 1e-6);
+        prop_assert!((fit.coefficients[1] - b).abs() < 1e-6);
+        prop_assert!((fit.coefficients[2] - c).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empirical_quantiles_bounded_and_monotone(data in finite_vec(100)) {
+        let d = EmpiricalDistribution::from_sample(&data).unwrap();
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = d.quantile(i as f64 / 20.0);
+            prop_assert!(q >= last - 1e-12);
+            prop_assert!(q >= d.min() && q <= d.max());
+            last = q;
+        }
+    }
+
+    #[test]
+    fn empirical_cdf_quantile_consistent(data in finite_vec(100), u in 0.0f64..1.0) {
+        let d = EmpiricalDistribution::from_sample(&data).unwrap();
+        let x = d.quantile(u);
+        // At least a u-fraction of mass lies at or below the u-quantile
+        // (up to interpolation granularity of one sample).
+        let cdf = d.cdf(x);
+        prop_assert!(cdf + 1.0 / d.len() as f64 >= u - 1e-9);
+    }
+}

@@ -1,0 +1,208 @@
+//! Calibration targets and validation.
+//!
+//! The synthetic generator's whole claim to fidelity is that it matches the
+//! statistics the paper reports about the LANL CM5 trace. This module makes
+//! that claim checkable: [`CalibrationTargets::paper`] encodes the published
+//! numbers, [`measure`] computes the same statistics for any workload, and
+//! [`CalibrationReport`] scores the deviation — so recalibrating the
+//! generator (or validating it against the *real* trace, if you have it) is
+//! one function call.
+
+use crate::analysis::{group_size_distribution, overprovisioned_fraction, trace_stats};
+use crate::job::Workload;
+
+/// Reference statistics to calibrate against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationTargets {
+    /// Total jobs.
+    pub jobs: usize,
+    /// Similarity groups under the paper's (user, app, requested-memory)
+    /// key.
+    pub groups: usize,
+    /// Fraction of jobs with requested/used >= 2.
+    pub overprovisioned_2x: f64,
+    /// Fraction of groups holding >= 10 jobs.
+    pub big_group_fraction: f64,
+    /// Fraction of jobs inside those groups.
+    pub jobs_in_big_groups: f64,
+}
+
+impl CalibrationTargets {
+    /// The numbers the paper reports for the LANL CM5 trace.
+    pub fn paper() -> Self {
+        CalibrationTargets {
+            jobs: 122_055,
+            groups: 9_885,
+            overprovisioned_2x: 0.328,
+            big_group_fraction: 0.194,
+            jobs_in_big_groups: 0.83,
+        }
+    }
+}
+
+/// The same statistics, measured on a concrete workload.
+pub fn measure(workload: &Workload) -> CalibrationTargets {
+    let stats = trace_stats(workload);
+    let dist = group_size_distribution(workload);
+    let big_groups: usize = dist.iter().filter(|b| b.size >= 10).map(|b| b.groups).sum();
+    let jobs_in_big: f64 = dist
+        .iter()
+        .filter(|b| b.size >= 10)
+        .map(|b| b.job_fraction)
+        .sum();
+    CalibrationTargets {
+        jobs: stats.jobs,
+        groups: stats.groups,
+        overprovisioned_2x: overprovisioned_fraction(workload, 2.0),
+        big_group_fraction: if stats.groups == 0 {
+            0.0
+        } else {
+            big_groups as f64 / stats.groups as f64
+        },
+        jobs_in_big_groups: jobs_in_big,
+    }
+}
+
+/// One scored dimension of a calibration comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationCheck {
+    /// What is being compared.
+    pub name: &'static str,
+    /// Reference value.
+    pub target: f64,
+    /// Measured value.
+    pub measured: f64,
+    /// |measured - target| / max(|target|, ε).
+    pub relative_error: f64,
+}
+
+/// A full comparison between measured statistics and targets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationReport {
+    /// Per-dimension checks.
+    pub checks: Vec<CalibrationCheck>,
+}
+
+impl CalibrationReport {
+    /// Compare `measured` against `targets`. Count-type dimensions (jobs,
+    /// groups) are compared as densities (groups per job) so traces of
+    /// different sizes remain comparable.
+    pub fn compare(measured: &CalibrationTargets, targets: &CalibrationTargets) -> Self {
+        fn check(name: &'static str, target: f64, measured: f64) -> CalibrationCheck {
+            let denom = target.abs().max(1e-12);
+            CalibrationCheck {
+                name,
+                target,
+                measured,
+                relative_error: (measured - target).abs() / denom,
+            }
+        }
+        let target_density = targets.groups as f64 / targets.jobs.max(1) as f64;
+        let measured_density = measured.groups as f64 / measured.jobs.max(1) as f64;
+        CalibrationReport {
+            checks: vec![
+                check("groups_per_job", target_density, measured_density),
+                check(
+                    "overprovisioned_2x",
+                    targets.overprovisioned_2x,
+                    measured.overprovisioned_2x,
+                ),
+                check(
+                    "big_group_fraction",
+                    targets.big_group_fraction,
+                    measured.big_group_fraction,
+                ),
+                check(
+                    "jobs_in_big_groups",
+                    targets.jobs_in_big_groups,
+                    measured.jobs_in_big_groups,
+                ),
+            ],
+        }
+    }
+
+    /// Largest relative error across dimensions.
+    pub fn worst_error(&self) -> f64 {
+        self.checks
+            .iter()
+            .map(|c| c.relative_error)
+            .fold(0.0, f64::max)
+    }
+
+    /// True when every dimension is within `tolerance` relative error.
+    pub fn passes(&self, tolerance: f64) -> bool {
+        self.worst_error() <= tolerance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{generate, Cm5Config};
+
+    #[test]
+    fn full_scale_synthetic_trace_calibrates_against_paper() {
+        let trace = generate(&Cm5Config::default(), 42);
+        let report = CalibrationReport::compare(&measure(&trace), &CalibrationTargets::paper());
+        // The generator promises each published statistic within ~30%
+        // relative error (most are far closer; see EXPERIMENTS.md).
+        assert!(
+            report.passes(0.30),
+            "calibration drifted: {:#?}",
+            report.checks
+        );
+    }
+
+    #[test]
+    fn measure_on_empty_trace_is_safe() {
+        let m = measure(&Workload::default());
+        assert_eq!(m.jobs, 0);
+        assert_eq!(m.groups, 0);
+        assert_eq!(m.overprovisioned_2x, 0.0);
+    }
+
+    #[test]
+    fn comparing_targets_to_themselves_is_exact() {
+        let t = CalibrationTargets::paper();
+        let report = CalibrationReport::compare(&t, &t);
+        assert_eq!(report.worst_error(), 0.0);
+        assert!(report.passes(0.0));
+    }
+
+    #[test]
+    fn drift_is_detected() {
+        let t = CalibrationTargets::paper();
+        let drifted = CalibrationTargets {
+            overprovisioned_2x: t.overprovisioned_2x * 2.0,
+            ..t
+        };
+        let report = CalibrationReport::compare(&drifted, &t);
+        assert!(!report.passes(0.5));
+        assert!((report.worst_error() - 1.0).abs() < 1e-9);
+        let offending = report
+            .checks
+            .iter()
+            .max_by(|a, b| a.relative_error.partial_cmp(&b.relative_error).unwrap())
+            .unwrap();
+        assert_eq!(offending.name, "overprovisioned_2x");
+    }
+
+    #[test]
+    fn density_comparison_is_scale_free() {
+        // A smaller trace with the same group density scores ~0 error on
+        // the density dimension.
+        let t = CalibrationTargets::paper();
+        let scaled = CalibrationTargets {
+            jobs: t.jobs / 10,
+            groups: t.groups / 10,
+            ..t
+        };
+        let report = CalibrationReport::compare(&scaled, &t);
+        let density = report
+            .checks
+            .iter()
+            .find(|c| c.name == "groups_per_job")
+            .unwrap();
+        assert!(density.relative_error < 0.01);
+    }
+}

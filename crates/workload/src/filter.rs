@@ -1,0 +1,169 @@
+//! Trace filtering and transformation utilities.
+//!
+//! Real workload studies rarely replay a trace verbatim: they slice time
+//! windows, drop cancelled jobs, focus on heavy users, or split a log into
+//! a training prefix (for offline estimator customization — the paper's
+//! setup phase) and an evaluation suffix. These combinators keep that
+//! plumbing out of experiment code.
+
+use crate::job::{Job, JobStatus, Workload};
+use crate::time::Time;
+
+/// Jobs whose submit time lies in `[from, to)`, with submit times shifted
+/// so the window starts at zero (ready for standalone replay).
+pub fn time_window(workload: &Workload, from: Time, to: Time) -> Workload {
+    let jobs = workload
+        .jobs()
+        .iter()
+        .filter(|j| j.submit >= from && j.submit < to)
+        .map(|j| {
+            let mut job = j.clone();
+            job.submit = j.submit - from;
+            job
+        })
+        .collect();
+    Workload::new(jobs)
+}
+
+/// Keep only jobs matching a predicate.
+pub fn filter_jobs(workload: &Workload, mut keep: impl FnMut(&Job) -> bool) -> Workload {
+    Workload::new(workload.jobs().iter().filter(|j| keep(j)).cloned().collect())
+}
+
+/// Keep only jobs by the given user.
+pub fn by_user(workload: &Workload, user: u32) -> Workload {
+    filter_jobs(workload, |j| j.user == user)
+}
+
+/// Drop jobs the source trace recorded as cancelled (they never consumed
+/// resources and distort slowdown statistics).
+pub fn drop_cancelled(workload: &Workload) -> Workload {
+    filter_jobs(workload, |j| j.status != JobStatus::Cancelled)
+}
+
+/// Split a trace at `fraction` of its jobs (by submit order) into a
+/// training prefix and an evaluation suffix — the paper's offline
+/// customization phase followed by live estimation.
+///
+/// # Panics
+/// Panics unless `0 < fraction < 1`.
+pub fn split_train_eval(workload: &Workload, fraction: f64) -> (Workload, Workload) {
+    assert!(
+        fraction > 0.0 && fraction < 1.0,
+        "split fraction must be in (0, 1)"
+    );
+    let cut = ((workload.len() as f64 * fraction).round() as usize).clamp(1, workload.len());
+    let jobs = workload.jobs();
+    let train = Workload::new(jobs[..cut].to_vec());
+    let eval = Workload::new(jobs[cut.min(jobs.len())..].to_vec());
+    (train, eval)
+}
+
+/// Interleave two traces by submit time, renumbering ids in the second to
+/// avoid collisions (useful for composing workload mixes).
+pub fn merge(a: &Workload, b: &Workload) -> Workload {
+    let max_id = a.jobs().iter().map(|j| j.id.0).max().unwrap_or(0);
+    let mut jobs = a.jobs().to_vec();
+    jobs.extend(b.jobs().iter().map(|j| {
+        let mut job = j.clone();
+        job.id.0 += max_id + 1;
+        job
+    }));
+    Workload::new(jobs)
+}
+
+/// The distinct users present, sorted.
+pub fn users(workload: &Workload) -> Vec<u32> {
+    let mut out: Vec<u32> = workload.jobs().iter().map(|j| j.user).collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobBuilder;
+
+    fn trace() -> Workload {
+        Workload::new(
+            (0..10u64)
+                .map(|i| {
+                    JobBuilder::new(i)
+                        .user((i % 3) as u32)
+                        .submit(Time::from_secs(i * 100))
+                        .status(if i == 4 {
+                            JobStatus::Cancelled
+                        } else {
+                            JobStatus::Completed
+                        })
+                        .build()
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn window_selects_and_rebases() {
+        let w = time_window(&trace(), Time::from_secs(200), Time::from_secs(500));
+        assert_eq!(w.len(), 3); // submits 200, 300, 400
+        assert_eq!(w.jobs()[0].submit, Time::ZERO);
+        assert_eq!(w.jobs()[2].submit, Time::from_secs(200));
+    }
+
+    #[test]
+    fn window_boundaries_are_half_open() {
+        let w = time_window(&trace(), Time::from_secs(0), Time::from_secs(100));
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.jobs()[0].id.0, 0);
+    }
+
+    #[test]
+    fn by_user_filters() {
+        let w = by_user(&trace(), 1);
+        assert_eq!(w.len(), 3); // ids 1, 4, 7
+        assert!(w.jobs().iter().all(|j| j.user == 1));
+    }
+
+    #[test]
+    fn drop_cancelled_removes_only_cancelled() {
+        let w = drop_cancelled(&trace());
+        assert_eq!(w.len(), 9);
+        assert!(w.jobs().iter().all(|j| j.status != JobStatus::Cancelled));
+    }
+
+    #[test]
+    fn split_respects_fraction_and_order() {
+        let (train, eval) = split_train_eval(&trace(), 0.3);
+        assert_eq!(train.len(), 3);
+        assert_eq!(eval.len(), 7);
+        assert!(train.jobs().iter().all(|j| j.submit < eval.jobs()[0].submit));
+    }
+
+    #[test]
+    #[should_panic(expected = "split fraction must be in (0, 1)")]
+    fn split_rejects_full_fraction() {
+        let _ = split_train_eval(&trace(), 1.0);
+    }
+
+    #[test]
+    fn merge_renumbers_and_interleaves() {
+        let a = trace();
+        let b = trace();
+        let m = merge(&a, &b);
+        assert_eq!(m.len(), 20);
+        // No duplicate ids.
+        let mut ids: Vec<u64> = m.jobs().iter().map(|j| j.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 20);
+        // Sorted by submit.
+        assert!(m.jobs().windows(2).all(|p| p[0].submit <= p[1].submit));
+    }
+
+    #[test]
+    fn users_deduped_sorted() {
+        assert_eq!(users(&trace()), vec![0, 1, 2]);
+        assert!(users(&Workload::default()).is_empty());
+    }
+}

@@ -1,0 +1,376 @@
+//! The job model: requested vs. actual resource capacities.
+//!
+//! A job is a set of processes run in parallel on one or more nodes. The
+//! fields mirror the Standard Workload Format record for the LANL CM5 trace,
+//! extended with a software-package prerequisite set — the paper names
+//! installed packages (alongside memory and disk) as a resource class subject
+//! to over-provisioning.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::Time;
+
+/// Unique job identifier (the SWF job number).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job#{}", self.0)
+    }
+}
+
+/// Terminal status recorded in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JobStatus {
+    /// Ran to successful completion.
+    Completed,
+    /// Failed (in the paper's implicit-feedback model the scheduler cannot
+    /// tell why).
+    Failed,
+    /// Cancelled before or during execution.
+    Cancelled,
+}
+
+/// A single job submission.
+///
+/// Memory quantities are **KB per node**, following SWF convention for the
+/// CM5 trace. `used_mem_kb` is the peak actual consumption — the quantity the
+/// estimators try to approach from above.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Job {
+    /// Unique identifier.
+    pub id: JobId,
+    /// Submitting user.
+    pub user: u32,
+    /// Application / executable number. Together with `user` and
+    /// `requested_mem_kb` this forms the paper's similarity key for CM5.
+    pub app: u32,
+    /// Submission instant.
+    pub submit: Time,
+    /// Actual execution duration when granted sufficient resources.
+    pub runtime: Time,
+    /// User's runtime estimate (SWF "requested time"); equals `runtime` when
+    /// the trace does not record one.
+    pub requested_runtime: Time,
+    /// Number of nodes the job runs on.
+    pub nodes: u32,
+    /// Memory the user requested, KB per node.
+    pub requested_mem_kb: u64,
+    /// Peak memory the job actually used, KB per node.
+    pub used_mem_kb: u64,
+    /// Bitmask of software packages listed as prerequisites.
+    pub requested_packages: u32,
+    /// Bitmask of packages the job actually exercised (⊆ requested in the
+    /// paper's model).
+    pub used_packages: u32,
+    /// Terminal status in the source trace.
+    pub status: JobStatus,
+}
+
+impl Job {
+    /// Over-provisioning ratio requested/used. `None` when usage is zero
+    /// (ratio undefined) or the request is zero.
+    pub fn overprovisioning_ratio(&self) -> Option<f64> {
+        if self.used_mem_kb == 0 || self.requested_mem_kb == 0 {
+            None
+        } else {
+            Some(self.requested_mem_kb as f64 / self.used_mem_kb as f64)
+        }
+    }
+
+    /// Node-seconds of work this job represents.
+    pub fn node_seconds(&self) -> f64 {
+        self.nodes as f64 * self.runtime.as_secs_f64()
+    }
+
+    /// True when the trace upholds the paper's standing assumption that
+    /// requests never fall below actual usage.
+    pub fn request_covers_usage(&self) -> bool {
+        self.used_mem_kb <= self.requested_mem_kb
+            && (self.used_packages & !self.requested_packages) == 0
+    }
+}
+
+/// An ordered collection of jobs (a trace).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    jobs: Vec<Job>,
+}
+
+impl Workload {
+    /// Build from jobs, sorting by submit time (stable, so equal-time jobs
+    /// keep their trace order).
+    pub fn new(mut jobs: Vec<Job>) -> Self {
+        jobs.sort_by_key(|j| j.submit);
+        Workload { jobs }
+    }
+
+    /// The jobs, ordered by submit time.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when the trace holds no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Total demanded work in node-seconds.
+    pub fn total_node_seconds(&self) -> f64 {
+        self.jobs.iter().map(Job::node_seconds).sum()
+    }
+
+    /// Duration between the first and last submission (zero for traces with
+    /// fewer than two jobs).
+    pub fn span(&self) -> Time {
+        match (self.jobs.first(), self.jobs.last()) {
+            (Some(first), Some(last)) => last.submit.saturating_sub(first.submit),
+            _ => Time::ZERO,
+        }
+    }
+
+    /// Largest node count any job requests.
+    pub fn max_nodes(&self) -> u32 {
+        self.jobs.iter().map(|j| j.nodes).max().unwrap_or(0)
+    }
+
+    /// Remove jobs needing more than `max_nodes` nodes, returning how many
+    /// were dropped. The paper removes the six full-machine (1024-node) CM5
+    /// jobs so the trace can run on a heterogeneous split of the cluster.
+    pub fn retain_max_nodes(&mut self, max_nodes: u32) -> usize {
+        let before = self.jobs.len();
+        self.jobs.retain(|j| j.nodes <= max_nodes);
+        before - self.jobs.len()
+    }
+
+    /// Consume into the underlying job vector.
+    pub fn into_jobs(self) -> Vec<Job> {
+        self.jobs
+    }
+
+    /// Iterate over jobs.
+    pub fn iter(&self) -> std::slice::Iter<'_, Job> {
+        self.jobs.iter()
+    }
+}
+
+impl FromIterator<Job> for Workload {
+    fn from_iter<I: IntoIterator<Item = Job>>(iter: I) -> Self {
+        Workload::new(iter.into_iter().collect())
+    }
+}
+
+/// A convenient builder for tests and examples.
+#[derive(Debug, Clone)]
+pub struct JobBuilder {
+    job: Job,
+}
+
+impl JobBuilder {
+    /// Start a builder for the given id with neutral defaults: one node,
+    /// 1 s runtime, 32 MB requested and used, completed.
+    pub fn new(id: u64) -> Self {
+        JobBuilder {
+            job: Job {
+                id: JobId(id),
+                user: 0,
+                app: 0,
+                submit: Time::ZERO,
+                runtime: Time::from_secs(1),
+                requested_runtime: Time::from_secs(1),
+                nodes: 1,
+                requested_mem_kb: 32 * 1024,
+                used_mem_kb: 32 * 1024,
+                requested_packages: 0,
+                used_packages: 0,
+                status: JobStatus::Completed,
+            },
+        }
+    }
+
+    /// Set the submitting user.
+    pub fn user(mut self, user: u32) -> Self {
+        self.job.user = user;
+        self
+    }
+
+    /// Set the application number.
+    pub fn app(mut self, app: u32) -> Self {
+        self.job.app = app;
+        self
+    }
+
+    /// Set the submit time.
+    pub fn submit(mut self, t: Time) -> Self {
+        self.job.submit = t;
+        self
+    }
+
+    /// Set the actual runtime (and, if not set separately, the estimate).
+    pub fn runtime(mut self, t: Time) -> Self {
+        self.job.runtime = t;
+        self.job.requested_runtime = t;
+        self
+    }
+
+    /// Set the user's runtime estimate.
+    pub fn requested_runtime(mut self, t: Time) -> Self {
+        self.job.requested_runtime = t;
+        self
+    }
+
+    /// Set the node count.
+    pub fn nodes(mut self, n: u32) -> Self {
+        self.job.nodes = n;
+        self
+    }
+
+    /// Set requested memory (KB per node).
+    pub fn requested_mem_kb(mut self, kb: u64) -> Self {
+        self.job.requested_mem_kb = kb;
+        self
+    }
+
+    /// Set used memory (KB per node).
+    pub fn used_mem_kb(mut self, kb: u64) -> Self {
+        self.job.used_mem_kb = kb;
+        self
+    }
+
+    /// Set requested packages bitmask.
+    pub fn requested_packages(mut self, mask: u32) -> Self {
+        self.job.requested_packages = mask;
+        self
+    }
+
+    /// Set used packages bitmask.
+    pub fn used_packages(mut self, mask: u32) -> Self {
+        self.job.used_packages = mask;
+        self
+    }
+
+    /// Set the trace status.
+    pub fn status(mut self, status: JobStatus) -> Self {
+        self.job.status = status;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Job {
+        self.job
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u64) -> Job {
+        JobBuilder::new(id).build()
+    }
+
+    #[test]
+    fn ratio_basic() {
+        let j = JobBuilder::new(1)
+            .requested_mem_kb(32_768)
+            .used_mem_kb(8_192)
+            .build();
+        assert_eq!(j.overprovisioning_ratio(), Some(4.0));
+    }
+
+    #[test]
+    fn ratio_undefined_for_zero_usage() {
+        let j = JobBuilder::new(1).used_mem_kb(0).build();
+        assert_eq!(j.overprovisioning_ratio(), None);
+        let j = JobBuilder::new(1).requested_mem_kb(0).used_mem_kb(0).build();
+        assert_eq!(j.overprovisioning_ratio(), None);
+    }
+
+    #[test]
+    fn node_seconds() {
+        let j = JobBuilder::new(1)
+            .nodes(4)
+            .runtime(Time::from_secs(10))
+            .build();
+        assert!((j.node_seconds() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn request_covers_usage_checks_packages_too() {
+        let ok = JobBuilder::new(1)
+            .requested_packages(0b111)
+            .used_packages(0b101)
+            .build();
+        assert!(ok.request_covers_usage());
+        let bad = JobBuilder::new(2)
+            .requested_packages(0b001)
+            .used_packages(0b011)
+            .build();
+        assert!(!bad.request_covers_usage());
+        let over = JobBuilder::new(3)
+            .requested_mem_kb(10)
+            .used_mem_kb(20)
+            .build();
+        assert!(!over.request_covers_usage());
+    }
+
+    #[test]
+    fn workload_sorts_by_submit() {
+        let jobs = vec![
+            JobBuilder::new(2).submit(Time::from_secs(10)).build(),
+            JobBuilder::new(1).submit(Time::from_secs(5)).build(),
+        ];
+        let w = Workload::new(jobs);
+        assert_eq!(w.jobs()[0].id, JobId(1));
+        assert_eq!(w.jobs()[1].id, JobId(2));
+        assert_eq!(w.span(), Time::from_secs(5));
+    }
+
+    #[test]
+    fn workload_stable_sort_preserves_tie_order() {
+        let jobs = vec![
+            JobBuilder::new(7).submit(Time::from_secs(1)).build(),
+            JobBuilder::new(3).submit(Time::from_secs(1)).build(),
+        ];
+        let w = Workload::new(jobs);
+        assert_eq!(w.jobs()[0].id, JobId(7));
+        assert_eq!(w.jobs()[1].id, JobId(3));
+    }
+
+    #[test]
+    fn retain_max_nodes_mirrors_paper_preprocessing() {
+        let jobs = vec![
+            JobBuilder::new(1).nodes(1024).build(),
+            JobBuilder::new(2).nodes(512).build(),
+            JobBuilder::new(3).nodes(1024).build(),
+        ];
+        let mut w = Workload::new(jobs);
+        let dropped = w.retain_max_nodes(512);
+        assert_eq!(dropped, 2);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.max_nodes(), 512);
+    }
+
+    #[test]
+    fn empty_workload_edge_cases() {
+        let w = Workload::default();
+        assert!(w.is_empty());
+        assert_eq!(w.span(), Time::ZERO);
+        assert_eq!(w.max_nodes(), 0);
+        assert_eq!(w.total_node_seconds(), 0.0);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let w: Workload = (0..3).map(job).collect();
+        assert_eq!(w.len(), 3);
+    }
+}

@@ -1,0 +1,173 @@
+//! Offered load computation and rescaling.
+//!
+//! The paper's Figures 5 and 6 sweep cluster load. The standard methodology
+//! (Feitelson, "Metrics for parallel job scheduling and their convergence")
+//! keeps the trace's structure and rescales inter-arrival gaps so the same
+//! jobs arrive faster or slower, shifting the offered load
+//! `Σ nodes·runtime / (cluster_nodes · span)`.
+
+use crate::job::Workload;
+
+#[cfg(test)]
+use crate::time::Time;
+
+/// Offered load of a workload against a cluster of `total_nodes` nodes:
+/// demanded node-seconds divided by available node-seconds over the trace
+/// span (first submission to the last job's completion, had every job run
+/// at submission). Returns 0 for empty traces or zero spans.
+pub fn offered_load(workload: &Workload, total_nodes: u32) -> f64 {
+    if workload.is_empty() || total_nodes == 0 {
+        return 0.0;
+    }
+    let first = workload.jobs()[0].submit;
+    let last_end = workload
+        .jobs()
+        .iter()
+        .map(|j| j.submit + j.runtime)
+        .max()
+        .expect("non-empty");
+    let span = last_end.saturating_sub(first).as_secs_f64();
+    if span <= 0.0 {
+        return 0.0;
+    }
+    workload.total_node_seconds() / (total_nodes as f64 * span)
+}
+
+/// Rescale all inter-arrival gaps by `factor` (< 1 compresses the trace and
+/// raises load). The first submission time is preserved; job order, runtimes,
+/// and resources are untouched.
+pub fn rescale_arrivals(workload: &Workload, factor: f64) -> Workload {
+    assert!(
+        factor.is_finite() && factor > 0.0,
+        "arrival scale factor must be positive"
+    );
+    let jobs = workload.jobs();
+    if jobs.is_empty() {
+        return workload.clone();
+    }
+    let first = jobs[0].submit;
+    let rescaled = jobs
+        .iter()
+        .map(|j| {
+            let gap = j.submit.saturating_sub(first);
+            let mut job = j.clone();
+            job.submit = first + gap.scale(factor);
+            job
+        })
+        .collect();
+    Workload::new(rescaled)
+}
+
+/// Rescale arrivals so the offered load against `total_nodes` becomes
+/// approximately `target`. Because the span includes the tail of the last
+/// job's runtime, one scaling step lands slightly off target; fixed-point
+/// iteration refines until within 1% or the step stops helping. Targets
+/// above the trace's intrinsic ceiling (all arrivals compressed to a point,
+/// span dominated by the longest runtime) converge to the ceiling instead.
+pub fn scale_to_load(workload: &Workload, total_nodes: u32, target: f64) -> Workload {
+    assert!(target > 0.0, "target load must be positive");
+    let mut current = workload.clone();
+    for _ in 0..12 {
+        let load = offered_load(&current, total_nodes);
+        if load <= 0.0 || (load - target).abs() / target < 0.01 {
+            return current;
+        }
+        let factor = load / target;
+        let next = rescale_arrivals(&current, factor);
+        // Compression has a floor: when every gap is already zero, further
+        // scaling is a no-op.
+        if next == current {
+            return current;
+        }
+        current = next;
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobBuilder;
+
+    fn uniform_trace(n: u64, gap_s: u64, nodes: u32, runtime_s: u64) -> Workload {
+        Workload::new(
+            (0..n)
+                .map(|i| {
+                    JobBuilder::new(i)
+                        .submit(Time::from_secs(i * gap_s))
+                        .runtime(Time::from_secs(runtime_s))
+                        .nodes(nodes)
+                        .build()
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn offered_load_of_known_trace() {
+        // 10 jobs, 1 node x 10 s each = 100 node-seconds.
+        // Span: first submit 0 to last end 9*10+10 = 100 s. 4 nodes.
+        let w = uniform_trace(10, 10, 1, 10);
+        let load = offered_load(&w, 4);
+        assert!((load - 100.0 / 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offered_load_edge_cases() {
+        assert_eq!(offered_load(&Workload::default(), 16), 0.0);
+        let w = uniform_trace(5, 10, 1, 10);
+        assert_eq!(offered_load(&w, 0), 0.0);
+    }
+
+    #[test]
+    fn rescaling_halves_gaps() {
+        let w = uniform_trace(3, 100, 1, 10);
+        let fast = rescale_arrivals(&w, 0.5);
+        let submits: Vec<u64> = fast.jobs().iter().map(|j| j.submit.as_secs()).collect();
+        assert_eq!(submits, vec![0, 50, 100]);
+    }
+
+    #[test]
+    fn rescaling_preserves_first_submit_and_order() {
+        let mut jobs = uniform_trace(3, 100, 1, 10).into_jobs();
+        for j in &mut jobs {
+            j.submit += Time::from_secs(1000);
+        }
+        let w = Workload::new(jobs);
+        let slow = rescale_arrivals(&w, 2.0);
+        assert_eq!(slow.jobs()[0].submit, Time::from_secs(1000));
+        assert_eq!(slow.jobs()[2].submit, Time::from_secs(1400));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rescale_rejects_zero_factor() {
+        let _ = rescale_arrivals(&uniform_trace(2, 10, 1, 10), 0.0);
+    }
+
+    #[test]
+    fn scale_to_load_converges() {
+        let w = uniform_trace(200, 100, 8, 50);
+        for target in [0.3, 0.6, 0.9] {
+            let scaled = scale_to_load(&w, 16, target);
+            let achieved = offered_load(&scaled, 16);
+            assert!(
+                (achieved - target).abs() / target < 0.05,
+                "target {target}, achieved {achieved}"
+            );
+        }
+    }
+
+    #[test]
+    fn scale_preserves_job_bodies() {
+        let w = uniform_trace(10, 100, 4, 25);
+        let scaled = scale_to_load(&w, 16, 0.8);
+        assert_eq!(scaled.len(), w.len());
+        for (a, b) in w.jobs().iter().zip(scaled.jobs()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.runtime, b.runtime);
+            assert_eq!(a.nodes, b.nodes);
+            assert_eq!(a.requested_mem_kb, b.requested_mem_kb);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Simulation time.
+//!
+//! SWF traces record integer seconds; the simulator needs finer resolution
+//! because an under-provisioned job fails at a point drawn uniformly inside
+//! its runtime. [`Time`] is a millisecond-resolution fixed-point instant —
+//! integer arithmetic keeps event ordering exact and simulations
+//! bit-reproducible across platforms, which f64 timestamps would not.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// An instant (or duration) in simulation time, in milliseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Time(u64);
+
+impl Time {
+    /// Time zero.
+    pub const ZERO: Time = Time(0);
+    /// The farthest representable instant.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        Time(secs * 1000)
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        Time(millis)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest
+    /// millisecond. Negative or non-finite inputs clamp to zero.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if !secs.is_finite() || secs <= 0.0 {
+            return Time::ZERO;
+        }
+        Time((secs * 1000.0).round() as u64)
+    }
+
+    /// Milliseconds since time zero.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Whole seconds (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1000
+    }
+
+    /// Fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Saturating subtraction: `self - other`, floored at zero.
+    pub fn saturating_sub(self, other: Time) -> Time {
+        Time(self.0.saturating_sub(other.0))
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, other: Time) -> Option<Time> {
+        self.0.checked_add(other.0).map(Time)
+    }
+
+    /// Scale a duration by a non-negative factor, rounding to the nearest
+    /// millisecond (used for load rescaling of inter-arrival gaps).
+    pub fn scale(self, factor: f64) -> Time {
+        assert!(factor.is_finite() && factor >= 0.0, "scale factor must be >= 0");
+        Time((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    /// # Panics
+    /// Panics in debug builds on underflow; use [`Time::saturating_sub`] when
+    /// the ordering is not guaranteed.
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{:03}s", self.0 / 1000, self.0 % 1000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let t = Time::from_secs(90);
+        assert_eq!(t.as_secs(), 90);
+        assert_eq!(t.as_millis(), 90_000);
+        assert_eq!(Time::from_millis(1500).as_secs(), 1);
+        assert!((Time::from_millis(1500).as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_secs_f64_rounds_and_clamps() {
+        assert_eq!(Time::from_secs_f64(1.2345), Time::from_millis(1235));
+        assert_eq!(Time::from_secs_f64(-3.0), Time::ZERO);
+        assert_eq!(Time::from_secs_f64(f64::NAN), Time::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Time::from_secs(5);
+        let b = Time::from_secs(3);
+        assert_eq!(a + b, Time::from_secs(8));
+        assert_eq!(a - b, Time::from_secs(2));
+        assert_eq!(b.saturating_sub(a), Time::ZERO);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Time::from_secs(8));
+    }
+
+    #[test]
+    fn scaling() {
+        assert_eq!(Time::from_secs(10).scale(0.5), Time::from_secs(5));
+        assert_eq!(Time::from_secs(10).scale(0.0), Time::ZERO);
+        assert_eq!(Time::from_millis(3).scale(1.5), Time::from_millis(5)); // 4.5 rounds up
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor must be >= 0")]
+    fn scale_rejects_negative() {
+        let _ = Time::from_secs(1).scale(-1.0);
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(Time::from_millis(999) < Time::from_secs(1));
+        assert_eq!(Time::from_millis(1234).to_string(), "1.234s");
+    }
+
+    #[test]
+    fn checked_add_detects_overflow() {
+        assert!(Time::MAX.checked_add(Time::from_millis(1)).is_none());
+        assert_eq!(
+            Time::from_secs(1).checked_add(Time::from_secs(1)),
+            Some(Time::from_secs(2))
+        );
+    }
+}

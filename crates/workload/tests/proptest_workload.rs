@@ -1,0 +1,141 @@
+//! Property-based tests for the workload substrate: SWF round-trips,
+//! load-rescaling laws, and generator invariants.
+
+use proptest::prelude::*;
+use resmatch_workload::job::{Job, JobBuilder, JobStatus, Workload};
+use resmatch_workload::load::{offered_load, rescale_arrivals, scale_to_load};
+use resmatch_workload::swf;
+use resmatch_workload::synthetic::{generate, Cm5Config};
+use resmatch_workload::Time;
+
+fn arb_status() -> impl Strategy<Value = JobStatus> {
+    prop_oneof![
+        Just(JobStatus::Completed),
+        Just(JobStatus::Failed),
+        Just(JobStatus::Cancelled),
+    ]
+}
+
+prop_compose! {
+    fn arb_job()(
+        id in 1u64..1_000_000,
+        user in 0u32..500,
+        app in 0u32..100,
+        submit_s in 0u64..10_000_000,
+        runtime_s in 1u64..100_000,
+        extra_runtime_s in 0u64..100_000,
+        nodes in 1u32..1025,
+        used_mem in 1u64..40_000,
+        headroom in 0u64..40_000,
+        status in arb_status(),
+    ) -> Job {
+        JobBuilder::new(id)
+            .user(user)
+            .app(app)
+            .submit(Time::from_secs(submit_s))
+            .runtime(Time::from_secs(runtime_s))
+            .requested_runtime(Time::from_secs(runtime_s + extra_runtime_s))
+            .nodes(nodes)
+            .used_mem_kb(used_mem)
+            .requested_mem_kb(used_mem + headroom)
+            .status(status)
+            .build()
+    }
+}
+
+proptest! {
+    #[test]
+    fn swf_round_trip(jobs in prop::collection::vec(arb_job(), 1..60)) {
+        let original = Workload::new(jobs);
+        let text = swf::write_str(&original, &["prop"]);
+        let reparsed = swf::parse_str(&text).unwrap();
+        prop_assert_eq!(reparsed.workload, original);
+    }
+
+    #[test]
+    fn rescale_preserves_everything_but_submits(
+        jobs in prop::collection::vec(arb_job(), 1..40),
+        factor in 0.01f64..10.0,
+    ) {
+        let w = Workload::new(jobs);
+        let scaled = rescale_arrivals(&w, factor);
+        prop_assert_eq!(scaled.len(), w.len());
+        for (a, b) in w.jobs().iter().zip(scaled.jobs()) {
+            prop_assert_eq!(a.id, b.id);
+            prop_assert_eq!(a.runtime, b.runtime);
+            prop_assert_eq!(a.nodes, b.nodes);
+            prop_assert_eq!(a.requested_mem_kb, b.requested_mem_kb);
+            prop_assert_eq!(a.used_mem_kb, b.used_mem_kb);
+        }
+        // Order of submission is preserved.
+        prop_assert!(scaled
+            .jobs()
+            .windows(2)
+            .all(|p| p[0].submit <= p[1].submit));
+    }
+
+    #[test]
+    fn rescale_identity(jobs in prop::collection::vec(arb_job(), 1..40)) {
+        let w = Workload::new(jobs);
+        let same = rescale_arrivals(&w, 1.0);
+        prop_assert_eq!(same, w);
+    }
+
+    #[test]
+    fn scale_to_load_hits_target(
+        jobs in prop::collection::vec(arb_job(), 20..60),
+        target in 0.2f64..2.0,
+    ) {
+        let w = Workload::new(jobs);
+        let nodes = 2048;
+        prop_assume!(offered_load(&w, nodes) > 1e-9);
+        // Compressing arrivals cannot push the load beyond the ceiling
+        // where all jobs arrive at once and the span is the longest
+        // runtime; only assert targets comfortably below that ceiling.
+        let max_runtime = w
+            .jobs()
+            .iter()
+            .map(|j| j.runtime.as_secs_f64())
+            .fold(0.0, f64::max);
+        let ceiling = w.total_node_seconds() / (nodes as f64 * max_runtime);
+        prop_assume!(target < ceiling * 0.7);
+        let scaled = scale_to_load(&w, nodes, target);
+        let achieved = offered_load(&scaled, nodes);
+        // Two fixed-point iterations land within 20% even for short traces
+        // whose spans are runtime-dominated.
+        prop_assert!(
+            (achieved - target).abs() / target < 0.2,
+            "target {target}, achieved {achieved}, ceiling {ceiling}"
+        );
+    }
+
+    #[test]
+    fn generator_invariants(jobs in 10usize..600, seed in 0u64..50) {
+        let w = generate(
+            &Cm5Config {
+                jobs,
+                ..Cm5Config::default()
+            },
+            seed,
+        );
+        prop_assert_eq!(w.len(), jobs);
+        for j in w.jobs() {
+            prop_assert!(j.request_covers_usage());
+            prop_assert!(j.used_mem_kb > 0);
+            prop_assert!(j.requested_mem_kb <= 32 * 1024);
+            prop_assert!(j.nodes >= 32 && j.nodes <= 1024);
+            prop_assert!(j.runtime >= Time::from_secs(1));
+            prop_assert!(j.requested_runtime >= j.runtime);
+        }
+        prop_assert!(w.jobs().windows(2).all(|p| p[0].submit <= p[1].submit));
+    }
+
+    #[test]
+    fn generator_is_pure(jobs in 10usize..200, seed in 0u64..20) {
+        let cfg = Cm5Config {
+            jobs,
+            ..Cm5Config::default()
+        };
+        prop_assert_eq!(generate(&cfg, seed), generate(&cfg, seed));
+    }
+}

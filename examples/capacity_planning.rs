@@ -1,0 +1,89 @@
+//! Capacity planning: choose the cluster that maximizes estimation benefit.
+//!
+//! The paper's Figure 8 analysis ends with a design recipe: "given the
+//! distribution of requested and actual resource capacities, possibly
+//! derived from a scheduler log, and a resource estimation algorithm, it is
+//! possible to design a cluster ... by choosing the resource capacities of
+//! the cluster machines to maximize the number of jobs for which estimation
+//! is advantageous." This example runs that recipe: it sweeps the second
+//! pool's memory size, counts benefiting node-weight per configuration, and
+//! recommends the best split.
+//!
+//! Run with: `cargo run --release --example capacity_planning [jobs]`
+
+use resmatch::prelude::*;
+
+fn main() {
+    let jobs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8_000);
+    let mut trace = generate(
+        &Cm5Config {
+            jobs,
+            ..Cm5Config::default()
+        },
+        42,
+    );
+    trace.retain_max_nodes(512);
+    println!("planning over a {}-job trace\n", trace.len());
+
+    // Candidate second-pool sizes (the first pool stays at the CM5's 32 MB).
+    let candidates: Vec<u64> = vec![4, 8, 12, 16, 20, 24, 28, 32];
+    let points = run_cluster_sweep(
+        &trace,
+        &candidates,
+        EstimatorSpec::paper_successive(),
+        SimConfig::default(),
+        1.2,
+    );
+
+    // Memory is what the cluster designer pays for: score each split by
+    // goodput per installed memory, normalized so the all-32 MB machine
+    // scores its own utilization. A cheaper second pool wins whenever
+    // estimation recovers enough of the big machine's goodput.
+    let efficiency =
+        |p: &ClusterSweepPoint| p.estimated.utilization() * 64.0 / (32 + p.second_pool_mb) as f64;
+
+    println!(
+        "{:>10} {:>10} {:>10} {:>7} {:>17} {:>12}",
+        "pool (MB)", "util w/o", "util w/", "ratio", "benefiting nodes", "util per mem"
+    );
+    let mut best: Option<&ClusterSweepPoint> = None;
+    for p in &points {
+        println!(
+            "{:>10} {:>10.3} {:>10.3} {:>7.2} {:>17} {:>12.3}",
+            p.second_pool_mb,
+            p.baseline.utilization(),
+            p.estimated.utilization(),
+            p.utilization_ratio(),
+            p.estimated.benefiting_node_count(),
+            efficiency(p),
+        );
+        if best.map_or(true, |b| efficiency(p) > efficiency(b)) {
+            best = Some(p);
+        }
+    }
+
+    let best = best.expect("non-empty sweep");
+    println!(
+        "\nrecommended split: 512 x 32 MB + 512 x {} MB \
+         (estimated utilization {:.3}, {:.0}% over no-estimation,\n\
+         memory-normalized efficiency {:.3} vs {:.3} for the all-32MB machine)",
+        best.second_pool_mb,
+        best.estimated.utilization(),
+        (best.utilization_ratio() - 1.0) * 100.0,
+        efficiency(best),
+        points
+            .iter()
+            .find(|p| p.second_pool_mb == 32)
+            .map(efficiency)
+            .unwrap_or(0.0),
+    );
+    println!(
+        "The paper finds improvement only when the second pool falls in the\n\
+         16-28 MB band, with the gain linear in the benefiting jobs' node\n\
+         count — and with estimation, the cheaper heterogeneous split beats\n\
+         the homogeneous machine per unit of installed memory."
+    );
+}

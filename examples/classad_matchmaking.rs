@@ -1,0 +1,107 @@
+//! Declarative matchmaking: the estimator through Condor's eyes.
+//!
+//! The paper's related work grounds resource matching in Condor's ClassAds:
+//! jobs and machines advertise attributes and requirements, and a
+//! matchmaker pairs ads whose constraints mutually hold. This example
+//! replays the paper's §1.1 motivating scenario in that language — then
+//! shows what the estimator changes: *only the job ad's requested memory*.
+//! The matchmaker, the machine ads, and the language are untouched, which
+//! is exactly the integration property Figure 2 claims.
+//!
+//! Run with: `cargo run --release --example classad_matchmaking`
+
+use resmatch::classad::bridge::{job_ad, machine_ad};
+use resmatch::classad::{matches, rank, ClassAd};
+use resmatch::prelude::*;
+
+const MB: u64 = 1024;
+
+fn main() {
+    // The §1.1 machines: M1 has more memory than M2.
+    let m1 = machine_ad(&Capacity::memory(32 * MB));
+    let m2 = machine_ad(&Capacity::memory(24 * MB));
+
+    // J1 requests the big machine's worth of memory but uses far less.
+    let j1_request = Demand::memory(32 * MB);
+
+    println!("== without estimation =============================================");
+    println!(
+        "J1 (requests 32 MB) vs M1 (32 MB): {}",
+        matches(&job_ad(&j1_request), &m1).unwrap()
+    );
+    println!(
+        "J1 (requests 32 MB) vs M2 (24 MB): {}",
+        matches(&job_ad(&j1_request), &m2).unwrap()
+    );
+    println!("J1 is pinned to M1; J2 arriving behind it blocks. (\u{a7}1.1)");
+
+    // The estimator walks J1's group down to 16 MB; the job ad is rewritten.
+    let mut estimator = SuccessiveApproximation::new(
+        SuccessiveConfig::default(),
+        CapacityLadder::new(vec![32 * MB, 24 * MB, 16 * MB]),
+    );
+    let ctx = EstimateContext::default();
+    let job = JobBuilder::new(1)
+        .user(1)
+        .app(1)
+        .requested_mem_kb(32 * MB)
+        .used_mem_kb(5 * MB)
+        .build();
+    let d0 = estimator.estimate(&job, &ctx);
+    estimator.feedback(&job, &d0, &Feedback::success(), &ctx);
+    let estimated = estimator.estimate(&job, &ctx);
+
+    println!("\n== with estimation ================================================");
+    println!(
+        "the estimator rewrote J1's ad: RequestedMemory {} MB -> {} MB",
+        d0.mem_kb / MB,
+        estimated.mem_kb / MB
+    );
+    println!(
+        "J1 (estimated) vs M1 (32 MB): {}",
+        matches(&job_ad(&estimated), &m1).unwrap()
+    );
+    println!(
+        "J1 (estimated) vs M2 (24 MB): {}",
+        matches(&job_ad(&estimated), &m2).unwrap()
+    );
+    println!("Both machines now match; M1 stays free for jobs that need it.");
+
+    // Preferences still work: rank steers the estimated job to the
+    // smallest sufficient machine (best-fit, declaratively).
+    let mut preferenced = job_ad(&estimated);
+    preferenced
+        .insert_expr("Rank", "0 - other.Memory")
+        .expect("rank parses");
+    println!("\n== preferences (rank) =============================================");
+    println!(
+        "rank against M1: {}, against M2: {} -> matchmaker picks M2 (best fit)",
+        rank(&preferenced, &m1).unwrap(),
+        rank(&preferenced, &m2).unwrap()
+    );
+
+    // Arbitrary constraints compose: machines can be picky right back.
+    let mut curfew_machine = ClassAd::new();
+    curfew_machine
+        .insert_int("Memory", 24 * MB as i64)
+        .insert_int("Disk", i64::MAX)
+        .insert_expr(
+            "Requirements",
+            "other.RequestedMemory <= my.Memory && other.RequestedRuntime <= 3600",
+        )
+        .expect("requirements parse");
+    let mut short_job = resmatch::classad::bridge::job_request_ad(
+        &JobBuilder::new(2)
+            .requested_mem_kb(16 * MB)
+            .requested_runtime(Time::from_secs(1800))
+            .build(),
+    );
+    short_job
+        .insert_expr("Requirements", "other.Memory >= my.RequestedMemory")
+        .expect("requirements parse");
+    println!("\n== bilateral constraints ==========================================");
+    println!(
+        "short job vs curfew machine (jobs <= 1h only): {}",
+        matches(&short_job, &curfew_machine).unwrap()
+    );
+}

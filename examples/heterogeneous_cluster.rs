@@ -1,0 +1,81 @@
+//! Heterogeneous cluster simulation: the paper's headline experiment.
+//!
+//! Replays a CM5-like trace on the Figure 5 cluster (512×32 MB + 512×24 MB)
+//! under strict FCFS and compares every estimator in the workspace against
+//! the no-estimation baseline at a saturating load — the setting in which
+//! the paper reports a 58% utilization improvement.
+//!
+//! Run with: `cargo run --release --example heterogeneous_cluster [jobs]`
+
+use resmatch::prelude::*;
+
+fn main() {
+    let jobs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+    println!("generating {jobs}-job CM5-like trace ...");
+    let mut trace = generate(
+        &Cm5Config {
+            jobs,
+            ..Cm5Config::default()
+        },
+        42,
+    );
+    let dropped = trace.retain_max_nodes(512);
+    println!("dropped {dropped} full-machine jobs (paper: 6 of 122,055)\n");
+
+    let cluster = paper_cluster(24);
+    let load = 1.2; // saturating: measures the plateau
+    let scaled = scale_to_load(&trace, cluster.total_nodes(), load);
+    println!(
+        "cluster: 512x32MB + 512x24MB, offered load {:.2}, FCFS, implicit feedback",
+        offered_load(&scaled, cluster.total_nodes())
+    );
+
+    let specs = [
+        EstimatorSpec::PassThrough,
+        EstimatorSpec::paper_successive(),
+        EstimatorSpec::Robust(RobustConfig::default()),
+        EstimatorSpec::Reinforcement(ReinforcementConfig::default()),
+        EstimatorSpec::LastInstance(LastInstanceConfig::default()),
+        EstimatorSpec::Regression(RegressionConfig::default()),
+        EstimatorSpec::Oracle,
+    ];
+
+    println!(
+        "\n{:<26} {:>8} {:>10} {:>10} {:>9} {:>9}",
+        "estimator", "util", "slowdown", "wait(s)", "fail%", "lowered%"
+    );
+    let mut baseline_util = None;
+    for spec in specs {
+        let mut cfg = SimConfig::default();
+        if spec.wants_explicit_feedback() {
+            cfg.feedback = FeedbackMode::Explicit;
+        }
+        let result = Simulation::new(cfg, cluster.clone(), spec).run(&scaled);
+        let util = result.utilization();
+        if spec == EstimatorSpec::PassThrough {
+            baseline_util = Some(util);
+        }
+        let vs_base = baseline_util
+            .map(|b| format!(" ({:+.0}%)", (util / b - 1.0) * 100.0))
+            .unwrap_or_default();
+        println!(
+            "{:<26} {:>7.3}{:<8} {:>9.2} {:>10.0} {:>8.3}% {:>8.1}%",
+            result.estimator,
+            util,
+            vs_base,
+            result.mean_slowdown(),
+            result.mean_wait_s(),
+            result.failed_execution_fraction() * 100.0,
+            result.lowered_job_fraction() * 100.0,
+        );
+    }
+
+    println!(
+        "\nThe paper reports +58% utilization for successive approximation at\n\
+         the saturation point of the full trace on this cluster; the oracle\n\
+         row bounds what any estimator could achieve."
+    );
+}

@@ -1,0 +1,109 @@
+//! Trace analysis: the paper's Section 1-2 workload characterization.
+//!
+//! Generates the full-scale calibrated CM5-like trace (or parses a real SWF
+//! file if you pass a path) and reproduces the analysis behind Figures 1, 3,
+//! and 4: the over-provisioning histogram with its log-linear fit, the
+//! similarity-group size distribution, and the gain-vs-similarity scatter.
+//!
+//! Run with: `cargo run --release --example trace_analysis [path/to/trace.swf]`
+
+use resmatch::prelude::*;
+use resmatch::workload::swf;
+
+fn load_trace() -> Workload {
+    if let Some(path) = std::env::args().nth(1) {
+        println!("parsing SWF trace {path} ...");
+        let parsed = swf::parse_file(std::path::Path::new(&path))
+            .expect("readable file")
+            .expect("valid SWF");
+        if let Some(computer) = parsed.header.computer {
+            println!("  computer: {computer}");
+        }
+        parsed.workload
+    } else {
+        println!("generating calibrated synthetic LANL-CM5-like trace (122,055 jobs) ...");
+        generate(&Cm5Config::default(), 42)
+    }
+}
+
+fn main() {
+    let trace = load_trace();
+    let stats = trace_stats(&trace);
+
+    println!("\n== trace overview =================================================");
+    println!("jobs:                  {}", stats.jobs);
+    println!("similarity groups:     {} (mean size {:.1})", stats.groups, stats.mean_group_size);
+    println!("P(request >= 2x used): {:.1}%  (paper: ~32.8%)", stats.overprovisioned_2x * 100.0);
+    println!("max over-provisioning: {:.0}x", stats.max_ratio);
+    println!("total demand:          {:.2e} node-seconds", stats.node_seconds);
+
+    println!("\n== Figure 1: over-provisioning ratio histogram ====================");
+    let hist = overprovisioning_histogram(&trace, 8);
+    println!("{:<14} {:>10} {:>10}", "ratio bin", "jobs", "fraction");
+    for i in 0..hist.num_bins() {
+        println!(
+            "[{:>4.0}, {:>4.0})  {:>10} {:>9.2}%",
+            hist.bin_lower(i),
+            hist.bin_lower(i + 1),
+            hist.count(i),
+            hist.fraction(i) * 100.0
+        );
+    }
+    println!("beyond last bin: {}", hist.overflow());
+    if let Some(fit) = histogram_log_fit(&hist) {
+        println!(
+            "log-linear fit: slope {:.3}/bin, R^2 = {:.2}  (paper: R^2 = 0.69)",
+            fit.slope, fit.r_squared
+        );
+    }
+
+    println!("\n== Figure 3: jobs by similarity-group size ========================");
+    let dist = group_size_distribution(&trace);
+    let mut shown = 0;
+    println!("{:<12} {:>8} {:>12}", "group size", "groups", "job share");
+    for bucket in &dist {
+        if shown < 12 || bucket.size == dist.last().unwrap().size {
+            println!(
+                "{:<12} {:>8} {:>11.2}%",
+                bucket.size,
+                bucket.groups,
+                bucket.job_fraction * 100.0
+            );
+            shown += 1;
+        }
+    }
+    let big_jobs: f64 = dist
+        .iter()
+        .filter(|b| b.size >= 10)
+        .map(|b| b.job_fraction)
+        .sum();
+    println!("jobs in groups of >= 10: {:.1}% (paper: ~83%)", big_jobs * 100.0);
+
+    println!("\n== Figure 4: possible gain vs. group similarity ===================");
+    let points = gain_vs_range(&trace, 10);
+    println!("groups with >= 10 jobs: {}", points.len());
+    let tight = points.iter().filter(|p| p.range <= 1.1).count();
+    let high_gain = points.iter().filter(|p| p.gain >= 10.0).count();
+    println!(
+        "  tightly similar (range <= 1.1): {:.1}%",
+        tight as f64 / points.len().max(1) as f64 * 100.0
+    );
+    println!("  gain >= 10x available in {high_gain} groups");
+    println!("\nsample points (range, gain, size):");
+    for p in points.iter().take(10) {
+        println!("  range {:>6.2}  gain {:>7.2}  size {:>5}", p.range, p.gain, p.size);
+    }
+
+    println!("\n== heaviest users (who over-provisions?) ==========================");
+    let profiles = resmatch::workload::analysis::user_profiles(&trace);
+    println!(
+        "{:<8} {:>8} {:>8} {:>14} {:>16}",
+        "user", "jobs", "groups", "median ratio", "node-seconds"
+    );
+    for p in profiles.iter().take(10) {
+        println!(
+            "{:<8} {:>8} {:>8} {:>14.2} {:>16.2e}",
+            p.user, p.jobs, p.groups, p.median_ratio, p.node_seconds
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! Integration: the paper's offline customization phase, end to end.
+//!
+//! "By default, this process will be done offline ... using traces of
+//! explicit feedback from previous job submissions, as part of the training
+//! (customization) phase of the estimator" (§2.2). Workflow under test:
+//! split a historical trace into a training prefix and an evaluation
+//! suffix, fit offline models on the prefix, and run the suffix live.
+
+use resmatch::core::regression::{RegressionConfig, RegressionEstimator};
+use resmatch::core::warm_start::{WarmStartConfig, WarmStartEstimator};
+use resmatch::prelude::*;
+use resmatch::workload::filter::split_train_eval;
+
+fn trace(jobs: usize) -> Workload {
+    let mut w = generate(
+        &Cm5Config {
+            jobs,
+            ..Cm5Config::default()
+        },
+        42,
+    );
+    w.retain_max_nodes(512);
+    w
+}
+
+#[test]
+fn offline_trained_regression_estimates_from_the_first_job() {
+    let (train, eval) = split_train_eval(&trace(4_000), 0.5);
+    let cluster = paper_cluster(24);
+    let scaled = scale_to_load(&eval, cluster.total_nodes(), 1.0);
+
+    let mut trained = RegressionEstimator::new(RegressionConfig::default());
+    trained.fit_offline(&train);
+    assert!(trained.is_trained());
+
+    let cfg = SimConfig {
+        feedback: FeedbackMode::Explicit,
+        ..SimConfig::default()
+    };
+    let with_training =
+        Simulation::with_estimator(cfg, cluster.clone(), Box::new(trained)).run(&scaled);
+    let without = Simulation::new(
+        cfg,
+        cluster.clone(),
+        EstimatorSpec::Regression(RegressionConfig::default()),
+    )
+    .run(&scaled);
+    // Pretraining can only add information: at least as many jobs run with
+    // lowered estimates from the very start of the evaluation window.
+    assert!(
+        with_training.lowered_job_fraction() >= without.lowered_job_fraction(),
+        "pretrained {:.3} vs cold {:.3}",
+        with_training.lowered_job_fraction(),
+        without.lowered_job_fraction()
+    );
+    assert_eq!(
+        with_training.completed_jobs + with_training.dropped_jobs,
+        scaled.len()
+    );
+}
+
+#[test]
+fn warm_start_prior_reduces_probing_steps() {
+    let (train, eval) = split_train_eval(&trace(4_000), 0.5);
+    let cluster = paper_cluster(24);
+    let scaled = scale_to_load(&eval, cluster.total_nodes(), 1.0);
+
+    let mut warm = WarmStartEstimator::new(
+        WarmStartConfig::default(),
+        cluster.memory_ladder(),
+    );
+    warm.fit_offline(&train);
+    assert!(warm.prior_trained());
+
+    let cfg = SimConfig {
+        feedback: FeedbackMode::Explicit,
+        ..SimConfig::default()
+    };
+    let warm_result = Simulation::with_estimator(cfg, cluster.clone(), Box::new(warm)).run(&scaled);
+    let cold_result = Simulation::new(
+        SimConfig::default(),
+        cluster.clone(),
+        EstimatorSpec::paper_successive(),
+    )
+    .run(&scaled);
+
+    assert_eq!(
+        warm_result.completed_jobs + warm_result.dropped_jobs,
+        scaled.len()
+    );
+    // The warm-started estimator must be at least competitive with the
+    // cold one on goodput while starting below the request immediately.
+    assert!(
+        warm_result.utilization() >= cold_result.utilization() * 0.9,
+        "warm {:.3} vs cold {:.3}",
+        warm_result.utilization(),
+        cold_result.utilization()
+    );
+    assert!(warm_result.lowered_job_fraction() > 0.0);
+}
+
+#[test]
+fn persisted_state_survives_a_simulated_restart() {
+    use resmatch::core::successive::SuccessiveApproximation;
+    // Run the first half of a trace, export the estimator's learning,
+    // restart into a fresh estimator, and verify the second half performs
+    // like an uninterrupted run.
+    let whole = trace(3_000);
+    let (first, second) = split_train_eval(&whole, 0.5);
+    let cluster = paper_cluster(24);
+    let ladder = cluster.memory_ladder();
+
+    // Uninterrupted reference over the full trace.
+    let full = Simulation::new(
+        SimConfig::default(),
+        cluster.clone(),
+        EstimatorSpec::paper_successive(),
+    )
+    .run(&whole);
+
+    // Phase 1: learn on the first half (driving the estimator through the
+    // simulator), then export.
+    let mut learner = SuccessiveApproximation::new(SuccessiveConfig::default(), ladder.clone());
+    let ctx = EstimateContext::default();
+    for job in first.jobs() {
+        let d = learner.estimate(job, &ctx);
+        let node = ladder.round_up(d.mem_kb).unwrap_or(d.mem_kb);
+        let fb = if job.used_mem_kb <= node {
+            Feedback::success()
+        } else {
+            Feedback::failure()
+        };
+        learner.feedback(job, &d, &fb, &ctx);
+    }
+    let state = learner.export_state();
+    assert!(!state.is_empty());
+
+    // Phase 2: restart — a fresh estimator with imported state runs the
+    // second half.
+    let mut restarted = SuccessiveApproximation::new(SuccessiveConfig::default(), ladder);
+    restarted.import_state(&state);
+    let resumed = Simulation::with_estimator(
+        SimConfig::default(),
+        cluster.clone(),
+        Box::new(restarted),
+    )
+    .run(&second);
+
+    assert_eq!(resumed.completed_jobs + resumed.dropped_jobs, second.len());
+    // The resumed run keeps estimating aggressively (no cold-start cliff).
+    assert!(
+        resumed.lowered_job_fraction() > 0.10,
+        "resumed lowered fraction {:.3}",
+        resumed.lowered_job_fraction()
+    );
+    assert!(full.completed_jobs > 0);
+}

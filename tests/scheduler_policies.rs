@@ -1,0 +1,113 @@
+//! Integration: scheduling-policy invariants across the full pipeline —
+//! the paper's future-work claim that estimation gains carry over to more
+//! aggressive policies.
+
+use resmatch::prelude::*;
+
+fn trace(jobs: usize) -> Workload {
+    let mut w = generate(
+        &Cm5Config {
+            jobs,
+            ..Cm5Config::default()
+        },
+        42,
+    );
+    w.retain_max_nodes(512);
+    w
+}
+
+#[test]
+fn every_policy_completes_every_job() {
+    let w = trace(1_500);
+    let cluster = paper_cluster(24);
+    let scaled = scale_to_load(&w, cluster.total_nodes(), 1.1);
+    for policy in [
+        SchedulingPolicy::Fcfs,
+        SchedulingPolicy::Sjf,
+        SchedulingPolicy::EasyBackfill,
+    ] {
+        let cfg = SimConfig {
+            scheduling: policy,
+            ..SimConfig::default()
+        };
+        let r = Simulation::new(cfg, cluster.clone(), EstimatorSpec::paper_successive())
+            .run(&scaled);
+        assert_eq!(
+            r.completed_jobs + r.dropped_jobs,
+            scaled.len(),
+            "{policy:?} lost jobs"
+        );
+    }
+}
+
+#[test]
+fn backfilling_reduces_waits_over_fcfs() {
+    let w = trace(2_500);
+    let cluster = paper_cluster(24);
+    let scaled = scale_to_load(&w, cluster.total_nodes(), 1.2);
+    let fcfs = Simulation::new(
+        SimConfig::default(),
+        cluster.clone(),
+        EstimatorSpec::PassThrough,
+    )
+    .run(&scaled);
+    let easy = Simulation::new(
+        SimConfig {
+            scheduling: SchedulingPolicy::EasyBackfill,
+            ..SimConfig::default()
+        },
+        cluster,
+        EstimatorSpec::PassThrough,
+    )
+    .run(&scaled);
+    assert!(
+        easy.mean_wait_s() < fcfs.mean_wait_s(),
+        "EASY {} vs FCFS {}",
+        easy.mean_wait_s(),
+        fcfs.mean_wait_s()
+    );
+}
+
+#[test]
+fn estimation_gain_persists_under_backfilling() {
+    // The paper's hypothesis: estimation's utilization gains should
+    // correlate across scheduling policies.
+    let w = trace(3_000);
+    let cluster = paper_cluster(24);
+    let scaled = scale_to_load(&w, cluster.total_nodes(), 1.3);
+    let cfg = SimConfig {
+        scheduling: SchedulingPolicy::EasyBackfill,
+        ..SimConfig::default()
+    };
+    let base = Simulation::new(cfg, cluster.clone(), EstimatorSpec::PassThrough).run(&scaled);
+    let est =
+        Simulation::new(cfg, cluster, EstimatorSpec::paper_successive()).run(&scaled);
+    assert!(
+        est.utilization() >= base.utilization(),
+        "estimation must not hurt under EASY: {} vs {}",
+        est.utilization(),
+        base.utilization()
+    );
+}
+
+#[test]
+fn estimation_never_increases_slowdown_across_loads() {
+    // Figure 6's invariant, checked end to end on a small sweep.
+    let w = trace(2_000);
+    let cluster = paper_cluster(24);
+    let sweep = SweepConfig {
+        loads: vec![0.5, 0.9, 1.3],
+        ..SweepConfig::default()
+    };
+    let base = run_load_sweep(&w, &cluster, EstimatorSpec::PassThrough, &sweep);
+    let est = run_load_sweep(&w, &cluster, EstimatorSpec::paper_successive(), &sweep);
+    for (b, e) in base.iter().zip(&est) {
+        assert!(
+            e.result.mean_slowdown() <= b.result.mean_slowdown() * 1.05,
+            "slowdown increased at load {}: {} vs {}",
+            b.offered_load,
+            e.result.mean_slowdown(),
+            b.result.mean_slowdown()
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! Integration: the estimator-selector ensemble and dynamic membership,
+//! running end to end through the simulator.
+
+use resmatch::prelude::*;
+use resmatch::core::selector::{EstimatorSelector, SelectorConfig};
+
+const MB: u64 = 1024;
+
+fn trace(jobs: usize) -> Workload {
+    let mut w = generate(
+        &Cm5Config {
+            jobs,
+            ..Cm5Config::default()
+        },
+        42,
+    );
+    w.retain_max_nodes(512);
+    w
+}
+
+fn selector_for(cluster: &Cluster) -> Box<EstimatorSelector> {
+    let ladder = cluster.memory_ladder();
+    Box::new(EstimatorSelector::new(
+        SelectorConfig::default(),
+        vec![
+            Box::new(PassThrough),
+            Box::new(SuccessiveApproximation::new(
+                SuccessiveConfig::default(),
+                ladder.clone(),
+            )),
+            Box::new(RobustBisection::new(RobustConfig::default())),
+        ],
+    ))
+}
+
+#[test]
+fn selector_ensemble_beats_baseline_end_to_end() {
+    let w = trace(3_000);
+    let cluster = paper_cluster(24);
+    let scaled = scale_to_load(&w, cluster.total_nodes(), 1.2);
+    let base = Simulation::new(
+        SimConfig::default(),
+        cluster.clone(),
+        EstimatorSpec::PassThrough,
+    )
+    .run(&scaled);
+    let ens = Simulation::with_estimator(
+        SimConfig::default(),
+        cluster.clone(),
+        selector_for(&cluster),
+    )
+    .run(&scaled);
+    assert_eq!(ens.completed_jobs + ens.dropped_jobs, scaled.len());
+    assert!(
+        ens.utilization() > base.utilization() * 1.05,
+        "ensemble {:.3} vs baseline {:.3}",
+        ens.utilization(),
+        base.utilization()
+    );
+}
+
+#[test]
+fn selector_tracks_plain_successive_within_tolerance() {
+    // The ensemble pays a warm-up tax (round-robin includes pass-through)
+    // but must stay in the same league as its best member.
+    let w = trace(3_000);
+    let cluster = paper_cluster(24);
+    let scaled = scale_to_load(&w, cluster.total_nodes(), 1.2);
+    let plain = Simulation::new(
+        SimConfig::default(),
+        cluster.clone(),
+        EstimatorSpec::paper_successive(),
+    )
+    .run(&scaled);
+    let ens = Simulation::with_estimator(
+        SimConfig::default(),
+        cluster.clone(),
+        selector_for(&cluster),
+    )
+    .run(&scaled);
+    assert!(
+        ens.utilization() > plain.utilization() * 0.85,
+        "ensemble {:.3} vs successive {:.3}",
+        ens.utilization(),
+        plain.utilization()
+    );
+}
+
+#[test]
+fn estimation_gain_survives_churn_end_to_end() {
+    let w = trace(3_000);
+    let cluster = paper_cluster(24);
+    let scaled = scale_to_load(&w, cluster.total_nodes(), 1.0);
+    let span = scaled.span();
+    // Half the 24 MB pool leaves for the middle third of the run.
+    let churn = vec![
+        ChurnEvent {
+            time: Time::from_millis(span.as_millis() / 3),
+            mem_kb: 24 * MB,
+            delta: -256,
+        },
+        ChurnEvent {
+            time: Time::from_millis(2 * span.as_millis() / 3),
+            mem_kb: 24 * MB,
+            delta: 256,
+        },
+    ];
+    let base = Simulation::new(
+        SimConfig::default(),
+        cluster.clone(),
+        EstimatorSpec::PassThrough,
+    )
+    .with_churn(churn.clone())
+    .run(&scaled);
+    let est = Simulation::new(
+        SimConfig::default(),
+        cluster,
+        EstimatorSpec::paper_successive(),
+    )
+    .with_churn(churn)
+    .run(&scaled);
+    assert_eq!(base.completed_jobs + base.dropped_jobs, scaled.len());
+    assert_eq!(est.completed_jobs + est.dropped_jobs, scaled.len());
+    assert!(
+        est.utilization() > base.utilization(),
+        "estimation {:.3} vs baseline {:.3} under churn",
+        est.utilization(),
+        base.utilization()
+    );
+}
+
+#[test]
+fn queue_statistics_grow_with_load() {
+    let w = trace(2_000);
+    let cluster = paper_cluster(24);
+    let low = Simulation::new(
+        SimConfig::default(),
+        cluster.clone(),
+        EstimatorSpec::PassThrough,
+    )
+    .run(&scale_to_load(&w, cluster.total_nodes(), 0.3));
+    let high = Simulation::new(
+        SimConfig::default(),
+        cluster.clone(),
+        EstimatorSpec::PassThrough,
+    )
+    .run(&scale_to_load(&w, cluster.total_nodes(), 1.4));
+    assert!(
+        high.mean_queue_length > low.mean_queue_length,
+        "queue {:.2} (high) vs {:.2} (low)",
+        high.mean_queue_length,
+        low.mean_queue_length
+    );
+    assert!(high.mean_busy_nodes > low.mean_busy_nodes * 0.9);
+}

@@ -1,0 +1,93 @@
+//! Integration: SWF files as the interchange format between the workload
+//! tools and the simulator — the path a user of the real LANL CM5 trace
+//! would take. SWF stores whole seconds, so the synthetic trace is first
+//! quantized with [`swf::quantize`]; write→parse then reproduces it
+//! exactly.
+
+use resmatch::prelude::*;
+use resmatch::workload::swf;
+
+fn quantized_trace(jobs: usize, seed: u64) -> Workload {
+    let w = generate(
+        &Cm5Config {
+            jobs,
+            ..Cm5Config::default()
+        },
+        seed,
+    );
+    swf::quantize(&w)
+}
+
+#[test]
+fn synthetic_trace_round_trips_through_swf() {
+    let original = quantized_trace(2_000, 13);
+    let text = swf::write_str(&original, &["Computer: synthetic CM-5", "MaxNodes: 1024"]);
+    let parsed = swf::parse_str(&text).expect("self-written SWF parses");
+    assert_eq!(parsed.workload, original);
+    assert_eq!(parsed.header.max_nodes, Some(1024));
+}
+
+#[test]
+fn quantization_only_touches_times() {
+    let raw = generate(
+        &Cm5Config {
+            jobs: 1_000,
+            ..Cm5Config::default()
+        },
+        13,
+    );
+    let q = swf::quantize(&raw);
+    assert_eq!(q.len(), raw.len());
+    for (a, b) in raw.jobs().iter().zip(q.jobs()) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.user, b.user);
+        assert_eq!(a.nodes, b.nodes);
+        assert_eq!(a.requested_mem_kb, b.requested_mem_kb);
+        assert_eq!(a.used_mem_kb, b.used_mem_kb);
+        assert!(a.submit.saturating_sub(b.submit) < Time::from_secs(1));
+        assert!(a.runtime.saturating_sub(b.runtime) < Time::from_secs(1));
+    }
+}
+
+#[test]
+fn analysis_is_invariant_under_swf_round_trip() {
+    let original = quantized_trace(5_000, 21);
+    let text = swf::write_str(&original, &[]);
+    let reparsed = swf::parse_str(&text).unwrap().workload;
+    let a = trace_stats(&original);
+    let b = trace_stats(&reparsed);
+    assert_eq!(a, b);
+    let ha = overprovisioning_histogram(&original, 8);
+    let hb = overprovisioning_histogram(&reparsed, 8);
+    assert_eq!(ha, hb);
+}
+
+#[test]
+fn simulation_results_identical_for_parsed_trace() {
+    let mut original = quantized_trace(1_000, 5);
+    original.retain_max_nodes(512);
+    let text = swf::write_str(&original, &[]);
+    let reparsed = swf::parse_str(&text).unwrap().workload;
+
+    let run = |w: &Workload| {
+        Simulation::new(
+            SimConfig::default(),
+            paper_cluster(24),
+            EstimatorSpec::paper_successive(),
+        )
+        .run(w)
+    };
+    assert_eq!(run(&original), run(&reparsed));
+}
+
+#[test]
+fn swf_file_io() {
+    let dir = std::env::temp_dir().join("resmatch_swf_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.swf");
+    let original = quantized_trace(300, 2);
+    std::fs::write(&path, swf::write_str(&original, &["Computer: test"])).unwrap();
+    let parsed = swf::parse_file(&path).unwrap().unwrap();
+    assert_eq!(parsed.workload, original);
+    std::fs::remove_file(&path).ok();
+}
