@@ -11,8 +11,7 @@ use resmatch_cluster::{Capacity, Demand};
 fn bench_classad(c: &mut Criterion) {
     let mut group = c.benchmark_group("classad");
 
-    let requirement =
-        "other.Memory >= my.RequestedMemory && other.Disk >= my.RequestedDisk && \
+    let requirement = "other.Memory >= my.RequestedMemory && other.Disk >= my.RequestedDisk && \
          (other.Arch == \"x86_64\" || other.Arch == \"sparc\")";
     group.bench_function("parse_requirements", |b| {
         b.iter(|| black_box(parse(black_box(requirement)).unwrap()))

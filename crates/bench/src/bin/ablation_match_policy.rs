@@ -35,8 +35,8 @@ fn main() {
             ..SimConfig::default()
         };
         let base = Simulation::new(cfg, cluster.clone(), EstimatorSpec::PassThrough).run(&scaled);
-        let est = Simulation::new(cfg, cluster.clone(), EstimatorSpec::paper_successive())
-            .run(&scaled);
+        let est =
+            Simulation::new(cfg, cluster.clone(), EstimatorSpec::paper_successive()).run(&scaled);
         println!(
             "{:<12} {:>12.3} {:>12.3} {:>10.2} {:>9.3}%",
             name,

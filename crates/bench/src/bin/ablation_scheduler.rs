@@ -35,10 +35,9 @@ fn main() {
             scheduling: policy,
             ..SimConfig::default()
         };
-        let base =
-            Simulation::new(cfg, cluster.clone(), EstimatorSpec::PassThrough).run(&scaled);
-        let est = Simulation::new(cfg, cluster.clone(), EstimatorSpec::paper_successive())
-            .run(&scaled);
+        let base = Simulation::new(cfg, cluster.clone(), EstimatorSpec::PassThrough).run(&scaled);
+        let est =
+            Simulation::new(cfg, cluster.clone(), EstimatorSpec::paper_successive()).run(&scaled);
         println!(
             "{:<18} {:>12.3} {:>12.3} {:>12.2} {:>14.2}",
             name,

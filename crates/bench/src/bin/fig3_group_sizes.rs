@@ -24,7 +24,10 @@ fn main() {
     // Log-spaced size buckets for readability, mirroring the figure's
     // log-scaled axis.
     let edges = [1, 2, 3, 5, 10, 20, 50, 100, 200, 500, 1_000];
-    println!("{:<16} {:>8} {:>14}", "group size", "groups", "job fraction");
+    println!(
+        "{:<16} {:>8} {:>14}",
+        "group size", "groups", "job fraction"
+    );
     for w in edges.windows(2) {
         let (lo, hi) = (w[0], w[1]);
         let groups: usize = dist
@@ -38,20 +41,37 @@ fn main() {
             .map(|b| b.job_fraction)
             .sum();
         let bar = "#".repeat((jobs * 150.0).round() as usize);
-        println!("[{lo:>4}, {hi:>4})    {groups:>8} {:>13.2}%  {bar}", jobs * 100.0);
+        println!(
+            "[{lo:>4}, {hi:>4})    {groups:>8} {:>13.2}%  {bar}",
+            jobs * 100.0
+        );
     }
     let giant: f64 = dist
         .iter()
         .filter(|b| b.size >= 1_000)
         .map(|b| b.job_fraction)
         .sum();
-    println!("{:<16} {:>8} {:>13.2}%", ">= 1000",
-        dist.iter().filter(|b| b.size >= 1_000).map(|b| b.groups).sum::<usize>(),
-        giant * 100.0);
+    println!(
+        "{:<16} {:>8} {:>13.2}%",
+        ">= 1000",
+        dist.iter()
+            .filter(|b| b.size >= 1_000)
+            .map(|b| b.groups)
+            .sum::<usize>(),
+        giant * 100.0
+    );
 
     header("headline statistics vs. paper");
-    let big_sets = dist.iter().filter(|b| b.size >= 10).map(|b| b.groups).sum::<usize>();
-    let big_jobs: f64 = dist.iter().filter(|b| b.size >= 10).map(|b| b.job_fraction).sum();
+    let big_sets = dist
+        .iter()
+        .filter(|b| b.size >= 10)
+        .map(|b| b.groups)
+        .sum::<usize>();
+    let big_jobs: f64 = dist
+        .iter()
+        .filter(|b| b.size >= 10)
+        .map(|b| b.job_fraction)
+        .sum();
     println!(
         "groups with >= 10 jobs:  {:>6.1}% of groups  (paper: 19.4%)",
         big_sets as f64 / stats.groups.max(1) as f64 * 100.0
@@ -60,5 +80,8 @@ fn main() {
         "jobs in such groups:     {:>6.1}% of jobs    (paper: 83%)",
         big_jobs * 100.0
     );
-    println!("mean group size:         {:>6.1}            (paper: 12.3)", stats.mean_group_size);
+    println!(
+        "mean group size:         {:>6.1}            (paper: 12.3)",
+        stats.mean_group_size
+    );
 }

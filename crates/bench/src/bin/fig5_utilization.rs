@@ -17,7 +17,10 @@ fn main() {
     let cluster = paper_cluster(24);
 
     header("Figure 5: utilization vs. offered load (512x32MB + 512x24MB)");
-    println!("trace: {} jobs, FCFS, implicit feedback, alpha=2 beta=0\n", trace.len());
+    println!(
+        "trace: {} jobs, FCFS, implicit feedback, alpha=2 beta=0\n",
+        trace.len()
+    );
 
     let sweep = SweepConfig {
         loads: vec![0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.2, 1.5],
@@ -57,10 +60,15 @@ fn main() {
 
     header("saturation comparison vs. paper");
     let sat_base = saturation_utilization(
-        &base.iter().map(|p| p.result.utilization()).collect::<Vec<_>>(),
+        &base
+            .iter()
+            .map(|p| p.result.utilization())
+            .collect::<Vec<_>>(),
     );
     let sat_est = saturation_utilization(
-        &est.iter().map(|p| p.result.utilization()).collect::<Vec<_>>(),
+        &est.iter()
+            .map(|p| p.result.utilization())
+            .collect::<Vec<_>>(),
     );
     println!("saturation utilization without estimation: {sat_base:.3}");
     println!("saturation utilization with estimation:    {sat_est:.3}");

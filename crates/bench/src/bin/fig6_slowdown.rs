@@ -18,7 +18,10 @@ fn main() {
     let cluster = paper_cluster(24);
 
     header("Figure 6: slowdown(no est.) / slowdown(est.) vs. offered load");
-    println!("trace: {} jobs, FCFS, implicit feedback, alpha=2 beta=0\n", trace.len());
+    println!(
+        "trace: {} jobs, FCFS, implicit feedback, alpha=2 beta=0\n",
+        trace.len()
+    );
 
     let sweep = SweepConfig {
         loads: vec![0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.2],
@@ -47,7 +50,10 @@ fn main() {
     }
 
     header("shape check vs. paper");
-    println!("peak ratio {:.2} at load {:.2}  (paper: dramatic peak at ~0.6)", peak.1, peak.0);
+    println!(
+        "peak ratio {:.2} at load {:.2}  (paper: dramatic peak at ~0.6)",
+        peak.1, peak.0
+    );
     let never_worse = base
         .iter()
         .zip(&est)

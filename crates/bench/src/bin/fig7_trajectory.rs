@@ -18,7 +18,10 @@ fn main() {
     let mut est = SuccessiveApproximation::new(SuccessiveConfig::default(), ladder.clone());
     let ctx = EstimateContext::default();
 
-    println!("{:>6} {:>14} {:>12} {:>10}", "cycle", "granted (MB)", "outcome", "E_i (MB)");
+    println!(
+        "{:>6} {:>14} {:>12} {:>10}",
+        "cycle", "granted (MB)", "outcome", "E_i (MB)"
+    );
     for cycle in 1..=8 {
         let job = JobBuilder::new(cycle)
             .user(1)
@@ -32,7 +35,11 @@ fn main() {
         est.feedback(
             &job,
             &demand,
-            &if ok { Feedback::success() } else { Feedback::failure() },
+            &if ok {
+                Feedback::success()
+            } else {
+                Feedback::failure()
+            },
             &ctx,
         );
         let snap = est.group_snapshot(&job).expect("group exists");

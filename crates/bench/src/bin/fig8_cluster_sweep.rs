@@ -18,7 +18,10 @@ fn main() {
     let trace = paper_trace(args);
 
     header("Figure 8: utilization(est.) / utilization(no est.) vs. second pool");
-    println!("trace: {} jobs; saturating load 1.2; alpha=2 beta=0\n", trace.len());
+    println!(
+        "trace: {} jobs; saturating load 1.2; alpha=2 beta=0\n",
+        trace.len()
+    );
 
     let pools: Vec<u64> = (1..=32).step_by(1).collect();
     let points = run_cluster_sweep(
@@ -57,7 +60,10 @@ fn main() {
     let low_mean = (1..=15).map(ratio_at).sum::<f64>() / 15.0;
     println!("mean ratio, 16-28 MB band: {band_mean:.2}  (paper: the improvement region)");
     println!("mean ratio, 1-15 MB:       {low_mean:.2}  (paper: ~1, no improvement)");
-    println!("ratio at 32 MB:            {:.2}  (paper: 1, homogeneous)", ratio_at(32));
+    println!(
+        "ratio at 32 MB:            {:.2}  (paper: 1, homogeneous)",
+        ratio_at(32)
+    );
 
     // The paper's linear fit: benefiting node count vs. improvement in the
     // 16-28 MB range.

@@ -23,7 +23,11 @@ fn main() {
     println!("cluster 512x32MB + 512x24MB, FCFS, saturating load\n");
 
     let rows: Vec<(&str, EstimatorSpec, bool)> = vec![
-        ("baseline (no estimation)", EstimatorSpec::PassThrough, false),
+        (
+            "baseline (no estimation)",
+            EstimatorSpec::PassThrough,
+            false,
+        ),
         (
             "Algorithm 1 (published)",
             EstimatorSpec::paper_successive(),

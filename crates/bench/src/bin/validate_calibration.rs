@@ -96,7 +96,11 @@ fn main() {
                 // class-level sampling noise, and the practical bar is a
                 // small absolute distance rather than the (hyper-sensitive)
                 // iid p-value.
-                if r.statistic < 0.08 { "stable" } else { "WOBBLY" }
+                if r.statistic < 0.08 {
+                    "stable"
+                } else {
+                    "WOBBLY"
+                }
             ),
             None => println!("{name:<26} (empty sample)"),
         }

@@ -78,7 +78,10 @@ pub fn full_paper_trace(seed: u64) -> Workload {
 
 /// Render a ruled section header.
 pub fn header(title: &str) {
-    println!("\n== {title} {}", "=".repeat(68usize.saturating_sub(title.len())));
+    println!(
+        "\n== {title} {}",
+        "=".repeat(68usize.saturating_sub(title.len()))
+    );
 }
 
 #[cfg(test)]
@@ -100,10 +103,7 @@ mod tests {
     fn args_default() {
         // No CLI flags in the test harness; parse must return defaults.
         // (Testing the parser's happy path directly on a fresh struct.)
-        let args = ExperimentArgs {
-            jobs: 10,
-            seed: 42,
-        };
+        let args = ExperimentArgs { jobs: 10, seed: 42 };
         assert_eq!(args.jobs, 10);
         assert_eq!(args.seed, 42);
     }

@@ -161,7 +161,8 @@ mod tests {
     #[test]
     fn undefined_requirements_do_not_match() {
         let mut j = ClassAd::new();
-        j.insert_expr("Requirements", "other.NoSuchAttr >= 1").unwrap();
+        j.insert_expr("Requirements", "other.NoSuchAttr >= 1")
+            .unwrap();
         let m = ClassAd::new();
         assert!(!matches(&j, &m).unwrap());
     }

@@ -38,10 +38,7 @@ pub fn machine_ad(capacity: &Capacity) -> ClassAd {
 /// job ad.
 pub fn job_ad(demand: &Demand) -> ClassAd {
     let mut ad = ClassAd::new();
-    ad.insert_int(
-        "RequestedMemory",
-        demand.mem_kb.min(i64::MAX as u64) as i64,
-    );
+    ad.insert_int("RequestedMemory", demand.mem_kb.min(i64::MAX as u64) as i64);
     ad.insert_int("RequestedDisk", demand.disk_kb.min(i64::MAX as u64) as i64);
     let mut requirements =
         String::from("other.Memory >= my.RequestedMemory && other.Disk >= my.RequestedDisk");

@@ -41,25 +41,26 @@ pub fn eval(expr: &Expr, ctx: &Context<'_>) -> Result<Value, EvalError> {
 fn lookup(ctx: &Context<'_>, scope: Scope, name: &str, depth: u32) -> Result<Value, EvalError> {
     // Scoped lookups flip `my`/`other` for the referenced ad's own
     // sub-expressions.
-    let resolve = |ad: &ClassAd, flip: bool, ctx: &Context<'_>| -> Result<Option<Value>, EvalError> {
-        match ad.expr(name) {
-            None => Ok(None),
-            Some(e) => {
-                let sub = if flip {
-                    Context {
-                        my: ad,
-                        other: Some(ctx.my),
-                    }
-                } else {
-                    Context {
-                        my: ad,
-                        other: ctx.other,
-                    }
-                };
-                eval_depth(e, &sub, depth + 1).map(Some)
+    let resolve =
+        |ad: &ClassAd, flip: bool, ctx: &Context<'_>| -> Result<Option<Value>, EvalError> {
+            match ad.expr(name) {
+                None => Ok(None),
+                Some(e) => {
+                    let sub = if flip {
+                        Context {
+                            my: ad,
+                            other: Some(ctx.my),
+                        }
+                    } else {
+                        Context {
+                            my: ad,
+                            other: ctx.other,
+                        }
+                    };
+                    eval_depth(e, &sub, depth + 1).map(Some)
+                }
             }
-        }
-    };
+        };
     match scope {
         Scope::My => Ok(resolve(ctx.my, false, ctx)?.unwrap_or(Value::Undefined)),
         Scope::Other => match ctx.other {
@@ -171,7 +172,11 @@ mod tests {
 
     #[test]
     fn attributes_can_reference_attributes() {
-        let my = ad(&[("total", "per_node * nodes"), ("per_node", "4"), ("nodes", "8")]);
+        let my = ad(&[
+            ("total", "per_node * nodes"),
+            ("per_node", "4"),
+            ("nodes", "8"),
+        ]);
         assert_eq!(eval_str("total", &my, None), Value::Int(32));
     }
 
@@ -181,13 +186,22 @@ mod tests {
         let my = ad(&[("base", "10")]);
         let other = ad(&[("threshold", "my.base + 1"), ("base", "100")]);
         // Evaluating other.threshold: inside, `my` is the other ad.
-        assert_eq!(eval_str("other.threshold", &my, Some(&other)), Value::Int(101));
+        assert_eq!(
+            eval_str("other.threshold", &my, Some(&other)),
+            Value::Int(101)
+        );
     }
 
     #[test]
     fn reference_cycles_error_out() {
         let my = ad(&[("a", "b"), ("b", "a")]);
-        let result = eval(&parse("a").unwrap(), &Context { my: &my, other: None });
+        let result = eval(
+            &parse("a").unwrap(),
+            &Context {
+                my: &my,
+                other: None,
+            },
+        );
         assert!(result.is_err());
     }
 

@@ -80,7 +80,11 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                 tokens.push(Token::RParen);
                 i += 1;
             }
-            '.' if !bytes.get(i + 1).map(|b| b.is_ascii_digit()).unwrap_or(false) => {
+            '.' if !bytes
+                .get(i + 1)
+                .map(|b| b.is_ascii_digit())
+                .unwrap_or(false) =>
+            {
                 tokens.push(Token::Dot);
                 i += 1;
             }
@@ -176,13 +180,16 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                 i = j + 1;
             }
             c if c.is_ascii_digit()
-                || (c == '.' && bytes.get(i + 1).map(|b| b.is_ascii_digit()).unwrap_or(false)) =>
+                || (c == '.'
+                    && bytes
+                        .get(i + 1)
+                        .map(|b| b.is_ascii_digit())
+                        .unwrap_or(false)) =>
             {
                 let start = i;
                 let mut seen_dot = false;
                 while i < bytes.len()
-                    && ((bytes[i] as char).is_ascii_digit()
-                        || (bytes[i] == b'.' && !seen_dot))
+                    && ((bytes[i] as char).is_ascii_digit() || (bytes[i] == b'.' && !seen_dot))
                 {
                     if bytes[i] == b'.' {
                         seen_dot = true;

@@ -279,7 +279,11 @@ impl Parser {
                             })
                         }
                     };
-                    let scope = if lower == "my" { Scope::My } else { Scope::Other };
+                    let scope = if lower == "my" {
+                        Scope::My
+                    } else {
+                        Scope::Other
+                    };
                     return Ok(Expr::Attr { scope, name: attr });
                 }
                 Ok(Expr::Attr {
@@ -327,16 +331,32 @@ mod tests {
     fn precedence_mul_over_add_over_cmp_over_and_over_or() {
         // a || b && c < 1 + 2 * 3  parses as  a || (b && (c < (1 + (2*3))))
         let e = parse("a || b && c < 1 + 2 * 3").unwrap();
-        let Expr::Binary { op: BinOp::Or, rhs, .. } = e else {
+        let Expr::Binary {
+            op: BinOp::Or, rhs, ..
+        } = e
+        else {
             panic!("top must be ||");
         };
-        let Expr::Binary { op: BinOp::And, rhs, .. } = *rhs else {
+        let Expr::Binary {
+            op: BinOp::And,
+            rhs,
+            ..
+        } = *rhs
+        else {
             panic!("next must be &&");
         };
-        let Expr::Binary { op: BinOp::Lt, rhs, .. } = *rhs else {
+        let Expr::Binary {
+            op: BinOp::Lt, rhs, ..
+        } = *rhs
+        else {
             panic!("next must be <");
         };
-        let Expr::Binary { op: BinOp::Add, rhs, .. } = *rhs else {
+        let Expr::Binary {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = *rhs
+        else {
             panic!("next must be +");
         };
         assert!(matches!(*rhs, Expr::Binary { op: BinOp::Mul, .. }));

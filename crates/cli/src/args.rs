@@ -51,9 +51,9 @@ impl ArgSpec {
                 if self.switches.contains(&name) {
                     args.switches.push(name.to_string());
                 } else if self.valued.contains(&name) {
-                    let value = iter.next().ok_or_else(|| {
-                        CliError::new(format!("--{name} requires a value"))
-                    })?;
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| CliError::new(format!("--{name} requires a value")))?;
                     if args.options.insert(name.to_string(), value).is_some() {
                         return Err(CliError::new(format!("--{name} given twice")));
                     }
@@ -125,7 +125,10 @@ mod tests {
     }
 
     fn spec() -> ArgSpec {
-        ArgSpec::new().value("jobs").value("seed").switch("explicit")
+        ArgSpec::new()
+            .value("jobs")
+            .value("seed")
+            .switch("explicit")
     }
 
     #[test]

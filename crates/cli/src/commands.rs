@@ -44,10 +44,7 @@ fn load_trace(args: &Args, seed: u64) -> CliResult<Workload> {
 }
 
 fn cluster_from(args: &Args) -> CliResult<Cluster> {
-    let layout = args
-        .get("cluster")
-        .unwrap_or("512x32M,512x24M")
-        .to_string();
+    let layout = args.get("cluster").unwrap_or("512x32M,512x24M").to_string();
     parse_cluster(&layout)
 }
 
@@ -113,7 +110,10 @@ pub fn cmd_generate(tokens: Vec<String>) -> CliResult<String> {
 /// `resmatch analyze [trace.swf | --synthetic N] [--seed S]`
 pub fn cmd_analyze(tokens: Vec<String>) -> CliResult<String> {
     use std::fmt::Write as _;
-    let args = ArgSpec::new().value("synthetic").value("seed").parse(tokens)?;
+    let args = ArgSpec::new()
+        .value("synthetic")
+        .value("seed")
+        .parse(tokens)?;
     let seed: u64 = args.get_parsed("seed", 42)?;
     let trace = load_trace(&args, seed)?;
     let stats = trace_stats(&trace);
@@ -355,11 +355,7 @@ mod tests {
         let dir = std::env::temp_dir().join("resmatch_cli_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("out.swf");
-        let msg = cmd_generate(toks(&format!(
-            "--jobs 30 --out {}",
-            path.display()
-        )))
-        .unwrap();
+        let msg = cmd_generate(toks(&format!("--jobs 30 --out {}", path.display()))).unwrap();
         assert!(msg.contains("wrote 30 jobs"));
         let parsed = swf::parse_file(&path).unwrap().unwrap();
         assert_eq!(parsed.workload.len(), 30);

@@ -5,6 +5,19 @@
 //! keeps `try_allocate` O(#pools) — a cluster has thousands of nodes but a
 //! handful of distinct capacities — which matters because the simulator
 //! retries the queue head on every completion event.
+//!
+//! Three hot-path caches keep the per-event cost flat over a full trace:
+//!
+//! - a [`MemIndex`]: cumulative free/online node counts indexed by the
+//!   memory-capacity ladder, maintained incrementally on every
+//!   allocate/release/churn, so the memory-only candidate counts the
+//!   simulator asks for on each (re)admission are an O(log #rungs) lookup
+//!   instead of a pool scan with full `satisfies` checks;
+//! - the pool visitation order for each [`MatchPolicy`], precomputed at
+//!   construction, so `try_allocate` never allocates or sorts;
+//! - per-pool grant counts inside each [`Allocation`], so
+//!   weakest-node/package/eligibility queries about a running job cost
+//!   O(pools spanned) instead of O(nodes granted).
 
 use serde::{Deserialize, Serialize};
 
@@ -30,6 +43,11 @@ pub enum MatchPolicy {
 
 /// Occupant sentinel for nodes that have left the cluster.
 const OFFLINE_TOKEN: u64 = u64::MAX;
+/// Occupant sentinel for a free node. Storing bare `u64`s instead of
+/// `Option<u64>` halves the occupant table's footprint and the per-node
+/// traffic in `try_allocate`/`release`; the top two token values are
+/// reserved for the sentinels and rejected at allocation time.
+const FREE_TOKEN: u64 = u64::MAX - 1;
 
 #[derive(Debug, Clone)]
 struct Pool {
@@ -47,21 +65,84 @@ struct Pool {
 #[derive(Debug, PartialEq, Eq)]
 pub struct Allocation {
     nodes: Vec<NodeId>,
+    /// `(pool index, nodes granted from it)` in draw order — the compact
+    /// shape pool-level queries (weakest node, common packages, eligible
+    /// counts) read instead of walking every node.
+    per_pool: Vec<(u16, u32)>,
     token: u64,
 }
 
 impl Allocation {
     /// The node ids granted.
+    #[inline]
     pub fn nodes(&self) -> &[NodeId] {
         &self.nodes
     }
 
     /// The caller-supplied token (typically the job id) recorded as the
     /// occupant of each node.
+    #[inline]
     pub fn token(&self) -> u64 {
         self.token
     }
 }
+
+/// Cumulative candidate counts over the memory-capacity ladder.
+///
+/// `free_at_least[r]` (resp. `online_at_least[r]`) is the number of free
+/// (resp. online, i.e. free-or-busy) nodes in pools whose memory is at
+/// least `rungs[r]`. A memory-only demand's candidate count is then a
+/// binary search plus one array read; the arrays are patched incrementally
+/// — O(#rungs) per pool-level batch — wherever nodes change state.
+#[derive(Debug, Clone)]
+struct MemIndex {
+    /// Distinct pool memory capacities, ascending.
+    rungs: Vec<u64>,
+    free_at_least: Vec<u32>,
+    online_at_least: Vec<u32>,
+}
+
+impl MemIndex {
+    fn add_free(&mut self, rung: usize, delta: i64) {
+        for slot in &mut self.free_at_least[..=rung] {
+            *slot = (*slot as i64 + delta) as u32;
+        }
+    }
+
+    fn add_online(&mut self, rung: usize, delta: i64) {
+        for slot in &mut self.online_at_least[..=rung] {
+            *slot = (*slot as i64 + delta) as u32;
+        }
+    }
+
+    fn at_least(arr: &[u32], rungs: &[u64], mem_kb: u64) -> u32 {
+        let r = rungs.partition_point(|&m| m < mem_kb);
+        if r == rungs.len() {
+            0
+        } else {
+            arr[r]
+        }
+    }
+
+    fn free_at_least(&self, mem_kb: u64) -> u32 {
+        Self::at_least(&self.free_at_least, &self.rungs, mem_kb)
+    }
+
+    fn online_at_least(&self, mem_kb: u64) -> u32 {
+        Self::at_least(&self.online_at_least, &self.rungs, mem_kb)
+    }
+}
+
+/// True when `demand` constrains memory only, so `Capacity::satisfies`
+/// degenerates to a memory threshold and the [`MemIndex`] answers exactly.
+#[inline]
+fn mem_only(demand: &Demand) -> bool {
+    demand.disk_kb == 0 && demand.packages == 0
+}
+
+/// A retired allocation's buffers — `(node ids, per-pool segments)` —
+/// parked for reuse by the next `try_allocate`.
+type SpareBuffers = (Vec<NodeId>, Vec<(u16, u32)>);
 
 /// A space-shared heterogeneous cluster.
 #[derive(Debug, Clone)]
@@ -69,9 +150,23 @@ pub struct Cluster {
     pools: Vec<Pool>,
     /// Pool index per node.
     node_pool: Vec<u16>,
-    /// Occupant token per node; `None` = free.
-    occupant: Vec<Option<u64>>,
+    /// Occupant token per node; `FREE_TOKEN` = free, `OFFLINE_TOKEN` =
+    /// departed.
+    occupant: Vec<u64>,
     free_count: u32,
+    /// Ladder rung index of each pool's memory capacity.
+    pool_rung: Vec<u16>,
+    /// Incremental candidate counts for memory-only demands.
+    mem_index: MemIndex,
+    /// Pool visitation order per match policy, fixed at construction.
+    /// Stable-sorted with the same keys the old per-call sort used, so
+    /// node selection is bit-identical.
+    order_first: Vec<u16>,
+    order_best: Vec<u16>,
+    order_worst: Vec<u16>,
+    /// Retired allocation buffers, reused by the next `try_allocate` so a
+    /// steady-state simulation allocates no fresh vectors per execution.
+    spare: Vec<SpareBuffers>,
 }
 
 impl Cluster {
@@ -101,31 +196,82 @@ impl Cluster {
                 total: count,
             });
         }
+        let mut rungs: Vec<u64> = pools.iter().map(|p| p.capacity.mem_kb).collect();
+        rungs.sort_unstable();
+        rungs.dedup();
+        let pool_rung: Vec<u16> = pools
+            .iter()
+            .map(|p| rungs.binary_search(&p.capacity.mem_kb).unwrap() as u16)
+            .collect();
+        let mut free_at_least = vec![0u32; rungs.len()];
+        for (pi, p) in pools.iter().enumerate() {
+            for slot in &mut free_at_least[..=pool_rung[pi] as usize] {
+                *slot += p.total;
+            }
+        }
+        let mem_index = MemIndex {
+            online_at_least: free_at_least.clone(),
+            free_at_least,
+            rungs,
+        };
+        let order_first: Vec<u16> = (0..pools.len() as u16).collect();
+        let mut order_best = order_first.clone();
+        order_best.sort_by_key(|&i| {
+            let c = pools[i as usize].capacity;
+            (c.mem_kb, c.disk_kb, c.packages.count_ones())
+        });
+        let mut order_worst = order_first.clone();
+        order_worst.sort_by_key(|&i| {
+            let c = pools[i as usize].capacity;
+            std::cmp::Reverse((c.mem_kb, c.disk_kb, c.packages.count_ones()))
+        });
         Cluster {
             pools,
             node_pool,
-            occupant: vec![None; total as usize],
+            occupant: vec![FREE_TOKEN; total as usize],
             free_count: total,
+            pool_rung,
+            mem_index,
+            order_first,
+            order_best,
+            order_worst,
+            spare: Vec::new(),
         }
     }
 
     /// Total number of nodes.
+    #[inline]
     pub fn total_nodes(&self) -> u32 {
         self.occupant.len() as u32
     }
 
     /// Currently free nodes.
+    #[inline]
     pub fn free_nodes(&self) -> u32 {
         self.free_count
     }
 
     /// Currently busy nodes.
+    #[inline]
     pub fn busy_nodes(&self) -> u32 {
         self.total_nodes() - self.free_count
     }
 
-    /// Free nodes whose capacity satisfies `demand`.
+    /// Free nodes whose capacity satisfies `demand`. Memory-only demands
+    /// (the simulator's case) are answered from the incremental
+    /// [`MemIndex`]; anything constraining disk or packages falls back to
+    /// the pool scan.
+    #[inline]
     pub fn free_nodes_satisfying(&self, demand: &Demand) -> u32 {
+        if mem_only(demand) {
+            let fast = self.mem_index.free_at_least(demand.mem_kb);
+            debug_assert_eq!(fast, self.free_nodes_satisfying_scan(demand));
+            return fast;
+        }
+        self.free_nodes_satisfying_scan(demand)
+    }
+
+    fn free_nodes_satisfying_scan(&self, demand: &Demand) -> u32 {
         self.pools
             .iter()
             .filter(|p| p.capacity.satisfies(demand))
@@ -136,7 +282,17 @@ impl Cluster {
     /// Currently *online* nodes (free or busy) whose capacity satisfies
     /// `demand` — the job's candidate-machine count, the quantity the
     /// paper's Figure 8 analysis counts for "benefiting" jobs.
+    #[inline]
     pub fn nodes_satisfying(&self, demand: &Demand) -> u32 {
+        if mem_only(demand) {
+            let fast = self.mem_index.online_at_least(demand.mem_kb);
+            debug_assert_eq!(fast, self.nodes_satisfying_scan(demand));
+            return fast;
+        }
+        self.nodes_satisfying_scan(demand)
+    }
+
+    fn nodes_satisfying_scan(&self, demand: &Demand) -> u32 {
         self.pools
             .iter()
             .filter(|p| p.capacity.satisfies(demand))
@@ -156,16 +312,27 @@ impl Cluster {
     /// actually left.
     pub fn take_offline(&mut self, mem_kb: u64, count: u32) -> u32 {
         let mut taken = 0;
-        for pool in self.pools.iter_mut().filter(|p| p.capacity.mem_kb == mem_kb) {
+        for pi in 0..self.pools.len() {
+            if self.pools[pi].capacity.mem_kb != mem_kb {
+                continue;
+            }
+            let mut here: u32 = 0;
             while taken < count {
+                let pool = &mut self.pools[pi];
                 match pool.free.pop() {
                     Some(id) => {
-                        self.occupant[id as usize] = Some(OFFLINE_TOKEN);
+                        self.occupant[id as usize] = OFFLINE_TOKEN;
                         pool.offline.push(id);
                         taken += 1;
+                        here += 1;
                     }
                     None => break,
                 }
+            }
+            if here > 0 {
+                let rung = self.pool_rung[pi] as usize;
+                self.mem_index.add_free(rung, -(here as i64));
+                self.mem_index.add_online(rung, -(here as i64));
             }
             if taken == count {
                 break;
@@ -179,17 +346,28 @@ impl Cluster {
     /// `mem_kb` back online. Returns how many rejoined.
     pub fn bring_online(&mut self, mem_kb: u64, count: u32) -> u32 {
         let mut restored = 0;
-        for pool in self.pools.iter_mut().filter(|p| p.capacity.mem_kb == mem_kb) {
+        for pi in 0..self.pools.len() {
+            if self.pools[pi].capacity.mem_kb != mem_kb {
+                continue;
+            }
+            let mut here: u32 = 0;
             while restored < count {
+                let pool = &mut self.pools[pi];
                 match pool.offline.pop() {
                     Some(id) => {
-                        debug_assert_eq!(self.occupant[id as usize], Some(OFFLINE_TOKEN));
-                        self.occupant[id as usize] = None;
+                        debug_assert_eq!(self.occupant[id as usize], OFFLINE_TOKEN);
+                        self.occupant[id as usize] = FREE_TOKEN;
                         pool.free.push(id);
                         restored += 1;
+                        here += 1;
                     }
                     None => break,
                 }
+            }
+            if here > 0 {
+                let rung = self.pool_rung[pi] as usize;
+                self.mem_index.add_free(rung, here as i64);
+                self.mem_index.add_online(rung, here as i64);
             }
             if restored == count {
                 break;
@@ -222,59 +400,66 @@ impl Cluster {
         policy: MatchPolicy,
         token: u64,
     ) -> Option<Allocation> {
+        assert!(token < FREE_TOKEN, "tokens above u64::MAX - 2 are reserved");
         if count == 0 {
             return Some(Allocation {
                 nodes: Vec::new(),
+                per_pool: Vec::new(),
                 token,
             });
         }
-        let mut eligible: Vec<usize> = (0..self.pools.len())
-            .filter(|&i| self.pools[i].capacity.satisfies(demand))
-            .collect();
-        let available: u32 = eligible
-            .iter()
-            .map(|&i| self.pools[i].free.len() as u32)
-            .sum();
-        if available < count {
+        if self.free_nodes_satisfying(demand) < count {
             return None;
         }
-        match policy {
-            MatchPolicy::FirstFit => {}
-            MatchPolicy::BestFit => {
-                eligible.sort_by_key(|&i| {
-                    let c = self.pools[i].capacity;
-                    (c.mem_kb, c.disk_kb, c.packages.count_ones())
-                });
-            }
-            MatchPolicy::WorstFit => {
-                eligible.sort_by_key(|&i| {
-                    let c = self.pools[i].capacity;
-                    std::cmp::Reverse((c.mem_kb, c.disk_kb, c.packages.count_ones()))
-                });
-            }
-        }
-        let mut nodes = Vec::with_capacity(count as usize);
+        // The pool visit orders are precomputed at construction (pools never
+        // change capacity); ineligible pools are skipped in-line, which yields
+        // the same sequence a filter-then-sort of eligible pools would.
+        let order: &[u16] = match policy {
+            MatchPolicy::FirstFit => &self.order_first,
+            MatchPolicy::BestFit => &self.order_best,
+            MatchPolicy::WorstFit => &self.order_worst,
+        };
+        let (mut nodes, mut per_pool) = self.spare.pop().unwrap_or_default();
+        nodes.reserve(count as usize);
         let mut remaining = count;
-        for &pi in &eligible {
-            let pool = &mut self.pools[pi];
-            while remaining > 0 {
-                match pool.free.pop() {
-                    Some(id) => {
-                        debug_assert!(self.occupant[id as usize].is_none());
-                        self.occupant[id as usize] = Some(token);
-                        nodes.push(id);
-                        remaining -= 1;
-                    }
-                    None => break,
-                }
+        for &pio in order {
+            let pi = pio as usize;
+            if !self.pools[pi].capacity.satisfies(demand) {
+                continue;
             }
+            let here = remaining.min(self.pools[pi].free.len() as u32);
+            if here == 0 {
+                continue;
+            }
+            // Take the top `here` entries of the free stack as one block.
+            // Reversing the slice reproduces the exact order a pop-per-node
+            // loop would have drawn them in, so node selection is
+            // bit-identical while the stack shrinks with a single truncate.
+            let start = self.pools[pi].free.len() - here as usize;
+            {
+                let (pools, occupant) = (&self.pools, &mut self.occupant);
+                for &id in &pools[pi].free[start..] {
+                    debug_assert_eq!(occupant[id as usize], FREE_TOKEN);
+                    occupant[id as usize] = token;
+                }
+                nodes.extend(pools[pi].free[start..].iter().rev().copied());
+            }
+            self.pools[pi].free.truncate(start);
+            remaining -= here;
+            per_pool.push((pi as u16, here));
+            self.mem_index
+                .add_free(self.pool_rung[pi] as usize, -(here as i64));
             if remaining == 0 {
                 break;
             }
         }
         debug_assert_eq!(remaining, 0, "availability was pre-checked");
         self.free_count -= count;
-        Some(Allocation { nodes, token })
+        Some(Allocation {
+            nodes,
+            per_pool,
+            token,
+        })
     }
 
     /// Return an allocation's nodes to their pools.
@@ -284,27 +469,48 @@ impl Cluster {
     /// allocation's token — that is always a scheduler logic bug worth
     /// failing loudly on.
     pub fn release(&mut self, alloc: Allocation) {
-        for &id in &alloc.nodes {
-            let occupant = self.occupant[id as usize].take();
-            assert_eq!(
-                occupant,
-                Some(alloc.token),
-                "release of node {id} not held by token {}",
-                alloc.token
-            );
-            self.pools[self.node_pool[id as usize] as usize].free.push(id);
+        // `nodes` is partitioned by pool in `per_pool` draw order (see
+        // `try_allocate`), so each segment rejoins its pool's free stack
+        // with one `extend_from_slice` — same push order a per-node loop
+        // produced, without a `node_pool` lookup per node.
+        let mut offset = 0usize;
+        for &(pi, n) in &alloc.per_pool {
+            let seg = &alloc.nodes[offset..offset + n as usize];
+            offset += n as usize;
+            for &id in seg {
+                let occupant = std::mem::replace(&mut self.occupant[id as usize], FREE_TOKEN);
+                assert_eq!(
+                    occupant, alloc.token,
+                    "release of node {id} not held by token {}",
+                    alloc.token
+                );
+                debug_assert_eq!(self.node_pool[id as usize], pi);
+            }
+            self.pools[pi as usize].free.extend_from_slice(seg);
+            self.mem_index
+                .add_free(self.pool_rung[pi as usize] as usize, n as i64);
         }
+        debug_assert_eq!(offset, alloc.nodes.len());
         self.free_count += alloc.nodes.len() as u32;
+        let Allocation {
+            mut nodes,
+            mut per_pool,
+            ..
+        } = alloc;
+        nodes.clear();
+        per_pool.clear();
+        self.spare.push((nodes, per_pool));
     }
 
     /// Smallest memory capacity among the nodes an allocation granted —
     /// the amount the job can actually consume everywhere. The simulator
     /// compares this against actual usage to decide failure.
+    #[inline]
     pub fn allocation_min_mem(&self, alloc: &Allocation) -> u64 {
         alloc
-            .nodes
+            .per_pool
             .iter()
-            .map(|&id| self.node_capacity(id).mem_kb)
+            .map(|&(pi, _)| self.pools[pi as usize].capacity.mem_kb)
             .min()
             .unwrap_or(0)
     }
@@ -325,12 +531,41 @@ impl Cluster {
     /// Packages installed on *every* node of an allocation (bitwise
     /// intersection) — what the job can actually rely on. Empty allocations
     /// report all packages.
+    #[inline]
     pub fn allocation_packages(&self, alloc: &Allocation) -> u32 {
         alloc
-            .nodes
+            .per_pool
             .iter()
-            .map(|&id| self.node_capacity(id).packages)
+            .map(|&(pi, _)| self.pools[pi as usize].capacity.packages)
             .fold(u32::MAX, |acc, p| acc & p)
+    }
+
+    /// How many of an allocation's nodes satisfy `demand` — per-pool
+    /// arithmetic, O(pools spanned) instead of O(nodes held).
+    #[inline]
+    pub fn allocation_nodes_satisfying(&self, alloc: &Allocation, demand: &Demand) -> u32 {
+        alloc
+            .per_pool
+            .iter()
+            .filter(|&&(pi, _)| self.pools[pi as usize].capacity.satisfies(demand))
+            .map(|&(_, n)| n)
+            .sum()
+    }
+
+    /// Number of pools, in construction order (stable for a cluster's
+    /// lifetime — churn toggles nodes offline, it never removes pools).
+    #[inline]
+    pub fn num_pools(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// Busy nodes in pool `idx` right now. Offline nodes are neither free
+    /// nor busy. Allocation-free counterpart of [`Cluster::pool_occupancy`]
+    /// for per-tick stats accumulation.
+    #[inline]
+    pub fn pool_busy_count(&self, idx: usize) -> u32 {
+        let p = &self.pools[idx];
+        p.total - p.free.len() as u32 - p.offline.len() as u32
     }
 }
 
@@ -452,6 +687,7 @@ mod tests {
             .unwrap();
         let forged = Allocation {
             nodes: a.nodes().to_vec(),
+            per_pool: a.per_pool.clone(),
             token: 999,
         };
         c.release(forged);

@@ -21,7 +21,10 @@ impl CapacityLadder {
     /// # Panics
     /// Panics when no capacities are given.
     pub fn new(mut capacities: Vec<u64>) -> Self {
-        assert!(!capacities.is_empty(), "a cluster has at least one capacity");
+        assert!(
+            !capacities.is_empty(),
+            "a cluster has at least one capacity"
+        );
         capacities.sort_unstable();
         capacities.dedup();
         CapacityLadder { rungs: capacities }

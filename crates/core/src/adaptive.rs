@@ -166,7 +166,11 @@ mod tests {
         est.feedback(
             j,
             &d,
-            &if ok { Feedback::success() } else { Feedback::failure() },
+            &if ok {
+                Feedback::success()
+            } else {
+                Feedback::failure()
+            },
             &ctx,
         );
         ok
@@ -201,7 +205,10 @@ mod tests {
                 failures += 1;
             }
         }
-        assert!(est.user_level(1) >= 1, "user must refine after {failures} failures");
+        assert!(
+            est.user_level(1) >= 1,
+            "user must refine after {failures} failures"
+        );
         // After refinement the two apps learn independently: drive more
         // cycles and require both to succeed consistently at the end.
         let mut tail_failures = 0;
@@ -276,7 +283,11 @@ mod tests {
             est.feedback(
                 &j,
                 &d,
-                &if ok { Feedback::success() } else { Feedback::failure() },
+                &if ok {
+                    Feedback::success()
+                } else {
+                    Feedback::failure()
+                },
                 &ctx,
             );
         }

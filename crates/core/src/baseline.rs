@@ -8,7 +8,7 @@
 use resmatch_cluster::Demand;
 use resmatch_workload::Job;
 
-use crate::traits::{used_demand, EstimateContext, Feedback, ResourceEstimator};
+use crate::traits::{used_demand, EstimateContext, EstimateScope, Feedback, ResourceEstimator};
 
 /// No estimation: the demand is the user request, verbatim.
 #[derive(Debug, Clone, Copy, Default)]
@@ -24,6 +24,11 @@ impl ResourceEstimator for PassThrough {
     }
 
     fn feedback(&mut self, _job: &Job, _granted: &Demand, _fb: &Feedback, _ctx: &EstimateContext) {}
+
+    fn estimate_scope(&self, _job: &Job) -> EstimateScope {
+        // The request is fixed at submission; no feedback can change it.
+        EstimateScope::Static
+    }
 }
 
 /// Perfect estimation: the demand is the job's actual usage.
@@ -40,6 +45,11 @@ impl ResourceEstimator for Oracle {
     }
 
     fn feedback(&mut self, _job: &Job, _granted: &Demand, _fb: &Feedback, _ctx: &EstimateContext) {}
+
+    fn estimate_scope(&self, _job: &Job) -> EstimateScope {
+        // Recorded usage is a property of the trace, not of learning state.
+        EstimateScope::Static
+    }
 }
 
 #[cfg(test)]

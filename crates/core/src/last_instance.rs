@@ -21,7 +21,7 @@ use resmatch_cluster::Demand;
 use resmatch_workload::Job;
 
 use crate::similarity::{GroupTable, SimilarityPolicy};
-use crate::traits::{EstimateContext, Feedback, ResourceEstimator};
+use crate::traits::{EstimateContext, EstimateScope, Feedback, ResourceEstimator};
 
 /// Tunables for [`LastInstance`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -85,7 +85,9 @@ impl ResourceEstimator for LastInstance {
     }
 
     fn estimate(&mut self, job: &Job, _ctx: &EstimateContext) -> Demand {
-        let group = self.groups.get_or_insert_with(job, |_| GroupState::default());
+        let group = self
+            .groups
+            .get_or_insert_with(job, |_| GroupState::default());
         let request = job.requested_mem_kb;
         let mem_kb = if group.poisoned || group.recent_used_kb.is_empty() {
             request
@@ -134,6 +136,12 @@ impl ResourceEstimator for LastInstance {
                 }
             }
         }
+    }
+
+    fn estimate_scope(&self, job: &Job) -> EstimateScope {
+        // The usage window and poison bit live per group; feedback only
+        // mutates the fed-back job's own group.
+        EstimateScope::Group(self.groups.policy().key(job).stable_hash())
     }
 }
 
@@ -226,7 +234,12 @@ mod tests {
         assert_eq!(e.estimate(&j, &ctx).mem_kb, 5_000);
         // A failed run (truncated measurement) reverts to the request.
         let d = e.estimate(&j, &ctx);
-        e.feedback(&j, &d, &Feedback::explicit(false, Demand::memory(5_000)), &ctx);
+        e.feedback(
+            &j,
+            &d,
+            &Feedback::explicit(false, Demand::memory(5_000)),
+            &ctx,
+        );
         assert_eq!(e.estimate(&j, &ctx).mem_kb, 32_768);
         // A clean run re-arms estimation.
         let d = e.estimate(&j, &ctx);

@@ -54,8 +54,8 @@ pub mod baseline;
 pub mod last_instance;
 pub mod multi;
 pub mod quantile;
-pub mod reinforcement;
 pub mod regression;
+pub mod reinforcement;
 pub mod robust;
 pub mod selector;
 pub mod similarity;
@@ -70,13 +70,13 @@ pub mod prelude {
     pub use crate::last_instance::{LastInstance, LastInstanceConfig};
     pub use crate::multi::{MultiResourceConfig, MultiResourceEstimator};
     pub use crate::quantile::{QuantileConfig, QuantileEstimator};
-    pub use crate::reinforcement::{ReinforcementConfig, ReinforcementEstimator};
     pub use crate::regression::{RegressionConfig, RegressionEstimator};
+    pub use crate::reinforcement::{ReinforcementConfig, ReinforcementEstimator};
     pub use crate::robust::{RobustBisection, RobustConfig};
     pub use crate::selector::{EstimatorSelector, SelectorConfig};
     pub use crate::similarity::SimilarityPolicy;
     pub use crate::successive::{SuccessiveApproximation, SuccessiveConfig};
-    pub use crate::traits::{EstimateContext, Feedback, ResourceEstimator};
+    pub use crate::traits::{EstimateContext, EstimateScope, Feedback, ResourceEstimator};
     pub use crate::warm_start::{WarmStartConfig, WarmStartEstimator};
 }
 

@@ -128,7 +128,10 @@ impl ResourceEstimator for MultiResourceEstimator {
         let is_trial = self
             .packages
             .get(job)
-            .and_then(|g| g.trying.map(|bit| granted.packages == g.estimate_mask & !bit))
+            .and_then(|g| {
+                g.trying
+                    .map(|bit| granted.packages == g.estimate_mask & !bit)
+            })
             .unwrap_or(false);
         if is_trial {
             // Coordinate attribution: this execution tested a package
@@ -145,7 +148,11 @@ impl ResourceEstimator for MultiResourceEstimator {
         // Explicit feedback short-circuits trial-and-error for packages:
         // keep only packages the job actually exercised (plus any already
         // confirmed needed — monitoring can miss lazily loaded ones).
-        if let Feedback::Explicit { success: true, used } = fb {
+        if let Feedback::Explicit {
+            success: true,
+            used,
+        } = fb
+        {
             if let Some(group) = self.packages.get_mut(job) {
                 group.estimate_mask &= used.packages | group.needed;
             }

@@ -19,7 +19,7 @@ use resmatch_stats::Summary;
 use resmatch_workload::Job;
 
 use crate::similarity::{GroupTable, SimilarityPolicy};
-use crate::traits::{EstimateContext, Feedback, ResourceEstimator};
+use crate::traits::{EstimateContext, EstimateScope, Feedback, ResourceEstimator};
 
 /// Tunables for [`QuantileEstimator`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -91,7 +91,9 @@ impl ResourceEstimator for QuantileEstimator {
     }
 
     fn estimate(&mut self, job: &Job, _ctx: &EstimateContext) -> Demand {
-        let group = self.groups.get_or_insert_with(job, |_| GroupState::default());
+        let group = self
+            .groups
+            .get_or_insert_with(job, |_| GroupState::default());
         let request = job.requested_mem_kb;
         let mem_kb = if group.observed_kb.len() < self.cfg.min_observations {
             request
@@ -116,20 +118,31 @@ impl ResourceEstimator for QuantileEstimator {
             return;
         };
         match fb {
-            Feedback::Explicit { success: true, used } if used.mem_kb > 0 => {
+            Feedback::Explicit {
+                success: true,
+                used,
+            } if used.mem_kb > 0 => {
                 group.observed_kb.push_back(used.mem_kb);
             }
             Feedback::Explicit { success: false, .. } | Feedback::Implicit { success: false } => {
                 // A failure means the true peak exceeded what the granted
                 // nodes offered: record that lower bound so the quantile
                 // climbs past it (conservative: one step above granted).
-                group.observed_kb.push_back(granted.mem_kb.saturating_mul(2));
+                group
+                    .observed_kb
+                    .push_back(granted.mem_kb.saturating_mul(2));
             }
             Feedback::Implicit { success: true } | Feedback::Explicit { .. } => {}
         }
         while group.observed_kb.len() > window {
             group.observed_kb.pop_front();
         }
+    }
+
+    fn estimate_scope(&self, job: &Job) -> EstimateScope {
+        // The observation window is per group; feedback only appends to the
+        // fed-back job's own window.
+        EstimateScope::Group(self.groups.policy().key(job).stable_hash())
     }
 }
 
@@ -247,7 +260,10 @@ mod tests {
             observe(&mut e, 4);
         }
         let d = e.estimate(&job(4), &EstimateContext::default());
-        assert!(d.mem_kb <= 5 * MB, "the 30 MB observation must have aged out");
+        assert!(
+            d.mem_kb <= 5 * MB,
+            "the 30 MB observation must have aged out"
+        );
     }
 
     #[test]

@@ -140,7 +140,11 @@ impl ResourceEstimator for RegressionEstimator {
     fn feedback(&mut self, job: &Job, _granted: &Demand, fb: &Feedback, _ctx: &EstimateContext) {
         // Only clean, explicitly measured runs are training data: a failed
         // run's peak is truncated by the allocation it was granted.
-        if let Feedback::Explicit { success: true, used } = fb {
+        if let Feedback::Explicit {
+            success: true,
+            used,
+        } = fb
+        {
             if used.mem_kb > 0 {
                 self.rows.push(features(job));
                 self.targets.push(used.mem_kb as f64);
@@ -222,10 +226,7 @@ mod tests {
         let ctx = EstimateContext::default();
         for i in 0..40u64 {
             let req = 8_192 + (i % 5) * 2_048;
-            let j = JobBuilder::new(i)
-                .requested_mem_kb(req)
-                .nodes(16)
-                .build();
+            let j = JobBuilder::new(i).requested_mem_kb(req).nodes(16).build();
             let d = e.estimate(&j, &ctx);
             if i < 30 {
                 assert_eq!(d.mem_kb, req, "untrained model must pass through");
@@ -238,9 +239,16 @@ mod tests {
             );
         }
         assert!(e.is_trained());
-        let j = JobBuilder::new(99).requested_mem_kb(10_240).nodes(16).build();
+        let j = JobBuilder::new(99)
+            .requested_mem_kb(10_240)
+            .nodes(16)
+            .build();
         let d = e.estimate(&j, &ctx);
-        assert!((d.mem_kb as i64 - 5_120).unsigned_abs() < 200, "{}", d.mem_kb);
+        assert!(
+            (d.mem_kb as i64 - 5_120).unsigned_abs() < 200,
+            "{}",
+            d.mem_kb
+        );
     }
 
     #[test]
@@ -252,10 +260,7 @@ mod tests {
         });
         e.fit_offline(&quarter_usage_history(100));
         // Tiny request: prediction would go below the floor.
-        let j = JobBuilder::new(1)
-            .requested_mem_kb(2_000)
-            .nodes(32)
-            .build();
+        let j = JobBuilder::new(1).requested_mem_kb(2_000).nodes(32).build();
         let d = e.estimate(&j, &EstimateContext::default());
         assert!(d.mem_kb >= 1_000);
         assert!(d.mem_kb <= 2_000);
@@ -271,7 +276,12 @@ mod tests {
         let ctx = EstimateContext::default();
         let j = JobBuilder::new(1).requested_mem_kb(8_192).build();
         let d = e.estimate(&j, &ctx);
-        e.feedback(&j, &d, &Feedback::explicit(false, Demand::memory(100)), &ctx);
+        e.feedback(
+            &j,
+            &d,
+            &Feedback::explicit(false, Demand::memory(100)),
+            &ctx,
+        );
         e.feedback(&j, &d, &Feedback::failure(), &ctx);
         assert_eq!(e.samples(), 0);
         assert!(!e.is_trained());

@@ -18,7 +18,7 @@ use resmatch_cluster::Demand;
 use resmatch_workload::Job;
 
 use crate::similarity::{GroupTable, SimilarityPolicy};
-use crate::traits::{EstimateContext, Feedback, ResourceEstimator};
+use crate::traits::{EstimateContext, EstimateScope, Feedback, ResourceEstimator};
 
 /// Tunables for [`RobustBisection`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -145,6 +145,12 @@ impl ResourceEstimator for RobustBisection {
                 group.hi = group.request.max(group.lo);
             }
         }
+    }
+
+    fn estimate_scope(&self, job: &Job) -> EstimateScope {
+        // Each bracket is private to its group; feedback narrows only the
+        // fed-back job's own bracket.
+        EstimateScope::Group(self.groups.policy().key(job).stable_hash())
     }
 }
 

@@ -206,7 +206,11 @@ mod tests {
         sel.feedback(
             j,
             &d,
-            &if ok { Feedback::success() } else { Feedback::failure() },
+            &if ok {
+                Feedback::success()
+            } else {
+                Feedback::failure()
+            },
             &ctx,
         );
         (d.mem_kb, ok)

@@ -30,7 +30,7 @@ use resmatch_workload::Job;
 use serde::{Deserialize, Serialize};
 
 use crate::similarity::{GroupTable, SimilarityKey, SimilarityPolicy};
-use crate::traits::{EstimateContext, Feedback, ResourceEstimator};
+use crate::traits::{EstimateContext, EstimateScope, Feedback, ResourceEstimator};
 
 /// Tunables of Algorithm 1.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -196,7 +196,7 @@ impl SuccessiveApproximation {
                 failures: g.failures,
             })
             .collect();
-        out.sort_by(|a, b| a.key.cmp(&b.key));
+        out.sort_by_key(|e| e.key);
         out
     }
 
@@ -293,6 +293,15 @@ impl ResourceEstimator for SuccessiveApproximation {
             group.estimate = group.estimate.max(group.prev);
             group.alpha = (group.alpha * self.cfg.beta).max(1.0);
         }
+    }
+
+    fn estimate_scope(&self, job: &Job) -> EstimateScope {
+        // Algorithm 1's state is entirely per-group, estimate ignores the
+        // context, and feedback only touches the fed-back job's own group
+        // (the submission counters updated in `estimate` feed reports, not
+        // estimates), so feedback in one group cannot move another group's
+        // estimate.
+        EstimateScope::Group(self.groups.policy().key(job).stable_hash())
     }
 }
 

@@ -16,7 +16,14 @@ use resmatch_workload::Job;
 /// requested resource capacities of the jobs in the queue").
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EstimateContext {
-    /// Jobs currently waiting.
+    /// Jobs currently waiting, *excluding* the job being estimated.
+    ///
+    /// Convention: whether the estimate happens at first admission (the job
+    /// is not queued yet), at requeue after a failed execution (removed from
+    /// `running`, not yet re-queued), or as an in-queue refresh just before
+    /// allocation (the entry sits in the queue), the job itself never counts
+    /// toward `queue_len`. A job therefore sees the same context either way,
+    /// and `queue_len == 0` always means "nothing else is waiting".
     pub queue_len: usize,
     /// Fraction of cluster nodes currently free, in `[0, 1]`.
     pub free_fraction: f64,
@@ -86,6 +93,39 @@ impl Feedback {
     }
 }
 
+/// How far one `feedback` call can reach into this estimator's future
+/// `estimate` outputs — the invalidation contract a scheduler may rely on
+/// to avoid re-estimating queued jobs whose estimates cannot have changed.
+///
+/// The scope is a *promise* about estimator internals:
+///
+/// - [`EstimateScope::Static`]: `estimate(job, ·)` is a pure function of
+///   the job (and fixed configuration). Feedback never changes any
+///   estimate. Queued entries only need refreshing when external structure
+///   (cluster capacity) changes.
+/// - [`EstimateScope::Group`]: the estimate depends only on learning state
+///   private to the returned group key, `estimate` has no side effects
+///   that alter future estimates, `estimate` ignores the scheduler context,
+///   and `feedback(job, ..)` mutates only `job`'s own group. Feedback for
+///   one group cannot move another group's estimate, so only same-group
+///   entries need refreshing. Two jobs map to the same state if and only
+///   if they return the same key.
+/// - [`EstimateScope::Global`]: no promise — any feedback (or even an
+///   `estimate` call itself, e.g. an exploring RL policy) may influence any
+///   later estimate, or the estimate reads the scheduler context. Callers
+///   must refresh on every feedback, exactly as if the scope API did not
+///   exist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EstimateScope {
+    /// Estimates are pure in the job; feedback is inert.
+    Static,
+    /// Estimates depend only on the state of this (stable, collision-free
+    /// per estimator) group key.
+    Group(u64),
+    /// Any feedback may change any estimate (the conservative default).
+    Global,
+}
+
 /// A resource-requirement estimator (Figure 2's "Estimator" box).
 ///
 /// Contract: `estimate` must never exceed the job's stated request on any
@@ -102,6 +142,20 @@ pub trait ResourceEstimator: Send {
     /// Learn from a terminated execution of `job` that was `granted` the
     /// given demand.
     fn feedback(&mut self, job: &Job, granted: &Demand, feedback: &Feedback, ctx: &EstimateContext);
+
+    /// The invalidation scope of `job`'s estimate (see [`EstimateScope`]).
+    ///
+    /// Must be a pure function of the job: the simulator calls it at
+    /// admission time and on every feedback to decide which queued entries
+    /// to re-estimate. The default is [`EstimateScope::Global`], which is
+    /// always correct (it reproduces refresh-on-every-feedback behaviour);
+    /// override it only when the estimator genuinely upholds the stronger
+    /// promise — a wrong `Static`/`Group` answer makes schedulers run stale
+    /// estimates.
+    fn estimate_scope(&self, job: &Job) -> EstimateScope {
+        let _ = job;
+        EstimateScope::Global
+    }
 }
 
 /// The demand a job's raw request corresponds to (no estimation).

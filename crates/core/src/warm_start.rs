@@ -157,10 +157,7 @@ mod tests {
         let mut plain = SuccessiveApproximation::new(SuccessiveConfig::default(), ladder());
         let ctx = EstimateContext::default();
         assert!(!warm.prior_trained());
-        assert_eq!(
-            warm.estimate(&job(1), &ctx),
-            plain.estimate(&job(1), &ctx)
-        );
+        assert_eq!(warm.estimate(&job(1), &ctx), plain.estimate(&job(1), &ctx));
         assert_eq!(warm.seeded_groups(), 0);
     }
 
@@ -260,9 +257,17 @@ mod tests {
                 .used_mem_kb(4 * MB)
                 .build();
             let d = warm.estimate(&j, &ctx);
-            warm.feedback(&j, &d, &Feedback::explicit(true, Demand::memory(4 * MB)), &ctx);
+            warm.feedback(
+                &j,
+                &d,
+                &Feedback::explicit(true, Demand::memory(4 * MB)),
+                &ctx,
+            );
         }
-        assert!(warm.prior_trained(), "online explicit feedback must arm the prior");
+        assert!(
+            warm.prior_trained(),
+            "online explicit feedback must arm the prior"
+        );
     }
 
     #[test]

@@ -52,7 +52,10 @@ fn ladder() -> CapacityLadder {
 }
 
 /// Drive an estimator through the script; assert the contract at each step.
-fn assert_contract(est: &mut dyn ResourceEstimator, subs: &[Submission]) -> Result<(), TestCaseError> {
+fn assert_contract(
+    est: &mut dyn ResourceEstimator,
+    subs: &[Submission],
+) -> Result<(), TestCaseError> {
     let ctx = EstimateContext::default();
     let l = ladder();
     for (i, s) in subs.iter().enumerate() {

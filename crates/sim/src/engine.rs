@@ -13,11 +13,14 @@
 //!
 //! Engine-level semantics the paper leaves implicit:
 //!
-//! - estimates are *refreshed* while a job queues: feedback from any
-//!   completed execution advances a global epoch, and a queued entry whose
-//!   estimate predates the epoch is re-estimated just before allocation —
-//!   matching a live scheduler, where matching always consults the
-//!   estimator's current state;
+//! - estimates are *refreshed* while a job queues: a queued entry whose
+//!   estimate may have been invalidated is re-estimated just before
+//!   allocation — matching a live scheduler, where matching always consults
+//!   the estimator's current state. Invalidation is scoped (see
+//!   [`EstimateScope`]): feedback for one similarity group never forces
+//!   re-estimation of jobs in other groups, membership churn invalidates
+//!   everything, and context-dependent estimators keep the historical
+//!   refresh-on-any-feedback rule;
 //! - after `max_estimation_attempts` failed executions the engine bypasses
 //!   the estimator and submits the raw user request, bounding retry storms
 //!   for pathological groups;
@@ -25,14 +28,15 @@
 //!   dropped up front (the paper removes the six 1024-node CM5 jobs for the
 //!   same reason).
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use resmatch_cluster::{Allocation, Cluster, Demand, MatchPolicy};
+use resmatch_core::similarity::FnvBuildHasher;
 use resmatch_core::traits::{requested_demand, used_demand};
-use resmatch_core::{EstimateContext, Feedback, ResourceEstimator};
+use resmatch_core::{EstimateContext, EstimateScope, Feedback, ResourceEstimator};
 use resmatch_workload::{Job, JobId, Time, Workload};
 
 use crate::event::{Event, EventQueue};
@@ -91,8 +95,12 @@ struct Queued {
     job: usize,
     attempts: u32,
     demand: Demand,
+    /// Which feedback can invalidate this estimate (see [`EstimateScope`]).
+    scope: EstimateScope,
+    /// Structural epoch (membership churn) the estimate was computed at.
+    structural_stamp: u64,
     /// Feedback epoch the estimate was computed at.
-    epoch: u64,
+    feedback_stamp: u64,
     /// Demand is strictly below the request (memory or packages).
     lowered: bool,
     /// Estimation strictly enlarged the candidate-machine set.
@@ -134,10 +142,22 @@ struct RunState<'a> {
     progress: Vec<Progress>,
     records: Vec<JobRecord>,
     rng: StdRng,
-    /// Bumped on every estimator feedback; stale queue entries re-estimate.
-    epoch: u64,
+    /// Bumped on membership churn. Capacity changes can re-rank rungs and
+    /// candidate counts, so every queued estimate predating it re-admits.
+    structural_epoch: u64,
+    /// Bumped on every estimator feedback.
+    feedback_epoch: u64,
+    /// Feedback epoch at which each similarity group last received
+    /// feedback — the group-scoped invalidation index. Entries whose scope
+    /// is [`EstimateScope::Group`] re-estimate only when *their* group
+    /// moved past their stamp.
+    group_epochs: HashMap<u64, u64, FnvBuildHasher>,
+    /// Finished `running` slab slots available for reuse, keeping the slab
+    /// at peak-concurrency size instead of total-executions size.
+    free_run_ids: Vec<u64>,
     total_executions: u64,
     failed_executions: u64,
+    events_processed: u64,
     goodput: f64,
     wasted: f64,
     last_completion: Time,
@@ -230,63 +250,87 @@ impl Simulation {
         let jobs = workload.jobs();
         let total_nodes = self.cluster.total_nodes();
         let first_submit = jobs.first().map(|j| j.submit).unwrap_or(Time::ZERO);
+        let mut dropped_up_front = 0usize;
 
         let mut state = RunState {
             jobs,
             queue: VecDeque::new(),
             running: Vec::new(),
             running_count: 0,
-            events: EventQueue::new(),
+            // The static schedule (arrivals + churn) is seeded as a sorted
+            // cursor-consumed prefix; the queue's heap then only ever holds
+            // the in-flight execution ends.
+            events: EventQueue::from_schedule({
+                let mut schedule = Vec::with_capacity(jobs.len() + self.churn.len());
+                for (idx, job) in jobs.iter().enumerate() {
+                    if self.cluster.nodes_satisfying(&requested_demand(job)) < job.nodes {
+                        dropped_up_front += 1;
+                    } else {
+                        schedule.push((job.submit, Event::Arrival { job: idx }));
+                    }
+                }
+                for (index, churn) in self.churn.iter().enumerate() {
+                    schedule.push((churn.time, Event::Churn { index }));
+                }
+                schedule
+            }),
             progress: vec![Progress::default(); jobs.len()],
             records: Vec::with_capacity(jobs.len()),
             rng: StdRng::seed_from_u64(self.cfg.seed),
-            epoch: 0,
+            structural_epoch: 0,
+            feedback_epoch: 0,
+            group_epochs: HashMap::default(),
+            free_run_ids: Vec::new(),
             total_executions: 0,
             failed_executions: 0,
+            events_processed: 0,
             goodput: 0.0,
             wasted: 0.0,
             last_completion: Time::ZERO,
-            dropped_jobs: 0,
+            dropped_jobs: dropped_up_front,
             log: self.trace_log.then(TraceLog::default),
             last_event_time: first_submit,
             queue_len_time: 0.0,
             busy_nodes_time: 0.0,
             weighted_span_s: 0.0,
-            pool_busy_time: vec![0.0; self.cluster.pool_occupancy().len()],
+            pool_busy_time: vec![0.0; self.cluster.num_pools()],
         };
 
-        for (idx, job) in jobs.iter().enumerate() {
-            if self.cluster.nodes_satisfying(&requested_demand(job)) < job.nodes {
-                state.dropped_jobs += 1;
-            } else {
-                state.events.push(job.submit, Event::Arrival { job: idx });
-            }
-        }
-        for (index, churn) in self.churn.iter().enumerate() {
-            state.events.push(churn.time, Event::Churn { index });
-        }
-
+        // True when the queue head was left *blocked by a full scheduling
+        // pass* and nothing that could unblock it has happened since. Only
+        // arrivals can intervene without running `schedule` (see the gate
+        // below), and an arrival changes no epoch and frees no node, so the
+        // proof stays valid until the next pass resets the flag.
+        let mut head_blocked = false;
         while let Some((now, event)) = state.events.pop() {
+            state.events_processed += 1;
             // Time-weighted queue/occupancy statistics: the state observed
             // since the previous event held for `dt`.
             let dt = now.saturating_sub(state.last_event_time).as_secs_f64();
-            state.last_event_time = now;
-            state.queue_len_time += state.queue.len() as f64 * dt;
-            state.busy_nodes_time += self.cluster.busy_nodes() as f64 * dt;
-            state.weighted_span_s += dt;
             if dt > 0.0 {
-                for (slot, (_, _, busy)) in state
-                    .pool_busy_time
-                    .iter_mut()
-                    .zip(self.cluster.pool_occupancy())
-                {
-                    *slot += busy as f64 * dt;
+                // Same-timestamp bursts contribute nothing; skipping them
+                // outright is bit-exact (`x += v * 0.0` is the identity for
+                // the finite values accumulated here) and avoids the
+                // per-pool walk on every event of a burst.
+                state.last_event_time = now;
+                state.queue_len_time += state.queue.len() as f64 * dt;
+                state.busy_nodes_time += self.cluster.busy_nodes() as f64 * dt;
+                state.weighted_span_s += dt;
+                for (i, slot) in state.pool_busy_time.iter_mut().enumerate() {
+                    *slot += self.cluster.pool_busy_count(i) as f64 * dt;
                 }
             }
             match event {
                 Event::Arrival { job } => {
                     let queue_len = state.queue.len();
-                    let queued = self.admit(&jobs[job], job, 0, queue_len, state.epoch);
+                    let queued = self.admit(
+                        &jobs[job],
+                        job,
+                        0,
+                        queue_len,
+                        state.structural_epoch,
+                        state.feedback_epoch,
+                    );
                     if let Some(log) = &mut state.log {
                         log.push(
                             now,
@@ -298,6 +342,38 @@ impl Simulation {
                         );
                     }
                     state.queue.push_back(queued);
+                    if queue_len == 0 {
+                        // The new arrival became the head; nothing has
+                        // proven it blocked yet.
+                        head_blocked = false;
+                    }
+                    // Arrivals sharing a timestamp share one scheduling
+                    // pass. Under FCFS and EASY an arrival appends at the
+                    // tail, so running `schedule` once after the last of the
+                    // burst starts exactly the jobs the per-arrival passes
+                    // would have (nothing is released in between, and the
+                    // scan order over earlier entries is unchanged). SJF is
+                    // excluded: a shorter later arrival can overtake the
+                    // queue, so each arrival must get its own pass.
+                    if !matches!(self.cfg.scheduling, SchedulingPolicy::Sjf) {
+                        if let Some((t, Event::Arrival { .. })) = state.events.peek() {
+                            if t == now {
+                                continue;
+                            }
+                        }
+                    }
+                    // FCFS only starts the head. If a pass already proved
+                    // the head blocked and no completion/churn (the only
+                    // events that free nodes or move epochs) has happened
+                    // since, the pass this arrival would trigger is a
+                    // by-construction no-op: the head is not stale (a pass
+                    // refreshes before trying) and `try_allocate` sees the
+                    // identical cluster, so it fails identically. EASY is
+                    // excluded (the arrival itself may backfill), as is SJF
+                    // (the arrival may become the new minimum).
+                    if head_blocked && matches!(self.cfg.scheduling, SchedulingPolicy::Fcfs) {
+                        continue;
+                    }
                 }
                 Event::ExecutionEnd { run_id, success } => {
                     self.finish_execution(&mut state, now, run_id, success);
@@ -314,10 +390,14 @@ impl Simulation {
                     }
                     // Capacity changed: queued estimates may now round to
                     // different rungs, so force re-admission.
-                    state.epoch += 1;
+                    state.structural_epoch += 1;
                 }
             }
             self.schedule(&mut state, now);
+            // A pass ends either with an empty queue or because the head
+            // refused to start — in the latter case the head is now both
+            // fresh and proven blocked.
+            head_blocked = !state.queue.is_empty();
         }
 
         // With dynamic membership a queued job can outlive the nodes it
@@ -340,6 +420,7 @@ impl Simulation {
             dropped_jobs: state.dropped_jobs,
             total_executions: state.total_executions,
             failed_executions: state.failed_executions,
+            events_processed: state.events_processed,
             total_nodes,
             first_submit,
             last_completion: state.last_completion,
@@ -362,26 +443,35 @@ impl Simulation {
                 .pool_occupancy()
                 .iter()
                 .zip(&state.pool_busy_time)
-                .map(|(&(mem_kb, nodes, _), &busy_time)| crate::metrics::PoolStats {
-                    mem_kb,
-                    nodes,
-                    mean_busy_fraction: if state.weighted_span_s > 0.0 && nodes > 0 {
-                        busy_time / (state.weighted_span_s * nodes as f64)
-                    } else {
-                        0.0
+                .map(
+                    |(&(mem_kb, nodes, _), &busy_time)| crate::metrics::PoolStats {
+                        mem_kb,
+                        nodes,
+                        mean_busy_fraction: if state.weighted_span_s > 0.0 && nodes > 0 {
+                            busy_time / (state.weighted_span_s * nodes as f64)
+                        } else {
+                            0.0
+                        },
                     },
-                })
+                )
                 .collect(),
         }
     }
 
     /// Handle an execution's end: release nodes, deliver feedback, record or
     /// requeue.
-    fn finish_execution(&mut self, state: &mut RunState<'_>, now: Time, run_id: u64, success: bool) {
+    fn finish_execution(
+        &mut self,
+        state: &mut RunState<'_>,
+        now: Time,
+        run_id: u64,
+        success: bool,
+    ) {
         let run = state.running[run_id as usize]
             .take()
             .expect("execution ends exactly once");
         state.running_count -= 1;
+        state.free_run_ids.push(run_id);
         let job = &state.jobs[run.job];
         let min_mem = self.cluster.allocation_min_mem(&run.alloc);
         let granted = Demand {
@@ -407,7 +497,12 @@ impl Simulation {
             }
         };
         self.estimator.feedback(job, &granted, &fb, &ctx);
-        state.epoch += 1;
+        state.feedback_epoch += 1;
+        // Group-scoped invalidation: record which group just moved, so only
+        // queued entries of that group (plus Global-scope entries) refresh.
+        if let EstimateScope::Group(g) = self.estimator.estimate_scope(job) {
+            state.group_epochs.insert(g, state.feedback_epoch);
+        }
         if let Some(log) = &mut state.log {
             log.push(
                 now,
@@ -451,7 +546,14 @@ impl Simulation {
                 // queue" — with a fresh (post-feedback) estimate.
                 let attempts = state.progress[run.job].failed_executions;
                 let queue_len = state.queue.len();
-                let queued = self.admit(job, run.job, attempts, queue_len, state.epoch);
+                let queued = self.admit(
+                    job,
+                    run.job,
+                    attempts,
+                    queue_len,
+                    state.structural_epoch,
+                    state.feedback_epoch,
+                );
                 if let Some(log) = &mut state.log {
                     log.push(
                         now,
@@ -469,15 +571,24 @@ impl Simulation {
 
     /// Build the queue entry for a (re)submission: run the estimator (or
     /// bypass it after too many failures) and precompute bookkeeping flags.
-    fn admit(&mut self, job: &Job, idx: usize, attempts: u32, queue_len: usize, epoch: u64) -> Queued {
+    fn admit(
+        &mut self,
+        job: &Job,
+        idx: usize,
+        attempts: u32,
+        queue_len: usize,
+        structural_epoch: u64,
+        feedback_epoch: u64,
+    ) -> Queued {
         let request = requested_demand(job);
-        let demand = if attempts >= self.cfg.max_estimation_attempts {
-            request
+        let (demand, scope) = if attempts >= self.cfg.max_estimation_attempts {
+            // Bypassing the estimator: the raw request depends on nothing
+            // feedback can change, so only churn can stale this entry.
+            (request, EstimateScope::Static)
         } else {
             let ctx = EstimateContext {
                 queue_len,
-                free_fraction: self.cluster.free_nodes() as f64
-                    / self.cluster.total_nodes() as f64,
+                free_fraction: self.cluster.free_nodes() as f64 / self.cluster.total_nodes() as f64,
             };
             let d = self.estimator.estimate(job, &ctx);
             debug_assert!(
@@ -485,7 +596,7 @@ impl Simulation {
                 "estimator {} produced a demand above the request",
                 self.estimator.name()
             );
-            d
+            (d, self.estimator.estimate_scope(job))
         };
         let lowered = demand != request && demand.within(&request);
         let benefited =
@@ -494,7 +605,9 @@ impl Simulation {
             job: idx,
             attempts,
             demand,
-            epoch,
+            scope,
+            structural_stamp: structural_epoch,
+            feedback_stamp: feedback_epoch,
             lowered,
             benefited,
         }
@@ -504,18 +617,51 @@ impl Simulation {
     /// feedback has arrived since it was admitted. Removes it from the
     /// queue and returns true on success.
     fn try_start_at(&mut self, state: &mut RunState<'_>, idx: usize, now: Time) -> bool {
-        if state.queue[idx].epoch != state.epoch {
+        let stale = {
+            let q = &state.queue[idx];
+            q.structural_stamp != state.structural_epoch
+                || match q.scope {
+                    // Raw requests and history-independent estimates never
+                    // go stale from feedback.
+                    EstimateScope::Static => false,
+                    // Only feedback *for this group* can move the estimate.
+                    EstimateScope::Group(g) => state
+                        .group_epochs
+                        .get(&g)
+                        .is_some_and(|&e| e > q.feedback_stamp),
+                    // Context-dependent estimators: any feedback may matter —
+                    // exactly the engine's historical refresh-always rule.
+                    EstimateScope::Global => q.feedback_stamp != state.feedback_epoch,
+                }
+        };
+        if stale {
             let (job_idx, attempts) = {
                 let q = &state.queue[idx];
                 (q.job, q.attempts)
             };
-            let queue_len = state.queue.len();
-            state.queue[idx] =
-                self.admit(&state.jobs[job_idx], job_idx, attempts, queue_len, state.epoch);
+            // The entry being refreshed sits in the queue itself; exclude
+            // it so re-estimation sees the same context convention as
+            // admission (`queue_len` counts *other* waiting jobs — see
+            // `EstimateContext::queue_len`).
+            let queue_len = state.queue.len() - 1;
+            state.queue[idx] = self.admit(
+                &state.jobs[job_idx],
+                job_idx,
+                attempts,
+                queue_len,
+                state.structural_epoch,
+                state.feedback_epoch,
+            );
         }
         let queued = &state.queue[idx];
         let job = &state.jobs[queued.job];
-        let run_id = state.running.len() as u64;
+        // Reuse a finished slab slot when one is free. Peeked, not popped:
+        // a refused allocation must leave the free list untouched.
+        let run_id = state
+            .free_run_ids
+            .last()
+            .copied()
+            .unwrap_or(state.running.len() as u64);
         let Some(alloc) =
             self.cluster
                 .try_allocate(job.nodes, &queued.demand, self.cfg.match_policy, run_id)
@@ -542,7 +688,9 @@ impl Simulation {
                 (state.rng.random::<f64>() * job.runtime.as_millis() as f64) as u64,
             )
         };
-        state.events.push(end, Event::ExecutionEnd { run_id, success });
+        state
+            .events
+            .push(end, Event::ExecutionEnd { run_id, success });
         if let Some(log) = &mut state.log {
             log.push(
                 now,
@@ -554,7 +702,7 @@ impl Simulation {
             );
         }
         let queued = state.queue.remove(idx).expect("index in range");
-        state.running.push(Some(Running {
+        let running = Running {
             job: queued.job,
             start: now,
             expected_end: now + job.requested_runtime,
@@ -563,7 +711,14 @@ impl Simulation {
             benefited: queued.benefited,
             at_request: queued.demand == requested_demand(job),
             resource_failure: !resources_ok,
-        }));
+        };
+        if (run_id as usize) < state.running.len() {
+            state.free_run_ids.pop();
+            debug_assert!(state.running[run_id as usize].is_none());
+            state.running[run_id as usize] = Some(running);
+        } else {
+            state.running.push(Some(running));
+        }
         state.running_count += 1;
         true
     }
@@ -578,19 +733,18 @@ impl Simulation {
                     }
                 }
             }
-            SchedulingPolicy::Sjf => loop {
-                let Some((idx, _)) = state
+            SchedulingPolicy::Sjf => {
+                while let Some((idx, _)) = state
                     .queue
                     .iter()
                     .enumerate()
                     .min_by_key(|(_, q)| state.jobs[q.job].requested_runtime)
-                else {
-                    break;
-                };
-                if !self.try_start_at(state, idx, now) {
-                    break;
+                {
+                    if !self.try_start_at(state, idx, now) {
+                        break;
+                    }
                 }
-            },
+            }
             SchedulingPolicy::EasyBackfill => loop {
                 // Phase 1: drain the head while it fits.
                 let mut head_started = true;
@@ -609,12 +763,12 @@ impl Simulation {
                     .iter()
                     .flatten()
                     .map(|r| {
-                        let eligible = r
-                            .alloc
-                            .nodes()
-                            .iter()
-                            .filter(|&&n| self.cluster.node_capacity(n).satisfies(&head_demand))
-                            .count() as u32;
+                        // Per-pool arithmetic instead of a per-node scan;
+                        // `shadow_time` sorts by release time, so the
+                        // (identical) counts land in the same order.
+                        let eligible = self
+                            .cluster
+                            .allocation_nodes_satisfying(&r.alloc, &head_demand);
                         (r.expected_end, eligible)
                     })
                     .collect();
@@ -668,8 +822,12 @@ mod tests {
             .requested_mem_kb(32 * MB)
             .used_mem_kb(10 * MB)
             .build()]);
-        let r = Simulation::new(SimConfig::default(), cluster_32_24(4), EstimatorSpec::PassThrough)
-            .run(&jobs);
+        let r = Simulation::new(
+            SimConfig::default(),
+            cluster_32_24(4),
+            EstimatorSpec::PassThrough,
+        )
+        .run(&jobs);
         assert_eq!(r.completed_jobs, 1);
         assert_eq!(r.failed_executions, 0);
         assert_eq!(r.records[0].wait(), Time::ZERO);
@@ -701,8 +859,12 @@ mod tests {
                 .used_mem_kb(8 * MB)
                 .build(),
         ]);
-        let r = Simulation::new(SimConfig::default(), cluster_32_24(4), EstimatorSpec::PassThrough)
-            .run(&jobs);
+        let r = Simulation::new(
+            SimConfig::default(),
+            cluster_32_24(4),
+            EstimatorSpec::PassThrough,
+        )
+        .run(&jobs);
         assert_eq!(r.completed_jobs, 3);
         let job2 = r.records.iter().find(|x| x.id.0 == 2).unwrap();
         let job3 = r.records.iter().find(|x| x.id.0 == 3).unwrap();
@@ -776,13 +938,7 @@ mod tests {
             ..SimConfig::default()
         };
         let r = Simulation::new(cfg, cluster_32_24(4), EstimatorSpec::PassThrough).run(&jobs);
-        let start = |id: u64| {
-            r.records
-                .iter()
-                .find(|x| x.id.0 == id)
-                .unwrap()
-                .final_start
-        };
+        let start = |id: u64| r.records.iter().find(|x| x.id.0 == id).unwrap().final_start;
         // Job 3 (10 s) jumps ahead of job 2 (100 s) once job 1 finishes.
         assert!(start(3) < start(2));
     }
@@ -837,8 +993,12 @@ mod tests {
                 .used_mem_kb(8 * MB)
                 .build(),
         ]);
-        let r = Simulation::new(SimConfig::default(), cluster_32_24(4), EstimatorSpec::PassThrough)
-            .run(&jobs);
+        let r = Simulation::new(
+            SimConfig::default(),
+            cluster_32_24(4),
+            EstimatorSpec::PassThrough,
+        )
+        .run(&jobs);
         assert_eq!(r.dropped_jobs, 1);
         assert_eq!(r.completed_jobs, 1);
     }
@@ -864,8 +1024,12 @@ mod tests {
                 .runtime(Time::from_secs(10))
                 .build(),
         ]);
-        let r = Simulation::new(SimConfig::default(), cluster_32_24(4), EstimatorSpec::PassThrough)
-            .run(&jobs);
+        let r = Simulation::new(
+            SimConfig::default(),
+            cluster_32_24(4),
+            EstimatorSpec::PassThrough,
+        )
+        .run(&jobs);
         assert_eq!(r.dropped_jobs, 1);
         assert_eq!(r.completed_jobs, 1);
         assert_eq!(r.failed_executions, 1, "exactly one doomed execution");
@@ -928,7 +1092,11 @@ mod tests {
         .run(&workload);
         assert_eq!(est.completed_jobs, base.completed_jobs);
         // Baseline: the four phase-3 jobs wait ~10,000 s behind the hog.
-        assert!(base.mean_wait_s() > 4_000.0, "baseline {}", base.mean_wait_s());
+        assert!(
+            base.mean_wait_s() > 4_000.0,
+            "baseline {}",
+            base.mean_wait_s()
+        );
         // Estimation: they run on the 24 MB pool immediately.
         assert!(
             est.mean_wait_s() < 100.0,
@@ -1009,8 +1177,12 @@ mod tests {
                     .build(),
             );
         }
-        let r = Simulation::new(SimConfig::default(), cluster_32_24(4), EstimatorSpec::Oracle)
-            .run(&wl(jobs));
+        let r = Simulation::new(
+            SimConfig::default(),
+            cluster_32_24(4),
+            EstimatorSpec::Oracle,
+        )
+        .run(&wl(jobs));
         assert_eq!(r.failed_executions, 0);
         assert_eq!(r.completed_jobs, 20);
     }
@@ -1094,7 +1266,10 @@ mod tests {
         )
         .run(&jobs);
         assert_eq!(r.completed_jobs, 10);
-        assert_eq!(r.failed_executions, 0, "explicit feedback never probes blind");
+        assert_eq!(
+            r.failed_executions, 0,
+            "explicit feedback never probes blind"
+        );
         // All but the first submission run lowered.
         assert!(r.lowered_job_fraction() >= 0.8);
     }
@@ -1119,10 +1294,22 @@ mod tests {
                 .used_mem_kb(8 * MB)
                 .build(),
         ]);
-        let r = Simulation::new(SimConfig::default(), cluster_32_24(4), EstimatorSpec::PassThrough)
-            .run(&jobs);
-        assert!((r.mean_queue_length - 0.5).abs() < 1e-9, "{}", r.mean_queue_length);
-        assert!((r.mean_busy_nodes - 8.0).abs() < 1e-9, "{}", r.mean_busy_nodes);
+        let r = Simulation::new(
+            SimConfig::default(),
+            cluster_32_24(4),
+            EstimatorSpec::PassThrough,
+        )
+        .run(&jobs);
+        assert!(
+            (r.mean_queue_length - 0.5).abs() < 1e-9,
+            "{}",
+            r.mean_queue_length
+        );
+        assert!(
+            (r.mean_busy_nodes - 8.0).abs() < 1e-9,
+            "{}",
+            r.mean_busy_nodes
+        );
         // Per-pool: 8 MB requests land on the 24 MB pool (best-fit) plus
         // spill to 32 MB: both pools of 4 are fully busy throughout.
         assert_eq!(r.pool_stats.len(), 2);
@@ -1146,8 +1333,12 @@ mod tests {
                     .build()
             })
             .collect());
-        let r = Simulation::new(SimConfig::default(), cluster_32_24(4), EstimatorSpec::PassThrough)
-            .run(&jobs);
+        let r = Simulation::new(
+            SimConfig::default(),
+            cluster_32_24(4),
+            EstimatorSpec::PassThrough,
+        )
+        .run(&jobs);
         let pool = |mem_mb: u64| {
             r.pool_stats
                 .iter()
@@ -1232,20 +1423,24 @@ mod tests {
             .requested_mem_kb(28 * MB)
             .used_mem_kb(28 * MB)
             .build()]);
-        let r = Simulation::new(SimConfig::default(), cluster_32_24(4), EstimatorSpec::PassThrough)
-            .with_churn(vec![
-                ChurnEvent {
-                    time: Time::from_secs(50),
-                    mem_kb: 32 * MB,
-                    delta: -4,
-                },
-                ChurnEvent {
-                    time: Time::from_secs(500),
-                    mem_kb: 32 * MB,
-                    delta: 4,
-                },
-            ])
-            .run(&jobs);
+        let r = Simulation::new(
+            SimConfig::default(),
+            cluster_32_24(4),
+            EstimatorSpec::PassThrough,
+        )
+        .with_churn(vec![
+            ChurnEvent {
+                time: Time::from_secs(50),
+                mem_kb: 32 * MB,
+                delta: -4,
+            },
+            ChurnEvent {
+                time: Time::from_secs(500),
+                mem_kb: 32 * MB,
+                delta: 4,
+            },
+        ])
+        .run(&jobs);
         assert_eq!(r.completed_jobs, 1);
         assert_eq!(r.records[0].final_start, Time::from_secs(500));
     }
@@ -1297,16 +1492,84 @@ mod tests {
             .requested_mem_kb(28 * MB)
             .used_mem_kb(20 * MB)
             .build()]);
-        let r = Simulation::new(SimConfig::default(), cluster_32_24(4), EstimatorSpec::PassThrough)
-            .with_churn(vec![ChurnEvent {
-                time: Time::from_secs(10),
-                mem_kb: 32 * MB,
-                delta: -4,
-            }])
-            .run(&jobs);
+        let r = Simulation::new(
+            SimConfig::default(),
+            cluster_32_24(4),
+            EstimatorSpec::PassThrough,
+        )
+        .with_churn(vec![ChurnEvent {
+            time: Time::from_secs(10),
+            mem_kb: 32 * MB,
+            delta: -4,
+        }])
+        .run(&jobs);
         assert_eq!(r.completed_jobs, 1);
         assert_eq!(r.failed_executions, 0);
         assert_eq!(r.records[0].completion, Time::from_secs(100));
+    }
+
+    #[test]
+    fn queue_len_context_excludes_the_estimated_job() {
+        // EstimateContext::queue_len counts *other* waiting jobs, at first
+        // admission and at in-queue refresh alike. Record every context the
+        // estimator sees and check the refresh path against the convention
+        // (it used to count the refreshed entry itself).
+        use std::sync::{Arc, Mutex};
+
+        struct Recorder {
+            seen: Arc<Mutex<Vec<(u64, usize)>>>,
+        }
+        impl ResourceEstimator for Recorder {
+            fn name(&self) -> &'static str {
+                "recorder"
+            }
+            fn estimate(&mut self, job: &Job, ctx: &EstimateContext) -> Demand {
+                self.seen.lock().unwrap().push((job.id.0, ctx.queue_len));
+                requested_demand(job)
+            }
+            fn feedback(
+                &mut self,
+                _job: &Job,
+                _granted: &Demand,
+                _fb: &Feedback,
+                _ctx: &EstimateContext,
+            ) {
+            }
+        }
+
+        // One 4-node pool; three whole-cluster jobs run strictly serially,
+        // so every queue length below is forced.
+        let jobs = wl((1..=3)
+            .map(|i| {
+                JobBuilder::new(i)
+                    .submit(Time::from_secs(i - 1))
+                    .nodes(4)
+                    .runtime(Time::from_secs(100))
+                    .requested_mem_kb(8 * MB)
+                    .used_mem_kb(8 * MB)
+                    .build()
+            })
+            .collect());
+        let cluster = ClusterBuilder::new().pool(4, 32 * MB).build();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let r = Simulation::with_estimator(
+            SimConfig::default(),
+            cluster,
+            Box::new(Recorder { seen: seen.clone() }),
+        )
+        .run(&jobs);
+        assert_eq!(r.completed_jobs, 3);
+        assert_eq!(
+            *seen.lock().unwrap(),
+            vec![
+                (1, 0), // arrival of 1: nothing else waiting
+                (2, 0), // arrival of 2: 1 is running, queue empty
+                (3, 1), // arrival of 3: 2 queued ahead
+                (2, 1), // refresh of 2 at t=100: only 3 is *other*
+                (3, 0), // refresh of 3 at t=100 after 2 started
+                (3, 0), // refresh of 3 at t=200
+            ],
+        );
     }
 
     #[test]

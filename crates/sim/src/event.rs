@@ -57,8 +57,22 @@ impl PartialOrd for Entry {
 }
 
 /// Deterministic future-event list.
+///
+/// Two storage tiers with one logical ordering, `(time, seq)`:
+///
+/// - a *seeded* prefix of statically known events (trace arrivals, churn),
+///   sorted once and consumed front-to-back by cursor;
+/// - a binary heap for events scheduled while running (execution ends),
+///   which therefore only ever holds the in-flight executions — tens of
+///   entries instead of the whole trace.
+///
+/// Seeded entries are assigned seqs before any runtime push, so a
+/// time-tie between the tiers always resolves to the seeded entry —
+/// exactly the order a single heap seeded by up-front pushes would yield.
 #[derive(Debug, Default)]
 pub struct EventQueue {
+    seeded: Vec<Entry>,
+    cursor: usize,
     heap: BinaryHeap<Entry>,
     next_seq: u64,
 }
@@ -69,6 +83,41 @@ impl EventQueue {
         EventQueue::default()
     }
 
+    /// An empty queue with room for `capacity` runtime events before the
+    /// heap reallocates.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            seeded: Vec::new(),
+            cursor: 0,
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+        }
+    }
+
+    /// A queue pre-loaded with the statically known schedule. Events keep
+    /// their slice order as the tie-breaker (the sort below is stable), so
+    /// this pops identically to pushing them one by one into an empty
+    /// queue — without ever paying heap maintenance for them.
+    pub fn from_schedule(mut schedule: Vec<(Time, Event)>) -> Self {
+        schedule.sort_by_key(|&(time, _)| time);
+        let seeded: Vec<Entry> = schedule
+            .into_iter()
+            .enumerate()
+            .map(|(seq, (time, event))| Entry {
+                time,
+                seq: seq as u64,
+                event,
+            })
+            .collect();
+        let next_seq = seeded.len() as u64;
+        EventQueue {
+            seeded,
+            cursor: 0,
+            heap: BinaryHeap::new(),
+            next_seq,
+        }
+    }
+
     /// Schedule `event` at `time`. Events at equal times pop in insertion
     /// order.
     pub fn push(&mut self, time: Time, event: Event) {
@@ -77,24 +126,52 @@ impl EventQueue {
         self.heap.push(Entry { time, seq, event });
     }
 
+    /// Earliest entry across both tiers: `(from_seeded, entry)`.
+    fn front(&self) -> Option<(bool, &Entry)> {
+        match (self.seeded.get(self.cursor), self.heap.peek()) {
+            (Some(s), Some(h)) => {
+                if (s.time, s.seq) <= (h.time, h.seq) {
+                    Some((true, s))
+                } else {
+                    Some((false, h))
+                }
+            }
+            (Some(s), None) => Some((true, s)),
+            (None, Some(h)) => Some((false, h)),
+            (None, None) => None,
+        }
+    }
+
     /// Remove and return the earliest event.
     pub fn pop(&mut self) -> Option<(Time, Event)> {
-        self.heap.pop().map(|e| (e.time, e.event))
+        match self.front()? {
+            (true, s) => {
+                let out = (s.time, s.event);
+                self.cursor += 1;
+                Some(out)
+            }
+            (false, _) => self.heap.pop().map(|e| (e.time, e.event)),
+        }
     }
 
     /// Time of the earliest event without removing it.
     pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|e| e.time)
+        self.front().map(|(_, e)| e.time)
+    }
+
+    /// The earliest event and its time without removing it.
+    pub fn peek(&self) -> Option<(Time, Event)> {
+        self.front().map(|(_, e)| (e.time, e.event))
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.seeded.len() - self.cursor + self.heap.len()
     }
 
     /// True when no events remain.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 }
 
@@ -156,10 +233,56 @@ mod tests {
     }
 
     #[test]
+    fn seeded_schedule_pops_like_upfront_pushes() {
+        // The same events, seeded vs pushed, must pop identically —
+        // including the stable tie order for equal times and the
+        // seeded-before-runtime rule when a push lands on a seeded time.
+        let t = Time::from_secs(5);
+        let schedule = vec![
+            (Time::from_secs(9), Event::Arrival { job: 0 }),
+            (t, Event::Arrival { job: 1 }),
+            (t, Event::Arrival { job: 2 }),
+            (Time::from_secs(1), Event::Arrival { job: 3 }),
+        ];
+        let mut seeded = EventQueue::from_schedule(schedule.clone());
+        let mut pushed = EventQueue::new();
+        for &(time, event) in &schedule {
+            pushed.push(time, event);
+        }
+        seeded.push(
+            t,
+            Event::ExecutionEnd {
+                run_id: 0,
+                success: true,
+            },
+        );
+        pushed.push(
+            t,
+            Event::ExecutionEnd {
+                run_id: 0,
+                success: true,
+            },
+        );
+        assert_eq!(seeded.len(), 5);
+        loop {
+            let (a, b) = (seeded.pop(), pushed.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
     fn peek_does_not_consume() {
-        let mut q = EventQueue::new();
+        let mut q = EventQueue::with_capacity(4);
+        assert_eq!(q.peek(), None);
         q.push(Time::from_secs(2), Event::Arrival { job: 0 });
         assert_eq!(q.peek_time(), Some(Time::from_secs(2)));
+        assert_eq!(
+            q.peek(),
+            Some((Time::from_secs(2), Event::Arrival { job: 0 }))
+        );
         assert_eq!(q.len(), 1);
     }
 }

@@ -2,10 +2,17 @@
 //! cluster-heterogeneity sweeps (Figure 8).
 //!
 //! Sweep points are embarrassingly parallel — each is its own deterministic
-//! simulation — so they run on crossbeam scoped threads, one point per
-//! thread. Determinism is preserved because every simulation owns its RNG
-//! seeded from the experiment seed, and results are collected by slot, not
-//! by completion order.
+//! simulation — so they run on a bounded worker pool sized to the machine
+//! (`std::thread::available_parallelism`), not one OS thread per point: a
+//! 100-point sweep on an 8-core box runs 8 workers pulling points off a
+//! shared atomic counter. The trace is shared by reference through
+//! `std::thread::scope` (no per-thread clone, no `Arc` bookkeeping needed).
+//! Determinism is preserved because every simulation owns its RNG seeded
+//! from the experiment seed, and results are collected by slot, not by
+//! completion order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 use resmatch_cluster::builder::paper_cluster;
 use resmatch_cluster::Cluster;
@@ -15,6 +22,60 @@ use resmatch_workload::Workload;
 use crate::engine::{SimConfig, Simulation};
 use crate::metrics::SimResult;
 use crate::spec::EstimatorSpec;
+
+/// Run `count` independent tasks on a bounded worker pool and return their
+/// results in index order.
+///
+/// Workers claim task indices from a shared atomic counter, so the pool
+/// stays busy even when point costs are skewed (high-load points simulate
+/// far more contention than low-load ones). The pool size is capped at
+/// `available_parallelism`; a single-core box degrades to a serial loop
+/// with no thread spawns at all.
+fn run_pooled<T, F>(count: usize, task: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if count == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(count);
+    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    if workers <= 1 {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(task(i));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let (next, task) = (&next, &task);
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= count {
+                        break;
+                    }
+                    if tx.send((i, task(i))).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for (i, value) in rx {
+                slots[i] = Some(value);
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every sweep slot filled"))
+        .collect()
+}
 
 /// Configuration for a load sweep.
 #[derive(Debug, Clone)]
@@ -43,33 +104,23 @@ pub struct LoadPoint {
     pub result: SimResult,
 }
 
-/// Run `estimator` over all loads in `cfg`, one simulation per point, in
-/// parallel. Points come back in `cfg.loads` order.
+/// Run `estimator` over all loads in `cfg`, one simulation per point, on
+/// the bounded worker pool. Points come back in `cfg.loads` order.
 pub fn run_load_sweep(
     workload: &Workload,
     cluster: &Cluster,
     estimator: EstimatorSpec,
     cfg: &SweepConfig,
 ) -> Vec<LoadPoint> {
-    let mut slots: Vec<Option<LoadPoint>> = cfg.loads.iter().map(|_| None).collect();
-    crossbeam::scope(|scope| {
-        for (slot, &load) in slots.iter_mut().zip(&cfg.loads) {
-            let sim_cfg = cfg.sim;
-            scope.spawn(move |_| {
-                let scaled = scale_to_load(workload, cluster.total_nodes(), load);
-                let result = Simulation::new(sim_cfg, cluster.clone(), estimator).run(&scaled);
-                *slot = Some(LoadPoint {
-                    offered_load: load,
-                    result,
-                });
-            });
+    run_pooled(cfg.loads.len(), |i| {
+        let load = cfg.loads[i];
+        let scaled = scale_to_load(workload, cluster.total_nodes(), load);
+        let result = Simulation::new(cfg.sim, cluster.clone(), estimator).run(&scaled);
+        LoadPoint {
+            offered_load: load,
+            result,
         }
     })
-    .expect("sweep threads must not panic");
-    slots
-        .into_iter()
-        .map(|s| s.expect("every slot filled"))
-        .collect()
 }
 
 /// One point of the Figure 8 cluster sweep: the paper's 512×32 MB +
@@ -99,7 +150,8 @@ impl ClusterSweepPoint {
 
 /// Run the Figure 8 sweep: for each second-pool size, simulate the trace at
 /// `offered_load` (a saturating load measures the plateau) with and without
-/// estimation. Points run in parallel and return in input order.
+/// estimation. Points run on the bounded worker pool and return in input
+/// order.
 pub fn run_cluster_sweep(
     workload: &Workload,
     second_pool_mbs: &[u64],
@@ -107,29 +159,22 @@ pub fn run_cluster_sweep(
     sim: SimConfig,
     offered_load: f64,
 ) -> Vec<ClusterSweepPoint> {
-    let mut slots: Vec<Option<ClusterSweepPoint>> =
-        second_pool_mbs.iter().map(|_| None).collect();
-    crossbeam::scope(|scope| {
-        for (slot, &mb) in slots.iter_mut().zip(second_pool_mbs) {
-            scope.spawn(move |_| {
-                let cluster = paper_cluster(mb);
-                let scaled = scale_to_load(workload, cluster.total_nodes(), offered_load);
-                let baseline =
-                    Simulation::new(sim, cluster.clone(), EstimatorSpec::PassThrough).run(&scaled);
-                let estimated = Simulation::new(sim, cluster, estimator).run(&scaled);
-                *slot = Some(ClusterSweepPoint {
-                    second_pool_mb: mb,
-                    baseline,
-                    estimated,
-                });
-            });
+    run_pooled(second_pool_mbs.len(), |i| {
+        let mb = second_pool_mbs[i];
+        let cluster = paper_cluster(mb);
+        // One scaled workload per point, shared by the baseline/estimated
+        // pair — rescaling a 100k-job trace twice would double the sweep's
+        // allocation traffic for identical bytes.
+        let scaled = scale_to_load(workload, cluster.total_nodes(), offered_load);
+        let baseline =
+            Simulation::new(sim, cluster.clone(), EstimatorSpec::PassThrough).run(&scaled);
+        let estimated = Simulation::new(sim, cluster, estimator).run(&scaled);
+        ClusterSweepPoint {
+            second_pool_mb: mb,
+            baseline,
+            estimated,
         }
     })
-    .expect("sweep threads must not panic");
-    slots
-        .into_iter()
-        .map(|s| s.expect("every slot filled"))
-        .collect()
 }
 
 /// Render a load sweep as CSV (one row per point) for external plotting.
@@ -256,8 +301,8 @@ mod tests {
         // Serial reference.
         for (i, &load) in cfg.loads.iter().enumerate() {
             let scaled = scale_to_load(&trace, cluster.total_nodes(), load);
-            let serial = Simulation::new(cfg.sim, cluster.clone(), EstimatorSpec::PassThrough)
-                .run(&scaled);
+            let serial =
+                Simulation::new(cfg.sim, cluster.clone(), EstimatorSpec::PassThrough).run(&scaled);
             assert_eq!(parallel[i].result, serial, "point {i} diverged");
         }
     }

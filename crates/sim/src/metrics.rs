@@ -85,6 +85,10 @@ pub struct SimResult {
     pub total_executions: u64,
     /// Executions that failed.
     pub failed_executions: u64,
+    /// Discrete events processed by the engine (arrivals + execution ends +
+    /// churn). The throughput denominator for benchmarking: events/second
+    /// is makespan-independent, unlike jobs/second under retries.
+    pub events_processed: u64,
     /// Total cluster size.
     pub total_nodes: u32,
     /// First submission.
@@ -142,8 +146,7 @@ impl SimResult {
         if span <= 0.0 || self.total_nodes == 0 {
             return 0.0;
         }
-        (self.goodput_node_seconds + self.wasted_node_seconds)
-            / (self.total_nodes as f64 * span)
+        (self.goodput_node_seconds + self.wasted_node_seconds) / (self.total_nodes as f64 * span)
     }
 
     /// Mean slowdown over completed jobs.
@@ -278,6 +281,7 @@ mod tests {
             dropped_jobs: 0,
             total_executions: records.len() as u64,
             failed_executions: 0,
+            events_processed: records.len() as u64 * 2,
             total_nodes: 8,
             first_submit: Time::ZERO,
             last_completion: last,

@@ -32,7 +32,12 @@ pub enum SchedulingPolicy {
 ///
 /// `releases` need not be sorted. Returns `None` when even all releases
 /// cannot satisfy `needed` (the job is simply too big for the machine).
-pub fn shadow_time(free_now: u32, needed: u32, releases: &[(Time, u32)], now: Time) -> Option<Time> {
+pub fn shadow_time(
+    free_now: u32,
+    needed: u32,
+    releases: &[(Time, u32)],
+    now: Time,
+) -> Option<Time> {
     if free_now >= needed {
         return Some(now);
     }

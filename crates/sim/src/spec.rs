@@ -10,8 +10,8 @@ use resmatch_core::adaptive::{AdaptiveConfig, AdaptiveSimilarity};
 use resmatch_core::last_instance::{LastInstance, LastInstanceConfig};
 use resmatch_core::multi::{MultiResourceConfig, MultiResourceEstimator};
 use resmatch_core::quantile::{QuantileConfig, QuantileEstimator};
-use resmatch_core::reinforcement::{ReinforcementConfig, ReinforcementEstimator};
 use resmatch_core::regression::{RegressionConfig, RegressionEstimator};
+use resmatch_core::reinforcement::{ReinforcementConfig, ReinforcementEstimator};
 use resmatch_core::robust::{RobustBisection, RobustConfig};
 use resmatch_core::successive::{SuccessiveApproximation, SuccessiveConfig};
 use resmatch_core::warm_start::{WarmStartConfig, WarmStartEstimator};
@@ -69,12 +69,8 @@ impl EstimatorSpec {
                 Box::new(MultiResourceEstimator::new(cfg, ladder.clone()))
             }
             EstimatorSpec::Quantile(cfg) => Box::new(QuantileEstimator::new(cfg)),
-            EstimatorSpec::Adaptive(cfg) => {
-                Box::new(AdaptiveSimilarity::new(cfg, ladder.clone()))
-            }
-            EstimatorSpec::WarmStart(cfg) => {
-                Box::new(WarmStartEstimator::new(cfg, ladder.clone()))
-            }
+            EstimatorSpec::Adaptive(cfg) => Box::new(AdaptiveSimilarity::new(cfg, ladder.clone())),
+            EstimatorSpec::WarmStart(cfg) => Box::new(WarmStartEstimator::new(cfg, ladder.clone())),
         }
     }
 
@@ -139,8 +135,9 @@ mod tests {
 
     #[test]
     fn explicit_feedback_flags() {
-        assert!(EstimatorSpec::LastInstance(LastInstanceConfig::default())
-            .wants_explicit_feedback());
+        assert!(
+            EstimatorSpec::LastInstance(LastInstanceConfig::default()).wants_explicit_feedback()
+        );
         assert!(EstimatorSpec::Regression(RegressionConfig::default()).wants_explicit_feedback());
         assert!(!EstimatorSpec::paper_successive().wants_explicit_feedback());
         assert!(!EstimatorSpec::PassThrough.wants_explicit_feedback());

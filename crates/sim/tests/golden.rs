@@ -1,0 +1,307 @@
+//! Golden-equivalence tests: fixed-seed simulations rendered to a canonical
+//! text form and compared byte-for-byte against files under `tests/golden/`.
+//!
+//! These exist to pin the engine's *outcomes* while its hot paths are
+//! optimized: group-scoped estimate invalidation, incremental candidate
+//! counts, event coalescing, and slab reuse must all be invisible here.
+//! Floats are rendered as exact IEEE-754 bit patterns, so even a
+//! last-ulp drift fails the diff.
+//!
+//! To regenerate after an *intentional* semantic change:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test -p resmatch-sim --test golden
+//! ```
+//!
+//! and review the resulting diffs like any other code change.
+
+use resmatch_cluster::builder::paper_cluster;
+use resmatch_sim::prelude::*;
+use resmatch_workload::load::scale_to_load;
+use resmatch_workload::synthetic::{generate, Cm5Config};
+use resmatch_workload::{Time, Workload};
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+const TOTAL_NODES: u32 = 1024;
+
+/// The shared base trace: 600 synthetic CM-5 jobs, compressed to ~90%
+/// offered load so queues actually form and estimates get refreshed
+/// in-queue.
+fn base_workload() -> Workload {
+    let cfg = Cm5Config {
+        jobs: 600,
+        ..Cm5Config::default()
+    };
+    let mut w = generate(&cfg, 42);
+    w.retain_max_nodes(512);
+    scale_to_load(&w, TOTAL_NODES, 0.9)
+}
+
+/// Render a float as value plus exact bit pattern: bit-for-bit regression
+/// detection that stays human-diffable.
+fn f(x: f64) -> String {
+    format!("{x:.6}/{:016x}", x.to_bits())
+}
+
+fn render(r: &SimResult) -> String {
+    let mut out = String::new();
+    writeln!(out, "estimator: {}", r.estimator).unwrap();
+    writeln!(out, "completed_jobs: {}", r.completed_jobs).unwrap();
+    writeln!(out, "dropped_jobs: {}", r.dropped_jobs).unwrap();
+    writeln!(out, "total_executions: {}", r.total_executions).unwrap();
+    writeln!(out, "failed_executions: {}", r.failed_executions).unwrap();
+    writeln!(out, "events_processed: {}", r.events_processed).unwrap();
+    writeln!(out, "total_nodes: {}", r.total_nodes).unwrap();
+    writeln!(out, "first_submit_ms: {}", r.first_submit.as_millis()).unwrap();
+    writeln!(out, "last_completion_ms: {}", r.last_completion.as_millis()).unwrap();
+    writeln!(out, "goodput_node_seconds: {}", f(r.goodput_node_seconds)).unwrap();
+    writeln!(out, "wasted_node_seconds: {}", f(r.wasted_node_seconds)).unwrap();
+    writeln!(out, "mean_queue_length: {}", f(r.mean_queue_length)).unwrap();
+    writeln!(out, "mean_busy_nodes: {}", f(r.mean_busy_nodes)).unwrap();
+    for p in &r.pool_stats {
+        writeln!(
+            out,
+            "pool: mem_kb={} nodes={} busy={}",
+            p.mem_kb,
+            p.nodes,
+            f(p.mean_busy_fraction)
+        )
+        .unwrap();
+    }
+    for rec in &r.records {
+        writeln!(
+            out,
+            "record: id={} submit={} start={} completion={} runtime={} nodes={} \
+             failed={} lowered={} benefited={} wasted={}",
+            rec.id.0,
+            rec.submit.as_millis(),
+            rec.final_start.as_millis(),
+            rec.completion.as_millis(),
+            rec.runtime.as_millis(),
+            rec.nodes,
+            rec.failed_executions,
+            rec.lowered,
+            rec.benefited,
+            f(rec.wasted_node_seconds),
+        )
+        .unwrap();
+    }
+    for e in r.trace_log.entries() {
+        writeln!(
+            out,
+            "trace: t={} id={} kind={:?}",
+            e.time.as_millis(),
+            e.job.0,
+            e.kind
+        )
+        .unwrap();
+    }
+    out
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"))
+}
+
+fn check(name: &str, result: &SimResult) {
+    let rendered = render(result);
+    let path = golden_path(name);
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with GOLDEN_REGEN=1 to create it",
+            path.display()
+        )
+    });
+    if rendered != expected {
+        // Locate the first differing line so the failure is actionable
+        // without dumping two multi-thousand-line blobs.
+        let mismatch = rendered
+            .lines()
+            .zip(expected.lines())
+            .enumerate()
+            .find(|(_, (a, b))| a != b);
+        match mismatch {
+            Some((i, (got, want))) => panic!(
+                "golden mismatch for `{name}` at line {}:\n  got:  {got}\n  want: {want}\n\
+                 (if the change is intentional, regenerate with GOLDEN_REGEN=1)",
+                i + 1
+            ),
+            None => panic!(
+                "golden mismatch for `{name}`: line counts differ (got {}, want {})",
+                rendered.lines().count(),
+                expected.lines().count()
+            ),
+        }
+    }
+}
+
+fn run(cfg: SimConfig, spec: EstimatorSpec, workload: &Workload) -> SimResult {
+    Simulation::new(cfg, paper_cluster(24), spec).run(workload)
+}
+
+#[test]
+fn golden_fcfs_successive_implicit() {
+    let w = base_workload();
+    let r = run(SimConfig::default(), EstimatorSpec::paper_successive(), &w);
+    check("fcfs_successive_implicit", &r);
+}
+
+#[test]
+fn golden_easy_successive_implicit() {
+    let w = base_workload();
+    let cfg = SimConfig {
+        scheduling: SchedulingPolicy::EasyBackfill,
+        ..SimConfig::default()
+    };
+    let r = run(cfg, EstimatorSpec::paper_successive(), &w);
+    check("easy_successive_implicit", &r);
+}
+
+#[test]
+fn golden_sjf_successive_implicit() {
+    let w = base_workload();
+    let cfg = SimConfig {
+        scheduling: SchedulingPolicy::Sjf,
+        ..SimConfig::default()
+    };
+    let r = run(cfg, EstimatorSpec::paper_successive(), &w);
+    check("sjf_successive_implicit", &r);
+}
+
+#[test]
+fn golden_fcfs_passthrough() {
+    let w = base_workload();
+    let r = run(SimConfig::default(), EstimatorSpec::PassThrough, &w);
+    check("fcfs_passthrough", &r);
+}
+
+#[test]
+fn golden_fcfs_oracle() {
+    let w = base_workload();
+    let r = run(SimConfig::default(), EstimatorSpec::Oracle, &w);
+    check("fcfs_oracle", &r);
+}
+
+#[test]
+fn golden_fcfs_successive_explicit() {
+    let w = base_workload();
+    let cfg = SimConfig {
+        feedback: FeedbackMode::Explicit,
+        ..SimConfig::default()
+    };
+    let r = run(cfg, EstimatorSpec::paper_successive(), &w);
+    check("fcfs_successive_explicit", &r);
+}
+
+#[test]
+fn golden_easy_lastinstance_explicit() {
+    use resmatch_core::last_instance::LastInstanceConfig;
+    let w = base_workload();
+    let cfg = SimConfig {
+        scheduling: SchedulingPolicy::EasyBackfill,
+        feedback: FeedbackMode::Explicit,
+        ..SimConfig::default()
+    };
+    let r = run(
+        cfg,
+        EstimatorSpec::LastInstance(LastInstanceConfig::default()),
+        &w,
+    );
+    check("easy_lastinstance_explicit", &r);
+}
+
+#[test]
+fn golden_sjf_quantile_explicit() {
+    use resmatch_core::quantile::QuantileConfig;
+    let w = base_workload();
+    let cfg = SimConfig {
+        scheduling: SchedulingPolicy::Sjf,
+        feedback: FeedbackMode::Explicit,
+        ..SimConfig::default()
+    };
+    let r = run(cfg, EstimatorSpec::Quantile(QuantileConfig::default()), &w);
+    check("sjf_quantile_explicit", &r);
+}
+
+#[test]
+fn golden_fcfs_robust_implicit() {
+    use resmatch_core::robust::RobustConfig;
+    let w = base_workload();
+    let r = run(
+        SimConfig::default(),
+        EstimatorSpec::Robust(RobustConfig::default()),
+        &w,
+    );
+    check("fcfs_robust_implicit", &r);
+}
+
+#[test]
+fn golden_fcfs_reinforcement_fault_injection() {
+    use resmatch_core::reinforcement::ReinforcementConfig;
+    // Exercises the Global scope path (context-dependent estimates, RNG in
+    // the estimator) plus the engine's own fault-injection RNG draws.
+    let w = base_workload();
+    let cfg = SimConfig {
+        false_positive_rate: 0.05,
+        ..SimConfig::default()
+    };
+    let r = run(
+        cfg,
+        EstimatorSpec::Reinforcement(ReinforcementConfig::default()),
+        &w,
+    );
+    check("fcfs_reinforcement_fault_injection", &r);
+}
+
+#[test]
+fn golden_fcfs_successive_churn_with_trace() {
+    // Dynamic membership: half the 24 MB pool leaves mid-trace and returns
+    // near the end. The trace log is rendered too, pinning every
+    // per-decision admission/start/completion — the strictest check here.
+    let w = base_workload();
+    let jobs = w.jobs();
+    let t0 = jobs.first().map(|j| j.submit).unwrap_or(Time::ZERO);
+    let t1 = jobs.last().map(|j| j.submit).unwrap_or(Time::ZERO);
+    let span_ms = t1.saturating_sub(t0).as_millis();
+    let at = |frac: f64| t0 + Time::from_millis((span_ms as f64 * frac) as u64);
+    let churn = vec![
+        ChurnEvent {
+            time: at(0.25),
+            mem_kb: 24 * 1024,
+            delta: -256,
+        },
+        ChurnEvent {
+            time: at(0.50),
+            mem_kb: 32 * 1024,
+            delta: -128,
+        },
+        ChurnEvent {
+            time: at(0.75),
+            mem_kb: 24 * 1024,
+            delta: 256,
+        },
+        ChurnEvent {
+            time: at(0.90),
+            mem_kb: 32 * 1024,
+            delta: 128,
+        },
+    ];
+    let r = Simulation::new(
+        SimConfig::default(),
+        paper_cluster(24),
+        EstimatorSpec::paper_successive(),
+    )
+    .with_churn(churn)
+    .with_trace_log()
+    .run(&w);
+    check("fcfs_successive_churn_with_trace", &r);
+}

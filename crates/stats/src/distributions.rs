@@ -256,7 +256,11 @@ mod tests {
         let med = sorted[sorted.len() / 2];
         assert!((med - 600.0).abs() / 600.0 < 0.05, "median {med}");
         let m = samples.iter().sum::<f64>() / samples.len() as f64;
-        assert!((m - d.mean()).abs() / d.mean() < 0.10, "mean {m} vs {}", d.mean());
+        assert!(
+            (m - d.mean()).abs() / d.mean() < 0.10,
+            "mean {m} vs {}",
+            d.mean()
+        );
     }
 
     #[test]

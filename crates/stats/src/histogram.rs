@@ -130,7 +130,10 @@ impl LogHistogram {
     pub fn new(first: f64, base: f64, bins: usize) -> Self {
         assert!(bins > 0, "histogram needs at least one bin");
         assert!(base > 1.0, "log base must exceed 1");
-        assert!(first > 0.0 && first.is_finite(), "first edge must be positive");
+        assert!(
+            first > 0.0 && first.is_finite(),
+            "first edge must be positive"
+        );
         LogHistogram {
             first,
             base,
@@ -144,7 +147,8 @@ impl LogHistogram {
     /// Record one observation.
     pub fn record(&mut self, value: f64) {
         self.total += 1;
-        if !(value >= self.first) {
+        // NaN and anything below the first bucket both land in underflow.
+        if value < self.first || value.is_nan() {
             self.underflow += 1;
             return;
         }

@@ -38,8 +38,8 @@ pub mod regression;
 pub use bootstrap::{bootstrap_ci, bootstrap_mean_ci, ConfidenceInterval};
 pub use correlation::{pearson, spearman};
 pub use descriptive::Summary;
-pub use ks::{ks_two_sample, KsResult};
 pub use empirical::EmpiricalDistribution;
 pub use histogram::{Histogram, LogHistogram};
+pub use ks::{ks_two_sample, KsResult};
 pub use online::{Ewma, Welford};
 pub use regression::{LeastSquares, SimpleLinearRegression};

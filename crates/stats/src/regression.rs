@@ -46,7 +46,10 @@ impl SimpleLinearRegression {
             r_squared: 0.0,
         };
         let r2 = r_squared(ys, &xs.iter().map(|&x| fit.predict(x)).collect::<Vec<_>>());
-        Some(SimpleLinearRegression { r_squared: r2, ..fit })
+        Some(SimpleLinearRegression {
+            r_squared: r2,
+            ..fit
+        })
     }
 
     /// Predict `y` at `x`.
@@ -67,11 +70,7 @@ pub fn r_squared(ys: &[f64], preds: &[f64]) -> f64 {
     }
     let mean_y = ys.iter().sum::<f64>() / ys.len() as f64;
     let ss_tot: f64 = ys.iter().map(|y| (y - mean_y) * (y - mean_y)).sum();
-    let ss_res: f64 = ys
-        .iter()
-        .zip(preds)
-        .map(|(y, p)| (y - p) * (y - p))
-        .sum();
+    let ss_res: f64 = ys.iter().zip(preds).map(|(y, p)| (y - p) * (y - p)).sum();
     if ss_tot == 0.0 {
         return if ss_res == 0.0 { 1.0 } else { 0.0 };
     }
@@ -172,8 +171,12 @@ fn solve_linear_system(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<Vec<f64>> {
             if factor == 0.0 {
                 continue;
             }
-            for k in col..n {
-                a[row][k] -= factor * a[col][k];
+            // `row > col`, so the pivot row sits in the left half of the
+            // split and the two borrows are disjoint.
+            let (above, below) = a.split_at_mut(row);
+            let pivot_row = &above[col][col..n];
+            for (dst, &src) in below[0][col..n].iter_mut().zip(pivot_row) {
+                *dst -= factor * src;
             }
             b[row] -= factor * b[col];
         }

@@ -79,7 +79,7 @@ proptest! {
         noise in prop::collection::vec(-10.0f64..10.0, 100),
     ) {
         let preds: Vec<f64> = ys.iter().zip(&noise).map(|(y, n)| y + n).collect();
-        let r2 = r_squared(&ys, &preds[..ys.len().min(preds.len())].to_vec());
+        let r2 = r_squared(&ys, &preds[..ys.len().min(preds.len())]);
         prop_assert!((0.0..=1.0).contains(&r2));
     }
 

@@ -378,7 +378,7 @@ mod tests {
         let mut jobs = Vec::new();
         for i in 0..10 {
             // Group A: request 320, usage 40..80 → gain 4, range 2.
-            jobs.push(job_with(i, 1, 1, 320, 40 + (i as u64 % 2) * 40));
+            jobs.push(job_with(i, 1, 1, 320, 40 + (i % 2) * 40));
         }
         for i in 10..20 {
             // Group B: request 100, constant usage 100 → gain 1, range 1.

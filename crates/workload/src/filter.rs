@@ -27,7 +27,14 @@ pub fn time_window(workload: &Workload, from: Time, to: Time) -> Workload {
 
 /// Keep only jobs matching a predicate.
 pub fn filter_jobs(workload: &Workload, mut keep: impl FnMut(&Job) -> bool) -> Workload {
-    Workload::new(workload.jobs().iter().filter(|j| keep(j)).cloned().collect())
+    Workload::new(
+        workload
+            .jobs()
+            .iter()
+            .filter(|j| keep(j))
+            .cloned()
+            .collect(),
+    )
 }
 
 /// Keep only jobs by the given user.
@@ -137,7 +144,10 @@ mod tests {
         let (train, eval) = split_train_eval(&trace(), 0.3);
         assert_eq!(train.len(), 3);
         assert_eq!(eval.len(), 7);
-        assert!(train.jobs().iter().all(|j| j.submit < eval.jobs()[0].submit));
+        assert!(train
+            .jobs()
+            .iter()
+            .all(|j| j.submit < eval.jobs()[0].submit));
     }
 
     #[test]

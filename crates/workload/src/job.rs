@@ -290,7 +290,10 @@ mod tests {
     fn ratio_undefined_for_zero_usage() {
         let j = JobBuilder::new(1).used_mem_kb(0).build();
         assert_eq!(j.overprovisioning_ratio(), None);
-        let j = JobBuilder::new(1).requested_mem_kb(0).used_mem_kb(0).build();
+        let j = JobBuilder::new(1)
+            .requested_mem_kb(0)
+            .used_mem_kb(0)
+            .build();
         assert_eq!(j.overprovisioning_ratio(), None);
     }
 

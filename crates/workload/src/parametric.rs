@@ -211,7 +211,11 @@ mod tests {
         let w = small(5_000, 9);
         let stats = crate::analysis::trace_stats(&w);
         assert!(stats.groups > 50, "groups {}", stats.groups);
-        assert!(stats.mean_group_size > 2.0, "mean {}", stats.mean_group_size);
+        assert!(
+            stats.mean_group_size > 2.0,
+            "mean {}",
+            stats.mean_group_size
+        );
     }
 
     #[test]

@@ -218,8 +218,8 @@ fn sample_class(cfg: &Cm5Config, rng: &mut StdRng, size: usize) -> ClassSpec {
         let x = -u.ln() / rate;
         2f64.powf(x.min(8.0)) // cap at 256x
     };
-    let base_used_mem_kb = ((requested_mem_kb as f64 / ratio).round() as u64)
-        .clamp(64, requested_mem_kb);
+    let base_used_mem_kb =
+        ((requested_mem_kb as f64 / ratio).round() as u64).clamp(64, requested_mem_kb);
 
     let usage_jitter = if rng.random::<f64>() < cfg.jitter_class_fraction {
         // Mostly small similarity ranges with a thin tail out to 2.0
@@ -438,7 +438,9 @@ mod tests {
         let w = small_trace(122_055, 42);
         let mut groups: HashMap<(u32, u32, u64), usize> = HashMap::new();
         for j in w.jobs() {
-            *groups.entry((j.user, j.app, j.requested_mem_kb)).or_default() += 1;
+            *groups
+                .entry((j.user, j.app, j.requested_mem_kb))
+                .or_default() += 1;
         }
         let n_groups = groups.len();
         assert!(
@@ -478,12 +480,8 @@ mod tests {
             below_16_ns / total_ns
         );
         // ... even though plenty of *jobs* use less than 16 MB.
-        let frac_jobs_below = w
-            .jobs()
-            .iter()
-            .filter(|j| j.used_mem_kb < 16 * MB)
-            .count() as f64
-            / w.len() as f64;
+        let frac_jobs_below =
+            w.jobs().iter().filter(|j| j.used_mem_kb < 16 * MB).count() as f64 / w.len() as f64;
         assert!(frac_jobs_below > 0.25, "{frac_jobs_below:.3}");
     }
 

@@ -70,7 +70,10 @@ impl Time {
     /// Scale a duration by a non-negative factor, rounding to the nearest
     /// millisecond (used for load rescaling of inter-arrival gaps).
     pub fn scale(self, factor: f64) -> Time {
-        assert!(factor.is_finite() && factor >= 0.0, "scale factor must be >= 0");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be >= 0"
+        );
         Time((self.0 as f64 * factor).round() as u64)
     }
 }

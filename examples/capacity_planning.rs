@@ -60,7 +60,7 @@ fn main() {
             p.estimated.benefiting_node_count(),
             efficiency(p),
         );
-        if best.map_or(true, |b| efficiency(p) > efficiency(b)) {
+        if best.is_none_or(|b| efficiency(p) > efficiency(b)) {
             best = Some(p);
         }
     }

@@ -58,7 +58,11 @@ fn main() {
         println!(
             "#{round:<10} {:>4} MB   {:<16} E_i = {:.1} MB (alpha = {})",
             demand.mem_kb / MB,
-            if success { "completed" } else { "FAILED (too small)" },
+            if success {
+                "completed"
+            } else {
+                "FAILED (too small)"
+            },
             snap.estimate_kb / MB as f64,
             snap.alpha,
         );

@@ -32,10 +32,19 @@ fn main() {
 
     println!("\n== trace overview =================================================");
     println!("jobs:                  {}", stats.jobs);
-    println!("similarity groups:     {} (mean size {:.1})", stats.groups, stats.mean_group_size);
-    println!("P(request >= 2x used): {:.1}%  (paper: ~32.8%)", stats.overprovisioned_2x * 100.0);
+    println!(
+        "similarity groups:     {} (mean size {:.1})",
+        stats.groups, stats.mean_group_size
+    );
+    println!(
+        "P(request >= 2x used): {:.1}%  (paper: ~32.8%)",
+        stats.overprovisioned_2x * 100.0
+    );
     println!("max over-provisioning: {:.0}x", stats.max_ratio);
-    println!("total demand:          {:.2e} node-seconds", stats.node_seconds);
+    println!(
+        "total demand:          {:.2e} node-seconds",
+        stats.node_seconds
+    );
 
     println!("\n== Figure 1: over-provisioning ratio histogram ====================");
     let hist = overprovisioning_histogram(&trace, 8);
@@ -77,7 +86,10 @@ fn main() {
         .filter(|b| b.size >= 10)
         .map(|b| b.job_fraction)
         .sum();
-    println!("jobs in groups of >= 10: {:.1}% (paper: ~83%)", big_jobs * 100.0);
+    println!(
+        "jobs in groups of >= 10: {:.1}% (paper: ~83%)",
+        big_jobs * 100.0
+    );
 
     println!("\n== Figure 4: possible gain vs. group similarity ===================");
     let points = gain_vs_range(&trace, 10);
@@ -91,7 +103,10 @@ fn main() {
     println!("  gain >= 10x available in {high_gain} groups");
     println!("\nsample points (range, gain, size):");
     for p in points.iter().take(10) {
-        println!("  range {:>6.2}  gain {:>7.2}  size {:>5}", p.range, p.gain, p.size);
+        println!(
+            "  range {:>6.2}  gain {:>7.2}  size {:>5}",
+            p.range, p.gain, p.size
+        );
     }
 
     println!("\n== heaviest users (who over-provisions?) ==========================");

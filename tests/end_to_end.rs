@@ -23,8 +23,12 @@ fn full_pipeline_is_deterministic() {
     let run = || {
         let cluster = paper_cluster(24);
         let scaled = scale_to_load(&w, cluster.total_nodes(), 1.0);
-        Simulation::new(SimConfig::default(), cluster, EstimatorSpec::paper_successive())
-            .run(&scaled)
+        Simulation::new(
+            SimConfig::default(),
+            cluster,
+            EstimatorSpec::paper_successive(),
+        )
+        .run(&scaled)
     };
     assert_eq!(run(), run());
 }
@@ -73,7 +77,9 @@ fn oracle_dominates_all_learning_estimators() {
             },
             ..SimConfig::default()
         };
-        Simulation::new(cfg, cluster.clone(), spec).run(&scaled).utilization()
+        Simulation::new(cfg, cluster.clone(), spec)
+            .run(&scaled)
+            .utilization()
     };
     let oracle = util(EstimatorSpec::Oracle, false);
     let base = util(EstimatorSpec::PassThrough, false);
@@ -84,8 +90,14 @@ fn oracle_dominates_all_learning_estimators() {
     );
     // Small tolerance: probing failures can cost a learning estimator a
     // sliver of goodput relative to the oracle.
-    assert!(oracle >= successive * 0.98, "oracle {oracle} vs successive {successive}");
-    assert!(oracle >= last * 0.98, "oracle {oracle} vs last-instance {last}");
+    assert!(
+        oracle >= successive * 0.98,
+        "oracle {oracle} vs successive {successive}"
+    );
+    assert!(
+        oracle >= last * 0.98,
+        "oracle {oracle} vs last-instance {last}"
+    );
     assert!(oracle > base, "oracle {oracle} vs baseline {base}");
 }
 
@@ -163,12 +175,7 @@ fn workload_statistics_survive_the_simulator() {
     // job completes (mass conservation across the pipeline).
     let w = trace(1_000, 5);
     let cluster = paper_cluster(24);
-    let r = Simulation::new(
-        SimConfig::default(),
-        cluster,
-        EstimatorSpec::PassThrough,
-    )
-    .run(&w);
+    let r = Simulation::new(SimConfig::default(), cluster, EstimatorSpec::PassThrough).run(&w);
     assert_eq!(r.completed_jobs + r.dropped_jobs, w.len());
     let expected: f64 = w
         .jobs()

@@ -65,10 +65,7 @@ fn warm_start_prior_reduces_probing_steps() {
     let cluster = paper_cluster(24);
     let scaled = scale_to_load(&eval, cluster.total_nodes(), 1.0);
 
-    let mut warm = WarmStartEstimator::new(
-        WarmStartConfig::default(),
-        cluster.memory_ladder(),
-    );
+    let mut warm = WarmStartEstimator::new(WarmStartConfig::default(), cluster.memory_ladder());
     warm.fit_offline(&train);
     assert!(warm.prior_trained());
 
@@ -139,12 +136,9 @@ fn persisted_state_survives_a_simulated_restart() {
     // second half.
     let mut restarted = SuccessiveApproximation::new(SuccessiveConfig::default(), ladder);
     restarted.import_state(&state);
-    let resumed = Simulation::with_estimator(
-        SimConfig::default(),
-        cluster.clone(),
-        Box::new(restarted),
-    )
-    .run(&second);
+    let resumed =
+        Simulation::with_estimator(SimConfig::default(), cluster.clone(), Box::new(restarted))
+            .run(&second);
 
     assert_eq!(resumed.completed_jobs + resumed.dropped_jobs, second.len());
     // The resumed run keeps estimating aggressively (no cold-start cliff).

@@ -30,8 +30,8 @@ fn every_policy_completes_every_job() {
             scheduling: policy,
             ..SimConfig::default()
         };
-        let r = Simulation::new(cfg, cluster.clone(), EstimatorSpec::paper_successive())
-            .run(&scaled);
+        let r =
+            Simulation::new(cfg, cluster.clone(), EstimatorSpec::paper_successive()).run(&scaled);
         assert_eq!(
             r.completed_jobs + r.dropped_jobs,
             scaled.len(),
@@ -80,8 +80,7 @@ fn estimation_gain_persists_under_backfilling() {
         ..SimConfig::default()
     };
     let base = Simulation::new(cfg, cluster.clone(), EstimatorSpec::PassThrough).run(&scaled);
-    let est =
-        Simulation::new(cfg, cluster, EstimatorSpec::paper_successive()).run(&scaled);
+    let est = Simulation::new(cfg, cluster, EstimatorSpec::paper_successive()).run(&scaled);
     assert!(
         est.utilization() >= base.utilization(),
         "estimation must not hurt under EASY: {} vs {}",

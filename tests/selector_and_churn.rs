@@ -1,8 +1,8 @@
 //! Integration: the estimator-selector ensemble and dynamic membership,
 //! running end to end through the simulator.
 
-use resmatch::prelude::*;
 use resmatch::core::selector::{EstimatorSelector, SelectorConfig};
+use resmatch::prelude::*;
 
 const MB: u64 = 1024;
 

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only uses serde as a *marker* today — types derive
+//! `Serialize`/`Deserialize` so downstream consumers could wire up real
+//! serialization, but no code in the repository calls a serializer. With no
+//! network access to a crates registry, this stub keeps those derives
+//! compiling: the traits carry no methods and the derive macro emits empty
+//! impls. Swapping the real serde back in later is a one-line change in the
+//! workspace manifest.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

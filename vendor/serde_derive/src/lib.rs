@@ -1,0 +1,52 @@
+//! Derive half of the offline serde stand-in.
+//!
+//! Since the `serde` stub's traits are empty markers, the derive only has to
+//! discover the type's name and emit `impl ... for Name {}`. The input is
+//! parsed by hand (no `syn`/`quote` available offline): skip attributes and
+//! visibility, find the `struct`/`enum` keyword, take the next identifier.
+//! Generic types are rejected with a clear error rather than mis-expanded.
+
+use proc_macro::{TokenStream, TokenTree};
+
+fn type_name(input: TokenStream) -> String {
+    let mut iter = input.into_iter();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" || word == "union" {
+                match iter.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        if let Some(TokenTree::Punct(p)) = iter.next() {
+                            if p.as_char() == '<' {
+                                panic!(
+                                    "vendored serde_derive stub does not support generic type `{name}`"
+                                );
+                            }
+                        }
+                        return name.to_string();
+                    }
+                    other => panic!("expected type name after `{word}`, found {other:?}"),
+                }
+            }
+        }
+        // Everything else (attribute `#[...]` tokens, visibility, doc
+        // comments) is skipped until the definition keyword appears.
+    }
+    panic!("vendored serde_derive stub: no struct/enum definition found")
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("serialize impl should parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("deserialize impl should parse")
+}
