@@ -52,10 +52,7 @@ fn bench_simulator(c: &mut Criterion) {
                 )
             })
         });
-        let easy = SimConfig {
-            scheduling: SchedulingPolicy::EasyBackfill,
-            ..SimConfig::default()
-        };
+        let easy = SimConfig::default().with_scheduling(SchedulingPolicy::EasyBackfill);
         group.bench_with_input(BenchmarkId::new("easy_successive", jobs), &w, |b, w| {
             b.iter(|| {
                 black_box(

@@ -30,15 +30,10 @@ fn main() {
         "fp rate", "util (implicit, Alg.1)", "util (explicit, last)"
     );
     for fp in [0.0, 0.005, 0.01, 0.02, 0.05] {
-        let implicit_cfg = SimConfig {
-            false_positive_rate: fp,
-            ..SimConfig::default()
-        };
-        let explicit_cfg = SimConfig {
-            false_positive_rate: fp,
-            feedback: FeedbackMode::Explicit,
-            ..SimConfig::default()
-        };
+        let implicit_cfg = SimConfig::default().with_false_positive_rate(fp);
+        let explicit_cfg = SimConfig::default()
+            .with_false_positive_rate(fp)
+            .with_feedback(FeedbackMode::Explicit);
         let implicit = Simulation::new(
             implicit_cfg,
             cluster.clone(),

@@ -30,10 +30,7 @@ fn main() {
         ("first-fit", MatchPolicy::FirstFit),
         ("worst-fit", MatchPolicy::WorstFit),
     ] {
-        let cfg = SimConfig {
-            match_policy: policy,
-            ..SimConfig::default()
-        };
+        let cfg = SimConfig::default().with_match_policy(policy);
         let base = Simulation::new(cfg, cluster.clone(), EstimatorSpec::PassThrough).run(&scaled);
         let est =
             Simulation::new(cfg, cluster.clone(), EstimatorSpec::paper_successive()).run(&scaled);

@@ -31,10 +31,7 @@ fn main() {
         ("EASY backfill", SchedulingPolicy::EasyBackfill),
         ("SJF", SchedulingPolicy::Sjf),
     ] {
-        let cfg = SimConfig {
-            scheduling: policy,
-            ..SimConfig::default()
-        };
+        let cfg = SimConfig::default().with_scheduling(policy);
         let base = Simulation::new(cfg, cluster.clone(), EstimatorSpec::PassThrough).run(&scaled);
         let est =
             Simulation::new(cfg, cluster.clone(), EstimatorSpec::paper_successive()).run(&scaled);

@@ -42,6 +42,10 @@ struct Measurement {
     completed_jobs: usize,
     wall_s: f64,
     events_per_sec: f64,
+    /// Engine-level counters from the measured run. Tracked by the engine
+    /// itself (no observer is attached — the timed runs stay on the
+    /// zero-observer hot path).
+    counters: RunCounters,
 }
 
 /// Best-of-N wall clock: the minimum is the least noise-contaminated
@@ -66,6 +70,7 @@ where
         completed_jobs: r.completed_jobs,
         wall_s: best_s,
         events_per_sec: r.events_processed as f64 / best_s,
+        counters: r.counters,
     }
 }
 
@@ -78,15 +83,27 @@ fn render_json(measurements: &[Measurement]) -> String {
         "{\n  \"benchmark\": \"sim\",\n  \"unit\": \"events/sec\",\n  \"results\": [\n",
     );
     for (i, m) in measurements.iter().enumerate() {
+        let c = &m.counters;
         out.push_str(&format!(
             "    {{\"scenario\": \"{}\", \"jobs\": {}, \"events_processed\": {}, \
-             \"completed_jobs\": {}, \"wall_s\": {:.6}, \"events_per_sec\": {:.1}}}{}\n",
+             \"completed_jobs\": {}, \"wall_s\": {:.6}, \"events_per_sec\": {:.1}, \
+             \"counters\": {{\"arrivals\": {}, \"admissions\": {}, \"started\": {}, \
+             \"completed\": {}, \"failed\": {}, \"requeued\": {}, \
+             \"estimator_bypassed\": {}, \"churn_events\": {}}}}}{}\n",
             json_escape(&m.scenario),
             m.jobs,
             m.events_processed,
             m.completed_jobs,
             m.wall_s,
             m.events_per_sec,
+            c.arrivals,
+            c.admissions,
+            c.started,
+            c.completed,
+            c.failed,
+            c.requeued,
+            c.estimator_bypassed,
+            c.churn_events,
             if i + 1 < measurements.len() { "," } else { "" },
         ));
     }
@@ -142,10 +159,7 @@ fn main() {
             )
             .run(&w)
         }));
-        let easy = SimConfig {
-            scheduling: SchedulingPolicy::EasyBackfill,
-            ..SimConfig::default()
-        };
+        let easy = SimConfig::default().with_scheduling(SchedulingPolicy::EasyBackfill);
         measurements.push(measure("easy_successive", jobs, reps, || {
             Simulation::new(easy, paper_cluster(24), EstimatorSpec::paper_successive()).run(&w)
         }));

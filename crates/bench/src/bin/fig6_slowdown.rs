@@ -23,10 +23,8 @@ fn main() {
         trace.len()
     );
 
-    let sweep = SweepConfig {
-        loads: vec![0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.2],
-        ..SweepConfig::default()
-    };
+    let sweep =
+        SweepConfig::default().with_loads(vec![0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.2]);
     let base = run_load_sweep(&trace, &cluster, EstimatorSpec::PassThrough, &sweep);
     let est = run_load_sweep(&trace, &cluster, EstimatorSpec::paper_successive(), &sweep);
 

@@ -61,14 +61,11 @@ fn main() {
         "estimator", "util", "slowdown", "fail%", "lowered%", "wait(s)"
     );
     for (label, spec, explicit) in rows {
-        let cfg = SimConfig {
-            feedback: if explicit {
-                FeedbackMode::Explicit
-            } else {
-                FeedbackMode::Implicit
-            },
-            ..SimConfig::default()
-        };
+        let cfg = SimConfig::default().with_feedback(if explicit {
+            FeedbackMode::Explicit
+        } else {
+            FeedbackMode::Implicit
+        });
         let r = Simulation::new(cfg, cluster.clone(), spec).run(&scaled);
         println!(
             "{:<26} {:>8.3} {:>10.2} {:>8.3}% {:>9.1}% {:>10.0}",

@@ -59,16 +59,14 @@ fn sim_config(args: &Args) -> CliResult<SimConfig> {
             )))
         }
     };
-    Ok(SimConfig {
-        scheduling: policy,
-        feedback: if args.has_switch("explicit") {
+    Ok(SimConfig::default()
+        .with_scheduling(policy)
+        .with_feedback(if args.has_switch("explicit") {
             FeedbackMode::Explicit
         } else {
             FeedbackMode::Implicit
-        },
-        seed: args.get_parsed("sim-seed", 0xC0FFEEu64)?,
-        ..SimConfig::default()
-    })
+        })
+        .with_seed(args.get_parsed("sim-seed", 0xC0FFEEu64)?))
 }
 
 /// `resmatch generate --jobs N [--seed S] [--diurnal A] --out trace.swf`
@@ -216,6 +214,7 @@ pub fn cmd_sweep(tokens: Vec<String>) -> CliResult<String> {
         .value("sim-seed")
         .value("csv")
         .switch("explicit")
+        .switch("progress")
         .parse(tokens)?;
     let seed: u64 = args.get_parsed("seed", 42)?;
     let trace = load_trace(&args, seed)?;
@@ -224,11 +223,16 @@ pub fn cmd_sweep(tokens: Vec<String>) -> CliResult<String> {
     let beta: f64 = args.get_parsed("beta", 0.0)?;
     let spec = parse_estimator(args.get("estimator").unwrap_or("successive"), alpha, beta)?;
     let loads = parse_loads(args.get("loads").unwrap_or("0.2,0.4,0.6,0.8,1.0,1.2"))?;
-    let sweep = SweepConfig {
-        sim: sim_config(&args)?,
-        loads,
+    let sweep = SweepConfig::default()
+        .with_sim(sim_config(&args)?)
+        .with_loads(loads);
+    let progress = ProgressObserver::new("sweep", 1_000_000);
+    let observer: Option<&dyn SweepObserver> = if args.has_switch("progress") {
+        Some(&progress)
+    } else {
+        None
     };
-    let points = run_load_sweep(&trace, &cluster, spec, &sweep);
+    let points = run_load_sweep_observed(&trace, &cluster, spec, &sweep, observer);
     let csv = load_sweep_csv(&points);
     match args.get("csv") {
         Some(path) => {
@@ -252,6 +256,7 @@ pub fn usage() -> String {
      \x20                [--alpha A] [--beta B] [--explicit]\n\
      resmatch sweep    [trace.swf | --synthetic N] [--loads 0.2,0.4,...]\n\
      \x20                [--cluster ...] [--estimator NAME] [--csv out.csv]\n\
+     \x20                [--progress]\n\
      \n\
      Estimators: pass-through, oracle, successive, last-instance, regression,\n\
      \x20           reinforcement, robust, multi-resource, quantile, adaptive,\n\

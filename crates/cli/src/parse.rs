@@ -1,7 +1,6 @@
 //! Domain-value parsing: cluster layouts, estimator names, load lists.
 
 use resmatch_cluster::{Cluster, ClusterBuilder};
-use resmatch_core::prelude::*;
 use resmatch_sim::EstimatorSpec;
 
 use crate::{CliError, CliResult};
@@ -46,56 +45,19 @@ pub fn parse_cluster(raw: &str) -> CliResult<Cluster> {
     Ok(builder.build())
 }
 
-/// Estimator names accepted by `--estimator`.
-pub const ESTIMATOR_NAMES: &[&str] = &[
-    "pass-through",
-    "oracle",
-    "successive",
-    "last-instance",
-    "regression",
-    "reinforcement",
-    "robust",
-    "multi-resource",
-    "quantile",
-    "adaptive",
-    "warm-start",
-];
+/// Estimator names accepted by `--estimator` — the canonical
+/// [`EstimatorSpec`] grammar names.
+pub const ESTIMATOR_NAMES: &[&str] = EstimatorSpec::NAMES;
 
-/// Parse an estimator name into a spec with default configuration,
-/// honoring `--alpha`/`--beta` overrides for the successive family.
+/// Parse an `--estimator` value through [`EstimatorSpec`]'s `FromStr`
+/// grammar (`name[:alpha[,beta]]`), honoring `--alpha`/`--beta` overrides
+/// for the successive family when the name itself carries no suffix.
 pub fn parse_estimator(name: &str, alpha: f64, beta: f64) -> CliResult<EstimatorSpec> {
-    let successive = SuccessiveConfig {
-        alpha,
-        beta,
-        ..SuccessiveConfig::default()
-    };
-    Ok(match name {
-        "pass-through" | "none" => EstimatorSpec::PassThrough,
-        "oracle" => EstimatorSpec::Oracle,
-        "successive" => EstimatorSpec::Successive(successive),
-        "last-instance" => EstimatorSpec::LastInstance(LastInstanceConfig::default()),
-        "regression" => EstimatorSpec::Regression(RegressionConfig::default()),
-        "reinforcement" => EstimatorSpec::Reinforcement(ReinforcementConfig::default()),
-        "robust" => EstimatorSpec::Robust(RobustConfig::default()),
-        "quantile" => EstimatorSpec::Quantile(QuantileConfig::default()),
-        "multi-resource" => EstimatorSpec::MultiResource(MultiResourceConfig {
-            memory: successive,
-            ..MultiResourceConfig::default()
-        }),
-        "adaptive" => EstimatorSpec::Adaptive(AdaptiveConfig {
-            successive,
-            ..AdaptiveConfig::default()
-        }),
-        "warm-start" => EstimatorSpec::WarmStart(WarmStartConfig {
-            successive,
-            ..WarmStartConfig::default()
-        }),
-        other => {
-            return Err(CliError::new(format!(
-                "unknown estimator {other:?}; expected one of {}",
-                ESTIMATOR_NAMES.join(", ")
-            )))
-        }
+    let spec: EstimatorSpec = name.parse().map_err(|e| CliError::new(format!("{e}")))?;
+    Ok(if name.contains(':') {
+        spec
+    } else {
+        spec.with_alpha_beta(alpha, beta)
     })
 }
 
@@ -160,6 +122,18 @@ mod tests {
             }
             other => panic!("unexpected spec {other:?}"),
         }
+    }
+
+    #[test]
+    fn estimator_suffix_wins_over_flags() {
+        match parse_estimator("successive:8,1", 2.0, 0.0).unwrap() {
+            EstimatorSpec::Successive(cfg) => {
+                assert_eq!(cfg.alpha, 8.0);
+                assert_eq!(cfg.beta, 1.0);
+            }
+            other => panic!("unexpected spec {other:?}"),
+        }
+        assert!(parse_estimator("oracle:2", 2.0, 0.0).is_err());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //!
 //! Three hot-path caches keep the per-event cost flat over a full trace:
 //!
-//! - a [`MemIndex`]: cumulative free/online node counts indexed by the
+//! - a `MemIndex`: cumulative free/online node counts indexed by the
 //!   memory-capacity ladder, maintained incrementally on every
 //!   allocate/release/churn, so the memory-only candidate counts the
 //!   simulator asks for on each (re)admission are an O(log #rungs) lookup
@@ -259,7 +259,7 @@ impl Cluster {
 
     /// Free nodes whose capacity satisfies `demand`. Memory-only demands
     /// (the simulator's case) are answered from the incremental
-    /// [`MemIndex`]; anything constraining disk or packages falls back to
+    /// `MemIndex`; anything constraining disk or packages falls back to
     /// the pool scan.
     #[inline]
     pub fn free_nodes_satisfying(&self, demand: &Demand) -> u32 {

@@ -1,0 +1,140 @@
+//! Minimal CSV rendering shared by the sweep exporters.
+//!
+//! Two failure classes motivated pulling this out of
+//! [`crate::experiment`]: headers and rows drifting apart (a column added
+//! to one but not the other silently misaligns every downstream plot), and
+//! float formatting — a decimal *comma* inside an unquoted cell shifts
+//! every column after it. [`CsvWriter`] pins the column count at
+//! construction and checks every row against it; [`float`] guarantees a
+//! `.` decimal separator and comma-free output for any `f64`.
+
+use std::fmt::Write as _;
+
+/// Render an `f64` for a CSV cell: locale-independent (always a `.`
+/// decimal separator — Rust's `Display` never consults the C locale, and
+/// this helper is the single place that invariant is relied on), shortest
+/// round-trippable form, and guaranteed free of `,`, quotes, and
+/// newlines.
+pub fn float(v: f64) -> String {
+    let s = format!("{v}");
+    debug_assert!(
+        !s.contains([',', '"', '\n']),
+        "float cell must not need CSV escaping: {s:?}"
+    );
+    s
+}
+
+/// Incremental CSV builder with a fixed header.
+///
+/// The header is written at construction; every row is checked against
+/// the header's column count. Cells are written verbatim — callers pass
+/// pre-rendered strings (see [`float`]) and must not include separators.
+#[derive(Debug, Clone)]
+pub struct CsvWriter {
+    columns: usize,
+    out: String,
+}
+
+impl CsvWriter {
+    /// Start a document with the given column names as its header row.
+    ///
+    /// # Panics
+    /// If `header` is empty or any column name contains a CSV
+    /// metacharacter.
+    pub fn new(header: &[&str]) -> Self {
+        assert!(
+            !header.is_empty(),
+            "CSV header must name at least one column"
+        );
+        for col in header {
+            assert!(
+                !col.contains([',', '"', '\n', '\r']),
+                "column name {col:?} contains a CSV metacharacter"
+            );
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", header.join(","));
+        CsvWriter {
+            columns: header.len(),
+            out,
+        }
+    }
+
+    /// Append one row.
+    ///
+    /// # Panics
+    /// If the cell count differs from the header's column count, or a
+    /// cell contains a CSV metacharacter.
+    pub fn row<I>(&mut self, cells: I)
+    where
+        I: IntoIterator,
+        I::Item: AsRef<str>,
+    {
+        let mut n = 0usize;
+        for (i, cell) in cells.into_iter().enumerate() {
+            let cell = cell.as_ref();
+            assert!(
+                !cell.contains([',', '"', '\n', '\r']),
+                "cell {cell:?} contains a CSV metacharacter"
+            );
+            if i > 0 {
+                self.out.push(',');
+            }
+            self.out.push_str(cell);
+            n += 1;
+        }
+        assert_eq!(
+            n, self.columns,
+            "row has {n} cells but the header declares {} columns",
+            self.columns
+        );
+        self.out.push('\n');
+    }
+
+    /// Number of columns declared by the header.
+    pub fn columns(&self) -> usize {
+        self.columns
+    }
+
+    /// Finish and return the document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_then_rows() {
+        let mut w = CsvWriter::new(&["a", "b", "c"]);
+        w.row(["1", "2", "3"]);
+        w.row([float(0.5), float(f64::NAN), float(1e300)]);
+        let doc = w.finish();
+        let lines: Vec<&str> = doc.lines().collect();
+        assert_eq!(lines[0], "a,b,c");
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            assert_eq!(line.split(',').count(), 3, "misaligned row {line:?}");
+        }
+    }
+
+    #[test]
+    fn floats_use_point_decimal_separator() {
+        assert_eq!(float(0.5), "0.5");
+        assert_eq!(float(-3.25), "-3.25");
+        assert_eq!(float(2.0), "2");
+        for v in [0.1, 123456.789, f64::INFINITY, f64::NAN, 1e-12] {
+            let s = float(v);
+            assert!(!s.contains(','), "{s:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "columns")]
+    fn short_row_is_rejected() {
+        let mut w = CsvWriter::new(&["a", "b"]);
+        w.row(["only-one"]);
+    }
+}

@@ -37,13 +37,14 @@ use resmatch_cluster::{Allocation, Cluster, Demand, MatchPolicy};
 use resmatch_core::similarity::FnvBuildHasher;
 use resmatch_core::traits::{requested_demand, used_demand};
 use resmatch_core::{EstimateContext, EstimateScope, Feedback, ResourceEstimator};
-use resmatch_workload::{Job, JobId, Time, Workload};
+use resmatch_workload::{Job, Time, Workload};
 
 use crate::event::{Event, EventQueue};
-use crate::metrics::{JobRecord, SimResult};
+use crate::metrics::{JobRecord, RunCounters, SimResult};
+use crate::observer::{MultiObserver, SimObserver};
 use crate::scheduler::{shadow_time, SchedulingPolicy};
 use crate::spec::EstimatorSpec;
-use crate::tracelog::{TraceKind, TraceLog};
+use crate::tracelog::TraceLog;
 
 /// Which feedback the cluster infrastructure can deliver (§2.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -58,6 +59,18 @@ pub enum FeedbackMode {
 }
 
 /// Engine configuration.
+///
+/// Marked `#[non_exhaustive]`: construct it with [`SimConfig::default`]
+/// and the chained `with_*` setters so future fields are not semver
+/// breaks.
+///
+/// ```
+/// use resmatch_sim::prelude::*;
+/// let cfg = SimConfig::default()
+///     .with_scheduling(SchedulingPolicy::EasyBackfill)
+///     .with_seed(7);
+/// ```
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
     /// Queue discipline (paper: FCFS).
@@ -86,6 +99,45 @@ impl Default for SimConfig {
             false_positive_rate: 0.0,
             seed: 0xC0FFEE,
         }
+    }
+}
+
+impl SimConfig {
+    /// Set the queue discipline.
+    pub fn with_scheduling(mut self, scheduling: SchedulingPolicy) -> Self {
+        self.scheduling = scheduling;
+        self
+    }
+
+    /// Set the pool-ordering policy for allocation.
+    pub fn with_match_policy(mut self, match_policy: MatchPolicy) -> Self {
+        self.match_policy = match_policy;
+        self
+    }
+
+    /// Set the feedback the estimator receives.
+    pub fn with_feedback(mut self, feedback: FeedbackMode) -> Self {
+        self.feedback = feedback;
+        self
+    }
+
+    /// Set the failed-execution count after which the engine bypasses the
+    /// estimator.
+    pub fn with_max_estimation_attempts(mut self, attempts: u32) -> Self {
+        self.max_estimation_attempts = attempts;
+        self
+    }
+
+    /// Set the injected false-positive failure probability.
+    pub fn with_false_positive_rate(mut self, rate: f64) -> Self {
+        self.false_positive_rate = rate;
+        self
+    }
+
+    /// Set the RNG seed for failure-time draws and fault injection.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
     }
 }
 
@@ -164,8 +216,11 @@ struct RunState<'a> {
     /// Jobs rejected up front or abandoned after failing at their full
     /// request (the trace's request did not cover its usage).
     dropped_jobs: usize,
-    /// Decision log, when enabled.
-    log: Option<TraceLog>,
+    /// Attached observer, when any. `None` costs one branch per callback
+    /// site — the unobserved hot path stays unobserved.
+    obs: Option<Box<dyn SimObserver>>,
+    /// Deterministic event counters, tracked unconditionally.
+    counters: RunCounters,
     /// Time-weighted accumulators for queue statistics.
     last_event_time: Time,
     queue_len_time: f64,
@@ -193,15 +248,24 @@ pub struct ChurnEvent {
 }
 
 /// A configured simulation, ready to run a workload.
+///
+/// Prefer [`Simulation::builder`] for new code; the positional
+/// constructors remain for the common no-observer case.
 pub struct Simulation {
     cfg: SimConfig,
     cluster: Cluster,
     estimator: Box<dyn ResourceEstimator>,
     churn: Vec<ChurnEvent>,
-    trace_log: bool,
+    observer: Option<Box<dyn SimObserver>>,
 }
 
 impl Simulation {
+    /// Start a builder: typed setters for configuration, cluster,
+    /// estimator, churn schedule, and observers.
+    pub fn builder() -> crate::build::SimulationBuilder {
+        crate::build::SimulationBuilder::new()
+    }
+
     /// Build from an estimator spec (instantiated against this cluster's
     /// capacity ladder).
     pub fn new(cfg: SimConfig, cluster: Cluster, spec: EstimatorSpec) -> Self {
@@ -211,7 +275,7 @@ impl Simulation {
             cluster,
             estimator,
             churn: Vec::new(),
-            trace_log: false,
+            observer: None,
         }
     }
 
@@ -226,15 +290,31 @@ impl Simulation {
             cluster,
             estimator,
             churn: Vec::new(),
-            trace_log: false,
+            observer: None,
         }
     }
 
-    /// Record every scheduling decision into [`SimResult::trace_log`]
-    /// (off by default: large traces produce large logs).
-    pub fn with_trace_log(mut self) -> Self {
-        self.trace_log = true;
+    /// Attach an observer to the run. Attaching more than once stacks the
+    /// observers into a [`MultiObserver`], called in attachment order.
+    pub fn with_observer(mut self, observer: Box<dyn SimObserver>) -> Self {
+        self.observer = Some(match self.observer.take() {
+            None => observer,
+            Some(existing) => Box::new(MultiObserver::pair(existing, observer)),
+        });
         self
+    }
+
+    /// Record every scheduling decision into [`SimResult::trace_log`].
+    ///
+    /// Shim over attaching a
+    /// [`TraceLogObserver`](crate::observer::TraceLogObserver); fixed-seed
+    /// results are byte-identical to the historical bool-gated flag.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Simulation::builder().trace_log() or with_observer(Box::new(TraceLogObserver::new()))"
+    )]
+    pub fn with_trace_log(self) -> Self {
+        self.with_observer(Box::new(crate::observer::TraceLogObserver::new()))
     }
 
     /// Attach a dynamic-membership schedule. A job that can never run on
@@ -288,13 +368,18 @@ impl Simulation {
             wasted: 0.0,
             last_completion: Time::ZERO,
             dropped_jobs: dropped_up_front,
-            log: self.trace_log.then(TraceLog::default),
+            obs: self.observer.take(),
+            counters: RunCounters::default(),
             last_event_time: first_submit,
             queue_len_time: 0.0,
             busy_nodes_time: 0.0,
             weighted_span_s: 0.0,
             pool_busy_time: vec![0.0; self.cluster.num_pools()],
         };
+
+        if let Some(obs) = state.obs.as_deref_mut() {
+            obs.on_run_start(jobs.len());
+        }
 
         // True when the queue head was left *blocked by a full scheduling
         // pass* and nothing that could unblock it has happened since. Only
@@ -322,6 +407,11 @@ impl Simulation {
             }
             match event {
                 Event::Arrival { job } => {
+                    state.counters.arrivals += 1;
+                    state.counters.admissions += 1;
+                    if let Some(obs) = state.obs.as_deref_mut() {
+                        obs.on_arrival(now, jobs[job].id);
+                    }
                     let queue_len = state.queue.len();
                     let queued = self.admit(
                         &jobs[job],
@@ -331,15 +421,16 @@ impl Simulation {
                         state.structural_epoch,
                         state.feedback_epoch,
                     );
-                    if let Some(log) = &mut state.log {
-                        log.push(
-                            now,
-                            jobs[job].id,
-                            TraceKind::Admitted {
-                                demand_kb: queued.demand.mem_kb,
-                                attempt: 0,
-                            },
-                        );
+                    if self.cfg.max_estimation_attempts == 0 {
+                        // Degenerate configuration: estimation disabled
+                        // outright, so even first submissions bypass.
+                        state.counters.estimator_bypassed += 1;
+                        if let Some(obs) = state.obs.as_deref_mut() {
+                            obs.on_estimator_bypassed(now, jobs[job].id, 0);
+                        }
+                    }
+                    if let Some(obs) = state.obs.as_deref_mut() {
+                        obs.on_admitted(now, jobs[job].id, queued.demand.mem_kb, 0);
                     }
                     state.queue.push_back(queued);
                     if queue_len == 0 {
@@ -385,8 +476,9 @@ impl Simulation {
                     } else {
                         self.cluster.bring_online(ev.mem_kb, ev.delta as u32) as i64
                     };
-                    if let Some(log) = &mut state.log {
-                        log.push(now, JobId(0), TraceKind::Churn { delta: applied });
+                    state.counters.churn_events += 1;
+                    if let Some(obs) = state.obs.as_deref_mut() {
+                        obs.on_churn(now, applied);
                     }
                     // Capacity changed: queued estimates may now round to
                     // different rungs, so force re-admission.
@@ -414,7 +506,7 @@ impl Simulation {
             total_nodes
         );
 
-        SimResult {
+        let mut result = SimResult {
             estimator: self.estimator.name().to_string(),
             completed_jobs: state.records.len(),
             dropped_jobs: state.dropped_jobs,
@@ -427,7 +519,8 @@ impl Simulation {
             goodput_node_seconds: state.goodput,
             wasted_node_seconds: state.wasted,
             records: state.records,
-            trace_log: state.log.unwrap_or_default(),
+            trace_log: TraceLog::default(),
+            counters: state.counters,
             mean_queue_length: if state.weighted_span_s > 0.0 {
                 state.queue_len_time / state.weighted_span_s
             } else {
@@ -455,7 +548,13 @@ impl Simulation {
                     },
                 )
                 .collect(),
+        };
+        // Observers get the last word: TraceLogObserver deposits its log
+        // into `result.trace_log` here.
+        if let Some(obs) = state.obs.as_deref_mut() {
+            obs.on_run_end(&mut result);
         }
+        result
     }
 
     /// Handle an execution's end: release nodes, deliver feedback, record or
@@ -503,19 +602,17 @@ impl Simulation {
         if let EstimateScope::Group(g) = self.estimator.estimate_scope(job) {
             state.group_epochs.insert(g, state.feedback_epoch);
         }
-        if let Some(log) = &mut state.log {
-            log.push(
-                now,
-                job.id,
-                if success {
-                    TraceKind::Completed
-                } else {
-                    TraceKind::Failed
-                },
-            );
+        if let Some(obs) = state.obs.as_deref_mut() {
+            obs.on_feedback(now, job.id, success);
+            if success {
+                obs.on_completed(now, job.id);
+            } else {
+                obs.on_failed(now, job.id, run.resource_failure);
+            }
         }
 
         if success {
+            state.counters.completed += 1;
             state.goodput += job.nodes as f64 * job.runtime.as_secs_f64();
             state.last_completion = state.last_completion.max(now);
             state.records.push(JobRecord {
@@ -531,6 +628,7 @@ impl Simulation {
                 wasted_node_seconds: state.progress[run.job].wasted_node_seconds,
             });
         } else {
+            state.counters.failed += 1;
             state.failed_executions += 1;
             let burn = job.nodes as f64 * now.saturating_sub(run.start).as_secs_f64();
             state.wasted += burn;
@@ -545,6 +643,8 @@ impl Simulation {
                 // "Once it fails, the job returns to the head of the
                 // queue" — with a fresh (post-feedback) estimate.
                 let attempts = state.progress[run.job].failed_executions;
+                state.counters.admissions += 1;
+                state.counters.requeued += 1;
                 let queue_len = state.queue.len();
                 let queued = self.admit(
                     job,
@@ -554,15 +654,14 @@ impl Simulation {
                     state.structural_epoch,
                     state.feedback_epoch,
                 );
-                if let Some(log) = &mut state.log {
-                    log.push(
-                        now,
-                        job.id,
-                        TraceKind::Admitted {
-                            demand_kb: queued.demand.mem_kb,
-                            attempt: attempts,
-                        },
-                    );
+                if attempts >= self.cfg.max_estimation_attempts {
+                    state.counters.estimator_bypassed += 1;
+                    if let Some(obs) = state.obs.as_deref_mut() {
+                        obs.on_estimator_bypassed(now, job.id, attempts);
+                    }
+                }
+                if let Some(obs) = state.obs.as_deref_mut() {
+                    obs.on_admitted(now, job.id, queued.demand.mem_kb, attempts);
                 }
                 state.queue.push_front(queued);
             }
@@ -669,6 +768,7 @@ impl Simulation {
             return false;
         };
         state.total_executions += 1;
+        state.counters.started += 1;
 
         // Does the allocation actually hold the job? Whole nodes are
         // granted, so the job may consume up to the weakest node's capacity
@@ -691,15 +791,8 @@ impl Simulation {
         state
             .events
             .push(end, Event::ExecutionEnd { run_id, success });
-        if let Some(log) = &mut state.log {
-            log.push(
-                now,
-                job.id,
-                TraceKind::Started {
-                    granted_kb: min_mem,
-                    nodes: job.nodes,
-                },
-            );
+        if let Some(obs) = state.obs.as_deref_mut() {
+            obs.on_started(now, job.id, min_mem, job.nodes);
         }
         let queued = state.queue.remove(idx).expect("index in range");
         let running = Running {
@@ -1380,7 +1473,7 @@ mod tests {
             cluster,
             EstimatorSpec::paper_successive(),
         )
-        .with_trace_log()
+        .with_observer(Box::new(crate::observer::TraceLogObserver::new()))
         .run(&wl(jobs));
         assert!(!r.trace_log.is_empty());
         // Jobs run serially, so the granted trajectory across successive

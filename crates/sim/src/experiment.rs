@@ -19,8 +19,10 @@ use resmatch_cluster::Cluster;
 use resmatch_workload::load::scale_to_load;
 use resmatch_workload::Workload;
 
+use crate::csv::{float, CsvWriter};
 use crate::engine::{SimConfig, Simulation};
 use crate::metrics::SimResult;
+use crate::observer::SweepObserver;
 use crate::spec::EstimatorSpec;
 
 /// Run `count` independent tasks on a bounded worker pool and return their
@@ -78,7 +80,19 @@ where
 }
 
 /// Configuration for a load sweep.
+///
+/// Construct via `Default` plus the chained `with_*` setters; the struct
+/// is `#[non_exhaustive]` so future knobs are not semver breaks:
+///
+/// ```
+/// use resmatch_sim::prelude::*;
+/// let cfg = SweepConfig::default()
+///     .with_sim(SimConfig::default().with_seed(7))
+///     .with_loads(vec![0.5, 1.0]);
+/// assert_eq!(cfg.loads.len(), 2);
+/// ```
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct SweepConfig {
     /// Engine configuration shared by all points.
     pub sim: SimConfig,
@@ -92,6 +106,20 @@ impl Default for SweepConfig {
             sim: SimConfig::default(),
             loads: vec![0.3, 0.45, 0.6, 0.75, 0.9, 1.05, 1.2],
         }
+    }
+}
+
+impl SweepConfig {
+    /// Set the engine configuration shared by all points.
+    pub fn with_sim(mut self, sim: SimConfig) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// Set the offered loads to evaluate.
+    pub fn with_loads(mut self, loads: Vec<f64>) -> Self {
+        self.loads = loads;
+        self
     }
 }
 
@@ -112,10 +140,34 @@ pub fn run_load_sweep(
     estimator: EstimatorSpec,
     cfg: &SweepConfig,
 ) -> Vec<LoadPoint> {
-    run_pooled(cfg.loads.len(), |i| {
+    run_load_sweep_observed(workload, cluster, estimator, cfg, None)
+}
+
+/// [`run_load_sweep`] with an observer: each point's simulation gets the
+/// engine-level observer [`SweepObserver::point_observer`] builds for it
+/// (attached from the worker thread that claims the point), and
+/// [`SweepObserver::on_point_complete`] fires as each point finishes —
+/// live progress and counters stream while later points are still
+/// running.
+pub fn run_load_sweep_observed(
+    workload: &Workload,
+    cluster: &Cluster,
+    estimator: EstimatorSpec,
+    cfg: &SweepConfig,
+    observer: Option<&dyn SweepObserver>,
+) -> Vec<LoadPoint> {
+    let total = cfg.loads.len();
+    run_pooled(total, |i| {
         let load = cfg.loads[i];
         let scaled = scale_to_load(workload, cluster.total_nodes(), load);
-        let result = Simulation::new(cfg.sim, cluster.clone(), estimator).run(&scaled);
+        let mut sim = Simulation::new(cfg.sim, cluster.clone(), estimator);
+        if let Some(obs) = observer.and_then(|o| o.point_observer(i)) {
+            sim = sim.with_observer(obs);
+        }
+        let result = sim.run(&scaled);
+        if let Some(o) = observer {
+            o.on_point_complete(i, total, &result);
+        }
         LoadPoint {
             offered_load: load,
             result,
@@ -159,16 +211,50 @@ pub fn run_cluster_sweep(
     sim: SimConfig,
     offered_load: f64,
 ) -> Vec<ClusterSweepPoint> {
-    run_pooled(second_pool_mbs.len(), |i| {
+    run_cluster_sweep_observed(
+        workload,
+        second_pool_mbs,
+        estimator,
+        sim,
+        offered_load,
+        None,
+    )
+}
+
+/// [`run_cluster_sweep`] with an observer. Both simulations of a point
+/// (pass-through baseline, then estimated) get their own engine-level
+/// observer from [`SweepObserver::point_observer`];
+/// [`SweepObserver::on_point_complete`] fires once per point with the
+/// *estimated* result.
+pub fn run_cluster_sweep_observed(
+    workload: &Workload,
+    second_pool_mbs: &[u64],
+    estimator: EstimatorSpec,
+    sim: SimConfig,
+    offered_load: f64,
+    observer: Option<&dyn SweepObserver>,
+) -> Vec<ClusterSweepPoint> {
+    let total = second_pool_mbs.len();
+    run_pooled(total, |i| {
         let mb = second_pool_mbs[i];
         let cluster = paper_cluster(mb);
         // One scaled workload per point, shared by the baseline/estimated
         // pair — rescaling a 100k-job trace twice would double the sweep's
         // allocation traffic for identical bytes.
         let scaled = scale_to_load(workload, cluster.total_nodes(), offered_load);
-        let baseline =
-            Simulation::new(sim, cluster.clone(), EstimatorSpec::PassThrough).run(&scaled);
-        let estimated = Simulation::new(sim, cluster, estimator).run(&scaled);
+        let mut base_sim = Simulation::new(sim, cluster.clone(), EstimatorSpec::PassThrough);
+        if let Some(obs) = observer.and_then(|o| o.point_observer(i)) {
+            base_sim = base_sim.with_observer(obs);
+        }
+        let baseline = base_sim.run(&scaled);
+        let mut est_sim = Simulation::new(sim, cluster, estimator);
+        if let Some(obs) = observer.and_then(|o| o.point_observer(i)) {
+            est_sim = est_sim.with_observer(obs);
+        }
+        let estimated = est_sim.run(&scaled);
+        if let Some(o) = observer {
+            o.on_point_complete(i, total, &estimated);
+        }
         ClusterSweepPoint {
             second_pool_mb: mb,
             baseline,
@@ -178,52 +264,64 @@ pub fn run_cluster_sweep(
 }
 
 /// Render a load sweep as CSV (one row per point) for external plotting.
+///
+/// Columns and rows go through [`crate::csv::CsvWriter`], so every row is
+/// checked against the header's column count and floats are rendered
+/// locale-safely (always a `.` decimal separator).
 pub fn load_sweep_csv(points: &[LoadPoint]) -> String {
-    use std::fmt::Write as _;
-    let mut out = String::from(
-        "offered_load,utilization,busy_utilization,mean_slowdown,mean_bounded_slowdown,\
-         mean_wait_s,failed_execution_fraction,lowered_job_fraction,completed_jobs\n",
-    );
+    let mut w = CsvWriter::new(&[
+        "offered_load",
+        "utilization",
+        "busy_utilization",
+        "mean_slowdown",
+        "mean_bounded_slowdown",
+        "mean_wait_s",
+        "failed_execution_fraction",
+        "lowered_job_fraction",
+        "completed_jobs",
+    ]);
     for p in points {
         let r = &p.result;
-        let _ = writeln!(
-            out,
-            "{},{},{},{},{},{},{},{},{}",
-            p.offered_load,
-            r.utilization(),
-            r.busy_utilization(),
-            r.mean_slowdown(),
-            r.mean_bounded_slowdown(),
-            r.mean_wait_s(),
-            r.failed_execution_fraction(),
-            r.lowered_job_fraction(),
-            r.completed_jobs,
-        );
+        w.row([
+            float(p.offered_load),
+            float(r.utilization()),
+            float(r.busy_utilization()),
+            float(r.mean_slowdown()),
+            float(r.mean_bounded_slowdown()),
+            float(r.mean_wait_s()),
+            float(r.failed_execution_fraction()),
+            float(r.lowered_job_fraction()),
+            r.completed_jobs.to_string(),
+        ]);
     }
-    out
+    w.finish()
 }
 
-/// Render a cluster sweep as CSV (one row per second-pool size).
+/// Render a cluster sweep as CSV (one row per second-pool size), with the
+/// same header/row-alignment and float-formatting guarantees as
+/// [`load_sweep_csv`].
 pub fn cluster_sweep_csv(points: &[ClusterSweepPoint]) -> String {
-    use std::fmt::Write as _;
-    let mut out = String::from(
-        "second_pool_mb,baseline_utilization,estimated_utilization,utilization_ratio,\
-         benefiting_node_count,failed_execution_fraction,lowered_job_fraction\n",
-    );
+    let mut w = CsvWriter::new(&[
+        "second_pool_mb",
+        "baseline_utilization",
+        "estimated_utilization",
+        "utilization_ratio",
+        "benefiting_node_count",
+        "failed_execution_fraction",
+        "lowered_job_fraction",
+    ]);
     for p in points {
-        let _ = writeln!(
-            out,
-            "{},{},{},{},{},{},{}",
-            p.second_pool_mb,
-            p.baseline.utilization(),
-            p.estimated.utilization(),
-            p.utilization_ratio(),
-            p.estimated.benefiting_node_count(),
-            p.estimated.failed_execution_fraction(),
-            p.estimated.lowered_job_fraction(),
-        );
+        w.row([
+            p.second_pool_mb.to_string(),
+            float(p.baseline.utilization()),
+            float(p.estimated.utilization()),
+            float(p.utilization_ratio()),
+            p.estimated.benefiting_node_count().to_string(),
+            float(p.estimated.failed_execution_fraction()),
+            float(p.estimated.lowered_job_fraction()),
+        ]);
     }
-    out
+    w.finish()
 }
 
 #[cfg(test)]
@@ -334,6 +432,15 @@ mod tests {
         assert_eq!(lines.len(), 3);
         assert!(lines[1].starts_with("24,"));
         assert!(lines[2].starts_with("32,"));
+        let cols = lines[0].split(',').count();
+        for line in &lines[1..] {
+            assert_eq!(
+                line.split(',').count(),
+                cols,
+                "row/header column mismatch in {line:?}"
+            );
+            assert!(!line.contains("NaN"), "unexpected NaN cell in {line:?}");
+        }
     }
 
     #[test]

@@ -32,24 +32,32 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod build;
+pub mod csv;
 pub mod engine;
 pub mod event;
 pub mod experiment;
 pub mod metrics;
+pub mod observer;
 pub mod scheduler;
 pub mod spec;
 pub mod tracelog;
 
 /// Common imports for simulator users.
 pub mod prelude {
+    pub use crate::build::{BuildError, SimulationBuilder};
     pub use crate::engine::{ChurnEvent, FeedbackMode, SimConfig, Simulation};
     pub use crate::experiment::{
-        cluster_sweep_csv, load_sweep_csv, run_cluster_sweep, run_load_sweep, ClusterSweepPoint,
-        LoadPoint, SweepConfig,
+        cluster_sweep_csv, load_sweep_csv, run_cluster_sweep, run_cluster_sweep_observed,
+        run_load_sweep, run_load_sweep_observed, ClusterSweepPoint, LoadPoint, SweepConfig,
     };
-    pub use crate::metrics::{saturation_utilization, JobRecord, SimResult};
+    pub use crate::metrics::{saturation_utilization, JobRecord, RunCounters, SimResult};
+    pub use crate::observer::{
+        CountersObserver, CountersSnapshot, MultiObserver, ProgressObserver, SimObserver,
+        SweepObserver, TraceLogObserver,
+    };
     pub use crate::scheduler::SchedulingPolicy;
-    pub use crate::spec::EstimatorSpec;
+    pub use crate::spec::{EstimatorSpec, ParseEstimatorError};
     pub use crate::tracelog::{TraceEntry, TraceKind, TraceLog};
 }
 

@@ -69,7 +69,38 @@ impl JobRecord {
     }
 }
 
+/// Deterministic event counters for one run, tracked by the engine
+/// whether or not an observer is attached.
+///
+/// Every field is a pure function of the (seeded) simulation, so counters
+/// compare equal across repeated runs and across observed/unobserved runs
+/// of the same scenario. Wall-clock measurements live in
+/// [`CountersObserver`](crate::observer::CountersObserver) instead, keeping
+/// this struct byte-stable.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RunCounters {
+    /// Jobs whose arrival event fired (excludes up-front drops).
+    pub arrivals: u64,
+    /// Queue admissions: first submissions plus requeues after failures.
+    pub admissions: u64,
+    /// Executions started (scheduled onto nodes).
+    pub started: u64,
+    /// Executions that completed successfully.
+    pub completed: u64,
+    /// Executions that died (under-provisioning or injected fault).
+    pub failed: u64,
+    /// Failed executions that returned to the head of the queue.
+    pub requeued: u64,
+    /// Admissions that bypassed the estimator and submitted the raw user
+    /// request (the engine's backoff after `max_estimation_attempts`).
+    pub estimator_bypassed: u64,
+    /// Cluster membership changes applied.
+    pub churn_events: u64,
+}
+
 /// Aggregate outcome of one simulation run.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimResult {
     /// Estimator that produced this result.
@@ -99,9 +130,12 @@ pub struct SimResult {
     pub goodput_node_seconds: f64,
     /// Node-seconds burned by failed executions.
     pub wasted_node_seconds: f64,
-    /// Per-decision log; empty unless the simulation was built with
-    /// `with_trace_log`.
+    /// Per-decision log; empty unless a
+    /// [`TraceLogObserver`](crate::observer::TraceLogObserver) was attached
+    /// (or the deprecated `with_trace_log` shim was used).
     pub trace_log: crate::tracelog::TraceLog,
+    /// Deterministic event counters (always tracked; see [`RunCounters`]).
+    pub counters: RunCounters,
     /// Time-weighted mean queue length over the run — the quantity the
     /// paper's Figure 6 explanation turns on ("the 60% load is a point at
     /// which the job queue is still not extremely long").
@@ -289,6 +323,7 @@ mod tests {
             wasted_node_seconds: 0.0,
             records,
             trace_log: crate::tracelog::TraceLog::default(),
+            counters: RunCounters::default(),
             mean_queue_length: 0.0,
             mean_busy_nodes: 0.0,
             pool_stats: Vec::new(),

@@ -5,6 +5,9 @@
 //! their rows. [`EstimatorSpec::build`] instantiates the estimator against a
 //! concrete cluster's capacity ladder.
 
+use std::fmt;
+use std::str::FromStr;
+
 use resmatch_cluster::CapacityLadder;
 use resmatch_core::adaptive::{AdaptiveConfig, AdaptiveSimilarity};
 use resmatch_core::last_instance::{LastInstance, LastInstanceConfig};
@@ -102,6 +105,187 @@ impl EstimatorSpec {
                 | EstimatorSpec::Quantile(_)
         )
     }
+
+    /// Canonical short names, in [`FromStr`] grammar order. `"none"` also
+    /// parses as an alias for `"pass-through"`.
+    pub const NAMES: &'static [&'static str] = &[
+        "pass-through",
+        "oracle",
+        "successive",
+        "last-instance",
+        "regression",
+        "reinforcement",
+        "robust",
+        "multi-resource",
+        "quantile",
+        "adaptive",
+        "warm-start",
+    ];
+
+    /// The canonical short name this spec renders as (and parses from).
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            EstimatorSpec::PassThrough => "pass-through",
+            EstimatorSpec::Oracle => "oracle",
+            EstimatorSpec::Successive(_) => "successive",
+            EstimatorSpec::LastInstance(_) => "last-instance",
+            EstimatorSpec::Regression(_) => "regression",
+            EstimatorSpec::Reinforcement(_) => "reinforcement",
+            EstimatorSpec::Robust(_) => "robust",
+            EstimatorSpec::MultiResource(_) => "multi-resource",
+            EstimatorSpec::Quantile(_) => "quantile",
+            EstimatorSpec::Adaptive(_) => "adaptive",
+            EstimatorSpec::WarmStart(_) => "warm-start",
+        }
+    }
+
+    /// The successive-approximation (α, β) this spec carries, for the
+    /// variants built on Algorithm 1.
+    fn successive_params(&self) -> Option<(f64, f64)> {
+        match self {
+            EstimatorSpec::Successive(c) => Some((c.alpha, c.beta)),
+            EstimatorSpec::MultiResource(c) => Some((c.memory.alpha, c.memory.beta)),
+            EstimatorSpec::Adaptive(c) => Some((c.successive.alpha, c.successive.beta)),
+            EstimatorSpec::WarmStart(c) => Some((c.successive.alpha, c.successive.beta)),
+            _ => None,
+        }
+    }
+
+    /// Override the successive-approximation α/β on the variants built on
+    /// Algorithm 1 (successive, multi-resource, adaptive, warm-start);
+    /// no-op for the rest.
+    pub fn with_alpha_beta(self, alpha: f64, beta: f64) -> Self {
+        match self {
+            EstimatorSpec::Successive(mut c) => {
+                c.alpha = alpha;
+                c.beta = beta;
+                EstimatorSpec::Successive(c)
+            }
+            EstimatorSpec::MultiResource(mut c) => {
+                c.memory.alpha = alpha;
+                c.memory.beta = beta;
+                EstimatorSpec::MultiResource(c)
+            }
+            EstimatorSpec::Adaptive(mut c) => {
+                c.successive.alpha = alpha;
+                c.successive.beta = beta;
+                EstimatorSpec::Adaptive(c)
+            }
+            EstimatorSpec::WarmStart(mut c) => {
+                c.successive.alpha = alpha;
+                c.successive.beta = beta;
+                EstimatorSpec::WarmStart(c)
+            }
+            other => other,
+        }
+    }
+}
+
+/// Renders the [`FromStr`] grammar: the canonical short name, plus an
+/// `:alpha,beta` suffix for the Algorithm-1 family when (α, β) differ
+/// from [`SuccessiveConfig::default`]. Round-trips through [`FromStr`]
+/// for any spec whose remaining configuration is default — the suffix is
+/// the only non-default state the grammar can carry.
+impl fmt::Display for EstimatorSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = self.short_name();
+        let default = SuccessiveConfig::default();
+        match self.successive_params() {
+            Some((alpha, beta)) if (alpha, beta) != (default.alpha, default.beta) => {
+                write!(f, "{name}:{alpha},{beta}")
+            }
+            _ => write!(f, "{name}"),
+        }
+    }
+}
+
+/// Error from parsing an [`EstimatorSpec`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ParseEstimatorError {
+    /// The name before any `:` matched no known estimator.
+    UnknownName(String),
+    /// The `:alpha[,beta]` suffix did not parse as finite floats.
+    BadParams(String),
+    /// A parameter suffix was given for an estimator outside the
+    /// Algorithm-1 family.
+    ParamsNotSupported(&'static str),
+}
+
+impl fmt::Display for ParseEstimatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseEstimatorError::UnknownName(name) => write!(
+                f,
+                "unknown estimator {name:?}; expected one of {}",
+                EstimatorSpec::NAMES.join(", ")
+            ),
+            ParseEstimatorError::BadParams(raw) => write!(
+                f,
+                "bad estimator parameters {raw:?}; expected \"alpha\" or \"alpha,beta\" \
+                 as finite numbers"
+            ),
+            ParseEstimatorError::ParamsNotSupported(name) => {
+                write!(f, "estimator {name} takes no alpha/beta parameters")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseEstimatorError {}
+
+/// Grammar: `name[:alpha[,beta]]`, e.g. `successive`, `successive:4`,
+/// `adaptive:2.5,0.1`. Names are the canonical short names in
+/// [`EstimatorSpec::NAMES`] (plus `none` for `pass-through`); the
+/// parameter suffix is only accepted by the Algorithm-1 family. All other
+/// configuration stays at its default — the grammar is the CLI surface,
+/// not a full serialization.
+impl FromStr for EstimatorSpec {
+    type Err = ParseEstimatorError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let (name, params) = match s.split_once(':') {
+            Some((n, p)) => (n.trim(), Some(p.trim())),
+            None => (s, None),
+        };
+        let default = SuccessiveConfig::default();
+        let (alpha, beta) = match params {
+            None => (default.alpha, default.beta),
+            Some(raw) => {
+                let bad = || ParseEstimatorError::BadParams(raw.to_string());
+                let (a, b) = match raw.split_once(',') {
+                    Some((a, b)) => (
+                        a.trim().parse::<f64>().map_err(|_| bad())?,
+                        b.trim().parse::<f64>().map_err(|_| bad())?,
+                    ),
+                    None => (raw.parse::<f64>().map_err(|_| bad())?, default.beta),
+                };
+                if !a.is_finite() || !b.is_finite() {
+                    return Err(bad());
+                }
+                (a, b)
+            }
+        };
+        let spec = match name {
+            "pass-through" | "none" => EstimatorSpec::PassThrough,
+            "oracle" => EstimatorSpec::Oracle,
+            "successive" => EstimatorSpec::Successive(SuccessiveConfig::default()),
+            "last-instance" => EstimatorSpec::LastInstance(LastInstanceConfig::default()),
+            "regression" => EstimatorSpec::Regression(RegressionConfig::default()),
+            "reinforcement" => EstimatorSpec::Reinforcement(ReinforcementConfig::default()),
+            "robust" => EstimatorSpec::Robust(RobustConfig::default()),
+            "multi-resource" => EstimatorSpec::MultiResource(MultiResourceConfig::default()),
+            "quantile" => EstimatorSpec::Quantile(QuantileConfig::default()),
+            "adaptive" => EstimatorSpec::Adaptive(AdaptiveConfig::default()),
+            "warm-start" => EstimatorSpec::WarmStart(WarmStartConfig::default()),
+            other => return Err(ParseEstimatorError::UnknownName(other.to_string())),
+        };
+        if params.is_some() && spec.successive_params().is_none() {
+            return Err(ParseEstimatorError::ParamsNotSupported(spec.short_name()));
+        }
+        Ok(spec.with_alpha_beta(alpha, beta))
+    }
 }
 
 #[cfg(test)]
@@ -131,6 +315,61 @@ mod tests {
             let built = spec.build(&ladder());
             assert_eq!(built.name(), spec.name());
         }
+    }
+
+    #[test]
+    fn display_and_fromstr_round_trip_all_names() {
+        for name in EstimatorSpec::NAMES {
+            let spec: EstimatorSpec = name.parse().unwrap();
+            assert_eq!(spec.short_name(), *name);
+            assert_eq!(spec.to_string(), *name, "default specs omit the suffix");
+            assert_eq!(spec.to_string().parse::<EstimatorSpec>().unwrap(), spec);
+        }
+        assert_eq!(
+            "none".parse::<EstimatorSpec>().unwrap(),
+            EstimatorSpec::PassThrough
+        );
+    }
+
+    #[test]
+    fn alpha_beta_suffix_round_trips() {
+        let spec: EstimatorSpec = "successive:4,0.5".parse().unwrap();
+        assert_eq!(
+            spec,
+            EstimatorSpec::paper_successive().with_alpha_beta(4.0, 0.5)
+        );
+        assert_eq!(spec.to_string(), "successive:4,0.5");
+        assert_eq!(spec.to_string().parse::<EstimatorSpec>().unwrap(), spec);
+
+        // Single parameter: beta stays default.
+        let spec: EstimatorSpec = "adaptive:3".parse().unwrap();
+        assert_eq!(spec.to_string(), "adaptive:3,0");
+
+        // Whitespace tolerated.
+        let spec: EstimatorSpec = " warm-start : 2.5 , 0.1 ".parse().unwrap();
+        assert_eq!(spec.to_string(), "warm-start:2.5,0.1");
+    }
+
+    #[test]
+    fn fromstr_rejects_bad_input() {
+        assert!(matches!(
+            "bogus".parse::<EstimatorSpec>(),
+            Err(ParseEstimatorError::UnknownName(_))
+        ));
+        assert!(matches!(
+            "successive:abc".parse::<EstimatorSpec>(),
+            Err(ParseEstimatorError::BadParams(_))
+        ));
+        assert!(matches!(
+            "successive:inf,0".parse::<EstimatorSpec>(),
+            Err(ParseEstimatorError::BadParams(_))
+        ));
+        assert!(matches!(
+            "oracle:2,0".parse::<EstimatorSpec>(),
+            Err(ParseEstimatorError::ParamsNotSupported("oracle"))
+        ));
+        let msg = "bogus".parse::<EstimatorSpec>().unwrap_err().to_string();
+        assert!(msg.contains("pass-through"), "{msg}");
     }
 
     #[test]

@@ -158,10 +158,7 @@ fn golden_fcfs_successive_implicit() {
 #[test]
 fn golden_easy_successive_implicit() {
     let w = base_workload();
-    let cfg = SimConfig {
-        scheduling: SchedulingPolicy::EasyBackfill,
-        ..SimConfig::default()
-    };
+    let cfg = SimConfig::default().with_scheduling(SchedulingPolicy::EasyBackfill);
     let r = run(cfg, EstimatorSpec::paper_successive(), &w);
     check("easy_successive_implicit", &r);
 }
@@ -169,10 +166,7 @@ fn golden_easy_successive_implicit() {
 #[test]
 fn golden_sjf_successive_implicit() {
     let w = base_workload();
-    let cfg = SimConfig {
-        scheduling: SchedulingPolicy::Sjf,
-        ..SimConfig::default()
-    };
+    let cfg = SimConfig::default().with_scheduling(SchedulingPolicy::Sjf);
     let r = run(cfg, EstimatorSpec::paper_successive(), &w);
     check("sjf_successive_implicit", &r);
 }
@@ -194,10 +188,7 @@ fn golden_fcfs_oracle() {
 #[test]
 fn golden_fcfs_successive_explicit() {
     let w = base_workload();
-    let cfg = SimConfig {
-        feedback: FeedbackMode::Explicit,
-        ..SimConfig::default()
-    };
+    let cfg = SimConfig::default().with_feedback(FeedbackMode::Explicit);
     let r = run(cfg, EstimatorSpec::paper_successive(), &w);
     check("fcfs_successive_explicit", &r);
 }
@@ -206,11 +197,9 @@ fn golden_fcfs_successive_explicit() {
 fn golden_easy_lastinstance_explicit() {
     use resmatch_core::last_instance::LastInstanceConfig;
     let w = base_workload();
-    let cfg = SimConfig {
-        scheduling: SchedulingPolicy::EasyBackfill,
-        feedback: FeedbackMode::Explicit,
-        ..SimConfig::default()
-    };
+    let cfg = SimConfig::default()
+        .with_scheduling(SchedulingPolicy::EasyBackfill)
+        .with_feedback(FeedbackMode::Explicit);
     let r = run(
         cfg,
         EstimatorSpec::LastInstance(LastInstanceConfig::default()),
@@ -223,11 +212,9 @@ fn golden_easy_lastinstance_explicit() {
 fn golden_sjf_quantile_explicit() {
     use resmatch_core::quantile::QuantileConfig;
     let w = base_workload();
-    let cfg = SimConfig {
-        scheduling: SchedulingPolicy::Sjf,
-        feedback: FeedbackMode::Explicit,
-        ..SimConfig::default()
-    };
+    let cfg = SimConfig::default()
+        .with_scheduling(SchedulingPolicy::Sjf)
+        .with_feedback(FeedbackMode::Explicit);
     let r = run(cfg, EstimatorSpec::Quantile(QuantileConfig::default()), &w);
     check("sjf_quantile_explicit", &r);
 }
@@ -250,10 +237,7 @@ fn golden_fcfs_reinforcement_fault_injection() {
     // Exercises the Global scope path (context-dependent estimates, RNG in
     // the estimator) plus the engine's own fault-injection RNG draws.
     let w = base_workload();
-    let cfg = SimConfig {
-        false_positive_rate: 0.05,
-        ..SimConfig::default()
-    };
+    let cfg = SimConfig::default().with_false_positive_rate(0.05);
     let r = run(
         cfg,
         EstimatorSpec::Reinforcement(ReinforcementConfig::default()),
@@ -295,7 +279,20 @@ fn golden_fcfs_successive_churn_with_trace() {
             delta: 128,
         },
     ];
-    let r = Simulation::new(
+    let r = Simulation::builder()
+        .cluster(paper_cluster(24))
+        .estimator(EstimatorSpec::paper_successive())
+        .churn(churn.clone())
+        .trace_log()
+        .build()
+        .expect("cluster and estimator are set")
+        .run(&w);
+    check("fcfs_successive_churn_with_trace", &r);
+
+    // The deprecated bool-flag shim must keep producing byte-identical
+    // results while it survives its deprecation window.
+    #[allow(deprecated)]
+    let shim = Simulation::new(
         SimConfig::default(),
         paper_cluster(24),
         EstimatorSpec::paper_successive(),
@@ -303,5 +300,63 @@ fn golden_fcfs_successive_churn_with_trace() {
     .with_churn(churn)
     .with_trace_log()
     .run(&w);
-    check("fcfs_successive_churn_with_trace", &r);
+    check("fcfs_successive_churn_with_trace", &shim);
+}
+
+#[test]
+fn golden_unchanged_under_zero_one_and_stacked_observers() {
+    // The observer layer must be invisible to the simulation itself: a
+    // fixed-seed run renders byte-identically against the same golden file
+    // whether zero, one, or several observers ride along. Only the trace
+    // log differs, and only because TraceLogObserver deposits one.
+    let w = base_workload();
+
+    // Zero observers (already covered by golden_fcfs_successive_implicit,
+    // repeated here so this test stands alone).
+    let r = run(SimConfig::default(), EstimatorSpec::paper_successive(), &w);
+    check("fcfs_successive_implicit", &r);
+
+    // One observer: counters only — no trace log, so the render is
+    // identical to the unobserved golden.
+    let counters = CountersObserver::new();
+    let observed = Simulation::builder()
+        .cluster(paper_cluster(24))
+        .estimator(EstimatorSpec::paper_successive())
+        .observer(Box::new(counters.clone()))
+        .build()
+        .unwrap()
+        .run(&w);
+    check("fcfs_successive_implicit", &observed);
+    assert_eq!(counters.snapshot().counters, observed.counters);
+
+    // Stacked: counters + progress (into a captured sink) + trace log.
+    let counters = CountersObserver::new();
+    let sink_lines = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+    let sink = {
+        let lines = sink_lines.clone();
+        move |line: &str| lines.lock().unwrap().push(line.to_string())
+    };
+    let stacked = Simulation::builder()
+        .cluster(paper_cluster(24))
+        .estimator(EstimatorSpec::paper_successive())
+        .observer(Box::new(counters.clone()))
+        .observer(Box::new(
+            ProgressObserver::new("golden", 500).with_sink(sink),
+        ))
+        .trace_log()
+        .build()
+        .unwrap()
+        .run(&w);
+    // The trace-log render of the same run is pinned by its own golden.
+    check("fcfs_successive_trace", &stacked);
+    assert_eq!(counters.snapshot().counters, stacked.counters);
+    assert!(
+        !sink_lines.lock().unwrap().is_empty(),
+        "progress observer must have emitted at least one line"
+    );
+
+    // And modulo the log, the stacked run equals the unobserved one.
+    let mut quiet = stacked.clone();
+    quiet.trace_log = TraceLog::default();
+    assert_eq!(quiet, r);
 }

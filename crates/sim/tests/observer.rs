@@ -1,0 +1,203 @@
+//! Integration tests for the observer layer: counters agree with the
+//! engine's own bookkeeping, observation never perturbs results, and
+//! sweep-level observers see every point from the worker threads.
+
+use std::sync::{Arc, Mutex};
+
+use resmatch_cluster::builder::paper_cluster;
+use resmatch_sim::prelude::*;
+use resmatch_workload::load::scale_to_load;
+use resmatch_workload::synthetic::{generate, Cm5Config};
+use resmatch_workload::Workload;
+
+fn workload(jobs: usize) -> Workload {
+    let mut w = generate(
+        &Cm5Config {
+            jobs,
+            ..Cm5Config::default()
+        },
+        42,
+    );
+    w.retain_max_nodes(512);
+    scale_to_load(&w, 1024, 0.9)
+}
+
+fn sim(spec: EstimatorSpec) -> Simulation {
+    Simulation::new(SimConfig::default(), paper_cluster(24), spec)
+}
+
+#[test]
+fn counters_observer_matches_engine_counters() {
+    let w = workload(500);
+    let counters = CountersObserver::new();
+    let r = sim(EstimatorSpec::paper_successive())
+        .with_observer(Box::new(counters.clone()))
+        .run(&w);
+    let snap = counters.snapshot();
+    assert_eq!(snap.counters, r.counters, "observer and engine disagree");
+    assert_eq!(snap.runs_started, 1);
+    assert_eq!(snap.runs_finished, 1);
+    assert!(snap.run_wall_s >= 0.0);
+
+    // Cross-check against the engine's first-class metrics.
+    assert_eq!(r.counters.completed as usize, r.completed_jobs);
+    assert_eq!(r.counters.failed, r.failed_executions);
+    assert_eq!(r.counters.started, r.total_executions);
+    assert_eq!(
+        r.counters.admissions,
+        r.counters.arrivals + r.counters.requeued,
+        "every admission is an arrival or a requeue"
+    );
+    assert!(r.counters.requeued > 0, "successive probing must requeue");
+}
+
+#[test]
+fn observed_run_equals_unobserved_run_modulo_log() {
+    let w = workload(400);
+    let quiet = sim(EstimatorSpec::paper_successive()).run(&w);
+    let mut observed = sim(EstimatorSpec::paper_successive())
+        .with_observer(Box::new(TraceLogObserver::new()))
+        .run(&w);
+    assert!(!observed.trace_log.is_empty());
+    observed.trace_log = TraceLog::default();
+    assert_eq!(quiet, observed);
+}
+
+#[test]
+fn counters_are_tracked_without_any_observer() {
+    let w = workload(300);
+    let r = sim(EstimatorSpec::PassThrough).run(&w);
+    assert_eq!(r.counters.completed as usize, r.completed_jobs);
+    assert!(r.counters.arrivals > 0);
+    assert_eq!(r.counters.requeued, 0, "pass-through never requeues");
+}
+
+#[test]
+fn load_sweep_streams_counters_and_points() {
+    let w = workload(300);
+    let cluster = paper_cluster(24);
+    let cfg = SweepConfig::default().with_loads(vec![0.5, 1.0]);
+    let spec = EstimatorSpec::paper_successive();
+
+    let plain = run_load_sweep(&w, &cluster, spec, &cfg);
+    let counters = CountersObserver::new();
+    let observed = run_load_sweep_observed(&w, &cluster, spec, &cfg, Some(&counters));
+    assert_eq!(plain, observed, "observation must not perturb the sweep");
+
+    let snap = counters.snapshot();
+    assert_eq!(snap.sweep_points, 2);
+    assert_eq!(snap.runs_started, 2);
+    assert_eq!(snap.runs_finished, 2);
+    let expected: RunCounters = observed.iter().fold(RunCounters::default(), |mut acc, p| {
+        let c = &p.result.counters;
+        acc.arrivals += c.arrivals;
+        acc.admissions += c.admissions;
+        acc.started += c.started;
+        acc.completed += c.completed;
+        acc.failed += c.failed;
+        acc.requeued += c.requeued;
+        acc.estimator_bypassed += c.estimator_bypassed;
+        acc.churn_events += c.churn_events;
+        acc
+    });
+    assert_eq!(snap.counters, expected, "aggregate across points");
+}
+
+#[test]
+fn cluster_sweep_observes_both_runs_per_point() {
+    let w = workload(250);
+    let spec = EstimatorSpec::paper_successive();
+    let plain = run_cluster_sweep(&w, &[24, 32], spec, SimConfig::default(), 1.0);
+    let counters = CountersObserver::new();
+    let observed = run_cluster_sweep_observed(
+        &w,
+        &[24, 32],
+        spec,
+        SimConfig::default(),
+        1.0,
+        Some(&counters),
+    );
+    assert_eq!(plain, observed);
+
+    let snap = counters.snapshot();
+    assert_eq!(snap.sweep_points, 2);
+    // Baseline and estimated both observed: two runs per point.
+    assert_eq!(snap.runs_finished, 4);
+    let expected_arrivals: u64 = observed
+        .iter()
+        .map(|p| p.baseline.counters.arrivals + p.estimated.counters.arrivals)
+        .sum();
+    assert_eq!(snap.counters.arrivals, expected_arrivals);
+}
+
+#[test]
+fn progress_observer_reports_through_custom_sink() {
+    let w = workload(200);
+    let lines = Arc::new(Mutex::new(Vec::new()));
+    let sink = {
+        let lines = lines.clone();
+        move |line: &str| lines.lock().unwrap().push(line.to_string())
+    };
+    let progress = ProgressObserver::new("test", 50).with_sink(sink);
+    let r = sim(EstimatorSpec::paper_successive())
+        .with_observer(Box::new(progress.clone()))
+        .run(&w);
+    assert!(r.completed_jobs > 0);
+    let lines = lines.lock().unwrap();
+    assert!(!lines.is_empty(), "expected periodic progress lines");
+    assert!(lines.iter().all(|l| l.contains("[test]")), "{lines:?}");
+}
+
+#[test]
+fn sweep_observer_reports_progress_per_point() {
+    let w = workload(200);
+    let cluster = paper_cluster(24);
+    let cfg = SweepConfig::default().with_loads(vec![0.5, 0.8, 1.1]);
+    let lines = Arc::new(Mutex::new(Vec::new()));
+    let sink = {
+        let lines = lines.clone();
+        move |line: &str| lines.lock().unwrap().push(line.to_string())
+    };
+    // Large tick interval: only the per-point completion lines fire.
+    let progress = ProgressObserver::new("sweep", u64::MAX).with_sink(sink);
+    run_load_sweep_observed(
+        &w,
+        &cluster,
+        EstimatorSpec::PassThrough,
+        &cfg,
+        Some(&progress),
+    );
+    let lines = lines.lock().unwrap();
+    let done: Vec<_> = lines.iter().filter(|l| l.contains("done")).collect();
+    assert_eq!(done.len(), 3, "one completion line per point: {lines:?}");
+    assert!(done.iter().any(|l| l.contains("(3/3)")), "{done:?}");
+}
+
+#[test]
+fn multi_observer_stacks_without_perturbing() {
+    let w = workload(250);
+    let counters = CountersObserver::new();
+    let quiet = sim(EstimatorSpec::paper_successive()).run(&w);
+    let mut stacked = sim(EstimatorSpec::paper_successive())
+        .with_observer(Box::new(TraceLogObserver::new()))
+        .with_observer(Box::new(counters.clone()))
+        .run(&w);
+    assert_eq!(counters.snapshot().counters, stacked.counters);
+    assert!(!stacked.trace_log.is_empty());
+    stacked.trace_log = TraceLog::default();
+    assert_eq!(quiet, stacked);
+}
+
+#[test]
+fn builder_round_trip_equals_positional_constructor() {
+    let w = workload(200);
+    let positional = sim(EstimatorSpec::paper_successive()).run(&w);
+    let built = Simulation::builder()
+        .config(SimConfig::default())
+        .cluster(paper_cluster(24))
+        .estimator(EstimatorSpec::paper_successive())
+        .build()
+        .expect("complete builder")
+        .run(&w);
+    assert_eq!(positional, built);
+}

@@ -107,11 +107,9 @@ proptest! {
         explicit in any::<bool>(),
     ) {
         let w = workload(&specs);
-        let cfg = SimConfig {
-            scheduling: policy,
-            feedback: if explicit { FeedbackMode::Explicit } else { FeedbackMode::Implicit },
-            ..SimConfig::default()
-        };
+        let cfg = SimConfig::default()
+            .with_scheduling(policy)
+            .with_feedback(if explicit { FeedbackMode::Explicit } else { FeedbackMode::Implicit });
         let r = Simulation::new(cfg, cluster(), spec).run(&w);
         prop_assert_eq!(r.completed_jobs + r.dropped_jobs, w.len());
         prop_assert_eq!(r.records.len(), r.completed_jobs);
@@ -159,7 +157,7 @@ proptest! {
     #[test]
     fn oracle_never_fails_on_any_workload(specs in arb_jobs(), policy in arb_policy()) {
         let w = workload(&specs);
-        let cfg = SimConfig { scheduling: policy, ..SimConfig::default() };
+        let cfg = SimConfig::default().with_scheduling(policy);
         let r = Simulation::new(cfg, cluster(), EstimatorSpec::Oracle).run(&w);
         prop_assert_eq!(r.failed_executions, 0);
         prop_assert_eq!(r.wasted_node_seconds, 0.0);

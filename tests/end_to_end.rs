@@ -69,14 +69,11 @@ fn oracle_dominates_all_learning_estimators() {
     let cluster = paper_cluster(24);
     let scaled = scale_to_load(&w, cluster.total_nodes(), 1.2);
     let util = |spec: EstimatorSpec, explicit: bool| {
-        let cfg = SimConfig {
-            feedback: if explicit {
-                FeedbackMode::Explicit
-            } else {
-                FeedbackMode::Implicit
-            },
-            ..SimConfig::default()
-        };
+        let cfg = SimConfig::default().with_feedback(if explicit {
+            FeedbackMode::Explicit
+        } else {
+            FeedbackMode::Implicit
+        });
         Simulation::new(cfg, cluster.clone(), spec)
             .run(&scaled)
             .utilization()
@@ -134,10 +131,7 @@ fn explicit_feedback_reduces_probing_failures() {
     let w = trace(3_000, 11);
     let cluster = paper_cluster(24);
     let scaled = scale_to_load(&w, cluster.total_nodes(), 1.0);
-    let cfg = SimConfig {
-        feedback: FeedbackMode::Explicit,
-        ..SimConfig::default()
-    };
+    let cfg = SimConfig::default().with_feedback(FeedbackMode::Explicit);
     let literal = Simulation::new(
         cfg,
         cluster.clone(),

@@ -33,10 +33,7 @@ fn offline_trained_regression_estimates_from_the_first_job() {
     trained.fit_offline(&train);
     assert!(trained.is_trained());
 
-    let cfg = SimConfig {
-        feedback: FeedbackMode::Explicit,
-        ..SimConfig::default()
-    };
+    let cfg = SimConfig::default().with_feedback(FeedbackMode::Explicit);
     let with_training =
         Simulation::with_estimator(cfg, cluster.clone(), Box::new(trained)).run(&scaled);
     let without = Simulation::new(
@@ -69,10 +66,7 @@ fn warm_start_prior_reduces_probing_steps() {
     warm.fit_offline(&train);
     assert!(warm.prior_trained());
 
-    let cfg = SimConfig {
-        feedback: FeedbackMode::Explicit,
-        ..SimConfig::default()
-    };
+    let cfg = SimConfig::default().with_feedback(FeedbackMode::Explicit);
     let warm_result = Simulation::with_estimator(cfg, cluster.clone(), Box::new(warm)).run(&scaled);
     let cold_result = Simulation::new(
         SimConfig::default(),

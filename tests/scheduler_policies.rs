@@ -26,10 +26,7 @@ fn every_policy_completes_every_job() {
         SchedulingPolicy::Sjf,
         SchedulingPolicy::EasyBackfill,
     ] {
-        let cfg = SimConfig {
-            scheduling: policy,
-            ..SimConfig::default()
-        };
+        let cfg = SimConfig::default().with_scheduling(policy);
         let r =
             Simulation::new(cfg, cluster.clone(), EstimatorSpec::paper_successive()).run(&scaled);
         assert_eq!(
@@ -52,10 +49,7 @@ fn backfilling_reduces_waits_over_fcfs() {
     )
     .run(&scaled);
     let easy = Simulation::new(
-        SimConfig {
-            scheduling: SchedulingPolicy::EasyBackfill,
-            ..SimConfig::default()
-        },
+        SimConfig::default().with_scheduling(SchedulingPolicy::EasyBackfill),
         cluster,
         EstimatorSpec::PassThrough,
     )
@@ -75,10 +69,7 @@ fn estimation_gain_persists_under_backfilling() {
     let w = trace(3_000);
     let cluster = paper_cluster(24);
     let scaled = scale_to_load(&w, cluster.total_nodes(), 1.3);
-    let cfg = SimConfig {
-        scheduling: SchedulingPolicy::EasyBackfill,
-        ..SimConfig::default()
-    };
+    let cfg = SimConfig::default().with_scheduling(SchedulingPolicy::EasyBackfill);
     let base = Simulation::new(cfg, cluster.clone(), EstimatorSpec::PassThrough).run(&scaled);
     let est = Simulation::new(cfg, cluster, EstimatorSpec::paper_successive()).run(&scaled);
     assert!(
@@ -94,10 +85,7 @@ fn estimation_never_increases_slowdown_across_loads() {
     // Figure 6's invariant, checked end to end on a small sweep.
     let w = trace(2_000);
     let cluster = paper_cluster(24);
-    let sweep = SweepConfig {
-        loads: vec![0.5, 0.9, 1.3],
-        ..SweepConfig::default()
-    };
+    let sweep = SweepConfig::default().with_loads(vec![0.5, 0.9, 1.3]);
     let base = run_load_sweep(&w, &cluster, EstimatorSpec::PassThrough, &sweep);
     let est = run_load_sweep(&w, &cluster, EstimatorSpec::paper_successive(), &sweep);
     for (b, e) in base.iter().zip(&est) {
