@@ -9,6 +9,8 @@
 //! Binaries accept `--jobs N` (trace size; default scales to a few minutes
 //! of wall time in release mode) and `--seed S`.
 
+#![forbid(unsafe_code)]
+
 use resmatch_workload::synthetic::{generate, Cm5Config};
 use resmatch_workload::Workload;
 

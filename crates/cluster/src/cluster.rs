@@ -201,7 +201,12 @@ impl Cluster {
         rungs.dedup();
         let pool_rung: Vec<u16> = pools
             .iter()
-            .map(|p| rungs.binary_search(&p.capacity.mem_kb).unwrap() as u16)
+            .map(|p| {
+                rungs
+                    .binary_search(&p.capacity.mem_kb)
+                    .expect("invariant: rungs was built from these same pool capacities")
+                    as u16
+            })
             .collect();
         let mut free_at_least = vec![0u32; rungs.len()];
         for (pi, p) in pools.iter().enumerate() {

@@ -52,12 +52,18 @@ impl CapacityLadder {
 
     /// Largest capacity in the cluster.
     pub fn max(&self) -> u64 {
-        *self.rungs.last().expect("non-empty by construction")
+        *self
+            .rungs
+            .last()
+            .expect("invariant: a ladder is non-empty by construction")
     }
 
     /// Smallest capacity in the cluster.
     pub fn min(&self) -> u64 {
-        self.rungs[0]
+        *self
+            .rungs
+            .first()
+            .expect("invariant: a ladder is non-empty by construction")
     }
 }
 

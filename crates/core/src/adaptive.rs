@@ -21,6 +21,8 @@ use std::collections::HashMap;
 use resmatch_cluster::{CapacityLadder, Demand};
 use resmatch_workload::Job;
 
+use crate::similarity::FnvBuildHasher;
+
 use crate::similarity::SimilarityPolicy;
 use crate::successive::{SuccessiveApproximation, SuccessiveConfig};
 use crate::traits::{EstimateContext, Feedback, ResourceEstimator};
@@ -61,7 +63,7 @@ pub struct AdaptiveSimilarity {
     cfg: AdaptiveConfig,
     levels: Vec<SuccessiveApproximation>,
     /// Current refinement level and failure count at that level, per user.
-    users: HashMap<u32, (usize, u64)>,
+    users: HashMap<u32, (usize, u64), FnvBuildHasher>,
 }
 
 impl AdaptiveSimilarity {
@@ -82,7 +84,7 @@ impl AdaptiveSimilarity {
         AdaptiveSimilarity {
             cfg,
             levels,
-            users: HashMap::new(),
+            users: HashMap::default(),
         }
     }
 
@@ -120,7 +122,10 @@ impl ResourceEstimator for AdaptiveSimilarity {
                 .map(|s| s.estimate_kb >= job.requested_mem_kb as f64 * 0.999)
                 .unwrap_or(false);
             if unproductive {
-                let entry = self.users.get_mut(&job.user).expect("inserted above");
+                let entry = self
+                    .users
+                    .get_mut(&job.user)
+                    .expect("invariant: the user's entry was inserted earlier in this call");
                 entry.1 += 1;
                 if entry.1 >= self.cfg.split_after_failures && entry.0 + 1 < LEVELS.len() {
                     entry.0 += 1;

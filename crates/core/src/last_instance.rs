@@ -96,7 +96,7 @@ impl ResourceEstimator for LastInstance {
                 .recent_used_kb
                 .iter()
                 .max()
-                .expect("non-empty checked above");
+                .expect("invariant: recent_used_kb was checked non-empty above");
             ((peak as f64 * self.cfg.margin).ceil() as u64).min(request)
         };
         Demand {

@@ -46,7 +46,7 @@
 //! assert!(second.mem_kb < demand.mem_kb); // now it probes lower
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod adaptive;

@@ -136,8 +136,14 @@ impl ResourceEstimator for MultiResourceEstimator {
         if is_trial {
             // Coordinate attribution: this execution tested a package
             // removal, so its outcome belongs to the package coordinate.
-            let group = self.packages.get_mut(job).expect("checked above");
-            let bit = group.trying.take().expect("checked above");
+            let group = self
+                .packages
+                .get_mut(job)
+                .expect("invariant: is_trial is only true when the group exists");
+            let bit = group
+                .trying
+                .take()
+                .expect("invariant: is_trial is only true when a trial bit is set");
             if fb.is_success() {
                 group.estimate_mask &= !bit;
             } else {

@@ -102,7 +102,7 @@ impl ResourceEstimator for QuantileEstimator {
             let summary = Summary::from_slice(&values);
             let q = summary
                 .percentile(self.cfg.quantile * 100.0)
-                .expect("non-empty window");
+                .expect("invariant: the observation window was checked non-empty above");
             ((q * self.cfg.margin).ceil() as u64).clamp(64.min(request), request)
         };
         Demand {

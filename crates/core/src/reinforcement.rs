@@ -24,6 +24,7 @@ use rand::{RngExt, SeedableRng};
 use resmatch_cluster::Demand;
 use resmatch_workload::{Job, JobId};
 
+use crate::similarity::FnvBuildHasher;
 use crate::traits::{EstimateContext, Feedback, ResourceEstimator};
 
 /// Scaling factors the agent chooses among; 1.0 is "trust the request".
@@ -69,7 +70,7 @@ pub struct ReinforcementEstimator {
     /// Visit counts per state-action pair, for decaying exploration.
     visits: Vec<[u64; ACTIONS.len()]>,
     /// Action taken for each in-flight job, consumed by feedback.
-    pending: HashMap<JobId, (usize, usize)>,
+    pending: HashMap<JobId, (usize, usize), FnvBuildHasher>,
     total_decisions: u64,
     rng: StdRng,
 }
@@ -103,7 +104,7 @@ impl ReinforcementEstimator {
             cfg,
             q: vec![[0.0; ACTIONS.len()]; STATES],
             visits: vec![[0; ACTIONS.len()]; STATES],
-            pending: HashMap::new(),
+            pending: HashMap::default(),
             total_decisions: 0,
             rng: StdRng::seed_from_u64(cfg.seed),
         }

@@ -16,7 +16,7 @@ use std::collections::HashMap;
 use resmatch_cluster::Demand;
 use resmatch_workload::{Job, JobId};
 
-use crate::similarity::{GroupTable, SimilarityPolicy};
+use crate::similarity::{FnvBuildHasher, GroupTable, SimilarityPolicy};
 use crate::traits::{EstimateContext, Feedback, ResourceEstimator};
 
 /// Tunables for [`EstimatorSelector`].
@@ -60,7 +60,7 @@ pub struct EstimatorSelector {
     candidates: Vec<Box<dyn ResourceEstimator>>,
     groups: GroupTable<GroupScores>,
     /// Which candidate served each in-flight job.
-    pending: HashMap<JobId, usize>,
+    pending: HashMap<JobId, usize, FnvBuildHasher>,
 }
 
 impl EstimatorSelector {
@@ -79,7 +79,7 @@ impl EstimatorSelector {
             cfg,
             candidates,
             groups: GroupTable::new(policy),
-            pending: HashMap::new(),
+            pending: HashMap::default(),
         }
     }
 
@@ -116,7 +116,9 @@ impl ResourceEstimator for EstimatorSelector {
         });
         // Explore: any candidate short of its warm-up plays goes first
         // (least-played wins, ties by index). Exploit: best EWMA score.
-        let least_played = (0..n).min_by_key(|&i| group.plays[i]).expect("non-empty");
+        let least_played = (0..n)
+            .min_by_key(|&i| group.plays[i])
+            .expect("invariant: a selector always has at least one candidate");
         let choice = if group.plays[least_played] < warmup {
             least_played
         } else {

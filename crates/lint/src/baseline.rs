@@ -1,0 +1,129 @@
+//! The panic-freedom ratchet: a checked-in per-file count of `panic-free`
+//! sites that may only decrease.
+//!
+//! `resmatch-lint check` compares the current tree against this file and
+//! fails on any file whose count *grew*; `resmatch-lint baseline` rewrites
+//! it after a burn-down. The file lives at the workspace root as
+//! `lint-baseline.txt` so diffs to it are conspicuous in review.
+
+use std::collections::BTreeMap;
+
+/// Baseline file name, relative to the workspace root.
+pub const BASELINE_FILE: &str = "lint-baseline.txt";
+
+/// Render per-file counts as the baseline file's content.
+pub fn render(counts: &BTreeMap<String, usize>) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "# resmatch-lint panic-free baseline.\n\
+         # One line per file: `<path> <site count>`. Counts may only ratchet\n\
+         # down; regenerate after a burn-down with:\n\
+         #     cargo run -p resmatch-lint -- baseline\n",
+    );
+    let total: usize = counts.values().sum();
+    out.push_str(&format!("# total: {total}\n"));
+    for (path, count) in counts {
+        if *count > 0 {
+            out.push_str(&format!("{path} {count}\n"));
+        }
+    }
+    out
+}
+
+/// Parse a baseline file. Unknown lines fail loudly — a corrupted ratchet
+/// must not silently become an empty (maximally strict) one, or CI noise
+/// would train people to regenerate without looking.
+pub fn parse(text: &str) -> Result<BTreeMap<String, usize>, String> {
+    let mut out = BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(path), Some(count), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(format!(
+                "baseline line {}: expected `<path> <count>`, got {line:?}",
+                i + 1
+            ));
+        };
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("baseline line {}: bad count in {line:?}", i + 1))?;
+        out.insert(path.to_string(), count);
+    }
+    Ok(out)
+}
+
+/// Outcome of comparing current counts against the baseline.
+#[derive(Debug, Default)]
+pub struct Comparison {
+    /// Files whose count grew: `(path, current, baseline)`.
+    pub regressions: Vec<(String, usize, usize)>,
+    /// Files whose count shrank (baseline is stale and can be tightened).
+    pub improvements: Vec<(String, usize, usize)>,
+}
+
+/// Compare current per-file counts against the baseline ratchet.
+pub fn compare(
+    current: &BTreeMap<String, usize>,
+    baseline: &BTreeMap<String, usize>,
+) -> Comparison {
+    let mut cmp = Comparison::default();
+    for (path, &cur) in current {
+        let base = baseline.get(path).copied().unwrap_or(0);
+        if cur > base {
+            cmp.regressions.push((path.clone(), cur, base));
+        } else if cur < base {
+            cmp.improvements.push((path.clone(), cur, base));
+        }
+    }
+    for (path, &base) in baseline {
+        if base > 0 && !current.contains_key(path) {
+            cmp.improvements.push((path.clone(), 0, base));
+        }
+    }
+    cmp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(pairs: &[(&str, usize)]) -> BTreeMap<String, usize> {
+        pairs.iter().map(|(p, c)| (p.to_string(), *c)).collect()
+    }
+
+    #[test]
+    fn round_trips() {
+        let c = counts(&[("a/b.rs", 3), ("c.rs", 1)]);
+        let parsed = parse(&render(&c)).expect("render output parses");
+        assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn zero_counts_are_omitted() {
+        let c = counts(&[("a.rs", 0), ("b.rs", 2)]);
+        let parsed = parse(&render(&c)).expect("render output parses");
+        assert_eq!(parsed, counts(&[("b.rs", 2)]));
+    }
+
+    #[test]
+    fn corrupt_lines_are_rejected() {
+        assert!(parse("a.rs two").is_err());
+        assert!(parse("a.rs 1 extra").is_err());
+        assert_eq!(parse("# comment\n\n a.rs 4 ").expect("parses").len(), 1);
+    }
+
+    #[test]
+    fn comparison_classifies() {
+        let cur = counts(&[("up.rs", 3), ("down.rs", 1), ("same.rs", 2)]);
+        let base = counts(&[("up.rs", 1), ("down.rs", 4), ("same.rs", 2), ("gone.rs", 5)]);
+        let cmp = compare(&cur, &base);
+        assert_eq!(cmp.regressions, vec![("up.rs".to_string(), 3, 1)]);
+        assert_eq!(
+            cmp.improvements,
+            vec![("down.rs".to_string(), 1, 4), ("gone.rs".to_string(), 0, 5)]
+        );
+    }
+}

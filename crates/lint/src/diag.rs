@@ -1,0 +1,60 @@
+//! rustc-style diagnostic rendering for [`Violation`]s.
+
+use std::fmt::Write as _;
+
+use crate::rules::Violation;
+
+/// Render one diagnostic, optionally with the offending source line and a
+/// caret underline:
+///
+/// ```text
+/// error[panic-free]: `.unwrap()` can panic; convert to a typed error …
+///   --> crates/sim/src/engine.rs:571:18
+///    |
+/// 571|             .take().unwrap();
+///    |                     ^^^^^^
+/// ```
+pub fn render(v: &Violation, source_line: Option<&str>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "error[{}]: {}", v.rule.id(), v.msg);
+    let _ = writeln!(out, "  --> {}:{}:{}", v.path, v.line, v.col);
+    if let Some(line) = source_line {
+        let line = line.trim_end();
+        let num = v.line.to_string();
+        let gutter = " ".repeat(num.len());
+        let _ = writeln!(out, "{gutter} |");
+        let _ = writeln!(out, "{num} | {line}");
+        let pad = " ".repeat(v.col.saturating_sub(1) as usize);
+        let carets = "^".repeat((v.len.max(1)) as usize);
+        let _ = writeln!(out, "{gutter} | {pad}{carets}");
+    }
+    out
+}
+
+/// Fetch 1-based line `line` from `src`, if present.
+pub fn line_of(src: &str, line: u32) -> Option<&str> {
+    src.lines().nth(line.saturating_sub(1) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    #[test]
+    fn renders_with_caret() {
+        let v = Violation {
+            rule: Rule::PanicFree,
+            path: "crates/x/src/a.rs".to_string(),
+            line: 3,
+            col: 9,
+            len: 6,
+            msg: "`.unwrap()` can panic".to_string(),
+        };
+        let rendered = render(&v, Some("        .unwrap();"));
+        assert!(rendered.contains("error[panic-free]"));
+        assert!(rendered.contains("--> crates/x/src/a.rs:3:9"));
+        assert!(rendered.contains("3 |         .unwrap();"));
+        assert!(rendered.contains("  |         ^^^^^^"));
+    }
+}

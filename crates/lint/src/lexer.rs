@@ -1,0 +1,557 @@
+//! A minimal Rust lexer: just enough token structure for invariant linting.
+//!
+//! The rules in this crate need to see *code* tokens — identifiers,
+//! literals, punctuation — with comments, strings, char literals, and
+//! lifetimes correctly skipped or classified, so that `unwrap` inside a
+//! doc comment or a string never trips the panic-freedom rule. It is not a
+//! full Rust lexer (no shebang handling, no `c"…"` C-strings), but it
+//! covers everything the workspace's source uses: nested block comments,
+//! raw strings with arbitrary `#` fences, byte strings/chars, numeric
+//! literals with suffixes and exponents, and tuple-field access (`x.0`
+//! lexes as punct + integer, never as a float).
+//!
+//! Alongside the token stream the lexer collects [`AllowDirective`]s —
+//! `lint: allow(<rule>)` markers inside comments — which the scanner uses
+//! to suppress a diagnostic on the same or the following line.
+
+/// One lexed token kind. Literal *values* are only kept where a rule needs
+/// them (identifiers for pattern matching, strings for `expect` message
+/// classification).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`unwrap`, `fn`, `HashMap`, …).
+    Ident(String),
+    /// Integer literal, value discarded.
+    Int,
+    /// Float literal (`1.0`, `1e9`, `2f64`), value discarded.
+    Float,
+    /// String literal with its unescaped-enough content (escapes are kept
+    /// verbatim; rules only inspect prefixes).
+    Str(String),
+    /// Char or byte literal, value discarded.
+    Char,
+    /// Lifetime (`'a`), value discarded.
+    Lifetime,
+    /// Single punctuation character. Multi-character operators appear as
+    /// consecutive `Punct` tokens (`==` is `Punct('=') Punct('=')`).
+    Punct(char),
+}
+
+/// A token plus its source position (1-based line and column) and byte
+/// length, for caret rendering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (bytes).
+    pub col: u32,
+    /// Byte length of the lexeme (for caret underlining).
+    pub len: u32,
+}
+
+/// A `lint: allow(<rule>)` marker found in a comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowDirective {
+    /// 1-based line the directive's comment starts on.
+    pub line: u32,
+    /// Rule identifier inside `allow(…)`, e.g. `determinism`.
+    pub rule: String,
+}
+
+/// Output of [`lex`]: the token stream plus any allow directives.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Allow directives harvested from comments.
+    pub allows: Vec<AllowDirective>,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<u8> {
+        self.src.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn eat_while(&mut self, pred: impl Fn(u8) -> bool) {
+        while let Some(b) = self.peek() {
+            if pred(b) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Harvest `lint: allow(<rule>)` directives from a comment's text.
+fn harvest_allows(comment: &str, line: u32, allows: &mut Vec<AllowDirective>) {
+    let mut rest = comment;
+    while let Some(idx) = rest.find("lint: allow(") {
+        let tail = &rest[idx + "lint: allow(".len()..];
+        if let Some(end) = tail.find(')') {
+            let rule = tail[..end].trim().to_string();
+            if !rule.is_empty() {
+                allows.push(AllowDirective { line, rule });
+            }
+            rest = &tail[end..];
+        } else {
+            break;
+        }
+    }
+}
+
+/// Lex `src` into tokens plus allow directives.
+///
+/// The lexer never fails: malformed input degrades to punctuation tokens,
+/// which at worst makes a rule miss a site in a file rustc would reject
+/// anyway.
+pub fn lex(src: &str) -> Lexed {
+    let mut c = Cursor::new(src);
+    let mut out = Lexed::default();
+
+    while let Some(b) = c.peek() {
+        let (line, col) = (c.line, c.col);
+        let start = c.pos;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                c.bump();
+            }
+            b'/' if c.peek_at(1) == Some(b'/') => {
+                // Line comment (also doc `///` and `//!`).
+                let text_start = c.pos;
+                c.eat_while(|b| b != b'\n');
+                let text = std::str::from_utf8(&c.src[text_start..c.pos]).unwrap_or("");
+                harvest_allows(text, line, &mut out.allows);
+            }
+            b'/' if c.peek_at(1) == Some(b'*') => {
+                // Block comment, possibly nested.
+                let text_start = c.pos;
+                c.bump();
+                c.bump();
+                let mut depth = 1u32;
+                while depth > 0 {
+                    match (c.peek(), c.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            c.bump();
+                            c.bump();
+                            depth += 1;
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            c.bump();
+                            c.bump();
+                            depth -= 1;
+                        }
+                        (Some(_), _) => {
+                            c.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                let text = std::str::from_utf8(&c.src[text_start..c.pos]).unwrap_or("");
+                harvest_allows(text, line, &mut out.allows);
+            }
+            b'"' => {
+                let content = lex_string(&mut c);
+                out.tokens.push(Token {
+                    tok: Tok::Str(content),
+                    line,
+                    col,
+                    len: (c.pos - start) as u32,
+                });
+            }
+            b'r' | b'b' if starts_prefixed_literal(&c) => {
+                let tok = lex_prefixed_literal(&mut c);
+                out.tokens.push(Token {
+                    tok,
+                    line,
+                    col,
+                    len: (c.pos - start) as u32,
+                });
+            }
+            b'\'' => {
+                // Lifetime or char literal. `'a` / `'static` → lifetime
+                // (identifier after the quote, no closing quote right
+                // after a single char); `'x'`, `'\n'` → char.
+                let is_char = match (c.peek_at(1), c.peek_at(2)) {
+                    (Some(b'\\'), _) => true,
+                    (Some(x), Some(b'\'')) if x != b'\'' => true,
+                    _ => false,
+                };
+                if is_char {
+                    c.bump(); // opening quote
+                    if c.peek() == Some(b'\\') {
+                        c.bump();
+                        c.bump(); // escaped char (simple escapes; \u{…} below)
+                        if c.peek() == Some(b'{') {
+                            c.eat_while(|b| b != b'}');
+                            c.bump();
+                        }
+                    } else {
+                        c.bump();
+                    }
+                    if c.peek() == Some(b'\'') {
+                        c.bump();
+                    }
+                    out.tokens.push(Token {
+                        tok: Tok::Char,
+                        line,
+                        col,
+                        len: (c.pos - start) as u32,
+                    });
+                } else {
+                    c.bump();
+                    c.eat_while(is_ident_continue);
+                    out.tokens.push(Token {
+                        tok: Tok::Lifetime,
+                        line,
+                        col,
+                        len: (c.pos - start) as u32,
+                    });
+                }
+            }
+            b'0'..=b'9' => {
+                let tok = lex_number(&mut c);
+                out.tokens.push(Token {
+                    tok,
+                    line,
+                    col,
+                    len: (c.pos - start) as u32,
+                });
+            }
+            _ if is_ident_start(b) => {
+                c.eat_while(is_ident_continue);
+                let text = std::str::from_utf8(&c.src[start..c.pos])
+                    .unwrap_or("")
+                    .to_string();
+                out.tokens.push(Token {
+                    tok: Tok::Ident(text),
+                    line,
+                    col,
+                    len: (c.pos - start) as u32,
+                });
+            }
+            _ => {
+                c.bump();
+                out.tokens.push(Token {
+                    tok: Tok::Punct(b as char),
+                    line,
+                    col,
+                    len: 1,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// True when the cursor sits on `r"`, `r#`, `b"`, `b'`, `br"`, or `br#` —
+/// i.e. a prefixed literal rather than an identifier starting with r/b.
+fn starts_prefixed_literal(c: &Cursor<'_>) -> bool {
+    matches!(
+        (c.peek(), c.peek_at(1), c.peek_at(2)),
+        (Some(b'r'), Some(b'"' | b'#'), _)
+            | (Some(b'b'), Some(b'"' | b'\''), _)
+            | (Some(b'b'), Some(b'r'), Some(b'"' | b'#'))
+    )
+}
+
+/// Lex a literal starting with `r`/`b`/`br` prefixes.
+fn lex_prefixed_literal(c: &mut Cursor<'_>) -> Tok {
+    let mut raw = false;
+    if c.peek() == Some(b'b') {
+        c.bump();
+    }
+    if c.peek() == Some(b'r') && matches!(c.peek_at(1), Some(b'"' | b'#')) {
+        raw = true;
+        c.bump();
+    }
+    if c.peek() == Some(b'\'') {
+        // Byte char: b'x' or b'\n'.
+        c.bump();
+        if c.peek() == Some(b'\\') {
+            c.bump();
+        }
+        c.bump();
+        if c.peek() == Some(b'\'') {
+            c.bump();
+        }
+        return Tok::Char;
+    }
+    if raw {
+        let mut fence = 0usize;
+        while c.peek() == Some(b'#') {
+            fence += 1;
+            c.bump();
+        }
+        c.bump(); // opening quote
+        let content_start = c.pos;
+        let content_end;
+        loop {
+            match c.peek() {
+                Some(b'"') => {
+                    let quote_pos = c.pos;
+                    c.bump();
+                    let mut seen = 0usize;
+                    while seen < fence && c.peek() == Some(b'#') {
+                        c.bump();
+                        seen += 1;
+                    }
+                    if seen == fence {
+                        content_end = quote_pos;
+                        break;
+                    }
+                }
+                Some(_) => {
+                    c.bump();
+                }
+                None => {
+                    content_end = c.pos;
+                    break;
+                }
+            }
+        }
+        let content = std::str::from_utf8(&c.src[content_start..content_end])
+            .unwrap_or("")
+            .to_string();
+        Tok::Str(content)
+    } else {
+        // b"…" — same shape as a plain string.
+        let content = lex_string(c);
+        Tok::Str(content)
+    }
+}
+
+/// Lex a `"…"` string (cursor on the opening quote), returning its content
+/// with escapes kept verbatim.
+fn lex_string(c: &mut Cursor<'_>) -> String {
+    c.bump(); // opening quote
+    let content_start = c.pos;
+    let content_end;
+    loop {
+        match c.peek() {
+            Some(b'\\') => {
+                c.bump();
+                c.bump();
+            }
+            Some(b'"') => {
+                content_end = c.pos;
+                c.bump();
+                break;
+            }
+            Some(_) => {
+                c.bump();
+            }
+            None => {
+                content_end = c.pos;
+                break;
+            }
+        }
+    }
+    std::str::from_utf8(&c.src[content_start..content_end])
+        .unwrap_or("")
+        .to_string()
+}
+
+/// Lex a numeric literal (cursor on the first digit). Distinguishes floats
+/// from integers, including tuple-index ambiguity: `1.max()` and `x.0` stay
+/// integers, `1.`, `1.0`, `1e9`, and `2f64` are floats.
+fn lex_number(c: &mut Cursor<'_>) -> Tok {
+    let mut float = false;
+    if c.peek() == Some(b'0') && matches!(c.peek_at(1), Some(b'x' | b'o' | b'b')) {
+        c.bump();
+        c.bump();
+        c.eat_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+        return Tok::Int;
+    }
+    c.eat_while(|b| b.is_ascii_digit() || b == b'_');
+    if c.peek() == Some(b'.') {
+        // `1.0` and `1.` are floats; `1.max(2)` and ranges `1..x` are not.
+        match c.peek_at(1) {
+            Some(d) if d.is_ascii_digit() => {
+                float = true;
+                c.bump();
+                c.eat_while(|b| b.is_ascii_digit() || b == b'_');
+            }
+            Some(b'.') => {}                   // range `1..`
+            Some(d) if is_ident_start(d) => {} // method call `1.max(…)`
+            _ => {
+                float = true;
+                c.bump(); // trailing-dot float `1.`
+            }
+        }
+    }
+    if matches!(c.peek(), Some(b'e' | b'E')) {
+        // Exponent only when followed by digits (or sign+digits); `1e` as
+        // part of an ident suffix is not valid Rust anyway.
+        let next = c.peek_at(1);
+        let next2 = c.peek_at(2);
+        let exp = match next {
+            Some(d) if d.is_ascii_digit() => true,
+            Some(b'+' | b'-') => matches!(next2, Some(d) if d.is_ascii_digit()),
+            _ => false,
+        };
+        if exp {
+            float = true;
+            c.bump();
+            if matches!(c.peek(), Some(b'+' | b'-')) {
+                c.bump();
+            }
+            c.eat_while(|b| b.is_ascii_digit() || b == b'_');
+        }
+    }
+    // Type suffix: `1f64` / `1.0f32` are floats, `1u64` stays an integer.
+    if matches!(c.peek(), Some(b'f')) {
+        let suffix_is_float = matches!(
+            (c.peek_at(1), c.peek_at(2)),
+            (Some(b'3'), Some(b'2')) | (Some(b'6'), Some(b'4'))
+        );
+        if suffix_is_float {
+            float = true;
+        }
+    }
+    c.eat_while(is_ident_continue);
+    if float {
+        Tok::Float
+    } else {
+        Tok::Int
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_tokens() {
+        let src = concat!(
+            "// unwrap() in a comment\n",
+            "/* panic! in /* nested */ block */\n",
+            "let x = \"unwrap() in a string\";\n",
+            "let y = r",
+            "#\"raw unwrap()\"",
+            "# ;\n",
+        );
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"panic".to_string()));
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn tuple_index_is_not_a_float() {
+        let toks = lex("a.0 == 2 && b == 1.0");
+        let floats = toks.tokens.iter().filter(|t| t.tok == Tok::Float).count();
+        let ints = toks.tokens.iter().filter(|t| t.tok == Tok::Int).count();
+        assert_eq!(floats, 1);
+        assert_eq!(ints, 2); // the `.0` tuple index and the `2`
+    }
+
+    #[test]
+    fn float_shapes() {
+        for src in ["1.0", "1.", "1e9", "1E-9", "2f64", "3.5f32", "1_000.5"] {
+            let toks = lex(src);
+            assert_eq!(toks.tokens.len(), 1, "{src}");
+            assert_eq!(toks.tokens[0].tok, Tok::Float, "{src}");
+        }
+        for src in ["1", "0x1f", "1u64", "1_000", "0b101"] {
+            let toks = lex(src);
+            assert_eq!(toks.tokens.len(), 1, "{src}");
+            assert_eq!(toks.tokens[0].tok, Tok::Int, "{src}");
+        }
+    }
+
+    #[test]
+    fn range_and_method_calls_stay_integers() {
+        let toks = lex("for i in 0..10 { x = 1.max(2); }");
+        assert!(toks.tokens.iter().all(|t| t.tok != Tok::Float));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes = toks
+            .tokens
+            .iter()
+            .filter(|t| t.tok == Tok::Lifetime)
+            .count();
+        let chars = toks.tokens.iter().filter(|t| t.tok == Tok::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn allow_directives_are_harvested() {
+        let src = "let x = 1; // lint: allow(determinism): wall-clock is fine here\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 1);
+        assert_eq!(lexed.allows[0].rule, "determinism");
+        assert_eq!(lexed.allows[0].line, 1);
+    }
+
+    #[test]
+    fn expect_message_content_is_captured() {
+        let lexed = lex(".expect(\"invariant: slab id is live\")");
+        let strings: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Str(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strings, vec!["invariant: slab id is live".to_string()]);
+    }
+}

@@ -1,0 +1,181 @@
+//! `resmatch-lint` — in-repo static analysis enforcing the workspace's
+//! correctness invariants.
+//!
+//! The paper's figures (5–8) only reproduce if the simulator is
+//! bit-deterministic under a fixed seed, and the golden tests only prove
+//! that for the tree they run on. This crate is the *preventive* layer: a
+//! token-level Rust source scanner (std-only — the container is offline)
+//! that walks the workspace and machine-checks the invariants every future
+//! PR must preserve:
+//!
+//! | rule | enforces |
+//! |------|----------|
+//! | `determinism` | no nondeterministic hashers, clocks, thread ids, or env reads in `sim`/`core`/`cluster` library code |
+//! | `panic-free` | no `unwrap`/undocumented `expect`/`panic!`/literal indexing in engine code, ratcheted down by `lint-baseline.txt` |
+//! | `crate-hygiene` | every crate root forbids `unsafe_code`; `sim`/`core` deny `missing_docs` |
+//! | `float-cmp` | no exact `==`/`!=` against float literals outside `resmatch-stats` |
+//! | `observer-events` | every `SimObserver`/`SweepObserver` method has a live emission site |
+//!
+//! Run it as a binary:
+//!
+//! ```text
+//! cargo run -p resmatch-lint -- check          # CI mode: nonzero exit on violations
+//! cargo run -p resmatch-lint -- baseline       # rewrite the panic-free ratchet
+//! cargo run -p resmatch-lint -- explain panic-free
+//! ```
+//!
+//! or drive [`run_check`]/[`write_baseline`] from tests. Diagnostics are
+//! rustc-style `file:line:col` with caret underlining ([`diag`]). A site
+//! that must stand (e.g. observability wall-clock accounting) is suppressed
+//! with `// lint: allow(<rule>): <reason>` on the same or preceding line.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(clippy::unwrap_used)]
+
+pub mod baseline;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use rules::Violation;
+
+/// Failure of a lint run itself (I/O, corrupt baseline) — distinct from
+/// "the tree has violations", which [`CheckOutcome`] reports.
+#[derive(Debug)]
+pub struct LintError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for LintError {}
+
+impl From<std::io::Error> for LintError {
+    fn from(e: std::io::Error) -> Self {
+        LintError {
+            message: format!("i/o error: {e}"),
+        }
+    }
+}
+
+/// Everything `check` decided, ready for rendering and exit-code logic.
+#[derive(Debug, Default)]
+pub struct CheckOutcome {
+    /// Hard violations (every rule but `panic-free`).
+    pub violations: Vec<Violation>,
+    /// `panic-free` sites in files that regressed past the baseline.
+    pub panic_regressions: Vec<Violation>,
+    /// `(path, current, baseline)` for each regressed file.
+    pub regressed_files: Vec<(String, usize, usize)>,
+    /// `(path, current, baseline)` for files now under their baseline.
+    pub stale_baseline: Vec<(String, usize, usize)>,
+    /// Total `panic-free` sites in the tree.
+    pub panic_total: usize,
+    /// Total allowed by the baseline.
+    pub baseline_total: usize,
+}
+
+impl CheckOutcome {
+    /// True when `check` should exit zero.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.regressed_files.is_empty()
+    }
+}
+
+/// Run the full `check` over the workspace at `root`.
+pub fn run_check(root: &Path) -> Result<CheckOutcome, LintError> {
+    let report = scan::scan_workspace(root)?;
+    let current = report.panic_counts();
+    let baseline_path = root.join(baseline::BASELINE_FILE);
+    let baseline: BTreeMap<String, usize> = if baseline_path.is_file() {
+        baseline::parse(&fs::read_to_string(&baseline_path)?)
+            .map_err(|message| LintError { message })?
+    } else {
+        BTreeMap::new()
+    };
+    let cmp = baseline::compare(&current, &baseline);
+    let regressed: BTreeMap<&String, usize> =
+        cmp.regressions.iter().map(|(p, _, b)| (p, *b)).collect();
+    let panic_regressions = report
+        .panic_sites
+        .iter()
+        .filter(|v| regressed.contains_key(&v.path))
+        .cloned()
+        .collect();
+    Ok(CheckOutcome {
+        violations: report.violations,
+        panic_regressions,
+        regressed_files: cmp.regressions,
+        stale_baseline: cmp.improvements,
+        panic_total: current.values().sum(),
+        baseline_total: baseline.values().sum(),
+    })
+}
+
+/// Regenerate the baseline ratchet from the current tree. Returns the new
+/// per-file counts.
+pub fn write_baseline(root: &Path) -> Result<BTreeMap<String, usize>, LintError> {
+    let report = scan::scan_workspace(root)?;
+    let counts = report.panic_counts();
+    fs::write(
+        root.join(baseline::BASELINE_FILE),
+        baseline::render(&counts),
+    )?;
+    Ok(counts)
+}
+
+/// Render a check outcome as human-readable text (diagnostics with source
+/// excerpts, then a summary). `root` is used to re-read source lines.
+pub fn render_outcome(root: &Path, outcome: &CheckOutcome) -> String {
+    let mut out = String::new();
+    let mut sources: BTreeMap<String, String> = BTreeMap::new();
+    let mut emit = |out: &mut String, v: &Violation| {
+        let src = sources
+            .entry(v.path.clone())
+            .or_insert_with(|| fs::read_to_string(root.join(&v.path)).unwrap_or_default());
+        out.push_str(&diag::render(v, diag::line_of(src, v.line)));
+        out.push('\n');
+    };
+    for v in &outcome.violations {
+        emit(&mut out, v);
+    }
+    for v in &outcome.panic_regressions {
+        emit(&mut out, v);
+    }
+    for (path, cur, base) in &outcome.regressed_files {
+        out.push_str(&format!(
+            "error[panic-free]: {path} has {cur} panic site(s), baseline allows {base}; \
+             burn the new site(s) down (the ratchet only goes down)\n"
+        ));
+    }
+    for (path, cur, base) in &outcome.stale_baseline {
+        out.push_str(&format!(
+            "note: {path} improved to {cur} panic site(s) (baseline {base}); run \
+             `cargo run -p resmatch-lint -- baseline` to lock it in\n"
+        ));
+    }
+    if outcome.is_clean() {
+        out.push_str(&format!(
+            "lint clean: {} panic site(s) tracked (baseline {})\n",
+            outcome.panic_total, outcome.baseline_total
+        ));
+    } else {
+        let n = outcome.violations.len()
+            + outcome.panic_regressions.len()
+            + outcome.regressed_files.len();
+        out.push_str(&format!("lint failed: {n} error(s)\n"));
+    }
+    out
+}

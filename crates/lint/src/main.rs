@@ -1,0 +1,107 @@
+//! `resmatch-lint` binary: `check`, `baseline`, and `explain` subcommands.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use resmatch_lint::rules::Rule;
+use resmatch_lint::{baseline, run_check, scan, write_baseline};
+
+const USAGE: &str = "\
+resmatch-lint — static analysis for the resmatch workspace
+
+USAGE:
+    resmatch-lint check    [--root DIR]   # exit 1 on any violation/regression
+    resmatch-lint baseline [--root DIR]   # rewrite the panic-free ratchet
+    resmatch-lint explain  <rule>         # describe one rule
+
+RULES:
+    determinism panic-free crate-hygiene float-cmp observer-events
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("resmatch-lint: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        eprint!("{USAGE}");
+        return Ok(ExitCode::from(2));
+    };
+    match cmd.as_str() {
+        "check" => {
+            let root = parse_root(&mut it)?;
+            let outcome = run_check(&root).map_err(|e| e.message)?;
+            print!("{}", resmatch_lint::render_outcome(&root, &outcome));
+            Ok(if outcome.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            })
+        }
+        "baseline" => {
+            let root = parse_root(&mut it)?;
+            let counts = write_baseline(&root).map_err(|e| e.message)?;
+            let total: usize = counts.values().sum();
+            println!(
+                "wrote {} ({} panic site(s) across {} file(s))",
+                baseline::BASELINE_FILE,
+                total,
+                counts.len()
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        "explain" => {
+            let Some(id) = it.next() else {
+                return Err("explain: missing <rule>".to_string());
+            };
+            let Some(rule) = Rule::from_id(id) else {
+                return Err(format!(
+                    "unknown rule {id:?}; expected one of: {}",
+                    Rule::all().map(|r| r.id()).join(" ")
+                ));
+            };
+            println!("{}", rule.explain());
+            Ok(ExitCode::SUCCESS)
+        }
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
+    }
+}
+
+/// Parse an optional `--root DIR`; default to discovering the workspace
+/// root above the current directory.
+fn parse_root(it: &mut std::slice::Iter<'_, String>) -> Result<PathBuf, String> {
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                let dir = it.next().ok_or("--root: missing DIR")?;
+                root = Some(PathBuf::from(dir));
+            }
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    match root {
+        Some(r) => Ok(r),
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            scan::find_root(&cwd).ok_or_else(|| {
+                format!(
+                    "no workspace root (Cargo.toml + crates/) at or above {}",
+                    cwd.display()
+                )
+            })
+        }
+    }
+}

@@ -1,0 +1,667 @@
+//! The rule catalog: token-pattern matchers over [`crate::lexer`] output.
+//!
+//! Each rule is scoped by [`FileClass`] (which crate, lib vs bin vs test
+//! code) and skips `#[cfg(test)]` blocks via [`test_mask`]. Violations can
+//! be suppressed site-by-site with a `// lint: allow(<rule>): reason`
+//! comment on the same or the preceding line — the reason is mandatory by
+//! convention (the lint does not parse it, reviewers do).
+
+use crate::lexer::{lex, Tok, Token};
+
+/// Identifier of a lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// No nondeterministic containers, clocks, or process state in
+    /// result-producing crates (`sim`, `core`, `cluster`).
+    Determinism,
+    /// No `unwrap`/`expect`/`panic!`/literal indexing in engine library
+    /// code. Ratcheted by the checked-in baseline.
+    PanicFree,
+    /// Crate roots carry `#![forbid(unsafe_code)]`; `sim` and `core` also
+    /// deny `missing_docs`.
+    CrateHygiene,
+    /// No `==`/`!=` against float literals outside approved helpers.
+    FloatCmp,
+    /// Every observer trait method has at least one emission site.
+    ObserverEvents,
+}
+
+impl Rule {
+    /// Stable textual id used in diagnostics, allow markers, and `explain`.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::Determinism => "determinism",
+            Rule::PanicFree => "panic-free",
+            Rule::CrateHygiene => "crate-hygiene",
+            Rule::FloatCmp => "float-cmp",
+            Rule::ObserverEvents => "observer-events",
+        }
+    }
+
+    /// All rules, in catalog order.
+    pub fn all() -> [Rule; 5] {
+        [
+            Rule::Determinism,
+            Rule::PanicFree,
+            Rule::CrateHygiene,
+            Rule::FloatCmp,
+            Rule::ObserverEvents,
+        ]
+    }
+
+    /// Parse a rule id (as used by `explain` and allow markers).
+    pub fn from_id(id: &str) -> Option<Rule> {
+        Rule::all().into_iter().find(|r| r.id() == id)
+    }
+
+    /// Long-form description for `resmatch-lint explain <rule>`.
+    pub fn explain(self) -> &'static str {
+        match self {
+            Rule::Determinism => {
+                "determinism — the paper's figures only reproduce if a fixed seed \
+                 yields bit-identical results, so result-producing crates (sim, core, \
+                 cluster) must not consult nondeterministic state.\n\n\
+                 Flagged in non-test library code of those crates:\n\
+                 \x20 - HashMap::new / HashSet::new / with_capacity (SipHash with a \
+                 per-process random key; iteration order varies run to run). Use \
+                 `HashMap::default()` typed with a deterministic hasher such as \
+                 `resmatch_core::similarity::FnvBuildHasher`, or a BTreeMap.\n\
+                 \x20 - std::collections::hash_map::RandomState by name.\n\
+                 \x20 - SystemTime / Instant::now (wall clocks leak host timing into \
+                 results; bench timing lives in crates/bench, which is out of scope).\n\
+                 \x20 - std::thread::current (thread ids vary) and std::env::var \
+                 (host environment leaks into results).\n\n\
+                 Suppress a site that provably cannot affect results (e.g. \
+                 observability wall-clock accounting) with \
+                 `// lint: allow(determinism): <why results are unaffected>`."
+            }
+            Rule::PanicFree => {
+                "panic-free — engine hot paths must not panic under malformed input \
+                 or violated assumptions; a panic mid-sweep poisons the worker pool \
+                 and loses every completed point.\n\n\
+                 Flagged in non-test, non-binary library code of every workspace \
+                 crate:\n\
+                 \x20 - .unwrap() and .expect(\"…\") calls. An expect whose message \
+                 starts with `invariant:` is approved — it documents *why* the \
+                 failure is impossible, e.g. .expect(\"invariant: run ids in \
+                 free_run_ids are always live slots\").\n\
+                 \x20 - panic!/unreachable!/todo!/unimplemented! macros.\n\
+                 \x20 - indexing by integer literal (xs[0]) — prefer .first()/.get().\n\n\
+                 Existing sites are recorded in lint-baseline.txt and may only \
+                 ratchet DOWN: `check` fails when a file's count exceeds its \
+                 baseline, and `baseline` rewrites the file after a burn-down. \
+                 Prefer converting sites to typed errors; use `invariant:` expects \
+                 only where the invariant genuinely holds by construction."
+            }
+            Rule::CrateHygiene => {
+                "crate-hygiene — every workspace crate root must carry \
+                 #![forbid(unsafe_code)] (the workspace is safe Rust end to end, \
+                 and forbid cannot be overridden downstream). The public-API \
+                 crates sim and core must additionally carry \
+                 #![deny(missing_docs)]: their rustdoc is the contract every \
+                 estimator and observer implementation is written against."
+            }
+            Rule::FloatCmp => {
+                "float-cmp — exact `==`/`!=` against float literals silently \
+                 breaks under rounding drift and reads as a bug even where it is \
+                 intentional. Flagged in non-test library code of sim, core, \
+                 cluster, and workload. Use ordered comparisons, integer/bit \
+                 representations, or the helpers in resmatch-stats (the approved \
+                 comparison-helper crate, exempt from this rule). A deliberate \
+                 exact comparison (e.g. an exact-zero divisor guard) takes \
+                 `// lint: allow(float-cmp): <why exactness is wanted>`."
+            }
+            Rule::ObserverEvents => {
+                "observer-events — every method on SimObserver must have at least \
+                 one emission site in crates/sim/src/engine.rs, and every method \
+                 on SweepObserver one in crates/sim/src/experiment.rs. Observers \
+                 are the product surface of PR 2; an event that is declared but \
+                 never emitted goes silently dead for every downstream consumer. \
+                 When adding a trait method, wire its engine emission in the same \
+                 change; when removing an emission, remove or re-route the method."
+            }
+        }
+    }
+}
+
+/// How a source file participates in rule scoping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code: every content rule applies.
+    Lib,
+    /// Binary / bench / example code: exempt from content rules.
+    Bin,
+    /// Integration-test code: exempt from content rules.
+    Test,
+}
+
+/// Classification of one scanned file.
+#[derive(Debug, Clone)]
+pub struct FileClass {
+    /// Short crate name: the directory under `crates/` (e.g. `sim`), or
+    /// `resmatch` for the root facade crate.
+    pub crate_name: String,
+    /// Lib / bin / test role.
+    pub kind: FileKind,
+    /// True for the crate root (`src/lib.rs`).
+    pub is_crate_root: bool,
+}
+
+/// One diagnostic finding.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Workspace-relative path (`/`-separated for stable baselines).
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Byte length of the offending token(s), for caret rendering.
+    pub len: u32,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+/// Crates whose library code must be deterministic.
+const DETERMINISM_CRATES: [&str; 3] = ["sim", "core", "cluster"];
+/// Crates whose library code is subject to the float-comparison rule.
+/// `stats` is the approved comparison-helper crate and deliberately absent.
+const FLOAT_CMP_CRATES: [&str; 4] = ["sim", "core", "cluster", "workload"];
+/// Crates whose public API must be fully documented.
+const DENY_MISSING_DOCS_CRATES: [&str; 2] = ["sim", "core"];
+
+/// Compute, per token index, whether the token sits inside `#[cfg(test)]`
+/// (or `#[cfg(…test…)]` without `not`) gated code. Attribute + following
+/// item (up to its balanced `{…}` block or terminating `;`) are masked.
+pub fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if let Some(after_attr) = match_cfg_test(tokens, i) {
+            // Mask the attribute itself.
+            for m in mask.iter_mut().take(after_attr).skip(i) {
+                *m = true;
+            }
+            // Mask forward to the end of the gated item: the matching close
+            // of its first `{` block, or a top-level `;` before any `{`.
+            let mut j = after_attr;
+            let mut depth = 0i32;
+            let mut opened = false;
+            while j < tokens.len() {
+                match tokens[j].tok {
+                    Tok::Punct('{') => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    Tok::Punct('}') => {
+                        depth -= 1;
+                        if opened && depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    Tok::Punct(';') if !opened => {
+                        j += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            for m in mask.iter_mut().take(j).skip(after_attr) {
+                *m = true;
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// If tokens at `i` start a `#[cfg(…test…)]` attribute (without a `not`),
+/// return the index one past the closing `]`.
+fn match_cfg_test(tokens: &[Token], i: usize) -> Option<usize> {
+    let ident =
+        |j: usize, s: &str| matches!(&tokens.get(j)?.tok, Tok::Ident(x) if x == s).then_some(());
+    let punct =
+        |j: usize, c: char| matches!(&tokens.get(j)?.tok, Tok::Punct(x) if *x == c).then_some(());
+    punct(i, '#')?;
+    // Outer attribute only: `#![cfg(test)]` at crate level never gates the
+    // workspace's code, and inner attrs start with `!`.
+    punct(i + 1, '[')?;
+    ident(i + 2, "cfg")?;
+    punct(i + 3, '(')?;
+    // Scan the attribute body for `test`, bail on `not`.
+    let mut j = i + 4;
+    let mut depth = 1i32;
+    let mut saw_test = false;
+    let mut saw_not = false;
+    while j < tokens.len() && depth > 0 {
+        match &tokens[j].tok {
+            Tok::Punct('(') => depth += 1,
+            Tok::Punct(')') => depth -= 1,
+            Tok::Ident(s) if s == "test" => saw_test = true,
+            Tok::Ident(s) if s == "not" => saw_not = true,
+            _ => {}
+        }
+        j += 1;
+    }
+    // Expect the closing `]`.
+    punct(j, ']')?;
+    (saw_test && !saw_not).then_some(j + 1)
+}
+
+/// Set of (line, rule) suppressions: a directive suppresses its own line
+/// and the next one, so both trailing and preceding-line comments work.
+struct Allows(Vec<(u32, String)>);
+
+impl Allows {
+    fn permits(&self, line: u32, rule: Rule) -> bool {
+        self.0
+            .iter()
+            .any(|(l, r)| (*l == line || l + 1 == line) && r == rule.id())
+    }
+}
+
+/// Run every per-file rule over one source file.
+///
+/// `path` must be workspace-relative with `/` separators — it is embedded
+/// in diagnostics and the baseline file.
+pub fn check_file(path: &str, src: &str, class: &FileClass) -> Vec<Violation> {
+    let lexed = lex(src);
+    let mask = test_mask(&lexed.tokens);
+    let allows = Allows(lexed.allows.into_iter().map(|a| (a.line, a.rule)).collect());
+    let mut out = Vec::new();
+
+    if class.kind == FileKind::Lib {
+        if DETERMINISM_CRATES.contains(&class.crate_name.as_str()) {
+            determinism(path, &lexed.tokens, &mask, &allows, &mut out);
+        }
+        panic_free(path, &lexed.tokens, &mask, &allows, &mut out);
+        if FLOAT_CMP_CRATES.contains(&class.crate_name.as_str()) {
+            float_cmp(path, &lexed.tokens, &mask, &allows, &mut out);
+        }
+    }
+    if class.is_crate_root && class.kind == FileKind::Lib {
+        crate_hygiene(path, &lexed.tokens, class, &mut out);
+    }
+    out
+}
+
+fn push(
+    out: &mut Vec<Violation>,
+    allows: &Allows,
+    rule: Rule,
+    path: &str,
+    tok: &Token,
+    msg: String,
+) {
+    if !allows.permits(tok.line, rule) {
+        out.push(Violation {
+            rule,
+            path: path.to_string(),
+            line: tok.line,
+            col: tok.col,
+            len: tok.len,
+            msg,
+        });
+    }
+}
+
+fn is_ident(t: Option<&Token>, s: &str) -> bool {
+    matches!(t, Some(Token { tok: Tok::Ident(x), .. }) if x == s)
+}
+
+fn is_punct(t: Option<&Token>, c: char) -> bool {
+    matches!(t, Some(Token { tok: Tok::Punct(x), .. }) if *x == c)
+}
+
+/// Rule 1: determinism.
+fn determinism(
+    path: &str,
+    tokens: &[Token],
+    mask: &[bool],
+    allows: &Allows,
+    out: &mut Vec<Violation>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        if mask[i] {
+            continue;
+        }
+        let Tok::Ident(name) = &t.tok else { continue };
+        let next2 = |a: &str, b: &str| {
+            is_punct(tokens.get(i + 1), ':')
+                && is_punct(tokens.get(i + 2), ':')
+                && (is_ident(tokens.get(i + 3), a) || is_ident(tokens.get(i + 3), b))
+        };
+        match name.as_str() {
+            "HashMap" | "HashSet" if next2("new", "with_capacity") => push(
+                out,
+                allows,
+                Rule::Determinism,
+                path,
+                t,
+                format!(
+                    "`{name}::new()` seeds SipHash from process randomness; use \
+                     `{name}::default()` with a deterministic hasher (e.g. \
+                     `FnvBuildHasher`) or a BTree container"
+                ),
+            ),
+            "RandomState" => push(
+                out,
+                allows,
+                Rule::Determinism,
+                path,
+                t,
+                "`RandomState` is seeded per process; use a deterministic \
+                 BuildHasher"
+                    .to_string(),
+            ),
+            "SystemTime" => push(
+                out,
+                allows,
+                Rule::Determinism,
+                path,
+                t,
+                "wall-clock `SystemTime` in result-producing code".to_string(),
+            ),
+            "Instant" if next2("now", "now") => push(
+                out,
+                allows,
+                Rule::Determinism,
+                path,
+                t,
+                "wall-clock `Instant::now` in result-producing code".to_string(),
+            ),
+            "thread" if next2("current", "current") => push(
+                out,
+                allows,
+                Rule::Determinism,
+                path,
+                t,
+                "`thread::current` leaks thread identity into results".to_string(),
+            ),
+            "env" if next2("var", "var_os") || next2("vars", "vars_os") => push(
+                out,
+                allows,
+                Rule::Determinism,
+                path,
+                t,
+                "`std::env` reads leak host environment into results".to_string(),
+            ),
+            _ => {}
+        }
+    }
+}
+
+/// Rule 2: panic-freedom (baseline-ratcheted).
+fn panic_free(
+    path: &str,
+    tokens: &[Token],
+    mask: &[bool],
+    allows: &Allows,
+    out: &mut Vec<Violation>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        if mask[i] {
+            continue;
+        }
+        match &t.tok {
+            Tok::Ident(name)
+                if name == "unwrap"
+                    && is_punct(tokens.get(i.wrapping_sub(1)), '.')
+                    && is_punct(tokens.get(i + 1), '(') =>
+            {
+                push(
+                    out,
+                    allows,
+                    Rule::PanicFree,
+                    path,
+                    t,
+                    "`.unwrap()` can panic; convert to a typed error or an \
+                     `invariant:`-documented expect"
+                        .to_string(),
+                );
+            }
+            Tok::Ident(name)
+                if name == "expect"
+                    && is_punct(tokens.get(i.wrapping_sub(1)), '.')
+                    && is_punct(tokens.get(i + 1), '(') =>
+            {
+                let documented = matches!(
+                    tokens.get(i + 2),
+                    Some(Token { tok: Tok::Str(s), .. }) if s.starts_with("invariant:")
+                );
+                if !documented {
+                    push(
+                        out,
+                        allows,
+                        Rule::PanicFree,
+                        path,
+                        t,
+                        "`.expect(…)` without an `invariant:`-prefixed message; \
+                         document why failure is impossible or return a typed \
+                         error"
+                            .to_string(),
+                    );
+                }
+            }
+            Tok::Ident(name)
+                if matches!(
+                    name.as_str(),
+                    "panic" | "unreachable" | "todo" | "unimplemented"
+                ) && is_punct(tokens.get(i + 1), '!')
+                    && !is_punct(tokens.get(i.wrapping_sub(1)), '.') =>
+            {
+                push(
+                    out,
+                    allows,
+                    Rule::PanicFree,
+                    path,
+                    t,
+                    format!("`{name}!` in engine library code"),
+                );
+            }
+            Tok::Int => {
+                // Indexing by literal: `expr[0]` where expr ends in an
+                // identifier, `)` or `]`. Array types/repeats (`[0; 4]`,
+                // `[u8; 2]`) and attributes don't match this shape.
+                let prev_is_open = is_punct(tokens.get(i.wrapping_sub(1)), '[');
+                let next_is_close = is_punct(tokens.get(i + 1), ']');
+                let before = tokens.get(i.wrapping_sub(2));
+                let indexee = matches!(
+                    before,
+                    Some(Token {
+                        tok: Tok::Ident(_),
+                        ..
+                    }) | Some(Token {
+                        tok: Tok::Punct(')'),
+                        ..
+                    }) | Some(Token {
+                        tok: Tok::Punct(']'),
+                        ..
+                    })
+                );
+                if prev_is_open && next_is_close && indexee && i >= 2 {
+                    // `ident[…]` where ident is a type keyword is impossible
+                    // here since types take `[T; N]` with a `;`.
+                    push(
+                        out,
+                        allows,
+                        Rule::PanicFree,
+                        path,
+                        t,
+                        "indexing by integer literal can panic; prefer \
+                         `.first()`/`.get(n)`"
+                            .to_string(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Rule 4: float comparisons.
+fn float_cmp(
+    path: &str,
+    tokens: &[Token],
+    mask: &[bool],
+    allows: &Allows,
+    out: &mut Vec<Violation>,
+) {
+    for i in 0..tokens.len() {
+        if mask[i] {
+            continue;
+        }
+        // `==`: two adjacent `=` (not part of `<=`, `>=`, `!=` — those have
+        // exactly one). `!=`: `!` followed by `=`.
+        let eq = is_punct(tokens.get(i), '=')
+            && is_punct(tokens.get(i + 1), '=')
+            && !is_punct(tokens.get(i.wrapping_sub(1)), '=');
+        let ne = is_punct(tokens.get(i), '!') && is_punct(tokens.get(i + 1), '=');
+        if !eq && !ne {
+            continue;
+        }
+        let lhs_float = matches!(
+            tokens.get(i.wrapping_sub(1)),
+            Some(Token {
+                tok: Tok::Float,
+                ..
+            })
+        );
+        // Skip a unary minus on the right-hand side.
+        let mut r = i + 2;
+        if is_punct(tokens.get(r), '-') {
+            r += 1;
+        }
+        let rhs_float = matches!(
+            tokens.get(r),
+            Some(Token {
+                tok: Tok::Float,
+                ..
+            })
+        );
+        if lhs_float || rhs_float {
+            let t = &tokens[i];
+            push(
+                out,
+                allows,
+                Rule::FloatCmp,
+                path,
+                t,
+                "exact float comparison against a literal; use an approx helper \
+                 (resmatch-stats) or document with `lint: allow(float-cmp)`"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// Rule 3: crate-root hygiene attributes.
+fn crate_hygiene(path: &str, tokens: &[Token], class: &FileClass, out: &mut Vec<Violation>) {
+    let has_inner_attr = |lint: &str, arg: &str| {
+        tokens.windows(6).any(|w| {
+            is_punct(w.first(), '#')
+                && is_punct(w.get(1), '!')
+                && is_punct(w.get(2), '[')
+                && is_ident(w.get(3), lint)
+                && is_punct(w.get(4), '(')
+                && is_ident(w.get(5), arg)
+        })
+    };
+    if !has_inner_attr("forbid", "unsafe_code") {
+        out.push(Violation {
+            rule: Rule::CrateHygiene,
+            path: path.to_string(),
+            line: 1,
+            col: 1,
+            len: 1,
+            msg: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        });
+    }
+    if DENY_MISSING_DOCS_CRATES.contains(&class.crate_name.as_str())
+        && !has_inner_attr("deny", "missing_docs")
+    {
+        out.push(Violation {
+            rule: Rule::CrateHygiene,
+            path: path.to_string(),
+            line: 1,
+            col: 1,
+            len: 1,
+            msg: format!(
+                "public-API crate `{}` must carry `#![deny(missing_docs)]`",
+                class.crate_name
+            ),
+        });
+    }
+}
+
+/// Extract the method names of a `pub trait <name>` block, with the line of
+/// each `fn`. Used by the observer-events rule.
+pub fn trait_method_names(src: &str, trait_name: &str) -> Vec<(String, u32)> {
+    let lexed = lex(src);
+    let tokens = &lexed.tokens;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if is_ident(tokens.get(i), "trait") && is_ident(tokens.get(i + 1), trait_name) {
+            // Find the opening brace, then collect `fn <name>` at depth 1.
+            let mut j = i + 2;
+            while j < tokens.len() && !is_punct(tokens.get(j), '{') {
+                j += 1;
+            }
+            let mut depth = 0i32;
+            while j < tokens.len() {
+                match &tokens[j].tok {
+                    Tok::Punct('{') => depth += 1,
+                    Tok::Punct('}') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    Tok::Ident(kw) if kw == "fn" && depth == 1 => {
+                        if let Some(Token {
+                            tok: Tok::Ident(name),
+                            line,
+                            ..
+                        }) = tokens.get(j + 1)
+                        {
+                            out.push((name.clone(), *line));
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            break;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Collect the set of method names invoked as `.name(` in `src`'s non-test
+/// code — an emission that only exists inside `#[cfg(test)]` does not count
+/// as wiring the event.
+pub fn method_call_sites(src: &str) -> std::collections::BTreeSet<String> {
+    let lexed = lex(src);
+    let tokens = &lexed.tokens;
+    let mask = test_mask(tokens);
+    let mut out = std::collections::BTreeSet::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if mask[i] {
+            continue;
+        }
+        if let Tok::Ident(name) = &t.tok {
+            if is_punct(tokens.get(i.wrapping_sub(1)), '.') && is_punct(tokens.get(i + 1), '(') {
+                out.insert(name.clone());
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,220 @@
+//! Workspace walker: classifies source files, runs per-file rules, and
+//! evaluates the cross-file observer-events rule.
+//!
+//! Scope decisions live here, not in the rules:
+//!
+//! - `crates/*/src/**/*.rs` is library code ([`FileKind::Lib`]), except
+//!   `src/main.rs` and `src/bin/**` which are binaries;
+//! - `crates/*/tests|benches|examples` are exempt from content rules and
+//!   not walked at all;
+//! - the root facade crate's `src/lib.rs` is scanned as crate `resmatch`;
+//! - `vendor/` (offline dependency stand-ins) and `target/` are never
+//!   scanned — they are not this workspace's code.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::rules::{
+    check_file, method_call_sites, trait_method_names, FileClass, FileKind, Rule, Violation,
+};
+
+/// Result of scanning the whole workspace.
+#[derive(Debug, Default)]
+pub struct ScanReport {
+    /// Violations of every rule except `panic-free`: always fatal in
+    /// `check`.
+    pub violations: Vec<Violation>,
+    /// `panic-free` sites: compared against the baseline ratchet.
+    pub panic_sites: Vec<Violation>,
+}
+
+impl ScanReport {
+    /// Per-file `panic-free` site counts, keyed by workspace-relative path.
+    pub fn panic_counts(&self) -> BTreeMap<String, usize> {
+        let mut counts = BTreeMap::new();
+        for v in &self.panic_sites {
+            *counts.entry(v.path.clone()).or_insert(0usize) += 1;
+        }
+        counts
+    }
+}
+
+/// Walk the workspace at `root` and run every rule.
+pub fn scan_workspace(root: &Path) -> io::Result<ScanReport> {
+    let mut report = ScanReport::default();
+    let mut files = collect_sources(root)?;
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+
+    for (rel, class) in &files {
+        let src = fs::read_to_string(root.join(rel))?;
+        for v in check_file(rel, &src, class) {
+            if v.rule == Rule::PanicFree {
+                report.panic_sites.push(v);
+            } else {
+                report.violations.push(v);
+            }
+        }
+    }
+    observer_events(root, &mut report.violations)?;
+    Ok(report)
+}
+
+/// Gather `(workspace-relative path, classification)` for every scannable
+/// source file.
+fn collect_sources(root: &Path) -> io::Result<Vec<(String, FileClass)>> {
+    let mut out = Vec::new();
+
+    // Root facade crate.
+    let facade = root.join("src/lib.rs");
+    if facade.is_file() {
+        out.push((
+            "src/lib.rs".to_string(),
+            FileClass {
+                crate_name: "resmatch".to_string(),
+                kind: FileKind::Lib,
+                is_crate_root: true,
+            },
+        ));
+    }
+
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("no crates/ directory under {}", root.display()),
+        ));
+    }
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for crate_dir in crate_dirs {
+        let crate_name = crate_dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("")
+            .to_string();
+        let src_dir = crate_dir.join("src");
+        if !src_dir.is_dir() {
+            continue;
+        }
+        walk_rs(&src_dir, &mut |path| {
+            let rel = rel_path(root, path);
+            let in_bin_dir = rel.contains("/src/bin/");
+            let is_main = path.file_name().is_some_and(|n| n == "main.rs")
+                && path.parent().is_some_and(|p| p.ends_with("src"));
+            let kind = if in_bin_dir || is_main {
+                FileKind::Bin
+            } else {
+                FileKind::Lib
+            };
+            let is_crate_root = path.file_name().is_some_and(|n| n == "lib.rs")
+                && path.parent().is_some_and(|p| p.ends_with("src"));
+            out.push((
+                rel,
+                FileClass {
+                    crate_name: crate_name.clone(),
+                    kind,
+                    is_crate_root,
+                },
+            ));
+        })?;
+    }
+    Ok(out)
+}
+
+/// Depth-first walk over `.rs` files under `dir`.
+fn walk_rs(dir: &Path, f: &mut impl FnMut(&Path)) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            walk_rs(&path, f)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            f(&path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative `/`-separated path (stable across platforms, so the
+/// baseline file diffs cleanly).
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// The observer-events rule: every `SimObserver` method must be emitted in
+/// `engine.rs`, every `SweepObserver` method in `experiment.rs`.
+fn observer_events(root: &Path, out: &mut Vec<Violation>) -> io::Result<()> {
+    let pairs = [
+        ("SimObserver", "crates/sim/src/engine.rs"),
+        ("SweepObserver", "crates/sim/src/experiment.rs"),
+    ];
+    let observer_rel = "crates/sim/src/observer.rs";
+    let observer_path = root.join(observer_rel);
+    if !observer_path.is_file() {
+        // A tree without the sim crate (e.g. a test fixture workspace) has
+        // nothing to enforce.
+        return Ok(());
+    }
+    let observer_src = fs::read_to_string(&observer_path)?;
+    for (trait_name, emitter_rel) in pairs {
+        let methods = trait_method_names(&observer_src, trait_name);
+        if methods.is_empty() {
+            out.push(Violation {
+                rule: Rule::ObserverEvents,
+                path: observer_rel.to_string(),
+                line: 1,
+                col: 1,
+                len: 1,
+                msg: format!("trait `{trait_name}` not found (or has no methods)"),
+            });
+            continue;
+        }
+        let emitter_path = root.join(emitter_rel);
+        let calls = if emitter_path.is_file() {
+            method_call_sites(&fs::read_to_string(&emitter_path)?)
+        } else {
+            Default::default()
+        };
+        for (method, line) in methods {
+            if !calls.contains(&method) {
+                out.push(Violation {
+                    rule: Rule::ObserverEvents,
+                    path: observer_rel.to_string(),
+                    line,
+                    col: 1,
+                    len: method.len() as u32,
+                    msg: format!(
+                        "`{trait_name}::{method}` has no emission site in \
+                         {emitter_rel}; the event is declared but never fires"
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Locate the workspace root: ascend from `start` until a directory with
+/// both `Cargo.toml` and `crates/` appears.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        if d.join("Cargo.toml").is_file() && d.join("crates").is_dir() {
+            return Some(d);
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

@@ -1,0 +1,191 @@
+//! End-to-end checks on synthetic workspaces: baseline → check round
+//! trips clean, an injected violation fails `check` with a
+//! `file:line:rule` diagnostic, and the observer-events rule catches a
+//! declared-but-dead event. The binary itself is exercised for exit codes.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use resmatch_lint::{baseline, run_check, write_baseline};
+
+/// Minimal clean crate root (hygiene-satisfying for non-API crates).
+const CLEAN_ROOT: &str = "//! Fixture crate.\n#![forbid(unsafe_code)]\n\npub fn ok() {}\n";
+
+fn temp_workspace(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("resmatch-lint-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create temp workspace");
+    fs::write(dir.join("Cargo.toml"), "[workspace]\n").expect("write Cargo.toml");
+    fs::create_dir_all(dir.join("crates")).expect("create crates/");
+    dir
+}
+
+fn write_crate_file(root: &Path, rel: &str, content: &str) {
+    let path = root.join(rel);
+    fs::create_dir_all(path.parent().expect("rel has a parent")).expect("mkdir");
+    fs::write(path, content).expect("write source");
+}
+
+#[test]
+fn baseline_then_check_round_trips_clean() {
+    let root = temp_workspace("roundtrip");
+    write_crate_file(
+        &root,
+        "crates/foo/src/lib.rs",
+        &format!(
+            "{CLEAN_ROOT}\npub fn a(o: Option<u32>) -> u32 {{ o.unwrap() }}\n\
+                  pub fn b(o: Option<u32>) -> u32 {{ o.unwrap() }}\n"
+        ),
+    );
+
+    // Two panic sites, no baseline yet: check must fail.
+    let before = run_check(&root).expect("scan runs");
+    assert!(!before.is_clean());
+    assert_eq!(before.panic_total, 2);
+
+    // Baseline, then check: clean, and the ratchet file parses back.
+    let counts = write_baseline(&root).expect("baseline writes");
+    assert_eq!(counts.get("crates/foo/src/lib.rs"), Some(&2));
+    let text = fs::read_to_string(root.join(baseline::BASELINE_FILE)).expect("baseline exists");
+    assert_eq!(baseline::parse(&text).expect("parses"), counts);
+    let after = run_check(&root).expect("scan runs");
+    assert!(after.is_clean(), "{after:?}");
+
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn injected_violation_fails_check_with_located_diagnostic() {
+    let root = temp_workspace("inject");
+    write_crate_file(&root, "crates/foo/src/lib.rs", CLEAN_ROOT);
+    write_baseline(&root).expect("baseline writes");
+    assert!(run_check(&root).expect("scan runs").is_clean());
+
+    // Inject one unwrap past the (zero) baseline.
+    write_crate_file(
+        &root,
+        "crates/foo/src/lib.rs",
+        &format!("{CLEAN_ROOT}\npub fn c(o: Option<u32>) -> u32 {{ o.unwrap() }}\n"),
+    );
+    let outcome = run_check(&root).expect("scan runs");
+    assert!(!outcome.is_clean());
+    assert_eq!(outcome.regressed_files.len(), 1);
+    assert_eq!(outcome.panic_regressions.len(), 1);
+    let v = &outcome.panic_regressions[0];
+    assert_eq!(v.path, "crates/foo/src/lib.rs");
+    assert_eq!(v.line, 6);
+    let rendered = resmatch_lint::render_outcome(&root, &outcome);
+    assert!(
+        rendered.contains("error[panic-free]") && rendered.contains("crates/foo/src/lib.rs:6:"),
+        "diagnostic must carry file:line:rule, got:\n{rendered}"
+    );
+
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn burn_down_shows_stale_baseline_note_and_stays_clean() {
+    let root = temp_workspace("burndown");
+    write_crate_file(
+        &root,
+        "crates/foo/src/lib.rs",
+        &format!("{CLEAN_ROOT}\npub fn a(o: Option<u32>) -> u32 {{ o.unwrap() }}\n"),
+    );
+    write_baseline(&root).expect("baseline writes");
+
+    // Burn the site down; check stays clean but points at the stale ratchet.
+    write_crate_file(&root, "crates/foo/src/lib.rs", CLEAN_ROOT);
+    let outcome = run_check(&root).expect("scan runs");
+    assert!(outcome.is_clean());
+    assert_eq!(outcome.stale_baseline.len(), 1);
+    let rendered = resmatch_lint::render_outcome(&root, &outcome);
+    assert!(rendered.contains("baseline"), "{rendered}");
+
+    let _ = fs::remove_dir_all(&root);
+}
+
+/// The observer fixtures declare `on_beta` without an emission site.
+fn write_observer_workspace(root: &Path, engine_extra: &str) {
+    let fixtures = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/observer_events");
+    let read = |name: &str| {
+        fs::read_to_string(fixtures.join(name))
+            .unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"))
+    };
+    write_crate_file(
+        root,
+        "crates/sim/src/lib.rs",
+        "//! Fixture sim crate.\n#![deny(missing_docs)]\n#![forbid(unsafe_code)]\n\npub fn ok() {}\n",
+    );
+    write_crate_file(root, "crates/sim/src/observer.rs", &read("observer.rs"));
+    write_crate_file(
+        root,
+        "crates/sim/src/engine.rs",
+        &format!("{}{engine_extra}", read("engine.rs")),
+    );
+    write_crate_file(root, "crates/sim/src/experiment.rs", &read("experiment.rs"));
+}
+
+#[test]
+fn dead_observer_event_fails_check_until_wired() {
+    let root = temp_workspace("observer");
+    write_observer_workspace(&root, "");
+    write_baseline(&root).expect("baseline writes");
+
+    let outcome = run_check(&root).expect("scan runs");
+    let dead: Vec<_> = outcome
+        .violations
+        .iter()
+        .filter(|v| v.rule == resmatch_lint::rules::Rule::ObserverEvents)
+        .collect();
+    assert_eq!(dead.len(), 1, "{:?}", outcome.violations);
+    assert!(dead[0].msg.contains("on_beta"));
+    assert_eq!(dead[0].path, "crates/sim/src/observer.rs");
+
+    // Wire the emission; the rule goes quiet.
+    write_observer_workspace(
+        &root,
+        "\npub fn drive_beta(o: &mut dyn crate::observer::SimObserver) { o.on_beta(); }\n",
+    );
+    let outcome = run_check(&root).expect("scan runs");
+    assert!(outcome.is_clean(), "{outcome:?}");
+
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn binary_exits_nonzero_on_violation_and_zero_when_clean() {
+    let root = temp_workspace("exitcode");
+    write_crate_file(
+        &root,
+        "crates/foo/src/lib.rs",
+        &format!("{CLEAN_ROOT}\npub fn c(o: Option<u32>) -> u32 {{ o.unwrap() }}\n"),
+    );
+    let bin = env!("CARGO_BIN_EXE_resmatch-lint");
+    let run = |args: &[&str]| {
+        Command::new(bin)
+            .args(args)
+            .arg("--root")
+            .arg(&root)
+            .output()
+            .expect("binary runs")
+    };
+    let fail = run(&["check"]);
+    assert_eq!(fail.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&fail.stdout).contains("error[panic-free]"));
+
+    assert_eq!(run(&["baseline"]).status.code(), Some(0));
+    let pass = run(&["check"]);
+    assert_eq!(pass.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&pass.stdout).contains("lint clean"));
+
+    // explain works without a workspace at all.
+    let explain = Command::new(bin)
+        .args(["explain", "panic-free"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(explain.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&explain.stdout).contains("invariant:"));
+
+    let _ = fs::remove_dir_all(&root);
+}

@@ -1,0 +1,6 @@
+//! A crate root carrying both hygiene attributes.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub fn exported() {}

@@ -1,0 +1,4 @@
+//! A crate root with neither `#![forbid(unsafe_code)]` nor
+//! `#![deny(missing_docs)]`.
+
+pub fn exported() {}

@@ -1,0 +1,28 @@
+//! Determinism-rule fixture: each `flagged` marker below is a site the
+//! rule must report; everything else must stay silent.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn bad() {
+    let _a: HashMap<u32, u32> = HashMap::new(); // flagged: random SipHash seed
+    let _b: HashSet<u32> = HashSet::with_capacity(4); // flagged
+    let _t = std::time::SystemTime::now(); // flagged: wall clock
+    let _i = std::time::Instant::now(); // flagged: wall clock
+    let _id = std::thread::current().id(); // flagged: thread identity
+    let _v = std::env::var("HOME"); // flagged: host environment
+}
+
+pub fn good() {
+    let _c: HashMap<u32, u32, FnvBuildHasher> = HashMap::default();
+    let _d: std::collections::BTreeMap<u32, u32> = Default::default();
+    // lint: allow(determinism): fixture-approved wall clock
+    let _i = Instant::now();
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn exempt() {
+        let _x: super::HashMap<u32, u32> = super::HashMap::new();
+        let _t = std::time::Instant::now();
+    }
+}

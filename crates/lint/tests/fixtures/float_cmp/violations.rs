@@ -1,0 +1,19 @@
+//! Float-comparison fixture: three sites the rule must report; ordered
+//! comparisons, integer comparisons, tuple indices, and allow-documented
+//! exact checks stay silent.
+
+pub fn bad(x: f64, y: f64) -> bool {
+    let a = x == 1.0; // flagged
+    let b = 0.5 != y; // flagged
+    let c = x == -2.5; // flagged: unary minus on the literal
+    a && b && c
+}
+
+pub fn good(x: f64, t: (f64, u32)) -> bool {
+    let a = x <= 1.0;
+    let b = x >= 0.5;
+    let c = t.1 == 2;
+    // lint: allow(float-cmp): exact zero-divisor guard
+    let d = x == 0.0;
+    a && b && c && d
+}

@@ -1,0 +1,5 @@
+//! Fixture engine: emits `on_alpha` but not `on_beta`.
+
+pub fn drive(o: &mut dyn crate::observer::SimObserver) {
+    o.on_alpha();
+}

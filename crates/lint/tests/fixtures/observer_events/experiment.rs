@@ -1,0 +1,5 @@
+//! Fixture sweep driver: emits every `SweepObserver` method.
+
+pub fn sweep(o: &dyn crate::observer::SweepObserver) {
+    o.on_gamma();
+}

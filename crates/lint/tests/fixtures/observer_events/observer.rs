@@ -1,0 +1,11 @@
+//! Observer-events fixture trait declarations: `on_beta` is declared but
+//! never emitted by the fixture engine, so the rule must flag it.
+
+pub trait SimObserver {
+    fn on_alpha(&mut self) {}
+    fn on_beta(&mut self) {}
+}
+
+pub trait SweepObserver {
+    fn on_gamma(&self) {}
+}

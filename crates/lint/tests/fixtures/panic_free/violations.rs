@@ -1,0 +1,32 @@
+//! Panic-freedom fixture: five sites the rule must report, plus shapes it
+//! must leave alone (invariant-documented expects, macros, array repeats,
+//! identifier indexing, and `#[cfg(test)]` code).
+
+pub fn bad(xs: &[u32], o: Option<u32>) -> u32 {
+    let a = o.unwrap(); // flagged
+    let b = o.expect("present"); // flagged: undocumented expect
+    if xs.is_empty() {
+        panic!("empty"); // flagged
+    }
+    match a {
+        0 => unreachable!(), // flagged
+        _ => {}
+    }
+    xs[0] + b // flagged: literal index
+}
+
+pub fn good(xs: &[u32], o: Option<u32>, idx: usize) -> u32 {
+    let a = o.expect("invariant: caller guarantees a value");
+    let v = vec![0];
+    let arr = [0; 4];
+    xs.first().copied().unwrap_or(0) + a + arr[idx] + v.len() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        let xs = [1u32, 2];
+        assert_eq!(xs[0], Some(1u32).unwrap());
+    }
+}

@@ -1,0 +1,134 @@
+//! Per-rule fixture tests: each fixture file marks its expected violation
+//! sites with a `// flagged` comment, so the expectation is readable in the
+//! fixture itself and the test just compares line sets.
+
+use std::path::PathBuf;
+
+use resmatch_lint::rules::{check_file, FileClass, FileKind, Rule};
+
+fn fixture(rel: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rel);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
+}
+
+fn lib_class(crate_name: &str) -> FileClass {
+    FileClass {
+        crate_name: crate_name.to_string(),
+        kind: FileKind::Lib,
+        is_crate_root: false,
+    }
+}
+
+/// Lines carrying a `// flagged` marker, 1-based.
+fn marked_lines(src: &str) -> Vec<u32> {
+    src.lines()
+        .enumerate()
+        .filter(|(_, l)| l.contains("// flagged"))
+        .map(|(i, _)| (i + 1) as u32)
+        .collect()
+}
+
+fn lines_for(rule: Rule, src: &str, class: &FileClass) -> Vec<u32> {
+    let mut lines: Vec<u32> = check_file("crates/x/src/f.rs", src, class)
+        .into_iter()
+        .filter(|v| v.rule == rule)
+        .map(|v| v.line)
+        .collect();
+    lines.sort_unstable();
+    lines
+}
+
+#[test]
+fn determinism_fixture_sites() {
+    let src = fixture("determinism/violations.rs");
+    assert_eq!(
+        lines_for(Rule::Determinism, &src, &lib_class("sim")),
+        marked_lines(&src),
+    );
+}
+
+#[test]
+fn determinism_rule_is_scoped_to_engine_crates() {
+    let src = fixture("determinism/violations.rs");
+    // The same source in a non-engine crate (cli) raises nothing.
+    assert_eq!(
+        lines_for(Rule::Determinism, &src, &lib_class("cli")),
+        vec![]
+    );
+    // And in bin code of an engine crate, nothing either.
+    let bin = FileClass {
+        crate_name: "sim".to_string(),
+        kind: FileKind::Bin,
+        is_crate_root: false,
+    };
+    assert_eq!(lines_for(Rule::Determinism, &src, &bin), vec![]);
+}
+
+#[test]
+fn panic_free_fixture_sites() {
+    let src = fixture("panic_free/violations.rs");
+    // The rule applies to every crate's library code, engine or not.
+    assert_eq!(
+        lines_for(Rule::PanicFree, &src, &lib_class("stats")),
+        marked_lines(&src),
+    );
+}
+
+#[test]
+fn float_cmp_fixture_sites() {
+    let src = fixture("float_cmp/violations.rs");
+    assert_eq!(
+        lines_for(Rule::FloatCmp, &src, &lib_class("workload")),
+        marked_lines(&src),
+    );
+    // stats is the approved comparison-helper crate: exempt.
+    assert_eq!(lines_for(Rule::FloatCmp, &src, &lib_class("stats")), vec![]);
+}
+
+#[test]
+fn crate_hygiene_fixture() {
+    let missing = fixture("crate_hygiene/missing_attrs.rs");
+    let clean = fixture("crate_hygiene/clean_root.rs");
+    let root = |name: &str| FileClass {
+        crate_name: name.to_string(),
+        kind: FileKind::Lib,
+        is_crate_root: true,
+    };
+    // A public-API crate root missing both attributes: two violations.
+    assert_eq!(
+        lines_for(Rule::CrateHygiene, &missing, &root("sim")).len(),
+        2
+    );
+    // A non-API crate only needs forbid(unsafe_code): one violation.
+    assert_eq!(
+        lines_for(Rule::CrateHygiene, &missing, &root("stats")).len(),
+        1
+    );
+    // The clean root satisfies both tiers.
+    assert_eq!(lines_for(Rule::CrateHygiene, &clean, &root("sim")), vec![]);
+    assert_eq!(
+        lines_for(Rule::CrateHygiene, &clean, &root("stats")),
+        vec![]
+    );
+    // Non-root files are never checked for hygiene.
+    assert_eq!(
+        lines_for(Rule::CrateHygiene, &missing, &lib_class("sim")),
+        vec![]
+    );
+}
+
+#[test]
+fn every_rule_has_an_explanation_and_round_trips_by_id() {
+    for rule in Rule::all() {
+        assert!(
+            rule.explain().len() > 80,
+            "{} explanation too thin",
+            rule.id()
+        );
+        assert_eq!(Rule::from_id(rule.id()), Some(rule));
+    }
+    assert_eq!(Rule::from_id("no-such-rule"), None);
+}

@@ -1,0 +1,30 @@
+//! Tier-1 guard: the real workspace must pass `resmatch-lint check`.
+//!
+//! This is the same gate CI runs (`cargo run -p resmatch-lint -- check`),
+//! folded into `cargo test` so a violation fails the ordinary test loop
+//! too — nothing lands with a determinism leak, a fresh panic site past
+//! the ratchet, or a dead observer event.
+
+use std::path::PathBuf;
+
+#[test]
+fn real_workspace_is_lint_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/lint sits two levels under the workspace root")
+        .to_path_buf();
+    let outcome = resmatch_lint::run_check(&root).expect("scan runs");
+    assert!(
+        outcome.is_clean(),
+        "workspace has lint violations; run `cargo run -p resmatch-lint -- check` \
+         for details:\n{}",
+        resmatch_lint::render_outcome(&root, &outcome)
+    );
+    // The ratchet only goes down: if this number shrinks, regenerate the
+    // baseline in the same change (`cargo run -p resmatch-lint -- baseline`).
+    assert_eq!(
+        outcome.panic_total, outcome.baseline_total,
+        "panic-site count diverged from lint-baseline.txt; regenerate the baseline"
+    );
+}

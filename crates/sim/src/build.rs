@@ -158,7 +158,7 @@ impl SimulationBuilder {
         Ok(self
             .observers
             .into_iter()
-            .fold(sim, |sim, obs| sim.with_observer(obs)))
+            .fold(sim, Simulation::with_observer))
     }
 }
 

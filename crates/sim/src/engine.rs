@@ -97,7 +97,7 @@ impl Default for SimConfig {
             feedback: FeedbackMode::Implicit,
             max_estimation_attempts: 3,
             false_positive_rate: 0.0,
-            seed: 0xC0FFEE,
+            seed: 0x00C0_FFEE,
         }
     }
 }
@@ -329,7 +329,7 @@ impl Simulation {
     pub fn run(mut self, workload: &Workload) -> SimResult {
         let jobs = workload.jobs();
         let total_nodes = self.cluster.total_nodes();
-        let first_submit = jobs.first().map(|j| j.submit).unwrap_or(Time::ZERO);
+        let first_submit = jobs.first().map_or(Time::ZERO, |j| j.submit);
         let mut dropped_up_front = 0usize;
 
         let mut state = RunState {
@@ -568,7 +568,7 @@ impl Simulation {
     ) {
         let run = state.running[run_id as usize]
             .take()
-            .expect("execution ends exactly once");
+            .expect("invariant: an ExecutionEnd event fires exactly once per live run id");
         state.running_count -= 1;
         state.free_run_ids.push(run_id);
         let job = &state.jobs[run.job];
@@ -716,7 +716,7 @@ impl Simulation {
     /// feedback has arrived since it was admitted. Removes it from the
     /// queue and returns true on success.
     fn try_start_at(&mut self, state: &mut RunState<'_>, idx: usize, now: Time) -> bool {
-        let stale = {
+        let needs_refresh = {
             let q = &state.queue[idx];
             q.structural_stamp != state.structural_epoch
                 || match q.scope {
@@ -733,7 +733,7 @@ impl Simulation {
                     EstimateScope::Global => q.feedback_stamp != state.feedback_epoch,
                 }
         };
-        if stale {
+        if needs_refresh {
             let (job_idx, attempts) = {
                 let q = &state.queue[idx];
                 (q.job, q.attempts)
@@ -794,7 +794,10 @@ impl Simulation {
         if let Some(obs) = state.obs.as_deref_mut() {
             obs.on_started(now, job.id, min_mem, job.nodes);
         }
-        let queued = state.queue.remove(idx).expect("index in range");
+        let queued = state
+            .queue
+            .remove(idx)
+            .expect("invariant: try_start_at is only called with idx < queue.len()");
         let running = Running {
             job: queued.job,
             start: now,
@@ -848,8 +851,11 @@ impl Simulation {
                     break;
                 }
                 // Phase 2: reservation for the blocked head.
-                let head_demand = state.queue[0].demand;
-                let head_nodes = state.jobs[state.queue[0].job].nodes;
+                let Some(head) = state.queue.front() else {
+                    break;
+                };
+                let head_demand = head.demand;
+                let head_nodes = state.jobs[head.job].nodes;
                 let free_now = self.cluster.free_nodes_satisfying(&head_demand);
                 let releases: Vec<(Time, u32)> = state
                     .running

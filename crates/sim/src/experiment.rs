@@ -42,8 +42,7 @@ where
         return Vec::new();
     }
     let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+        .map_or(1, std::num::NonZeroUsize::get)
         .min(count);
     let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
     if workers <= 1 {
@@ -75,7 +74,7 @@ where
     }
     slots
         .into_iter()
-        .map(|s| s.expect("every sweep slot filled"))
+        .map(|s| s.expect("invariant: the worker pool fills every slot before the scope exits"))
         .collect()
 }
 

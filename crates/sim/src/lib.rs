@@ -29,7 +29,7 @@
 //! assert_eq!(result.completed_jobs, 300);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod build;

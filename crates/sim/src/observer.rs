@@ -262,6 +262,9 @@ impl CountersObserver {
 impl SimObserver for CountersObserver {
     fn on_run_start(&mut self, _total_jobs: usize) {
         self.inner.runs_started.fetch_add(1, Ordering::Relaxed);
+        // Wall-clock here only feeds the observability snapshot
+        // (run_wall_s); SimResult itself is untouched by this timing.
+        // lint: allow(determinism): observability-only wall clock
         self.run_started_at = Some(Instant::now());
     }
 

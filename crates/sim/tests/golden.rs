@@ -219,6 +219,38 @@ fn golden_sjf_quantile_explicit() {
     check("sjf_quantile_explicit", &r);
 }
 
+/// FNV-1a over the canonical rendering: one u64 that moves iff any byte of
+/// the golden output moves.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Pinned digest of the fixed-seed FCFS + successive-estimator run.
+///
+/// This guards the panic-site burn-down (unwrap/expect → documented
+/// invariants, `let-else` head peeking in the backfill loop) the same way
+/// the golden files do, but as a single constant that cannot be silently
+/// regenerated: if this hash moves, the engine's observable behavior
+/// changed and the change must be justified alongside the new value.
+#[test]
+fn golden_fcfs_successive_hash_pinned() {
+    const EXPECTED: u64 = 0x9404_ab49_01a3_c631;
+    let w = base_workload();
+    let r = run(SimConfig::default(), EstimatorSpec::paper_successive(), &w);
+    let got = fnv1a(render(&r).as_bytes());
+    assert_eq!(
+        got, EXPECTED,
+        "fixed-seed SimResult digest moved (got {got:#018x}); the engine's \
+         observable behavior changed — update the constant only with an \
+         intentional semantic change"
+    );
+}
+
 #[test]
 fn golden_fcfs_robust_implicit() {
     use resmatch_core::robust::RobustConfig;
