@@ -1,102 +1,10 @@
-//! Ablation: the estimator parameters α and β (§2.3's trade-off discussion).
+//! Ablation: alpha / beta / similarity-policy parameter study.
 //!
-//! Large α reaches small machines in fewer steps but overshoots more (the
-//! paper's 32→3.2 MB example); small α is conservative and can stall above
-//! usable pools (the α = 1.2 example). β > 0 lets a group refine after a
-//! failure instead of freezing. The paper picks α = 2, β = 0 as the best
-//! trade-off; this ablation measures why.
+//! Thin wrapper over [`resmatch_repro::experiments::ablation_alpha_beta`]; the experiment logic, its scales, and
+//! the paper claims gated on it live in the `resmatch-repro` manifest.
 //!
 //! Run: `cargo run --release -p resmatch-bench --bin ablation_alpha_beta [--jobs N] [--seed S]`
 
-use resmatch_bench::{header, paper_trace, ExperimentArgs};
-use resmatch_cluster::builder::paper_cluster;
-use resmatch_core::prelude::*;
-use resmatch_core::similarity::SimilarityPolicy;
-use resmatch_sim::prelude::*;
-use resmatch_workload::load::scale_to_load;
-
 fn main() {
-    let args = ExperimentArgs::parse(15_000);
-    let trace = paper_trace(args);
-    let cluster = paper_cluster(24);
-    let scaled = scale_to_load(&trace, cluster.total_nodes(), 1.2);
-
-    let baseline = Simulation::new(
-        SimConfig::default(),
-        cluster.clone(),
-        EstimatorSpec::PassThrough,
-    )
-    .run(&scaled);
-    let base_util = baseline.utilization();
-
-    header("ablation: alpha (beta = 0)");
-    println!(
-        "{:>8} {:>8} {:>10} {:>9} {:>10}",
-        "alpha", "util", "vs. base", "fail%", "lowered%"
-    );
-    for alpha in [1.2, 1.5, 2.0, 4.0, 10.0] {
-        let spec = EstimatorSpec::Successive(SuccessiveConfig {
-            alpha,
-            beta: 0.0,
-            policy: SimilarityPolicy::UserAppRequest,
-        });
-        let r = Simulation::new(SimConfig::default(), cluster.clone(), spec).run(&scaled);
-        println!(
-            "{:>8.1} {:>8.3} {:>9.0}% {:>8.3}% {:>9.1}%",
-            alpha,
-            r.utilization(),
-            (r.utilization() / base_util - 1.0) * 100.0,
-            r.failed_execution_fraction() * 100.0,
-            r.lowered_job_fraction() * 100.0,
-        );
-    }
-
-    header("ablation: beta (alpha = 2)");
-    println!(
-        "{:>8} {:>8} {:>10} {:>9} {:>10}",
-        "beta", "util", "vs. base", "fail%", "lowered%"
-    );
-    for beta in [0.0, 0.25, 0.5, 0.75, 0.9] {
-        let spec = EstimatorSpec::Successive(SuccessiveConfig {
-            alpha: 2.0,
-            beta,
-            policy: SimilarityPolicy::UserAppRequest,
-        });
-        let r = Simulation::new(SimConfig::default(), cluster.clone(), spec).run(&scaled);
-        println!(
-            "{:>8.2} {:>8.3} {:>9.0}% {:>8.3}% {:>9.1}%",
-            beta,
-            r.utilization(),
-            (r.utilization() / base_util - 1.0) * 100.0,
-            r.failed_execution_fraction() * 100.0,
-            r.lowered_job_fraction() * 100.0,
-        );
-    }
-
-    header("ablation: similarity policy (alpha = 2, beta = 0)");
-    println!(
-        "{:<22} {:>8} {:>10} {:>9} {:>10}",
-        "policy", "util", "vs. base", "fail%", "lowered%"
-    );
-    for (name, policy) in [
-        ("user+app+request", SimilarityPolicy::UserAppRequest),
-        ("user+app", SimilarityPolicy::UserApp),
-        ("user", SimilarityPolicy::User),
-        ("app+request", SimilarityPolicy::AppRequest),
-    ] {
-        let spec = EstimatorSpec::Successive(SuccessiveConfig {
-            alpha: 2.0,
-            beta: 0.0,
-            policy,
-        });
-        let r = Simulation::new(SimConfig::default(), cluster.clone(), spec).run(&scaled);
-        println!(
-            "{:<22} {:>8.3} {:>9.0}% {:>8.3}% {:>9.1}%",
-            name,
-            r.utilization(),
-            (r.utilization() / base_util - 1.0) * 100.0,
-            r.failed_execution_fraction() * 100.0,
-            r.lowered_job_fraction() * 100.0,
-        );
-    }
+    resmatch_bench::run_manifest_experiment("ablation_alpha_beta");
 }

@@ -1,84 +1,10 @@
-//! Ablation: dynamic cluster membership.
+//! Ablation: dynamic cluster membership (grid churn, §1.1).
 //!
-//! The paper motivates estimation with grid settings where "machines can
-//! dynamically join and leave the systems at any time" (§1.1). This
-//! ablation cycles half the 24 MB pool offline and online during the run
-//! and measures whether estimation's benefit survives churn — it should:
-//! the estimator keys on similarity groups, not on specific machines.
+//! Thin wrapper over [`resmatch_repro::experiments::ablation_churn`]; the experiment logic, its scales, and
+//! the paper claims gated on it live in the `resmatch-repro` manifest.
 //!
 //! Run: `cargo run --release -p resmatch-bench --bin ablation_churn [--jobs N] [--seed S]`
 
-use resmatch_bench::{header, paper_trace, ExperimentArgs, MB};
-use resmatch_cluster::builder::paper_cluster;
-use resmatch_sim::prelude::*;
-use resmatch_workload::load::scale_to_load;
-use resmatch_workload::Time;
-
-/// Cycle `nodes` nodes of the 24 MB pool out and back every `period` over
-/// the trace duration.
-fn churn_schedule(span_s: u64, period_s: u64, nodes: i64) -> Vec<ChurnEvent> {
-    let mut events = Vec::new();
-    let mut t = period_s;
-    let mut online = true;
-    while t < span_s {
-        events.push(ChurnEvent {
-            time: Time::from_secs(t),
-            mem_kb: 24 * MB,
-            delta: if online { -nodes } else { nodes },
-        });
-        online = !online;
-        t += period_s;
-    }
-    events
-}
-
 fn main() {
-    let args = ExperimentArgs::parse(12_000);
-    let trace = paper_trace(args);
-    let cluster = paper_cluster(24);
-    let scaled = scale_to_load(&trace, cluster.total_nodes(), 1.0);
-    let span_s = scaled.span().as_secs();
-
-    header("ablation: node churn (half the 24 MB pool cycles in/out)");
-    println!(
-        "{:<22} {:>12} {:>12} {:>10}",
-        "churn period", "util (base)", "util (est.)", "ratio"
-    );
-    let periods: Vec<(&str, Option<u64>)> = vec![
-        ("none", None),
-        ("span / 4", Some(span_s / 4)),
-        ("span / 16", Some(span_s / 16)),
-        ("span / 64", Some(span_s / 64)),
-    ];
-    for (label, period) in periods {
-        let schedule = period
-            .map(|p| churn_schedule(span_s, p.max(1), 256))
-            .unwrap_or_default();
-        let base = Simulation::new(
-            SimConfig::default(),
-            cluster.clone(),
-            EstimatorSpec::PassThrough,
-        )
-        .with_churn(schedule.clone())
-        .run(&scaled);
-        let est = Simulation::new(
-            SimConfig::default(),
-            cluster.clone(),
-            EstimatorSpec::paper_successive(),
-        )
-        .with_churn(schedule)
-        .run(&scaled);
-        println!(
-            "{:<22} {:>12.3} {:>12.3} {:>10.2}",
-            label,
-            base.utilization(),
-            est.utilization(),
-            est.utilization() / base.utilization().max(1e-9),
-        );
-    }
-    println!(
-        "\nEstimation's advantage persists under churn because similarity\n\
-         groups are machine-agnostic; only the capacity ladder matters, and\n\
-         it is unchanged by nodes leaving temporarily."
-    );
+    resmatch_bench::run_manifest_experiment("ablation_churn");
 }

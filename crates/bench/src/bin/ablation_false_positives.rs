@@ -1,63 +1,10 @@
-//! Ablation: false-positive failures under implicit feedback (§2.1).
+//! Ablation: injected false positives, implicit vs. explicit feedback (§2.1).
 //!
-//! "An additional drawback of resource estimation using implicit feedback
-//! is that it is more prone to false positive cases ... job failures due to
-//! faulty programming or faulty machines might confuse the estimator to
-//! assume that the job failed due to too low estimated resources. In the
-//! case of explicit feedback, however, such confusions can be avoided."
-//!
-//! This ablation injects unrelated failures at increasing rates and
-//! compares the implicit-feedback estimator (successive approximation)
-//! against an explicit-feedback one (last-instance).
+//! Thin wrapper over [`resmatch_repro::experiments::ablation_false_positives`]; the experiment logic, its scales, and
+//! the paper claims gated on it live in the `resmatch-repro` manifest.
 //!
 //! Run: `cargo run --release -p resmatch-bench --bin ablation_false_positives [--jobs N] [--seed S]`
 
-use resmatch_bench::{header, paper_trace, ExperimentArgs};
-use resmatch_cluster::builder::paper_cluster;
-use resmatch_core::prelude::*;
-use resmatch_sim::prelude::*;
-use resmatch_workload::load::scale_to_load;
-
 fn main() {
-    let args = ExperimentArgs::parse(15_000);
-    let trace = paper_trace(args);
-    let cluster = paper_cluster(24);
-    let scaled = scale_to_load(&trace, cluster.total_nodes(), 1.0);
-
-    header("ablation: injected false-positive failures");
-    println!(
-        "{:>8} {:>22} {:>22}",
-        "fp rate", "util (implicit, Alg.1)", "util (explicit, last)"
-    );
-    for fp in [0.0, 0.005, 0.01, 0.02, 0.05] {
-        let implicit_cfg = SimConfig::default().with_false_positive_rate(fp);
-        let explicit_cfg = SimConfig::default()
-            .with_false_positive_rate(fp)
-            .with_feedback(FeedbackMode::Explicit);
-        let implicit = Simulation::new(
-            implicit_cfg,
-            cluster.clone(),
-            EstimatorSpec::paper_successive(),
-        )
-        .run(&scaled);
-        let explicit = Simulation::new(
-            explicit_cfg,
-            cluster.clone(),
-            EstimatorSpec::LastInstance(LastInstanceConfig::default()),
-        )
-        .run(&scaled);
-        println!(
-            "{:>8.3} {:>15.3} ({:>4.1}%) {:>15.3} ({:>4.1}%)",
-            fp,
-            implicit.utilization(),
-            implicit.lowered_job_fraction() * 100.0,
-            explicit.utilization(),
-            explicit.lowered_job_fraction() * 100.0,
-        );
-    }
-    println!(
-        "\n(parenthesized: fraction of jobs still running with lowered\n\
-         estimates — implicit feedback loses reach as spurious failures\n\
-         freeze groups, the paper's predicted failure mode)"
-    );
+    resmatch_bench::run_manifest_experiment("ablation_false_positives");
 }

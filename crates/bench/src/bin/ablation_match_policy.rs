@@ -1,51 +1,10 @@
-//! Ablation: resource-matching policy.
+//! Ablation: first/best/worst-fit matching x estimation.
 //!
-//! The paper's §1.1 scenario is a matching-order story: J1 gets placed on
-//! the big machine M1 "because the user requests a memory size larger than
-//! that of M2", and J2 blocks behind it. Best-fit placement (smallest
-//! sufficient capacity first) avoids squatting; worst-fit maximizes it.
-//! This ablation quantifies the policy choice with and without estimation.
+//! Thin wrapper over [`resmatch_repro::experiments::ablation_match_policy`]; the experiment logic, its scales, and
+//! the paper claims gated on it live in the `resmatch-repro` manifest.
 //!
 //! Run: `cargo run --release -p resmatch-bench --bin ablation_match_policy [--jobs N] [--seed S]`
 
-use resmatch_bench::{header, paper_trace, ExperimentArgs};
-use resmatch_cluster::builder::paper_cluster;
-use resmatch_cluster::MatchPolicy;
-use resmatch_sim::prelude::*;
-use resmatch_workload::load::scale_to_load;
-
 fn main() {
-    let args = ExperimentArgs::parse(15_000);
-    let trace = paper_trace(args);
-    let cluster = paper_cluster(24);
-    let scaled = scale_to_load(&trace, cluster.total_nodes(), 1.2);
-
-    header("ablation: match policy x estimation (512x32MB + 512x24MB)");
-    println!(
-        "{:<12} {:>12} {:>12} {:>10} {:>10}",
-        "policy", "util (base)", "util (est.)", "ratio", "est fail%"
-    );
-    for (name, policy) in [
-        ("best-fit", MatchPolicy::BestFit),
-        ("first-fit", MatchPolicy::FirstFit),
-        ("worst-fit", MatchPolicy::WorstFit),
-    ] {
-        let cfg = SimConfig::default().with_match_policy(policy);
-        let base = Simulation::new(cfg, cluster.clone(), EstimatorSpec::PassThrough).run(&scaled);
-        let est =
-            Simulation::new(cfg, cluster.clone(), EstimatorSpec::paper_successive()).run(&scaled);
-        println!(
-            "{:<12} {:>12.3} {:>12.3} {:>10.2} {:>9.3}%",
-            name,
-            base.utilization(),
-            est.utilization(),
-            est.utilization() / base.utilization().max(1e-9),
-            est.failed_execution_fraction() * 100.0,
-        );
-    }
-    println!(
-        "\nWorst-fit parks small estimates on 32 MB nodes, recreating the\n\
-         squatting the paper's scenario describes; best-fit preserves the\n\
-         large-memory pool for the jobs that genuinely need it."
-    );
+    resmatch_bench::run_manifest_experiment("ablation_match_policy");
 }

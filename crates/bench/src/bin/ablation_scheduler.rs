@@ -1,53 +1,10 @@
-//! Ablation: scheduling policy (the paper's future-work hypothesis).
+//! Ablation: scheduling policy x estimation (the §4 hypothesis).
 //!
-//! "We expect that the results of cluster utilization with more aggressive
-//! scheduling policies like backfilling will be correlated with those for
-//! FCFS. However, these experiments are left for future work." This
-//! ablation runs them: FCFS, EASY backfilling, and SJF, each with and
-//! without estimation.
+//! Thin wrapper over [`resmatch_repro::experiments::ablation_scheduler`]; the experiment logic, its scales, and
+//! the paper claims gated on it live in the `resmatch-repro` manifest.
 //!
 //! Run: `cargo run --release -p resmatch-bench --bin ablation_scheduler [--jobs N] [--seed S]`
 
-use resmatch_bench::{header, paper_trace, ExperimentArgs};
-use resmatch_cluster::builder::paper_cluster;
-use resmatch_sim::prelude::*;
-use resmatch_workload::load::scale_to_load;
-
 fn main() {
-    let args = ExperimentArgs::parse(15_000);
-    let trace = paper_trace(args);
-    let cluster = paper_cluster(24);
-    let scaled = scale_to_load(&trace, cluster.total_nodes(), 1.2);
-
-    header("ablation: scheduling policy x estimation");
-    println!("cluster 512x32MB + 512x24MB, saturating load, alpha=2 beta=0\n");
-    println!(
-        "{:<18} {:>12} {:>12} {:>12} {:>14}",
-        "policy", "util (base)", "util (est.)", "ratio", "slowdown ratio"
-    );
-
-    for (name, policy) in [
-        ("FCFS", SchedulingPolicy::Fcfs),
-        ("EASY backfill", SchedulingPolicy::EasyBackfill),
-        ("SJF", SchedulingPolicy::Sjf),
-    ] {
-        let cfg = SimConfig::default().with_scheduling(policy);
-        let base = Simulation::new(cfg, cluster.clone(), EstimatorSpec::PassThrough).run(&scaled);
-        let est =
-            Simulation::new(cfg, cluster.clone(), EstimatorSpec::paper_successive()).run(&scaled);
-        println!(
-            "{:<18} {:>12.3} {:>12.3} {:>12.2} {:>14.2}",
-            name,
-            base.utilization(),
-            est.utilization(),
-            est.utilization() / base.utilization().max(1e-9),
-            base.mean_slowdown() / est.mean_slowdown().max(1e-9),
-        );
-    }
-
-    println!(
-        "\nThe paper's hypothesis holds when the estimation gain persists\n\
-         (ratio > 1) under backfilling, though backfilling already removes\n\
-         some head-of-line blocking on its own, shrinking the headroom."
-    );
+    resmatch_bench::run_manifest_experiment("ablation_scheduler");
 }

@@ -1,50 +1,10 @@
 //! Figure 1: histogram of the ratio between requested and used memory.
 //!
-//! The paper reports, for the LANL CM5 trace: ~32.8% of jobs with a
-//! mismatch of 2x or more, ratios spanning two orders of magnitude, and a
-//! log-linear regression over the histogram with R² = 0.69.
+//! Thin wrapper over [`resmatch_repro::experiments::fig1`]; the experiment logic, its scales, and
+//! the paper claims gated on it live in the `resmatch-repro` manifest.
 //!
 //! Run: `cargo run --release -p resmatch-bench --bin fig1_histogram [--jobs N] [--seed S]`
 
-use resmatch_bench::{header, paper_trace, ExperimentArgs};
-use resmatch_workload::analysis::{
-    histogram_log_fit, overprovisioned_fraction, overprovisioning_histogram,
-};
-
 fn main() {
-    let args = ExperimentArgs::parse(122_055);
-    let trace = paper_trace(args);
-
-    header("Figure 1: requested/used memory ratio histogram");
-    println!("trace: {} jobs (seed {})\n", trace.len(), args.seed);
-
-    let hist = overprovisioning_histogram(&trace, 8);
-    println!("{:<16} {:>10} {:>12}", "ratio bin", "jobs", "% of jobs");
-    for i in 0..hist.num_bins() {
-        let bar_len = (hist.fraction(i) * 120.0).round() as usize;
-        println!(
-            "[{:>5.0}, {:>5.0})   {:>10} {:>11.2}%  {}",
-            hist.bin_lower(i),
-            hist.bin_lower(i + 1),
-            hist.count(i),
-            hist.fraction(i) * 100.0,
-            "#".repeat(bar_len.min(60)),
-        );
-    }
-    println!("{:<16} {:>10}", ">= 256", hist.overflow());
-
-    header("headline statistics vs. paper");
-    let frac2 = overprovisioned_fraction(&trace, 2.0);
-    println!(
-        "jobs with ratio >= 2x:   {:>6.1}%   (paper: 32.8%)",
-        frac2 * 100.0
-    );
-    match histogram_log_fit(&hist) {
-        Some(fit) => println!(
-            "log-linear fit R^2:      {:>6.2}    (paper: 0.69)\n\
-             fit slope:               {:>6.3} log10(fraction)/bin",
-            fit.r_squared, fit.slope
-        ),
-        None => println!("log-linear fit: not enough populated bins"),
-    }
+    resmatch_bench::run_manifest_experiment("fig1_histogram");
 }

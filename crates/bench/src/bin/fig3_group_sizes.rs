@@ -1,87 +1,10 @@
-//! Figure 3: distribution of jobs according to similarity-group size.
+//! Figure 3: distribution of similarity-group sizes.
 //!
-//! The paper identifies similar jobs by (user ID, application number,
-//! requested memory), yielding 9,885 disjoint groups over 122,055 jobs;
-//! groups of >= 10 jobs are 19.4% of the sets but hold 83% of the jobs.
+//! Thin wrapper over [`resmatch_repro::experiments::fig3`]; the experiment logic, its scales, and
+//! the paper claims gated on it live in the `resmatch-repro` manifest.
 //!
 //! Run: `cargo run --release -p resmatch-bench --bin fig3_group_sizes [--jobs N] [--seed S]`
 
-use resmatch_bench::{header, paper_trace, ExperimentArgs};
-use resmatch_workload::analysis::{group_size_distribution, trace_stats};
-
 fn main() {
-    let args = ExperimentArgs::parse(122_055);
-    let trace = paper_trace(args);
-    let stats = trace_stats(&trace);
-
-    header("Figure 3: jobs by similarity-group size");
-    println!(
-        "trace: {} jobs, {} groups (paper: 122,055 jobs, 9,885 groups)\n",
-        stats.jobs, stats.groups
-    );
-
-    let dist = group_size_distribution(&trace);
-    // Log-spaced size buckets for readability, mirroring the figure's
-    // log-scaled axis.
-    let edges = [1, 2, 3, 5, 10, 20, 50, 100, 200, 500, 1_000];
-    println!(
-        "{:<16} {:>8} {:>14}",
-        "group size", "groups", "job fraction"
-    );
-    for w in edges.windows(2) {
-        let (lo, hi) = (w[0], w[1]);
-        let groups: usize = dist
-            .iter()
-            .filter(|b| b.size >= lo && b.size < hi)
-            .map(|b| b.groups)
-            .sum();
-        let jobs: f64 = dist
-            .iter()
-            .filter(|b| b.size >= lo && b.size < hi)
-            .map(|b| b.job_fraction)
-            .sum();
-        let bar = "#".repeat((jobs * 150.0).round() as usize);
-        println!(
-            "[{lo:>4}, {hi:>4})    {groups:>8} {:>13.2}%  {bar}",
-            jobs * 100.0
-        );
-    }
-    let giant: f64 = dist
-        .iter()
-        .filter(|b| b.size >= 1_000)
-        .map(|b| b.job_fraction)
-        .sum();
-    println!(
-        "{:<16} {:>8} {:>13.2}%",
-        ">= 1000",
-        dist.iter()
-            .filter(|b| b.size >= 1_000)
-            .map(|b| b.groups)
-            .sum::<usize>(),
-        giant * 100.0
-    );
-
-    header("headline statistics vs. paper");
-    let big_sets = dist
-        .iter()
-        .filter(|b| b.size >= 10)
-        .map(|b| b.groups)
-        .sum::<usize>();
-    let big_jobs: f64 = dist
-        .iter()
-        .filter(|b| b.size >= 10)
-        .map(|b| b.job_fraction)
-        .sum();
-    println!(
-        "groups with >= 10 jobs:  {:>6.1}% of groups  (paper: 19.4%)",
-        big_sets as f64 / stats.groups.max(1) as f64 * 100.0
-    );
-    println!(
-        "jobs in such groups:     {:>6.1}% of jobs    (paper: 83%)",
-        big_jobs * 100.0
-    );
-    println!(
-        "mean group size:         {:>6.1}            (paper: 12.3)",
-        stats.mean_group_size
-    );
+    resmatch_bench::run_manifest_experiment("fig3_group_sizes");
 }

@@ -1,69 +1,10 @@
-//! Figure 4: possible gain from estimation vs. group similarity.
+//! Figure 4: possible gain vs. group similarity range.
 //!
-//! For every similarity group with >= 10 jobs, the paper plots the ratio of
-//! requested memory to the group's maximum used memory (the reclaimable
-//! head-room) against the ratio of maximum to minimum used memory (the
-//! similarity range). Most groups sit at small ranges — evidence the
-//! similarity criterion works — and some combine high gain (an order of
-//! magnitude) with tight similarity, the ideal estimation targets.
+//! Thin wrapper over [`resmatch_repro::experiments::fig4`]; the experiment logic, its scales, and
+//! the paper claims gated on it live in the `resmatch-repro` manifest.
 //!
 //! Run: `cargo run --release -p resmatch-bench --bin fig4_gain_vs_range [--jobs N] [--seed S]`
 
-use resmatch_bench::{header, paper_trace, ExperimentArgs};
-use resmatch_workload::analysis::gain_vs_range;
-
 fn main() {
-    let args = ExperimentArgs::parse(122_055);
-    let trace = paper_trace(args);
-
-    header("Figure 4: gain vs. similarity range (groups with >= 10 jobs)");
-    let points = gain_vs_range(&trace, 10);
-    println!("groups plotted: {}\n", points.len());
-
-    // A textual 2-D density: ranges on rows, gains on columns.
-    let range_edges = [1.0, 1.05, 1.1, 1.25, 1.5, 2.0, 4.0, f64::INFINITY];
-    let gain_edges = [1.0, 1.5, 2.0, 4.0, 8.0, 16.0, 32.0, f64::INFINITY];
-    println!(
-        "{:<16} {}",
-        "range \\ gain",
-        gain_edges
-            .windows(2)
-            .map(|w| format!("{:>8}", format!("<{:.0}", w[1].min(99.0))))
-            .collect::<String>()
-    );
-    for rw in range_edges.windows(2) {
-        let row: String = gain_edges
-            .windows(2)
-            .map(|gw| {
-                let n = points
-                    .iter()
-                    .filter(|p| {
-                        p.range >= rw[0] && p.range < rw[1] && p.gain >= gw[0] && p.gain < gw[1]
-                    })
-                    .count();
-                format!("{n:>8}")
-            })
-            .collect();
-        let label = if rw[1].is_infinite() {
-            format!(">={:.2}", rw[0])
-        } else {
-            format!("[{:.2},{:.2})", rw[0], rw[1])
-        };
-        println!("{label:<16} {row}");
-    }
-
-    header("headline statistics vs. paper");
-    let tight = points.iter().filter(|p| p.range <= 1.1).count();
-    let high_gain_tight = points
-        .iter()
-        .filter(|p| p.gain >= 10.0 && p.range <= 1.25)
-        .count();
-    println!(
-        "groups at range <= 1.1:        {:>6.1}%  (paper: 'a large fraction')",
-        tight as f64 / points.len().max(1) as f64 * 100.0
-    );
-    println!(
-        "gain >= 10x with range <= 1.25: {high_gain_tight} groups  \
-         (paper: such groups exist and are the best targets)"
-    );
+    resmatch_bench::run_manifest_experiment("fig4_gain_vs_range");
 }

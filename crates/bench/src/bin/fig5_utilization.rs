@@ -1,77 +1,10 @@
-//! Figure 5: cluster utilization with and without resource estimation.
+//! Figure 5: utilization vs. offered load, with and without estimation.
 //!
-//! Cluster: 512 nodes of 32 MB plus 512 of 24 MB; FCFS; implicit feedback;
-//! Algorithm 1 with α = 2, β = 0. The paper reports a 58% improvement in
-//! utilization at the saturation points (where the linear growth of
-//! utilization against offered load stops).
+//! Thin wrapper over [`resmatch_repro::experiments::fig5`]; the experiment logic, its scales, and
+//! the paper claims gated on it live in the `resmatch-repro` manifest.
 //!
 //! Run: `cargo run --release -p resmatch-bench --bin fig5_utilization [--jobs N] [--seed S]`
 
-use resmatch_bench::{header, paper_trace, ExperimentArgs};
-use resmatch_cluster::builder::paper_cluster;
-use resmatch_sim::prelude::*;
-
 fn main() {
-    let args = ExperimentArgs::parse(30_000);
-    let trace = paper_trace(args);
-    let cluster = paper_cluster(24);
-
-    header("Figure 5: utilization vs. offered load (512x32MB + 512x24MB)");
-    println!(
-        "trace: {} jobs, FCFS, implicit feedback, alpha=2 beta=0\n",
-        trace.len()
-    );
-
-    let sweep = SweepConfig::default()
-        .with_loads(vec![0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.2, 1.5]);
-    let base = run_load_sweep(&trace, &cluster, EstimatorSpec::PassThrough, &sweep);
-    let est = run_load_sweep(&trace, &cluster, EstimatorSpec::paper_successive(), &sweep);
-
-    let pool_busy = |r: &resmatch_sim::SimResult, mem_mb: u64| {
-        r.pool_stats
-            .iter()
-            .find(|p| p.mem_kb == mem_mb * 1024)
-            .map(|p| p.mean_busy_fraction)
-            .unwrap_or(0.0)
-    };
-    println!(
-        "{:>6} {:>13} {:>13} {:>7} {:>12} {:>12}",
-        "load", "util (base)", "util (est.)", "ratio", "24MB (base)", "24MB (est.)"
-    );
-    for (b, e) in base.iter().zip(&est) {
-        let ub = b.result.utilization();
-        let ue = e.result.utilization();
-        println!(
-            "{:>6.2} {:>13.3} {:>13.3} {:>7.2} {:>12.3} {:>12.3}",
-            b.offered_load,
-            ub,
-            ue,
-            if ub > 0.0 { ue / ub } else { 1.0 },
-            pool_busy(&b.result, 24),
-            pool_busy(&e.result, 24),
-        );
-    }
-    println!(
-        "(the 24MB columns expose the mechanism: estimation puts the small\n\
-         pool to work instead of leaving it idle behind inflated requests)"
-    );
-
-    header("saturation comparison vs. paper");
-    let sat_base = saturation_utilization(
-        &base
-            .iter()
-            .map(|p| p.result.utilization())
-            .collect::<Vec<_>>(),
-    );
-    let sat_est = saturation_utilization(
-        &est.iter()
-            .map(|p| p.result.utilization())
-            .collect::<Vec<_>>(),
-    );
-    println!("saturation utilization without estimation: {sat_base:.3}");
-    println!("saturation utilization with estimation:    {sat_est:.3}");
-    println!(
-        "improvement:                                {:+.0}%   (paper: +58%)",
-        (sat_est / sat_base - 1.0) * 100.0
-    );
+    resmatch_bench::run_manifest_experiment("fig5_utilization");
 }

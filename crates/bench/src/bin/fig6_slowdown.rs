@@ -1,67 +1,10 @@
-//! Figure 6: the effect of resource estimation on slowdown.
+//! Figure 6: slowdown ratio vs. offered load.
 //!
-//! Same cluster and settings as Figure 5. The paper plots the ratio of
-//! slowdown *without* estimation to slowdown *with* estimation across
-//! loads: it never drops below 1 (estimation never hurts), and it peaks
-//! dramatically around 60% load, where the queue is short enough that
-//! freeing blocked jobs still collapses their wait times.
+//! Thin wrapper over [`resmatch_repro::experiments::fig6`]; the experiment logic, its scales, and
+//! the paper claims gated on it live in the `resmatch-repro` manifest.
 //!
 //! Run: `cargo run --release -p resmatch-bench --bin fig6_slowdown [--jobs N] [--seed S]`
 
-use resmatch_bench::{header, paper_trace, ExperimentArgs};
-use resmatch_cluster::builder::paper_cluster;
-use resmatch_sim::prelude::*;
-
 fn main() {
-    let args = ExperimentArgs::parse(30_000);
-    let trace = paper_trace(args);
-    let cluster = paper_cluster(24);
-
-    header("Figure 6: slowdown(no est.) / slowdown(est.) vs. offered load");
-    println!(
-        "trace: {} jobs, FCFS, implicit feedback, alpha=2 beta=0\n",
-        trace.len()
-    );
-
-    let sweep =
-        SweepConfig::default().with_loads(vec![0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.2]);
-    let base = run_load_sweep(&trace, &cluster, EstimatorSpec::PassThrough, &sweep);
-    let est = run_load_sweep(&trace, &cluster, EstimatorSpec::paper_successive(), &sweep);
-
-    println!(
-        "{:>8} {:>18} {:>18} {:>10} {:>12}",
-        "load", "slowdown (no est.)", "slowdown (est.)", "ratio", "queue (base)"
-    );
-    let mut peak = (0.0f64, 0.0f64);
-    for (b, e) in base.iter().zip(&est) {
-        let sb = b.result.mean_slowdown();
-        let se = e.result.mean_slowdown();
-        let ratio = if se > 0.0 { sb / se } else { 1.0 };
-        if ratio > peak.1 {
-            peak = (b.offered_load, ratio);
-        }
-        let bar = "#".repeat((ratio.min(60.0)) as usize);
-        println!(
-            "{:>8.2} {:>18.2} {:>18.2} {:>10.2} {:>12.1}  {bar}",
-            b.offered_load, sb, se, ratio, b.result.mean_queue_length
-        );
-    }
-
-    header("shape check vs. paper");
-    println!(
-        "peak ratio {:.2} at load {:.2}  (paper: dramatic peak at ~0.6)",
-        peak.1, peak.0
-    );
-    let never_worse = base
-        .iter()
-        .zip(&est)
-        .all(|(b, e)| e.result.mean_slowdown() <= b.result.mean_slowdown() * 1.05);
-    println!(
-        "estimation never increases slowdown: {}  (paper: 'never causes slowdown to increase')",
-        if never_worse { "yes" } else { "VIOLATED" }
-    );
-    println!(
-        "The queue column confirms the paper's mechanism: the peak sits where\n\
-         the baseline queue is forming but 'still not extremely long'."
-    );
+    resmatch_bench::run_manifest_experiment("fig6_slowdown");
 }

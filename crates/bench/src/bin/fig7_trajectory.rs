@@ -1,60 +1,10 @@
-//! Figure 7: estimated memory for a single similarity group across cycles.
+//! Figure 7: the single-group estimate trajectory (32 -> 16 -> 8 -> 4 -> 8).
 //!
-//! The paper traces one group whose jobs request 32 MB and use slightly
-//! more than 5 MB: the estimate halves (32 → 16 → 8), the probe at 4 MB
-//! fails, the estimate restores to 8 MB and freezes — a four-fold
-//! reduction.
+//! Thin wrapper over [`resmatch_repro::experiments::fig7`]; the experiment logic, its scales, and
+//! the paper claims gated on it live in the `resmatch-repro` manifest.
 //!
-//! Run: `cargo run --release -p resmatch-bench --bin fig7_trajectory`
-
-use resmatch_bench::{header, MB};
-use resmatch_cluster::CapacityLadder;
-use resmatch_core::prelude::*;
-use resmatch_workload::job::JobBuilder;
+//! Run: `cargo run --release -p resmatch-bench --bin fig7_trajectory [--jobs N] [--seed S]`
 
 fn main() {
-    header("Figure 7: estimate trajectory (request 32 MB, actual ~5.2 MB)");
-    let ladder = CapacityLadder::new(vec![32 * MB, 24 * MB, 16 * MB, 8 * MB, 4 * MB]);
-    let mut est = SuccessiveApproximation::new(SuccessiveConfig::default(), ladder.clone());
-    let ctx = EstimateContext::default();
-
-    println!(
-        "{:>6} {:>14} {:>12} {:>10}",
-        "cycle", "granted (MB)", "outcome", "E_i (MB)"
-    );
-    for cycle in 1..=8 {
-        let job = JobBuilder::new(cycle)
-            .user(1)
-            .app(1)
-            .requested_mem_kb(32 * MB)
-            .used_mem_kb(5 * MB + 256)
-            .build();
-        let demand = est.estimate(&job, &ctx);
-        let node = ladder.round_up(demand.mem_kb).unwrap_or(demand.mem_kb);
-        let ok = job.used_mem_kb <= node;
-        est.feedback(
-            &job,
-            &demand,
-            &if ok {
-                Feedback::success()
-            } else {
-                Feedback::failure()
-            },
-            &ctx,
-        );
-        let snap = est.group_snapshot(&job).expect("group exists");
-        let bar = "#".repeat((demand.mem_kb / MB) as usize);
-        println!(
-            "{cycle:>6} {:>14} {:>12} {:>10.1}  {bar}",
-            demand.mem_kb / MB,
-            if ok { "completed" } else { "FAILED" },
-            snap.estimate_kb / MB as f64,
-        );
-    }
-
-    header("shape check vs. paper");
-    println!(
-        "expected trajectory 32 -> 16 -> 8 -> 4(fail) -> 8 frozen; final\n\
-         estimate is a four-fold reduction from the request, as published."
-    );
+    resmatch_bench::run_manifest_experiment("fig7_trajectory");
 }

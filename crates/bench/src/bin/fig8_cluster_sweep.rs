@@ -1,86 +1,10 @@
 //! Figure 8: utilization ratio across cluster heterogeneity.
 //!
-//! 512 nodes keep the CM-5's 32 MB; the other 512 sweep 1..=32 MB. The
-//! paper finds: improvement only when the second pool falls in roughly the
-//! 16–28 MB band; no improvement below ~15 MB or at the homogeneous 32 MB
-//! extreme; and, within the band, a linear fit (R² = 0.991) between the
-//! node count of jobs that benefit from estimation and the utilization
-//! improvement.
+//! Thin wrapper over [`resmatch_repro::experiments::fig8`]; the experiment logic, its scales, and
+//! the paper claims gated on it live in the `resmatch-repro` manifest.
 //!
 //! Run: `cargo run --release -p resmatch-bench --bin fig8_cluster_sweep [--jobs N] [--seed S]`
 
-use resmatch_bench::{header, paper_trace, ExperimentArgs};
-use resmatch_sim::prelude::*;
-use resmatch_stats::regression::SimpleLinearRegression;
-
 fn main() {
-    let args = ExperimentArgs::parse(20_000);
-    let trace = paper_trace(args);
-
-    header("Figure 8: utilization(est.) / utilization(no est.) vs. second pool");
-    println!(
-        "trace: {} jobs; saturating load 1.2; alpha=2 beta=0\n",
-        trace.len()
-    );
-
-    let pools: Vec<u64> = (1..=32).step_by(1).collect();
-    let points = run_cluster_sweep(
-        &trace,
-        &pools,
-        EstimatorSpec::paper_successive(),
-        SimConfig::default(),
-        1.2,
-    );
-
-    println!(
-        "{:>10} {:>10} {:>10} {:>8} {:>18}",
-        "pool (MB)", "util w/o", "util w/", "ratio", "benefiting nodes"
-    );
-    for p in &points {
-        let bar = "#".repeat(((p.utilization_ratio() - 0.95).max(0.0) * 40.0) as usize);
-        println!(
-            "{:>10} {:>10.3} {:>10.3} {:>8.2} {:>18}  {bar}",
-            p.second_pool_mb,
-            p.baseline.utilization(),
-            p.estimated.utilization(),
-            p.utilization_ratio(),
-            p.estimated.benefiting_node_count(),
-        );
-    }
-
-    header("shape checks vs. paper");
-    let ratio_at = |mb: u64| {
-        points
-            .iter()
-            .find(|p| p.second_pool_mb == mb)
-            .map(|p| p.utilization_ratio())
-            .unwrap_or(1.0)
-    };
-    let band_mean = (16..=28).map(ratio_at).sum::<f64>() / 13.0;
-    let low_mean = (1..=15).map(ratio_at).sum::<f64>() / 15.0;
-    println!("mean ratio, 16-28 MB band: {band_mean:.2}  (paper: the improvement region)");
-    println!("mean ratio, 1-15 MB:       {low_mean:.2}  (paper: ~1, no improvement)");
-    println!(
-        "ratio at 32 MB:            {:.2}  (paper: 1, homogeneous)",
-        ratio_at(32)
-    );
-
-    // The paper's linear fit: benefiting node count vs. improvement in the
-    // 16-28 MB range.
-    let band: Vec<&ClusterSweepPoint> = points
-        .iter()
-        .filter(|p| (16..=28).contains(&p.second_pool_mb))
-        .collect();
-    let xs: Vec<f64> = band
-        .iter()
-        .map(|p| p.estimated.benefiting_node_count() as f64)
-        .collect();
-    let ys: Vec<f64> = band.iter().map(|p| p.utilization_ratio()).collect();
-    match SimpleLinearRegression::fit(&xs, &ys) {
-        Some(fit) => println!(
-            "benefiting-nodes vs. improvement linear fit R^2: {:.3}  (paper: 0.991)",
-            fit.r_squared
-        ),
-        None => println!("benefiting-nodes fit: degenerate inputs"),
-    }
+    resmatch_bench::run_manifest_experiment("fig8_cluster_sweep");
 }

@@ -1,80 +1,10 @@
-//! The paper's §4 research roadmap, implemented and measured.
+//! §4 future-work estimators vs. published Algorithm 1.
 //!
-//! Three future-work items the paper names — online identification of
-//! similarity groups, formal initialization of the learning parameters, and
-//! robust line search for heterogeneous groups — run here against the
-//! published Algorithm 1 on the same trace and cluster.
+//! Thin wrapper over [`resmatch_repro::experiments::futurework`]; the experiment logic, its scales, and
+//! the paper claims gated on it live in the `resmatch-repro` manifest.
 //!
 //! Run: `cargo run --release -p resmatch-bench --bin futurework_estimators [--jobs N] [--seed S]`
 
-use resmatch_bench::{header, paper_trace, ExperimentArgs};
-use resmatch_cluster::builder::paper_cluster;
-use resmatch_core::prelude::*;
-use resmatch_sim::prelude::*;
-use resmatch_workload::load::scale_to_load;
-
 fn main() {
-    let args = ExperimentArgs::parse(15_000);
-    let trace = paper_trace(args);
-    let cluster = paper_cluster(24);
-    let scaled = scale_to_load(&trace, cluster.total_nodes(), 1.2);
-
-    header("§4 future work: extensions vs. published Algorithm 1");
-    println!("cluster 512x32MB + 512x24MB, FCFS, saturating load\n");
-
-    let rows: Vec<(&str, EstimatorSpec, bool)> = vec![
-        (
-            "baseline (no estimation)",
-            EstimatorSpec::PassThrough,
-            false,
-        ),
-        (
-            "Algorithm 1 (published)",
-            EstimatorSpec::paper_successive(),
-            false,
-        ),
-        (
-            "robust bisection (2.3)",
-            EstimatorSpec::Robust(RobustConfig::default()),
-            false,
-        ),
-        (
-            "online similarity (4)",
-            EstimatorSpec::Adaptive(AdaptiveConfig::default()),
-            false,
-        ),
-        (
-            "warm-start prior (4)",
-            EstimatorSpec::WarmStart(WarmStartConfig::default()),
-            true, // the prior trains from explicit feedback
-        ),
-        (
-            "quantile window (ext.)",
-            EstimatorSpec::Quantile(QuantileConfig::default()),
-            true,
-        ),
-        ("oracle (upper bound)", EstimatorSpec::Oracle, false),
-    ];
-
-    println!(
-        "{:<26} {:>8} {:>10} {:>9} {:>10} {:>10}",
-        "estimator", "util", "slowdown", "fail%", "lowered%", "wait(s)"
-    );
-    for (label, spec, explicit) in rows {
-        let cfg = SimConfig::default().with_feedback(if explicit {
-            FeedbackMode::Explicit
-        } else {
-            FeedbackMode::Implicit
-        });
-        let r = Simulation::new(cfg, cluster.clone(), spec).run(&scaled);
-        println!(
-            "{:<26} {:>8.3} {:>10.2} {:>8.3}% {:>9.1}% {:>10.0}",
-            label,
-            r.utilization(),
-            r.mean_slowdown(),
-            r.failed_execution_fraction() * 100.0,
-            r.lowered_job_fraction() * 100.0,
-            r.mean_wait_s(),
-        );
-    }
+    resmatch_bench::run_manifest_experiment("futurework_estimators");
 }

@@ -1,69 +1,10 @@
-//! Robustness: does the headline result survive a different workload model?
+//! Robustness: Figure 5 replayed on an independent workload family.
 //!
-//! The figure binaries run on the CM5-calibrated generator. This experiment
-//! replays the Figure 5 comparison on an *independent* parametric workload
-//! family (Lublin-Feitelson-style arrivals/runtimes with an over-
-//! provisioning layer) across several seeds. If estimation's gain were an
-//! artifact of the CM5 calibration, it would vanish here.
+//! Thin wrapper over [`resmatch_repro::experiments::robustness`]; the experiment logic, its scales, and
+//! the paper claims gated on it live in the `resmatch-repro` manifest.
 //!
-//! Run: `cargo run --release -p resmatch-bench --bin robustness_workloads [--jobs N]`
-
-use resmatch_bench::header;
-use resmatch_cluster::builder::paper_cluster;
-use resmatch_sim::prelude::*;
-use resmatch_workload::load::scale_to_load;
-use resmatch_workload::parametric::{generate_parametric, upholds_assumptions, ParametricConfig};
+//! Run: `cargo run --release -p resmatch-bench --bin robustness_workloads [--jobs N] [--seed S]`
 
 fn main() {
-    let args = resmatch_bench::ExperimentArgs::parse(12_000);
-
-    header("robustness: Figure 5 comparison on the parametric workload family");
-    println!(
-        "{:>6} {:>12} {:>12} {:>8} {:>10} {:>10}",
-        "seed", "util (base)", "util (est.)", "ratio", "fail%", "lowered%"
-    );
-    let cluster = paper_cluster(24);
-    let mut ratios = Vec::new();
-    for seed in [1u64, 2, 3, 4, 5] {
-        let trace = generate_parametric(
-            &ParametricConfig {
-                jobs: args.jobs,
-                ..ParametricConfig::default()
-            },
-            seed,
-        );
-        assert!(upholds_assumptions(&trace));
-        let scaled = scale_to_load(&trace, cluster.total_nodes(), 1.2);
-        let base = Simulation::new(
-            SimConfig::default(),
-            cluster.clone(),
-            EstimatorSpec::PassThrough,
-        )
-        .run(&scaled);
-        let est = Simulation::new(
-            SimConfig::default(),
-            cluster.clone(),
-            EstimatorSpec::paper_successive(),
-        )
-        .run(&scaled);
-        let ratio = est.utilization() / base.utilization().max(1e-9);
-        ratios.push(ratio);
-        println!(
-            "{:>6} {:>12.3} {:>12.3} {:>8.2} {:>9.3}% {:>9.1}%",
-            seed,
-            base.utilization(),
-            est.utilization(),
-            ratio,
-            est.failed_execution_fraction() * 100.0,
-            est.lowered_job_fraction() * 100.0,
-        );
-    }
-    let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
-    let min = ratios.iter().copied().fold(f64::INFINITY, f64::min);
-    println!(
-        "\nmean improvement {:.0}%, worst seed {:+.0}% — the gain is a property\n\
-         of over-provisioning on heterogeneous clusters, not of one trace.",
-        (mean - 1.0) * 100.0,
-        (min - 1.0) * 100.0
-    );
+    resmatch_bench::run_manifest_experiment("robustness_workloads");
 }

@@ -1,59 +1,10 @@
 //! §3.2 conservativeness: failure cost vs. estimation reach.
 //!
-//! "For all the different cluster configurations we tried, at most only
-//! 0.01% of job executions resulted in failure due to insufficient
-//! resources, while 15%-40% of jobs were successfully submitted for
-//! execution with lower estimated resources than the job requests."
+//! Thin wrapper over [`resmatch_repro::experiments::conservativeness`]; the experiment logic, its scales, and
+//! the paper claims gated on it live in the `resmatch-repro` manifest.
 //!
 //! Run: `cargo run --release -p resmatch-bench --bin stats_conservativeness [--jobs N] [--seed S]`
 
-use resmatch_bench::{header, paper_trace, ExperimentArgs};
-use resmatch_sim::prelude::*;
-
 fn main() {
-    let args = ExperimentArgs::parse(20_000);
-    let trace = paper_trace(args);
-
-    header("conservativeness across cluster configurations");
-    println!("trace: {} jobs; alpha=2 beta=0; load 1.0\n", trace.len());
-
-    let pools: Vec<u64> = vec![8, 12, 16, 20, 24, 28, 32];
-    let points = run_cluster_sweep(
-        &trace,
-        &pools,
-        EstimatorSpec::paper_successive(),
-        SimConfig::default(),
-        1.0,
-    );
-
-    println!(
-        "{:>10} {:>14} {:>14} {:>12}",
-        "pool (MB)", "failed execs", "fail rate", "lowered jobs"
-    );
-    let mut worst_fail = 0.0f64;
-    let mut lowered_range = (1.0f64, 0.0f64);
-    for p in &points {
-        let fail = p.estimated.failed_execution_fraction();
-        let lowered = p.estimated.lowered_job_fraction();
-        worst_fail = worst_fail.max(fail);
-        lowered_range = (lowered_range.0.min(lowered), lowered_range.1.max(lowered));
-        println!(
-            "{:>10} {:>14} {:>13.4}% {:>11.1}%",
-            p.second_pool_mb,
-            p.estimated.failed_executions,
-            fail * 100.0,
-            lowered * 100.0,
-        );
-    }
-
-    header("headline statistics vs. paper");
-    println!(
-        "worst failure rate:   {:.4}%   (paper: at most ~0.01%)",
-        worst_fail * 100.0
-    );
-    println!(
-        "lowered-job range:    {:.1}% - {:.1}%   (paper: 15%-40%)",
-        lowered_range.0 * 100.0,
-        lowered_range.1 * 100.0
-    );
+    resmatch_bench::run_manifest_experiment("stats_conservativeness");
 }

@@ -1,82 +1,10 @@
-//! Table 1: the estimator design space, evaluated head to head.
+//! Table 1: the estimator design-space matrix, evaluated head to head.
 //!
-//! The paper's Table 1 organizes estimation algorithms by feedback type
-//! (implicit vs. explicit) and whether similar jobs can be identified:
-//! successive approximation, last-instance identification, reinforcement
-//! learning, and regression modeling. The paper implements only the first
-//! row; this binary runs all four quadrants — plus the pass-through
-//! baseline and the oracle bound — on the same trace and cluster.
+//! Thin wrapper over [`resmatch_repro::experiments::table1`]; the experiment logic, its scales, and
+//! the paper claims gated on it live in the `resmatch-repro` manifest.
 //!
 //! Run: `cargo run --release -p resmatch-bench --bin table1_estimators [--jobs N] [--seed S]`
 
-use resmatch_bench::{header, paper_trace, ExperimentArgs};
-use resmatch_cluster::builder::paper_cluster;
-use resmatch_core::prelude::*;
-use resmatch_sim::prelude::*;
-use resmatch_workload::load::scale_to_load;
-
 fn main() {
-    let args = ExperimentArgs::parse(20_000);
-    let trace = paper_trace(args);
-    let cluster = paper_cluster(24);
-    let scaled = scale_to_load(&trace, cluster.total_nodes(), 1.2);
-
-    header("Table 1: estimation algorithms by feedback type and similarity");
-    println!("cluster 512x32MB + 512x24MB, FCFS, saturating load\n");
-
-    let rows: Vec<(&str, EstimatorSpec)> = vec![
-        ("baseline (no estimation)", EstimatorSpec::PassThrough),
-        (
-            "implicit + similarity    ",
-            EstimatorSpec::paper_successive(),
-        ),
-        (
-            "explicit + similarity    ",
-            EstimatorSpec::LastInstance(LastInstanceConfig::default()),
-        ),
-        (
-            "implicit, no similarity  ",
-            EstimatorSpec::Reinforcement(ReinforcementConfig::default()),
-        ),
-        (
-            "explicit, no similarity  ",
-            EstimatorSpec::Regression(RegressionConfig::default()),
-        ),
-        ("oracle (upper bound)     ", EstimatorSpec::Oracle),
-    ];
-
-    println!(
-        "{:<28} {:<26} {:>7} {:>9} {:>8} {:>9}",
-        "quadrant", "algorithm", "util", "slowdown", "fail%", "lowered%"
-    );
-    let mut baseline = None;
-    for (quadrant, spec) in rows {
-        let mut cfg = SimConfig::default();
-        if spec.wants_explicit_feedback() {
-            cfg.feedback = FeedbackMode::Explicit;
-        }
-        let r = Simulation::new(cfg, cluster.clone(), spec).run(&scaled);
-        let util = r.utilization();
-        if spec == EstimatorSpec::PassThrough {
-            baseline = Some(util);
-        }
-        let delta = baseline
-            .map(|b| format!("{:+.0}%", (util / b - 1.0) * 100.0))
-            .unwrap_or_default();
-        println!(
-            "{:<28} {:<26} {:>7.3} {:>9.2} {:>7.3}% {:>8.1}%   {delta}",
-            quadrant,
-            r.estimator,
-            util,
-            r.mean_slowdown(),
-            r.failed_execution_fraction() * 100.0,
-            r.lowered_job_fraction() * 100.0,
-        );
-    }
-
-    println!(
-        "\nReading guide: explicit feedback avoids blind probing (fail% ~ 0)\n\
-         and similarity-based methods adapt per group, so the explicit +\n\
-         similarity quadrant approaches the oracle bound."
-    );
+    resmatch_bench::run_manifest_experiment("table1_estimators");
 }

@@ -1,108 +1,10 @@
-//! Validate the synthetic generator against the paper's reference
-//! statistics, and check its stability across seeds.
+//! Generator calibration against published CM5 statistics + cross-seed KS stability.
 //!
-//! Two levels of checking:
-//! 1. **Targets** — the published LANL CM5 statistics (group density,
-//!    over-provisioning fraction, group-size concentration) via
-//!    `workload::calibration`.
-//! 2. **Stability** — two independent seeds must draw the *same*
-//!    distributions (over-provisioning ratios, runtimes, group sizes),
-//!    verified with two-sample Kolmogorov–Smirnov tests. A generator whose
-//!    statistics wobble across seeds would make the figure binaries
-//!    seed-lottery experiments.
+//! Thin wrapper over [`resmatch_repro::experiments::calibration`]; the experiment logic, its scales, and
+//! the paper claims gated on it live in the `resmatch-repro` manifest.
 //!
-//! Run: `cargo run --release -p resmatch-bench --bin validate_calibration [--jobs N]`
-
-use resmatch_bench::{header, ExperimentArgs};
-use resmatch_stats::ks::ks_two_sample;
-use resmatch_workload::analysis::group_size_distribution;
-use resmatch_workload::calibration::{measure, CalibrationReport, CalibrationTargets};
-use resmatch_workload::synthetic::{generate, Cm5Config};
-use resmatch_workload::{Job, Workload};
-
-fn trace(jobs: usize, seed: u64) -> Workload {
-    generate(
-        &Cm5Config {
-            jobs,
-            ..Cm5Config::default()
-        },
-        seed,
-    )
-}
-
-fn ratios(w: &Workload) -> Vec<f64> {
-    w.jobs()
-        .iter()
-        .filter_map(Job::overprovisioning_ratio)
-        .collect()
-}
-
-fn runtimes(w: &Workload) -> Vec<f64> {
-    w.jobs().iter().map(|j| j.runtime.as_secs_f64()).collect()
-}
-
-fn group_sizes(w: &Workload) -> Vec<f64> {
-    group_size_distribution(w)
-        .iter()
-        .flat_map(|b| std::iter::repeat_n(b.size as f64, b.groups))
-        .collect()
-}
+//! Run: `cargo run --release -p resmatch-bench --bin validate_calibration [--jobs N] [--seed S]`
 
 fn main() {
-    let args = ExperimentArgs::parse(122_055);
-
-    header("level 1: published LANL CM5 statistics");
-    let w = trace(args.jobs, args.seed);
-    let report = CalibrationReport::compare(&measure(&w), &CalibrationTargets::paper());
-    println!(
-        "{:<22} {:>12} {:>12} {:>10}",
-        "statistic", "paper", "measured", "rel. err"
-    );
-    for c in &report.checks {
-        println!(
-            "{:<22} {:>12.4} {:>12.4} {:>9.1}%",
-            c.name,
-            c.target,
-            c.measured,
-            c.relative_error * 100.0
-        );
-    }
-    println!(
-        "verdict: {} (worst relative error {:.1}%, tolerance 30%)",
-        if report.passes(0.30) { "PASS" } else { "DRIFT" },
-        report.worst_error() * 100.0
-    );
-
-    header("level 2: cross-seed distribution stability (two-sample KS)");
-    let w2 = trace(args.jobs, args.seed.wrapping_add(1));
-    println!(
-        "{:<26} {:>10} {:>12} {:>8}",
-        "distribution", "KS D", "p-value", "verdict"
-    );
-    for (name, a, b) in [
-        ("over-provisioning ratio", ratios(&w), ratios(&w2)),
-        ("runtime", runtimes(&w), runtimes(&w2)),
-        ("group size", group_sizes(&w), group_sizes(&w2)),
-    ] {
-        match ks_two_sample(&a, &b) {
-            Some(r) => println!(
-                "{:<26} {:>10.4} {:>12.4} {:>8}",
-                name,
-                r.statistic,
-                r.p_value,
-                // Ratios and runtimes are drawn per *class*, so the
-                // effective sample is the class count (~jobs/12), not the
-                // job count — cross-seed D of a few percent is the expected
-                // class-level sampling noise, and the practical bar is a
-                // small absolute distance rather than the (hyper-sensitive)
-                // iid p-value.
-                if r.statistic < 0.08 {
-                    "stable"
-                } else {
-                    "WOBBLY"
-                }
-            ),
-            None => println!("{name:<26} (empty sample)"),
-        }
-    }
+    resmatch_bench::run_manifest_experiment("validate_calibration");
 }

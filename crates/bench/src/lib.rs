@@ -1,21 +1,21 @@
 //! Shared harness for the experiment binaries.
 //!
-//! Every figure/table binary follows the same recipe: generate the
-//! calibrated CM5-like trace, apply the paper's preprocessing (drop
-//! full-machine jobs), and print a self-describing table to stdout. This
-//! crate centralizes trace preparation and the small amount of CLI parsing
-//! so the binaries stay focused on their experiment.
-//!
-//! Binaries accept `--jobs N` (trace size; default scales to a few minutes
-//! of wall time in release mode) and `--seed S`.
+//! Since the claims-as-code extraction, every experiment lives as a
+//! library function in `resmatch-repro` (see `crates/repro`), registered
+//! in its manifest with scales, seeds, and the coded expectations that
+//! gate it. The binaries in `src/bin` are thin wrappers kept for the
+//! historic one-command workflow: parse `--jobs N` / `--seed S`, run the
+//! manifest entry, print its report. `cargo run -p resmatch-repro --
+//! run|check|render` is the full pipeline.
 
 #![forbid(unsafe_code)]
 
-use resmatch_workload::synthetic::{generate, Cm5Config};
+use resmatch_repro::manifest;
+use resmatch_repro::runner::RunSpec;
 use resmatch_workload::Workload;
 
 /// One megabyte in KB.
-pub const MB: u64 = 1024;
+pub const MB: u64 = resmatch_repro::trace::MB;
 
 /// Command-line options shared by experiment binaries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,23 +59,12 @@ impl ExperimentArgs {
 /// The paper's experimental trace: calibrated CM5-like workload with the
 /// full-machine (1024-node) jobs removed, as in §3.1.
 pub fn paper_trace(args: ExperimentArgs) -> Workload {
-    let mut trace = generate(
-        &Cm5Config {
-            jobs: args.jobs,
-            ..Cm5Config::default()
-        },
-        args.seed,
-    );
-    trace.retain_max_nodes(512);
-    trace
+    resmatch_repro::trace::paper_trace(args.jobs, args.seed)
 }
 
 /// The full-scale paper trace (122,055 jobs before preprocessing).
 pub fn full_paper_trace(seed: u64) -> Workload {
-    paper_trace(ExperimentArgs {
-        jobs: 122_055,
-        seed,
-    })
+    resmatch_repro::trace::full_paper_trace(seed)
 }
 
 /// Render a ruled section header.
@@ -84,6 +73,20 @@ pub fn header(title: &str) {
         "\n== {title} {}",
         "=".repeat(68usize.saturating_sub(title.len()))
     );
+}
+
+/// Run one manifest experiment as a standalone binary: parse `--jobs` /
+/// `--seed` (defaulting to the manifest's full scale) and print the
+/// report. Every `src/bin` experiment wrapper is one call to this.
+pub fn run_manifest_experiment(id: &str) {
+    let def = manifest::find(id)
+        .expect("invariant: every experiment binary names an entry in the repro manifest");
+    let args = ExperimentArgs::parse(def.default_jobs);
+    let spec = RunSpec {
+        jobs: args.jobs,
+        seed: args.seed,
+    };
+    print!("{}", (def.run)(&spec).text);
 }
 
 #[cfg(test)]

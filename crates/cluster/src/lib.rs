@@ -30,7 +30,7 @@
 //! assert_eq!(cluster.free_nodes(), 1024);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod builder;

@@ -12,7 +12,7 @@
 //! |------|----------|
 //! | `determinism` | no nondeterministic hashers, clocks, thread ids, or env reads in `sim`/`core`/`cluster` library code |
 //! | `panic-free` | no `unwrap`/undocumented `expect`/`panic!`/literal indexing in engine code, ratcheted down by `lint-baseline.txt` |
-//! | `crate-hygiene` | every crate root forbids `unsafe_code`; `sim`/`core` deny `missing_docs` |
+//! | `crate-hygiene` | every crate root forbids `unsafe_code`; public-API crates (`sim`, `core`, `workload`, `cluster`, `stats`, `repro`) deny `missing_docs` |
 //! | `float-cmp` | no exact `==`/`!=` against float literals outside `resmatch-stats` |
 //! | `observer-events` | every `SimObserver`/`SweepObserver` method has a live emission site |
 //!

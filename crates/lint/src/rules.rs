@@ -97,9 +97,10 @@ impl Rule {
                 "crate-hygiene — every workspace crate root must carry \
                  #![forbid(unsafe_code)] (the workspace is safe Rust end to end, \
                  and forbid cannot be overridden downstream). The public-API \
-                 crates sim and core must additionally carry \
-                 #![deny(missing_docs)]: their rustdoc is the contract every \
-                 estimator and observer implementation is written against."
+                 crates sim, core, workload, cluster, stats, and repro must \
+                 additionally carry #![deny(missing_docs)]: their rustdoc is \
+                 the contract estimator, observer, workload, and reproduction \
+                 code is written against."
             }
             Rule::FloatCmp => {
                 "float-cmp — exact `==`/`!=` against float literals silently \
@@ -170,7 +171,8 @@ const DETERMINISM_CRATES: [&str; 3] = ["sim", "core", "cluster"];
 /// `stats` is the approved comparison-helper crate and deliberately absent.
 const FLOAT_CMP_CRATES: [&str; 4] = ["sim", "core", "cluster", "workload"];
 /// Crates whose public API must be fully documented.
-const DENY_MISSING_DOCS_CRATES: [&str; 2] = ["sim", "core"];
+const DENY_MISSING_DOCS_CRATES: [&str; 6] =
+    ["sim", "core", "workload", "cluster", "stats", "repro"];
 
 /// Compute, per token index, whether the token sits inside `#[cfg(test)]`
 /// (or `#[cfg(…test…)]` without `not`) gated code. Attribute + following

@@ -102,15 +102,20 @@ fn crate_hygiene_fixture() {
         lines_for(Rule::CrateHygiene, &missing, &root("sim")).len(),
         2
     );
-    // A non-API crate only needs forbid(unsafe_code): one violation.
+    // stats joined the documented-API tier (PR 4): both attributes.
     assert_eq!(
         lines_for(Rule::CrateHygiene, &missing, &root("stats")).len(),
+        2
+    );
+    // A non-API crate only needs forbid(unsafe_code): one violation.
+    assert_eq!(
+        lines_for(Rule::CrateHygiene, &missing, &root("classad")).len(),
         1
     );
     // The clean root satisfies both tiers.
     assert_eq!(lines_for(Rule::CrateHygiene, &clean, &root("sim")), vec![]);
     assert_eq!(
-        lines_for(Rule::CrateHygiene, &clean, &root("stats")),
+        lines_for(Rule::CrateHygiene, &clean, &root("classad")),
         vec![]
     );
     // Non-root files are never checked for hygiene.

@@ -1,0 +1,169 @@
+//! Per-experiment result caching.
+//!
+//! A cache entry is keyed by everything that determines an experiment's
+//! output: the manifest entry (id), the trace configuration (jobs, seed),
+//! and a fingerprint of the runner executable itself — experiments are
+//! deterministic functions of (code, config), and the executable stands
+//! in for "code", so any rebuild (an estimator change, a sim change)
+//! invalidates every entry automatically. Within one build, `check` after
+//! `run`, or a re-`render`, replays from cache instead of re-simulating;
+//! `--fresh` bypasses reads entirely.
+//!
+//! Entries live under `target/repro-cache/` as a self-describing text
+//! format; metric values round-trip exactly via `f64::to_bits` hex.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::report::{ExperimentOutput, Metrics};
+
+/// FNV-1a over a byte string; the same hash family the sim goldens pin.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fingerprint of the currently running executable (length + mtime).
+///
+/// `None` (e.g. the exe path is unavailable) disables caching rather than
+/// risking a stale read: a cache that survives a code change could mask
+/// exactly the regressions `check` exists to catch.
+fn exe_fingerprint() -> Option<u64> {
+    let exe = std::env::current_exe().ok()?;
+    let meta = fs::metadata(exe).ok()?;
+    let mtime = meta
+        .modified()
+        .ok()?
+        .duration_since(std::time::UNIX_EPOCH)
+        .ok()?;
+    let mut key = Vec::new();
+    key.extend_from_slice(&meta.len().to_le_bytes());
+    key.extend_from_slice(&mtime.as_nanos().to_le_bytes());
+    Some(fnv1a(&key))
+}
+
+/// The on-disk cache, rooted under a workspace's `target/` directory.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    dir: PathBuf,
+    exe_fp: Option<u64>,
+}
+
+impl Cache {
+    /// Cache under `<workspace root>/target/repro-cache`.
+    pub fn new(workspace_root: &Path) -> Self {
+        Cache {
+            dir: workspace_root.join("target").join("repro-cache"),
+            exe_fp: exe_fingerprint(),
+        }
+    }
+
+    /// Entry path for a given key, or `None` when caching is disabled.
+    fn entry_path(&self, id: &str, jobs: usize, seed: u64) -> Option<PathBuf> {
+        let fp = self.exe_fp?;
+        let key = format!("{id}|{jobs}|{seed}|{fp:016x}");
+        Some(
+            self.dir
+                .join(format!("{id}-{:016x}.txt", fnv1a(key.as_bytes()))),
+        )
+    }
+
+    /// Load a cached output, if an entry for exactly this (experiment,
+    /// trace config, executable) exists and parses.
+    pub fn load(&self, id: &str, jobs: usize, seed: u64) -> Option<ExperimentOutput> {
+        let path = self.entry_path(id, jobs, seed)?;
+        parse_entry(&fs::read_to_string(path).ok()?)
+    }
+
+    /// Store an output. Best-effort: a failed write only costs a rerun.
+    pub fn store(&self, id: &str, jobs: usize, seed: u64, output: &ExperimentOutput) {
+        let Some(path) = self.entry_path(id, jobs, seed) else {
+            return;
+        };
+        if fs::create_dir_all(&self.dir).is_err() {
+            return;
+        }
+        let _ = fs::write(path, serialize_entry(id, jobs, seed, output));
+    }
+}
+
+/// Render an entry in the cache's text format.
+fn serialize_entry(id: &str, jobs: usize, seed: u64, output: &ExperimentOutput) -> String {
+    let mut s = String::new();
+    s.push_str("resmatch-repro cache v1\n");
+    s.push_str(&format!("id {id}\njobs {jobs}\nseed {seed}\n"));
+    for (name, value) in output.metrics.iter() {
+        s.push_str(&format!("metric {name} {:016x}\n", value.to_bits()));
+    }
+    s.push_str(&format!("text {}\n", output.text.len()));
+    s.push_str(&output.text);
+    s
+}
+
+/// Parse an entry; `None` on any malformation (treated as a cache miss).
+fn parse_entry(s: &str) -> Option<ExperimentOutput> {
+    let rest = s.strip_prefix("resmatch-repro cache v1\n")?;
+    let mut metrics = Metrics::new();
+    let mut cursor = rest;
+    loop {
+        let (line, tail) = cursor.split_once('\n')?;
+        if let Some(m) = line.strip_prefix("metric ") {
+            let (name, hex) = m.rsplit_once(' ')?;
+            let bits = u64::from_str_radix(hex, 16).ok()?;
+            metrics.set(name, f64::from_bits(bits));
+        } else if let Some(len) = line.strip_prefix("text ") {
+            let len: usize = len.parse().ok()?;
+            if tail.len() != len {
+                return None;
+            }
+            return Some(ExperimentOutput {
+                text: tail.to_string(),
+                metrics,
+            });
+        } else if !line.starts_with("id ")
+            && !line.starts_with("jobs ")
+            && !line.starts_with("seed ")
+        {
+            return None;
+        }
+        cursor = tail;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_round_trip_exactly() {
+        let mut m = Metrics::new();
+        m.set("a", 0.1 + 0.2); // not exactly representable in decimal
+        m.set("b", -0.0);
+        let out = ExperimentOutput {
+            text: "line one\nline two\n".to_string(),
+            metrics: m,
+        };
+        let parsed =
+            parse_entry(&serialize_entry("x", 10, 42, &out)).expect("well-formed entry parses");
+        assert_eq!(parsed, out);
+        assert_eq!(
+            parsed.metrics.get("a").map(f64::to_bits),
+            Some((0.1f64 + 0.2).to_bits())
+        );
+    }
+
+    #[test]
+    fn truncated_entries_are_misses() {
+        let out = ExperimentOutput {
+            text: "abc".to_string(),
+            metrics: Metrics::new(),
+        };
+        let full = serialize_entry("x", 1, 2, &out);
+        assert!(parse_entry(&full[..full.len() - 1]).is_none());
+        assert!(parse_entry("garbage").is_none());
+    }
+}

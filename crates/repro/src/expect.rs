@@ -1,0 +1,178 @@
+//! Coded expectations: the paper's qualitative claims as machine-checked
+//! predicates over experiment metrics.
+//!
+//! Each [`Expectation`] binds one metric produced by an experiment (see
+//! [`crate::report::Metrics`]) to an [`Op`] encoding what the paper — or
+//! this repo's own calibration policy — asserts about it. `check`
+//! evaluates every expectation and exits nonzero on any failure, which is
+//! what makes EXPERIMENTS.md a regression-tested artifact instead of a
+//! hand-transcribed one.
+//!
+//! Expectations are evaluated at two scales. The manifest's default scale
+//! reproduces the committed artifacts; `--quick` shrinks the trace for CI.
+//! Claims that are only statistically meaningful at full scale (e.g. the
+//! Figure 1 tolerance band around 32.8%) set `quick: false` and are
+//! skipped — never silently loosened — on reduced traces.
+
+use crate::report::Metrics;
+
+/// The predicate an expectation applies to its metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// Value must be `>= min`.
+    AtLeast(f64),
+    /// Value must be `<= max`.
+    AtMost(f64),
+    /// Value must lie within `target * (1 ± rel_tol)` — the tolerance
+    /// band used for the paper's headline percentages.
+    Within {
+        /// The paper's published value.
+        target: f64,
+        /// Relative half-width of the acceptance band.
+        rel_tol: f64,
+    },
+    /// Boolean fact recorded as `1.0` must hold (shape claims such as
+    /// "the slowdown ratio never drops below 1 at any load point").
+    Holds,
+}
+
+/// One machine-checked claim.
+#[derive(Debug, Clone, Copy)]
+pub struct Expectation {
+    /// Metric name, as recorded by the experiment.
+    pub metric: &'static str,
+    /// Predicate over the metric value.
+    pub op: Op,
+    /// The claim being encoded, quoting or paraphrasing the paper; shown
+    /// in `check` output so a failure names what regressed.
+    pub claim: &'static str,
+    /// Whether the claim is also enforced at `--quick` scale.
+    pub quick: bool,
+}
+
+impl Expectation {
+    /// Shorthand constructor.
+    pub const fn new(metric: &'static str, op: Op, claim: &'static str, quick: bool) -> Self {
+        Expectation {
+            metric,
+            op,
+            claim,
+            quick,
+        }
+    }
+}
+
+/// Outcome of evaluating one expectation against a metric set.
+#[derive(Debug, Clone)]
+pub struct CheckOutcome {
+    /// The expectation evaluated.
+    pub expectation: Expectation,
+    /// The measured value, if the metric was present.
+    pub value: Option<f64>,
+    /// Whether the claim held. A missing metric is a failure — a claim
+    /// that silently stops being measured is itself a regression.
+    pub passed: bool,
+}
+
+impl CheckOutcome {
+    /// Render the predicate compactly for `check` output.
+    pub fn describe_op(&self) -> String {
+        match self.expectation.op {
+            Op::AtLeast(min) => format!(">= {min}"),
+            Op::AtMost(max) => format!("<= {max}"),
+            Op::Within { target, rel_tol } => {
+                format!("within {:.0}% of {target}", rel_tol * 100.0)
+            }
+            Op::Holds => "holds".to_string(),
+        }
+    }
+}
+
+/// Evaluate `op` against a concrete value.
+fn op_passes(op: Op, value: f64) -> bool {
+    if !value.is_finite() {
+        return false;
+    }
+    match op {
+        Op::AtLeast(min) => value >= min,
+        Op::AtMost(max) => value <= max,
+        Op::Within { target, rel_tol } => (value - target).abs() <= target.abs() * rel_tol,
+        Op::Holds => (value - 1.0).abs() < 1e-9,
+    }
+}
+
+/// Evaluate the expectations that apply at the given scale.
+///
+/// `quick` selects the reduced-trace profile: full-scale-only claims are
+/// filtered out entirely (they do not appear in the outcome list).
+pub fn evaluate(expectations: &[Expectation], metrics: &Metrics, quick: bool) -> Vec<CheckOutcome> {
+    expectations
+        .iter()
+        .filter(|e| !quick || e.quick)
+        .map(|e| {
+            let value = metrics.get(e.metric);
+            CheckOutcome {
+                expectation: *e,
+                value,
+                passed: value.is_some_and(|v| op_passes(e.op, v)),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(pairs: &[(&str, f64)]) -> Metrics {
+        let mut m = Metrics::new();
+        for (k, v) in pairs {
+            m.set(k, *v);
+        }
+        m
+    }
+
+    #[test]
+    fn ops_evaluate() {
+        assert!(op_passes(Op::AtLeast(1.0), 1.0));
+        assert!(!op_passes(Op::AtLeast(1.0), 0.99));
+        assert!(op_passes(Op::AtMost(0.02), 0.0));
+        assert!(!op_passes(Op::AtMost(0.02), 0.03));
+        assert!(op_passes(
+            Op::Within {
+                target: 0.328,
+                rel_tol: 0.2
+            },
+            0.30
+        ));
+        assert!(!op_passes(
+            Op::Within {
+                target: 0.328,
+                rel_tol: 0.2
+            },
+            0.2
+        ));
+        assert!(op_passes(Op::Holds, 1.0));
+        assert!(!op_passes(Op::Holds, 0.0));
+        assert!(!op_passes(Op::AtLeast(0.0), f64::NAN));
+    }
+
+    #[test]
+    fn missing_metric_fails_and_quick_filters() {
+        let exps = [
+            Expectation::new("present", Op::AtLeast(0.5), "c1", true),
+            Expectation::new("absent", Op::AtLeast(0.5), "c2", true),
+            Expectation::new("full_only", Op::AtLeast(0.5), "c3", false),
+        ];
+        let m = metrics(&[("present", 1.0), ("full_only", 1.0)]);
+        let full = evaluate(&exps, &m, false);
+        assert_eq!(full.len(), 3);
+        assert!(full.iter().filter(|o| o.passed).count() == 2);
+        let quick = evaluate(&exps, &m, true);
+        assert_eq!(quick.len(), 2, "full-only claims are filtered at --quick");
+        assert!(!quick
+            .iter()
+            .find(|o| o.expectation.metric == "absent")
+            .is_some_and(|o| o.passed));
+    }
+}

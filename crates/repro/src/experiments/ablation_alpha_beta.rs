@@ -1,0 +1,185 @@
+//! Ablation: the estimator parameters α and β (§2.3's trade-off discussion).
+//!
+//! Large α reaches small machines in fewer steps but overshoots more (the
+//! paper's 32→3.2 MB example); small α is conservative and can stall above
+//! usable pools (the α = 1.2 example). β > 0 lets a group refine after a
+//! failure instead of freezing. The paper picks α = 2, β = 0 as the best
+//! trade-off; this ablation measures why.
+
+use resmatch_cluster::builder::paper_cluster;
+use resmatch_core::prelude::*;
+use resmatch_core::similarity::SimilarityPolicy;
+use resmatch_sim::prelude::*;
+use resmatch_workload::load::scale_to_load;
+
+use crate::expect::{Expectation, Op};
+use crate::out;
+use crate::report::{ExperimentOutput, Report};
+use crate::runner::RunSpec;
+use crate::trace::paper_trace;
+
+/// Claims gated on this experiment.
+pub const EXPECTATIONS: &[Expectation] = &[
+    Expectation::new(
+        "alpha_1_2_gain",
+        Op::AtMost(0.02),
+        "alpha=1.2 is too conservative: 32/1.2 rounds back to 32 MB, zero gain (§2.3)",
+        true,
+    ),
+    Expectation::new(
+        "alpha_2_gain",
+        Op::AtLeast(0.03),
+        "the paper's alpha=2 reaches the 24 MB rung and delivers a gain alpha=1.2 cannot",
+        true,
+    ),
+    Expectation::new(
+        "beta_high_costs_failures",
+        Op::Holds,
+        "beta near 1 multiplies retry failures vs. beta=0 (the paper's predicted trade-off)",
+        true,
+    ),
+    Expectation::new(
+        "paper_policy_gain",
+        Op::AtLeast(0.03),
+        "the paper's (user, app, request) similarity key keeps the full alpha=2 gain",
+        true,
+    ),
+];
+
+/// Run the α/β/similarity-policy ablation.
+pub fn run(spec: &RunSpec) -> ExperimentOutput {
+    let trace = paper_trace(spec.jobs, spec.seed);
+    let cluster = paper_cluster(24);
+    let scaled = scale_to_load(&trace, cluster.total_nodes(), 1.2);
+    let mut r = Report::new();
+
+    let baseline = Simulation::new(
+        SimConfig::default(),
+        cluster.clone(),
+        EstimatorSpec::PassThrough,
+    )
+    .run(&scaled);
+    let base_util = baseline.utilization();
+
+    r.header("ablation: alpha (beta = 0)");
+    out!(
+        r,
+        "{:>8} {:>8} {:>10} {:>9} {:>10}",
+        "alpha",
+        "util",
+        "vs. base",
+        "fail%",
+        "lowered%"
+    );
+    for alpha in [1.2, 1.5, 2.0, 4.0, 10.0] {
+        let spec_a = EstimatorSpec::Successive(SuccessiveConfig {
+            alpha,
+            beta: 0.0,
+            policy: SimilarityPolicy::UserAppRequest,
+        });
+        let result = Simulation::new(SimConfig::default(), cluster.clone(), spec_a).run(&scaled);
+        let gain = result.utilization() / base_util - 1.0;
+        if (alpha - 1.2).abs() < 1e-9 {
+            r.metric("alpha_1_2_gain", gain);
+        }
+        if (alpha - 2.0).abs() < 1e-9 {
+            r.metric("alpha_2_gain", gain);
+        }
+        out!(
+            r,
+            "{:>8.1} {:>8.3} {:>9.0}% {:>8.3}% {:>9.1}%",
+            alpha,
+            result.utilization(),
+            gain * 100.0,
+            result.failed_execution_fraction() * 100.0,
+            result.lowered_job_fraction() * 100.0,
+        );
+    }
+
+    r.header("ablation: beta (alpha = 2)");
+    out!(
+        r,
+        "{:>8} {:>8} {:>10} {:>9} {:>10}",
+        "beta",
+        "util",
+        "vs. base",
+        "fail%",
+        "lowered%"
+    );
+    let mut beta_zero_fail = 0.0f64;
+    let mut beta_high_fail = 0.0f64;
+    for beta in [0.0, 0.25, 0.5, 0.75, 0.9] {
+        let spec_b = EstimatorSpec::Successive(SuccessiveConfig {
+            alpha: 2.0,
+            beta,
+            policy: SimilarityPolicy::UserAppRequest,
+        });
+        let result = Simulation::new(SimConfig::default(), cluster.clone(), spec_b).run(&scaled);
+        if beta == 0.0 {
+            beta_zero_fail = result.failed_execution_fraction();
+        }
+        if (beta - 0.9).abs() < 1e-9 {
+            beta_high_fail = result.failed_execution_fraction();
+        }
+        out!(
+            r,
+            "{:>8.2} {:>8.3} {:>9.0}% {:>8.3}% {:>9.1}%",
+            beta,
+            result.utilization(),
+            (result.utilization() / base_util - 1.0) * 100.0,
+            result.failed_execution_fraction() * 100.0,
+            result.lowered_job_fraction() * 100.0,
+        );
+    }
+    r.metric("beta_0_fail_fraction", beta_zero_fail);
+    r.metric("beta_0_9_fail_fraction", beta_high_fail);
+    r.flag("beta_high_costs_failures", beta_high_fail > beta_zero_fail);
+
+    r.header("ablation: similarity policy (alpha = 2, beta = 0)");
+    out!(
+        r,
+        "{:<22} {:>8} {:>10} {:>9} {:>10}",
+        "policy",
+        "util",
+        "vs. base",
+        "fail%",
+        "lowered%"
+    );
+    for (name, policy) in [
+        ("user+app+request", SimilarityPolicy::UserAppRequest),
+        ("user+app", SimilarityPolicy::UserApp),
+        ("user", SimilarityPolicy::User),
+        ("app+request", SimilarityPolicy::AppRequest),
+    ] {
+        let spec_p = EstimatorSpec::Successive(SuccessiveConfig {
+            alpha: 2.0,
+            beta: 0.0,
+            policy,
+        });
+        let result = Simulation::new(SimConfig::default(), cluster.clone(), spec_p).run(&scaled);
+        let gain = result.utilization() / base_util - 1.0;
+        if policy == SimilarityPolicy::UserAppRequest {
+            r.metric("paper_policy_gain", gain);
+            r.metric(
+                "paper_policy_fail_fraction",
+                result.failed_execution_fraction(),
+            );
+        }
+        if policy == SimilarityPolicy::User {
+            r.metric(
+                "user_only_fail_fraction",
+                result.failed_execution_fraction(),
+            );
+        }
+        out!(
+            r,
+            "{:<22} {:>8.3} {:>9.0}% {:>8.3}% {:>9.1}%",
+            name,
+            result.utilization(),
+            gain * 100.0,
+            result.failed_execution_fraction() * 100.0,
+            result.lowered_job_fraction() * 100.0,
+        );
+    }
+    r.finish()
+}

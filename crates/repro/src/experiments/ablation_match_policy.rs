@@ -1,0 +1,100 @@
+//! Ablation: resource-matching policy.
+//!
+//! The paper's §1.1 scenario is a matching-order story: J1 gets placed on
+//! the big machine M1 "because the user requests a memory size larger than
+//! that of M2", and J2 blocks behind it. Best-fit placement (smallest
+//! sufficient capacity first) avoids squatting; worst-fit maximizes it.
+//! This ablation quantifies the policy choice with and without estimation.
+
+use resmatch_cluster::builder::paper_cluster;
+use resmatch_cluster::MatchPolicy;
+use resmatch_sim::prelude::*;
+use resmatch_workload::load::scale_to_load;
+
+use crate::expect::{Expectation, Op};
+use crate::out;
+use crate::report::{ExperimentOutput, Report};
+use crate::runner::RunSpec;
+use crate::trace::paper_trace;
+
+/// Claims gated on this experiment.
+pub const EXPECTATIONS: &[Expectation] = &[
+    Expectation::new(
+        "worst_policy_ratio",
+        Op::AtLeast(1.1),
+        "estimation's gain holds across first/best/worst-fit matching policies",
+        true,
+    ),
+    Expectation::new(
+        "best_fit_beats_worst_fit",
+        Op::Holds,
+        "best-fit placement beats worst-fit for the baseline (avoids big-node squatting)",
+        true,
+    ),
+];
+
+/// Run the match-policy ablation.
+pub fn run(spec: &RunSpec) -> ExperimentOutput {
+    let trace = paper_trace(spec.jobs, spec.seed);
+    let cluster = paper_cluster(24);
+    let scaled = scale_to_load(&trace, cluster.total_nodes(), 1.2);
+    let mut r = Report::new();
+
+    r.header("ablation: match policy x estimation (512x32MB + 512x24MB)");
+    out!(
+        r,
+        "{:<12} {:>12} {:>12} {:>10} {:>10}",
+        "policy",
+        "util (base)",
+        "util (est.)",
+        "ratio",
+        "est fail%"
+    );
+    let mut worst_ratio = f64::INFINITY;
+    let mut best_fit_base = 0.0f64;
+    let mut worst_fit_base = 0.0f64;
+    for (name, policy) in [
+        ("best-fit", MatchPolicy::BestFit),
+        ("first-fit", MatchPolicy::FirstFit),
+        ("worst-fit", MatchPolicy::WorstFit),
+    ] {
+        let cfg = SimConfig::default().with_match_policy(policy);
+        let base = Simulation::new(cfg, cluster.clone(), EstimatorSpec::PassThrough).run(&scaled);
+        let est =
+            Simulation::new(cfg, cluster.clone(), EstimatorSpec::paper_successive()).run(&scaled);
+        let ratio = est.utilization() / base.utilization().max(1e-9);
+        worst_ratio = worst_ratio.min(ratio);
+        match policy {
+            MatchPolicy::BestFit => best_fit_base = base.utilization(),
+            MatchPolicy::WorstFit => worst_fit_base = base.utilization(),
+            MatchPolicy::FirstFit => {}
+        }
+        out!(
+            r,
+            "{:<12} {:>12.3} {:>12.3} {:>10.2} {:>9.3}%",
+            name,
+            base.utilization(),
+            est.utilization(),
+            ratio,
+            est.failed_execution_fraction() * 100.0,
+        );
+    }
+    out!(
+        r,
+        "\nWorst-fit parks small estimates on 32 MB nodes, recreating the\n\
+         squatting the paper's scenario describes; best-fit preserves the\n\
+         large-memory pool for the jobs that genuinely need it."
+    );
+    r.metric(
+        "worst_policy_ratio",
+        if worst_ratio.is_finite() {
+            worst_ratio
+        } else {
+            0.0
+        },
+    );
+    r.metric("best_fit_base_util", best_fit_base);
+    r.metric("worst_fit_base_util", worst_fit_base);
+    r.flag("best_fit_beats_worst_fit", best_fit_base > worst_fit_base);
+    r.finish()
+}

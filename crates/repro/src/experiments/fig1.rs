@@ -1,0 +1,103 @@
+//! Figure 1: histogram of the ratio between requested and used memory.
+//!
+//! The paper reports, for the LANL CM5 trace: ~32.8% of jobs with a
+//! mismatch of 2x or more, ratios spanning two orders of magnitude, and a
+//! log-linear regression over the histogram with R² = 0.69.
+
+use resmatch_workload::analysis::{
+    histogram_log_fit, overprovisioned_fraction, overprovisioning_histogram,
+};
+
+use crate::expect::{Expectation, Op};
+use crate::out;
+use crate::report::{ExperimentOutput, Report};
+use crate::runner::RunSpec;
+use crate::trace::paper_trace;
+
+/// Claims gated on this experiment.
+pub const EXPECTATIONS: &[Expectation] = &[
+    Expectation::new(
+        "frac_ge_2x",
+        Op::Within {
+            target: 0.328,
+            rel_tol: 0.15,
+        },
+        "32.8% of jobs request at least twice the memory they use",
+        false,
+    ),
+    Expectation::new(
+        "frac_ge_2x",
+        Op::AtLeast(0.2),
+        "a substantial fraction of jobs over-provision by 2x or more",
+        true,
+    ),
+    Expectation::new(
+        "ratio_span_orders",
+        Op::AtLeast(2.0),
+        "over-provisioning ratios span two orders of magnitude",
+        true,
+    ),
+    Expectation::new(
+        "log_fit_r2",
+        Op::AtLeast(0.6),
+        "the histogram is log-linear (paper fit R² = 0.69)",
+        true,
+    ),
+];
+
+/// Run the Figure 1 analysis.
+pub fn run(spec: &RunSpec) -> ExperimentOutput {
+    let trace = paper_trace(spec.jobs, spec.seed);
+    let mut r = Report::new();
+
+    r.header("Figure 1: requested/used memory ratio histogram");
+    out!(r, "trace: {} jobs (seed {})\n", trace.len(), spec.seed);
+
+    let hist = overprovisioning_histogram(&trace, 8);
+    out!(r, "{:<16} {:>10} {:>12}", "ratio bin", "jobs", "% of jobs");
+    let mut max_populated_ratio = 1.0f64;
+    for i in 0..hist.num_bins() {
+        if hist.count(i) > 0 {
+            max_populated_ratio = max_populated_ratio.max(hist.bin_lower(i + 1));
+        }
+        let bar_len = (hist.fraction(i) * 120.0).round() as usize;
+        out!(
+            r,
+            "[{:>5.0}, {:>5.0})   {:>10} {:>11.2}%  {}",
+            hist.bin_lower(i),
+            hist.bin_lower(i + 1),
+            hist.count(i),
+            hist.fraction(i) * 100.0,
+            "#".repeat(bar_len.min(60)),
+        );
+    }
+    out!(r, "{:<16} {:>10}", ">= 256", hist.overflow());
+    if hist.overflow() > 0 {
+        max_populated_ratio = 256.0;
+    }
+
+    r.header("headline statistics vs. paper");
+    let frac2 = overprovisioned_fraction(&trace, 2.0);
+    r.metric("frac_ge_2x", frac2);
+    r.metric("ratio_span_orders", max_populated_ratio.log10());
+    out!(
+        r,
+        "jobs with ratio >= 2x:   {:>6.1}%   (paper: 32.8%)",
+        frac2 * 100.0
+    );
+    match histogram_log_fit(&hist) {
+        Some(fit) => {
+            r.metric("log_fit_r2", fit.r_squared);
+            r.metric("log_fit_slope", fit.slope);
+            out!(
+                r,
+                "log-linear fit R^2:      {:>6.2}    (paper: 0.69)\n\
+                 fit slope:               {:>6.3} log10(fraction)/bin",
+                fit.r_squared,
+                fit.slope
+            );
+        }
+        None => out!(r, "log-linear fit: not enough populated bins"),
+    }
+    r.finish()
+}

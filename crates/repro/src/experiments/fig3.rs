@@ -1,0 +1,141 @@
+//! Figure 3: distribution of jobs according to similarity-group size.
+//!
+//! The paper identifies similar jobs by (user ID, application number,
+//! requested memory), yielding 9,885 disjoint groups over 122,055 jobs;
+//! groups of >= 10 jobs are 19.4% of the sets but hold 83% of the jobs.
+
+use resmatch_workload::analysis::{group_size_distribution, trace_stats};
+
+use crate::expect::{Expectation, Op};
+use crate::out;
+use crate::report::{ExperimentOutput, Report};
+use crate::runner::RunSpec;
+use crate::trace::paper_trace;
+
+/// Claims gated on this experiment.
+pub const EXPECTATIONS: &[Expectation] = &[
+    Expectation::new(
+        "groups",
+        Op::Within {
+            target: 9_885.0,
+            rel_tol: 0.1,
+        },
+        "122,055 jobs fall into 9,885 similarity groups",
+        false,
+    ),
+    Expectation::new(
+        "mean_group_size",
+        Op::Within {
+            target: 12.3,
+            rel_tol: 0.15,
+        },
+        "mean similarity-group size is 12.3 jobs",
+        false,
+    ),
+    Expectation::new(
+        "big_group_job_share",
+        Op::AtLeast(0.7),
+        "groups of >= 10 jobs hold 83% of all jobs",
+        true,
+    ),
+    Expectation::new(
+        "big_group_set_share",
+        Op::AtMost(0.35),
+        "groups of >= 10 jobs are a minority (19.4%) of the sets",
+        true,
+    ),
+];
+
+/// Run the Figure 3 analysis.
+pub fn run(spec: &RunSpec) -> ExperimentOutput {
+    let trace = paper_trace(spec.jobs, spec.seed);
+    let stats = trace_stats(&trace);
+    let mut r = Report::new();
+
+    r.header("Figure 3: jobs by similarity-group size");
+    out!(
+        r,
+        "trace: {} jobs, {} groups (paper: 122,055 jobs, 9,885 groups)\n",
+        stats.jobs,
+        stats.groups
+    );
+
+    let dist = group_size_distribution(&trace);
+    // Log-spaced size buckets for readability, mirroring the figure's
+    // log-scaled axis.
+    let edges = [1, 2, 3, 5, 10, 20, 50, 100, 200, 500, 1_000];
+    out!(
+        r,
+        "{:<16} {:>8} {:>14}",
+        "group size",
+        "groups",
+        "job fraction"
+    );
+    for w in edges.windows(2) {
+        let &[lo, hi] = w else { continue };
+        let groups: usize = dist
+            .iter()
+            .filter(|b| b.size >= lo && b.size < hi)
+            .map(|b| b.groups)
+            .sum();
+        let jobs: f64 = dist
+            .iter()
+            .filter(|b| b.size >= lo && b.size < hi)
+            .map(|b| b.job_fraction)
+            .sum();
+        let bar = "#".repeat((jobs * 150.0).round() as usize);
+        out!(
+            r,
+            "[{lo:>4}, {hi:>4})    {groups:>8} {:>13.2}%  {bar}",
+            jobs * 100.0
+        );
+    }
+    let giant: f64 = dist
+        .iter()
+        .filter(|b| b.size >= 1_000)
+        .map(|b| b.job_fraction)
+        .sum();
+    out!(
+        r,
+        "{:<16} {:>8} {:>13.2}%",
+        ">= 1000",
+        dist.iter()
+            .filter(|b| b.size >= 1_000)
+            .map(|b| b.groups)
+            .sum::<usize>(),
+        giant * 100.0
+    );
+
+    r.header("headline statistics vs. paper");
+    let big_sets = dist
+        .iter()
+        .filter(|b| b.size >= 10)
+        .map(|b| b.groups)
+        .sum::<usize>();
+    let big_jobs: f64 = dist
+        .iter()
+        .filter(|b| b.size >= 10)
+        .map(|b| b.job_fraction)
+        .sum();
+    let set_share = big_sets as f64 / stats.groups.max(1) as f64;
+    r.metric("groups", stats.groups as f64);
+    r.metric("mean_group_size", stats.mean_group_size);
+    r.metric("big_group_set_share", set_share);
+    r.metric("big_group_job_share", big_jobs);
+    out!(
+        r,
+        "groups with >= 10 jobs:  {:>6.1}% of groups  (paper: 19.4%)",
+        set_share * 100.0
+    );
+    out!(
+        r,
+        "jobs in such groups:     {:>6.1}% of jobs    (paper: 83%)",
+        big_jobs * 100.0
+    );
+    out!(
+        r,
+        "mean group size:         {:>6.1}            (paper: 12.3)",
+        stats.mean_group_size
+    );
+    r.finish()
+}

@@ -1,0 +1,101 @@
+//! Figure 4: possible gain from estimation vs. group similarity.
+//!
+//! For every similarity group with >= 10 jobs, the paper plots the ratio of
+//! requested memory to the group's maximum used memory (the reclaimable
+//! head-room) against the ratio of maximum to minimum used memory (the
+//! similarity range). Most groups sit at small ranges — evidence the
+//! similarity criterion works — and some combine high gain (an order of
+//! magnitude) with tight similarity, the ideal estimation targets.
+
+use resmatch_workload::analysis::gain_vs_range;
+
+use crate::expect::{Expectation, Op};
+use crate::out;
+use crate::report::{ExperimentOutput, Report};
+use crate::runner::RunSpec;
+use crate::trace::paper_trace;
+
+/// Claims gated on this experiment.
+pub const EXPECTATIONS: &[Expectation] = &[
+    Expectation::new(
+        "tight_range_share",
+        Op::AtLeast(0.5),
+        "a large fraction of groups sits at similarity range <= 1.1",
+        true,
+    ),
+    Expectation::new(
+        "high_gain_tight_groups",
+        Op::AtLeast(1.0),
+        "groups with >= 10x gain at tight similarity exist (the ideal targets)",
+        true,
+    ),
+];
+
+/// Run the Figure 4 analysis.
+pub fn run(spec: &RunSpec) -> ExperimentOutput {
+    let trace = paper_trace(spec.jobs, spec.seed);
+    let mut r = Report::new();
+
+    r.header("Figure 4: gain vs. similarity range (groups with >= 10 jobs)");
+    let points = gain_vs_range(&trace, 10);
+    out!(r, "groups plotted: {}\n", points.len());
+
+    // A textual 2-D density: ranges on rows, gains on columns.
+    let range_edges = [1.0, 1.05, 1.1, 1.25, 1.5, 2.0, 4.0, f64::INFINITY];
+    let gain_edges = [1.0, 1.5, 2.0, 4.0, 8.0, 16.0, 32.0, f64::INFINITY];
+    out!(
+        r,
+        "{:<16} {}",
+        "range \\ gain",
+        gain_edges
+            .windows(2)
+            .filter_map(|w| w.last())
+            .map(|hi| format!("{:>8}", format!("<{:.0}", hi.min(99.0))))
+            .collect::<String>()
+    );
+    for rw in range_edges.windows(2) {
+        let &[rlo, rhi] = rw else { continue };
+        let row: String = gain_edges
+            .windows(2)
+            .filter_map(|gw| match gw {
+                [glo, ghi] => Some((*glo, *ghi)),
+                _ => None,
+            })
+            .map(|(glo, ghi)| {
+                let n = points
+                    .iter()
+                    .filter(|p| p.range >= rlo && p.range < rhi && p.gain >= glo && p.gain < ghi)
+                    .count();
+                format!("{n:>8}")
+            })
+            .collect();
+        let label = if rhi.is_infinite() {
+            format!(">={rlo:.2}")
+        } else {
+            format!("[{rlo:.2},{rhi:.2})")
+        };
+        out!(r, "{label:<16} {row}");
+    }
+
+    r.header("headline statistics vs. paper");
+    let tight = points.iter().filter(|p| p.range <= 1.1).count();
+    let high_gain_tight = points
+        .iter()
+        .filter(|p| p.gain >= 10.0 && p.range <= 1.25)
+        .count();
+    let tight_share = tight as f64 / points.len().max(1) as f64;
+    r.metric("groups_plotted", points.len() as f64);
+    r.metric("tight_range_share", tight_share);
+    r.metric("high_gain_tight_groups", high_gain_tight as f64);
+    out!(
+        r,
+        "groups at range <= 1.1:        {:>6.1}%  (paper: 'a large fraction')",
+        tight_share * 100.0
+    );
+    out!(
+        r,
+        "gain >= 10x with range <= 1.25: {high_gain_tight} groups  \
+         (paper: such groups exist and are the best targets)"
+    );
+    r.finish()
+}

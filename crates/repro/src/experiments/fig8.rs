@@ -1,0 +1,147 @@
+//! Figure 8: utilization ratio across cluster heterogeneity.
+//!
+//! 512 nodes keep the CM-5's 32 MB; the other 512 sweep 1..=32 MB. The
+//! paper finds: improvement only when the second pool falls in roughly the
+//! 16–28 MB band; no improvement below ~15 MB or at the homogeneous 32 MB
+//! extreme; and, within the band, a linear fit (R² = 0.991) between the
+//! node count of jobs that benefit from estimation and the utilization
+//! improvement.
+
+use resmatch_sim::prelude::*;
+use resmatch_stats::regression::SimpleLinearRegression;
+
+use crate::expect::{Expectation, Op};
+use crate::out;
+use crate::report::{ExperimentOutput, Report};
+use crate::runner::RunSpec;
+use crate::trace::paper_trace;
+
+/// Claims gated on this experiment.
+pub const EXPECTATIONS: &[Expectation] = &[
+    Expectation::new(
+        "low_band_mean_ratio",
+        Op::Within {
+            target: 1.0,
+            rel_tol: 0.05,
+        },
+        "no improvement when the second pool is below ~15 MB (alpha=2 cannot reach it)",
+        true,
+    ),
+    Expectation::new(
+        "band_mean_ratio",
+        Op::AtLeast(1.08),
+        "a clear improvement band exists for second pools of 16-28 MB",
+        true,
+    ),
+    Expectation::new(
+        "homogeneous_ratio",
+        Op::Within {
+            target: 1.0,
+            rel_tol: 0.05,
+        },
+        "the homogeneous 32 MB extreme shows no improvement",
+        true,
+    ),
+    Expectation::new(
+        "node_count_fit_r2",
+        Op::AtLeast(0.25),
+        "benefiting-node count correlates with the gain (paper R² = 0.991; strong at small \
+         scale, weakening as the trace grows under the current engine)",
+        false,
+    ),
+];
+
+/// Run the Figure 8 cluster-heterogeneity sweep.
+pub fn run(spec: &RunSpec) -> ExperimentOutput {
+    let trace = paper_trace(spec.jobs, spec.seed);
+    let mut r = Report::new();
+
+    r.header("Figure 8: utilization(est.) / utilization(no est.) vs. second pool");
+    out!(
+        r,
+        "trace: {} jobs; saturating load 1.2; alpha=2 beta=0\n",
+        trace.len()
+    );
+
+    let pools: Vec<u64> = (1..=32).collect();
+    let points = run_cluster_sweep(
+        &trace,
+        &pools,
+        EstimatorSpec::paper_successive(),
+        SimConfig::default(),
+        1.2,
+    );
+
+    out!(
+        r,
+        "{:>10} {:>10} {:>10} {:>8} {:>18}",
+        "pool (MB)",
+        "util w/o",
+        "util w/",
+        "ratio",
+        "benefiting nodes"
+    );
+    for p in &points {
+        let bar = "#".repeat(((p.utilization_ratio() - 0.95).max(0.0) * 40.0) as usize);
+        out!(
+            r,
+            "{:>10} {:>10.3} {:>10.3} {:>8.2} {:>18}  {bar}",
+            p.second_pool_mb,
+            p.baseline.utilization(),
+            p.estimated.utilization(),
+            p.utilization_ratio(),
+            p.estimated.benefiting_node_count(),
+        );
+    }
+
+    r.header("shape checks vs. paper");
+    let ratio_at = |mb: u64| {
+        points
+            .iter()
+            .find(|p| p.second_pool_mb == mb)
+            .map(|p| p.utilization_ratio())
+            .unwrap_or(1.0)
+    };
+    let band_mean = (16..=28).map(ratio_at).sum::<f64>() / 13.0;
+    let low_mean = (1..=15).map(ratio_at).sum::<f64>() / 15.0;
+    out!(
+        r,
+        "mean ratio, 16-28 MB band: {band_mean:.2}  (paper: the improvement region)"
+    );
+    out!(
+        r,
+        "mean ratio, 1-15 MB:       {low_mean:.2}  (paper: ~1, no improvement)"
+    );
+    out!(
+        r,
+        "ratio at 32 MB:            {:.2}  (paper: 1, homogeneous)",
+        ratio_at(32)
+    );
+    r.metric("band_mean_ratio", band_mean);
+    r.metric("low_band_mean_ratio", low_mean);
+    r.metric("homogeneous_ratio", ratio_at(32));
+
+    // The paper's linear fit: benefiting node count vs. improvement in the
+    // 16-28 MB range.
+    let band: Vec<&ClusterSweepPoint> = points
+        .iter()
+        .filter(|p| (16..=28).contains(&p.second_pool_mb))
+        .collect();
+    let xs: Vec<f64> = band
+        .iter()
+        .map(|p| p.estimated.benefiting_node_count() as f64)
+        .collect();
+    let ys: Vec<f64> = band.iter().map(|p| p.utilization_ratio()).collect();
+    match SimpleLinearRegression::fit(&xs, &ys) {
+        Some(fit) => {
+            r.metric("node_count_fit_r2", fit.r_squared);
+            out!(
+                r,
+                "benefiting-nodes vs. improvement linear fit R^2: {:.3}  (paper: 0.991)",
+                fit.r_squared
+            );
+        }
+        None => out!(r, "benefiting-nodes fit: degenerate inputs"),
+    }
+    r.finish()
+}

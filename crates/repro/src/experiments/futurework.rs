@@ -1,0 +1,145 @@
+//! The paper's §4 research roadmap, implemented and measured.
+//!
+//! Three future-work items the paper names — online identification of
+//! similarity groups, formal initialization of the learning parameters, and
+//! robust line search for heterogeneous groups — run here against the
+//! published Algorithm 1 on the same trace and cluster.
+
+use resmatch_cluster::builder::paper_cluster;
+use resmatch_core::prelude::*;
+use resmatch_sim::prelude::*;
+use resmatch_workload::load::scale_to_load;
+
+use crate::expect::{Expectation, Op};
+use crate::out;
+use crate::report::{ExperimentOutput, Report};
+use crate::runner::RunSpec;
+use crate::trace::paper_trace;
+
+/// Claims gated on this experiment.
+pub const EXPECTATIONS: &[Expectation] = &[
+    Expectation::new(
+        "adaptive_vs_published",
+        Op::AtLeast(0.9),
+        "online similarity identification reaches Algorithm 1's utilization without a key",
+        true,
+    ),
+    Expectation::new(
+        "quantile_fail_fraction",
+        Op::AtMost(0.0),
+        "the quantile-window extension achieves its gain with zero failed executions",
+        true,
+    ),
+    Expectation::new(
+        "robust_gain",
+        Op::AtLeast(0.12),
+        "robust bisection (§2.3) matches published Algorithm 1 on this workload",
+        true,
+    ),
+];
+
+/// Run the §4 future-work estimator comparison.
+pub fn run(spec: &RunSpec) -> ExperimentOutput {
+    let trace = paper_trace(spec.jobs, spec.seed);
+    let cluster = paper_cluster(24);
+    let scaled = scale_to_load(&trace, cluster.total_nodes(), 1.2);
+    let mut r = Report::new();
+
+    r.header("§4 future work: extensions vs. published Algorithm 1");
+    out!(r, "cluster 512x32MB + 512x24MB, FCFS, saturating load\n");
+
+    let rows: Vec<(&str, &str, EstimatorSpec, bool)> = vec![
+        (
+            "baseline",
+            "baseline (no estimation)",
+            EstimatorSpec::PassThrough,
+            false,
+        ),
+        (
+            "published",
+            "Algorithm 1 (published)",
+            EstimatorSpec::paper_successive(),
+            false,
+        ),
+        (
+            "robust",
+            "robust bisection (2.3)",
+            EstimatorSpec::Robust(RobustConfig::default()),
+            false,
+        ),
+        (
+            "adaptive",
+            "online similarity (4)",
+            EstimatorSpec::Adaptive(AdaptiveConfig::default()),
+            false,
+        ),
+        (
+            "warm_start",
+            "warm-start prior (4)",
+            EstimatorSpec::WarmStart(WarmStartConfig::default()),
+            true, // the prior trains from explicit feedback
+        ),
+        (
+            "quantile",
+            "quantile window (ext.)",
+            EstimatorSpec::Quantile(QuantileConfig::default()),
+            true,
+        ),
+        (
+            "oracle",
+            "oracle (upper bound)",
+            EstimatorSpec::Oracle,
+            false,
+        ),
+    ];
+
+    out!(
+        r,
+        "{:<26} {:>8} {:>10} {:>9} {:>10} {:>10}",
+        "estimator",
+        "util",
+        "slowdown",
+        "fail%",
+        "lowered%",
+        "wait(s)"
+    );
+    let mut utils: Vec<(&str, f64)> = Vec::new();
+    for (key, label, spec_row, explicit) in rows {
+        let cfg = SimConfig::default().with_feedback(if explicit {
+            FeedbackMode::Explicit
+        } else {
+            FeedbackMode::Implicit
+        });
+        let result = Simulation::new(cfg, cluster.clone(), spec_row).run(&scaled);
+        out!(
+            r,
+            "{:<26} {:>8.3} {:>10.2} {:>8.3}% {:>9.1}% {:>10.0}",
+            label,
+            result.utilization(),
+            result.mean_slowdown(),
+            result.failed_execution_fraction() * 100.0,
+            result.lowered_job_fraction() * 100.0,
+            result.mean_wait_s(),
+        );
+        r.metric(&format!("{key}_util"), result.utilization());
+        if key == "quantile" {
+            r.metric("quantile_fail_fraction", result.failed_execution_fraction());
+        }
+        utils.push((key, result.utilization()));
+    }
+    let util_of = |key: &str| {
+        utils
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, u)| *u)
+            .unwrap_or(0.0)
+    };
+    let base = util_of("baseline").max(1e-9);
+    r.metric(
+        "adaptive_vs_published",
+        util_of("adaptive") / util_of("published").max(1e-9),
+    );
+    r.metric("robust_gain", util_of("robust") / base - 1.0);
+    r.metric("published_gain", util_of("published") / base - 1.0);
+    r.finish()
+}

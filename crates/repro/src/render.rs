@@ -1,0 +1,675 @@
+//! Artifact and document rendering.
+//!
+//! `render` turns executed experiments into the repository's committed
+//! reproduction record, in three layers:
+//!
+//! 1. `results/<id>.txt` — the full report text of every experiment,
+//!    byte-for-byte what the corresponding binary prints.
+//! 2. `results/metrics.tsv` — a machine-readable sidecar of every gated
+//!    metric (values carried as `f64::to_bits` hex so they round-trip
+//!    exactly). This file is committed, which lets CI re-render the
+//!    document tables *without re-running experiments* and fail on drift.
+//! 3. EXPERIMENTS.md — the paper-vs-measured tables between
+//!    `<!-- repro:begin <id> -->` / `<!-- repro:end <id> -->` markers are
+//!    regenerated from the metrics. Prose outside the markers is
+//!    hand-written; numbers inside them can never disagree with what the
+//!    checks in [`crate::expect`] saw, because both read the same
+//!    [`Metrics`].
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+use crate::report::Metrics;
+use crate::runner::RunResult;
+
+/// Metric sets keyed by experiment id, as the renderer consumes them.
+pub type MetricsById = BTreeMap<String, Metrics>;
+
+/// What a render pass touched.
+#[derive(Debug, Clone, Default)]
+pub struct RenderSummary {
+    /// Files whose contents changed (repo-relative paths).
+    pub changed: Vec<String>,
+    /// Files rewritten with identical contents.
+    pub unchanged: Vec<String>,
+}
+
+impl RenderSummary {
+    fn record(&mut self, rel: &str, changed: bool) {
+        if changed {
+            self.changed.push(rel.to_string());
+        } else {
+            self.unchanged.push(rel.to_string());
+        }
+    }
+}
+
+/// Write `path` only if its contents differ; report whether it changed.
+fn write_if_changed(path: &Path, contents: &str) -> Result<bool, String> {
+    if fs::read_to_string(path).ok().as_deref() == Some(contents) {
+        return Ok(false);
+    }
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    }
+    fs::write(path, contents).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    Ok(true)
+}
+
+/// Write every experiment's `results/<id>.txt` artifact.
+///
+/// # Errors
+/// Propagates filesystem errors with the offending path.
+pub fn write_artifacts(root: &Path, results: &[RunResult]) -> Result<RenderSummary, String> {
+    let mut summary = RenderSummary::default();
+    for r in results {
+        let rel = format!("results/{}.txt", r.def.id);
+        let changed = write_if_changed(&root.join(&rel), &r.output.text)?;
+        summary.record(&rel, changed);
+    }
+    Ok(summary)
+}
+
+/// Serialize all metrics to the `results/metrics.tsv` sidecar.
+///
+/// Format: one header line, then `experiment<TAB>metric<TAB>bits<TAB>value`
+/// rows in (experiment, metric) order. `bits` is the exact `f64::to_bits`
+/// hex; the decimal `value` column is for human diffing only.
+///
+/// # Errors
+/// Propagates filesystem errors with the offending path.
+pub fn write_metrics_tsv(root: &Path, results: &[RunResult]) -> Result<RenderSummary, String> {
+    let mut s = String::from("experiment\tmetric\tbits\tvalue\n");
+    let by_id: BTreeMap<&str, &Metrics> = results
+        .iter()
+        .map(|r| (r.def.id, &r.output.metrics))
+        .collect();
+    for (id, metrics) in by_id {
+        for (name, value) in metrics.iter() {
+            s.push_str(&format!(
+                "{id}\t{name}\t{:016x}\t{value}\n",
+                value.to_bits()
+            ));
+        }
+    }
+    let mut summary = RenderSummary::default();
+    let rel = "results/metrics.tsv";
+    let changed = write_if_changed(&root.join(rel), &s)?;
+    summary.record(rel, changed);
+    Ok(summary)
+}
+
+/// Load the committed `results/metrics.tsv` sidecar.
+///
+/// # Errors
+/// Reports a missing file or any malformed line (with its line number).
+pub fn load_metrics_tsv(root: &Path) -> Result<MetricsById, String> {
+    let rel = "results/metrics.tsv";
+    let text = fs::read_to_string(root.join(rel))
+        .map_err(|e| format!("reading {rel}: {e} (run `render` without --docs-only first)"))?;
+    let mut by_id = MetricsById::new();
+    for (lineno, line) in text.lines().enumerate().skip(1) {
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split('\t');
+        let (Some(id), Some(name), Some(bits)) = (fields.next(), fields.next(), fields.next())
+        else {
+            return Err(format!(
+                "{rel}:{}: expected 4 tab-separated fields",
+                lineno + 1
+            ));
+        };
+        let bits = u64::from_str_radix(bits, 16)
+            .map_err(|e| format!("{rel}:{}: bad bits field: {e}", lineno + 1))?;
+        by_id
+            .entry(id.to_string())
+            .or_default()
+            .set(name, f64::from_bits(bits));
+    }
+    Ok(by_id)
+}
+
+/// Collect metrics from freshly executed results.
+pub fn metrics_from_results(results: &[RunResult]) -> MetricsById {
+    results
+        .iter()
+        .map(|r| (r.def.id.to_string(), r.output.metrics.clone()))
+        .collect()
+}
+
+/// Regenerate every `repro:begin`/`repro:end` block in EXPERIMENTS.md.
+///
+/// # Errors
+/// Reports unbalanced markers, a block for an unknown experiment, an
+/// experiment with no metrics available, or a template referencing a
+/// metric the experiment did not record.
+pub fn render_docs(root: &Path, metrics: &MetricsById) -> Result<RenderSummary, String> {
+    let rel = "EXPERIMENTS.md";
+    let path = root.join(rel);
+    let doc = fs::read_to_string(&path).map_err(|e| format!("reading {rel}: {e}"))?;
+    let rendered = rewrite_blocks(&doc, metrics)?;
+    let mut summary = RenderSummary::default();
+    let changed = write_if_changed(&path, &rendered)?;
+    summary.record(rel, changed);
+    Ok(summary)
+}
+
+/// Replace the contents of every marker block in `doc`.
+fn rewrite_blocks(doc: &str, metrics: &MetricsById) -> Result<String, String> {
+    let mut out = String::with_capacity(doc.len());
+    let mut rest = doc;
+    let mut seen = 0usize;
+    while let Some(start) = rest.find("<!-- repro:begin ") {
+        let after_tag = start + "<!-- repro:begin ".len();
+        let head = rest.get(..after_tag).unwrap_or_default();
+        let tail = rest.get(after_tag..).unwrap_or_default();
+        let id_end = tail
+            .find(" -->")
+            .ok_or_else(|| "unterminated `repro:begin` marker".to_string())?;
+        let id = tail.get(..id_end).unwrap_or_default();
+        let body = tail.get(id_end + " -->".len()..).unwrap_or_default();
+        let end_marker = format!("<!-- repro:end {id} -->");
+        let end = body
+            .find(&end_marker)
+            .ok_or_else(|| format!("block `{id}` has no matching `repro:end` marker"))?;
+        let m = metrics
+            .get(id)
+            .ok_or_else(|| format!("no metrics for experiment `{id}` (not run / not in tsv)"))?;
+        out.push_str(head);
+        out.push_str(id);
+        out.push_str(" -->\n");
+        out.push_str(&block_for(id, m)?);
+        out.push_str(&end_marker);
+        rest = body.get(end + end_marker.len()..).unwrap_or_default();
+        seen += 1;
+    }
+    if seen == 0 {
+        return Err("EXPERIMENTS.md contains no `repro:begin` marker blocks".to_string());
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+/// Fetch a metric a template needs, with a pointed error when absent.
+fn need(id: &str, m: &Metrics, name: &str) -> Result<f64, String> {
+    m.get(name)
+        .ok_or_else(|| format!("experiment `{id}` recorded no metric `{name}`"))
+}
+
+/// `0.123` → `12.3%`.
+fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// A gain fraction (`0.46`) → `+46%`.
+fn gain(v: f64) -> String {
+    format!("{:+.0}%", v * 100.0)
+}
+
+/// A `0.0`/`1.0` flag metric → yes / **no**.
+fn yes_no(v: f64) -> &'static str {
+    if (v - 1.0).abs() < 1e-9 {
+        "yes"
+    } else {
+        "**no**"
+    }
+}
+
+/// The generated markdown for one experiment's marker block.
+///
+/// Each arm is the paper-vs-measured table for that artifact; the paper
+/// column is fixed, the measured column comes from the metrics the
+/// expectation gate evaluated.
+#[allow(clippy::too_many_lines)]
+fn block_for(id: &str, m: &Metrics) -> Result<String, String> {
+    let v = |name: &str| need(id, m, name);
+    let table = |rows: &[(String, String, String)]| {
+        let mut s = String::from("| Quantity | Paper | Measured |\n|---|---|---|\n");
+        for (q, p, me) in rows {
+            s.push_str(&format!("| {q} | {p} | {me} |\n"));
+        }
+        s
+    };
+    let row = |q: &str, p: &str, me: String| (q.to_string(), p.to_string(), me);
+    let s = match id {
+        "fig1_histogram" => table(&[
+            row(
+                "jobs requesting ≥ 2× used memory",
+                "32.8%",
+                pct(v("frac_ge_2x")?),
+            ),
+            row(
+                "ratio dynamic range",
+                "~2 orders of magnitude",
+                format!("{:.1} orders of magnitude", v("ratio_span_orders")?),
+            ),
+            row(
+                "log-linear histogram fit R²",
+                "0.69",
+                format!("{:.2} (slope {:.2})", v("log_fit_r2")?, v("log_fit_slope")?),
+            ),
+        ]),
+        "fig3_group_sizes" => table(&[
+            row(
+                "similarity groups (user, app, requested mem)",
+                "9,885",
+                format!("{:.0}", v("groups")?),
+            ),
+            row(
+                "mean group size",
+                "12.3",
+                format!("{:.1}", v("mean_group_size")?),
+            ),
+            row(
+                "groups with ≥ 10 jobs",
+                "19.4%",
+                pct(v("big_group_set_share")?),
+            ),
+            row(
+                "jobs held by those groups",
+                "83%",
+                pct(v("big_group_job_share")?),
+            ),
+        ]),
+        "fig4_gain_vs_range" => table(&[
+            row(
+                "groups concentrated at low ranges",
+                "\"a large fraction\"",
+                format!(
+                    "{} at range ≤ 1.1 (of {:.0} groups plotted)",
+                    pct(v("tight_range_share")?),
+                    v("groups_plotted")?
+                ),
+            ),
+            row(
+                "high-gain + tightly-similar groups exist",
+                "yes (≥ 10× gain)",
+                format!(
+                    "{:.0} groups with gain ≥ 10× at range ≤ 1.25",
+                    v("high_gain_tight_groups")?
+                ),
+            ),
+        ]),
+        "fig5_utilization" => table(&[
+            row(
+                "low loads: curves coincide",
+                "yes",
+                format!(
+                    "est/base utilization ratio {:.2} at the lowest load",
+                    v("low_load_ratio")?
+                ),
+            ),
+            row(
+                "linear region grows with estimation",
+                "yes",
+                yes_no(v("linear_region_grows")?).to_string(),
+            ),
+            row(
+                "saturation utilization, no estimation",
+                "—",
+                format!("{:.3}", v("saturation_util_base")?),
+            ),
+            row(
+                "saturation utilization, estimation",
+                "—",
+                format!("{:.3}", v("saturation_util_est")?),
+            ),
+            row(
+                "improvement at saturation",
+                "**+58%**",
+                format!("**{}**", gain(v("saturation_gain")?)),
+            ),
+        ]),
+        "fig6_slowdown" => table(&[
+            row(
+                "slowdown never increases under estimation",
+                "yes",
+                format!(
+                    "{} (worst est/base slowdown ratio {:.2})",
+                    yes_no(v("never_worse")?),
+                    v("min_ratio")?
+                ),
+            ),
+            row(
+                "dramatic mid-load peak",
+                "at ~60% load",
+                format!(
+                    "{:.0}× at {:.0}% load",
+                    v("peak_ratio")?,
+                    v("peak_load")? * 100.0
+                ),
+            ),
+        ]),
+        "fig7_trajectory" => table(&[
+            row(
+                "trajectory",
+                "32 → 16 → 8 → 4 (fails) → 8 frozen",
+                format!(
+                    "{}, {:.0} probing failure(s)",
+                    if (v("trajectory_exact")? - 1.0).abs() < 1e-9 {
+                        "identical, exact"
+                    } else {
+                        "**diverged**"
+                    },
+                    v("failures")?
+                ),
+            ),
+            row(
+                "final estimate",
+                "8 MB (four-fold reduction)",
+                format!("{:.0} MB", v("final_grant_mb")?),
+            ),
+        ]),
+        "fig8_cluster_sweep" => table(&[
+            row(
+                "no improvement for m ≤ 15 MB",
+                "ratio ≈ 1",
+                format!("mean ratio {:.2} over m ≤ 15", v("low_band_mean_ratio")?),
+            ),
+            row(
+                "improvement band 16–28 MB",
+                "present",
+                format!("mean ratio {:.2} over the band", v("band_mean_ratio")?),
+            ),
+            row(
+                "homogeneous extreme m = 32",
+                "ratio 1",
+                format!("{:.2}", v("homogeneous_ratio")?),
+            ),
+            row(
+                "benefiting-node-count vs. improvement, linear fit R² (16–28 MB)",
+                "0.991",
+                format!("{:.3}", v("node_count_fit_r2")?),
+            ),
+        ]),
+        "table1_estimators" => {
+            let quadrant = |key: &str| -> Result<String, String> {
+                Ok(format!(
+                    "{:.3} ({}) — {} failed",
+                    v(&format!("{key}_util"))?,
+                    gain(v(&format!("{key}_util"))? / v("baseline_util")?.max(1e-9) - 1.0),
+                    pct(v(&format!("{key}_fail_fraction"))?)
+                ))
+            };
+            let mut s = String::from(
+                "| Quadrant | Algorithm | Utilization (vs. baseline) |\n|---|---|---|\n",
+            );
+            for (key, quad, alg) in [
+                ("baseline", "baseline", "pass-through"),
+                (
+                    "successive",
+                    "implicit + similarity",
+                    "successive approximation",
+                ),
+                ("last_instance", "explicit + similarity", "last-instance"),
+                (
+                    "reinforcement",
+                    "implicit, no similarity",
+                    "reinforcement learning",
+                ),
+                ("regression", "explicit, no similarity", "regression"),
+                ("oracle", "(bound)", "oracle"),
+            ] {
+                s.push_str(&format!("| {quad} | {alg} | {} |\n", quadrant(key)?));
+            }
+            s.push_str(&format!(
+                "\nGate: similarity beats global policy — {}; oracle is the bound — {}; \
+                 explicit feedback fails less than implicit — {}.\n",
+                yes_no(v("similarity_beats_global")?),
+                yes_no(v("oracle_is_bound")?),
+                yes_no(v("explicit_fails_less")?)
+            ));
+            s
+        }
+        "stats_conservativeness" => table(&[
+            row(
+                "jobs run with lowered estimates",
+                "15–40%",
+                format!(
+                    "{}–{} across the active configurations",
+                    pct(v("min_lowered_fraction")?),
+                    pct(v("max_lowered_fraction")?)
+                ),
+            ),
+            row(
+                "failed executions stay bounded",
+                "≤ ~0.01%",
+                format!("worst configuration {}", pct(v("worst_fail_fraction")?)),
+            ),
+        ]),
+        "ablation_alpha_beta" => table(&[
+            row(
+                "α = 1.2 too conservative (§2.3)",
+                "no gain",
+                format!("{} improvement", gain(v("alpha_1_2_gain")?)),
+            ),
+            row(
+                "α = 2 (paper's choice)",
+                "full gain",
+                format!("{} improvement", gain(v("alpha_2_gain")?)),
+            ),
+            row(
+                "β near 1 multiplies retry failures",
+                "predicted",
+                format!(
+                    "{} fail at β = 0.9 vs {} at β = 0 ({})",
+                    pct(v("beta_0_9_fail_fraction")?),
+                    pct(v("beta_0_fail_fraction")?),
+                    yes_no(v("beta_high_costs_failures")?)
+                ),
+            ),
+            row(
+                "(user, app, request) similarity key",
+                "the paper's key",
+                format!(
+                    "{} improvement, {} failed (user-only key fails {})",
+                    gain(v("paper_policy_gain")?),
+                    pct(v("paper_policy_fail_fraction")?),
+                    pct(v("user_only_fail_fraction")?)
+                ),
+            ),
+        ]),
+        "ablation_scheduler" => table(&[row(
+            "gain persists beyond FCFS (§4 hypothesis)",
+            "expected",
+            format!(
+                "FCFS {:.2}×, EASY {:.2}×, SJF {:.2}× (worst {:.2}×)",
+                v("fcfs_ratio")?,
+                v("easy_ratio")?,
+                v("sjf_ratio")?,
+                v("worst_scheduler_ratio")?
+            ),
+        )]),
+        "ablation_false_positives" => table(&[
+            row(
+                "false positives confuse the implicit estimator (§2.1)",
+                "the hazard",
+                format!(
+                    "reach shrinks {} → {} of jobs lowered at 5% injection ({})",
+                    pct(v("implicit_clean_lowered")?),
+                    pct(v("implicit_noisy_lowered")?),
+                    yes_no(v("implicit_reach_shrinks")?)
+                ),
+            ),
+            row(
+                "utilization cost, implicit feedback",
+                "—",
+                format!(
+                    "{:.3} → {:.3} ({} of the clean value lost)",
+                    v("implicit_clean_util")?,
+                    v("implicit_noisy_util")?,
+                    pct(v("implicit_degradation")?)
+                ),
+            ),
+            row(
+                "utilization cost, explicit feedback",
+                "avoidable",
+                format!(
+                    "{:.3} → {:.3} ({} lost)",
+                    v("explicit_clean_util")?,
+                    v("explicit_noisy_util")?,
+                    pct(v("explicit_degradation")?)
+                ),
+            ),
+        ]),
+        "ablation_match_policy" => table(&[
+            row(
+                "estimation gain survives the match policy",
+                "expected",
+                format!("worst-policy ratio {:.2}×", v("worst_policy_ratio")?),
+            ),
+            row(
+                "best-fit beats worst-fit for the baseline",
+                "expected",
+                format!(
+                    "{:.3} vs {:.3} ({})",
+                    v("best_fit_base_util")?,
+                    v("worst_fit_base_util")?,
+                    yes_no(v("best_fit_beats_worst_fit")?)
+                ),
+            ),
+        ]),
+        "ablation_churn" => table(&[row(
+            "similarity groups are machine-agnostic (§1.1)",
+            "required for grids",
+            format!(
+                "ratio {:.2}× under churn vs {:.2}× without",
+                v("worst_churn_ratio")?,
+                v("no_churn_ratio")?
+            ),
+        )]),
+        "futurework_estimators" => table(&[
+            row(
+                "published Algorithm 1",
+                "the reference",
+                format!(
+                    "utilization {:.3} ({})",
+                    v("published_util")?,
+                    gain(v("published_gain")?)
+                ),
+            ),
+            row(
+                "robust bisection (§2.3)",
+                "proposed",
+                format!(
+                    "utilization {:.3} ({})",
+                    v("robust_util")?,
+                    gain(v("robust_gain")?)
+                ),
+            ),
+            row(
+                "online similarity identification (§4)",
+                "proposed",
+                format!(
+                    "utilization {:.3} ({} of Algorithm 1, bootstrapped from no key)",
+                    v("adaptive_util")?,
+                    pct(v("adaptive_vs_published")?)
+                ),
+            ),
+            row(
+                "quantile window (our extension)",
+                "—",
+                format!(
+                    "utilization {:.3}, {} failed executions",
+                    v("quantile_util")?,
+                    pct(v("quantile_fail_fraction")?)
+                ),
+            ),
+        ]),
+        "robustness_workloads" => table(&[
+            row(
+                "estimation improves every seed",
+                "direction is general",
+                format!(
+                    "worst seed {}, mean {}",
+                    gain(v("worst_seed_ratio")? - 1.0),
+                    gain(v("mean_seed_ratio")? - 1.0)
+                ),
+            ),
+            row(
+                "generator assumptions hold",
+                "required",
+                yes_no(v("assumptions_hold")?).to_string(),
+            ),
+        ]),
+        "validate_calibration" => table(&[
+            row(
+                "published CM5 statistics reproduce",
+                "30% tolerance",
+                format!(
+                    "{} (worst relative error {})",
+                    if (v("calibration_passes")? - 1.0).abs() < 1e-9 {
+                        "PASS"
+                    } else {
+                        "**DRIFT**"
+                    },
+                    pct(v("worst_relative_error")?)
+                ),
+            ),
+            row(
+                "cross-seed stability (two-sample KS)",
+                "not a seed lottery",
+                format!("worst D = {:.3}", v("worst_ks_d")?),
+            ),
+        ]),
+        other => return Err(format!("no table template for experiment `{other}`")),
+    };
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(pairs: &[(&str, f64)]) -> Metrics {
+        let mut m = Metrics::new();
+        for (k, v) in pairs {
+            m.set(k, *v);
+        }
+        m
+    }
+
+    #[test]
+    fn rewrite_replaces_block_bodies_and_keeps_prose() {
+        let doc = "intro\n<!-- repro:begin fig3_group_sizes -->\nstale\n\
+                   <!-- repro:end fig3_group_sizes -->\noutro\n";
+        let mut by_id = MetricsById::new();
+        by_id.insert(
+            "fig3_group_sizes".to_string(),
+            metrics(&[
+                ("groups", 9722.0),
+                ("mean_group_size", 12.56),
+                ("big_group_set_share", 0.148),
+                ("big_group_job_share", 0.85),
+            ]),
+        );
+        let out = rewrite_blocks(doc, &by_id).expect("invariant: doc and metrics are well-formed");
+        assert!(out.starts_with("intro\n<!-- repro:begin fig3_group_sizes -->\n"));
+        assert!(out.ends_with("<!-- repro:end fig3_group_sizes -->\noutro\n"));
+        assert!(out.contains("| mean group size | 12.3 | 12.6 |"));
+        assert!(!out.contains("stale"));
+        // Idempotence: re-rendering the rendered doc is a fixed point.
+        assert_eq!(rewrite_blocks(&out, &by_id), Ok(out.clone()));
+    }
+
+    #[test]
+    fn rewrite_rejects_malformed_docs_and_missing_metrics() {
+        let by_id = MetricsById::new();
+        assert!(rewrite_blocks("no markers here", &by_id).is_err());
+        assert!(rewrite_blocks("<!-- repro:begin x -->\nno end", &by_id).is_err());
+        let doc = "<!-- repro:begin fig3_group_sizes -->\n<!-- repro:end fig3_group_sizes -->";
+        assert!(rewrite_blocks(doc, &by_id).is_err(), "metrics absent");
+    }
+
+    #[test]
+    fn templates_fail_loudly_on_missing_metric() {
+        let err = block_for("fig7_trajectory", &metrics(&[("trajectory_exact", 1.0)]));
+        assert_eq!(
+            err,
+            Err("experiment `fig7_trajectory` recorded no metric `failures`".to_string())
+        );
+        assert!(block_for("unknown_id", &Metrics::new()).is_err());
+    }
+}

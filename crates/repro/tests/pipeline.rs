@@ -1,0 +1,174 @@
+//! End-to-end tests of the `resmatch-repro` gate and renderer.
+//!
+//! These drive the real binary (via `CARGO_BIN_EXE`) against a scratch
+//! workspace root, proving the three properties the pipeline exists for:
+//! `check` passes on healthy metrics, *provably fails* when a claim is
+//! broken (`--perturb`), and `render` is idempotent.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn repro(root: &Path, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_resmatch-repro"))
+        .args(args)
+        .current_dir(root)
+        .output()
+        .expect("invariant: the resmatch-repro binary was built by cargo for this test")
+}
+
+/// A scratch workspace root with an EXPERIMENTS.md holding one marker
+/// block for the (instant, trace-free) Figure 7 experiment.
+fn scratch_root(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("resmatch-repro-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("invariant: temp dir is writable in the test env");
+    std::fs::write(
+        dir.join("EXPERIMENTS.md"),
+        "# scratch\n\nprose above\n\n<!-- repro:begin fig7_trajectory -->\n\
+         stale table\n<!-- repro:end fig7_trajectory -->\n\nprose below\n",
+    )
+    .expect("invariant: temp dir is writable in the test env");
+    dir
+}
+
+const ONLY_FIG7: &[&str] = &["--only", "fig7_trajectory", "--fresh"];
+
+#[test]
+fn check_passes_on_healthy_metrics() {
+    let root = scratch_root("check-ok");
+    let out = repro(&root, &[&["check"], ONLY_FIG7].concat());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "check failed:\n{stdout}");
+    assert!(stdout.contains("[PASS] trajectory_exact"), "{stdout}");
+    assert!(stdout.contains("all hold"), "{stdout}");
+}
+
+#[test]
+fn check_provably_fails_when_a_claim_is_broken() {
+    let root = scratch_root("check-gate");
+    let out = repro(
+        &root,
+        &[&["check"], ONLY_FIG7, &["--perturb", "trajectory_exact=0"]].concat(),
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !out.status.success(),
+        "check must exit nonzero on a broken claim:\n{stdout}"
+    );
+    assert_eq!(out.status.code(), Some(1), "gate failure is exit code 1");
+    assert!(stdout.contains("[FAIL] trajectory_exact"), "{stdout}");
+    // The perturbation is scoped: the other fig7 claims still pass.
+    assert!(stdout.contains("[PASS] final_grant_mb"), "{stdout}");
+}
+
+#[test]
+fn check_rejects_unknown_experiments_and_flags() {
+    let root = scratch_root("check-usage");
+    assert_eq!(
+        repro(&root, &["check", "--only", "no_such_experiment"])
+            .status
+            .code(),
+        Some(2)
+    );
+    assert_eq!(repro(&root, &["bogus-command"]).status.code(), Some(2));
+    assert_eq!(
+        repro(&root, &["check", "--perturb", "not-an-assignment"])
+            .status
+            .code(),
+        Some(2)
+    );
+}
+
+#[test]
+fn render_is_idempotent_and_docs_only_rerenders_from_the_sidecar() {
+    let root = scratch_root("render");
+    let doc_path = root.join("EXPERIMENTS.md");
+
+    let first = repro(&root, &[&["render"], ONLY_FIG7].concat());
+    assert!(
+        first.status.success(),
+        "{}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+    let doc = std::fs::read_to_string(&doc_path).expect("invariant: render wrote the doc");
+    assert!(doc.contains("| trajectory |"), "table rendered: {doc}");
+    assert!(
+        !doc.contains("stale table"),
+        "stale content replaced: {doc}"
+    );
+    assert!(
+        doc.starts_with("# scratch\n\nprose above") && doc.ends_with("prose below\n"),
+        "prose outside markers untouched: {doc}"
+    );
+    let artifact = root.join("results/fig7_trajectory.txt");
+    let tsv = root.join("results/metrics.tsv");
+    let artifact_1 = std::fs::read_to_string(&artifact).expect("invariant: artifact written");
+    let tsv_1 = std::fs::read_to_string(&tsv).expect("invariant: sidecar written");
+    assert!(
+        artifact_1.contains("32"),
+        "fig7 report mentions the 32 MB request"
+    );
+    assert!(
+        tsv_1.contains("fig7_trajectory\ttrajectory_exact\t"),
+        "{tsv_1}"
+    );
+
+    // Second run: byte-identical outputs, and the binary says so.
+    let second = repro(&root, &[&["render"], ONLY_FIG7].concat());
+    assert!(second.status.success());
+    let stdout = String::from_utf8_lossy(&second.stdout);
+    assert!(
+        stdout.contains("0 file(s) changed"),
+        "second render must be a no-op: {stdout}"
+    );
+    assert_eq!(
+        std::fs::read_to_string(&doc_path).expect("invariant: doc still present"),
+        doc
+    );
+    assert_eq!(
+        std::fs::read_to_string(&artifact).expect("invariant: artifact still present"),
+        artifact_1
+    );
+    assert_eq!(
+        std::fs::read_to_string(&tsv).expect("invariant: sidecar still present"),
+        tsv_1
+    );
+
+    // --docs-only re-renders the tables from the committed sidecar alone
+    // (this is CI's drift gate). Corrupt the doc, then restore it.
+    std::fs::write(
+        &doc_path,
+        "# scratch\n\nprose above\n\n<!-- repro:begin fig7_trajectory -->\n\
+         drifted\n<!-- repro:end fig7_trajectory -->\n\nprose below\n",
+    )
+    .expect("invariant: temp dir is writable in the test env");
+    let docs_only = repro(&root, &["render", "--docs-only"]);
+    assert!(docs_only.status.success());
+    assert_eq!(
+        std::fs::read_to_string(&doc_path).expect("invariant: doc still present"),
+        doc,
+        "--docs-only restores the rendered tables from metrics.tsv"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn quick_check_gates_every_experiment() {
+    // Every manifest entry must contribute at least one PASS line at the
+    // CI (--quick) profile; fig7 is instant, the rest are cheap, but this
+    // test only asserts the *shape* via list to stay fast.
+    let root = scratch_root("list");
+    let out = repro(&root, &["list"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for id in [
+        "fig1_histogram",
+        "fig5_utilization",
+        "table1_estimators",
+        "validate_calibration",
+    ] {
+        assert!(stdout.contains(id), "list missing {id}: {stdout}");
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}

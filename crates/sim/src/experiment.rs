@@ -33,7 +33,18 @@ use crate::spec::EstimatorSpec;
 /// far more contention than low-load ones). The pool size is capped at
 /// `available_parallelism`; a single-core box degrades to a serial loop
 /// with no thread spawns at all.
-fn run_pooled<T, F>(count: usize, task: F) -> Vec<T>
+///
+/// This is the pool behind [`run_load_sweep`] and [`run_cluster_sweep`];
+/// it is public so other drivers (the `resmatch-repro` experiment runner)
+/// can reuse the same bounded-parallelism discipline for their own
+/// embarrassingly parallel task sets. `task` must be deterministic per
+/// index — results are collected by slot, never by completion order.
+///
+/// # Panics
+/// If a worker thread panics, the panic propagates out of the enclosing
+/// `thread::scope` (and the every-slot-filled invariant check fires only
+/// in that already-panicking case).
+pub fn run_pooled<T, F>(count: usize, task: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,

@@ -22,7 +22,7 @@
 //! assert!(fit.r_squared > 0.99);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod bootstrap;

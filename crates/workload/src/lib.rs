@@ -26,7 +26,7 @@
 //! assert!(trace.jobs().iter().all(|j| j.used_mem_kb <= j.requested_mem_kb));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod analysis;

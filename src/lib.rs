@@ -60,6 +60,14 @@ pub use resmatch_sim as sim;
 pub use resmatch_stats as stats;
 pub use resmatch_workload as workload;
 
+// Compile-check every Rust snippet in the README as a doctest, so the
+// docs job catches API drift the moment a signature changes. Blocks that
+// would simulate the full 122k-job trace are fenced `rust,no_run`: they
+// must build, not execute, under `cargo test --doc`.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+mod readme_doctests {}
+
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use resmatch_cluster::builder::{cm5_cluster, paper_cluster};
