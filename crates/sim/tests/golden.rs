@@ -230,25 +230,72 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Assert a fixed-seed run's canonical rendering digests to a pinned
+/// constant that cannot be silently regenerated: if a hash moves, the
+/// engine's observable behavior changed and the change must be justified
+/// alongside the new value.
+fn check_pinned(name: &str, expected: u64, result: &SimResult) {
+    let got = fnv1a(render(result).as_bytes());
+    assert_eq!(
+        got, expected,
+        "fixed-seed SimResult digest for `{name}` moved (got {got:#018x}); \
+         the engine's observable behavior changed — update the constant \
+         only with an intentional semantic change"
+    );
+}
+
 /// Pinned digest of the fixed-seed FCFS + successive-estimator run.
 ///
 /// This guards the panic-site burn-down (unwrap/expect → documented
 /// invariants, `let-else` head peeking in the backfill loop) the same way
 /// the golden files do, but as a single constant that cannot be silently
-/// regenerated: if this hash moves, the engine's observable behavior
-/// changed and the change must be justified alongside the new value.
+/// regenerated.
 #[test]
 fn golden_fcfs_successive_hash_pinned() {
-    const EXPECTED: u64 = 0x9404_ab49_01a3_c631;
     let w = base_workload();
     let r = run(SimConfig::default(), EstimatorSpec::paper_successive(), &w);
-    let got = fnv1a(render(&r).as_bytes());
-    assert_eq!(
-        got, EXPECTED,
-        "fixed-seed SimResult digest moved (got {got:#018x}); the engine's \
-         observable behavior changed — update the constant only with an \
-         intentional semantic change"
+    check_pinned("fcfs_successive", 0x9404_ab49_01a3_c631, &r);
+}
+
+/// Pinned digest of the EASY-backfill + successive-estimator run. Pinned
+/// *before* the incremental release-table / shadow-cache overhaul so the
+/// new backfill path is machine-checked byte-identical to the per-pass
+/// rebuild it replaced.
+#[test]
+fn golden_easy_successive_hash_pinned() {
+    let w = base_workload();
+    let cfg = SimConfig::default().with_scheduling(SchedulingPolicy::EasyBackfill);
+    let r = run(cfg, EstimatorSpec::paper_successive(), &w);
+    check_pinned("easy_successive", 0xa5e6_18e2_905d_f119, &r);
+}
+
+/// Pinned digest of the SJF + successive-estimator run. Pinned *before*
+/// the O(queue²) `min_by_key` scan was replaced by the index heap so the
+/// `(requested_runtime, queue-order)` tie-break is machine-checked.
+#[test]
+fn golden_sjf_successive_hash_pinned() {
+    let w = base_workload();
+    let cfg = SimConfig::default().with_scheduling(SchedulingPolicy::Sjf);
+    let r = run(cfg, EstimatorSpec::paper_successive(), &w);
+    check_pinned("sjf_successive", 0xe4dc_bc47_2ad5_a974, &r);
+}
+
+/// Pinned digest of EASY backfill with a stateful estimator and explicit
+/// feedback: in-queue refreshes interleave with the backfill scan here, so
+/// this pins the order of estimator calls, not just of starts.
+#[test]
+fn golden_easy_lastinstance_hash_pinned() {
+    use resmatch_core::last_instance::LastInstanceConfig;
+    let w = base_workload();
+    let cfg = SimConfig::default()
+        .with_scheduling(SchedulingPolicy::EasyBackfill)
+        .with_feedback(FeedbackMode::Explicit);
+    let r = run(
+        cfg,
+        EstimatorSpec::LastInstance(LastInstanceConfig::default()),
+        &w,
     );
+    check_pinned("easy_lastinstance_explicit", 0xa316_a849_9a9d_9250, &r);
 }
 
 #[test]
