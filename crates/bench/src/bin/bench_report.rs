@@ -37,6 +37,10 @@ fn trace(jobs: usize, seed: u64) -> Workload {
 
 struct Measurement {
     scenario: String,
+    /// Queue discipline the scenario ran under (`fcfs`, `sjf`, `easy`) —
+    /// kept as its own JSON field so the perf trajectory of each scheduler
+    /// path can be tracked independently of scenario naming.
+    scheduler: &'static str,
     jobs: usize,
     events_processed: u64,
     completed_jobs: usize,
@@ -50,7 +54,13 @@ struct Measurement {
 
 /// Best-of-N wall clock: the minimum is the least noise-contaminated
 /// estimate of the true cost on a shared machine.
-fn measure<F>(scenario: &str, jobs: usize, reps: usize, run: F) -> Measurement
+fn measure<F>(
+    scenario: &str,
+    scheduler: &'static str,
+    jobs: usize,
+    reps: usize,
+    run: F,
+) -> Measurement
 where
     F: Fn() -> resmatch_sim::SimResult,
 {
@@ -65,6 +75,7 @@ where
     let r = last.expect("reps >= 1");
     Measurement {
         scenario: scenario.to_string(),
+        scheduler,
         jobs,
         events_processed: r.events_processed,
         completed_jobs: r.completed_jobs,
@@ -85,12 +96,14 @@ fn render_json(measurements: &[Measurement]) -> String {
     for (i, m) in measurements.iter().enumerate() {
         let c = &m.counters;
         out.push_str(&format!(
-            "    {{\"scenario\": \"{}\", \"jobs\": {}, \"events_processed\": {}, \
+            "    {{\"scenario\": \"{}\", \"scheduler\": \"{}\", \"jobs\": {}, \
+             \"events_processed\": {}, \
              \"completed_jobs\": {}, \"wall_s\": {:.6}, \"events_per_sec\": {:.1}, \
              \"counters\": {{\"arrivals\": {}, \"admissions\": {}, \"started\": {}, \
              \"completed\": {}, \"failed\": {}, \"requeued\": {}, \
              \"estimator_bypassed\": {}, \"churn_events\": {}}}}}{}\n",
             json_escape(&m.scenario),
+            m.scheduler,
             m.jobs,
             m.events_processed,
             m.completed_jobs,
@@ -143,7 +156,7 @@ fn main() {
     let mut measurements = Vec::new();
     for &jobs in &sizes {
         let w = trace(jobs, seed);
-        measurements.push(measure("fcfs_pass_through", jobs, reps, || {
+        measurements.push(measure("fcfs_pass_through", "fcfs", jobs, reps, || {
             Simulation::new(
                 SimConfig::default(),
                 paper_cluster(24),
@@ -151,7 +164,7 @@ fn main() {
             )
             .run(&w)
         }));
-        measurements.push(measure("fcfs_successive", jobs, reps, || {
+        measurements.push(measure("fcfs_successive", "fcfs", jobs, reps, || {
             Simulation::new(
                 SimConfig::default(),
                 paper_cluster(24),
@@ -159,8 +172,15 @@ fn main() {
             )
             .run(&w)
         }));
+        let sjf = SimConfig::default().with_scheduling(SchedulingPolicy::Sjf);
+        measurements.push(measure("sjf_successive", "sjf", jobs, reps, || {
+            Simulation::new(sjf, paper_cluster(24), EstimatorSpec::paper_successive()).run(&w)
+        }));
         let easy = SimConfig::default().with_scheduling(SchedulingPolicy::EasyBackfill);
-        measurements.push(measure("easy_successive", jobs, reps, || {
+        measurements.push(measure("easy_pass_through", "easy", jobs, reps, || {
+            Simulation::new(easy, paper_cluster(24), EstimatorSpec::PassThrough).run(&w)
+        }));
+        measurements.push(measure("easy_successive", "easy", jobs, reps, || {
             Simulation::new(easy, paper_cluster(24), EstimatorSpec::paper_successive()).run(&w)
         }));
     }

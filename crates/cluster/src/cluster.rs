@@ -79,6 +79,14 @@ impl Allocation {
         &self.nodes
     }
 
+    /// `(pool index, nodes granted from it)` in draw order — lets callers
+    /// maintain per-pool occupancy tallies incrementally instead of
+    /// re-counting the cluster on every event.
+    #[inline]
+    pub fn per_pool(&self) -> &[(u16, u32)] {
+        &self.per_pool
+    }
+
     /// The caller-supplied token (typically the job id) recorded as the
     /// occupant of each node.
     #[inline]
@@ -443,11 +451,14 @@ impl Cluster {
             let start = self.pools[pi].free.len() - here as usize;
             {
                 let (pools, occupant) = (&self.pools, &mut self.occupant);
-                for &id in &pools[pi].free[start..] {
+                // One reverse pass claims and collects each node; claim
+                // order is unobservable (the ids are distinct), and the
+                // collected order matches the pop-per-node draw.
+                nodes.extend(pools[pi].free[start..].iter().rev().map(|&id| {
                     debug_assert_eq!(occupant[id as usize], FREE_TOKEN);
                     occupant[id as usize] = token;
-                }
-                nodes.extend(pools[pi].free[start..].iter().rev().copied());
+                    id
+                }));
             }
             self.pools[pi].free.truncate(start);
             remaining -= here;
@@ -482,15 +493,20 @@ impl Cluster {
         for &(pi, n) in &alloc.per_pool {
             let seg = &alloc.nodes[offset..offset + n as usize];
             offset += n as usize;
+            // Occupancy checks are folded branch-free and asserted once per
+            // segment: the loud failure survives, without a potential panic
+            // edge (and its formatting machinery) inside the per-node loop.
+            let mut held = true;
             for &id in seg {
                 let occupant = std::mem::replace(&mut self.occupant[id as usize], FREE_TOKEN);
-                assert_eq!(
-                    occupant, alloc.token,
-                    "release of node {id} not held by token {}",
-                    alloc.token
-                );
+                held &= occupant == alloc.token;
                 debug_assert_eq!(self.node_pool[id as usize], pi);
             }
+            assert!(
+                held,
+                "release of a node not held by token {} (pool {pi})",
+                alloc.token
+            );
             self.pools[pi as usize].free.extend_from_slice(seg);
             self.mem_index
                 .add_free(self.pool_rung[pi as usize] as usize, n as i64);

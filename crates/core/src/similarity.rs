@@ -30,7 +30,7 @@ pub enum SimilarityPolicy {
 
 /// A concrete similarity-group key under some policy. Unused components are
 /// `None` so keys from different policies never collide accidentally.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct SimilarityKey {
     /// User component, if the policy includes it.
     pub user: Option<u32>,
@@ -38,6 +38,25 @@ pub struct SimilarityKey {
     pub app: Option<u32>,
     /// Requested-memory component, if the policy includes it.
     pub requested_mem_kb: Option<u64>,
+}
+
+/// Manual `Hash`: the derived impl feeds each `Option` discriminant and
+/// value to the hasher separately (~40 bytes through [`FnvHasher`]'s
+/// byte-serial loop), and group-table lookups hash a key on every estimate
+/// and every feedback. Packing the fields into 17 bytes — a presence mask
+/// plus two words — keeps the injection (`None` never collides with
+/// `Some(0)`; the mask disambiguates) while halving the per-lookup cost.
+impl std::hash::Hash for SimilarityKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        let mask = (u8::from(self.user.is_some()) << 2)
+            | (u8::from(self.app.is_some()) << 1)
+            | u8::from(self.requested_mem_kb.is_some());
+        state.write_u8(mask);
+        state.write_u64(
+            (u64::from(self.user.unwrap_or(0)) << 32) | u64::from(self.app.unwrap_or(0)),
+        );
+        state.write_u64(self.requested_mem_kb.unwrap_or(0));
+    }
 }
 
 impl SimilarityKey {

@@ -28,7 +28,8 @@
 //!   dropped up front (the paper removes the six 1024-node CM5 jobs for the
 //!   same reason).
 
-use std::collections::{HashMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -42,7 +43,10 @@ use resmatch_workload::{Job, Time, Workload};
 use crate::event::{Event, EventQueue};
 use crate::metrics::{JobRecord, RunCounters, SimResult};
 use crate::observer::{MultiObserver, SimObserver};
-use crate::scheduler::{shadow_time, SchedulingPolicy};
+use crate::release::ReleaseTable;
+#[cfg(debug_assertions)]
+use crate::scheduler::shadow_time;
+use crate::scheduler::SchedulingPolicy;
 use crate::spec::EstimatorSpec;
 use crate::tracelog::TraceLog;
 
@@ -141,14 +145,25 @@ impl SimConfig {
     }
 }
 
+/// Encoded [`EstimateScope`] resolution (see [`Queued::scope_slot`] and
+/// [`RunState::scope_by_job`]): values below [`SCOPE_GLOBAL`] are dense
+/// group slots into [`RunState::group_epoch_by_slot`]; the top values
+/// encode the scalar scopes. `estimate_scope` is contractually a pure
+/// function of the job, so one resolution per job is the only resolution —
+/// caching it removes a similarity-key hash from every refresh and every
+/// feedback delivery.
+const SCOPE_UNRESOLVED: u32 = u32::MAX;
+/// Encoded [`EstimateScope::Static`].
+const SCOPE_STATIC: u32 = u32::MAX - 1;
+/// Encoded [`EstimateScope::Global`].
+const SCOPE_GLOBAL: u32 = u32::MAX - 2;
+
 /// A queued (re)submission.
 #[derive(Debug, Clone)]
 struct Queued {
     job: usize,
     attempts: u32,
     demand: Demand,
-    /// Which feedback can invalidate this estimate (see [`EstimateScope`]).
-    scope: EstimateScope,
     /// Structural epoch (membership churn) the estimate was computed at.
     structural_stamp: u64,
     /// Feedback epoch the estimate was computed at.
@@ -157,6 +172,27 @@ struct Queued {
     lowered: bool,
     /// Estimation strictly enlarged the candidate-machine set.
     benefited: bool,
+    /// Queue-order rank: `push_front` assigns strictly decreasing values,
+    /// `push_back` strictly increasing ones, so the deque is always sorted
+    /// ascending by `seq` and an entry's rank survives index shifts. SJF
+    /// uses it both as the heap tie-break (first-minimum = lowest rank)
+    /// and to find an entry's current index by binary search.
+    seq: i64,
+    /// The job's requested runtime, copied inline so the backfill scan's
+    /// conservative time check reads the queue sequentially instead of
+    /// chasing a pointer into the job table per entry.
+    requested_runtime: Time,
+    /// [`RunState::retry_epoch`] value at this entry's last refused
+    /// allocation, or `u64::MAX` if none. While the epoch is unchanged the
+    /// refusal is still exact and the retry is skipped outright.
+    failed_alloc_stamp: u64,
+    /// The job's node count, copied inline for the allocation attempt.
+    nodes: u32,
+    /// Which feedback can invalidate this estimate, encoded per the
+    /// `SCOPE_*` constants: [`SCOPE_STATIC`], [`SCOPE_GLOBAL`], or a dense
+    /// group slot into [`RunState::group_epoch_by_slot`] — so the
+    /// staleness check is a vector index, not a hash lookup.
+    scope_slot: u32,
 }
 
 /// A running execution.
@@ -182,6 +218,32 @@ struct Progress {
     wasted_node_seconds: f64,
 }
 
+/// Memoized EASY reservation: the head's shadow crossing plus how far the
+/// backfill scan got, valid exactly while nothing that could change either
+/// has happened.
+///
+/// The key is `(head job, head demand, running generation, structural
+/// epoch)`: free-node counts and the release set move only with starts,
+/// completions, and churn (the two generations), and every in-queue
+/// estimate refresh rides a feedback epoch that moves only with
+/// completions — so a hit also proves no queued entry below `scanned`
+/// needs re-estimation, and the pass may resume scanning at new arrivals.
+struct ShadowCache {
+    job: usize,
+    demand: Demand,
+    running_gen: u64,
+    structural: u64,
+    /// Uncapped crossing time (`shadow = crossing.max(now)` at use, since
+    /// a conservative release time may already lie in the past); `None`
+    /// when even a drained cluster cannot satisfy the head.
+    crossing: Option<Time>,
+    /// Queue entries below this index are proven unstartable under this
+    /// key: their estimates are fresh, their conservative completions
+    /// still overrun the shadow (`now` only grows the overrun), and the
+    /// cluster they failed to allocate on is unchanged.
+    scanned: usize,
+}
+
 /// Mutable state of one simulation run.
 struct RunState<'a> {
     jobs: &'a [Job],
@@ -199,14 +261,65 @@ struct RunState<'a> {
     structural_epoch: u64,
     /// Bumped on every estimator feedback.
     feedback_epoch: u64,
-    /// Feedback epoch at which each similarity group last received
-    /// feedback — the group-scoped invalidation index. Entries whose scope
-    /// is [`EstimateScope::Group`] re-estimate only when *their* group
-    /// moved past their stamp.
-    group_epochs: HashMap<u64, u64, FnvBuildHasher>,
+    /// Estimator group id → dense slot into [`RunState::group_epoch_by_slot`].
+    /// Consulted only on admission and feedback delivery; the per-candidate
+    /// staleness check indexes the dense vector through
+    /// [`Queued::group_slot`] instead of hashing.
+    group_slots: HashMap<u64, u32, FnvBuildHasher>,
+    /// Feedback epoch at which each similarity group (by dense slot) last
+    /// received feedback — the group-scoped invalidation index. Entries
+    /// whose scope is [`EstimateScope::Group`] re-estimate only when
+    /// *their* group moved past their stamp; zero means "never moved"
+    /// (real epochs start at one).
+    group_epoch_by_slot: Vec<u64>,
+    /// Per-job memo of the estimator's scope, encoded per the `SCOPE_*`
+    /// constants ([`SCOPE_UNRESOLVED`] until first resolved). The trait
+    /// requires `estimate_scope` to be a pure function of the job, so the
+    /// first answer is the only answer — re-admissions, refreshes, and
+    /// feedback deliveries all read this instead of re-hashing the job's
+    /// similarity key.
+    scope_by_job: Vec<u32>,
     /// Finished `running` slab slots available for reuse, keeping the slab
     /// at peak-concurrency size instead of total-executions size.
     free_run_ids: Vec<u64>,
+    /// Bumped whenever the running set changes (start or completion) —
+    /// with the structural epoch, the freshness key for [`ShadowCache`].
+    running_gen: u64,
+    /// Bumped by every event that could turn a refused allocation into a
+    /// granted one or stale a fresh estimate: execution ends (they release
+    /// nodes, and all feedback — global and group — happens there) and
+    /// membership churn. While it stands still, a queued entry's recorded
+    /// refusal ([`Queued::failed_alloc_stamp`]) repeats identically, so
+    /// retries are skipped without touching the cluster.
+    retry_epoch: u64,
+    /// Eligible-free counts per distinct demand, memoized under the
+    /// current retry epoch. Starts only shrink the free set within an
+    /// epoch (releases and churn bump it), so each cached count is an
+    /// *upper bound* on the live one: an entry demanding more nodes than
+    /// the bound is provably refused at `try_allocate`'s availability
+    /// gate, with nothing else to observe — estimates are rung-quantized,
+    /// so a handful of entries absorbs most of a saturated queue's
+    /// allocation attempts.
+    free_cache: Vec<(Demand, u32)>,
+    /// Retry epoch the `free_cache` memo belongs to; a mismatch clears it.
+    free_cache_stamp: u64,
+    /// Running jobs sorted by conservative completion time (EASY only).
+    release_table: ReleaseTable,
+    /// Last computed EASY reservation, keyed by head and generations.
+    shadow_cache: Option<ShadowCache>,
+    /// The head demand the release table's eligible counts were computed
+    /// against, and the epoch stamped on them.
+    last_shadow_demand: Option<Demand>,
+    shadow_demand_epoch: u64,
+    /// SJF's index heap: `(requested_runtime, queue rank)`, so the next
+    /// candidate is an O(1) peek instead of an O(queue) scan. Mirrors the
+    /// queue exactly — entries are pushed on admission and popped only
+    /// when their job starts.
+    sjf_heap: BinaryHeap<Reverse<(Time, i64)>>,
+    /// Next queue rank for `push_back` (ascending from zero).
+    next_back_seq: i64,
+    /// Next queue rank for `push_front` (descending from -1).
+    next_front_seq: i64,
     total_executions: u64,
     failed_executions: u64,
     events_processed: u64,
@@ -228,6 +341,12 @@ struct RunState<'a> {
     weighted_span_s: f64,
     /// Busy-node-seconds per pool (construction order).
     pool_busy_time: Vec<f64>,
+    /// Busy nodes per pool right now, maintained from each allocation's
+    /// per-pool counts at start and release. Mirrors
+    /// `Cluster::pool_busy_count` (churn moves nodes between free and
+    /// offline only, never busy) without a per-pool cluster query on every
+    /// event.
+    pool_busy: Vec<u32>,
 }
 
 /// A scheduled change in cluster membership — the paper's §1.1 setting
@@ -359,8 +478,21 @@ impl Simulation {
             rng: StdRng::seed_from_u64(self.cfg.seed),
             structural_epoch: 0,
             feedback_epoch: 0,
-            group_epochs: HashMap::default(),
+            group_slots: HashMap::default(),
+            group_epoch_by_slot: Vec::new(),
+            scope_by_job: vec![SCOPE_UNRESOLVED; jobs.len()],
             free_run_ids: Vec::new(),
+            running_gen: 0,
+            retry_epoch: 0,
+            free_cache: Vec::new(),
+            free_cache_stamp: 0,
+            release_table: ReleaseTable::default(),
+            shadow_cache: None,
+            last_shadow_demand: None,
+            shadow_demand_epoch: 0,
+            sjf_heap: BinaryHeap::new(),
+            next_back_seq: 0,
+            next_front_seq: -1,
             total_executions: 0,
             failed_executions: 0,
             events_processed: 0,
@@ -375,6 +507,7 @@ impl Simulation {
             busy_nodes_time: 0.0,
             weighted_span_s: 0.0,
             pool_busy_time: vec![0.0; self.cluster.num_pools()],
+            pool_busy: vec![0; self.cluster.num_pools()],
         };
 
         if let Some(obs) = state.obs.as_deref_mut() {
@@ -401,8 +534,19 @@ impl Simulation {
                 state.queue_len_time += state.queue.len() as f64 * dt;
                 state.busy_nodes_time += self.cluster.busy_nodes() as f64 * dt;
                 state.weighted_span_s += dt;
-                for (i, slot) in state.pool_busy_time.iter_mut().enumerate() {
-                    *slot += self.cluster.pool_busy_count(i) as f64 * dt;
+                for (i, (slot, &busy)) in state
+                    .pool_busy_time
+                    .iter_mut()
+                    .zip(&state.pool_busy)
+                    .enumerate()
+                {
+                    debug_assert_eq!(busy, self.cluster.pool_busy_count(i));
+                    // Zero terms are skipped: the accumulator is a sum of
+                    // non-negative products, so `+ 0.0` is the bit-exact
+                    // identity here.
+                    if busy > 0 {
+                        *slot += busy as f64 * dt;
+                    }
                 }
             }
             match event {
@@ -413,14 +557,7 @@ impl Simulation {
                         obs.on_arrival(now, jobs[job].id);
                     }
                     let queue_len = state.queue.len();
-                    let queued = self.admit(
-                        &jobs[job],
-                        job,
-                        0,
-                        queue_len,
-                        state.structural_epoch,
-                        state.feedback_epoch,
-                    );
+                    let queued = self.admit(&mut state, job, 0, queue_len);
                     if self.cfg.max_estimation_attempts == 0 {
                         // Degenerate configuration: estimation disabled
                         // outright, so even first submissions bypass.
@@ -432,7 +569,7 @@ impl Simulation {
                     if let Some(obs) = state.obs.as_deref_mut() {
                         obs.on_admitted(now, jobs[job].id, queued.demand.mem_kb, 0);
                     }
-                    state.queue.push_back(queued);
+                    self.push_back_queued(&mut state, queued);
                     if queue_len == 0 {
                         // The new arrival became the head; nothing has
                         // proven it blocked yet.
@@ -483,6 +620,7 @@ impl Simulation {
                     // Capacity changed: queued estimates may now round to
                     // different rungs, so force re-admission.
                     state.structural_epoch += 1;
+                    state.retry_epoch += 1;
                 }
             }
             self.schedule(&mut state, now);
@@ -570,6 +708,11 @@ impl Simulation {
             .take()
             .expect("invariant: an ExecutionEnd event fires exactly once per live run id");
         state.running_count -= 1;
+        state.running_gen += 1;
+        state.retry_epoch += 1;
+        if matches!(self.cfg.scheduling, SchedulingPolicy::EasyBackfill) {
+            state.release_table.remove(run.expected_end, run_id);
+        }
         state.free_run_ids.push(run_id);
         let job = &state.jobs[run.job];
         let min_mem = self.cluster.allocation_min_mem(&run.alloc);
@@ -578,6 +721,9 @@ impl Simulation {
             disk_kb: 0,
             packages: self.cluster.allocation_packages(&run.alloc) & job.requested_packages,
         };
+        for &(pi, n) in run.alloc.per_pool() {
+            state.pool_busy[pi as usize] -= n;
+        }
         self.cluster.release(run.alloc);
 
         let ctx = EstimateContext {
@@ -599,8 +745,9 @@ impl Simulation {
         state.feedback_epoch += 1;
         // Group-scoped invalidation: record which group just moved, so only
         // queued entries of that group (plus Global-scope entries) refresh.
-        if let EstimateScope::Group(g) = self.estimator.estimate_scope(job) {
-            state.group_epochs.insert(g, state.feedback_epoch);
+        let scope_slot = self.scope_slot_of(state, run.job);
+        if scope_slot < SCOPE_GLOBAL {
+            state.group_epoch_by_slot[scope_slot as usize] = state.feedback_epoch;
         }
         if let Some(obs) = state.obs.as_deref_mut() {
             obs.on_feedback(now, job.id, success);
@@ -646,14 +793,7 @@ impl Simulation {
                 state.counters.admissions += 1;
                 state.counters.requeued += 1;
                 let queue_len = state.queue.len();
-                let queued = self.admit(
-                    job,
-                    run.job,
-                    attempts,
-                    queue_len,
-                    state.structural_epoch,
-                    state.feedback_epoch,
-                );
+                let queued = self.admit(state, run.job, attempts, queue_len);
                 if attempts >= self.cfg.max_estimation_attempts {
                     state.counters.estimator_bypassed += 1;
                     if let Some(obs) = state.obs.as_deref_mut() {
@@ -663,27 +803,63 @@ impl Simulation {
                 if let Some(obs) = state.obs.as_deref_mut() {
                     obs.on_admitted(now, job.id, queued.demand.mem_kb, attempts);
                 }
-                state.queue.push_front(queued);
+                self.push_front_queued(state, queued);
             }
         }
     }
 
+    /// Dense epoch slot for an estimator group id, allocated on first
+    /// sight. Runs only on a job's first scope resolution; the hot
+    /// staleness checks index [`RunState::group_epoch_by_slot`] directly.
+    fn group_slot(state: &mut RunState<'_>, g: u64) -> u32 {
+        let next = state.group_epoch_by_slot.len() as u32;
+        let slot = *state.group_slots.entry(g).or_insert(next);
+        if slot == next {
+            state.group_epoch_by_slot.push(0);
+        }
+        slot
+    }
+
+    /// The estimator's scope for a job, encoded per the `SCOPE_*`
+    /// constants and memoized in [`RunState::scope_by_job`]. The first
+    /// call per job pays the similarity-key hash; every later admission,
+    /// refresh, and feedback delivery is a vector read. Memoization is
+    /// sound because the trait requires `estimate_scope` to be a pure
+    /// function of the job.
+    fn scope_slot_of(&self, state: &mut RunState<'_>, job_idx: usize) -> u32 {
+        let cached = state.scope_by_job[job_idx];
+        if cached != SCOPE_UNRESOLVED {
+            return cached;
+        }
+        let resolved = match self.estimator.estimate_scope(&state.jobs[job_idx]) {
+            EstimateScope::Group(g) => Self::group_slot(state, g),
+            EstimateScope::Static => SCOPE_STATIC,
+            EstimateScope::Global => SCOPE_GLOBAL,
+        };
+        state.scope_by_job[job_idx] = resolved;
+        resolved
+    }
+
     /// Build the queue entry for a (re)submission: run the estimator (or
     /// bypass it after too many failures) and precompute bookkeeping flags.
+    ///
+    /// `queue_len` is passed explicitly because the callers' conventions
+    /// differ: a refresh excludes the entry being refreshed, while a
+    /// (re)admission counts every entry already waiting.
     fn admit(
         &mut self,
-        job: &Job,
-        idx: usize,
+        state: &mut RunState<'_>,
+        job_idx: usize,
         attempts: u32,
         queue_len: usize,
-        structural_epoch: u64,
-        feedback_epoch: u64,
     ) -> Queued {
+        let jobs = state.jobs;
+        let job = &jobs[job_idx];
         let request = requested_demand(job);
-        let (demand, scope) = if attempts >= self.cfg.max_estimation_attempts {
+        let (demand, scope_slot) = if attempts >= self.cfg.max_estimation_attempts {
             // Bypassing the estimator: the raw request depends on nothing
             // feedback can change, so only churn can stale this entry.
-            (request, EstimateScope::Static)
+            (request, SCOPE_STATIC)
         } else {
             let ctx = EstimateContext {
                 queue_len,
@@ -695,65 +871,153 @@ impl Simulation {
                 "estimator {} produced a demand above the request",
                 self.estimator.name()
             );
-            (d, self.estimator.estimate_scope(job))
+            (d, self.scope_slot_of(state, job_idx))
         };
         let lowered = demand != request && demand.within(&request);
         let benefited =
             self.cluster.nodes_satisfying(&demand) > self.cluster.nodes_satisfying(&request);
         Queued {
-            job: idx,
+            job: job_idx,
             attempts,
             demand,
-            scope,
-            structural_stamp: structural_epoch,
-            feedback_stamp: feedback_epoch,
+            structural_stamp: state.structural_epoch,
+            feedback_stamp: state.feedback_epoch,
             lowered,
             benefited,
+            // Assigned at the push site (front vs back rank); an in-place
+            // refresh keeps the entry's existing rank.
+            seq: 0,
+            requested_runtime: job.requested_runtime,
+            failed_alloc_stamp: u64::MAX,
+            nodes: job.nodes,
+            scope_slot,
         }
+    }
+
+    /// Enqueue at the back with the next ascending rank, mirroring into
+    /// the SJF heap when that policy is active.
+    fn push_back_queued(&self, state: &mut RunState<'_>, mut queued: Queued) {
+        queued.seq = state.next_back_seq;
+        state.next_back_seq += 1;
+        if matches!(self.cfg.scheduling, SchedulingPolicy::Sjf) {
+            state
+                .sjf_heap
+                .push(Reverse((queued.requested_runtime, queued.seq)));
+        }
+        state.queue.push_back(queued);
+    }
+
+    /// Enqueue at the front ("returns to the head of the queue") with the
+    /// next descending rank, mirroring into the SJF heap when active.
+    fn push_front_queued(&self, state: &mut RunState<'_>, mut queued: Queued) {
+        queued.seq = state.next_front_seq;
+        state.next_front_seq -= 1;
+        if matches!(self.cfg.scheduling, SchedulingPolicy::Sjf) {
+            state
+                .sjf_heap
+                .push(Reverse((queued.requested_runtime, queued.seq)));
+        }
+        state.queue.push_front(queued);
+    }
+
+    /// Whether feedback or churn since admission invalidates the estimate
+    /// of the queued entry — the engine's historical refresh rule.
+    fn estimate_stale(q: &Queued, state: &RunState<'_>) -> bool {
+        q.structural_stamp != state.structural_epoch
+            || match q.scope_slot {
+                // Raw requests and history-independent estimates never
+                // go stale from feedback.
+                SCOPE_STATIC => false,
+                // Context-dependent estimators: any feedback may matter —
+                // exactly the engine's historical refresh-always rule.
+                SCOPE_GLOBAL => q.feedback_stamp != state.feedback_epoch,
+                // Only feedback *for this group* can move the estimate;
+                // the slot was resolved at admission, so this is a vector
+                // read (zero = the group never received feedback).
+                slot => state.group_epoch_by_slot[slot as usize] > q.feedback_stamp,
+            }
+    }
+
+    /// Upper bound on the eligible-free node count for `demand` under the
+    /// current retry epoch, memoized per distinct demand. Within one epoch
+    /// the free set only shrinks (starts allocate; releases and churn bump
+    /// the epoch), so `nodes > bound` proves `try_allocate` would refuse
+    /// at its availability gate — its only refusal condition — without
+    /// calling it.
+    fn free_bound(cluster: &Cluster, state: &mut RunState<'_>, demand: &Demand) -> u32 {
+        if state.free_cache_stamp != state.retry_epoch {
+            state.free_cache.clear();
+            state.free_cache_stamp = state.retry_epoch;
+        }
+        if let Some(&(_, f)) = state.free_cache.iter().find(|(d, _)| d == demand) {
+            return f;
+        }
+        let f = cluster.free_nodes_satisfying(demand);
+        state.free_cache.push((*demand, f));
+        f
     }
 
     /// Try to start the queued entry at `idx`, refreshing its estimate if
     /// feedback has arrived since it was admitted. Removes it from the
     /// queue and returns true on success.
     fn try_start_at(&mut self, state: &mut RunState<'_>, idx: usize, now: Time) -> bool {
-        let needs_refresh = {
+        // One pass over the entry decides everything the refusal fast
+        // paths need — the deque is indexed once, not per check.
+        let (skip, needs_refresh, job_idx, demand, job_nodes) = {
             let q = &state.queue[idx];
-            q.structural_stamp != state.structural_epoch
-                || match q.scope {
-                    // Raw requests and history-independent estimates never
-                    // go stale from feedback.
-                    EstimateScope::Static => false,
-                    // Only feedback *for this group* can move the estimate.
-                    EstimateScope::Group(g) => state
-                        .group_epochs
-                        .get(&g)
-                        .is_some_and(|&e| e > q.feedback_stamp),
-                    // Context-dependent estimators: any feedback may matter —
-                    // exactly the engine's historical refresh-always rule.
-                    EstimateScope::Global => q.feedback_stamp != state.feedback_epoch,
-                }
+            // A refusal recorded under the current retry epoch is still
+            // exact: nothing since has released nodes, changed membership,
+            // or moved any feedback epoch (all of those bump
+            // `retry_epoch`), so the entry is provably still fresh and
+            // `try_allocate` — side-effect free on refusal — would refuse
+            // the identical request again.
+            if q.failed_alloc_stamp == state.retry_epoch {
+                (true, false, 0, Demand::default(), 0)
+            } else {
+                (
+                    false,
+                    Self::estimate_stale(q, state),
+                    q.job,
+                    q.demand,
+                    q.nodes,
+                )
+            }
         };
-        if needs_refresh {
-            let (job_idx, attempts) = {
+        if skip {
+            debug_assert!(
+                !Self::estimate_stale(&state.queue[idx], state),
+                "an unchanged retry epoch must imply a fresh estimate"
+            );
+            return false;
+        }
+        let (demand, job_nodes) = if needs_refresh {
+            let (attempts, seq) = {
                 let q = &state.queue[idx];
-                (q.job, q.attempts)
+                (q.attempts, q.seq)
             };
             // The entry being refreshed sits in the queue itself; exclude
             // it so re-estimation sees the same context convention as
             // admission (`queue_len` counts *other* waiting jobs — see
             // `EstimateContext::queue_len`).
             let queue_len = state.queue.len() - 1;
-            state.queue[idx] = self.admit(
-                &state.jobs[job_idx],
-                job_idx,
-                attempts,
-                queue_len,
-                state.structural_epoch,
-                state.feedback_epoch,
-            );
+            let mut fresh = self.admit(state, job_idx, attempts, queue_len);
+            // A refresh changes the estimate, never the queue position.
+            fresh.seq = seq;
+            let refreshed = (fresh.demand, fresh.nodes);
+            state.queue[idx] = fresh;
+            refreshed
+        } else {
+            (demand, job_nodes)
+        };
+        // The entry is fresh past this point (refreshed above if needed),
+        // so a skipped allocation attempt skips nothing else: demanding
+        // more nodes than the epoch's free bound is exactly the refusal
+        // `try_allocate`'s availability gate would produce, side-effect
+        // free.
+        if job_nodes > Self::free_bound(&self.cluster, state, &demand) {
+            state.queue[idx].failed_alloc_stamp = state.retry_epoch;
+            return false;
         }
-        let queued = &state.queue[idx];
-        let job = &state.jobs[queued.job];
         // Reuse a finished slab slot when one is free. Peeked, not popped:
         // a refused allocation must leave the free list untouched.
         let run_id = state
@@ -763,10 +1027,24 @@ impl Simulation {
             .unwrap_or(state.running.len() as u64);
         let Some(alloc) =
             self.cluster
-                .try_allocate(job.nodes, &queued.demand, self.cfg.match_policy, run_id)
+                .try_allocate(job_nodes, &demand, self.cfg.match_policy, run_id)
         else {
+            // The bound over-approximated (an earlier start in this epoch
+            // shrank the free set); tighten it to the live count and
+            // record the refusal — until the next execution end or churn
+            // event it would repeat identically, so passes skip it.
+            let live = self.cluster.free_nodes_satisfying(&demand);
+            if let Some(slot) = state.free_cache.iter_mut().find(|(d, _)| *d == demand) {
+                slot.1 = live;
+            }
+            state.queue[idx].failed_alloc_stamp = state.retry_epoch;
             return false;
         };
+        for &(pi, n) in alloc.per_pool() {
+            state.pool_busy[pi as usize] += n;
+        }
+        let queued = &state.queue[idx];
+        let job = &state.jobs[queued.job];
         state.total_executions += 1;
         state.counters.started += 1;
 
@@ -808,6 +1086,9 @@ impl Simulation {
             at_request: queued.demand == requested_demand(job),
             resource_failure: !resources_ok,
         };
+        if matches!(self.cfg.scheduling, SchedulingPolicy::EasyBackfill) {
+            state.release_table.insert(running.expected_end, run_id);
+        }
         if (run_id as usize) < state.running.len() {
             state.free_run_ids.pop();
             debug_assert!(state.running[run_id as usize].is_none());
@@ -816,6 +1097,7 @@ impl Simulation {
             state.running.push(Some(running));
         }
         state.running_count += 1;
+        state.running_gen += 1;
         true
     }
 
@@ -830,63 +1112,211 @@ impl Simulation {
                 }
             }
             SchedulingPolicy::Sjf => {
-                while let Some((idx, _)) = state
-                    .queue
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, q)| state.jobs[q.job].requested_runtime)
-                {
+                // The heap mirrors the queue: its minimum (requested
+                // runtime, then queue rank) is exactly the entry the old
+                // O(queue) first-minimum scan selected, found by an O(1)
+                // peek plus an O(log queue) rank search.
+                while let Some(&Reverse((_, seq))) = state.sjf_heap.peek() {
+                    let idx = state
+                        .queue
+                        .binary_search_by(|q| q.seq.cmp(&seq))
+                        .expect("invariant: the SJF heap mirrors the queue");
+                    debug_assert_eq!(
+                        Some(idx),
+                        state
+                            .queue
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, q)| state.jobs[q.job].requested_runtime)
+                            .map(|(i, _)| i),
+                        "heap selection must match the first-minimum scan"
+                    );
                     if !self.try_start_at(state, idx, now) {
                         break;
                     }
+                    state.sjf_heap.pop();
                 }
             }
             SchedulingPolicy::EasyBackfill => loop {
-                // Phase 1: drain the head while it fits.
-                let mut head_started = true;
-                while head_started && !state.queue.is_empty() {
-                    head_started = self.try_start_at(state, 0, now);
-                }
-                if state.queue.len() < 2 {
-                    break;
-                }
-                // Phase 2: reservation for the blocked head.
-                let Some(head) = state.queue.front() else {
-                    break;
+                // Phase 0: when a previous pass proved this exact head
+                // blocked against this exact cluster state, skip the
+                // retry and the reservation arithmetic — only entries the
+                // proof has not reached yet (new arrivals) need scanning.
+                // A hit also proves no skipped entry needs re-estimation:
+                // feedback epochs move only with completions, which bump
+                // the running generation.
+                let cached = match (&state.shadow_cache, state.queue.front()) {
+                    (Some(c), Some(h))
+                        if c.job == h.job
+                            && c.demand == h.demand
+                            && c.running_gen == state.running_gen
+                            && c.structural == state.structural_epoch =>
+                    {
+                        Some((c.crossing, c.scanned))
+                    }
+                    _ => None,
                 };
-                let head_demand = head.demand;
-                let head_nodes = state.jobs[head.job].nodes;
-                let free_now = self.cluster.free_nodes_satisfying(&head_demand);
-                let releases: Vec<(Time, u32)> = state
-                    .running
-                    .iter()
-                    .flatten()
-                    .map(|r| {
-                        // Per-pool arithmetic instead of a per-node scan;
-                        // `shadow_time` sorts by release time, so the
-                        // (identical) counts land in the same order.
-                        let eligible = self
-                            .cluster
-                            .allocation_nodes_satisfying(&r.alloc, &head_demand);
-                        (r.expected_end, eligible)
-                    })
-                    .collect();
-                let Some(shadow) = shadow_time(free_now, head_nodes, &releases, now) else {
-                    // The head's demand exceeds what even a drained cluster
-                    // offers right now; completions will shrink it later.
-                    break;
+                let (shadow, scan_from) = if let Some((crossing, scanned)) = cached {
+                    let Some(t_cross) = crossing else {
+                        // Still short of a drained cluster; only a
+                        // completion or churn can change that, and either
+                        // would have missed the cache.
+                        break;
+                    };
+                    (t_cross.max(now), scanned)
+                } else {
+                    // Phase 1: drain the head while it fits.
+                    let mut head_started = true;
+                    while head_started && !state.queue.is_empty() {
+                        head_started = self.try_start_at(state, 0, now);
+                    }
+                    if state.queue.len() < 2 {
+                        break;
+                    }
+                    // Phase 2: reservation for the blocked head, from the
+                    // incrementally maintained release table. Eligible
+                    // counts are cached per head demand: the epoch only
+                    // moves when the demand itself does.
+                    let Some(head) = state.queue.front() else {
+                        break;
+                    };
+                    let head_demand = head.demand;
+                    let head_job = head.job;
+                    let head_nodes = state.jobs[head_job].nodes;
+                    if state.last_shadow_demand != Some(head_demand) {
+                        state.last_shadow_demand = Some(head_demand);
+                        state.shadow_demand_epoch += 1;
+                    }
+                    let free_now = self.cluster.free_nodes_satisfying(&head_demand);
+                    let crossing = {
+                        let epoch = state.shadow_demand_epoch;
+                        let running = &state.running;
+                        let cluster = &self.cluster;
+                        state
+                            .release_table
+                            .crossing(free_now, head_nodes, epoch, |run_id| {
+                                let r = running[run_id as usize]
+                                    .as_ref()
+                                    .expect("invariant: release entries track live runs");
+                                cluster.allocation_nodes_satisfying(&r.alloc, &head_demand)
+                            })
+                    };
+                    // The incremental path must agree with the historical
+                    // rebuild-and-sort computation it replaced.
+                    #[cfg(debug_assertions)]
+                    {
+                        let releases: Vec<(Time, u32)> = state
+                            .running
+                            .iter()
+                            .flatten()
+                            .map(|r| {
+                                let eligible = self
+                                    .cluster
+                                    .allocation_nodes_satisfying(&r.alloc, &head_demand);
+                                (r.expected_end, eligible)
+                            })
+                            .collect();
+                        debug_assert_eq!(
+                            crossing.map(|t| t.max(now)),
+                            shadow_time(free_now, head_nodes, &releases, now),
+                            "incremental crossing diverged from shadow_time"
+                        );
+                    }
+                    state.shadow_cache = Some(ShadowCache {
+                        job: head_job,
+                        demand: head_demand,
+                        running_gen: state.running_gen,
+                        structural: state.structural_epoch,
+                        crossing,
+                        scanned: 1,
+                    });
+                    let Some(t_cross) = crossing else {
+                        // The head's demand exceeds what even a drained
+                        // cluster offers right now; completions will
+                        // shrink it later.
+                        break;
+                    };
+                    (t_cross.max(now), 1)
                 };
                 // Phase 3: backfill the first job that fits now and is
                 // conservatively done before the shadow time.
+                // The scan alternates a read-mostly *hunt* over a
+                // contiguous view of the queue — no per-element deque
+                // index arithmetic — with a `try_start_at` call per
+                // genuine candidate. The hunt rejects on the entry alone
+                // (window, retry stamp) and gates fresh entries on the
+                // epoch's free bound inline: a completion invalidates
+                // every retry stamp at once, and this keeps the resulting
+                // first pass from paying a full call per provably-refused
+                // entry.
                 let mut started = false;
-                for idx in 1..state.queue.len() {
-                    let expected = now + state.jobs[state.queue[idx].job].requested_runtime;
-                    if expected <= shadow && self.try_start_at(state, idx, now) {
+                let mut hunt_from = scan_from;
+                loop {
+                    let candidate = {
+                        let epoch = state.retry_epoch;
+                        let structural = state.structural_epoch;
+                        let feedback = state.feedback_epoch;
+                        let cluster = &self.cluster;
+                        if state.free_cache_stamp != epoch {
+                            state.free_cache.clear();
+                            state.free_cache_stamp = epoch;
+                        }
+                        let cache = &mut state.free_cache;
+                        let slots = &state.group_epoch_by_slot;
+                        let entries = state.queue.make_contiguous();
+                        let mut found = None;
+                        for (off, q) in entries[hunt_from..].iter_mut().enumerate() {
+                            // Bitwise `|`: both operands are one cheap
+                            // load, and fusing them leaves a single
+                            // almost-always-taken skip branch instead of
+                            // two half-predictable ones.
+                            #[allow(clippy::needless_bitwise_bool)]
+                            if (now + q.requested_runtime > shadow)
+                                | (q.failed_alloc_stamp == epoch)
+                            {
+                                continue;
+                            }
+                            let needs_refresh = q.structural_stamp != structural
+                                || match q.scope_slot {
+                                    SCOPE_STATIC => false,
+                                    SCOPE_GLOBAL => q.feedback_stamp != feedback,
+                                    slot => slots[slot as usize] > q.feedback_stamp,
+                                };
+                            if !needs_refresh {
+                                let bound = if let Some(&(_, f)) =
+                                    cache.iter().find(|(d, _)| d == &q.demand)
+                                {
+                                    f
+                                } else {
+                                    let f = cluster.free_nodes_satisfying(&q.demand);
+                                    cache.push((q.demand, f));
+                                    f
+                                };
+                                if q.nodes > bound {
+                                    q.failed_alloc_stamp = epoch;
+                                    continue;
+                                }
+                            }
+                            found = Some(hunt_from + off);
+                            break;
+                        }
+                        found
+                    };
+                    let Some(idx) = candidate else {
+                        break;
+                    };
+                    if self.try_start_at(state, idx, now) {
                         started = true;
                         break;
                     }
+                    hunt_from = idx + 1;
                 }
                 if !started {
+                    // Extend the proof over everything scanned: the next
+                    // pass under an unchanged key resumes after it.
+                    if let Some(c) = state.shadow_cache.as_mut() {
+                        c.scanned = state.queue.len();
+                    }
                     break;
                 }
             },

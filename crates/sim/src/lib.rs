@@ -39,6 +39,7 @@ pub mod event;
 pub mod experiment;
 pub mod metrics;
 pub mod observer;
+mod release;
 pub mod scheduler;
 pub mod spec;
 pub mod tracelog;

@@ -93,4 +93,34 @@ mod tests {
     fn zero_needed_is_immediate() {
         assert_eq!(shadow_time(0, 0, &[], t(3)), Some(t(3)));
     }
+
+    #[test]
+    fn simultaneous_releases_accumulate_at_one_instant() {
+        // Two jobs ending at the same tick: both counts are available at
+        // that tick, whichever order the sort leaves them in.
+        let releases = [(t(10), 2), (t(10), 3)];
+        assert_eq!(shadow_time(0, 5, &releases, t(0)), Some(t(10)));
+        assert_eq!(shadow_time(0, 4, &releases, t(0)), Some(t(10)));
+        // A need met by the first co-timed release alone still resolves to
+        // the shared instant.
+        assert_eq!(shadow_time(0, 2, &releases, t(0)), Some(t(10)));
+    }
+
+    #[test]
+    fn head_satisfiable_only_by_fully_drained_cluster() {
+        // The head needs every node the machine has: the shadow is the
+        // final release, exactly — not None, and not any earlier time.
+        let releases = [(t(5), 2), (t(9), 4), (t(12), 2)];
+        assert_eq!(shadow_time(0, 8, &releases, t(0)), Some(t(12)));
+        // One more node than exists is impossible.
+        assert_eq!(shadow_time(0, 9, &releases, t(0)), None);
+    }
+
+    #[test]
+    fn zero_free_nodes_at_pass_time() {
+        // Nothing free now: the first sufficient release decides.
+        assert_eq!(shadow_time(0, 3, &[(t(4), 3)], t(0)), Some(t(4)));
+        // Nothing free and nothing running: no demand is satisfiable.
+        assert_eq!(shadow_time(0, 1, &[], t(0)), None);
+    }
 }

@@ -68,6 +68,47 @@ fn workload(specs: &[JobSpec]) -> Workload {
     )
 }
 
+/// Jobs whose submit gaps exceed the worst-case residency of their
+/// predecessor, so no job ever queues behind another. A job executes at
+/// most `max_estimation_attempts + 1` times (three estimator-driven
+/// failures, then the bypass attempt with the full request, which always
+/// fits for these sizes), so a gap of five runtimes is already conservative.
+fn arb_serial_jobs() -> impl Strategy<Value = Vec<JobSpec>> {
+    prop::collection::vec(
+        (
+            0u32..4,
+            0u32..3,
+            0u64..100,
+            1u64..2_000,
+            1u32..12,
+            1u64..33,
+            0.01f64..1.0,
+        ),
+        1..40,
+    )
+    .prop_map(|tuples| {
+        let mut submit_s = 0u64;
+        tuples
+            .into_iter()
+            .map(
+                |(user, app, extra_gap_s, runtime_s, nodes, req_mb, used_frac)| {
+                    let spec = JobSpec {
+                        user,
+                        app,
+                        submit_s,
+                        runtime_s,
+                        nodes,
+                        req_mb,
+                        used_frac,
+                    };
+                    submit_s += runtime_s * 5 + 1 + extra_gap_s;
+                    spec
+                },
+            )
+            .collect()
+    })
+}
+
 fn arb_spec() -> impl Strategy<Value = EstimatorSpec> {
     prop_oneof![
         Just(EstimatorSpec::PassThrough),
@@ -161,6 +202,36 @@ proptest! {
         let r = Simulation::new(cfg, cluster(), EstimatorSpec::Oracle).run(&w);
         prop_assert_eq!(r.failed_executions, 0);
         prop_assert_eq!(r.wasted_node_seconds, 0.0);
+    }
+
+    #[test]
+    fn policies_agree_when_no_job_queues(
+        specs in arb_serial_jobs(),
+        spec in arb_spec(),
+        explicit in any::<bool>(),
+    ) {
+        // Queue discipline only matters when jobs wait behind each other;
+        // on serial workloads FCFS, SJF, and EASY must be indistinguishable
+        // down to the full `SimResult`. This is the equivalence oracle the
+        // scheduler-path optimizations are checked against.
+        let w = workload(&specs);
+        let run = |policy| {
+            let cfg = SimConfig::default()
+                .with_scheduling(policy)
+                .with_feedback(if explicit {
+                    FeedbackMode::Explicit
+                } else {
+                    FeedbackMode::Implicit
+                });
+            Simulation::new(cfg, cluster(), spec).run(&w)
+        };
+        let fcfs = run(SchedulingPolicy::Fcfs);
+        // Premise guard: the generator really produced a no-queueing trace
+        // (zero-duration requeue spikes carry no time weight, and the mean
+        // is non-negative, so <= 0 means exactly zero).
+        prop_assert!(fcfs.mean_queue_length <= 0.0);
+        prop_assert_eq!(&run(SchedulingPolicy::Sjf), &fcfs);
+        prop_assert_eq!(&run(SchedulingPolicy::EasyBackfill), &fcfs);
     }
 
     #[test]
