@@ -1,4 +1,4 @@
-//! Machine-readable simulator throughput report.
+//! Machine-readable simulator throughput and memory report.
 //!
 //! Runs the same end-to-end scenarios as the criterion `simulation` bench
 //! group, but with a plain `std::time::Instant` harness and a JSON artifact
@@ -7,23 +7,87 @@
 //! denominator-independent work measure: it is a deterministic property of
 //! the scenario, so throughput differences are wall-clock differences.
 //!
-//! Run: `cargo run --release -p resmatch-bench --bin bench_report [--jobs N,N,...] [--out PATH]`
+//! Three scenario tiers:
+//!
+//! - the classic 1k/5k matrix, rescaled to saturating load (queues stay
+//!   populated, so in-queue refresh / candidate counting / backfill scans
+//!   dominate);
+//! - the full 122,055-job calibrated CM5 trace at its *natural* offered
+//!   load (~0.45) — the repro pipeline's default scale — across
+//!   fcfs/sjf/easy × pass_through/successive;
+//! - with `--full`, a 10-million-job synthetic stress fed through the
+//!   streaming entry point with record retention off: peak heap stays flat
+//!   no matter the trace length.
+//!
+//! Memory is tracked by a counting global allocator (bench-binary only —
+//! the library crates stay `forbid(unsafe_code)`): each scenario reports
+//! the allocation count and incremental peak heap of its final repetition.
+//!
+//! Run: `cargo run --release -p resmatch-bench --bin bench_report \
+//!       [--jobs N] [--seed S] [--out PATH] [--full]`
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use resmatch_cluster::builder::paper_cluster;
+use resmatch_cluster::builder::{cm5_cluster, paper_cluster};
 use resmatch_sim::prelude::*;
 use resmatch_workload::load::scale_to_load;
-use resmatch_workload::synthetic::{generate, Cm5Config};
+use resmatch_workload::synthetic::{generate, stress_stream, Cm5Config};
 use resmatch_workload::Workload;
 
-/// Saturating offered load: queues stay populated, so the hot paths this
-/// report guards (in-queue refresh, candidate counting, backfill scans)
-/// actually dominate.
+/// Saturating offered load for the small matrix: queues stay populated, so
+/// the hot paths this report guards actually dominate.
 const TARGET_LOAD: f64 = 1.0;
 const TOTAL_NODES: u32 = 1024;
+/// The paper's trace length — the default repro scale.
+const TRACE_JOBS: usize = 122_055;
+/// Streaming stress length under `--full`.
+const STRESS_JOBS: u64 = 10_000_000;
+
+/// Counting allocator: allocation events, live bytes, and peak live bytes.
+/// `current`/`peak` track totals; scenarios measure deltas around a run.
+struct CountingAlloc;
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+static CURRENT_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+fn on_alloc(size: usize) {
+    ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+    let now = CURRENT_BYTES.fetch_add(size as u64, Ordering::Relaxed) + size as u64;
+    PEAK_BYTES.fetch_max(now, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        on_alloc(layout.size());
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        CURRENT_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        CURRENT_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+        on_alloc(new_size);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn trace(jobs: usize, seed: u64) -> Workload {
+    let w = natural_trace(jobs, seed);
+    scale_to_load(&w, TOTAL_NODES, TARGET_LOAD)
+}
+
+/// The calibrated trace at its natural offered load (no rescaling) — what
+/// `resmatch-repro` simulates by default at `jobs = 122_055`.
+fn natural_trace(jobs: usize, seed: u64) -> Workload {
     let mut w = generate(
         &Cm5Config {
             jobs,
@@ -32,7 +96,7 @@ fn trace(jobs: usize, seed: u64) -> Workload {
         seed,
     );
     w.retain_max_nodes(512);
-    scale_to_load(&w, TOTAL_NODES, TARGET_LOAD)
+    w
 }
 
 struct Measurement {
@@ -46,6 +110,13 @@ struct Measurement {
     completed_jobs: usize,
     wall_s: f64,
     events_per_sec: f64,
+    /// Allocation events during the final repetition (warm arena where the
+    /// scenario reuses one).
+    alloc_count: u64,
+    /// Incremental peak heap of the final repetition: peak live bytes
+    /// minus live bytes at its start, so pre-built inputs (the trace) are
+    /// excluded and the engine's own footprint is what's measured.
+    peak_heap_bytes: u64,
     /// Engine-level counters from the measured run. Tracked by the engine
     /// itself (no observer is attached — the timed runs stay on the
     /// zero-observer hot path).
@@ -53,26 +124,58 @@ struct Measurement {
 }
 
 /// Best-of-N wall clock: the minimum is the least noise-contaminated
-/// estimate of the true cost on a shared machine.
+/// estimate of the true cost on a shared machine. Allocation/peak-heap
+/// deltas come from the final repetition.
 fn measure<F>(
     scenario: &str,
     scheduler: &'static str,
     jobs: usize,
     reps: usize,
-    run: F,
+    mut run: F,
 ) -> Measurement
 where
-    F: Fn() -> resmatch_sim::SimResult,
+    F: FnMut() -> resmatch_sim::SimResult,
 {
     let mut best_s = f64::INFINITY;
     let mut last = None;
-    for _ in 0..reps {
+    let mut alloc_count = 0;
+    let mut peak_heap_bytes = 0;
+    for rep in 0..reps {
+        let final_rep = rep + 1 == reps;
+        // Drop the previous result *before* baselining the final rep so
+        // its records don't count against the measured peak.
+        if final_rep {
+            drop(last.take());
+        }
+        let (allocs_before, current_before) = if final_rep {
+            let current = CURRENT_BYTES.load(Ordering::Relaxed);
+            PEAK_BYTES.store(current, Ordering::Relaxed);
+            (ALLOC_COUNT.load(Ordering::Relaxed), current)
+        } else {
+            (0, 0)
+        };
         let t = Instant::now();
         let r = run();
         best_s = best_s.min(t.elapsed().as_secs_f64());
+        if final_rep {
+            alloc_count = ALLOC_COUNT.load(Ordering::Relaxed) - allocs_before;
+            peak_heap_bytes = PEAK_BYTES
+                .load(Ordering::Relaxed)
+                .saturating_sub(current_before);
+        }
         last = Some(r);
     }
     let r = last.expect("reps >= 1");
+    println!(
+        "{:<24} {:>8} {:>12} {:>10.3} {:>14.0} {:>10} {:>14}",
+        scenario,
+        jobs,
+        r.events_processed,
+        best_s,
+        r.events_processed as f64 / best_s,
+        alloc_count,
+        peak_heap_bytes,
+    );
     Measurement {
         scenario: scenario.to_string(),
         scheduler,
@@ -81,6 +184,8 @@ where
         completed_jobs: r.completed_jobs,
         wall_s: best_s,
         events_per_sec: r.events_processed as f64 / best_s,
+        alloc_count,
+        peak_heap_bytes,
         counters: r.counters,
     }
 }
@@ -99,6 +204,7 @@ fn render_json(measurements: &[Measurement]) -> String {
             "    {{\"scenario\": \"{}\", \"scheduler\": \"{}\", \"jobs\": {}, \
              \"events_processed\": {}, \
              \"completed_jobs\": {}, \"wall_s\": {:.6}, \"events_per_sec\": {:.1}, \
+             \"alloc_count\": {}, \"peak_heap_bytes\": {}, \
              \"counters\": {{\"arrivals\": {}, \"admissions\": {}, \"started\": {}, \
              \"completed\": {}, \"failed\": {}, \"requeued\": {}, \
              \"estimator_bypassed\": {}, \"churn_events\": {}}}}}{}\n",
@@ -109,6 +215,8 @@ fn render_json(measurements: &[Measurement]) -> String {
             m.completed_jobs,
             m.wall_s,
             m.events_per_sec,
+            m.alloc_count,
+            m.peak_heap_bytes,
             c.arrivals,
             c.admissions,
             c.started,
@@ -124,12 +232,41 @@ fn render_json(measurements: &[Measurement]) -> String {
     out
 }
 
+/// The six-combination policy × estimator matrix over one workload, with a
+/// per-scenario arena so warm repetitions show the steady-state allocation
+/// profile.
+fn matrix(measurements: &mut Vec<Measurement>, prefix: &str, w: &Workload, reps: usize) {
+    let combos: [(&'static str, SchedulingPolicy); 3] = [
+        ("fcfs", SchedulingPolicy::Fcfs),
+        ("sjf", SchedulingPolicy::Sjf),
+        ("easy", SchedulingPolicy::EasyBackfill),
+    ];
+    for (name, policy) in combos {
+        for (est_name, est) in [
+            ("pass_through", EstimatorSpec::PassThrough),
+            ("successive", EstimatorSpec::paper_successive()),
+        ] {
+            let cfg = SimConfig::default().with_scheduling(policy);
+            let mut arena = SimArena::default();
+            measurements.push(measure(
+                &format!("{prefix}{name}_{est_name}"),
+                name,
+                w.len(),
+                reps,
+                || Simulation::new(cfg, paper_cluster(24), est).run_with_arena(w, &mut arena),
+            ));
+        }
+    }
+}
+
 fn main() {
     // Parsed by hand rather than via `ExperimentArgs::parse`, which
-    // rejects flags it does not know — this binary adds `--out`.
+    // rejects flags it does not know — this binary adds `--out`/`--full`.
     let mut jobs = 5_000usize;
     let mut seed = 42u64;
     let mut out_path = "BENCH_sim.json".to_string();
+    let mut full = false;
+    let mut stress_jobs = STRESS_JOBS;
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
         let mut value = || iter.next();
@@ -147,30 +284,34 @@ fn main() {
             "--out" => {
                 out_path = value().expect("--out needs a path");
             }
-            other => panic!("unknown flag {other}; supported: --jobs N, --seed S, --out PATH"),
+            "--full" => full = true,
+            "--stress-jobs" => {
+                stress_jobs = value()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--stress-jobs needs an integer");
+            }
+            other => panic!(
+                "unknown flag {other}; supported: --jobs N, --seed S, --out PATH, \
+                 --full, --stress-jobs N"
+            ),
         }
     }
     let sizes = [1_000usize, jobs.max(1_000)];
-    let reps = 3;
+    let reps = 5;
 
+    println!(
+        "{:<24} {:>8} {:>12} {:>10} {:>14} {:>10} {:>14}",
+        "scenario", "jobs", "events", "wall (s)", "events/sec", "allocs", "peak heap"
+    );
     let mut measurements = Vec::new();
     for &jobs in &sizes {
         let w = trace(jobs, seed);
+        let fcfs = SimConfig::default();
         measurements.push(measure("fcfs_pass_through", "fcfs", jobs, reps, || {
-            Simulation::new(
-                SimConfig::default(),
-                paper_cluster(24),
-                EstimatorSpec::PassThrough,
-            )
-            .run(&w)
+            Simulation::new(fcfs, paper_cluster(24), EstimatorSpec::PassThrough).run(&w)
         }));
         measurements.push(measure("fcfs_successive", "fcfs", jobs, reps, || {
-            Simulation::new(
-                SimConfig::default(),
-                paper_cluster(24),
-                EstimatorSpec::paper_successive(),
-            )
-            .run(&w)
+            Simulation::new(fcfs, paper_cluster(24), EstimatorSpec::paper_successive()).run(&w)
         }));
         let sjf = SimConfig::default().with_scheduling(SchedulingPolicy::Sjf);
         measurements.push(measure("sjf_successive", "sjf", jobs, reps, || {
@@ -185,15 +326,30 @@ fn main() {
         }));
     }
 
-    println!(
-        "{:<20} {:>7} {:>12} {:>10} {:>14}",
-        "scenario", "jobs", "events", "wall (s)", "events/sec"
-    );
-    for m in &measurements {
-        println!(
-            "{:<20} {:>7} {:>12} {:>10.3} {:>14.0}",
-            m.scenario, m.jobs, m.events_processed, m.wall_s, m.events_per_sec
-        );
+    // Trace scale: the full calibrated workload at its natural load.
+    let w = natural_trace(TRACE_JOBS, seed);
+    matrix(&mut measurements, "trace_", &w, reps);
+    drop(w);
+
+    if full {
+        // Streaming stress: ten million jobs, never materialized, records
+        // off — peak heap stays at queue-depth-plus-concurrency scale. Runs
+        // on the homogeneous 1024-node machine: on the split paper cluster
+        // pass-through confines the (over-provisioned) requests to the
+        // 32 MB half, the effective load exceeds 1, and the queue — not
+        // the engine — grows without bound.
+        let cfg = SimConfig::default().with_retain_records(false);
+        let mut arena = SimArena::default();
+        measurements.push(measure(
+            "stress_fcfs_stream",
+            "fcfs",
+            stress_jobs as usize,
+            1,
+            || {
+                Simulation::new(cfg, cm5_cluster(), EstimatorSpec::PassThrough)
+                    .run_stream_with_arena(stress_stream(stress_jobs, seed), &mut arena)
+            },
+        ));
     }
 
     let json = render_json(&measurements);

@@ -152,6 +152,14 @@ fn mem_only(demand: &Demand) -> bool {
 /// parked for reuse by the next `try_allocate`.
 type SpareBuffers = (Vec<NodeId>, Vec<(u16, u32)>);
 
+/// A cluster's retired-allocation buffer pool, detached so it can hop
+/// between cluster instances (sweeps clone a fresh cluster per point but
+/// want the buffers warm from the first point on). Opaque: the only
+/// useful things to do with one are [`Cluster::take_spare`] and
+/// [`Cluster::install_spare`].
+#[derive(Debug, Default)]
+pub struct AllocationSpare(Vec<SpareBuffers>);
+
 /// A space-shared heterogeneous cluster.
 #[derive(Debug, Clone)]
 pub struct Cluster {
@@ -521,6 +529,23 @@ impl Cluster {
         nodes.clear();
         per_pool.clear();
         self.spare.push((nodes, per_pool));
+    }
+
+    /// Detach the retired-allocation buffer pool, e.g. into a sweep arena
+    /// that outlives this cluster instance. The cluster keeps working — it
+    /// just starts its recycling pool empty again.
+    pub fn take_spare(&mut self) -> AllocationSpare {
+        AllocationSpare(std::mem::take(&mut self.spare))
+    }
+
+    /// Install a buffer pool detached from another cluster (via
+    /// [`Cluster::take_spare`]), replacing this cluster's own. Spare
+    /// buffers are capacity-only — every vector in them is empty — so
+    /// moving them between clusters cannot change any allocation outcome;
+    /// it only spares `try_allocate` the warm-up allocations.
+    pub fn install_spare(&mut self, spare: AllocationSpare) {
+        debug_assert!(spare.0.iter().all(|(n, p)| n.is_empty() && p.is_empty()));
+        self.spare = spare.0;
     }
 
     /// Smallest memory capacity among the nodes an allocation granted —

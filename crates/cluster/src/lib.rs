@@ -39,6 +39,6 @@ pub mod ladder;
 pub mod resources;
 
 pub use builder::ClusterBuilder;
-pub use cluster::{Allocation, Cluster, MatchPolicy, NodeId};
+pub use cluster::{Allocation, AllocationSpare, Cluster, MatchPolicy, NodeId};
 pub use ladder::CapacityLadder;
 pub use resources::{Capacity, Demand};

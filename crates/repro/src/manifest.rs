@@ -85,7 +85,7 @@ pub const MANIFEST: &[ExperimentDef] = &[
         id: "fig5_utilization",
         artifact: "Figure 5",
         title: "utilization vs. offered load, with/without estimation",
-        default_jobs: 20_000,
+        default_jobs: 122_055,
         quick_jobs: 3_000,
         seed: 42,
         run: experiments::fig5::run,
@@ -95,7 +95,7 @@ pub const MANIFEST: &[ExperimentDef] = &[
         id: "fig6_slowdown",
         artifact: "Figure 6",
         title: "slowdown ratio vs. offered load",
-        default_jobs: 15_000,
+        default_jobs: 122_055,
         quick_jobs: 3_000,
         seed: 42,
         run: experiments::fig6::run,
@@ -115,7 +115,7 @@ pub const MANIFEST: &[ExperimentDef] = &[
         id: "fig8_cluster_sweep",
         artifact: "Figure 8",
         title: "utilization ratio across cluster heterogeneity",
-        default_jobs: 12_000,
+        default_jobs: 122_055,
         quick_jobs: 3_000,
         seed: 42,
         run: experiments::fig8::run,
@@ -125,7 +125,7 @@ pub const MANIFEST: &[ExperimentDef] = &[
         id: "table1_estimators",
         artifact: "Table 1",
         title: "the estimator design-space matrix",
-        default_jobs: 15_000,
+        default_jobs: 122_055,
         quick_jobs: 3_000,
         seed: 42,
         run: experiments::table1::run,
@@ -155,7 +155,7 @@ pub const MANIFEST: &[ExperimentDef] = &[
         id: "ablation_scheduler",
         artifact: "ablation",
         title: "scheduling policy x estimation (the §4 hypothesis)",
-        default_jobs: 15_000,
+        default_jobs: 122_055,
         quick_jobs: 3_000,
         seed: 42,
         run: experiments::ablation_scheduler::run,

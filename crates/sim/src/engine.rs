@@ -29,12 +29,13 @@
 //!   same reason).
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, HashMap};
+use std::mem;
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use resmatch_cluster::{Allocation, Cluster, Demand, MatchPolicy};
+use resmatch_cluster::{AllocationSpare, Cluster, Demand, MatchPolicy};
 use resmatch_core::similarity::FnvBuildHasher;
 use resmatch_core::traits::{requested_demand, used_demand};
 use resmatch_core::{EstimateContext, EstimateScope, Feedback, ResourceEstimator};
@@ -43,11 +44,13 @@ use resmatch_workload::{Job, Time, Workload};
 use crate::event::{Event, EventQueue};
 use crate::metrics::{JobRecord, RunCounters, SimResult};
 use crate::observer::{MultiObserver, SimObserver};
+use crate::queue::{JobQueue, Queued};
 use crate::release::ReleaseTable;
 #[cfg(debug_assertions)]
 use crate::scheduler::shadow_time;
 use crate::scheduler::SchedulingPolicy;
 use crate::spec::EstimatorSpec;
+use crate::store::{run_flags, JobStore, RunTable};
 use crate::tracelog::TraceLog;
 
 /// Which feedback the cluster infrastructure can deliver (§2.1).
@@ -91,6 +94,12 @@ pub struct SimConfig {
     pub false_positive_rate: f64,
     /// Seed for failure-time draws and fault injection.
     pub seed: u64,
+    /// Whether to retain per-job [`JobRecord`]s in the result. Disabling
+    /// this caps memory at queue-depth-plus-concurrency regardless of
+    /// trace length (the 10-million-job stress mode); record-derived
+    /// metrics ([`SimResult::mean_wait_s`] and friends) then report zero,
+    /// while counters, goodput, and time-weighted statistics stay exact.
+    pub retain_records: bool,
 }
 
 impl Default for SimConfig {
@@ -102,6 +111,7 @@ impl Default for SimConfig {
             max_estimation_attempts: 3,
             false_positive_rate: 0.0,
             seed: 0x00C0_FFEE,
+            retain_records: true,
         }
     }
 }
@@ -143,10 +153,17 @@ impl SimConfig {
         self.seed = seed;
         self
     }
+
+    /// Set whether per-job records are retained (see
+    /// [`SimConfig::retain_records`]).
+    pub fn with_retain_records(mut self, retain: bool) -> Self {
+        self.retain_records = retain;
+        self
+    }
 }
 
 /// Encoded [`EstimateScope`] resolution (see [`Queued::scope_slot`] and
-/// [`RunState::scope_by_job`]): values below [`SCOPE_GLOBAL`] are dense
+/// the [`JobStore`] scope column): values below [`SCOPE_GLOBAL`] are dense
 /// group slots into [`RunState::group_epoch_by_slot`]; the top values
 /// encode the scalar scopes. `estimate_scope` is contractually a pure
 /// function of the job, so one resolution per job is the only resolution —
@@ -157,66 +174,6 @@ const SCOPE_UNRESOLVED: u32 = u32::MAX;
 const SCOPE_STATIC: u32 = u32::MAX - 1;
 /// Encoded [`EstimateScope::Global`].
 const SCOPE_GLOBAL: u32 = u32::MAX - 2;
-
-/// A queued (re)submission.
-#[derive(Debug, Clone)]
-struct Queued {
-    job: usize,
-    attempts: u32,
-    demand: Demand,
-    /// Structural epoch (membership churn) the estimate was computed at.
-    structural_stamp: u64,
-    /// Feedback epoch the estimate was computed at.
-    feedback_stamp: u64,
-    /// Demand is strictly below the request (memory or packages).
-    lowered: bool,
-    /// Estimation strictly enlarged the candidate-machine set.
-    benefited: bool,
-    /// Queue-order rank: `push_front` assigns strictly decreasing values,
-    /// `push_back` strictly increasing ones, so the deque is always sorted
-    /// ascending by `seq` and an entry's rank survives index shifts. SJF
-    /// uses it both as the heap tie-break (first-minimum = lowest rank)
-    /// and to find an entry's current index by binary search.
-    seq: i64,
-    /// The job's requested runtime, copied inline so the backfill scan's
-    /// conservative time check reads the queue sequentially instead of
-    /// chasing a pointer into the job table per entry.
-    requested_runtime: Time,
-    /// [`RunState::retry_epoch`] value at this entry's last refused
-    /// allocation, or `u64::MAX` if none. While the epoch is unchanged the
-    /// refusal is still exact and the retry is skipped outright.
-    failed_alloc_stamp: u64,
-    /// The job's node count, copied inline for the allocation attempt.
-    nodes: u32,
-    /// Which feedback can invalidate this estimate, encoded per the
-    /// `SCOPE_*` constants: [`SCOPE_STATIC`], [`SCOPE_GLOBAL`], or a dense
-    /// group slot into [`RunState::group_epoch_by_slot`] — so the
-    /// staleness check is a vector index, not a hash lookup.
-    scope_slot: u32,
-}
-
-/// A running execution.
-struct Running {
-    job: usize,
-    start: Time,
-    /// Conservative completion estimate for backfilling reservations.
-    expected_end: Time,
-    alloc: Allocation,
-    lowered: bool,
-    benefited: bool,
-    /// The execution was granted the full user request (no estimation).
-    at_request: bool,
-    /// The allocation genuinely cannot hold the job (as opposed to an
-    /// injected fault).
-    resource_failure: bool,
-}
-
-/// Per-job progress across retries.
-#[derive(Debug, Clone, Copy, Default)]
-struct Progress {
-    failed_executions: u32,
-    wasted_node_seconds: f64,
-}
 
 /// Memoized EASY reservation: the head's shadow crossing plus how far the
 /// backfill scan got, valid exactly while nothing that could change either
@@ -244,16 +201,48 @@ struct ShadowCache {
     scanned: usize,
 }
 
-/// Mutable state of one simulation run.
-struct RunState<'a> {
-    jobs: &'a [Job],
-    queue: VecDeque<Queued>,
-    /// Slab of executions; `ExecutionEnd.run_id` indexes it. Entries are
-    /// taken when they end.
-    running: Vec<Option<Running>>,
-    running_count: usize,
+/// Reusable simulation buffers: every growable structure one run needs,
+/// cleared — capacity intact — rather than freed between runs.
+///
+/// A sweep worker holds one arena and threads it through every point via
+/// [`Simulation::run_with_arena`]; after the first point warms the
+/// buffers, subsequent runs do zero steady-state allocation in the engine.
+/// A fresh arena is exactly what [`Simulation::run`] creates internally,
+/// so results are byte-identical with and without reuse.
+#[derive(Debug, Default)]
+pub struct SimArena {
+    queue: JobQueue,
     events: EventQueue,
-    progress: Vec<Progress>,
+    store: JobStore,
+    runs: RunTable,
+    release_table: ReleaseTable,
+    free_cache: Vec<(Demand, u32)>,
+    group_slots: HashMap<u64, u32, FnvBuildHasher>,
+    group_epoch_by_slot: Vec<u64>,
+    sjf_heap: BinaryHeap<Reverse<(Time, i64)>>,
+    pool_busy_time: Vec<f64>,
+    pool_busy: Vec<u32>,
+    /// Retired-allocation buffers carried *across* cluster instances:
+    /// sweep points clone a fresh cluster each, but the buffer pool is
+    /// content-free (capacity only), so handing it to the next point's
+    /// cluster is invisible to results and zeroes its warm-up
+    /// allocations.
+    alloc_spare: AllocationSpare,
+}
+
+/// Mutable state of one simulation run.
+struct RunState {
+    /// Struct-of-arrays wait queue (see [`crate::queue`]): tombstoning
+    /// under FCFS/EASY, compacting under SJF.
+    queue: JobQueue,
+    /// Struct-of-arrays store of *active* jobs (queued or running), slots
+    /// recycled on completion — per-job memory no longer scales with the
+    /// trace. [`Queued::job`] and the run table hold its slot ids.
+    store: JobStore,
+    /// Struct-of-arrays slab of executions; `ExecutionEnd.run_id` indexes
+    /// it. Entries are taken when they end, ids recycled.
+    runs: RunTable,
+    events: EventQueue,
     records: Vec<JobRecord>,
     rng: StdRng,
     /// Bumped on membership churn. Capacity changes can re-rank rungs and
@@ -272,16 +261,6 @@ struct RunState<'a> {
     /// *their* group moved past their stamp; zero means "never moved"
     /// (real epochs start at one).
     group_epoch_by_slot: Vec<u64>,
-    /// Per-job memo of the estimator's scope, encoded per the `SCOPE_*`
-    /// constants ([`SCOPE_UNRESOLVED`] until first resolved). The trait
-    /// requires `estimate_scope` to be a pure function of the job, so the
-    /// first answer is the only answer — re-admissions, refreshes, and
-    /// feedback deliveries all read this instead of re-hashing the job's
-    /// similarity key.
-    scope_by_job: Vec<u32>,
-    /// Finished `running` slab slots available for reuse, keeping the slab
-    /// at peak-concurrency size instead of total-executions size.
-    free_run_ids: Vec<u64>,
     /// Bumped whenever the running set changes (start or completion) —
     /// with the structural epoch, the freshness key for [`ShadowCache`].
     running_gen: u64,
@@ -445,52 +424,174 @@ impl Simulation {
     }
 
     /// Run the workload to completion and report metrics.
-    pub fn run(mut self, workload: &Workload) -> SimResult {
-        let jobs = workload.jobs();
+    pub fn run(self, workload: &Workload) -> SimResult {
+        let mut arena = SimArena::default();
+        self.run_with_arena(workload, &mut arena)
+    }
+
+    /// Like [`Simulation::run`], but reusing `arena`'s buffers instead of
+    /// allocating fresh ones — the steady-state mode for sweeps. Results
+    /// are byte-identical to [`Simulation::run`].
+    pub fn run_with_arena(self, workload: &Workload, arena: &mut SimArena) -> SimResult {
+        self.run_core(workload.jobs().iter().cloned(), arena)
+    }
+
+    /// Run a streamed job sequence without materializing it: jobs are
+    /// pulled from the iterator one at a time, in nondecreasing submit
+    /// order (checked in debug builds). With
+    /// [`SimConfig::retain_records`] disabled, memory stays bounded by
+    /// queue depth plus running concurrency regardless of stream length.
+    ///
+    /// For a workload already in memory this is byte-identical to
+    /// [`Simulation::run`]; the observer's `on_run_start` job count comes
+    /// from the iterator's size hint and may be approximate for opaque
+    /// streams.
+    pub fn run_stream<I>(self, jobs: I) -> SimResult
+    where
+        I: IntoIterator<Item = Job>,
+    {
+        let mut arena = SimArena::default();
+        self.run_core(jobs.into_iter(), &mut arena)
+    }
+
+    /// Streamed run ([`Simulation::run_stream`]) reusing `arena`'s
+    /// buffers.
+    pub fn run_stream_with_arena<I>(self, jobs: I, arena: &mut SimArena) -> SimResult
+    where
+        I: IntoIterator<Item = Job>,
+    {
+        self.run_core(jobs.into_iter(), arena)
+    }
+
+    /// Pull the next arrival that survives the up-front feasibility gate,
+    /// counting the ones that do not ("jobs whose full request can never
+    /// be satisfied are dropped up front"). The first job's submit —
+    /// dropped or not — is captured as the run's `first_submit`.
+    fn next_surviving<I: Iterator<Item = Job>>(
+        feed: &mut I,
+        gate: &Cluster,
+        first_submit: &mut Option<Time>,
+        dropped: &mut usize,
+    ) -> Option<Job> {
+        loop {
+            let job = feed.next()?;
+            if first_submit.is_none() {
+                *first_submit = Some(job.submit);
+            }
+            if gate.nodes_satisfying(&requested_demand(&job)) < job.nodes {
+                *dropped += 1;
+                continue;
+            }
+            return Some(job);
+        }
+    }
+
+    /// Advance the time-weighted statistics clock to `now`: the state
+    /// observed since the previous event held for `dt`.
+    fn advance_clock(&self, state: &mut RunState, now: Time) {
+        let dt = now.saturating_sub(state.last_event_time).as_secs_f64();
+        if dt > 0.0 {
+            // Same-timestamp bursts contribute nothing; skipping them
+            // outright is bit-exact (`x += v * 0.0` is the identity for
+            // the finite values accumulated here) and avoids the
+            // per-pool walk on every event of a burst.
+            state.last_event_time = now;
+            state.queue_len_time += state.queue.len() as f64 * dt;
+            state.busy_nodes_time += self.cluster.busy_nodes() as f64 * dt;
+            state.weighted_span_s += dt;
+            for (i, (slot, &busy)) in state
+                .pool_busy_time
+                .iter_mut()
+                .zip(&state.pool_busy)
+                .enumerate()
+            {
+                debug_assert_eq!(busy, self.cluster.pool_busy_count(i));
+                // Zero terms are skipped: the accumulator is a sum of
+                // non-negative products, so `+ 0.0` is the bit-exact
+                // identity here.
+                if busy > 0 {
+                    *slot += busy as f64 * dt;
+                }
+            }
+        }
+    }
+
+    /// The event loop shared by every `run*` entry point. Arrivals come
+    /// straight from `feed` — never materialized, never heaped — merged
+    /// against the event queue on `(time, tie)` where the feed always wins
+    /// time ties: arrivals historically carried the lowest seeded
+    /// sequence numbers, so this reproduces the seeded order exactly.
+    fn run_core<I: Iterator<Item = Job>>(mut self, mut feed: I, arena: &mut SimArena) -> SimResult {
         let total_nodes = self.cluster.total_nodes();
-        let first_submit = jobs.first().map_or(Time::ZERO, |j| j.submit);
-        let mut dropped_up_front = 0usize;
+        let expected_jobs = {
+            let (lower, upper) = feed.size_hint();
+            upper.unwrap_or(lower)
+        };
+        let sjf = matches!(self.cfg.scheduling, SchedulingPolicy::Sjf);
 
         let mut state = RunState {
-            jobs,
-            queue: VecDeque::new(),
-            running: Vec::new(),
-            running_count: 0,
-            // The static schedule (arrivals + churn) is seeded as a sorted
-            // cursor-consumed prefix; the queue's heap then only ever holds
-            // the in-flight execution ends.
-            events: EventQueue::from_schedule({
-                let mut schedule = Vec::with_capacity(jobs.len() + self.churn.len());
-                for (idx, job) in jobs.iter().enumerate() {
-                    if self.cluster.nodes_satisfying(&requested_demand(job)) < job.nodes {
-                        dropped_up_front += 1;
-                    } else {
-                        schedule.push((job.submit, Event::Arrival { job: idx }));
-                    }
-                }
-                for (index, churn) in self.churn.iter().enumerate() {
-                    schedule.push((churn.time, Event::Churn { index }));
-                }
-                schedule
-            }),
-            progress: vec![Progress::default(); jobs.len()],
-            records: Vec::with_capacity(jobs.len()),
+            queue: {
+                let mut q = mem::take(&mut arena.queue);
+                // SJF locates entries by rank search and needs every slot
+                // live; FCFS/EASY take O(1) tombstone removal instead.
+                // (`reset` also clears, keeping capacity.)
+                q.reset(sjf);
+                q
+            },
+            store: {
+                let mut s = mem::take(&mut arena.store);
+                s.clear();
+                s
+            },
+            runs: {
+                let mut r = mem::take(&mut arena.runs);
+                r.clear();
+                r
+            },
+            events: {
+                let mut e = mem::take(&mut arena.events);
+                e.clear();
+                e
+            },
+            records: if self.cfg.retain_records {
+                Vec::with_capacity(expected_jobs)
+            } else {
+                Vec::new()
+            },
             rng: StdRng::seed_from_u64(self.cfg.seed),
             structural_epoch: 0,
             feedback_epoch: 0,
-            group_slots: HashMap::default(),
-            group_epoch_by_slot: Vec::new(),
-            scope_by_job: vec![SCOPE_UNRESOLVED; jobs.len()],
-            free_run_ids: Vec::new(),
+            group_slots: {
+                let mut m = mem::take(&mut arena.group_slots);
+                m.clear();
+                m
+            },
+            group_epoch_by_slot: {
+                let mut v = mem::take(&mut arena.group_epoch_by_slot);
+                v.clear();
+                v
+            },
             running_gen: 0,
             retry_epoch: 0,
-            free_cache: Vec::new(),
+            free_cache: {
+                let mut v = mem::take(&mut arena.free_cache);
+                v.clear();
+                v
+            },
             free_cache_stamp: 0,
-            release_table: ReleaseTable::default(),
+            release_table: {
+                let mut t = mem::take(&mut arena.release_table);
+                t.clear();
+                t
+            },
             shadow_cache: None,
             last_shadow_demand: None,
             shadow_demand_epoch: 0,
-            sjf_heap: BinaryHeap::new(),
+            sjf_heap: {
+                let mut h = mem::take(&mut arena.sjf_heap);
+                h.clear();
+                h
+            },
             next_back_seq: 0,
             next_front_seq: -1,
             total_executions: 0,
@@ -499,19 +600,57 @@ impl Simulation {
             goodput: 0.0,
             wasted: 0.0,
             last_completion: Time::ZERO,
-            dropped_jobs: dropped_up_front,
+            dropped_jobs: 0,
             obs: self.observer.take(),
             counters: RunCounters::default(),
-            last_event_time: first_submit,
+            last_event_time: Time::ZERO,
             queue_len_time: 0.0,
             busy_nodes_time: 0.0,
             weighted_span_s: 0.0,
-            pool_busy_time: vec![0.0; self.cluster.num_pools()],
-            pool_busy: vec![0; self.cluster.num_pools()],
+            pool_busy_time: {
+                let mut v = mem::take(&mut arena.pool_busy_time);
+                v.clear();
+                v.resize(self.cluster.num_pools(), 0.0);
+                v
+            },
+            pool_busy: {
+                let mut v = mem::take(&mut arena.pool_busy);
+                v.clear();
+                v.resize(self.cluster.num_pools(), 0);
+                v
+            },
         };
+        // Only the churn schedule is statically known now; it seeds the
+        // queue's sorted cursor-consumed prefix, so its entries beat
+        // same-time execution ends — as their low seeded seqs always did.
+        state.events.seed(
+            self.churn
+                .iter()
+                .enumerate()
+                .map(|(index, c)| (c.time, Event::Churn { index })),
+        );
+
+        // The feasibility gate judges against original cluster membership
+        // (the historical schedule-build-time semantics). Allocations
+        // never take nodes offline, so without churn the live cluster *is*
+        // pristine and the clone is skipped.
+        let pristine = (!self.churn.is_empty()).then(|| self.cluster.clone());
+        // Installed after the pristine clone so the clone stays minimal;
+        // the spare pool is capacity-only and cannot affect outcomes.
+        self.cluster
+            .install_spare(mem::take(&mut arena.alloc_spare));
+        let mut first_submit_seen = None;
+        let mut pending = Self::next_surviving(
+            &mut feed,
+            pristine.as_ref().unwrap_or(&self.cluster),
+            &mut first_submit_seen,
+            &mut state.dropped_jobs,
+        );
+        let first_submit = first_submit_seen.unwrap_or(Time::ZERO);
+        state.last_event_time = first_submit;
 
         if let Some(obs) = state.obs.as_deref_mut() {
-            obs.on_run_start(jobs.len());
+            obs.on_run_start(expected_jobs);
         }
 
         // True when the queue head was left *blocked by a full scheduling
@@ -520,107 +659,121 @@ impl Simulation {
         // below), and an arrival changes no epoch and frees no node, so the
         // proof stays valid until the next pass resets the flag.
         let mut head_blocked = false;
-        while let Some((now, event)) = state.events.pop() {
-            state.events_processed += 1;
-            // Time-weighted queue/occupancy statistics: the state observed
-            // since the previous event held for `dt`.
-            let dt = now.saturating_sub(state.last_event_time).as_secs_f64();
-            if dt > 0.0 {
-                // Same-timestamp bursts contribute nothing; skipping them
-                // outright is bit-exact (`x += v * 0.0` is the identity for
-                // the finite values accumulated here) and avoids the
-                // per-pool walk on every event of a burst.
-                state.last_event_time = now;
-                state.queue_len_time += state.queue.len() as f64 * dt;
-                state.busy_nodes_time += self.cluster.busy_nodes() as f64 * dt;
-                state.weighted_span_s += dt;
-                for (i, (slot, &busy)) in state
-                    .pool_busy_time
-                    .iter_mut()
-                    .zip(&state.pool_busy)
-                    .enumerate()
-                {
-                    debug_assert_eq!(busy, self.cluster.pool_busy_count(i));
-                    // Zero terms are skipped: the accumulator is a sum of
-                    // non-negative products, so `+ 0.0` is the bit-exact
-                    // identity here.
-                    if busy > 0 {
-                        *slot += busy as f64 * dt;
+        loop {
+            // Merge the feed against the event queue. `pending` is always
+            // the next *surviving* arrival, so a feed-vs-event time tie
+            // resolves exactly as the old seeded order did: the arrival
+            // first.
+            let take_feed = match (&pending, state.events.peek_time()) {
+                (Some(j), Some(t)) => j.submit <= t,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let now;
+            if take_feed {
+                let job = pending
+                    .take()
+                    .expect("invariant: take_feed saw a pending job");
+                now = job.submit;
+                debug_assert!(
+                    now >= state.last_event_time,
+                    "job feed must be nondecreasing in submit time"
+                );
+                state.events_processed += 1;
+                self.advance_clock(&mut state, now);
+                state.counters.arrivals += 1;
+                state.counters.admissions += 1;
+                let job_id = job.id;
+                if let Some(obs) = state.obs.as_deref_mut() {
+                    obs.on_arrival(now, job_id);
+                }
+                let queue_len = state.queue.len();
+                let slot = state.store.insert(job, SCOPE_UNRESOLVED);
+                let queued = self.admit(&mut state, slot, 0, queue_len);
+                if self.cfg.max_estimation_attempts == 0 {
+                    // Degenerate configuration: estimation disabled
+                    // outright, so even first submissions bypass.
+                    state.counters.estimator_bypassed += 1;
+                    if let Some(obs) = state.obs.as_deref_mut() {
+                        obs.on_estimator_bypassed(now, job_id, 0);
                     }
                 }
-            }
-            match event {
-                Event::Arrival { job } => {
-                    state.counters.arrivals += 1;
-                    state.counters.admissions += 1;
-                    if let Some(obs) = state.obs.as_deref_mut() {
-                        obs.on_arrival(now, jobs[job].id);
+                if let Some(obs) = state.obs.as_deref_mut() {
+                    obs.on_admitted(now, job_id, queued.demand.mem_kb, 0);
+                }
+                self.push_back_queued(&mut state, queued);
+                if queue_len == 0 {
+                    // The new arrival became the head; nothing has
+                    // proven it blocked yet.
+                    head_blocked = false;
+                }
+                pending = Self::next_surviving(
+                    &mut feed,
+                    pristine.as_ref().unwrap_or(&self.cluster),
+                    &mut first_submit_seen,
+                    &mut state.dropped_jobs,
+                );
+                // Arrivals sharing a timestamp share one scheduling
+                // pass. Under FCFS and EASY an arrival appends at the
+                // tail, so running `schedule` once after the last of the
+                // burst starts exactly the jobs the per-arrival passes
+                // would have (nothing is released in between, and the
+                // scan order over earlier entries is unchanged). SJF is
+                // excluded: a shorter later arrival can overtake the
+                // queue, so each arrival must get its own pass.
+                if !sjf {
+                    if let Some(next) = &pending {
+                        if next.submit == now {
+                            continue;
+                        }
                     }
-                    let queue_len = state.queue.len();
-                    let queued = self.admit(&mut state, job, 0, queue_len);
-                    if self.cfg.max_estimation_attempts == 0 {
-                        // Degenerate configuration: estimation disabled
-                        // outright, so even first submissions bypass.
-                        state.counters.estimator_bypassed += 1;
+                }
+                // FCFS only starts the head. If a pass already proved
+                // the head blocked and no completion/churn (the only
+                // events that free nodes or move epochs) has happened
+                // since, the pass this arrival would trigger is a
+                // by-construction no-op: the head is not stale (a pass
+                // refreshes before trying) and `try_allocate` sees the
+                // identical cluster, so it fails identically. EASY is
+                // excluded (the arrival itself may backfill), as is SJF
+                // (the arrival may become the new minimum).
+                if head_blocked && matches!(self.cfg.scheduling, SchedulingPolicy::Fcfs) {
+                    continue;
+                }
+            } else {
+                let (t, event) = state
+                    .events
+                    .pop()
+                    .expect("invariant: the merge saw a pending event");
+                now = t;
+                state.events_processed += 1;
+                self.advance_clock(&mut state, now);
+                match event {
+                    Event::ExecutionEnd { run_id, success } => {
+                        self.finish_execution(&mut state, now, run_id, success);
+                    }
+                    Event::Churn { index } => {
+                        let ev = self.churn[index];
+                        let applied = if ev.delta < 0 {
+                            -(self.cluster.take_offline(ev.mem_kb, (-ev.delta) as u32) as i64)
+                        } else {
+                            self.cluster.bring_online(ev.mem_kb, ev.delta as u32) as i64
+                        };
+                        state.counters.churn_events += 1;
                         if let Some(obs) = state.obs.as_deref_mut() {
-                            obs.on_estimator_bypassed(now, jobs[job].id, 0);
+                            obs.on_churn(now, applied);
                         }
+                        // Capacity changed: queued estimates may now round
+                        // to different rungs, so force re-admission.
+                        state.structural_epoch += 1;
+                        state.retry_epoch += 1;
                     }
-                    if let Some(obs) = state.obs.as_deref_mut() {
-                        obs.on_admitted(now, jobs[job].id, queued.demand.mem_kb, 0);
+                    Event::Arrival { .. } => {
+                        // Arrivals come from the feed; nothing enqueues
+                        // this variant anymore.
+                        debug_assert!(false, "arrival events are never enqueued");
                     }
-                    self.push_back_queued(&mut state, queued);
-                    if queue_len == 0 {
-                        // The new arrival became the head; nothing has
-                        // proven it blocked yet.
-                        head_blocked = false;
-                    }
-                    // Arrivals sharing a timestamp share one scheduling
-                    // pass. Under FCFS and EASY an arrival appends at the
-                    // tail, so running `schedule` once after the last of the
-                    // burst starts exactly the jobs the per-arrival passes
-                    // would have (nothing is released in between, and the
-                    // scan order over earlier entries is unchanged). SJF is
-                    // excluded: a shorter later arrival can overtake the
-                    // queue, so each arrival must get its own pass.
-                    if !matches!(self.cfg.scheduling, SchedulingPolicy::Sjf) {
-                        if let Some((t, Event::Arrival { .. })) = state.events.peek() {
-                            if t == now {
-                                continue;
-                            }
-                        }
-                    }
-                    // FCFS only starts the head. If a pass already proved
-                    // the head blocked and no completion/churn (the only
-                    // events that free nodes or move epochs) has happened
-                    // since, the pass this arrival would trigger is a
-                    // by-construction no-op: the head is not stale (a pass
-                    // refreshes before trying) and `try_allocate` sees the
-                    // identical cluster, so it fails identically. EASY is
-                    // excluded (the arrival itself may backfill), as is SJF
-                    // (the arrival may become the new minimum).
-                    if head_blocked && matches!(self.cfg.scheduling, SchedulingPolicy::Fcfs) {
-                        continue;
-                    }
-                }
-                Event::ExecutionEnd { run_id, success } => {
-                    self.finish_execution(&mut state, now, run_id, success);
-                }
-                Event::Churn { index } => {
-                    let ev = self.churn[index];
-                    let applied = if ev.delta < 0 {
-                        -(self.cluster.take_offline(ev.mem_kb, (-ev.delta) as u32) as i64)
-                    } else {
-                        self.cluster.bring_online(ev.mem_kb, ev.delta as u32) as i64
-                    };
-                    state.counters.churn_events += 1;
-                    if let Some(obs) = state.obs.as_deref_mut() {
-                        obs.on_churn(now, applied);
-                    }
-                    // Capacity changed: queued estimates may now round to
-                    // different rungs, so force re-admission.
-                    state.structural_epoch += 1;
-                    state.retry_epoch += 1;
                 }
             }
             self.schedule(&mut state, now);
@@ -638,34 +791,62 @@ impl Simulation {
             !self.churn.is_empty() || state.queue.is_empty(),
             "without churn no job may starve"
         );
-        debug_assert_eq!(state.running_count, 0);
+        debug_assert_eq!(state.runs.live(), 0);
         debug_assert_eq!(
             self.cluster.free_nodes() + self.cluster.offline_nodes(),
             total_nodes
         );
 
+        let RunState {
+            queue,
+            store,
+            runs,
+            events,
+            records,
+            group_slots,
+            group_epoch_by_slot,
+            free_cache,
+            release_table,
+            sjf_heap,
+            pool_busy_time,
+            pool_busy,
+            mut obs,
+            counters,
+            total_executions,
+            failed_executions,
+            events_processed,
+            goodput,
+            wasted,
+            last_completion,
+            dropped_jobs,
+            weighted_span_s,
+            queue_len_time,
+            busy_nodes_time,
+            ..
+        } = state;
+
         let mut result = SimResult {
             estimator: self.estimator.name().to_string(),
-            completed_jobs: state.records.len(),
-            dropped_jobs: state.dropped_jobs,
-            total_executions: state.total_executions,
-            failed_executions: state.failed_executions,
-            events_processed: state.events_processed,
+            completed_jobs: counters.completed as usize,
+            dropped_jobs,
+            total_executions,
+            failed_executions,
+            events_processed,
             total_nodes,
             first_submit,
-            last_completion: state.last_completion,
-            goodput_node_seconds: state.goodput,
-            wasted_node_seconds: state.wasted,
-            records: state.records,
+            last_completion,
+            goodput_node_seconds: goodput,
+            wasted_node_seconds: wasted,
+            records,
             trace_log: TraceLog::default(),
-            counters: state.counters,
-            mean_queue_length: if state.weighted_span_s > 0.0 {
-                state.queue_len_time / state.weighted_span_s
+            counters,
+            mean_queue_length: if weighted_span_s > 0.0 {
+                queue_len_time / weighted_span_s
             } else {
                 0.0
             },
-            mean_busy_nodes: if state.weighted_span_s > 0.0 {
-                state.busy_nodes_time / state.weighted_span_s
+            mean_busy_nodes: if weighted_span_s > 0.0 {
+                busy_nodes_time / weighted_span_s
             } else {
                 0.0
             },
@@ -673,13 +854,13 @@ impl Simulation {
                 .cluster
                 .pool_occupancy()
                 .iter()
-                .zip(&state.pool_busy_time)
+                .zip(&pool_busy_time)
                 .map(
                     |(&(mem_kb, nodes, _), &busy_time)| crate::metrics::PoolStats {
                         mem_kb,
                         nodes,
-                        mean_busy_fraction: if state.weighted_span_s > 0.0 && nodes > 0 {
-                            busy_time / (state.weighted_span_s * nodes as f64)
+                        mean_busy_fraction: if weighted_span_s > 0.0 && nodes > 0 {
+                            busy_time / (weighted_span_s * nodes as f64)
                         } else {
                             0.0
                         },
@@ -687,9 +868,22 @@ impl Simulation {
                 )
                 .collect(),
         };
+        // Hand every buffer back to the arena for the next run.
+        arena.queue = queue;
+        arena.events = events;
+        arena.store = store;
+        arena.runs = runs;
+        arena.release_table = release_table;
+        arena.free_cache = free_cache;
+        arena.group_slots = group_slots;
+        arena.group_epoch_by_slot = group_epoch_by_slot;
+        arena.sjf_heap = sjf_heap;
+        arena.pool_busy_time = pool_busy_time;
+        arena.pool_busy = pool_busy;
+        arena.alloc_spare = self.cluster.take_spare();
         // Observers get the last word: TraceLogObserver deposits its log
         // into `result.trace_log` here.
-        if let Some(obs) = state.obs.as_deref_mut() {
+        if let Some(obs) = obs.as_deref_mut() {
             obs.on_run_end(&mut result);
         }
         result
@@ -697,24 +891,18 @@ impl Simulation {
 
     /// Handle an execution's end: release nodes, deliver feedback, record or
     /// requeue.
-    fn finish_execution(
-        &mut self,
-        state: &mut RunState<'_>,
-        now: Time,
-        run_id: u64,
-        success: bool,
-    ) {
-        let run = state.running[run_id as usize]
-            .take()
-            .expect("invariant: an ExecutionEnd event fires exactly once per live run id");
-        state.running_count -= 1;
+    fn finish_execution(&mut self, state: &mut RunState, now: Time, run_id: u64, success: bool) {
+        let run = state.runs.take(run_id);
         state.running_gen += 1;
         state.retry_epoch += 1;
         if matches!(self.cfg.scheduling, SchedulingPolicy::EasyBackfill) {
             state.release_table.remove(run.expected_end, run_id);
         }
-        state.free_run_ids.push(run_id);
-        let job = &state.jobs[run.job];
+        let slot = run.job_slot;
+        // All-inline fields: the copy frees `state` for the mutations
+        // below while the job is still consulted.
+        let job = state.store.job(slot).clone();
+        let resource_failure = run.flags & run_flags::RESOURCE_FAILURE != 0;
         let min_mem = self.cluster.allocation_min_mem(&run.alloc);
         let granted = Demand {
             mem_kb: min_mem,
@@ -732,20 +920,20 @@ impl Simulation {
         };
         let fb = match (self.cfg.feedback, success) {
             (FeedbackMode::Implicit, s) => Feedback::Implicit { success: s },
-            (FeedbackMode::Explicit, true) => Feedback::explicit(true, used_demand(job)),
+            (FeedbackMode::Explicit, true) => Feedback::explicit(true, used_demand(&job)),
             (FeedbackMode::Explicit, false) => {
                 // A failed run's measurement is truncated at the
                 // allocation's ceiling.
-                let mut used = used_demand(job);
+                let mut used = used_demand(&job);
                 used.mem_kb = used.mem_kb.min(min_mem);
                 Feedback::explicit(false, used)
             }
         };
-        self.estimator.feedback(job, &granted, &fb, &ctx);
+        self.estimator.feedback(&job, &granted, &fb, &ctx);
         state.feedback_epoch += 1;
         // Group-scoped invalidation: record which group just moved, so only
         // queued entries of that group (plus Global-scope entries) refresh.
-        let scope_slot = self.scope_slot_of(state, run.job);
+        let scope_slot = self.scope_slot_of(state, slot);
         if scope_slot < SCOPE_GLOBAL {
             state.group_epoch_by_slot[scope_slot as usize] = state.feedback_epoch;
         }
@@ -754,7 +942,7 @@ impl Simulation {
             if success {
                 obs.on_completed(now, job.id);
             } else {
-                obs.on_failed(now, job.id, run.resource_failure);
+                obs.on_failed(now, job.id, resource_failure);
             }
         }
 
@@ -762,38 +950,41 @@ impl Simulation {
             state.counters.completed += 1;
             state.goodput += job.nodes as f64 * job.runtime.as_secs_f64();
             state.last_completion = state.last_completion.max(now);
-            state.records.push(JobRecord {
-                id: job.id,
-                submit: job.submit,
-                final_start: run.start,
-                completion: now,
-                runtime: job.runtime,
-                nodes: job.nodes,
-                failed_executions: state.progress[run.job].failed_executions,
-                lowered: run.lowered,
-                benefited: run.benefited,
-                wasted_node_seconds: state.progress[run.job].wasted_node_seconds,
-            });
+            if self.cfg.retain_records {
+                state.records.push(JobRecord {
+                    id: job.id,
+                    submit: job.submit,
+                    final_start: run.start,
+                    completion: now,
+                    runtime: job.runtime,
+                    nodes: job.nodes,
+                    failed_executions: state.store.failed_execs(slot),
+                    lowered: run.flags & run_flags::LOWERED != 0,
+                    benefited: run.flags & run_flags::BENEFITED != 0,
+                    wasted_node_seconds: state.store.wasted(slot),
+                });
+            }
+            state.store.release(slot);
         } else {
             state.counters.failed += 1;
             state.failed_executions += 1;
             let burn = job.nodes as f64 * now.saturating_sub(run.start).as_secs_f64();
             state.wasted += burn;
-            state.progress[run.job].failed_executions += 1;
-            state.progress[run.job].wasted_node_seconds += burn;
-            if run.resource_failure && run.at_request {
+            state.store.add_failure(slot, burn);
+            if resource_failure && run.flags & run_flags::AT_REQUEST != 0 {
                 // Even the full user request cannot hold this job — the
                 // trace violates the paper's request-covers-usage
                 // assumption. Retrying can never succeed; abandon it.
                 state.dropped_jobs += 1;
+                state.store.release(slot);
             } else {
                 // "Once it fails, the job returns to the head of the
                 // queue" — with a fresh (post-feedback) estimate.
-                let attempts = state.progress[run.job].failed_executions;
+                let attempts = state.store.failed_execs(slot);
                 state.counters.admissions += 1;
                 state.counters.requeued += 1;
                 let queue_len = state.queue.len();
-                let queued = self.admit(state, run.job, attempts, queue_len);
+                let queued = self.admit(state, slot, attempts, queue_len);
                 if attempts >= self.cfg.max_estimation_attempts {
                     state.counters.estimator_bypassed += 1;
                     if let Some(obs) = state.obs.as_deref_mut() {
@@ -811,7 +1002,7 @@ impl Simulation {
     /// Dense epoch slot for an estimator group id, allocated on first
     /// sight. Runs only on a job's first scope resolution; the hot
     /// staleness checks index [`RunState::group_epoch_by_slot`] directly.
-    fn group_slot(state: &mut RunState<'_>, g: u64) -> u32 {
+    fn group_slot(state: &mut RunState, g: u64) -> u32 {
         let next = state.group_epoch_by_slot.len() as u32;
         let slot = *state.group_slots.entry(g).or_insert(next);
         if slot == next {
@@ -821,22 +1012,23 @@ impl Simulation {
     }
 
     /// The estimator's scope for a job, encoded per the `SCOPE_*`
-    /// constants and memoized in [`RunState::scope_by_job`]. The first
+    /// constants and memoized in the [`JobStore`] scope column. The first
     /// call per job pays the similarity-key hash; every later admission,
     /// refresh, and feedback delivery is a vector read. Memoization is
     /// sound because the trait requires `estimate_scope` to be a pure
-    /// function of the job.
-    fn scope_slot_of(&self, state: &mut RunState<'_>, job_idx: usize) -> u32 {
-        let cached = state.scope_by_job[job_idx];
+    /// function of the job, and the slot persists across the job's
+    /// retries.
+    fn scope_slot_of(&self, state: &mut RunState, slot: usize) -> u32 {
+        let cached = state.store.scope(slot);
         if cached != SCOPE_UNRESOLVED {
             return cached;
         }
-        let resolved = match self.estimator.estimate_scope(&state.jobs[job_idx]) {
+        let resolved = match self.estimator.estimate_scope(state.store.job(slot)) {
             EstimateScope::Group(g) => Self::group_slot(state, g),
             EstimateScope::Static => SCOPE_STATIC,
             EstimateScope::Global => SCOPE_GLOBAL,
         };
-        state.scope_by_job[job_idx] = resolved;
+        state.store.set_scope(slot, resolved);
         resolved
     }
 
@@ -848,14 +1040,14 @@ impl Simulation {
     /// (re)admission counts every entry already waiting.
     fn admit(
         &mut self,
-        state: &mut RunState<'_>,
-        job_idx: usize,
+        state: &mut RunState,
+        slot: usize,
         attempts: u32,
         queue_len: usize,
     ) -> Queued {
-        let jobs = state.jobs;
-        let job = &jobs[job_idx];
-        let request = requested_demand(job);
+        // All-inline fields: the copy frees `state` for `scope_slot_of`.
+        let job = state.store.job(slot).clone();
+        let request = requested_demand(&job);
         let (demand, scope_slot) = if attempts >= self.cfg.max_estimation_attempts {
             // Bypassing the estimator: the raw request depends on nothing
             // feedback can change, so only churn can stale this entry.
@@ -865,19 +1057,19 @@ impl Simulation {
                 queue_len,
                 free_fraction: self.cluster.free_nodes() as f64 / self.cluster.total_nodes() as f64,
             };
-            let d = self.estimator.estimate(job, &ctx);
+            let d = self.estimator.estimate(&job, &ctx);
             debug_assert!(
                 d.within(&request),
                 "estimator {} produced a demand above the request",
                 self.estimator.name()
             );
-            (d, self.scope_slot_of(state, job_idx))
+            (d, self.scope_slot_of(state, slot))
         };
         let lowered = demand != request && demand.within(&request);
         let benefited =
             self.cluster.nodes_satisfying(&demand) > self.cluster.nodes_satisfying(&request);
         Queued {
-            job: job_idx,
+            job: slot,
             attempts,
             demand,
             structural_stamp: state.structural_epoch,
@@ -896,7 +1088,7 @@ impl Simulation {
 
     /// Enqueue at the back with the next ascending rank, mirroring into
     /// the SJF heap when that policy is active.
-    fn push_back_queued(&self, state: &mut RunState<'_>, mut queued: Queued) {
+    fn push_back_queued(&self, state: &mut RunState, mut queued: Queued) {
         queued.seq = state.next_back_seq;
         state.next_back_seq += 1;
         if matches!(self.cfg.scheduling, SchedulingPolicy::Sjf) {
@@ -909,7 +1101,7 @@ impl Simulation {
 
     /// Enqueue at the front ("returns to the head of the queue") with the
     /// next descending rank, mirroring into the SJF heap when active.
-    fn push_front_queued(&self, state: &mut RunState<'_>, mut queued: Queued) {
+    fn push_front_queued(&self, state: &mut RunState, mut queued: Queued) {
         queued.seq = state.next_front_seq;
         state.next_front_seq -= 1;
         if matches!(self.cfg.scheduling, SchedulingPolicy::Sjf) {
@@ -922,7 +1114,7 @@ impl Simulation {
 
     /// Whether feedback or churn since admission invalidates the estimate
     /// of the queued entry — the engine's historical refresh rule.
-    fn estimate_stale(q: &Queued, state: &RunState<'_>) -> bool {
+    fn estimate_stale(q: &Queued, state: &RunState) -> bool {
         q.structural_stamp != state.structural_epoch
             || match q.scope_slot {
                 // Raw requests and history-independent estimates never
@@ -944,7 +1136,7 @@ impl Simulation {
     /// the epoch), so `nodes > bound` proves `try_allocate` would refuse
     /// at its availability gate — its only refusal condition — without
     /// calling it.
-    fn free_bound(cluster: &Cluster, state: &mut RunState<'_>, demand: &Demand) -> u32 {
+    fn free_bound(cluster: &Cluster, state: &mut RunState, demand: &Demand) -> u32 {
         if state.free_cache_stamp != state.retry_epoch {
             state.free_cache.clear();
             state.free_cache_stamp = state.retry_epoch;
@@ -960,54 +1152,37 @@ impl Simulation {
     /// Try to start the queued entry at `idx`, refreshing its estimate if
     /// feedback has arrived since it was admitted. Removes it from the
     /// queue and returns true on success.
-    fn try_start_at(&mut self, state: &mut RunState<'_>, idx: usize, now: Time) -> bool {
-        // One pass over the entry decides everything the refusal fast
-        // paths need — the deque is indexed once, not per check.
-        let (skip, needs_refresh, job_idx, demand, job_nodes) = {
-            let q = &state.queue[idx];
-            // A refusal recorded under the current retry epoch is still
-            // exact: nothing since has released nodes, changed membership,
-            // or moved any feedback epoch (all of those bump
-            // `retry_epoch`), so the entry is provably still fresh and
-            // `try_allocate` — side-effect free on refusal — would refuse
-            // the identical request again.
-            if q.failed_alloc_stamp == state.retry_epoch {
-                (true, false, 0, Demand::default(), 0)
-            } else {
-                (
-                    false,
-                    Self::estimate_stale(q, state),
-                    q.job,
-                    q.demand,
-                    q.nodes,
-                )
-            }
-        };
-        if skip {
+    fn try_start_at(&mut self, state: &mut RunState, idx: usize, now: Time) -> bool {
+        // One copy of the entry decides everything the refusal fast
+        // paths need — the columns are gathered once, not per check.
+        let q = state.queue.get(idx);
+        // A refusal recorded under the current retry epoch is still
+        // exact: nothing since has released nodes, changed membership,
+        // or moved any feedback epoch (all of those bump
+        // `retry_epoch`), so the entry is provably still fresh and
+        // `try_allocate` — side-effect free on refusal — would refuse
+        // the identical request again.
+        if q.failed_alloc_stamp == state.retry_epoch {
             debug_assert!(
-                !Self::estimate_stale(&state.queue[idx], state),
+                !Self::estimate_stale(&q, state),
                 "an unchanged retry epoch must imply a fresh estimate"
             );
             return false;
         }
-        let (demand, job_nodes) = if needs_refresh {
-            let (attempts, seq) = {
-                let q = &state.queue[idx];
-                (q.attempts, q.seq)
-            };
+        let (demand, job_nodes) = if Self::estimate_stale(&q, state) {
             // The entry being refreshed sits in the queue itself; exclude
             // it so re-estimation sees the same context convention as
             // admission (`queue_len` counts *other* waiting jobs — see
             // `EstimateContext::queue_len`).
             let queue_len = state.queue.len() - 1;
-            let mut fresh = self.admit(state, job_idx, attempts, queue_len);
+            let mut fresh = self.admit(state, q.job, q.attempts, queue_len);
             // A refresh changes the estimate, never the queue position.
-            fresh.seq = seq;
+            fresh.seq = q.seq;
             let refreshed = (fresh.demand, fresh.nodes);
-            state.queue[idx] = fresh;
+            state.queue.set(idx, fresh);
             refreshed
         } else {
-            (demand, job_nodes)
+            (q.demand, q.nodes)
         };
         // The entry is fresh past this point (refreshed above if needed),
         // so a skipped allocation attempt skips nothing else: demanding
@@ -1015,16 +1190,12 @@ impl Simulation {
         // `try_allocate`'s availability gate would produce, side-effect
         // free.
         if job_nodes > Self::free_bound(&self.cluster, state, &demand) {
-            state.queue[idx].failed_alloc_stamp = state.retry_epoch;
+            state.queue.set_failed_stamp(idx, state.retry_epoch);
             return false;
         }
         // Reuse a finished slab slot when one is free. Peeked, not popped:
         // a refused allocation must leave the free list untouched.
-        let run_id = state
-            .free_run_ids
-            .last()
-            .copied()
-            .unwrap_or(state.running.len() as u64);
+        let run_id = state.runs.peek_id();
         let Some(alloc) =
             self.cluster
                 .try_allocate(job_nodes, &demand, self.cfg.match_policy, run_id)
@@ -1037,14 +1208,14 @@ impl Simulation {
             if let Some(slot) = state.free_cache.iter_mut().find(|(d, _)| *d == demand) {
                 slot.1 = live;
             }
-            state.queue[idx].failed_alloc_stamp = state.retry_epoch;
+            state.queue.set_failed_stamp(idx, state.retry_epoch);
             return false;
         };
         for &(pi, n) in alloc.per_pool() {
             state.pool_busy[pi as usize] += n;
         }
-        let queued = &state.queue[idx];
-        let job = &state.jobs[queued.job];
+        let queued = state.queue.get(idx);
+        let slot = queued.job;
         state.total_executions += 1;
         state.counters.started += 1;
 
@@ -1053,60 +1224,63 @@ impl Simulation {
         // regardless of the (smaller) estimated demand.
         let min_mem = self.cluster.allocation_min_mem(&alloc);
         let packages = self.cluster.allocation_packages(&alloc);
-        let resources_ok = job.used_mem_kb <= min_mem && (job.used_packages & !packages) == 0;
+        let (job_id, runtime, at_request, resources_ok) = {
+            let job = state.store.job(slot);
+            (
+                job.id,
+                job.runtime,
+                queued.demand == requested_demand(job),
+                job.used_mem_kb <= min_mem && (job.used_packages & !packages) == 0,
+            )
+        };
         let injected_fault = self.cfg.false_positive_rate > 0.0
             && state.rng.random::<f64>() < self.cfg.false_positive_rate;
         let success = resources_ok && !injected_fault;
 
         let end = if success {
-            now + job.runtime
+            now + runtime
         } else {
             // Uniform failure point within the run time.
-            now + Time::from_millis(
-                (state.rng.random::<f64>() * job.runtime.as_millis() as f64) as u64,
-            )
+            now + Time::from_millis((state.rng.random::<f64>() * runtime.as_millis() as f64) as u64)
         };
         state
             .events
             .push(end, Event::ExecutionEnd { run_id, success });
         if let Some(obs) = state.obs.as_deref_mut() {
-            obs.on_started(now, job.id, min_mem, job.nodes);
+            obs.on_started(now, job_id, min_mem, queued.nodes);
         }
-        let queued = state
-            .queue
-            .remove(idx)
-            .expect("invariant: try_start_at is only called with idx < queue.len()");
-        let running = Running {
-            job: queued.job,
-            start: now,
-            expected_end: now + job.requested_runtime,
-            alloc,
-            lowered: queued.lowered,
-            benefited: queued.benefited,
-            at_request: queued.demand == requested_demand(job),
-            resource_failure: !resources_ok,
-        };
+        let queued = state.queue.remove(idx);
+        let mut flags = 0u8;
+        if queued.lowered {
+            flags |= run_flags::LOWERED;
+        }
+        if queued.benefited {
+            flags |= run_flags::BENEFITED;
+        }
+        if at_request {
+            flags |= run_flags::AT_REQUEST;
+        }
+        if !resources_ok {
+            flags |= run_flags::RESOURCE_FAILURE;
+        }
+        let expected_end = now + queued.requested_runtime;
         if matches!(self.cfg.scheduling, SchedulingPolicy::EasyBackfill) {
-            state.release_table.insert(running.expected_end, run_id);
+            state.release_table.insert(expected_end, run_id);
         }
-        if (run_id as usize) < state.running.len() {
-            state.free_run_ids.pop();
-            debug_assert!(state.running[run_id as usize].is_none());
-            state.running[run_id as usize] = Some(running);
-        } else {
-            state.running.push(Some(running));
-        }
-        state.running_count += 1;
+        state
+            .runs
+            .insert(run_id, slot, now, expected_end, alloc, flags);
         state.running_gen += 1;
         true
     }
 
     /// One scheduling pass under the configured policy.
-    fn schedule(&mut self, state: &mut RunState<'_>, now: Time) {
+    fn schedule(&mut self, state: &mut RunState, now: Time) {
         match self.cfg.scheduling {
             SchedulingPolicy::Fcfs => {
                 while !state.queue.is_empty() {
-                    if !self.try_start_at(state, 0, now) {
+                    let head = state.queue.head_idx();
+                    if !self.try_start_at(state, head, now) {
                         break;
                     }
                 }
@@ -1117,18 +1291,10 @@ impl Simulation {
                 // O(queue) first-minimum scan selected, found by an O(1)
                 // peek plus an O(log queue) rank search.
                 while let Some(&Reverse((_, seq))) = state.sjf_heap.peek() {
-                    let idx = state
-                        .queue
-                        .binary_search_by(|q| q.seq.cmp(&seq))
-                        .expect("invariant: the SJF heap mirrors the queue");
+                    let idx = state.queue.index_of_seq(seq);
                     debug_assert_eq!(
                         Some(idx),
-                        state
-                            .queue
-                            .iter()
-                            .enumerate()
-                            .min_by_key(|(_, q)| state.jobs[q.job].requested_runtime)
-                            .map(|(i, _)| i),
+                        state.queue.debug_first_min_runtime_idx(),
                         "heap selection must match the first-minimum scan"
                     );
                     if !self.try_start_at(state, idx, now) {
@@ -1146,7 +1312,7 @@ impl Simulation {
                 // feedback epochs move only with completions, which bump
                 // the running generation.
                 let cached = match (&state.shadow_cache, state.queue.front()) {
-                    (Some(c), Some(h))
+                    (Some(c), Some(ref h))
                         if c.job == h.job
                             && c.demand == h.demand
                             && c.running_gen == state.running_gen
@@ -1168,7 +1334,8 @@ impl Simulation {
                     // Phase 1: drain the head while it fits.
                     let mut head_started = true;
                     while head_started && !state.queue.is_empty() {
-                        head_started = self.try_start_at(state, 0, now);
+                        let head = state.queue.head_idx();
+                        head_started = self.try_start_at(state, head, now);
                     }
                     if state.queue.len() < 2 {
                         break;
@@ -1182,7 +1349,7 @@ impl Simulation {
                     };
                     let head_demand = head.demand;
                     let head_job = head.job;
-                    let head_nodes = state.jobs[head_job].nodes;
+                    let head_nodes = head.nodes;
                     if state.last_shadow_demand != Some(head_demand) {
                         state.last_shadow_demand = Some(head_demand);
                         state.shadow_demand_epoch += 1;
@@ -1190,15 +1357,13 @@ impl Simulation {
                     let free_now = self.cluster.free_nodes_satisfying(&head_demand);
                     let crossing = {
                         let epoch = state.shadow_demand_epoch;
-                        let running = &state.running;
+                        let runs = &state.runs;
                         let cluster = &self.cluster;
                         state
                             .release_table
                             .crossing(free_now, head_nodes, epoch, |run_id| {
-                                let r = running[run_id as usize]
-                                    .as_ref()
-                                    .expect("invariant: release entries track live runs");
-                                cluster.allocation_nodes_satisfying(&r.alloc, &head_demand)
+                                cluster
+                                    .allocation_nodes_satisfying(runs.alloc(run_id), &head_demand)
                             })
                     };
                     // The incremental path must agree with the historical
@@ -1206,14 +1371,13 @@ impl Simulation {
                     #[cfg(debug_assertions)]
                     {
                         let releases: Vec<(Time, u32)> = state
-                            .running
-                            .iter()
-                            .flatten()
-                            .map(|r| {
+                            .runs
+                            .iter_live()
+                            .map(|(end, alloc)| {
                                 let eligible = self
                                     .cluster
-                                    .allocation_nodes_satisfying(&r.alloc, &head_demand);
-                                (r.expected_end, eligible)
+                                    .allocation_nodes_satisfying(alloc, &head_demand);
+                                (end, eligible)
                             })
                             .collect();
                         debug_assert_eq!(
@@ -1222,13 +1386,16 @@ impl Simulation {
                             "incremental crossing diverged from shadow_time"
                         );
                     }
+                    // The scan resumes just past the head's physical slot
+                    // (tombstones in between self-reject in the hunt).
+                    let past_head = state.queue.head_idx() + 1;
                     state.shadow_cache = Some(ShadowCache {
                         job: head_job,
                         demand: head_demand,
                         running_gen: state.running_gen,
                         structural: state.structural_epoch,
                         crossing,
-                        scanned: 1,
+                        scanned: past_head,
                     });
                     let Some(t_cross) = crossing else {
                         // The head's demand exceeds what even a drained
@@ -1236,7 +1403,7 @@ impl Simulation {
                         // shrink it later.
                         break;
                     };
-                    (t_cross.max(now), 1)
+                    (t_cross.max(now), past_head)
                 };
                 // Phase 3: backfill the first job that fits now and is
                 // conservatively done before the shadow time.
@@ -1251,6 +1418,11 @@ impl Simulation {
                 // entry.
                 let mut started = false;
                 let mut hunt_from = scan_from;
+                // The window the conservative completion must fit in;
+                // `rt > window` is exactly `now + rt > shadow` (shadow is
+                // never below `now`), hoisting the add out of the scan —
+                // and tombstones' `Time::MAX` sentinel always fails it.
+                let window = shadow.saturating_sub(now);
                 loop {
                     let candidate = {
                         let epoch = state.retry_epoch;
@@ -1263,19 +1435,22 @@ impl Simulation {
                         }
                         let cache = &mut state.free_cache;
                         let slots = &state.group_epoch_by_slot;
-                        let entries = state.queue.make_contiguous();
+                        let (rts, stamps, colds) = state.queue.hunt_columns(hunt_from);
                         let mut found = None;
-                        for (off, q) in entries[hunt_from..].iter_mut().enumerate() {
+                        for (off, (&rt, stamp)) in rts.iter().zip(stamps.iter_mut()).enumerate() {
                             // Bitwise `|`: both operands are one cheap
-                            // load, and fusing them leaves a single
-                            // almost-always-taken skip branch instead of
-                            // two half-predictable ones.
+                            // load from a hot column, and fusing them
+                            // leaves a single almost-always-taken skip
+                            // branch instead of two half-predictable
+                            // ones. Everything else lives in the cold
+                            // column, touched only by survivors. Dead
+                            // slots carry `Time::MAX` runtimes and fail
+                            // the window like everything else.
                             #[allow(clippy::needless_bitwise_bool)]
-                            if (now + q.requested_runtime > shadow)
-                                | (q.failed_alloc_stamp == epoch)
-                            {
+                            if (rt > window) | (*stamp == epoch) {
                                 continue;
                             }
+                            let q = &colds[off];
                             let needs_refresh = q.structural_stamp != structural
                                 || match q.scope_slot {
                                     SCOPE_STATIC => false,
@@ -1293,7 +1468,7 @@ impl Simulation {
                                     f
                                 };
                                 if q.nodes > bound {
-                                    q.failed_alloc_stamp = epoch;
+                                    *stamp = epoch;
                                     continue;
                                 }
                             }
@@ -1313,9 +1488,11 @@ impl Simulation {
                 }
                 if !started {
                     // Extend the proof over everything scanned: the next
-                    // pass under an unchanged key resumes after it.
+                    // pass under an unchanged key resumes after it. The
+                    // position is physical — arrivals appended past it
+                    // (and only those) are the unscanned tail.
                     if let Some(c) = state.shadow_cache.as_mut() {
-                        c.scanned = state.queue.len();
+                        c.scanned = state.queue.phys_len();
                     }
                     break;
                 }

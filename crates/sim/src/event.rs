@@ -40,8 +40,20 @@ struct Entry {
     event: Event,
 }
 
+/// Heap key for a runtime event: ordering fields only, with the payload
+/// parked in the slab. Sift operations move 20 bytes instead of the whole
+/// entry, and popped payload slots are recycled through the free list
+/// instead of growing a `Vec` per event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct HeapKey {
+    time: Time,
+    seq: u64,
+    slot: u32,
+}
+
 // Reversed ordering: BinaryHeap is a max-heap, we need earliest-first.
-impl Ord for Entry {
+// `slot` carries no ordering (seqs are unique).
+impl Ord for HeapKey {
     fn cmp(&self, other: &Self) -> Ordering {
         other
             .time
@@ -50,7 +62,7 @@ impl Ord for Entry {
     }
 }
 
-impl PartialOrd for Entry {
+impl PartialOrd for HeapKey {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
@@ -64,16 +76,27 @@ impl PartialOrd for Entry {
 ///   sorted once and consumed front-to-back by cursor;
 /// - a binary heap for events scheduled while running (execution ends),
 ///   which therefore only ever holds the in-flight executions — tens of
-///   entries instead of the whole trace.
+///   entries instead of the whole trace. The heap orders slim
+///   16-byte `(time, seq, slot)` keys; event payloads live in a slab
+///   (`pool`) whose slots are recycled through a free list, so
+///   steady-state pushes allocate nothing.
 ///
 /// Seeded entries are assigned seqs before any runtime push, so a
 /// time-tie between the tiers always resolves to the seeded entry —
 /// exactly the order a single heap seeded by up-front pushes would yield.
+///
+/// `clear` drops every pending event but keeps all four buffers'
+/// capacity, so a [`crate::engine::SimArena`] can reuse one queue across
+/// an entire sweep without reallocating.
 #[derive(Debug, Default)]
 pub struct EventQueue {
     seeded: Vec<Entry>,
     cursor: usize,
-    heap: BinaryHeap<Entry>,
+    heap: BinaryHeap<HeapKey>,
+    /// Runtime event payloads, indexed by [`HeapKey::slot`].
+    pool: Vec<Event>,
+    /// Recycled `pool` slots.
+    free: Vec<u32>,
     next_seq: u64,
 }
 
@@ -84,38 +107,55 @@ impl EventQueue {
     }
 
     /// An empty queue with room for `capacity` runtime events before the
-    /// heap reallocates.
+    /// heap (and its payload slab) reallocates.
     pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
             seeded: Vec::new(),
             cursor: 0,
             heap: BinaryHeap::with_capacity(capacity),
+            pool: Vec::with_capacity(capacity),
+            free: Vec::new(),
             next_seq: 0,
         }
     }
 
     /// A queue pre-loaded with the statically known schedule. Events keep
-    /// their slice order as the tie-breaker (the sort below is stable), so
-    /// this pops identically to pushing them one by one into an empty
-    /// queue — without ever paying heap maintenance for them.
-    pub fn from_schedule(mut schedule: Vec<(Time, Event)>) -> Self {
-        schedule.sort_by_key(|&(time, _)| time);
-        let seeded: Vec<Entry> = schedule
-            .into_iter()
-            .enumerate()
-            .map(|(seq, (time, event))| Entry {
+    /// their slice order as the tie-breaker (the sort is stable), so this
+    /// pops identically to pushing them one by one into an empty queue —
+    /// without ever paying heap maintenance for them.
+    pub fn from_schedule(schedule: Vec<(Time, Event)>) -> Self {
+        let mut q = EventQueue::new();
+        q.seed(schedule);
+        q
+    }
+
+    /// Load the statically known schedule into the seeded tier: stable
+    /// sort by time, then seqs assigned in sorted order, all below any
+    /// future runtime seq. Must run on an empty queue (enforced in debug).
+    pub(crate) fn seed(&mut self, schedule: impl IntoIterator<Item = (Time, Event)>) {
+        debug_assert!(self.is_empty(), "seed on a non-empty queue");
+        self.seeded
+            .extend(schedule.into_iter().map(|(time, event)| Entry {
                 time,
-                seq: seq as u64,
+                seq: 0,
                 event,
-            })
-            .collect();
-        let next_seq = seeded.len() as u64;
-        EventQueue {
-            seeded,
-            cursor: 0,
-            heap: BinaryHeap::new(),
-            next_seq,
+            }));
+        self.seeded.sort_by_key(|e| e.time);
+        for (seq, e) in self.seeded.iter_mut().enumerate() {
+            e.seq = seq as u64;
         }
+        self.next_seq = self.seeded.len() as u64;
+    }
+
+    /// Drop all pending events but keep every buffer's capacity — the
+    /// arena-reuse reset between runs.
+    pub(crate) fn clear(&mut self) {
+        self.seeded.clear();
+        self.cursor = 0;
+        self.heap.clear();
+        self.pool.clear();
+        self.free.clear();
+        self.next_seq = 0;
     }
 
     /// Schedule `event` at `time`. Events at equal times pop in insertion
@@ -123,45 +163,63 @@ impl EventQueue {
     pub fn push(&mut self, time: Time, event: Event) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        let slot = if let Some(slot) = self.free.pop() {
+            self.pool[slot as usize] = event;
+            slot
+        } else {
+            self.pool.push(event);
+            (self.pool.len() - 1) as u32
+        };
+        self.heap.push(HeapKey { time, seq, slot });
     }
 
-    /// Earliest entry across both tiers: `(from_seeded, entry)`.
-    fn front(&self) -> Option<(bool, &Entry)> {
-        match (self.seeded.get(self.cursor), self.heap.peek()) {
-            (Some(s), Some(h)) => {
-                if (s.time, s.seq) <= (h.time, h.seq) {
-                    Some((true, s))
-                } else {
-                    Some((false, h))
-                }
-            }
-            (Some(s), None) => Some((true, s)),
-            (None, Some(h)) => Some((false, h)),
-            (None, None) => None,
+    /// Earliest entry across both tiers: `(from_seeded, time, event)`.
+    fn front(&self) -> Option<(bool, Time, Event)> {
+        let seeded = self.seeded.get(self.cursor);
+        let heap = self.heap.peek();
+        let from_seeded = match (seeded, heap) {
+            (Some(s), Some(h)) => (s.time, s.seq) <= (h.time, h.seq),
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return None,
+        };
+        if from_seeded {
+            let s = seeded.expect("invariant: seeded tier chosen above");
+            Some((true, s.time, s.event))
+        } else {
+            let h = heap.expect("invariant: heap tier chosen above");
+            Some((false, h.time, self.pool[h.slot as usize]))
         }
     }
 
     /// Remove and return the earliest event.
+    ///
+    /// # Panics
+    ///
+    /// Panics only on a broken internal invariant (the chosen tier's
+    /// entry vanishing between peek and pop).
     pub fn pop(&mut self) -> Option<(Time, Event)> {
-        match self.front()? {
-            (true, s) => {
-                let out = (s.time, s.event);
-                self.cursor += 1;
-                Some(out)
-            }
-            (false, _) => self.heap.pop().map(|e| (e.time, e.event)),
+        let (from_seeded, time, event) = self.front()?;
+        if from_seeded {
+            self.cursor += 1;
+        } else {
+            let key = self
+                .heap
+                .pop()
+                .expect("invariant: front() saw a heap entry");
+            self.free.push(key.slot);
         }
+        Some((time, event))
     }
 
     /// Time of the earliest event without removing it.
     pub fn peek_time(&self) -> Option<Time> {
-        self.front().map(|(_, e)| e.time)
+        self.front().map(|(_, t, _)| t)
     }
 
     /// The earliest event and its time without removing it.
     pub fn peek(&self) -> Option<(Time, Event)> {
-        self.front().map(|(_, e)| (e.time, e.event))
+        self.front().map(|(_, t, e)| (t, e))
     }
 
     /// Number of pending events.
@@ -284,5 +342,84 @@ mod tests {
             Some((Time::from_secs(2), Event::Arrival { job: 0 }))
         );
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn slab_slots_recycle_without_growth() {
+        let mut q = EventQueue::new();
+        // Interleave pushes and pops so the free list gets exercised: the
+        // slab never needs more slots than the peak in-flight count.
+        for round in 0..50u64 {
+            q.push(
+                Time::from_secs(round),
+                Event::ExecutionEnd {
+                    run_id: round,
+                    success: true,
+                },
+            );
+            q.push(
+                Time::from_secs(round),
+                Event::ExecutionEnd {
+                    run_id: round + 1000,
+                    success: false,
+                },
+            );
+            let (_, e) = q.pop().unwrap();
+            assert_eq!(
+                e,
+                Event::ExecutionEnd {
+                    run_id: round,
+                    success: true
+                }
+            );
+            let (_, e) = q.pop().unwrap();
+            assert_eq!(
+                e,
+                Event::ExecutionEnd {
+                    run_id: round + 1000,
+                    success: false
+                }
+            );
+        }
+        assert!(
+            q.pool.len() <= 2,
+            "slab grew past peak concurrency: {}",
+            q.pool.len()
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_capacity() {
+        let mut q = EventQueue::from_schedule(vec![
+            (Time::from_secs(1), Event::Arrival { job: 0 }),
+            (Time::from_secs(2), Event::Arrival { job: 1 }),
+        ]);
+        q.push(
+            Time::from_secs(3),
+            Event::ExecutionEnd {
+                run_id: 0,
+                success: true,
+            },
+        );
+        let cap = q.pool.capacity();
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pool.capacity(), cap);
+        // A cleared queue behaves like a fresh one, seqs included.
+        q.seed(vec![(Time::from_secs(7), Event::Arrival { job: 9 })]);
+        q.push(
+            Time::from_secs(7),
+            Event::ExecutionEnd {
+                run_id: 1,
+                success: true,
+            },
+        );
+        // Seeded entry wins the time tie, as in a fresh queue.
+        assert_eq!(
+            q.pop(),
+            Some((Time::from_secs(7), Event::Arrival { job: 9 }))
+        );
     }
 }

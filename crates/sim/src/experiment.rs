@@ -16,11 +16,11 @@ use std::sync::mpsc;
 
 use resmatch_cluster::builder::paper_cluster;
 use resmatch_cluster::Cluster;
-use resmatch_workload::load::scale_to_load;
+use resmatch_workload::load::scale_to_load_into;
 use resmatch_workload::Workload;
 
 use crate::csv::{float, CsvWriter};
-use crate::engine::{SimConfig, Simulation};
+use crate::engine::{SimArena, SimConfig, Simulation};
 use crate::metrics::SimResult;
 use crate::observer::SweepObserver;
 use crate::spec::EstimatorSpec;
@@ -49,6 +49,30 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_pooled_with(count, || (), |(), i| task(i))
+}
+
+/// [`run_pooled`] with per-worker scratch state: each worker builds one
+/// context via `init` when it starts and threads it through every task it
+/// claims. This is how sweeps reuse a [`crate::engine::SimArena`] (and a
+/// rescale buffer) across points — the allocations of the first point a
+/// worker runs are recycled by all its later points instead of being
+/// re-made per point.
+///
+/// The context never crosses threads, so `C` only needs `Send` (it is
+/// created on the worker); determinism is unaffected because contexts
+/// carry buffers, not results, and every simulation still owns its seeded
+/// RNG.
+///
+/// # Panics
+/// As [`run_pooled`]: worker panics propagate out of the enclosing scope.
+pub fn run_pooled_with<C, T, I, F>(count: usize, init: I, task: F) -> Vec<T>
+where
+    C: Send,
+    T: Send,
+    I: Fn() -> C + Sync,
+    F: Fn(&mut C, usize) -> T + Sync,
+{
     if count == 0 {
         return Vec::new();
     }
@@ -57,8 +81,9 @@ where
         .min(count);
     let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
     if workers <= 1 {
+        let mut ctx = init();
         for (i, slot) in slots.iter_mut().enumerate() {
-            *slot = Some(task(i));
+            *slot = Some(task(&mut ctx, i));
         }
     } else {
         let next = AtomicUsize::new(0);
@@ -66,14 +91,17 @@ where
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 let tx = tx.clone();
-                let (next, task) = (&next, &task);
-                scope.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= count {
-                        break;
-                    }
-                    if tx.send((i, task(i))).is_err() {
-                        break;
+                let (next, init, task) = (&next, &init, &task);
+                scope.spawn(move || {
+                    let mut ctx = init();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        if tx.send((i, task(&mut ctx, i))).is_err() {
+                            break;
+                        }
                     }
                 });
             }
@@ -167,22 +195,31 @@ pub fn run_load_sweep_observed(
     observer: Option<&dyn SweepObserver>,
 ) -> Vec<LoadPoint> {
     let total = cfg.loads.len();
-    run_pooled(total, |i| {
-        let load = cfg.loads[i];
-        let scaled = scale_to_load(workload, cluster.total_nodes(), load);
-        let mut sim = Simulation::new(cfg.sim, cluster.clone(), estimator);
-        if let Some(obs) = observer.and_then(|o| o.point_observer(i)) {
-            sim = sim.with_observer(obs);
-        }
-        let result = sim.run(&scaled);
-        if let Some(o) = observer {
-            o.on_point_complete(i, total, &result);
-        }
-        LoadPoint {
-            offered_load: load,
-            result,
-        }
-    })
+    run_pooled_with(
+        total,
+        || (SimArena::default(), Vec::new()),
+        |(arena, buf), i| {
+            let load = cfg.loads[i];
+            // Rescale into the worker's buffer and round-trip it through a
+            // `Workload` so a sweep allocates one trace-sized vector per
+            // worker, not per point.
+            scale_to_load_into(workload, cluster.total_nodes(), load, buf);
+            let scaled = Workload::from_sorted(std::mem::take(buf));
+            let mut sim = Simulation::new(cfg.sim, cluster.clone(), estimator);
+            if let Some(obs) = observer.and_then(|o| o.point_observer(i)) {
+                sim = sim.with_observer(obs);
+            }
+            let result = sim.run_with_arena(&scaled, arena);
+            *buf = scaled.into_jobs();
+            if let Some(o) = observer {
+                o.on_point_complete(i, total, &result);
+            }
+            LoadPoint {
+                offered_load: load,
+                result,
+            }
+        },
+    )
 }
 
 /// One point of the Figure 8 cluster sweep: the paper's 512×32 MB +
@@ -245,32 +282,38 @@ pub fn run_cluster_sweep_observed(
     observer: Option<&dyn SweepObserver>,
 ) -> Vec<ClusterSweepPoint> {
     let total = second_pool_mbs.len();
-    run_pooled(total, |i| {
-        let mb = second_pool_mbs[i];
-        let cluster = paper_cluster(mb);
-        // One scaled workload per point, shared by the baseline/estimated
-        // pair — rescaling a 100k-job trace twice would double the sweep's
-        // allocation traffic for identical bytes.
-        let scaled = scale_to_load(workload, cluster.total_nodes(), offered_load);
-        let mut base_sim = Simulation::new(sim, cluster.clone(), EstimatorSpec::PassThrough);
-        if let Some(obs) = observer.and_then(|o| o.point_observer(i)) {
-            base_sim = base_sim.with_observer(obs);
-        }
-        let baseline = base_sim.run(&scaled);
-        let mut est_sim = Simulation::new(sim, cluster, estimator);
-        if let Some(obs) = observer.and_then(|o| o.point_observer(i)) {
-            est_sim = est_sim.with_observer(obs);
-        }
-        let estimated = est_sim.run(&scaled);
-        if let Some(o) = observer {
-            o.on_point_complete(i, total, &estimated);
-        }
-        ClusterSweepPoint {
-            second_pool_mb: mb,
-            baseline,
-            estimated,
-        }
-    })
+    run_pooled_with(
+        total,
+        || (SimArena::default(), Vec::new()),
+        |(arena, buf), i| {
+            let mb = second_pool_mbs[i];
+            let cluster = paper_cluster(mb);
+            // One scaled workload per point, shared by the baseline/estimated
+            // pair — rescaling a 100k-job trace twice would double the sweep's
+            // allocation traffic for identical bytes.
+            scale_to_load_into(workload, cluster.total_nodes(), offered_load, buf);
+            let scaled = Workload::from_sorted(std::mem::take(buf));
+            let mut base_sim = Simulation::new(sim, cluster.clone(), EstimatorSpec::PassThrough);
+            if let Some(obs) = observer.and_then(|o| o.point_observer(i)) {
+                base_sim = base_sim.with_observer(obs);
+            }
+            let baseline = base_sim.run_with_arena(&scaled, arena);
+            let mut est_sim = Simulation::new(sim, cluster, estimator);
+            if let Some(obs) = observer.and_then(|o| o.point_observer(i)) {
+                est_sim = est_sim.with_observer(obs);
+            }
+            let estimated = est_sim.run_with_arena(&scaled, arena);
+            *buf = scaled.into_jobs();
+            if let Some(o) = observer {
+                o.on_point_complete(i, total, &estimated);
+            }
+            ClusterSweepPoint {
+                second_pool_mb: mb,
+                baseline,
+                estimated,
+            }
+        },
+    )
 }
 
 /// Render a load sweep as CSV (one row per point) for external plotting.
@@ -338,6 +381,7 @@ pub fn cluster_sweep_csv(points: &[ClusterSweepPoint]) -> String {
 mod tests {
     use super::*;
     use resmatch_cluster::ClusterBuilder;
+    use resmatch_workload::load::scale_to_load;
     use resmatch_workload::synthetic::{generate, Cm5Config};
 
     const MB: u64 = 1024;

@@ -39,15 +39,17 @@ pub mod event;
 pub mod experiment;
 pub mod metrics;
 pub mod observer;
+mod queue;
 mod release;
 pub mod scheduler;
 pub mod spec;
+mod store;
 pub mod tracelog;
 
 /// Common imports for simulator users.
 pub mod prelude {
     pub use crate::build::{BuildError, SimulationBuilder};
-    pub use crate::engine::{ChurnEvent, FeedbackMode, SimConfig, Simulation};
+    pub use crate::engine::{ChurnEvent, FeedbackMode, SimArena, SimConfig, Simulation};
     pub use crate::experiment::{
         cluster_sweep_csv, load_sweep_csv, run_cluster_sweep, run_cluster_sweep_observed,
         run_load_sweep, run_load_sweep_observed, ClusterSweepPoint, LoadPoint, SweepConfig,

@@ -32,6 +32,12 @@ pub(crate) struct ReleaseTable {
 }
 
 impl ReleaseTable {
+    /// Drop every entry but keep capacity (arena reuse across runs).
+    pub(crate) fn clear(&mut self) {
+        self.entries.clear();
+        self.eligible.clear();
+    }
+
     /// Record a started execution. Run ids are recycled by the engine's
     /// slab, so any cached eligible count for this id belongs to a dead
     /// run and is invalidated here.

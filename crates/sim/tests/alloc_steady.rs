@@ -1,0 +1,112 @@
+//! Steady-state allocation discipline of arena-reused sweeps.
+//!
+//! A sweep worker that reuses a [`SimArena`] must stop allocating once its
+//! buffers are warm: after the first pass over the load points, every later
+//! point runs entirely inside recycled capacity. This test wraps the global
+//! allocator with a counter and asserts two things about the second pass of
+//! a 20-point load sweep:
+//!
+//! 1. every point costs the same small, constant number of allocations
+//!    (the per-run `SimResult` scaffolding — pool stats, estimator name);
+//! 2. that constant does not grow with trace size (600 vs 1200 jobs), i.e.
+//!    the engine's per-job state really lives in the arena.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use resmatch_cluster::builder::paper_cluster;
+use resmatch_sim::prelude::*;
+use resmatch_workload::load::scale_to_load_into;
+use resmatch_workload::synthetic::{generate, Cm5Config};
+use resmatch_workload::Workload;
+
+/// Counts allocation *events* (alloc + realloc). Deallocation is free-list
+/// recycling's whole point, so it is not counted.
+struct CountingAlloc;
+
+static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Run two serial passes over a 20-point load sweep with one arena and one
+/// rescale buffer (exactly the per-worker state `run_pooled_with` holds)
+/// and return the per-point allocation counts of both passes.
+fn sweep_alloc_counts(jobs: usize) -> (Vec<u64>, Vec<u64>) {
+    let mut w = generate(
+        &Cm5Config {
+            jobs,
+            ..Cm5Config::default()
+        },
+        42,
+    );
+    w.retain_max_nodes(512);
+    let cluster = paper_cluster(24);
+    let loads: Vec<f64> = (0..20).map(|i| 0.3 + 0.05 * i as f64).collect();
+    let cfg = SimConfig::default().with_retain_records(false);
+
+    let mut arena = SimArena::default();
+    let mut buf: Vec<resmatch_workload::Job> = Vec::new();
+    let mut passes = (Vec::new(), Vec::new());
+    for pass in 0..2 {
+        for &load in &loads {
+            let sim = Simulation::new(cfg, cluster.clone(), EstimatorSpec::PassThrough);
+            let before = ALLOC_EVENTS.load(Ordering::Relaxed);
+            scale_to_load_into(&w, cluster.total_nodes(), load, &mut buf);
+            let scaled = Workload::from_sorted(std::mem::take(&mut buf));
+            let result = sim.run_with_arena(&scaled, &mut arena);
+            let after = ALLOC_EVENTS.load(Ordering::Relaxed);
+            assert!(result.completed_jobs > 0, "sanity: the sweep point ran");
+            buf = scaled.into_jobs();
+            let counts = if pass == 0 {
+                &mut passes.0
+            } else {
+                &mut passes.1
+            };
+            counts.push(after - before);
+        }
+    }
+    passes
+}
+
+#[test]
+fn warm_sweep_points_allocate_a_job_count_independent_constant() {
+    // A warm point's budget: the per-run `SimResult` scaffolding (estimator
+    // name string, pool-stats vector) plus at most a few spare-buffer
+    // regrows when a wide job pops a buffer warmed by a narrow one. What
+    // matters is that the budget is O(1) — it depends on neither the trace
+    // length nor the event count.
+    const WARM_BUDGET: u64 = 8;
+
+    let (cold_small, warm_small) = sweep_alloc_counts(600);
+    let (_, warm_large) = sweep_alloc_counts(1200);
+    assert!(
+        warm_small.iter().all(|&c| c <= WARM_BUDGET),
+        "second-pass (warm) points must run inside recycled capacity: {warm_small:?}"
+    );
+    assert!(
+        warm_large.iter().all(|&c| c <= WARM_BUDGET),
+        "per-point allocation count must not grow with trace size: {warm_large:?}"
+    );
+    // Contrast with the cold first point, which pays the arena warm-up.
+    assert!(
+        cold_small[0] > 2 * WARM_BUDGET,
+        "expected the cold first point to dominate warm points: {cold_small:?}"
+    );
+}

@@ -298,6 +298,50 @@ fn golden_easy_lastinstance_hash_pinned() {
     check_pinned("easy_lastinstance_explicit", 0xa316_a849_9a9d_9250, &r);
 }
 
+/// The full-scale trace: the calibrated 122,055-job CM5 workload at its
+/// natural offered load (~0.45 against the 1024-node paper cluster), with
+/// the full-machine jobs removed — exactly the preprocessing the paper
+/// applies and the repro pipeline's default scale.
+fn trace_workload() -> Workload {
+    let mut w = generate(&Cm5Config::default(), 42);
+    w.retain_max_nodes(512);
+    w
+}
+
+/// Pinned digest of the full 122,055-job trace under FCFS + the paper's
+/// successive estimator. Trace-scale digests are release-only: the
+/// debug-build EASY cross-check and slot asserts make a 122k-job run take
+/// minutes, and CI exercises these with `cargo test --release`.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "trace-scale: run under --release")]
+fn golden_trace_fcfs_successive_hash_pinned() {
+    let w = trace_workload();
+    let r = run(SimConfig::default(), EstimatorSpec::paper_successive(), &w);
+    check_pinned("trace_fcfs_successive", 0xdf1e_4942_0b10_fda7, &r);
+}
+
+/// Pinned digest of the full trace under SJF + successive estimation.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "trace-scale: run under --release")]
+fn golden_trace_sjf_successive_hash_pinned() {
+    let w = trace_workload();
+    let cfg = SimConfig::default().with_scheduling(SchedulingPolicy::Sjf);
+    let r = run(cfg, EstimatorSpec::paper_successive(), &w);
+    check_pinned("trace_sjf_successive", 0x9efb_45c1_ecc9_8ee1, &r);
+}
+
+/// Pinned digest of the full trace under EASY backfill + successive
+/// estimation — the configuration the ≥2M events/sec throughput target is
+/// quoted for, so the fast path and the correct path are pinned together.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "trace-scale: run under --release")]
+fn golden_trace_easy_successive_hash_pinned() {
+    let w = trace_workload();
+    let cfg = SimConfig::default().with_scheduling(SchedulingPolicy::EasyBackfill);
+    let r = run(cfg, EstimatorSpec::paper_successive(), &w);
+    check_pinned("trace_easy_successive", 0x1706_9e7d_e28c_d27f, &r);
+}
+
 #[test]
 fn golden_fcfs_robust_implicit() {
     use resmatch_core::robust::RobustConfig;

@@ -235,6 +235,47 @@ proptest! {
     }
 
     #[test]
+    fn arena_reuse_is_invisible(
+        specs_a in arb_jobs(),
+        specs_b in arb_jobs(),
+        spec in arb_spec(),
+        policy in arb_policy(),
+        explicit in any::<bool>(),
+    ) {
+        // A dirty arena (left behind by a run over a *different* workload)
+        // must not perturb a later run: reused buffers are cleared, never
+        // trusted. This is the equivalence oracle for the SoA store and
+        // slab event queue — the whole SimResult must match a fresh run
+        // byte for byte.
+        let cfg = SimConfig::default()
+            .with_scheduling(policy)
+            .with_feedback(if explicit { FeedbackMode::Explicit } else { FeedbackMode::Implicit });
+        let wa = workload(&specs_a);
+        let wb = workload(&specs_b);
+        let fresh = Simulation::new(cfg, cluster(), spec).run(&wb);
+        let mut arena = SimArena::default();
+        let _ = Simulation::new(cfg, cluster(), spec).run_with_arena(&wa, &mut arena);
+        let reused = Simulation::new(cfg, cluster(), spec).run_with_arena(&wb, &mut arena);
+        prop_assert_eq!(reused, fresh);
+    }
+
+    #[test]
+    fn streaming_matches_batch(
+        specs in arb_jobs(),
+        spec in arb_spec(),
+        policy in arb_policy(),
+    ) {
+        // Feeding jobs one at a time through the streaming entry point is
+        // indistinguishable from handing over the whole trace.
+        let w = workload(&specs);
+        let cfg = SimConfig::default().with_scheduling(policy);
+        let batch = Simulation::new(cfg, cluster(), spec).run(&w);
+        let streamed = Simulation::new(cfg, cluster(), spec)
+            .run_stream(w.jobs().iter().cloned());
+        prop_assert_eq!(streamed, batch);
+    }
+
+    #[test]
     fn estimation_never_loses_to_baseline_badly(specs in arb_jobs()) {
         // Whatever the workload, Algorithm 1's goodput utilization stays
         // within a whisker of the baseline's (it can spend a little on

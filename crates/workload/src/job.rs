@@ -108,6 +108,21 @@ impl Workload {
         Workload { jobs }
     }
 
+    /// Build from jobs already ordered by submit time, skipping the sort.
+    ///
+    /// The caller vouches for the order (debug builds verify it); combined
+    /// with [`Workload::into_jobs`] this lets a sweep recycle one job buffer
+    /// across points without re-sorting or reallocating.
+    pub fn from_sorted(jobs: Vec<Job>) -> Self {
+        debug_assert!(
+            jobs.iter()
+                .zip(jobs.iter().skip(1))
+                .all(|(a, b)| a.submit <= b.submit),
+            "from_sorted requires jobs ordered by submit time"
+        );
+        Workload { jobs }
+    }
+
     /// The jobs, ordered by submit time.
     pub fn jobs(&self) -> &[Job] {
         &self.jobs

@@ -6,7 +6,7 @@
 //! jobs arrive faster or slower, shifting the offered load
 //! `Σ nodes·runtime / (cluster_nodes · span)`.
 
-use crate::job::Workload;
+use crate::job::{Job, Workload};
 
 #[cfg(test)]
 use crate::time::Time;
@@ -16,21 +16,25 @@ use crate::time::Time;
 /// span (first submission to the last job's completion, had every job run
 /// at submission). Returns 0 for empty traces or zero spans.
 pub fn offered_load(workload: &Workload, total_nodes: u32) -> f64 {
-    if workload.is_empty() || total_nodes == 0 {
+    offered_load_of(workload.jobs(), total_nodes)
+}
+
+fn offered_load_of(jobs: &[Job], total_nodes: u32) -> f64 {
+    let (Some(first), Some(last_end)) = (
+        jobs.first().map(|j| j.submit),
+        jobs.iter().map(|j| j.submit + j.runtime).max(),
+    ) else {
+        return 0.0;
+    };
+    if total_nodes == 0 {
         return 0.0;
     }
-    let first = workload.jobs()[0].submit;
-    let last_end = workload
-        .jobs()
-        .iter()
-        .map(|j| j.submit + j.runtime)
-        .max()
-        .expect("non-empty");
     let span = last_end.saturating_sub(first).as_secs_f64();
     if span <= 0.0 {
         return 0.0;
     }
-    workload.total_node_seconds() / (total_nodes as f64 * span)
+    let node_seconds: f64 = jobs.iter().map(Job::node_seconds).sum();
+    node_seconds / (total_nodes as f64 * span)
 }
 
 /// Rescale all inter-arrival gaps by `factor` (< 1 compresses the trace and
@@ -65,23 +69,47 @@ pub fn rescale_arrivals(workload: &Workload, factor: f64) -> Workload {
 /// above the trace's intrinsic ceiling (all arrivals compressed to a point,
 /// span dominated by the longest runtime) converge to the ceiling instead.
 pub fn scale_to_load(workload: &Workload, total_nodes: u32, target: f64) -> Workload {
+    let mut jobs = Vec::new();
+    scale_to_load_into(workload, total_nodes, target, &mut jobs);
+    // The in-place rescale is monotone in the original gaps, so sorted
+    // input stays sorted.
+    Workload::from_sorted(jobs)
+}
+
+/// [`scale_to_load`] into a caller-owned buffer: `out` is cleared, refilled
+/// with the workload's jobs, and rescaled in place. Sweeps that visit many
+/// load points recycle one buffer instead of allocating a trace-sized
+/// vector per point; the result is byte-identical to [`scale_to_load`].
+pub fn scale_to_load_into(workload: &Workload, total_nodes: u32, target: f64, out: &mut Vec<Job>) {
     assert!(target > 0.0, "target load must be positive");
-    let mut current = workload.clone();
+    out.clear();
+    out.extend_from_slice(workload.jobs());
     for _ in 0..12 {
-        let load = offered_load(&current, total_nodes);
+        let load = offered_load_of(out, total_nodes);
         if load <= 0.0 || (load - target).abs() / target < 0.01 {
-            return current;
+            return;
         }
         let factor = load / target;
-        let next = rescale_arrivals(&current, factor);
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "arrival scale factor must be positive"
+        );
+        let Some(first) = out.first().map(|j| j.submit) else {
+            return;
+        };
         // Compression has a floor: when every gap is already zero, further
         // scaling is a no-op.
-        if next == current {
-            return current;
+        let mut changed = false;
+        for job in out.iter_mut() {
+            let gap = job.submit.saturating_sub(first);
+            let scaled = first + gap.scale(factor);
+            changed |= scaled != job.submit;
+            job.submit = scaled;
         }
-        current = next;
+        if !changed {
+            return;
+        }
     }
-    current
 }
 
 #[cfg(test)]
@@ -155,6 +183,17 @@ mod tests {
                 (achieved - target).abs() / target < 0.05,
                 "target {target}, achieved {achieved}"
             );
+        }
+    }
+
+    #[test]
+    fn scale_into_matches_allocating_path() {
+        let w = uniform_trace(200, 100, 8, 50);
+        let mut buf = Vec::new();
+        for target in [0.3, 0.6, 0.9, 5.0] {
+            let owned = scale_to_load(&w, 16, target);
+            scale_to_load_into(&w, 16, target, &mut buf);
+            assert_eq!(owned.jobs(), &buf[..], "target {target}");
         }
     }
 

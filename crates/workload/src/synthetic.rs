@@ -28,7 +28,7 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use crate::job::{JobBuilder, JobStatus, Workload};
+use crate::job::{Job, JobBuilder, JobStatus, Workload};
 use crate::time::Time;
 
 /// One megabyte in KB, the unit memory sizes below are quoted in.
@@ -350,6 +350,110 @@ pub fn generate(cfg: &Cm5Config, seed: u64) -> Workload {
     Workload::new(jobs)
 }
 
+/// Number of distinct similarity classes backing [`stress_stream`].
+const STRESS_CLASSES: usize = 4096;
+
+/// Lazily generated stress workload: `jobs` CM5-like jobs drawn from a
+/// fixed population of 4096 similarity classes, with
+/// exponential inter-arrival gaps calibrated so the offered load against a
+/// 1024-node cluster is about 0.7. The iterator holds only the class
+/// population and an RNG — memory stays constant no matter how many jobs
+/// are drawn, so a 10-million-job stress run never materializes a trace
+/// vector. Feed it straight to the engine's streaming entry point.
+///
+/// Deterministic for a given `(jobs, seed)` pair; submit times are
+/// monotone non-decreasing, as streaming consumers require.
+pub fn stress_stream(jobs: u64, seed: u64) -> impl Iterator<Item = Job> {
+    let cfg = Cm5Config::default();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let classes: Vec<ClassSpec> = (0..STRESS_CLASSES)
+        .map(|_| {
+            let mut class = sample_class(&cfg, &mut rng, 1);
+            // Full-machine jobs cannot fit a split experimental cluster;
+            // cap at the largest partition so every job is admissible.
+            class.nodes = class.nodes.min(512);
+            class
+        })
+        .collect();
+    // Calibrate the arrival rate: per-job runtime jitter is mean-one, so
+    // expected node-seconds per job is the population mean of
+    // nodes x base_runtime, and load = mean_node_seconds / (nodes x gap).
+    let mean_node_seconds: f64 = classes
+        .iter()
+        .map(|c| f64::from(c.nodes) * c.base_runtime_s)
+        .sum::<f64>()
+        / classes.len() as f64;
+    let mean_gap_s = mean_node_seconds / (1024.0 * 0.7);
+    StressStream {
+        rng,
+        classes,
+        mean_gap_s,
+        clock_s: 0.0,
+        next_id: 0,
+        remaining: jobs,
+    }
+}
+
+struct StressStream {
+    rng: StdRng,
+    classes: Vec<ClassSpec>,
+    mean_gap_s: f64,
+    clock_s: f64,
+    next_id: u64,
+    remaining: u64,
+}
+
+impl Iterator for StressStream {
+    type Item = Job;
+
+    fn next(&mut self) -> Option<Job> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let class = self.classes[self.rng.random_range(0..self.classes.len())].clone();
+
+        let u: f64 = self.rng.random::<f64>().max(1e-12);
+        self.clock_s += -u.ln() * self.mean_gap_s;
+        self.next_id += 1;
+
+        let used = (class.base_used_mem_kb as f64
+            * (1.0 + class.usage_jitter * self.rng.random::<f64>()))
+        .round() as u64;
+        let used = used.clamp(64, class.requested_mem_kb);
+        let runtime_s = class.base_runtime_s * (0.7 + 0.6 * self.rng.random::<f64>());
+        let runtime = Time::from_secs_f64(runtime_s.max(1.0));
+        let requested_runtime = runtime.scale(1.0 + 2.0 * self.rng.random::<f64>());
+        let status_draw: f64 = self.rng.random();
+        let status = if status_draw < 0.97 {
+            JobStatus::Completed
+        } else if status_draw < 0.99 {
+            JobStatus::Failed
+        } else {
+            JobStatus::Cancelled
+        };
+
+        Some(
+            JobBuilder::new(self.next_id)
+                .user(class.user)
+                .app(class.app)
+                .submit(Time::from_secs_f64(self.clock_s))
+                .runtime(runtime)
+                .requested_runtime(requested_runtime)
+                .nodes(class.nodes)
+                .requested_mem_kb(class.requested_mem_kb)
+                .used_mem_kb(used)
+                .status(status)
+                .build(),
+        )
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = usize::try_from(self.remaining).ok();
+        (n.unwrap_or(usize::MAX), n)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -562,6 +666,33 @@ mod tests {
             },
             0,
         );
+    }
+
+    #[test]
+    fn stress_stream_is_deterministic_and_monotone() {
+        let a: Vec<_> = stress_stream(5_000, 42).collect();
+        let b: Vec<_> = stress_stream(5_000, 42).collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5_000);
+        assert!(a.windows(2).all(|p| p[0].submit <= p[1].submit));
+        assert!(a.iter().all(|j| j.nodes <= 512));
+        assert!(a.iter().all(|j| j.request_covers_usage()));
+    }
+
+    #[test]
+    fn stress_stream_load_near_target() {
+        let w: Workload = stress_stream(50_000, 7).collect();
+        let load = crate::load::offered_load(&w, 1024);
+        assert!(
+            (0.5..0.9).contains(&load),
+            "offered load {load:.3}, expected ~0.7"
+        );
+    }
+
+    #[test]
+    fn stress_stream_reports_exact_size_hint() {
+        let s = stress_stream(123, 1);
+        assert_eq!(s.size_hint(), (123, Some(123)));
     }
 
     #[test]
