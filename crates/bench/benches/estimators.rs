@@ -53,42 +53,25 @@ fn drive(est: &mut dyn ResourceEstimator, jobs: &[Job]) -> u64 {
 fn bench_estimators(c: &mut Criterion) {
     let jobs = job_stream(10_000);
     let mut group = c.benchmark_group("estimator_10k_decisions");
-    group.bench_function("successive_approximation", |b| {
-        b.iter(|| {
-            let mut est = SuccessiveApproximation::new(SuccessiveConfig::default(), ladder());
-            black_box(drive(&mut est, &jobs))
-        })
-    });
-    group.bench_function("last_instance", |b| {
-        b.iter(|| {
-            let mut est = LastInstance::new(LastInstanceConfig::default());
-            black_box(drive(&mut est, &jobs))
-        })
-    });
-    group.bench_function("reinforcement", |b| {
-        b.iter(|| {
-            let mut est = ReinforcementEstimator::new(ReinforcementConfig::default());
-            black_box(drive(&mut est, &jobs))
-        })
-    });
-    group.bench_function("regression", |b| {
-        b.iter(|| {
-            let mut est = RegressionEstimator::new(RegressionConfig::default());
-            black_box(drive(&mut est, &jobs))
-        })
-    });
-    group.bench_function("robust_bisection", |b| {
-        b.iter(|| {
-            let mut est = RobustBisection::new(RobustConfig::default());
-            black_box(drive(&mut est, &jobs))
-        })
-    });
-    group.bench_function("pass_through", |b| {
-        b.iter(|| {
-            let mut est = PassThrough;
-            black_box(drive(&mut est, &jobs))
-        })
-    });
+    // Every estimator is constructed through the declarative spec — the
+    // single construction path the rest of the workspace uses.
+    let cases = [
+        ("successive_approximation", "successive"),
+        ("last_instance", "last-instance"),
+        ("reinforcement", "reinforcement"),
+        ("regression", "regression"),
+        ("robust_bisection", "robust"),
+        ("pass_through", "pass-through"),
+    ];
+    for (label, spec_name) in cases {
+        let spec: EstimatorSpec = spec_name.parse().expect("canonical estimator name");
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut est = spec.build(&ladder());
+                black_box(drive(est.as_mut(), &jobs))
+            })
+        });
+    }
     group.finish();
 }
 

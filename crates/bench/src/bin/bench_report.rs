@@ -31,10 +31,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use resmatch_cluster::builder::{cm5_cluster, paper_cluster};
+use resmatch_cluster::{CapacityLadder, Demand};
+use resmatch_core::prelude::Feedback;
+use resmatch_service::prelude::*;
 use resmatch_sim::prelude::*;
 use resmatch_workload::load::scale_to_load;
-use resmatch_workload::synthetic::{generate, stress_stream, Cm5Config};
-use resmatch_workload::Workload;
+use resmatch_workload::synthetic::{generate, service_stream, stress_stream, Cm5Config};
+use resmatch_workload::{Job, Workload};
 
 /// Saturating offered load for the small matrix: queues stay populated, so
 /// the hot paths this report guards actually dominate.
@@ -44,6 +47,12 @@ const TOTAL_NODES: u32 = 1024;
 const TRACE_JOBS: usize = 122_055;
 /// Streaming stress length under `--full`.
 const STRESS_JOBS: u64 = 10_000_000;
+/// Online-service tier defaults: a million estimate/observe operation pairs
+/// over a million similarity groups, hash-sharded eight ways.
+const SERVICE_OPS: u64 = 1_000_000;
+const SERVICE_GROUPS: u64 = 1_000_000;
+const SERVICE_SHARDS: usize = 8;
+const SERVICE_BATCH: usize = 1024;
 
 /// Counting allocator: allocation events, live bytes, and peak live bytes.
 /// `current`/`peak` track totals; scenarios measure deltas around a run.
@@ -121,6 +130,22 @@ struct Measurement {
     /// itself (no observer is attached — the timed runs stay on the
     /// zero-observer hot path).
     counters: RunCounters,
+    /// Present only for the online-service tier: the service-specific
+    /// throughput split (queries vs. batched feedback).
+    service: Option<ServiceRow>,
+}
+
+/// Service-tier extras: rendered as a nested `"service"` JSON object so the
+/// generic comparator keys (`events_per_sec` etc.) stay uniform across rows.
+struct ServiceRow {
+    shards: usize,
+    feedback_batch: usize,
+    /// Similarity groups present in the estimator state after the run.
+    groups: usize,
+    queries_per_sec: f64,
+    feedback_per_sec: f64,
+    /// Feedback batches applied during one measured pass.
+    batches: u64,
 }
 
 /// Best-of-N wall clock: the minimum is the least noise-contaminated
@@ -187,6 +212,7 @@ where
         alloc_count,
         peak_heap_bytes,
         counters: r.counters,
+        service: None,
     }
 }
 
@@ -200,6 +226,19 @@ fn render_json(measurements: &[Measurement]) -> String {
     );
     for (i, m) in measurements.iter().enumerate() {
         let c = &m.counters;
+        let service = match &m.service {
+            Some(s) => format!(
+                ", \"service\": {{\"shards\": {}, \"feedback_batch\": {}, \"groups\": {}, \
+                 \"queries_per_sec\": {:.1}, \"feedback_per_sec\": {:.1}, \"batches\": {}}}",
+                s.shards,
+                s.feedback_batch,
+                s.groups,
+                s.queries_per_sec,
+                s.feedback_per_sec,
+                s.batches,
+            ),
+            None => String::new(),
+        };
         out.push_str(&format!(
             "    {{\"scenario\": \"{}\", \"scheduler\": \"{}\", \"jobs\": {}, \
              \"events_processed\": {}, \
@@ -207,7 +246,7 @@ fn render_json(measurements: &[Measurement]) -> String {
              \"alloc_count\": {}, \"peak_heap_bytes\": {}, \
              \"counters\": {{\"arrivals\": {}, \"admissions\": {}, \"started\": {}, \
              \"completed\": {}, \"failed\": {}, \"requeued\": {}, \
-             \"estimator_bypassed\": {}, \"churn_events\": {}}}}}{}\n",
+             \"estimator_bypassed\": {}, \"churn_events\": {}}}{}}}{}\n",
             json_escape(&m.scenario),
             m.scheduler,
             m.jobs,
@@ -225,6 +264,7 @@ fn render_json(measurements: &[Measurement]) -> String {
             c.requeued,
             c.estimator_bypassed,
             c.churn_events,
+            service,
             if i + 1 < measurements.len() { "," } else { "" },
         ));
     }
@@ -259,6 +299,136 @@ fn matrix(measurements: &mut Vec<Measurement>, prefix: &str, w: &Workload, reps:
     }
 }
 
+/// The simulator's outcome rule, applied service-side: success when usage
+/// fits the covering rung of what was granted.
+fn service_outcome(ladder: &CapacityLadder, job: &Job, granted: Demand) -> Feedback {
+    let node = ladder.round_up(granted.mem_kb).unwrap_or(granted.mem_kb);
+    Feedback::explicit(job.used_mem_kb <= node, Demand::memory(job.used_mem_kb))
+}
+
+/// Online-service tier: `resmatch-service` over a million-group synthetic
+/// request stream in the deployment shape — jobs pre-routed by the shard
+/// hash, one thread per shard, no cross-shard locking on the query path,
+/// feedback applied as batched writes.
+///
+/// A warm pass first populates the group space so the measured passes
+/// exercise steady-state lookups rather than first-touch insertion; the
+/// stream itself is materialized up front so generation cost cannot
+/// contaminate the query-path wall clock.
+fn service_queries(measurements: &mut Vec<Measurement>, seed: u64, ops: u64, groups: u64) {
+    let reps = 3;
+    let spec = EstimatorSpec::paper_successive();
+    let ladder = cm5_cluster().memory_ladder();
+    let cfg = ServiceConfig::new(spec, ladder.clone())
+        .shards(SERVICE_SHARDS)
+        .feedback_batch(SERVICE_BATCH);
+    let mut svc = EstimatorService::new(&cfg).expect("valid service config");
+
+    let mut slices: Vec<Vec<Job>> = vec![Vec::new(); SERVICE_SHARDS];
+    for job in service_stream(ops, groups, seed) {
+        slices[svc.route(&job)].push(job);
+    }
+
+    for slice in &slices {
+        for job in slice {
+            let d = svc.estimate(job);
+            let fb = service_outcome(&ladder, job, d);
+            svc.observe(job, d, fb);
+        }
+    }
+    svc.flush();
+    let warm = svc.stats();
+
+    let (router, mut shards) = svc.into_parts();
+    let mut best_s = f64::INFINITY;
+    let mut alloc_count = 0u64;
+    let mut peak_heap_bytes = 0u64;
+    for rep in 0..reps {
+        let final_rep = rep + 1 == reps;
+        let (allocs_before, current_before) = if final_rep {
+            let current = CURRENT_BYTES.load(Ordering::Relaxed);
+            PEAK_BYTES.store(current, Ordering::Relaxed);
+            (ALLOC_COUNT.load(Ordering::Relaxed), current)
+        } else {
+            (0, 0)
+        };
+        let taken = std::mem::take(&mut shards);
+        let t = Instant::now();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (shard, slice) in taken.into_iter().zip(&slices) {
+                let ladder = &ladder;
+                handles.push(scope.spawn(move || {
+                    let mut shard = shard;
+                    for job in slice {
+                        let d = shard.estimate(job);
+                        let fb = service_outcome(ladder, job, d);
+                        shard.observe(job, d, fb);
+                    }
+                    shard.flush();
+                    shard
+                }));
+            }
+            for handle in handles {
+                shards.push(handle.join().expect("shard thread"));
+            }
+        });
+        best_s = best_s.min(t.elapsed().as_secs_f64());
+        if final_rep {
+            alloc_count = ALLOC_COUNT.load(Ordering::Relaxed) - allocs_before;
+            peak_heap_bytes = PEAK_BYTES
+                .load(Ordering::Relaxed)
+                .saturating_sub(current_before);
+        }
+    }
+
+    let mut svc = EstimatorService::from_parts(spec, router, shards).expect("shards reassemble");
+    let total = svc.stats();
+    let reps_u64 = reps as u64;
+    let applied_per_pass = (total.applied - warm.applied) / reps_u64;
+    let batches_per_pass = (total.batches - warm.batches) / reps_u64;
+    let built = svc
+        .snapshot()
+        .map(|doc| doc.state.group_count())
+        .unwrap_or(0);
+    let queries_per_sec = ops as f64 / best_s;
+    let feedback_per_sec = applied_per_pass as f64 / best_s;
+    println!(
+        "{:<24} {:>8} {:>12} {:>10.3} {:>14.0} {:>10} {:>14}",
+        "service_queries",
+        ops,
+        2 * ops,
+        best_s,
+        2.0 * ops as f64 / best_s,
+        alloc_count,
+        peak_heap_bytes,
+    );
+    println!(
+        "  service: {queries_per_sec:.0} queries/sec, {feedback_per_sec:.0} feedback/sec \
+         ({batches_per_pass} batches/pass), {built} groups, {SERVICE_SHARDS} shards"
+    );
+    measurements.push(Measurement {
+        scenario: "service_queries".to_string(),
+        scheduler: "service",
+        jobs: ops as usize,
+        events_processed: 2 * ops,
+        completed_jobs: ops as usize,
+        wall_s: best_s,
+        events_per_sec: 2.0 * ops as f64 / best_s,
+        alloc_count,
+        peak_heap_bytes,
+        counters: RunCounters::default(),
+        service: Some(ServiceRow {
+            shards: SERVICE_SHARDS,
+            feedback_batch: SERVICE_BATCH,
+            groups: built,
+            queries_per_sec,
+            feedback_per_sec,
+            batches: batches_per_pass,
+        }),
+    });
+}
+
 fn main() {
     // Parsed by hand rather than via `ExperimentArgs::parse`, which
     // rejects flags it does not know — this binary adds `--out`/`--full`.
@@ -267,6 +437,8 @@ fn main() {
     let mut out_path = "BENCH_sim.json".to_string();
     let mut full = false;
     let mut stress_jobs = STRESS_JOBS;
+    let mut service_ops = SERVICE_OPS;
+    let mut service_groups = SERVICE_GROUPS;
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
         let mut value = || iter.next();
@@ -290,9 +462,19 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--stress-jobs needs an integer");
             }
+            "--service-ops" => {
+                service_ops = value()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--service-ops needs an integer");
+            }
+            "--service-groups" => {
+                service_groups = value()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--service-groups needs an integer");
+            }
             other => panic!(
                 "unknown flag {other}; supported: --jobs N, --seed S, --out PATH, \
-                 --full, --stress-jobs N"
+                 --full, --stress-jobs N, --service-ops N, --service-groups N"
             ),
         }
     }
@@ -330,6 +512,9 @@ fn main() {
     let w = natural_trace(TRACE_JOBS, seed);
     matrix(&mut measurements, "trace_", &w, reps);
     drop(w);
+
+    // Online-service tier: the long-running estimator service.
+    service_queries(&mut measurements, seed, service_ops, service_groups);
 
     if full {
         // Streaming stress: ten million jobs, never materialized, records

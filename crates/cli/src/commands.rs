@@ -2,7 +2,9 @@
 //! returns the text to print, so commands stay unit-testable without
 //! spawning processes.
 
-use resmatch_cluster::Cluster;
+use resmatch_cluster::{Cluster, Demand};
+use resmatch_core::prelude::Feedback;
+use resmatch_service::prelude::*;
 use resmatch_sim::prelude::*;
 use resmatch_workload::analysis::{
     group_size_distribution, histogram_log_fit, overprovisioning_histogram, trace_stats,
@@ -10,7 +12,7 @@ use resmatch_workload::analysis::{
 use resmatch_workload::calibration::{measure, CalibrationReport, CalibrationTargets};
 use resmatch_workload::load::scale_to_load;
 use resmatch_workload::swf;
-use resmatch_workload::synthetic::{generate, Cm5Config};
+use resmatch_workload::synthetic::{generate, service_stream, Cm5Config};
 use resmatch_workload::Workload;
 
 use crate::args::{ArgSpec, Args};
@@ -244,6 +246,118 @@ pub fn cmd_sweep(tokens: Vec<String>) -> CliResult<String> {
     }
 }
 
+/// `resmatch serve --ops N --groups G [--shards S] [--batch B]
+///  [--estimator NAME] [--seed S] [--cluster L] [--snapshot-out FILE]`
+///
+/// Runs the online estimator service over a synthetic service-shaped
+/// request stream and reports sustained throughput.
+pub fn cmd_serve(tokens: Vec<String>) -> CliResult<String> {
+    use std::fmt::Write as _;
+    let args = ArgSpec::new()
+        .value("ops")
+        .value("groups")
+        .value("shards")
+        .value("batch")
+        .value("estimator")
+        .value("alpha")
+        .value("beta")
+        .value("seed")
+        .value("cluster")
+        .value("snapshot-out")
+        .parse(tokens)?;
+    let ops: u64 = args.get_parsed("ops", 100_000u64)?;
+    let groups: u64 = args.get_parsed("groups", 10_000u64)?;
+    if groups == 0 {
+        return Err(CliError::new("--groups must be at least 1"));
+    }
+    let shards: usize = args.get_parsed("shards", 8usize)?;
+    let batch: usize = args.get_parsed("batch", 1024usize)?;
+    let seed: u64 = args.get_parsed("seed", 42u64)?;
+    let alpha: f64 = args.get_parsed("alpha", 2.0)?;
+    let beta: f64 = args.get_parsed("beta", 0.0)?;
+    let spec = parse_estimator(args.get("estimator").unwrap_or("successive"), alpha, beta)?;
+    let ladder = cluster_from(&args)?.memory_ladder();
+    let cfg = ServiceConfig::new(spec, ladder.clone())
+        .shards(shards)
+        .feedback_batch(batch);
+    let mut svc = EstimatorService::new(&cfg).map_err(|e| CliError::new(format!("{e}")))?;
+
+    let start = std::time::Instant::now();
+    for job in service_stream(ops, groups, seed) {
+        let granted = svc.estimate(&job);
+        let node = ladder.round_up(granted.mem_kb).unwrap_or(granted.mem_kb);
+        let fb = Feedback::explicit(job.used_mem_kb <= node, Demand::memory(job.used_mem_kb));
+        svc.observe(&job, granted, fb);
+    }
+    svc.flush();
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+
+    let stats = svc.stats();
+    let mut out = String::new();
+    let _ = writeln!(out, "estimator:         {}", spec.name());
+    let _ = writeln!(out, "shards:            {shards} (feedback batch {batch})");
+    let _ = writeln!(
+        out,
+        "operations:        {} queries, {} observations",
+        stats.queries, stats.observations
+    );
+    let _ = writeln!(
+        out,
+        "queries/sec:       {:.0}",
+        stats.queries as f64 / elapsed
+    );
+    let _ = writeln!(
+        out,
+        "feedback/sec:      {:.0} (in {} batches)",
+        stats.applied as f64 / elapsed,
+        stats.batches
+    );
+    match svc.snapshot() {
+        Ok(doc) => {
+            let _ = writeln!(out, "similarity groups: {}", doc.state.group_count());
+            if let Some(path) = args.get("snapshot-out") {
+                doc.write_to(std::path::Path::new(path))
+                    .map_err(|e| CliError::new(format!("cannot write {path}: {e}")))?;
+                let _ = writeln!(out, "snapshot:          wrote {path}");
+            }
+        }
+        Err(_) if args.get("snapshot-out").is_some() => {
+            return Err(CliError::new(format!(
+                "--snapshot-out: estimator {} does not support snapshots",
+                spec.name()
+            )));
+        }
+        Err(_) => {}
+    }
+    Ok(out)
+}
+
+/// `resmatch snapshot info <file.rsnp>` — inspect a service snapshot file.
+pub fn cmd_snapshot(tokens: Vec<String>) -> CliResult<String> {
+    use std::fmt::Write as _;
+    let args = ArgSpec::new().parse(tokens)?;
+    match args.positional(0) {
+        Some("info") => {
+            let path = args
+                .positional(1)
+                .ok_or_else(|| CliError::new("usage: resmatch snapshot info <file.rsnp>"))?;
+            let doc = SnapshotDocument::read_from(std::path::Path::new(path))
+                .map_err(|e| CliError::new(format!("cannot read {path}: {e}")))?;
+            let mut out = String::new();
+            let _ = writeln!(out, "file:           {path}");
+            let _ = writeln!(out, "estimator:      {}", doc.estimator);
+            let _ = writeln!(out, "state kind:     {}", doc.state.kind());
+            let _ = writeln!(out, "groups:         {}", doc.state.group_count());
+            let _ = writeln!(out, "shards at save: {}", doc.shards_at_save);
+            Ok(out)
+        }
+        Some(other) => Err(CliError::new(format!(
+            "unknown snapshot action {other:?}; try `resmatch snapshot info <file>`"
+        ))),
+        None => Err(CliError::new("usage: resmatch snapshot info <file.rsnp>")),
+    }
+}
+
 /// Usage text.
 pub fn usage() -> String {
     "resmatch — resource matching with estimation of actual job requirements\n\
@@ -257,6 +371,10 @@ pub fn usage() -> String {
      resmatch sweep    [trace.swf | --synthetic N] [--loads 0.2,0.4,...]\n\
      \x20                [--cluster ...] [--estimator NAME] [--csv out.csv]\n\
      \x20                [--progress]\n\
+     resmatch serve    --ops N --groups G [--shards S] [--batch B]\n\
+     \x20                [--estimator NAME] [--seed S] [--cluster ...]\n\
+     \x20                [--snapshot-out state.rsnp]\n\
+     resmatch snapshot info <file.rsnp>\n\
      \n\
      Estimators: pass-through, oracle, successive, last-instance, regression,\n\
      \x20           reinforcement, robust, multi-resource, quantile, adaptive,\n\
@@ -275,6 +393,8 @@ pub fn dispatch(mut argv: Vec<String>) -> CliResult<String> {
         "analyze" => cmd_analyze(argv),
         "simulate" => cmd_simulate(argv),
         "sweep" => cmd_sweep(argv),
+        "serve" => cmd_serve(argv),
+        "snapshot" => cmd_snapshot(argv),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError::new(format!(
             "unknown subcommand {other:?}; try `resmatch help`"
@@ -353,6 +473,80 @@ mod tests {
             .unwrap_err()
             .message
             .contains("unknown subcommand"));
+    }
+
+    #[test]
+    fn serve_reports_throughput_and_groups() {
+        let out = cmd_serve(toks(
+            "--ops 3000 --groups 200 --shards 4 --batch 64 --seed 9",
+        ))
+        .unwrap();
+        assert!(
+            out.contains("estimator:         successive-approximation"),
+            "{out}"
+        );
+        assert!(out.contains("queries/sec:"), "{out}");
+        assert!(out.contains("3000 queries, 3000 observations"), "{out}");
+        assert!(out.contains("similarity groups:"), "{out}");
+    }
+
+    #[test]
+    fn serve_snapshot_out_then_snapshot_info_round_trip() {
+        let dir = std::env::temp_dir().join("resmatch_cli_serve_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.rsnp");
+        let msg = cmd_serve(toks(&format!(
+            "--ops 2000 --groups 150 --snapshot-out {}",
+            path.display()
+        )))
+        .unwrap();
+        assert!(msg.contains("snapshot:          wrote"), "{msg}");
+        let info = cmd_snapshot(toks(&format!("info {}", path.display()))).unwrap();
+        assert!(
+            info.contains("estimator:      successive-approximation"),
+            "{info}"
+        );
+        assert!(info.contains("state kind:     successive-v1"), "{info}");
+        assert!(info.contains("shards at save: 8"), "{info}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serve_rejects_snapshot_out_for_stateless_estimators() {
+        let err = cmd_serve(toks(
+            "--ops 100 --groups 10 --estimator pass-through --snapshot-out /tmp/resmatch_noop.rsnp",
+        ))
+        .unwrap_err();
+        assert!(
+            err.message.contains("does not support snapshots"),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn serve_rejects_zero_groups() {
+        let err = cmd_serve(toks("--ops 100 --groups 0")).unwrap_err();
+        assert!(err.message.contains("--groups"), "{err:?}");
+    }
+
+    #[test]
+    fn snapshot_info_errors() {
+        assert!(cmd_snapshot(Vec::new())
+            .unwrap_err()
+            .message
+            .contains("usage"));
+        assert!(cmd_snapshot(toks("info"))
+            .unwrap_err()
+            .message
+            .contains("usage"));
+        assert!(cmd_snapshot(toks("info /nonexistent/x.rsnp"))
+            .unwrap_err()
+            .message
+            .contains("cannot read"));
+        assert!(cmd_snapshot(toks("frobnicate"))
+            .unwrap_err()
+            .message
+            .contains("unknown snapshot action"));
     }
 
     #[test]

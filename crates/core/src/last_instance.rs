@@ -19,8 +19,10 @@ use std::collections::VecDeque;
 
 use resmatch_cluster::Demand;
 use resmatch_workload::Job;
+use serde::{Deserialize, Serialize};
 
-use crate::similarity::{GroupTable, SimilarityPolicy};
+use crate::similarity::{GroupTable, SimilarityKey, SimilarityPolicy};
+use crate::snapshot::{SnapshotError, SnapshotState};
 use crate::traits::{EstimateContext, EstimateScope, Feedback, ResourceEstimator};
 
 /// Tunables for [`LastInstance`].
@@ -52,6 +54,19 @@ struct GroupState {
     poisoned: bool,
 }
 
+/// A persisted group: key plus the observation window and poison bit, the
+/// durable form of [`LastInstance`]'s per-group state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PersistedLastGroup {
+    /// Similarity key the state belongs to.
+    pub key: SimilarityKey,
+    /// Recent successful peak usages, oldest first (at most `window`).
+    pub recent_used_kb: Vec<u64>,
+    /// Whether the group is poisoned (reverting to the request) pending a
+    /// clean run.
+    pub poisoned: bool,
+}
+
 /// The last-instance estimator.
 pub struct LastInstance {
     cfg: LastInstanceConfig,
@@ -76,6 +91,41 @@ impl LastInstance {
     /// Number of groups observed.
     pub fn group_count(&self) -> usize {
         self.groups.len()
+    }
+
+    /// Export every group's observation window, sorted by key for
+    /// deterministic output.
+    pub fn export_state(&self) -> Vec<PersistedLastGroup> {
+        let mut out: Vec<PersistedLastGroup> = self
+            .groups
+            .iter()
+            .map(|(key, g)| PersistedLastGroup {
+                key: *key,
+                recent_used_kb: g.recent_used_kb.iter().copied().collect(),
+                poisoned: g.poisoned,
+            })
+            .collect();
+        out.sort_by_key(|e| e.key);
+        out
+    }
+
+    /// Restore previously exported state (replacing any existing entry for
+    /// the same key). Windows longer than the configured `window` keep
+    /// their most recent entries.
+    pub fn import_state(&mut self, entries: &[PersistedLastGroup]) {
+        for e in entries {
+            let mut recent: VecDeque<u64> = e.recent_used_kb.iter().copied().collect();
+            while recent.len() > self.cfg.window {
+                recent.pop_front();
+            }
+            self.groups.insert_key(
+                e.key,
+                GroupState {
+                    recent_used_kb: recent,
+                    poisoned: e.poisoned,
+                },
+            );
+        }
     }
 }
 
@@ -142,6 +192,25 @@ impl ResourceEstimator for LastInstance {
         // The usage window and poison bit live per group; feedback only
         // mutates the fed-back job's own group.
         EstimateScope::Group(self.groups.policy().key(job).stable_hash())
+    }
+
+    fn snapshot_state(&self) -> Option<SnapshotState> {
+        Some(SnapshotState::LastInstanceV1 {
+            groups: self.export_state(),
+        })
+    }
+
+    fn restore_state(&mut self, state: SnapshotState) -> Result<(), SnapshotError> {
+        match state {
+            SnapshotState::LastInstanceV1 { groups } => {
+                self.import_state(&groups);
+                Ok(())
+            }
+            other => Err(SnapshotError::Mismatch {
+                expected: "last-instance-v1",
+                found: other.kind(),
+            }),
+        }
     }
 }
 
@@ -278,6 +347,76 @@ mod tests {
         assert_eq!(e.estimate(&a, &ctx).mem_kb, 1_000);
         assert_eq!(e.estimate(&b, &ctx).mem_kb, 32_768);
         assert_eq!(e.group_count(), 2);
+    }
+
+    #[test]
+    fn state_round_trips_across_restart() {
+        let mut before = LastInstance::new(LastInstanceConfig {
+            window: 3,
+            ..LastInstanceConfig::default()
+        });
+        let ctx = EstimateContext::default();
+        let j = job(0);
+        for used in [4_000, 9_000, 6_000] {
+            let d = before.estimate(&j, &ctx);
+            before.feedback(&j, &d, &explicit_ok(used), &ctx);
+        }
+        let state = before.export_state();
+        assert_eq!(state.len(), 1);
+        assert_eq!(state[0].recent_used_kb, vec![4_000, 9_000, 6_000]);
+
+        let mut after = LastInstance::new(LastInstanceConfig {
+            window: 3,
+            ..LastInstanceConfig::default()
+        });
+        after.import_state(&state);
+        assert_eq!(
+            after.estimate(&j, &ctx).mem_kb,
+            before.estimate(&j, &ctx).mem_kb
+        );
+        assert_eq!(after.export_state(), state);
+    }
+
+    #[test]
+    fn import_truncates_oversized_windows_to_recent() {
+        let mut donor = LastInstance::new(LastInstanceConfig {
+            window: 3,
+            ..LastInstanceConfig::default()
+        });
+        let ctx = EstimateContext::default();
+        let j = job(0);
+        for used in [9_000, 4_000, 3_000] {
+            let d = donor.estimate(&j, &ctx);
+            donor.feedback(&j, &d, &explicit_ok(used), &ctx);
+        }
+        // Restore into a narrower window: only the most recent survive,
+        // so the stale 9_000 peak is dropped.
+        let mut narrow = LastInstance::new(LastInstanceConfig {
+            window: 2,
+            ..LastInstanceConfig::default()
+        });
+        narrow.import_state(&donor.export_state());
+        assert_eq!(narrow.estimate(&j, &ctx).mem_kb, 4_000);
+    }
+
+    #[test]
+    fn snapshot_state_round_trips_via_trait() {
+        let mut before = LastInstance::new(LastInstanceConfig::default());
+        let ctx = EstimateContext::default();
+        let j = job(0);
+        let d = before.estimate(&j, &ctx);
+        before.feedback(&j, &d, &explicit_ok(5_000), &ctx);
+        let state = before.snapshot_state().expect("last-instance snapshots");
+
+        let mut after = LastInstance::new(LastInstanceConfig::default());
+        after.restore_state(state).expect("matching kind restores");
+        assert_eq!(after.estimate(&j, &ctx).mem_kb, 5_000);
+
+        let wrong = crate::snapshot::SnapshotState::SuccessiveV1 { groups: Vec::new() };
+        assert!(matches!(
+            after.restore_state(wrong),
+            Err(SnapshotError::Mismatch { .. })
+        ));
     }
 
     #[test]

@@ -59,6 +59,8 @@ pub mod reinforcement;
 pub mod robust;
 pub mod selector;
 pub mod similarity;
+pub mod snapshot;
+pub mod spec;
 pub mod successive;
 pub mod traits;
 pub mod warm_start;
@@ -75,6 +77,8 @@ pub mod prelude {
     pub use crate::robust::{RobustBisection, RobustConfig};
     pub use crate::selector::{EstimatorSelector, SelectorConfig};
     pub use crate::similarity::SimilarityPolicy;
+    pub use crate::snapshot::{SnapshotError, SnapshotState};
+    pub use crate::spec::{EstimatorSpec, ParseEstimatorError};
     pub use crate::successive::{SuccessiveApproximation, SuccessiveConfig};
     pub use crate::traits::{EstimateContext, EstimateScope, Feedback, ResourceEstimator};
     pub use crate::warm_start::{WarmStartConfig, WarmStartEstimator};

@@ -9,16 +9,18 @@ use std::fmt;
 use std::str::FromStr;
 
 use resmatch_cluster::CapacityLadder;
-use resmatch_core::adaptive::{AdaptiveConfig, AdaptiveSimilarity};
-use resmatch_core::last_instance::{LastInstance, LastInstanceConfig};
-use resmatch_core::multi::{MultiResourceConfig, MultiResourceEstimator};
-use resmatch_core::quantile::{QuantileConfig, QuantileEstimator};
-use resmatch_core::regression::{RegressionConfig, RegressionEstimator};
-use resmatch_core::reinforcement::{ReinforcementConfig, ReinforcementEstimator};
-use resmatch_core::robust::{RobustBisection, RobustConfig};
-use resmatch_core::successive::{SuccessiveApproximation, SuccessiveConfig};
-use resmatch_core::warm_start::{WarmStartConfig, WarmStartEstimator};
-use resmatch_core::{Oracle, PassThrough, ResourceEstimator};
+
+use crate::adaptive::{AdaptiveConfig, AdaptiveSimilarity};
+use crate::baseline::{Oracle, PassThrough};
+use crate::last_instance::{LastInstance, LastInstanceConfig};
+use crate::multi::{MultiResourceConfig, MultiResourceEstimator};
+use crate::quantile::{QuantileConfig, QuantileEstimator};
+use crate::regression::{RegressionConfig, RegressionEstimator};
+use crate::reinforcement::{ReinforcementConfig, ReinforcementEstimator};
+use crate::robust::{RobustBisection, RobustConfig};
+use crate::successive::{SuccessiveApproximation, SuccessiveConfig};
+use crate::traits::ResourceEstimator;
+use crate::warm_start::{WarmStartConfig, WarmStartEstimator};
 
 /// Every estimator the workspace provides, with its configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,7 +48,7 @@ pub enum EstimatorSpec {
     Adaptive(AdaptiveConfig),
     /// Regression-seeded successive approximation (§4 future work). Built
     /// untrained; it arms its prior from explicit feedback online (run it
-    /// under [`crate::engine::FeedbackMode::Explicit`]).
+    /// under the simulator's explicit feedback mode).
     WarmStart(WarmStartConfig),
 }
 

@@ -30,6 +30,7 @@ use resmatch_workload::Job;
 use serde::{Deserialize, Serialize};
 
 use crate::similarity::{GroupTable, SimilarityKey, SimilarityPolicy};
+use crate::snapshot::{SnapshotError, SnapshotState};
 use crate::traits::{EstimateContext, EstimateScope, Feedback, ResourceEstimator};
 
 /// Tunables of Algorithm 1.
@@ -302,6 +303,25 @@ impl ResourceEstimator for SuccessiveApproximation {
         // estimates), so feedback in one group cannot move another group's
         // estimate.
         EstimateScope::Group(self.groups.policy().key(job).stable_hash())
+    }
+
+    fn snapshot_state(&self) -> Option<SnapshotState> {
+        Some(SnapshotState::SuccessiveV1 {
+            groups: self.export_state(),
+        })
+    }
+
+    fn restore_state(&mut self, state: SnapshotState) -> Result<(), SnapshotError> {
+        match state {
+            SnapshotState::SuccessiveV1 { groups } => {
+                self.import_state(&groups);
+                Ok(())
+            }
+            other => Err(SnapshotError::Mismatch {
+                expected: "successive-v1",
+                found: other.kind(),
+            }),
+        }
     }
 }
 

@@ -10,6 +10,8 @@
 use resmatch_cluster::Demand;
 use resmatch_workload::Job;
 
+use crate::snapshot::{SnapshotError, SnapshotState};
+
 /// Scheduler-side context available at estimation time. Similarity-based
 /// estimators ignore it; the reinforcement-learning estimator conditions its
 /// policy on it (the paper's §4: "the status of each node ... and the
@@ -155,6 +157,30 @@ pub trait ResourceEstimator: Send {
     fn estimate_scope(&self, job: &Job) -> EstimateScope {
         let _ = job;
         EstimateScope::Global
+    }
+
+    /// Export this estimator's durable learning state, or `None` when it
+    /// keeps nothing worth persisting (stateless baselines) or does not
+    /// implement snapshotting. See [`SnapshotState`] for the portability
+    /// and versioning contract.
+    fn snapshot_state(&self) -> Option<SnapshotState> {
+        None
+    }
+
+    /// Replace this estimator's learning state with a previously exported
+    /// snapshot. Restoring must be exact: after
+    /// `b.restore_state(a.snapshot_state()...)`, `b` serves the same
+    /// estimates `a` would.
+    ///
+    /// # Errors
+    /// [`SnapshotError::Unsupported`] when the estimator does not snapshot
+    /// (the default), [`SnapshotError::Mismatch`] when `state` belongs to a
+    /// different estimator family.
+    fn restore_state(&mut self, state: SnapshotState) -> Result<(), SnapshotError> {
+        let _ = state;
+        Err(SnapshotError::Unsupported {
+            estimator: self.name(),
+        })
     }
 }
 

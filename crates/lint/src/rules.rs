@@ -60,7 +60,9 @@ impl Rule {
             Rule::Determinism => {
                 "determinism — the paper's figures only reproduce if a fixed seed \
                  yields bit-identical results, so result-producing crates (sim, core, \
-                 cluster) must not consult nondeterministic state.\n\n\
+                 cluster, service) must not consult nondeterministic state — the \
+                 service additionally relies on it for shard-invariant routing and \
+                 snapshot fidelity.\n\n\
                  Flagged in non-test library code of those crates:\n\
                  \x20 - HashMap::new / HashSet::new / with_capacity (SipHash with a \
                  per-process random key; iteration order varies run to run). Use \
@@ -97,7 +99,7 @@ impl Rule {
                 "crate-hygiene — every workspace crate root must carry \
                  #![forbid(unsafe_code)] (the workspace is safe Rust end to end, \
                  and forbid cannot be overridden downstream). The public-API \
-                 crates sim, core, workload, cluster, stats, and repro must \
+                 crates sim, core, workload, cluster, stats, repro, and service must \
                  additionally carry #![deny(missing_docs)]: their rustdoc is \
                  the contract estimator, observer, workload, and reproduction \
                  code is written against."
@@ -106,7 +108,7 @@ impl Rule {
                 "float-cmp — exact `==`/`!=` against float literals silently \
                  breaks under rounding drift and reads as a bug even where it is \
                  intentional. Flagged in non-test library code of sim, core, \
-                 cluster, and workload. Use ordered comparisons, integer/bit \
+                 cluster, workload, and service. Use ordered comparisons, integer/bit \
                  representations, or the helpers in resmatch-stats (the approved \
                  comparison-helper crate, exempt from this rule). A deliberate \
                  exact comparison (e.g. an exact-zero divisor guard) takes \
@@ -166,13 +168,14 @@ pub struct Violation {
 }
 
 /// Crates whose library code must be deterministic.
-const DETERMINISM_CRATES: [&str; 3] = ["sim", "core", "cluster"];
+const DETERMINISM_CRATES: [&str; 4] = ["sim", "core", "cluster", "service"];
 /// Crates whose library code is subject to the float-comparison rule.
 /// `stats` is the approved comparison-helper crate and deliberately absent.
-const FLOAT_CMP_CRATES: [&str; 4] = ["sim", "core", "cluster", "workload"];
+const FLOAT_CMP_CRATES: [&str; 5] = ["sim", "core", "cluster", "workload", "service"];
 /// Crates whose public API must be fully documented.
-const DENY_MISSING_DOCS_CRATES: [&str; 6] =
-    ["sim", "core", "workload", "cluster", "stats", "repro"];
+const DENY_MISSING_DOCS_CRATES: [&str; 7] = [
+    "sim", "core", "workload", "cluster", "stats", "repro", "service",
+];
 
 /// Compute, per token index, whether the token sits inside `#[cfg(test)]`
 /// (or `#[cfg(…test…)]` without `not`) gated code. Attribute + following

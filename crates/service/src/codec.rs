@@ -1,0 +1,383 @@
+//! The snapshot wire format: a compact little-endian binary codec.
+//!
+//! [`BinWriter`] and [`BinReader`] implement the `serde` driver traits over
+//! a byte buffer. The encoding is *schema-static*: struct and field markers
+//! occupy zero bytes because both sides walk the same type structure, so
+//! all that lands on the wire is primitives (fixed-width little-endian),
+//! length prefixes for sequences and strings (`u64`), option discriminants
+//! (one byte), and enum variant indices (`u32`).
+//!
+//! That makes the format exactly as durable as the type definitions it
+//! serializes — which is why [`crate::file`] stamps a format version in the
+//! file header and `SnapshotState` freezes each variant's field set once
+//! released.
+//!
+//! Decoding never panics: every read is bounds-checked and surfaces as a
+//! [`ServiceError::Codec`] carrying the byte offset of the failure.
+
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+use crate::error::ServiceError;
+
+/// Encode `value` into the binary snapshot format.
+pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Vec<u8> {
+    let mut writer = BinWriter::new();
+    match value.serialize(&mut writer) {
+        Ok(()) => writer.into_bytes(),
+        // The writer's error type is uninhabited: encoding cannot fail.
+        Err(never) => match never {},
+    }
+}
+
+/// Decode a value from the binary snapshot format, requiring that `bytes`
+/// contains exactly one value and nothing else.
+///
+/// # Errors
+/// [`ServiceError::Codec`] when the input is truncated, malformed, decodes
+/// to out-of-range data, or leaves trailing bytes.
+pub fn from_bytes<T>(bytes: &[u8]) -> Result<T, ServiceError>
+where
+    T: for<'de> Deserialize<'de>,
+{
+    let mut reader = BinReader::new(bytes);
+    let value = T::deserialize(&mut reader)?;
+    if reader.position() != bytes.len() {
+        return Err(ServiceError::Codec {
+            offset: reader.position(),
+            detail: "trailing bytes after value".to_string(),
+        });
+    }
+    Ok(value)
+}
+
+/// Streaming encoder: appends the flat event stream to a growable buffer.
+#[derive(Debug, Default)]
+pub struct BinWriter {
+    buf: Vec<u8>,
+}
+
+impl BinWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        BinWriter::default()
+    }
+
+    /// Finish and hand back the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+impl Serializer for BinWriter {
+    // Writing to an in-memory buffer cannot fail.
+    type Error = std::convert::Infallible;
+
+    fn serialize_bool(&mut self, v: bool) -> Result<(), Self::Error> {
+        self.buf.push(u8::from(v));
+        Ok(())
+    }
+
+    fn serialize_u64(&mut self, v: u64) -> Result<(), Self::Error> {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_i64(&mut self, v: i64) -> Result<(), Self::Error> {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_f64(&mut self, v: f64) -> Result<(), Self::Error> {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_str(&mut self, v: &str) -> Result<(), Self::Error> {
+        self.buf.extend_from_slice(&(v.len() as u64).to_le_bytes());
+        self.buf.extend_from_slice(v.as_bytes());
+        Ok(())
+    }
+
+    fn serialize_none(&mut self) -> Result<(), Self::Error> {
+        self.buf.push(0);
+        Ok(())
+    }
+
+    fn serialize_some(&mut self) -> Result<(), Self::Error> {
+        self.buf.push(1);
+        Ok(())
+    }
+
+    fn begin_seq(&mut self, len: usize) -> Result<(), Self::Error> {
+        self.buf.extend_from_slice(&(len as u64).to_le_bytes());
+        Ok(())
+    }
+
+    fn end_seq(&mut self) -> Result<(), Self::Error> {
+        Ok(())
+    }
+
+    fn begin_struct(&mut self, _name: &'static str, _fields: usize) -> Result<(), Self::Error> {
+        Ok(())
+    }
+
+    fn serialize_field(&mut self, _name: &'static str) -> Result<(), Self::Error> {
+        Ok(())
+    }
+
+    fn end_struct(&mut self) -> Result<(), Self::Error> {
+        Ok(())
+    }
+
+    fn begin_variant(
+        &mut self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _fields: usize,
+    ) -> Result<(), Self::Error> {
+        self.buf.extend_from_slice(&variant_index.to_le_bytes());
+        Ok(())
+    }
+
+    fn end_variant(&mut self) -> Result<(), Self::Error> {
+        Ok(())
+    }
+}
+
+/// Streaming decoder over a byte slice, tracking its read offset for
+/// error reporting.
+#[derive(Debug)]
+pub struct BinReader<'de> {
+    bytes: &'de [u8],
+    pos: usize,
+}
+
+impl<'de> BinReader<'de> {
+    /// A reader positioned at the start of `bytes`.
+    pub fn new(bytes: &'de [u8]) -> Self {
+        BinReader { bytes, pos: 0 }
+    }
+
+    /// Current read offset, for trailing-bytes checks and diagnostics.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn fail(&self, detail: &str) -> ServiceError {
+        ServiceError::Codec {
+            offset: self.pos,
+            detail: detail.to_string(),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'de [u8], ServiceError> {
+        let end = match self.pos.checked_add(n) {
+            Some(end) if end <= self.bytes.len() => end,
+            _ => return Err(self.fail("unexpected end of input")),
+        };
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], ServiceError> {
+        let slice = self.take(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(slice);
+        Ok(out)
+    }
+
+    /// Read a length prefix and sanity-check it against the bytes left:
+    /// every counted item occupies at least `min_item_bytes`, so a corrupt
+    /// length cannot force a huge allocation or a long decode loop.
+    fn take_len(&mut self, min_item_bytes: usize, what: &str) -> Result<usize, ServiceError> {
+        let wide = u64::from_le_bytes(self.take_array()?);
+        let len = usize::try_from(wide).map_err(|_| self.fail(what))?;
+        let remaining = self.bytes.len() - self.pos;
+        match len.checked_mul(min_item_bytes.max(1)) {
+            Some(total) if total <= remaining => Ok(len),
+            _ => Err(self.fail(what)),
+        }
+    }
+}
+
+impl<'de> Deserializer<'de> for BinReader<'de> {
+    type Error = ServiceError;
+
+    fn deserialize_bool(&mut self) -> Result<bool, Self::Error> {
+        match self.take_array::<1>()? {
+            [0] => Ok(false),
+            [1] => Ok(true),
+            _ => Err(self.fail("bool")),
+        }
+    }
+
+    fn deserialize_u64(&mut self) -> Result<u64, Self::Error> {
+        Ok(u64::from_le_bytes(self.take_array()?))
+    }
+
+    fn deserialize_i64(&mut self) -> Result<i64, Self::Error> {
+        Ok(i64::from_le_bytes(self.take_array()?))
+    }
+
+    fn deserialize_f64(&mut self) -> Result<f64, Self::Error> {
+        Ok(f64::from_bits(u64::from_le_bytes(self.take_array()?)))
+    }
+
+    fn deserialize_string(&mut self) -> Result<String, Self::Error> {
+        let len = self.take_len(1, "string length")?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| self.fail("string is not UTF-8"))
+    }
+
+    fn deserialize_option(&mut self) -> Result<bool, Self::Error> {
+        match self.take_array::<1>()? {
+            [0] => Ok(false),
+            [1] => Ok(true),
+            _ => Err(self.fail("option discriminant")),
+        }
+    }
+
+    fn begin_seq(&mut self) -> Result<usize, Self::Error> {
+        self.take_len(1, "sequence length")
+    }
+
+    fn end_seq(&mut self) -> Result<(), Self::Error> {
+        Ok(())
+    }
+
+    fn begin_struct(&mut self, _name: &'static str, _fields: usize) -> Result<(), Self::Error> {
+        Ok(())
+    }
+
+    fn deserialize_field(&mut self, _name: &'static str) -> Result<(), Self::Error> {
+        Ok(())
+    }
+
+    fn end_struct(&mut self) -> Result<(), Self::Error> {
+        Ok(())
+    }
+
+    fn begin_variant(
+        &mut self,
+        name: &'static str,
+        variants: &'static [&'static str],
+    ) -> Result<u32, Self::Error> {
+        let index = u32::from_le_bytes(self.take_array()?);
+        if (index as usize) < variants.len() {
+            Ok(index)
+        } else {
+            Err(ServiceError::Codec {
+                offset: self.pos,
+                detail: format!("variant index {index} out of range for enum {name}"),
+            })
+        }
+    }
+
+    fn end_variant(&mut self) -> Result<(), Self::Error> {
+        Ok(())
+    }
+
+    fn invalid_data(&mut self, what: &'static str) -> Self::Error {
+        self.fail(what)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resmatch_core::similarity::SimilarityPolicy;
+    use resmatch_core::snapshot::SnapshotState;
+    use resmatch_core::successive::PersistedGroup;
+    use resmatch_workload::job::JobBuilder;
+
+    fn round_trip<T>(value: &T) -> T
+    where
+        T: Serialize + for<'de> Deserialize<'de>,
+    {
+        from_bytes(&to_bytes(value)).expect("round trip")
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(round_trip(&0u64), 0);
+        assert_eq!(round_trip(&u64::MAX), u64::MAX);
+        assert_eq!(round_trip(&-42i64), -42);
+        assert!(round_trip(&true));
+        assert_eq!(round_trip(&2.5f64).to_bits(), 2.5f64.to_bits());
+        assert_eq!(round_trip(&String::from("snapshot")), "snapshot");
+        assert_eq!(round_trip(&Some(7u32)), Some(7));
+        assert_eq!(round_trip(&None::<u64>), None);
+        assert_eq!(round_trip(&vec![1u64, 2, 3]), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn snapshot_state_round_trips() {
+        let key = SimilarityPolicy::UserAppRequest.key(
+            &JobBuilder::new(1)
+                .user(3)
+                .app(4)
+                .requested_mem_kb(32 * 1024)
+                .build(),
+        );
+        let state = SnapshotState::SuccessiveV1 {
+            groups: vec![PersistedGroup {
+                key,
+                estimate_kb: 8.0 * 1024.0,
+                alpha: 2.0,
+                prev_kb: 16.0 * 1024.0,
+                request_kb: 32.0 * 1024.0,
+                successes: 5,
+                failures: 1,
+            }],
+        };
+        assert_eq!(round_trip(&state), state);
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let bytes = to_bytes(&12345u64);
+        let err = from_bytes::<u64>(&bytes[..4]).unwrap_err();
+        assert!(matches!(err, ServiceError::Codec { .. }));
+    }
+
+    #[test]
+    fn trailing_bytes_are_an_error() {
+        let mut bytes = to_bytes(&1u64);
+        bytes.push(0xFF);
+        let err = from_bytes::<u64>(&bytes).unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn corrupt_length_prefix_is_rejected_early() {
+        // A sequence claiming u64::MAX elements must fail the plausibility
+        // check instead of looping or allocating.
+        let bytes = u64::MAX.to_le_bytes().to_vec();
+        let err = from_bytes::<Vec<u64>>(&bytes).unwrap_err();
+        assert!(matches!(err, ServiceError::Codec { .. }));
+    }
+
+    #[test]
+    fn corrupt_bool_and_option_are_rejected() {
+        assert!(from_bytes::<bool>(&[7]).is_err());
+        assert!(from_bytes::<Option<u64>>(&[9]).is_err());
+    }
+
+    #[test]
+    fn bad_variant_index_is_rejected() {
+        // SnapshotState has two variants; index 250 is out of range.
+        let bytes = 250u32.to_le_bytes().to_vec();
+        let err = from_bytes::<SnapshotState>(&bytes).unwrap_err();
+        assert!(err.to_string().contains("variant index 250"));
+    }
+
+    #[test]
+    fn non_utf8_string_is_rejected() {
+        let mut bytes = 2u64.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0xFF, 0xFE]);
+        let err = from_bytes::<String>(&bytes).unwrap_err();
+        assert!(err.to_string().contains("UTF-8"));
+    }
+}

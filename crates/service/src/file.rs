@@ -1,0 +1,185 @@
+//! Versioned snapshot files: `RSNP` magic, format version, then the
+//! codec-encoded document.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"RSNP"
+//! 4       4     format version (currently 1)
+//! 8       ..    body: SnapshotDocument via crate::codec
+//! ```
+//!
+//! The version covers the *codec and document layout*; estimator-family
+//! layout changes are versioned one level down, by `SnapshotState` variant
+//! (`SuccessiveV1`, ...). A build refuses files with a newer format version
+//! instead of misreading them.
+
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use resmatch_core::snapshot::SnapshotState;
+
+use crate::codec;
+use crate::error::ServiceError;
+
+/// File magic: "Resmatch SNaPshot".
+pub const MAGIC: [u8; 4] = *b"RSNP";
+
+/// Current snapshot file format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Everything a snapshot file carries besides the raw estimator state:
+/// which estimator family wrote it and how the writing service was
+/// sharded (informational — restore re-partitions for any shard count).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotDocument {
+    /// `EstimatorSpec::name()` of the estimator that produced the state.
+    pub estimator: String,
+    /// Shard count of the service at save time.
+    pub shards_at_save: u32,
+    /// The portable estimator state.
+    pub state: SnapshotState,
+}
+
+impl SnapshotDocument {
+    /// Encode into the on-disk byte layout (header + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&codec::to_bytes(self));
+        bytes
+    }
+
+    /// Decode from the on-disk byte layout.
+    ///
+    /// # Errors
+    /// [`ServiceError::BadMagic`] for non-snapshot files,
+    /// [`ServiceError::UnsupportedVersion`] for files from a newer build,
+    /// [`ServiceError::Codec`] for truncated or corrupt bodies.
+    pub fn decode(bytes: &[u8]) -> Result<SnapshotDocument, ServiceError> {
+        let Some((magic, rest)) = bytes.split_at_checked(MAGIC.len()) else {
+            return Err(ServiceError::BadMagic);
+        };
+        if magic != MAGIC {
+            return Err(ServiceError::BadMagic);
+        }
+        let Some((version, body)) = rest.split_at_checked(4) else {
+            return Err(ServiceError::Codec {
+                offset: bytes.len(),
+                detail: "truncated version field".to_string(),
+            });
+        };
+        let mut version_bytes = [0u8; 4];
+        version_bytes.copy_from_slice(version);
+        let found = u32::from_le_bytes(version_bytes);
+        if found != FORMAT_VERSION {
+            return Err(ServiceError::UnsupportedVersion { found });
+        }
+        codec::from_bytes(body)
+    }
+
+    /// Write the encoded snapshot to `path`, atomically enough for a
+    /// single writer: the bytes are staged in memory and written in one
+    /// `fs::write` call.
+    ///
+    /// # Errors
+    /// [`ServiceError::Io`] when the file cannot be written.
+    pub fn write_to(&self, path: &Path) -> Result<(), ServiceError> {
+        std::fs::write(path, self.encode()).map_err(|err| ServiceError::Io {
+            path: path.display().to_string(),
+            detail: err.to_string(),
+        })
+    }
+
+    /// Read and decode a snapshot file.
+    ///
+    /// # Errors
+    /// [`ServiceError::Io`] when the file cannot be read, plus everything
+    /// [`SnapshotDocument::decode`] reports.
+    pub fn read_from(path: &Path) -> Result<SnapshotDocument, ServiceError> {
+        let bytes = std::fs::read(path).map_err(|err| ServiceError::Io {
+            path: path.display().to_string(),
+            detail: err.to_string(),
+        })?;
+        SnapshotDocument::decode(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> SnapshotDocument {
+        SnapshotDocument {
+            estimator: "successive-approximation".to_string(),
+            shards_at_save: 8,
+            state: SnapshotState::SuccessiveV1 { groups: Vec::new() },
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let d = doc();
+        assert_eq!(SnapshotDocument::decode(&d.encode()).expect("decodes"), d);
+    }
+
+    #[test]
+    fn header_layout_is_pinned() {
+        let bytes = doc().encode();
+        assert_eq!(&bytes[..4], b"RSNP");
+        assert_eq!(
+            u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")),
+            1
+        );
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected() {
+        let mut bytes = doc().encode();
+        bytes[0] = b'X';
+        assert_eq!(
+            SnapshotDocument::decode(&bytes).unwrap_err(),
+            ServiceError::BadMagic
+        );
+        assert_eq!(
+            SnapshotDocument::decode(b"RS").unwrap_err(),
+            ServiceError::BadMagic
+        );
+    }
+
+    #[test]
+    fn newer_version_is_rejected() {
+        let mut bytes = doc().encode();
+        bytes[4..8].copy_from_slice(&9u32.to_le_bytes());
+        assert_eq!(
+            SnapshotDocument::decode(&bytes).unwrap_err(),
+            ServiceError::UnsupportedVersion { found: 9 }
+        );
+    }
+
+    #[test]
+    fn truncated_body_is_a_codec_error() {
+        let bytes = doc().encode();
+        let err = SnapshotDocument::decode(&bytes[..bytes.len() - 2]).unwrap_err();
+        assert!(matches!(err, ServiceError::Codec { .. }));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("resmatch-service-file-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("state.rsnp");
+        let d = doc();
+        d.write_to(&path).expect("write");
+        assert_eq!(SnapshotDocument::read_from(&path).expect("read"), d);
+        let missing = dir.join("does-not-exist.rsnp");
+        assert!(matches!(
+            SnapshotDocument::read_from(&missing).unwrap_err(),
+            ServiceError::Io { .. }
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,106 @@
+//! Golden snapshot fixture: pins the on-disk wire format.
+//!
+//! `tests/fixtures/golden-successive-v1.rsnp` was produced by the
+//! (ignored) `regenerate_golden_fixture` test from a fixed, deterministic
+//! training run. The regular tests assert the current build still
+//! *decodes* that file to the expected state and still *encodes* the same
+//! state to the identical bytes — any codec or layout drift fails here
+//! before it can corrupt a deployment's snapshots.
+//!
+//! If the format changes on purpose, bump `FORMAT_VERSION`, keep decoding
+//! the old version, and regenerate with:
+//! `cargo test -p resmatch-service --test golden_snapshot -- --ignored`
+
+use std::path::PathBuf;
+
+use resmatch_cluster::{CapacityLadder, Demand};
+use resmatch_core::prelude::*;
+use resmatch_service::prelude::*;
+use resmatch_workload::job::JobBuilder;
+use resmatch_workload::Job;
+
+const MB: u64 = 1024;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden-successive-v1.rsnp")
+}
+
+/// The fixed training run behind the fixture. Fully deterministic: no RNG,
+/// no clocks, sorted state export.
+fn golden_document() -> SnapshotDocument {
+    let ladder = CapacityLadder::new(vec![32 * MB, 24 * MB, 16 * MB, 8 * MB]);
+    let cfg = ServiceConfig::new(EstimatorSpec::paper_successive(), ladder.clone())
+        .shards(8)
+        .feedback_batch(32);
+    let mut svc = EstimatorService::new(&cfg).expect("valid config");
+    for round in 0..6u64 {
+        for user in 0..40u32 {
+            let job: Job = JobBuilder::new(round * 100 + u64::from(user))
+                .user(user)
+                .app(user % 5)
+                .requested_mem_kb(32 * MB)
+                .used_mem_kb(u64::from(user % 7 + 1) * MB)
+                .build();
+            let d = svc.estimate(&job);
+            let node = ladder.round_up(d.mem_kb).unwrap_or(d.mem_kb);
+            let fb = Feedback::explicit(job.used_mem_kb <= node, Demand::memory(job.used_mem_kb));
+            svc.observe(&job, d, fb);
+        }
+    }
+    svc.snapshot().expect("successive supports snapshots")
+}
+
+#[test]
+fn golden_fixture_decodes_to_the_expected_state() {
+    let doc = SnapshotDocument::read_from(&fixture_path()).expect("fixture is checked in");
+    assert_eq!(doc.estimator, "successive-approximation");
+    assert_eq!(doc.shards_at_save, 8);
+    assert_eq!(doc.state.kind(), "successive-v1");
+    assert_eq!(doc.state.group_count(), 40);
+    assert_eq!(doc, golden_document());
+}
+
+#[test]
+fn current_encoder_reproduces_the_fixture_bytes_exactly() {
+    let on_disk = std::fs::read(fixture_path()).expect("fixture is checked in");
+    assert_eq!(
+        golden_document().encode(),
+        on_disk,
+        "wire format drifted: if intentional, bump FORMAT_VERSION and \
+         regenerate the fixture (see module docs)"
+    );
+}
+
+#[test]
+fn restored_fixture_serves_walked_down_estimates() {
+    let doc = SnapshotDocument::read_from(&fixture_path()).expect("fixture is checked in");
+    let ladder = CapacityLadder::new(vec![32 * MB, 24 * MB, 16 * MB, 8 * MB]);
+    let cfg = ServiceConfig::new(EstimatorSpec::paper_successive(), ladder);
+    let mut svc = EstimatorService::new(&cfg).expect("valid config");
+    svc.restore(doc.state).expect("same family");
+    // User 3 trained down from a 32 MB request; the restored service must
+    // estimate below the request immediately, with no warmup.
+    let job = JobBuilder::new(1)
+        .user(3)
+        .app(3)
+        .requested_mem_kb(32 * MB)
+        .used_mem_kb(4 * MB)
+        .build();
+    let d = svc.estimate(&job);
+    assert!(
+        d.mem_kb < 32 * MB,
+        "restored state did not carry learned estimates (got {} KB)",
+        d.mem_kb
+    );
+}
+
+/// Regenerates the fixture. Run explicitly after an intentional format
+/// change: `cargo test -p resmatch-service --test golden_snapshot -- --ignored`
+#[test]
+#[ignore = "writes the checked-in fixture; run only on intentional format changes"]
+fn regenerate_golden_fixture() {
+    let path = fixture_path();
+    std::fs::create_dir_all(path.parent().expect("fixture path has a parent"))
+        .expect("create fixtures dir");
+    golden_document().write_to(&path).expect("write fixture");
+}

@@ -1,0 +1,135 @@
+//! Property test: a snapshot cycle is invisible to queries.
+//!
+//! For any operation history and any shard counts, running the history,
+//! snapshotting through the full binary file format, and restoring onto a
+//! fresh service yields a service whose every future estimate matches the
+//! original's — op for op, interleaved with further learning.
+
+use proptest::prelude::*;
+use resmatch_cluster::{CapacityLadder, Demand};
+use resmatch_core::prelude::*;
+use resmatch_service::prelude::*;
+use resmatch_workload::job::JobBuilder;
+use resmatch_workload::Job;
+
+const MB: u64 = 1024;
+
+#[derive(Debug, Clone)]
+struct Op {
+    user: u32,
+    app: u32,
+    req_mb: u64,
+    used_frac: f64,
+}
+
+fn arb_ops(max: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        (0u32..40, 0u32..4, 1u64..65, 0.01f64..1.0).prop_map(|(user, app, req_mb, used_frac)| Op {
+            user,
+            app,
+            req_mb,
+            used_frac,
+        }),
+        1..max,
+    )
+}
+
+fn to_job(id: u64, op: &Op) -> Job {
+    let req = op.req_mb * MB;
+    let used = ((req as f64 * op.used_frac) as u64).max(1);
+    JobBuilder::new(id)
+        .user(op.user)
+        .app(op.app)
+        .requested_mem_kb(req)
+        .used_mem_kb(used)
+        .build()
+}
+
+fn ladder() -> CapacityLadder {
+    CapacityLadder::new(vec![64 * MB, 32 * MB, 16 * MB, 8 * MB, 4 * MB])
+}
+
+fn service(spec: EstimatorSpec, shards: usize, batch: usize) -> EstimatorService {
+    let cfg = ServiceConfig::new(spec, ladder())
+        .shards(shards)
+        .feedback_batch(batch);
+    EstimatorService::new(&cfg).expect("valid config")
+}
+
+fn step(svc: &mut EstimatorService, id: u64, op: &Op) -> u64 {
+    let job = to_job(id, op);
+    let d = svc.estimate(&job);
+    let node = ladder().round_up(d.mem_kb).unwrap_or(d.mem_kb);
+    let fb = Feedback::explicit(job.used_mem_kb <= node, Demand::memory(job.used_mem_kb));
+    svc.observe(&job, d, fb);
+    d.mem_kb
+}
+
+fn snapshot_cycle_is_invisible(
+    spec: EstimatorSpec,
+    history: &[Op],
+    probes: &[Op],
+    shards_before: usize,
+    shards_after: usize,
+    batch: usize,
+) -> Result<(), TestCaseError> {
+    let mut original = service(spec, shards_before, batch);
+    for (id, op) in history.iter().enumerate() {
+        step(&mut original, id as u64, op);
+    }
+
+    // Full cycle: snapshot -> encode -> decode -> restore.
+    let doc = original.snapshot().expect("snapshotting estimator family");
+    let decoded = SnapshotDocument::decode(&doc.encode()).expect("codec round trip");
+    prop_assert_eq!(&decoded, &doc);
+    let mut restored = service(spec, shards_after, batch);
+    restored.restore(decoded.state).expect("same family");
+
+    // Both services now serve and learn identically, step for step.
+    for (i, op) in probes.iter().enumerate() {
+        let id = (history.len() + i) as u64;
+        let want = step(&mut original, id, op);
+        let got = step(&mut restored, id, op);
+        prop_assert_eq!(
+            got,
+            want,
+            "probe {} diverged after snapshot cycle ({} -> {} shards)",
+            i,
+            shards_before,
+            shards_after
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn successive_queries_identical_across_snapshot_cycle(
+        history in arb_ops(120),
+        probes in arb_ops(60),
+        shards_before in 1usize..9,
+        shards_after in 1usize..9,
+        batch in 1usize..64,
+    ) {
+        snapshot_cycle_is_invisible(
+            EstimatorSpec::paper_successive(),
+            &history,
+            &probes,
+            shards_before,
+            shards_after,
+            batch,
+        )?;
+    }
+
+    #[test]
+    fn last_instance_queries_identical_across_snapshot_cycle(
+        history in arb_ops(120),
+        probes in arb_ops(60),
+        shards_before in 1usize..9,
+        shards_after in 1usize..9,
+        batch in 1usize..64,
+    ) {
+        let spec: EstimatorSpec = "last-instance".parse().expect("known name");
+        snapshot_cycle_is_invisible(spec, &history, &probes, shards_before, shards_after, batch)?;
+    }
+}

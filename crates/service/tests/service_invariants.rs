@@ -1,0 +1,238 @@
+//! The service's two load-bearing guarantees, end to end:
+//!
+//! 1. **Shard/batch transparency** — a service is an implementation detail:
+//!    1 shard, 8 shards, batch 1, batch 10⁶, or a bare estimator with
+//!    inline feedback all produce identical demands for the same
+//!    operation stream.
+//! 2. **Snapshot fidelity** — state round-trips through the versioned
+//!    binary file format and across *different* shard counts without
+//!    changing a single future estimate.
+
+use resmatch_cluster::{CapacityLadder, Demand};
+use resmatch_core::prelude::*;
+use resmatch_service::prelude::*;
+use resmatch_workload::synthetic::service_stream;
+use resmatch_workload::Job;
+
+const MB: u64 = 1024;
+
+fn ladder() -> CapacityLadder {
+    CapacityLadder::new(vec![64 * MB, 48 * MB, 32 * MB, 24 * MB, 16 * MB, 8 * MB])
+}
+
+/// The simulator's outcome rule: success when usage fits the granted
+/// demand's covering rung.
+fn outcome(job: &Job, granted: &Demand) -> Feedback {
+    let node = ladder().round_up(granted.mem_kb).unwrap_or(granted.mem_kb);
+    let success = job.used_mem_kb <= node;
+    Feedback::explicit(success, Demand::memory(job.used_mem_kb))
+}
+
+/// Drive a service through estimate+observe for each job; return demands.
+fn drive_service(svc: &mut EstimatorService, jobs: &[Job]) -> Vec<u64> {
+    jobs.iter()
+        .map(|job| {
+            let d = svc.estimate(job);
+            svc.observe(job, d, outcome(job, &d));
+            d.mem_kb
+        })
+        .collect()
+}
+
+/// Drive a bare estimator with inline (unbatched) feedback; return demands.
+fn drive_bare(est: &mut dyn ResourceEstimator, jobs: &[Job]) -> Vec<u64> {
+    let ctx = EstimateContext::default();
+    jobs.iter()
+        .map(|job| {
+            let d = est.estimate(job, &ctx);
+            est.feedback(job, &d, &outcome(job, &d), &ctx);
+            d.mem_kb
+        })
+        .collect()
+}
+
+fn service(spec: EstimatorSpec, shards: usize, batch: usize) -> EstimatorService {
+    let cfg = ServiceConfig::new(spec, ladder())
+        .shards(shards)
+        .feedback_batch(batch);
+    EstimatorService::new(&cfg).expect("valid config")
+}
+
+#[test]
+fn estimates_are_invariant_to_shard_count_and_batch_size() {
+    let jobs: Vec<Job> = service_stream(20_000, 1_500, 42).collect();
+    for spec in [
+        EstimatorSpec::paper_successive(),
+        "last-instance"
+            .parse::<EstimatorSpec>()
+            .expect("known name"),
+        "robust".parse::<EstimatorSpec>().expect("known name"),
+    ] {
+        let baseline = drive_bare(spec.build(&ladder()).as_mut(), &jobs);
+        for (shards, batch) in [
+            (1, 1),
+            (1, 1 << 20),
+            (8, 1),
+            (8, 256),
+            (8, 1 << 20),
+            (64, 977),
+        ] {
+            let mut svc = service(spec, shards, batch);
+            let got = drive_service(&mut svc, &jobs);
+            assert_eq!(
+                got,
+                baseline,
+                "{}: {shards} shards / batch {batch} diverged from inline feedback",
+                spec.name()
+            );
+            let stats = svc.stats();
+            assert_eq!(stats.queries, jobs.len() as u64);
+            assert_eq!(stats.observations, jobs.len() as u64);
+        }
+    }
+}
+
+#[test]
+fn sharding_actually_spreads_the_group_space() {
+    let jobs: Vec<Job> = service_stream(10_000, 2_000, 7).collect();
+    let svc = service(EstimatorSpec::paper_successive(), 8, 1024);
+    let mut per_shard = [0u64; 8];
+    for job in &jobs {
+        per_shard[svc.route(job)] += 1;
+    }
+    assert!(
+        per_shard.iter().all(|&n| n > 500),
+        "hash routing left a shard starved: {per_shard:?}"
+    );
+}
+
+#[test]
+fn snapshot_restores_across_shard_counts_and_the_file_format() {
+    let warm: Vec<Job> = service_stream(30_000, 2_500, 11).collect();
+    let probe: Vec<Job> = service_stream(5_000, 2_500, 11 + 1).collect();
+
+    for spec in [
+        EstimatorSpec::paper_successive(),
+        "last-instance"
+            .parse::<EstimatorSpec>()
+            .expect("known name"),
+    ] {
+        let mut original = service(spec, 8, 512);
+        drive_service(&mut original, &warm);
+
+        // Snapshot through the full on-disk byte layout.
+        let doc = original.snapshot().expect("snapshotting estimator");
+        assert_eq!(doc.estimator, spec.name());
+        assert_eq!(doc.shards_at_save, 8);
+        assert!(doc.state.group_count() > 1_000, "warmup built real state");
+        let decoded = SnapshotDocument::decode(&doc.encode()).expect("codec round trip");
+        assert_eq!(decoded, doc);
+
+        // Restore onto services with different shard counts; every future
+        // estimate must match the original's, op for op.
+        for shards in [1usize, 3, 8, 16] {
+            let mut restored = service(spec, shards, 512);
+            restored
+                .restore(decoded.state.clone())
+                .expect("same family");
+            let mut original_probe = original_clone_via_snapshot(&mut original, spec);
+            let want = drive_service(&mut original_probe, &probe);
+            let got = drive_service(&mut restored, &probe);
+            assert_eq!(
+                got,
+                want,
+                "{}: restore onto {shards} shards changed estimates",
+                spec.name()
+            );
+        }
+    }
+}
+
+/// Clone a warmed service by round-tripping its own snapshot — the only
+/// sanctioned way to copy estimator state.
+fn original_clone_via_snapshot(
+    svc: &mut EstimatorService,
+    spec: EstimatorSpec,
+) -> EstimatorService {
+    let doc = svc.snapshot().expect("snapshotting estimator");
+    let mut copy = service(spec, svc.shard_count(), 512);
+    copy.restore(doc.state).expect("same family");
+    copy
+}
+
+#[test]
+fn restore_rejects_the_wrong_family() {
+    let mut last = service(
+        "last-instance"
+            .parse::<EstimatorSpec>()
+            .expect("known name"),
+        2,
+        64,
+    );
+    let jobs: Vec<Job> = service_stream(100, 10, 3).collect();
+    drive_service(&mut last, &jobs);
+    let doc = last.snapshot().expect("snapshot");
+
+    let mut successive = service(EstimatorSpec::paper_successive(), 2, 64);
+    let err = successive.restore(doc.state).unwrap_err();
+    assert!(matches!(
+        err,
+        ServiceError::Snapshot(SnapshotError::Mismatch { .. })
+    ));
+}
+
+#[test]
+fn threaded_shards_match_the_single_threaded_service() {
+    // The deployment shape: split the service, drive each shard from its
+    // own thread over its slice of the (pre-routed) operation stream, then
+    // reassemble and compare against the same service driven inline.
+    let jobs: Vec<Job> = service_stream(12_000, 800, 19).collect();
+    let spec = EstimatorSpec::paper_successive();
+
+    let mut inline = service(spec, 4, 128);
+    let want = drive_service(&mut inline, &jobs);
+    let want_doc = inline.snapshot().expect("snapshot");
+
+    let svc = service(spec, 4, 128);
+    let mut slices: Vec<Vec<Job>> = vec![Vec::new(); 4];
+    for job in &jobs {
+        slices[svc.route(job)].push(job.clone());
+    }
+    let (router, shards) = svc.into_parts();
+    let mut demands: Vec<(u64, u64)> = Vec::new(); // (job id, demand)
+    let mut done: Vec<ServiceShard> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (mut shard, slice) in shards.into_iter().zip(&slices) {
+            handles.push(scope.spawn(move || {
+                let mut out = Vec::with_capacity(slice.len());
+                for job in slice {
+                    let d = shard.estimate(job);
+                    shard.observe(job, d, outcome(job, &d));
+                    out.push((job.id.0, d.mem_kb));
+                }
+                (shard, out)
+            }));
+        }
+        for handle in handles {
+            let (shard, out) = handle.join().expect("shard thread");
+            demands.extend(out);
+            done.push(shard);
+        }
+    });
+    demands.sort_unstable();
+
+    // Same demands per job id as the inline run...
+    let mut want_by_id: Vec<(u64, u64)> = jobs
+        .iter()
+        .map(|j| j.id.0)
+        .zip(want.iter().copied())
+        .collect();
+    want_by_id.sort_unstable();
+    assert_eq!(demands, want_by_id);
+
+    // ... and the reassembled service snapshots to identical state.
+    let mut rejoined = EstimatorService::from_parts(spec, router, done).expect("reassembles");
+    let doc = rejoined.snapshot().expect("snapshot");
+    assert_eq!(doc.state, want_doc.state);
+}

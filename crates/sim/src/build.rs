@@ -37,11 +37,13 @@ enum EstimatorSource {
     Boxed(Box<dyn ResourceEstimator>),
 }
 
-/// Error from [`SimulationBuilder::build`]: a required component was
-/// never supplied.
+/// The simulator crate's workspace-facing error type (formerly
+/// `BuildError`). Today every failure mode is a missing builder component;
+/// the enum is `#[non_exhaustive]` so later seams (workload validation,
+/// churn-schedule checks) can add variants without a breaking release.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
-pub enum BuildError {
+pub enum SimError {
     /// No [`SimulationBuilder::cluster`] call.
     MissingCluster,
     /// Neither [`SimulationBuilder::estimator`] nor
@@ -49,11 +51,11 @@ pub enum BuildError {
     MissingEstimator,
 }
 
-impl fmt::Display for BuildError {
+impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BuildError::MissingCluster => write!(f, "simulation builder: no cluster supplied"),
-            BuildError::MissingEstimator => {
+            SimError::MissingCluster => write!(f, "simulation builder: no cluster supplied"),
+            SimError::MissingEstimator => {
                 write!(
                     f,
                     "simulation builder: no estimator spec or implementation supplied"
@@ -63,7 +65,7 @@ impl fmt::Display for BuildError {
     }
 }
 
-impl std::error::Error for BuildError {}
+impl std::error::Error for SimError {}
 
 /// Typed, chainable construction for [`Simulation`].
 ///
@@ -137,8 +139,9 @@ impl SimulationBuilder {
         self
     }
 
-    /// Sugar for attaching a [`TraceLogObserver`], the replacement for the
-    /// deprecated `with_trace_log` flag.
+    /// Sugar for attaching a [`TraceLogObserver`], recording every
+    /// scheduling decision into the run's
+    /// [`SimResult::trace_log`](crate::metrics::SimResult::trace_log).
     pub fn trace_log(self) -> Self {
         self.observer(Box::new(TraceLogObserver::new()))
     }
@@ -146,13 +149,13 @@ impl SimulationBuilder {
     /// Assemble the [`Simulation`].
     ///
     /// # Errors
-    /// [`BuildError::MissingCluster`] or [`BuildError::MissingEstimator`]
+    /// [`SimError::MissingCluster`] or [`SimError::MissingEstimator`]
     /// when a required component was never supplied.
-    pub fn build(self) -> Result<Simulation, BuildError> {
-        let cluster = self.cluster.ok_or(BuildError::MissingCluster)?;
-        let sim = match self.estimator.ok_or(BuildError::MissingEstimator)? {
+    pub fn build(self) -> Result<Simulation, SimError> {
+        let cluster = self.cluster.ok_or(SimError::MissingCluster)?;
+        let sim = match self.estimator.ok_or(SimError::MissingEstimator)? {
             EstimatorSource::Spec(spec) => Simulation::new(self.cfg, cluster, spec),
-            EstimatorSource::Boxed(est) => Simulation::with_estimator(self.cfg, cluster, est),
+            EstimatorSource::Boxed(est) => Simulation::from_parts(self.cfg, cluster, est),
         };
         let sim = sim.with_churn(self.churn);
         Ok(self
@@ -175,13 +178,13 @@ mod tests {
     fn missing_parts_are_reported() {
         assert_eq!(
             Simulation::builder().build().err(),
-            Some(BuildError::MissingCluster)
+            Some(SimError::MissingCluster)
         );
         assert_eq!(
             Simulation::builder().cluster(cluster()).build().err(),
-            Some(BuildError::MissingEstimator)
+            Some(SimError::MissingEstimator)
         );
-        let msg = BuildError::MissingEstimator.to_string();
+        let msg = SimError::MissingEstimator.to_string();
         assert!(msg.contains("estimator"), "{msg}");
     }
 

@@ -368,17 +368,11 @@ impl Simulation {
     /// capacity ladder).
     pub fn new(cfg: SimConfig, cluster: Cluster, spec: EstimatorSpec) -> Self {
         let estimator = spec.build(&cluster.memory_ladder());
-        Simulation {
-            cfg,
-            cluster,
-            estimator,
-            churn: Vec::new(),
-            observer: None,
-        }
+        Simulation::from_parts(cfg, cluster, estimator)
     }
 
-    /// Build with a caller-provided estimator (custom implementations).
-    pub fn with_estimator(
+    /// Assemble from already-resolved parts — the builder's entry point.
+    pub(crate) fn from_parts(
         cfg: SimConfig,
         cluster: Cluster,
         estimator: Box<dyn ResourceEstimator>,
@@ -392,6 +386,20 @@ impl Simulation {
         }
     }
 
+    /// Build with a caller-provided estimator (custom implementations).
+    #[deprecated(
+        since = "0.3.0",
+        note = "use Simulation::builder().boxed_estimator(...) — named estimators should go \
+                through EstimatorSpec instead"
+    )]
+    pub fn with_estimator(
+        cfg: SimConfig,
+        cluster: Cluster,
+        estimator: Box<dyn ResourceEstimator>,
+    ) -> Self {
+        Simulation::from_parts(cfg, cluster, estimator)
+    }
+
     /// Attach an observer to the run. Attaching more than once stacks the
     /// observers into a [`MultiObserver`], called in attachment order.
     pub fn with_observer(mut self, observer: Box<dyn SimObserver>) -> Self {
@@ -400,19 +408,6 @@ impl Simulation {
             Some(existing) => Box::new(MultiObserver::pair(existing, observer)),
         });
         self
-    }
-
-    /// Record every scheduling decision into [`SimResult::trace_log`].
-    ///
-    /// Shim over attaching a
-    /// [`TraceLogObserver`](crate::observer::TraceLogObserver); fixed-seed
-    /// results are byte-identical to the historical bool-gated flag.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use Simulation::builder().trace_log() or with_observer(Box::new(TraceLogObserver::new()))"
-    )]
-    pub fn with_trace_log(self) -> Self {
-        self.with_observer(Box::new(crate::observer::TraceLogObserver::new()))
     }
 
     /// Attach a dynamic-membership schedule. A job that can never run on
@@ -2258,12 +2253,12 @@ mod tests {
             .collect());
         let cluster = ClusterBuilder::new().pool(4, 32 * MB).build();
         let seen = Arc::new(Mutex::new(Vec::new()));
-        let r = Simulation::with_estimator(
-            SimConfig::default(),
-            cluster,
-            Box::new(Recorder { seen: seen.clone() }),
-        )
-        .run(&jobs);
+        let r = Simulation::builder()
+            .cluster(cluster)
+            .boxed_estimator(Box::new(Recorder { seen: seen.clone() }))
+            .build()
+            .expect("cluster and estimator are set")
+            .run(&jobs);
         assert_eq!(r.completed_jobs, 3);
         assert_eq!(
             *seen.lock().unwrap(),

@@ -42,13 +42,17 @@ pub mod observer;
 mod queue;
 mod release;
 pub mod scheduler;
-pub mod spec;
 mod store;
 pub mod tracelog;
 
+// `EstimatorSpec` moved to `resmatch_core::spec` so non-simulating callers
+// (the estimator service) can build estimators declaratively; the old
+// `resmatch_sim::spec` path keeps working through this re-export.
+pub use resmatch_core::spec;
+
 /// Common imports for simulator users.
 pub mod prelude {
-    pub use crate::build::{BuildError, SimulationBuilder};
+    pub use crate::build::{SimError, SimulationBuilder};
     pub use crate::engine::{ChurnEvent, FeedbackMode, SimArena, SimConfig, Simulation};
     pub use crate::experiment::{
         cluster_sweep_csv, load_sweep_csv, run_cluster_sweep, run_cluster_sweep_observed,

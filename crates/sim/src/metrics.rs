@@ -132,7 +132,7 @@ pub struct SimResult {
     pub wasted_node_seconds: f64,
     /// Per-decision log; empty unless a
     /// [`TraceLogObserver`](crate::observer::TraceLogObserver) was attached
-    /// (or the deprecated `with_trace_log` shim was used).
+    /// (e.g. via the builder's `.trace_log()` sugar).
     pub trace_log: crate::tracelog::TraceLog,
     /// Deterministic event counters (always tracked; see [`RunCounters`]).
     pub counters: RunCounters,

@@ -127,7 +127,7 @@ pub trait SweepObserver: Send + Sync {
 /// Reproduces the historical [`TraceLog`] through the observer layer.
 ///
 /// Attached via [`Simulation::builder`](crate::engine::Simulation::builder)
-/// (or the deprecated `with_trace_log` shim), it records exactly the
+/// (the `.trace_log()` sugar), it records exactly the
 /// entries the bool-gated implementation recorded — admissions, starts,
 /// completions, failures, churn — and moves the finished log into
 /// [`SimResult::trace_log`] when the run ends. Fixed-seed runs are

@@ -411,19 +411,6 @@ fn golden_fcfs_successive_churn_with_trace() {
         .expect("cluster and estimator are set")
         .run(&w);
     check("fcfs_successive_churn_with_trace", &r);
-
-    // The deprecated bool-flag shim must keep producing byte-identical
-    // results while it survives its deprecation window.
-    #[allow(deprecated)]
-    let shim = Simulation::new(
-        SimConfig::default(),
-        paper_cluster(24),
-        EstimatorSpec::paper_successive(),
-    )
-    .with_churn(churn)
-    .with_trace_log()
-    .run(&w);
-    check("fcfs_successive_churn_with_trace", &shim);
 }
 
 #[test]

@@ -454,6 +454,118 @@ impl Iterator for StressStream {
     }
 }
 
+/// SplitMix64 finalizer: a cheap, high-quality mix from a class index to
+/// its per-class parameters, so [`service_stream`] can derive any of
+/// millions of classes on demand instead of materializing them.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Memory rungs (KB) the service-workload classes request from.
+const SERVICE_RUNGS: [u64; 6] = [8 * MB, 16 * MB, 24 * MB, 32 * MB, 48 * MB, 64 * MB];
+
+/// Online-service workload: `ops` jobs drawn uniformly from `groups`
+/// distinct similarity classes — the "millions of users, heavy traffic"
+/// regime an estimator service faces, where the group table is the scaling
+/// axis rather than the cluster.
+///
+/// Unlike [`stress_stream`] (which materializes its 4096-class population
+/// up front), classes here are *derived on demand*: each class index maps
+/// through SplitMix64 to a stable `(user, app, requested, typical usage)`
+/// tuple, so the iterator's memory footprint is O(1) no matter how many
+/// groups the stream spans. One submitting user per class keeps the
+/// `(user, app, request)` similarity key distinct per class, so the
+/// estimator under test sees exactly `min(groups, distinct draws)` groups.
+///
+/// Deterministic for a given `(ops, groups, seed)` triple; submit times
+/// are monotone non-decreasing, so the stream can also feed the engine's
+/// streaming entry points. Exact `size_hint`.
+///
+/// # Panics
+/// Panics when `groups == 0` or `groups` exceeds `u32::MAX` (user ids are
+/// 32-bit).
+pub fn service_stream(ops: u64, groups: u64, seed: u64) -> impl Iterator<Item = Job> {
+    assert!(groups > 0, "service_stream needs at least one class");
+    assert!(
+        groups <= u64::from(u32::MAX),
+        "service_stream class count must fit a 32-bit user id"
+    );
+    ServiceStream {
+        rng: StdRng::seed_from_u64(seed),
+        class_salt: splitmix64(seed ^ 0x005E_EDCA_110F_u64),
+        groups,
+        clock_s: 0.0,
+        next_id: 0,
+        remaining: ops,
+    }
+}
+
+struct ServiceStream {
+    rng: StdRng,
+    /// Mixed into each class derivation so different seeds produce
+    /// different class populations, not just different draw orders.
+    class_salt: u64,
+    groups: u64,
+    clock_s: f64,
+    next_id: u64,
+    remaining: u64,
+}
+
+impl Iterator for ServiceStream {
+    type Item = Job;
+
+    fn next(&mut self) -> Option<Job> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+
+        // Stable per-class parameters, derived on demand.
+        let class = self.rng.random_range(0..self.groups);
+        let h = splitmix64(class.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ self.class_salt);
+        let user = class as u32;
+        let app = (h % 24) as u32;
+        let requested_mem_kb = SERVICE_RUNGS[((h >> 8) % SERVICE_RUNGS.len() as u64) as usize];
+        // Typical usage: 5%–60% of the request, clustered per class (the
+        // paper's per-group over-provisioning structure).
+        let use_fraction = 0.05 + 0.55 * ((h >> 16) % 1024) as f64 / 1024.0;
+        let base_used_kb = requested_mem_kb as f64 * use_fraction;
+        let base_runtime_s = 30.0 + ((h >> 26) % 512) as f64;
+
+        // Per-op jitter from the stream RNG.
+        let used = (base_used_kb * (0.9 + 0.2 * self.rng.random::<f64>())).round() as u64;
+        let used = used.clamp(64, requested_mem_kb);
+        let runtime_s = base_runtime_s * (0.7 + 0.6 * self.rng.random::<f64>());
+        let runtime = Time::from_secs_f64(runtime_s.max(1.0));
+        let requested_runtime = runtime.scale(1.0 + 2.0 * self.rng.random::<f64>());
+        let gap_draw: f64 = self.rng.random::<f64>().max(1e-12);
+        self.clock_s += -gap_draw.ln() * 0.05; // ~20 submissions/sec
+        self.next_id += 1;
+
+        Some(
+            JobBuilder::new(self.next_id)
+                .user(user)
+                .app(app)
+                .submit(Time::from_secs_f64(self.clock_s))
+                .runtime(runtime)
+                .requested_runtime(requested_runtime)
+                .nodes(1)
+                .requested_mem_kb(requested_mem_kb)
+                .used_mem_kb(used)
+                .status(JobStatus::Completed)
+                .build(),
+        )
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = usize::try_from(self.remaining).ok();
+        (n.unwrap_or(usize::MAX), n)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -693,6 +805,65 @@ mod tests {
     fn stress_stream_reports_exact_size_hint() {
         let s = stress_stream(123, 1);
         assert_eq!(s.size_hint(), (123, Some(123)));
+    }
+
+    #[test]
+    fn service_stream_is_deterministic_and_monotone() {
+        let a: Vec<_> = service_stream(5_000, 1_000, 42).collect();
+        let b: Vec<_> = service_stream(5_000, 1_000, 42).collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5_000);
+        assert!(a.windows(2).all(|p| p[0].submit <= p[1].submit));
+        assert!(a.iter().all(|j| j.nodes == 1));
+        assert!(a.iter().all(|j| j.request_covers_usage()));
+        assert!(a.iter().all(|j| j.used_mem_kb >= 64));
+    }
+
+    #[test]
+    fn service_stream_covers_the_class_population() {
+        // 20k draws over 1k classes: coupon-collector says essentially every
+        // class appears, and each class keeps one similarity key.
+        let jobs: Vec<_> = service_stream(20_000, 1_000, 7).collect();
+        let mut per_class: HashMap<u32, (u32, u64)> = HashMap::new();
+        for j in &jobs {
+            let entry = per_class
+                .entry(j.user)
+                .or_insert((j.app, j.requested_mem_kb));
+            assert_eq!(
+                (entry.0, entry.1),
+                (j.app, j.requested_mem_kb),
+                "class parameters must be stable per user"
+            );
+        }
+        assert!(
+            per_class.len() > 990,
+            "only {} of 1000 classes drawn",
+            per_class.len()
+        );
+        assert!(jobs.iter().all(|j| j.user < 1_000));
+    }
+
+    #[test]
+    fn service_stream_seed_changes_class_population() {
+        let a: Vec<_> = service_stream(1_000, 100, 1).collect();
+        let b: Vec<_> = service_stream(1_000, 100, 2).collect();
+        assert_ne!(a, b);
+        // Different seeds re-derive the classes themselves, not just the
+        // draw order: user 0's request should differ somewhere.
+        let req = |w: &[Job], u: u32| w.iter().find(|j| j.user == u).map(|j| j.requested_mem_kb);
+        assert!((0..100).any(|u| req(&a, u) != req(&b, u)));
+    }
+
+    #[test]
+    fn service_stream_reports_exact_size_hint() {
+        let s = service_stream(123, 10, 1);
+        assert_eq!(s.size_hint(), (123, Some(123)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn service_stream_zero_groups_rejected() {
+        let _ = service_stream(10, 0, 0);
     }
 
     #[test]

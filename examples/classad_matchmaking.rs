@@ -36,10 +36,11 @@ fn main() {
     println!("J1 is pinned to M1; J2 arriving behind it blocks. (\u{a7}1.1)");
 
     // The estimator walks J1's group down to 16 MB; the job ad is rewritten.
-    let mut estimator = SuccessiveApproximation::new(
-        SuccessiveConfig::default(),
-        CapacityLadder::new(vec![32 * MB, 24 * MB, 16 * MB]),
-    );
+    let mut estimator = EstimatorSpec::paper_successive().build(&CapacityLadder::new(vec![
+        32 * MB,
+        24 * MB,
+        16 * MB,
+    ]));
     let ctx = EstimateContext::default();
     let job = JobBuilder::new(1)
         .user(1)

@@ -63,13 +63,13 @@ fn main() {
         "estimator", "util", "slowdown", "fail%"
     );
 
-    // The custom estimator goes through `Simulation::with_estimator`.
-    let custom = Simulation::with_estimator(
-        SimConfig::default(),
-        cluster.clone(),
-        Box::new(GlobalHaircut { factor: 0.5 }),
-    )
-    .run(&scaled);
+    // The custom estimator goes through the builder's `boxed_estimator`.
+    let custom = Simulation::builder()
+        .cluster(cluster.clone())
+        .boxed_estimator(Box::new(GlobalHaircut { factor: 0.5 }))
+        .build()
+        .expect("cluster and estimator are set")
+        .run(&scaled);
     for result in [
         Simulation::new(
             SimConfig::default(),

@@ -21,6 +21,9 @@
 //!   learning), baselines, and the paper's §2.3 extensions;
 //! - [`sim`] — a discrete-event scheduling simulator with the paper's FCFS
 //!   and failure semantics, metrics, and parallel experiment drivers;
+//! - [`service`] — the estimators as a long-running online service:
+//!   similarity groups hash-sharded across shard-local estimators, batched
+//!   feedback, and versioned binary snapshot/restore;
 //! - [`stats`] — histograms, regression, distributions, and online
 //!   statistics used throughout;
 //! - [`classad`] — a miniature Condor-style ClassAd matchmaking language
@@ -56,6 +59,7 @@
 pub use resmatch_classad as classad;
 pub use resmatch_cluster as cluster;
 pub use resmatch_core as core;
+pub use resmatch_service as service;
 pub use resmatch_sim as sim;
 pub use resmatch_stats as stats;
 pub use resmatch_workload as workload;
@@ -75,6 +79,7 @@ pub mod prelude {
         Allocation, Capacity, CapacityLadder, Cluster, ClusterBuilder, Demand, MatchPolicy,
     };
     pub use resmatch_core::prelude::*;
+    pub use resmatch_service::prelude::*;
     pub use resmatch_sim::prelude::*;
     pub use resmatch_workload::analysis::{
         gain_vs_range, group_size_distribution, histogram_log_fit, overprovisioned_fraction,
@@ -82,6 +87,6 @@ pub mod prelude {
     };
     pub use resmatch_workload::job::JobBuilder;
     pub use resmatch_workload::load::{offered_load, rescale_arrivals, scale_to_load};
-    pub use resmatch_workload::synthetic::{generate, Cm5Config};
+    pub use resmatch_workload::synthetic::{generate, service_stream, Cm5Config};
     pub use resmatch_workload::{Job, JobId, JobStatus, Time, Workload};
 }

@@ -34,8 +34,13 @@ fn offline_trained_regression_estimates_from_the_first_job() {
     assert!(trained.is_trained());
 
     let cfg = SimConfig::default().with_feedback(FeedbackMode::Explicit);
-    let with_training =
-        Simulation::with_estimator(cfg, cluster.clone(), Box::new(trained)).run(&scaled);
+    let with_training = Simulation::builder()
+        .config(cfg)
+        .cluster(cluster.clone())
+        .boxed_estimator(Box::new(trained))
+        .build()
+        .expect("cluster and estimator are set")
+        .run(&scaled);
     let without = Simulation::new(
         cfg,
         cluster.clone(),
@@ -67,7 +72,13 @@ fn warm_start_prior_reduces_probing_steps() {
     assert!(warm.prior_trained());
 
     let cfg = SimConfig::default().with_feedback(FeedbackMode::Explicit);
-    let warm_result = Simulation::with_estimator(cfg, cluster.clone(), Box::new(warm)).run(&scaled);
+    let warm_result = Simulation::builder()
+        .config(cfg)
+        .cluster(cluster.clone())
+        .boxed_estimator(Box::new(warm))
+        .build()
+        .expect("cluster and estimator are set")
+        .run(&scaled);
     let cold_result = Simulation::new(
         SimConfig::default(),
         cluster.clone(),
@@ -130,9 +141,12 @@ fn persisted_state_survives_a_simulated_restart() {
     // second half.
     let mut restarted = SuccessiveApproximation::new(SuccessiveConfig::default(), ladder);
     restarted.import_state(&state);
-    let resumed =
-        Simulation::with_estimator(SimConfig::default(), cluster.clone(), Box::new(restarted))
-            .run(&second);
+    let resumed = Simulation::builder()
+        .cluster(cluster.clone())
+        .boxed_estimator(Box::new(restarted))
+        .build()
+        .expect("cluster and estimator are set")
+        .run(&second);
 
     assert_eq!(resumed.completed_jobs + resumed.dropped_jobs, second.len());
     // The resumed run keeps estimating aggressively (no cold-start cliff).

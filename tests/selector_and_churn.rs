@@ -44,12 +44,12 @@ fn selector_ensemble_beats_baseline_end_to_end() {
         EstimatorSpec::PassThrough,
     )
     .run(&scaled);
-    let ens = Simulation::with_estimator(
-        SimConfig::default(),
-        cluster.clone(),
-        selector_for(&cluster),
-    )
-    .run(&scaled);
+    let ens = Simulation::builder()
+        .cluster(cluster.clone())
+        .boxed_estimator(selector_for(&cluster))
+        .build()
+        .expect("cluster and estimator are set")
+        .run(&scaled);
     assert_eq!(ens.completed_jobs + ens.dropped_jobs, scaled.len());
     assert!(
         ens.utilization() > base.utilization() * 1.05,
@@ -72,12 +72,12 @@ fn selector_tracks_plain_successive_within_tolerance() {
         EstimatorSpec::paper_successive(),
     )
     .run(&scaled);
-    let ens = Simulation::with_estimator(
-        SimConfig::default(),
-        cluster.clone(),
-        selector_for(&cluster),
-    )
-    .run(&scaled);
+    let ens = Simulation::builder()
+        .cluster(cluster.clone())
+        .boxed_estimator(selector_for(&cluster))
+        .build()
+        .expect("cluster and estimator are set")
+        .run(&scaled);
     assert!(
         ens.utilization() > plain.utilization() * 0.85,
         "ensemble {:.3} vs successive {:.3}",

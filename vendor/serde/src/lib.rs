@@ -1,18 +1,585 @@
-//! Offline stand-in for `serde`.
+//! Offline stand-in for `serde`: a functional, simplified subset.
 //!
-//! The workspace only uses serde as a *marker* today — types derive
-//! `Serialize`/`Deserialize` so downstream consumers could wire up real
-//! serialization, but no code in the repository calls a serializer. With no
-//! network access to a crates registry, this stub keeps those derives
-//! compiling: the traits carry no methods and the derive macro emits empty
-//! impls. Swapping the real serde back in later is a one-line change in the
-//! workspace manifest.
+//! Earlier revisions of this stub were pure markers — empty traits so that
+//! `#[derive(Serialize, Deserialize)]` compiled without doing anything. The
+//! estimator service's snapshot/restore path needs *actual* serialization,
+//! so the stub now carries a working streaming data model:
+//!
+//! - [`Serialize`] walks a value and drives a [`Serializer`], a flat event
+//!   sink (`serialize_u64`, `begin_struct`, `begin_variant`, ...).
+//! - [`Deserialize`] mirrors the walk against a [`Deserializer`] event
+//!   source that replays the same shape.
+//!
+//! Compared to real serde the surface is deliberately small: no visitors,
+//! no zero-copy borrowing, no maps, no `serde(...)` attribute handling, and
+//! the derive rejects generic types. Formats implement the two driver
+//! traits directly (see `resmatch-service`'s binary codec). Swapping the
+//! real serde back in later is still a one-line change in the workspace
+//! manifest because the derive surface (`#[derive(Serialize, Deserialize)]`
+//! on concrete structs and enums) is a strict subset of real serde's.
 
-/// Marker trait mirroring `serde::Serialize`.
-pub trait Serialize {}
+#![forbid(unsafe_code)]
 
-/// Marker trait mirroring `serde::Deserialize`.
-pub trait Deserialize<'de>: Sized {}
+/// A value that can drive a [`Serializer`] over its own structure.
+pub trait Serialize {
+    /// Feed this value's structure into `serializer`.
+    ///
+    /// # Errors
+    /// Propagates whatever error the serializer reports for its sink.
+    fn serialize<S: Serializer + ?Sized>(&self, serializer: &mut S) -> Result<(), S::Error>;
+}
+
+/// A value that can be rebuilt from a [`Deserializer`] event source.
+///
+/// The `'de` lifetime mirrors real serde's signature so derive sites are
+/// source-compatible; this simplified subset never borrows from the input.
+pub trait Deserialize<'de>: Sized {
+    /// Rebuild a value by pulling its structure from `deserializer`.
+    ///
+    /// # Errors
+    /// Returns the deserializer's error if the input does not replay the
+    /// exact shape `Self` serializes as.
+    fn deserialize<D: Deserializer<'de> + ?Sized>(deserializer: &mut D) -> Result<Self, D::Error>;
+}
+
+/// Streaming event sink a [`Serialize`] implementation writes into.
+///
+/// Structure is conveyed by paired `begin_*`/`end_*` calls; primitives map
+/// onto the widest machine type of their family (`u64`/`i64`/`f64`).
+#[allow(missing_docs)] // method names mirror the wire events one-to-one
+pub trait Serializer {
+    /// Error type reported by the underlying sink.
+    type Error;
+
+    fn serialize_bool(&mut self, v: bool) -> Result<(), Self::Error>;
+    fn serialize_u64(&mut self, v: u64) -> Result<(), Self::Error>;
+    fn serialize_i64(&mut self, v: i64) -> Result<(), Self::Error>;
+    fn serialize_f64(&mut self, v: f64) -> Result<(), Self::Error>;
+    fn serialize_str(&mut self, v: &str) -> Result<(), Self::Error>;
+
+    /// Record an absent [`Option`] value.
+    fn serialize_none(&mut self) -> Result<(), Self::Error>;
+    /// Record a present [`Option`]; the wrapped value is serialized next.
+    fn serialize_some(&mut self) -> Result<(), Self::Error>;
+
+    /// Open a sequence of exactly `len` elements.
+    fn begin_seq(&mut self, len: usize) -> Result<(), Self::Error>;
+    fn end_seq(&mut self) -> Result<(), Self::Error>;
+
+    /// Open a struct (named, tuple, or unit) with `fields` fields.
+    fn begin_struct(&mut self, name: &'static str, fields: usize) -> Result<(), Self::Error>;
+    /// Announce the next struct or variant field; its value follows.
+    fn serialize_field(&mut self, name: &'static str) -> Result<(), Self::Error>;
+    fn end_struct(&mut self) -> Result<(), Self::Error>;
+
+    /// Open enum variant number `variant_index` with `fields` fields.
+    fn begin_variant(
+        &mut self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        fields: usize,
+    ) -> Result<(), Self::Error>;
+    fn end_variant(&mut self) -> Result<(), Self::Error>;
+}
+
+/// Streaming event source a [`Deserialize`] implementation pulls from.
+///
+/// Mirrors [`Serializer`] call-for-call; a format must replay the exact
+/// event sequence the serializer recorded or report an error.
+#[allow(missing_docs)] // method names mirror the wire events one-to-one
+pub trait Deserializer<'de> {
+    /// Error type reported for malformed or mismatched input.
+    type Error;
+
+    fn deserialize_bool(&mut self) -> Result<bool, Self::Error>;
+    fn deserialize_u64(&mut self) -> Result<u64, Self::Error>;
+    fn deserialize_i64(&mut self) -> Result<i64, Self::Error>;
+    fn deserialize_f64(&mut self) -> Result<f64, Self::Error>;
+    fn deserialize_string(&mut self) -> Result<String, Self::Error>;
+
+    /// Read an [`Option`] discriminant: `true` means a value follows.
+    fn deserialize_option(&mut self) -> Result<bool, Self::Error>;
+
+    /// Open a sequence, returning its element count.
+    fn begin_seq(&mut self) -> Result<usize, Self::Error>;
+    fn end_seq(&mut self) -> Result<(), Self::Error>;
+
+    /// Open a struct previously written with the same `name`/`fields`.
+    fn begin_struct(&mut self, name: &'static str, fields: usize) -> Result<(), Self::Error>;
+    /// Consume the field marker for `name`; its value is read next.
+    fn deserialize_field(&mut self, name: &'static str) -> Result<(), Self::Error>;
+    fn end_struct(&mut self) -> Result<(), Self::Error>;
+
+    /// Open an enum value, returning the recorded variant index
+    /// (guaranteed by the format to be `< variants.len()`, otherwise an
+    /// error is reported instead).
+    fn begin_variant(
+        &mut self,
+        name: &'static str,
+        variants: &'static [&'static str],
+    ) -> Result<u32, Self::Error>;
+    fn end_variant(&mut self) -> Result<(), Self::Error>;
+
+    /// Build a format-level error for data that decoded but is invalid for
+    /// the target type (narrowing overflow, out-of-range discriminant).
+    /// Derive-generated code uses this instead of panicking.
+    fn invalid_data(&mut self, what: &'static str) -> Self::Error;
+}
 
 #[cfg(feature = "derive")]
 pub use serde_derive::{Deserialize, Serialize};
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize<S: Serializer + ?Sized>(
+                &self,
+                serializer: &mut S,
+            ) -> Result<(), S::Error> {
+                serializer.serialize_u64(u64::from(*self))
+            }
+        }
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de> + ?Sized>(
+                deserializer: &mut D,
+            ) -> Result<Self, D::Error> {
+                let wide = deserializer.deserialize_u64()?;
+                <$ty>::try_from(wide)
+                    .map_err(|_| deserializer.invalid_data(stringify!($ty)))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32);
+
+impl Serialize for u64 {
+    fn serialize<S: Serializer + ?Sized>(&self, serializer: &mut S) -> Result<(), S::Error> {
+        serializer.serialize_u64(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for u64 {
+    fn deserialize<D: Deserializer<'de> + ?Sized>(deserializer: &mut D) -> Result<Self, D::Error> {
+        deserializer.deserialize_u64()
+    }
+}
+
+impl Serialize for usize {
+    fn serialize<S: Serializer + ?Sized>(&self, serializer: &mut S) -> Result<(), S::Error> {
+        serializer.serialize_u64(*self as u64)
+    }
+}
+
+impl<'de> Deserialize<'de> for usize {
+    fn deserialize<D: Deserializer<'de> + ?Sized>(deserializer: &mut D) -> Result<Self, D::Error> {
+        let wide = deserializer.deserialize_u64()?;
+        usize::try_from(wide).map_err(|_| deserializer.invalid_data("usize"))
+    }
+}
+
+macro_rules! impl_signed {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize<S: Serializer + ?Sized>(
+                &self,
+                serializer: &mut S,
+            ) -> Result<(), S::Error> {
+                serializer.serialize_i64(i64::from(*self))
+            }
+        }
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de> + ?Sized>(
+                deserializer: &mut D,
+            ) -> Result<Self, D::Error> {
+                let wide = deserializer.deserialize_i64()?;
+                <$ty>::try_from(wide)
+                    .map_err(|_| deserializer.invalid_data(stringify!($ty)))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32);
+
+impl Serialize for i64 {
+    fn serialize<S: Serializer + ?Sized>(&self, serializer: &mut S) -> Result<(), S::Error> {
+        serializer.serialize_i64(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for i64 {
+    fn deserialize<D: Deserializer<'de> + ?Sized>(deserializer: &mut D) -> Result<Self, D::Error> {
+        deserializer.deserialize_i64()
+    }
+}
+
+impl Serialize for isize {
+    fn serialize<S: Serializer + ?Sized>(&self, serializer: &mut S) -> Result<(), S::Error> {
+        serializer.serialize_i64(*self as i64)
+    }
+}
+
+impl<'de> Deserialize<'de> for isize {
+    fn deserialize<D: Deserializer<'de> + ?Sized>(deserializer: &mut D) -> Result<Self, D::Error> {
+        let wide = deserializer.deserialize_i64()?;
+        isize::try_from(wide).map_err(|_| deserializer.invalid_data("isize"))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer + ?Sized>(&self, serializer: &mut S) -> Result<(), S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de> + ?Sized>(deserializer: &mut D) -> Result<Self, D::Error> {
+        deserializer.deserialize_bool()
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer + ?Sized>(&self, serializer: &mut S) -> Result<(), S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de> + ?Sized>(deserializer: &mut D) -> Result<Self, D::Error> {
+        deserializer.deserialize_f64()
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer + ?Sized>(&self, serializer: &mut S) -> Result<(), S::Error> {
+        serializer.serialize_f64(f64::from(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de> + ?Sized>(deserializer: &mut D) -> Result<Self, D::Error> {
+        // Round-trips exactly for values that started life as f32; wider
+        // values narrow with the usual `as` semantics.
+        #[allow(clippy::cast_possible_truncation)]
+        Ok(deserializer.deserialize_f64()? as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer + ?Sized>(&self, serializer: &mut S) -> Result<(), S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de> + ?Sized>(deserializer: &mut D) -> Result<Self, D::Error> {
+        deserializer.deserialize_string()
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer + ?Sized>(&self, serializer: &mut S) -> Result<(), S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer + ?Sized>(&self, serializer: &mut S) -> Result<(), S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer + ?Sized>(&self, serializer: &mut S) -> Result<(), S::Error> {
+        match self {
+            None => serializer.serialize_none(),
+            Some(value) => {
+                serializer.serialize_some()?;
+                value.serialize(serializer)
+            }
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de> + ?Sized>(deserializer: &mut D) -> Result<Self, D::Error> {
+        if deserializer.deserialize_option()? {
+            Ok(Some(T::deserialize(deserializer)?))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer + ?Sized>(&self, serializer: &mut S) -> Result<(), S::Error> {
+        serializer.begin_seq(self.len())?;
+        for element in self {
+            element.serialize(serializer)?;
+        }
+        serializer.end_seq()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer + ?Sized>(&self, serializer: &mut S) -> Result<(), S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de> + ?Sized>(deserializer: &mut D) -> Result<Self, D::Error> {
+        let len = deserializer.begin_seq()?;
+        // Cap the pre-allocation so a corrupt length prefix cannot force a
+        // huge up-front reservation; the vector still grows as needed.
+        let mut out = Vec::with_capacity(len.min(4096));
+        for _ in 0..len {
+            out.push(T::deserialize(deserializer)?);
+        }
+        deserializer.end_seq()?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy line-oriented codec used to exercise the trait surface without
+    /// depending on any downstream format implementation.
+    #[derive(Default)]
+    struct LineSink {
+        lines: Vec<String>,
+    }
+
+    impl Serializer for LineSink {
+        type Error = ();
+
+        fn serialize_bool(&mut self, v: bool) -> Result<(), ()> {
+            self.lines.push(format!("b {v}"));
+            Ok(())
+        }
+        fn serialize_u64(&mut self, v: u64) -> Result<(), ()> {
+            self.lines.push(format!("u {v}"));
+            Ok(())
+        }
+        fn serialize_i64(&mut self, v: i64) -> Result<(), ()> {
+            self.lines.push(format!("i {v}"));
+            Ok(())
+        }
+        fn serialize_f64(&mut self, v: f64) -> Result<(), ()> {
+            self.lines.push(format!("f {}", v.to_bits()));
+            Ok(())
+        }
+        fn serialize_str(&mut self, v: &str) -> Result<(), ()> {
+            self.lines.push(format!("s {v}"));
+            Ok(())
+        }
+        fn serialize_none(&mut self) -> Result<(), ()> {
+            self.lines.push("none".into());
+            Ok(())
+        }
+        fn serialize_some(&mut self) -> Result<(), ()> {
+            self.lines.push("some".into());
+            Ok(())
+        }
+        fn begin_seq(&mut self, len: usize) -> Result<(), ()> {
+            self.lines.push(format!("seq {len}"));
+            Ok(())
+        }
+        fn end_seq(&mut self) -> Result<(), ()> {
+            self.lines.push("endseq".into());
+            Ok(())
+        }
+        fn begin_struct(&mut self, name: &'static str, fields: usize) -> Result<(), ()> {
+            self.lines.push(format!("struct {name} {fields}"));
+            Ok(())
+        }
+        fn serialize_field(&mut self, name: &'static str) -> Result<(), ()> {
+            self.lines.push(format!("field {name}"));
+            Ok(())
+        }
+        fn end_struct(&mut self) -> Result<(), ()> {
+            self.lines.push("endstruct".into());
+            Ok(())
+        }
+        fn begin_variant(
+            &mut self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+            fields: usize,
+        ) -> Result<(), ()> {
+            self.lines
+                .push(format!("variant {name} {variant_index} {variant} {fields}"));
+            Ok(())
+        }
+        fn end_variant(&mut self) -> Result<(), ()> {
+            self.lines.push("endvariant".into());
+            Ok(())
+        }
+    }
+
+    struct LineSource {
+        lines: Vec<String>,
+        at: usize,
+    }
+
+    impl LineSource {
+        fn next(&mut self) -> Result<&str, String> {
+            let line = self.lines.get(self.at).ok_or_else(|| "eof".to_string())?;
+            self.at += 1;
+            Ok(line)
+        }
+        fn tagged(&mut self, tag: &str) -> Result<String, String> {
+            let line = self.next()?;
+            line.strip_prefix(tag)
+                .and_then(|rest| rest.strip_prefix(' '))
+                .map(str::to_string)
+                .ok_or_else(|| format!("expected `{tag}`, got `{line}`"))
+        }
+    }
+
+    impl<'de> Deserializer<'de> for LineSource {
+        type Error = String;
+
+        fn deserialize_bool(&mut self) -> Result<bool, String> {
+            self.tagged("b")?.parse().map_err(|_| "bad bool".into())
+        }
+        fn deserialize_u64(&mut self) -> Result<u64, String> {
+            self.tagged("u")?.parse().map_err(|_| "bad u64".into())
+        }
+        fn deserialize_i64(&mut self) -> Result<i64, String> {
+            self.tagged("i")?.parse().map_err(|_| "bad i64".into())
+        }
+        fn deserialize_f64(&mut self) -> Result<f64, String> {
+            let bits: u64 = self.tagged("f")?.parse().map_err(|_| "bad f64")?;
+            Ok(f64::from_bits(bits))
+        }
+        fn deserialize_string(&mut self) -> Result<String, String> {
+            self.tagged("s")
+        }
+        fn deserialize_option(&mut self) -> Result<bool, String> {
+            match self.next()? {
+                "none" => Ok(false),
+                "some" => Ok(true),
+                other => Err(format!("expected option, got `{other}`")),
+            }
+        }
+        fn begin_seq(&mut self) -> Result<usize, String> {
+            self.tagged("seq")?
+                .parse()
+                .map_err(|_| "bad seq len".into())
+        }
+        fn end_seq(&mut self) -> Result<(), String> {
+            match self.next()? {
+                "endseq" => Ok(()),
+                other => Err(format!("expected endseq, got `{other}`")),
+            }
+        }
+        fn begin_struct(&mut self, name: &'static str, fields: usize) -> Result<(), String> {
+            let want = format!("struct {name} {fields}");
+            let got = self.next()?;
+            if got == want {
+                Ok(())
+            } else {
+                Err(format!("expected `{want}`, got `{got}`"))
+            }
+        }
+        fn deserialize_field(&mut self, name: &'static str) -> Result<(), String> {
+            let want = format!("field {name}");
+            let got = self.next()?;
+            if got == want {
+                Ok(())
+            } else {
+                Err(format!("expected `{want}`, got `{got}`"))
+            }
+        }
+        fn end_struct(&mut self) -> Result<(), String> {
+            match self.next()? {
+                "endstruct" => Ok(()),
+                other => Err(format!("expected endstruct, got `{other}`")),
+            }
+        }
+        fn begin_variant(
+            &mut self,
+            name: &'static str,
+            variants: &'static [&'static str],
+        ) -> Result<u32, String> {
+            let rest = self.tagged("variant")?;
+            let mut parts = rest.split(' ');
+            if parts.next() != Some(name) {
+                return Err(format!("enum name mismatch for {name}"));
+            }
+            let index: u32 = parts
+                .next()
+                .and_then(|p| p.parse().ok())
+                .ok_or("bad variant index")?;
+            if (index as usize) < variants.len() {
+                Ok(index)
+            } else {
+                Err(format!("variant index {index} out of range for {name}"))
+            }
+        }
+        fn end_variant(&mut self) -> Result<(), String> {
+            match self.next()? {
+                "endvariant" => Ok(()),
+                other => Err(format!("expected endvariant, got `{other}`")),
+            }
+        }
+        fn invalid_data(&mut self, what: &'static str) -> String {
+            format!("invalid data for {what} at line {}", self.at)
+        }
+    }
+
+    fn round_trip<T>(value: &T) -> T
+    where
+        T: Serialize + for<'de> Deserialize<'de>,
+    {
+        let mut sink = LineSink::default();
+        value.serialize(&mut sink).expect("serialize");
+        let mut source = LineSource {
+            lines: sink.lines,
+            at: 0,
+        };
+        T::deserialize(&mut source).expect("deserialize")
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(round_trip(&42u8), 42);
+        assert_eq!(round_trip(&7_000_000_000u64), 7_000_000_000);
+        assert_eq!(round_trip(&-13i32), -13);
+        assert!(round_trip(&true));
+        assert_eq!(round_trip(&1.5f64).to_bits(), 1.5f64.to_bits());
+        assert_eq!(round_trip(&String::from("hello")), "hello");
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        assert_eq!(round_trip(&Some(9u32)), Some(9));
+        assert_eq!(round_trip(&None::<u64>), None);
+        assert_eq!(round_trip(&vec![1u64, 2, 3]), vec![1, 2, 3]);
+        assert_eq!(
+            round_trip(&vec![Some(1u32), None, Some(3)]),
+            vec![Some(1), None, Some(3)]
+        );
+    }
+
+    #[test]
+    fn narrowing_overflow_is_an_error() {
+        let mut sink = LineSink::default();
+        1_000_000u64.serialize(&mut sink).expect("serialize");
+        let mut source = LineSource {
+            lines: sink.lines,
+            at: 0,
+        };
+        assert!(<u8 as Deserialize>::deserialize(&mut source).is_err());
+    }
+}

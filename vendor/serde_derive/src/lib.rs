@@ -1,52 +1,451 @@
 //! Derive half of the offline serde stand-in.
 //!
-//! Since the `serde` stub's traits are empty markers, the derive only has to
-//! discover the type's name and emit `impl ... for Name {}`. The input is
-//! parsed by hand (no `syn`/`quote` available offline): skip attributes and
-//! visibility, find the `struct`/`enum` keyword, take the next identifier.
-//! Generic types are rejected with a clear error rather than mis-expanded.
+//! Generates real field-wise [`Serialize`]/[`Deserialize`] impls against the
+//! vendored `serde` crate's streaming `Serializer`/`Deserializer` traits.
+//! The input is parsed by hand (no `syn`/`quote` available offline): skip
+//! attributes and visibility, find the `struct`/`enum` keyword, then walk
+//! the body. Named, tuple, and unit structs are supported, as are enums
+//! with unit, tuple, and struct variants. Generic types and `where`
+//! clauses are rejected with a clear error rather than mis-expanded;
+//! `#[serde(...)]` attributes are accepted but ignored.
 
-use proc_macro::{TokenStream, TokenTree};
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
 
-fn type_name(input: TokenStream) -> String {
-    let mut iter = input.into_iter();
-    while let Some(tt) = iter.next() {
-        if let TokenTree::Ident(ident) = &tt {
-            let word = ident.to_string();
-            if word == "struct" || word == "enum" || word == "union" {
-                match iter.next() {
-                    Some(TokenTree::Ident(name)) => {
-                        if let Some(TokenTree::Punct(p)) = iter.next() {
-                            if p.as_char() == '<' {
-                                panic!(
-                                    "vendored serde_derive stub does not support generic type `{name}`"
-                                );
-                            }
-                        }
-                        return name.to_string();
-                    }
-                    other => panic!("expected type name after `{word}`, found {other:?}"),
-                }
-            }
-        }
-        // Everything else (attribute `#[...]` tokens, visibility, doc
-        // comments) is skipped until the definition keyword appears.
-    }
-    panic!("vendored serde_derive stub: no struct/enum definition found")
+/// Body shape shared by structs and enum variants.
+enum Shape {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
 }
 
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Input {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Skip one `#[...]` attribute (including expanded doc comments) or one
+/// visibility qualifier starting at `i`; returns the new cursor, or `None`
+/// if the token there is neither.
+fn skip_attr_or_vis(tokens: &[TokenTree], mut i: usize) -> Option<usize> {
+    match tokens.get(i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+            i += 1;
+            match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => Some(i + 1),
+                _ => panic!("vendored serde_derive: malformed attribute"),
+            }
+        }
+        Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+            i += 1;
+            match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Some(i + 1),
+                _ => Some(i),
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Advance past a type (or expression) until a top-level `,` or the end of
+/// the token slice, tracking `<...>` nesting so commas inside generic
+/// arguments don't split the field. Returns the index of the `,` or
+/// `tokens.len()`.
+fn skip_to_field_end(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle_depth = 0usize;
+    while let Some(tt) = tokens.get(i) {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return i,
+                '-' => {
+                    // `->` in a fn-pointer type: consume the `>` without
+                    // touching the angle depth.
+                    if let Some(TokenTree::Punct(next)) = tokens.get(i + 1) {
+                        if next.as_char() == '>' {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// Parse `name: Type, ...` out of a brace-delimited field list.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        while let Some(next) = skip_attr_or_vis(&tokens, i) {
+            i = next;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(ident) => ident.to_string(),
+            other => panic!("vendored serde_derive: expected field name, found {other}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                panic!("vendored serde_derive: expected `:` after field `{name}`, found {other:?}")
+            }
+        }
+        i = skip_to_field_end(&tokens, i);
+        if i < tokens.len() {
+            i += 1; // consume the `,`
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Count the fields of a paren-delimited tuple body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = 0usize;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let end = skip_to_field_end(&tokens, i);
+        if end > i {
+            fields += 1;
+        }
+        i = end + 1;
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        while let Some(next) = skip_attr_or_vis(&tokens, i) {
+            i = next;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(ident) => ident.to_string(),
+            other => panic!("vendored serde_derive: expected variant name, found {other}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '=' {
+                // Explicit discriminant: skip the expression.
+                i = skip_to_field_end(&tokens, i + 1);
+            }
+        }
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    let kind = loop {
+        while let Some(next) = skip_attr_or_vis(&tokens, i) {
+            i = next;
+        }
+        match tokens.get(i) {
+            Some(TokenTree::Ident(ident)) => {
+                let word = ident.to_string();
+                match word.as_str() {
+                    "struct" | "enum" => {
+                        i += 1;
+                        break word;
+                    }
+                    "union" => panic!("vendored serde_derive does not support `union`"),
+                    // e.g. `unsafe`, `crate` paths — nothing we expect, but
+                    // advance rather than loop forever.
+                    _ => i += 1,
+                }
+            }
+            Some(_) => i += 1,
+            None => panic!("vendored serde_derive: no struct/enum definition found"),
+        }
+    };
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => {
+            panic!("vendored serde_derive: expected type name after `{kind}`, found {other:?}")
+        }
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("vendored serde_derive does not support generic type `{name}`");
+        }
+    }
+    if let Some(TokenTree::Ident(ident)) = tokens.get(i) {
+        if ident.to_string() == "where" {
+            panic!("vendored serde_derive does not support `where` clauses (type `{name}`)");
+        }
+    }
+    if kind == "enum" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => {
+                panic!("vendored serde_derive: expected enum body for `{name}`, found {other:?}")
+            }
+        }
+    } else {
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            None => Shape::Unit,
+            other => {
+                panic!("vendored serde_derive: unsupported struct body for `{name}`: {other:?}")
+            }
+        };
+        Input::Struct { name, shape }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn shape_field_count(shape: &Shape) -> usize {
+    match shape {
+        Shape::Unit => 0,
+        Shape::Named(fields) => fields.len(),
+        Shape::Tuple(n) => *n,
+    }
+}
+
+/// Statements serializing one struct body, where field `f` is reachable as
+/// the expression `{access_prefix}f` (e.g. `&self.` for structs, `` for
+/// bound variant fields).
+fn gen_serialize_fields(out: &mut String, shape: &Shape, access: impl Fn(&str) -> String) {
+    match shape {
+        Shape::Unit => {}
+        Shape::Named(fields) => {
+            for f in fields {
+                let _ = write!(
+                    out,
+                    "::serde::Serializer::serialize_field(__s, \"{f}\")?;\
+                     ::serde::Serialize::serialize({expr}, __s)?;",
+                    expr = access(f)
+                );
+            }
+        }
+        Shape::Tuple(n) => {
+            for idx in 0..*n {
+                let f = idx.to_string();
+                let _ = write!(
+                    out,
+                    "::serde::Serializer::serialize_field(__s, \"{f}\")?;\
+                     ::serde::Serialize::serialize({expr}, __s)?;",
+                    expr = access(&f)
+                );
+            }
+        }
+    }
+}
+
+/// Statements deserializing one struct body into `let __f_*` locals,
+/// followed by the constructor expression for `path`.
+fn gen_deserialize_body(out: &mut String, path: &str, shape: &Shape) {
+    match shape {
+        Shape::Unit => {
+            let _ = write!(out, "{path}");
+        }
+        Shape::Named(fields) => {
+            for f in fields {
+                let _ = write!(
+                    out,
+                    "::serde::Deserializer::deserialize_field(__d, \"{f}\")?;\
+                     let __f_{f} = ::serde::Deserialize::deserialize(__d)?;"
+                );
+            }
+            let _ = write!(out, "{path} {{");
+            for f in fields {
+                let _ = write!(out, "{f}: __f_{f},");
+            }
+            let _ = write!(out, "}}");
+        }
+        Shape::Tuple(n) => {
+            for idx in 0..*n {
+                let _ = write!(
+                    out,
+                    "::serde::Deserializer::deserialize_field(__d, \"{idx}\")?;\
+                     let __f_{idx} = ::serde::Deserialize::deserialize(__d)?;"
+                );
+            }
+            let _ = write!(out, "{path}(");
+            for idx in 0..*n {
+                let _ = write!(out, "__f_{idx},");
+            }
+            let _ = write!(out, ")");
+        }
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let (name, body) = match input {
+        Input::Struct { name, shape } => {
+            let mut body = String::new();
+            let _ = write!(
+                body,
+                "::serde::Serializer::begin_struct(__s, \"{name}\", {n}usize)?;",
+                n = shape_field_count(shape)
+            );
+            gen_serialize_fields(&mut body, shape, |f| format!("&self.{f}"));
+            body.push_str("::serde::Serializer::end_struct(__s)");
+            (name, body)
+        }
+        Input::Enum { name, variants } => {
+            let mut body = String::from("match self {");
+            for (index, variant) in variants.iter().enumerate() {
+                let vname = &variant.name;
+                let pattern = match &variant.shape {
+                    Shape::Unit => format!("{name}::{vname}"),
+                    Shape::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| format!("{f}: __b_{f}")).collect();
+                        format!("{name}::{vname} {{ {} }}", binds.join(","))
+                    }
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__b_{i}")).collect();
+                        format!("{name}::{vname}({})", binds.join(","))
+                    }
+                };
+                let _ = write!(
+                    body,
+                    "{pattern} => {{\
+                     ::serde::Serializer::begin_variant(__s, \"{name}\", {index}u32, \"{vname}\", {n}usize)?;",
+                    n = shape_field_count(&variant.shape)
+                );
+                gen_serialize_fields(&mut body, &variant.shape, |f| format!("__b_{f}"));
+                body.push_str("::serde::Serializer::end_variant(__s) }");
+            }
+            body.push('}');
+            (name, body)
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\
+           fn serialize<__S: ::serde::Serializer + ?Sized>(\
+               &self, __s: &mut __S,\
+           ) -> ::core::result::Result<(), __S::Error> {{ {body} }}\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let (name, body) = match input {
+        Input::Struct { name, shape } => {
+            let mut body = String::new();
+            let _ = write!(
+                body,
+                "::serde::Deserializer::begin_struct(__d, \"{name}\", {n}usize)?;",
+                n = shape_field_count(shape)
+            );
+            let mut ctor = String::new();
+            gen_deserialize_body(&mut ctor, name, shape);
+            let _ = write!(
+                body,
+                "let __value = {{ {ctor} }};\
+                 ::serde::Deserializer::end_struct(__d)?;\
+                 ::core::result::Result::Ok(__value)"
+            );
+            (name, body)
+        }
+        Input::Enum { name, variants } => {
+            let names: Vec<String> = variants.iter().map(|v| format!("\"{}\"", v.name)).collect();
+            let mut body = format!(
+                "let __index = ::serde::Deserializer::begin_variant(__d, \"{name}\", &[{}])?;\
+                 let __value = match __index {{",
+                names.join(",")
+            );
+            for (index, variant) in variants.iter().enumerate() {
+                let mut ctor = String::new();
+                gen_deserialize_body(
+                    &mut ctor,
+                    &format!("{name}::{}", variant.name),
+                    &variant.shape,
+                );
+                let _ = write!(body, "{index}u32 => {{ {ctor} }}");
+            }
+            body.push_str(
+                "_ => return ::core::result::Result::Err(\
+                     ::serde::Deserializer::invalid_data(__d, \"enum variant index\")),\
+                 };\
+                 ::serde::Deserializer::end_variant(__d)?;\
+                 ::core::result::Result::Ok(__value)",
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\
+           fn deserialize<__D: ::serde::Deserializer<'de> + ?Sized>(\
+               __d: &mut __D,\
+           ) -> ::core::result::Result<Self, __D::Error> {{ {body} }}\
+         }}"
+    )
+}
+
+/// Derive a streaming [`Serialize`] impl for a concrete struct or enum.
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
-    let name = type_name(input);
-    format!("impl ::serde::Serialize for {name} {{}}")
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
         .parse()
         .expect("serialize impl should parse")
 }
 
+/// Derive a streaming [`Deserialize`] impl for a concrete struct or enum.
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
-    let name = type_name(input);
-    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
         .parse()
         .expect("deserialize impl should parse")
 }
