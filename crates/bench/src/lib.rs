@@ -37,23 +37,26 @@ impl ExperimentArgs {
         let mut iter = std::env::args().skip(1);
         while let Some(flag) = iter.next() {
             match flag.as_str() {
-                "--jobs" => {
-                    args.jobs = iter
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--jobs needs an integer");
-                }
-                "--seed" => {
-                    args.seed = iter
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--seed needs an integer");
-                }
-                other => panic!("unknown flag {other}; supported: --jobs N, --seed S"),
+                "--jobs" => match iter.next().and_then(|v| v.parse().ok()) {
+                    Some(jobs) => args.jobs = jobs,
+                    None => usage_error("--jobs needs an integer"),
+                },
+                "--seed" => match iter.next().and_then(|v| v.parse().ok()) {
+                    Some(seed) => args.seed = seed,
+                    None => usage_error("--seed needs an integer"),
+                },
+                other => usage_error(&format!("unknown flag {other}")),
             }
         }
         args
     }
+}
+
+/// Report a command-line usage error and exit with status 2 — a bad flag
+/// is an operator mistake, not a harness bug, so it must not panic.
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}; supported: --jobs N, --seed S");
+    std::process::exit(2);
 }
 
 /// The paper's experimental trace: calibrated CM5-like workload with the

@@ -30,7 +30,7 @@ pub fn machine_ad(capacity: &Capacity) -> ClassAd {
         "Requirements",
         "other.RequestedMemory <= my.Memory && other.RequestedDisk <= my.Disk",
     )
-    .expect("static expression parses");
+    .expect("invariant: static expression parses");
     ad
 }
 
@@ -48,7 +48,7 @@ pub fn job_ad(demand: &Demand) -> ClassAd {
         }
     }
     ad.insert_expr("Requirements", &requirements)
-        .expect("generated expression parses");
+        .expect("invariant: generated expression parses");
     ad
 }
 

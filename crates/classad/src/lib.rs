@@ -36,7 +36,7 @@
 //! assert!(matches(&job, &machine).unwrap());
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod ad;

@@ -1,25 +1,31 @@
-//! The panic-freedom ratchet: a checked-in per-file count of `panic-free`
-//! sites that may only decrease.
+//! The ratchet files: checked-in per-file site counts that may only
+//! decrease.
 //!
-//! `resmatch-lint check` compares the current tree against this file and
+//! Two rules are ratcheted rather than hard-failed: `panic-free`
+//! (`lint-baseline.txt`) and `hot-path-alloc` (`lint-alloc-baseline.txt`).
+//! `resmatch-lint check` compares the current tree against these files and
 //! fails on any file whose count *grew*; `resmatch-lint baseline` rewrites
-//! it after a burn-down. The file lives at the workspace root as
-//! `lint-baseline.txt` so diffs to it are conspicuous in review.
+//! both after a burn-down. They live at the workspace root so diffs to
+//! them are conspicuous in review.
 
 use std::collections::BTreeMap;
 
-/// Baseline file name, relative to the workspace root.
+/// Panic-free baseline file name, relative to the workspace root.
 pub const BASELINE_FILE: &str = "lint-baseline.txt";
 
-/// Render per-file counts as the baseline file's content.
-pub fn render(counts: &BTreeMap<String, usize>) -> String {
+/// Hot-path-alloc baseline file name, relative to the workspace root.
+pub const ALLOC_BASELINE_FILE: &str = "lint-alloc-baseline.txt";
+
+/// Render per-file counts as a ratchet file's content; `rule` names the
+/// ratcheted rule in the header.
+pub fn render_for(rule: &str, counts: &BTreeMap<String, usize>) -> String {
     let mut out = String::new();
-    out.push_str(
-        "# resmatch-lint panic-free baseline.\n\
+    out.push_str(&format!(
+        "# resmatch-lint {rule} baseline.\n\
          # One line per file: `<path> <site count>`. Counts may only ratchet\n\
          # down; regenerate after a burn-down with:\n\
          #     cargo run -p resmatch-lint -- baseline\n",
-    );
+    ));
     let total: usize = counts.values().sum();
     out.push_str(&format!("# total: {total}\n"));
     for (path, count) in counts {
@@ -28,6 +34,11 @@ pub fn render(counts: &BTreeMap<String, usize>) -> String {
         }
     }
     out
+}
+
+/// Render per-file counts as the panic-free baseline's content.
+pub fn render(counts: &BTreeMap<String, usize>) -> String {
+    render_for("panic-free", counts)
 }
 
 /// Parse a baseline file. Unknown lines fail loudly — a corrupted ratchet

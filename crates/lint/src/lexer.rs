@@ -49,6 +49,16 @@ pub struct Token {
     pub col: u32,
     /// Byte length of the lexeme (for caret underlining).
     pub len: u32,
+    /// Byte offset of the lexeme in the source (for lexeme extraction).
+    pub off: u32,
+}
+
+/// The exact source text of one token — the item parser uses this to
+/// rebuild type expressions and literal values the token stream discards.
+pub fn lexeme<'a>(src: &'a str, t: &Token) -> &'a str {
+    let start = t.off as usize;
+    let end = (start + t.len as usize).min(src.len());
+    src.get(start..end).unwrap_or("")
 }
 
 /// A `lint: allow(<rule>)` marker found in a comment.
@@ -67,6 +77,10 @@ pub struct Lexed {
     pub tokens: Vec<Token>,
     /// Allow directives harvested from comments.
     pub allows: Vec<AllowDirective>,
+    /// Lines on which a doc comment (`///`, `//!`, `/** … */`, `/*! … */`)
+    /// starts, in source order. The item parser uses these to decide
+    /// whether an item carries documentation.
+    pub doc_lines: Vec<u32>,
 }
 
 struct Cursor<'a> {
@@ -163,10 +177,17 @@ pub fn lex(src: &str) -> Lexed {
                 let text_start = c.pos;
                 c.eat_while(|b| b != b'\n');
                 let text = std::str::from_utf8(&c.src[text_start..c.pos]).unwrap_or("");
+                if text.starts_with("//!") || (text.starts_with("///") && !text.starts_with("////"))
+                {
+                    out.doc_lines.push(line);
+                }
                 harvest_allows(text, line, &mut out.allows);
             }
             b'/' if c.peek_at(1) == Some(b'*') => {
                 // Block comment, possibly nested.
+                if matches!(c.peek_at(2), Some(b'*' | b'!')) && c.peek_at(3) != Some(b'*') {
+                    out.doc_lines.push(line);
+                }
                 let text_start = c.pos;
                 c.bump();
                 c.bump();
@@ -199,6 +220,7 @@ pub fn lex(src: &str) -> Lexed {
                     line,
                     col,
                     len: (c.pos - start) as u32,
+                    off: start as u32,
                 });
             }
             b'r' | b'b' if starts_prefixed_literal(&c) => {
@@ -208,6 +230,7 @@ pub fn lex(src: &str) -> Lexed {
                     line,
                     col,
                     len: (c.pos - start) as u32,
+                    off: start as u32,
                 });
             }
             b'\'' => {
@@ -239,6 +262,7 @@ pub fn lex(src: &str) -> Lexed {
                         line,
                         col,
                         len: (c.pos - start) as u32,
+                        off: start as u32,
                     });
                 } else {
                     c.bump();
@@ -248,6 +272,7 @@ pub fn lex(src: &str) -> Lexed {
                         line,
                         col,
                         len: (c.pos - start) as u32,
+                        off: start as u32,
                     });
                 }
             }
@@ -258,6 +283,7 @@ pub fn lex(src: &str) -> Lexed {
                     line,
                     col,
                     len: (c.pos - start) as u32,
+                    off: start as u32,
                 });
             }
             _ if is_ident_start(b) => {
@@ -270,6 +296,7 @@ pub fn lex(src: &str) -> Lexed {
                     line,
                     col,
                     len: (c.pos - start) as u32,
+                    off: start as u32,
                 });
             }
             _ => {
@@ -279,6 +306,7 @@ pub fn lex(src: &str) -> Lexed {
                     line,
                     col,
                     len: 1,
+                    off: start as u32,
                 });
             }
         }

@@ -4,30 +4,37 @@
 //! The paper's figures (5–8) only reproduce if the simulator is
 //! bit-deterministic under a fixed seed, and the golden tests only prove
 //! that for the tree they run on. This crate is the *preventive* layer: a
-//! token-level Rust source scanner (std-only — the container is offline)
-//! that walks the workspace and machine-checks the invariants every future
-//! PR must preserve:
+//! syntax-aware Rust source analyzer (std-only — the container is offline)
+//! built as a hand-rolled lexer ([`lexer`]), a recursive-descent item
+//! parser ([`parse`]), and a cross-file symbol pass ([`symbols`]), that
+//! walks the workspace and machine-checks the invariants every future PR
+//! must preserve:
 //!
 //! | rule | enforces |
 //! |------|----------|
-//! | `determinism` | no nondeterministic hashers, clocks, thread ids, or env reads in `sim`/`core`/`cluster` library code |
+//! | `determinism` | no nondeterministic hashers, clocks, thread ids, or env reads in `sim`/`core`/`cluster`/`service`/`classad` library code |
 //! | `panic-free` | no `unwrap`/undocumented `expect`/`panic!`/literal indexing in engine code, ratcheted down by `lint-baseline.txt` |
-//! | `crate-hygiene` | every crate root forbids `unsafe_code`; public-API crates (`sim`, `core`, `workload`, `cluster`, `stats`, `repro`) deny `missing_docs` |
-//! | `float-cmp` | no exact `==`/`!=` against float literals outside `resmatch-stats` |
+//! | `crate-hygiene` | every crate root forbids `unsafe_code`; public-API crates (`sim`, `core`, `workload`, `cluster`, `stats`, `repro`, `service`, `classad`) deny `missing_docs` |
+//! | `float-cmp` | no exact `==`/`!=` against float literals outside `resmatch-stats` and the ClassAd numeric evaluator |
 //! | `observer-events` | every `SimObserver`/`SweepObserver` method has a live emission site |
+//! | `shard-isolation` | no shared mutable statics, no locks reachable from the service's hot estimate path, no `ServiceShard` field access outside shard-owned methods |
+//! | `hot-path-alloc` | no allocating constructs in the engine's hot modules outside arena/constructor setup, ratcheted down by `lint-alloc-baseline.txt` |
+//! | `snapshot-schema` | the `RSNP` wire schema only changes together with a `FORMAT_VERSION` bump and a regenerated `snapshot-schema.txt` fingerprint |
 //!
 //! Run it as a binary:
 //!
 //! ```text
 //! cargo run -p resmatch-lint -- check          # CI mode: nonzero exit on violations
-//! cargo run -p resmatch-lint -- baseline       # rewrite the panic-free ratchet
+//! cargo run -p resmatch-lint -- baseline       # rewrite both ratchet files
+//! cargo run -p resmatch-lint -- schema         # regenerate snapshot-schema.txt
 //! cargo run -p resmatch-lint -- explain panic-free
 //! ```
 //!
-//! or drive [`run_check`]/[`write_baseline`] from tests. Diagnostics are
-//! rustc-style `file:line:col` with caret underlining ([`diag`]). A site
-//! that must stand (e.g. observability wall-clock accounting) is suppressed
-//! with `// lint: allow(<rule>): <reason>` on the same or preceding line.
+//! or drive [`run_check`]/[`write_baseline`]/[`write_schema`] from tests.
+//! Diagnostics are rustc-style `file:line:col` with caret underlining
+//! ([`diag`]). A site that must stand (e.g. observability wall-clock
+//! accounting) is suppressed with `// lint: allow(<rule>): <reason>` on
+//! the same or preceding line.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -36,8 +43,11 @@
 pub mod baseline;
 pub mod diag;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 pub mod scan;
+pub mod schema;
+pub mod symbols;
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -73,7 +83,7 @@ impl From<std::io::Error> for LintError {
 /// Everything `check` decided, ready for rendering and exit-code logic.
 #[derive(Debug, Default)]
 pub struct CheckOutcome {
-    /// Hard violations (every rule but `panic-free`).
+    /// Hard violations (every rule but the two ratcheted ones).
     pub violations: Vec<Violation>,
     /// `panic-free` sites in files that regressed past the baseline.
     pub panic_regressions: Vec<Violation>,
@@ -85,47 +95,89 @@ pub struct CheckOutcome {
     pub panic_total: usize,
     /// Total allowed by the baseline.
     pub baseline_total: usize,
+    /// `hot-path-alloc` sites in files that regressed past their baseline.
+    pub alloc_regressions: Vec<Violation>,
+    /// `(path, current, baseline)` for each alloc-regressed file.
+    pub alloc_regressed_files: Vec<(String, usize, usize)>,
+    /// `(path, current, baseline)` for files under their alloc baseline.
+    pub alloc_stale_baseline: Vec<(String, usize, usize)>,
+    /// Total `hot-path-alloc` sites in the tree.
+    pub alloc_total: usize,
+    /// Total allowed by the alloc baseline.
+    pub alloc_baseline_total: usize,
+    /// Advisory notes (schema gate bookkeeping); never fail the build.
+    pub notes: Vec<String>,
 }
 
 impl CheckOutcome {
     /// True when `check` should exit zero.
     pub fn is_clean(&self) -> bool {
-        self.violations.is_empty() && self.regressed_files.is_empty()
+        self.violations.is_empty()
+            && self.regressed_files.is_empty()
+            && self.alloc_regressed_files.is_empty()
     }
+}
+
+/// Load one ratchet file (empty when absent) and compare current counts
+/// against it, splitting the matching sites out of `sites`.
+fn ratchet(
+    root: &Path,
+    file_name: &str,
+    current: &BTreeMap<String, usize>,
+    sites: &[Violation],
+) -> Result<(Vec<Violation>, baseline::Comparison, usize), LintError> {
+    let path = root.join(file_name);
+    let base: BTreeMap<String, usize> = if path.is_file() {
+        baseline::parse(&fs::read_to_string(&path)?).map_err(|message| LintError { message })?
+    } else {
+        BTreeMap::new()
+    };
+    let cmp = baseline::compare(current, &base);
+    let regressed: BTreeMap<&String, usize> =
+        cmp.regressions.iter().map(|(p, _, b)| (p, *b)).collect();
+    let regressions = sites
+        .iter()
+        .filter(|v| regressed.contains_key(&v.path))
+        .cloned()
+        .collect();
+    Ok((regressions, cmp, base.values().sum()))
 }
 
 /// Run the full `check` over the workspace at `root`.
 pub fn run_check(root: &Path) -> Result<CheckOutcome, LintError> {
     let report = scan::scan_workspace(root)?;
-    let current = report.panic_counts();
-    let baseline_path = root.join(baseline::BASELINE_FILE);
-    let baseline: BTreeMap<String, usize> = if baseline_path.is_file() {
-        baseline::parse(&fs::read_to_string(&baseline_path)?)
-            .map_err(|message| LintError { message })?
-    } else {
-        BTreeMap::new()
-    };
-    let cmp = baseline::compare(&current, &baseline);
-    let regressed: BTreeMap<&String, usize> =
-        cmp.regressions.iter().map(|(p, _, b)| (p, *b)).collect();
-    let panic_regressions = report
-        .panic_sites
-        .iter()
-        .filter(|v| regressed.contains_key(&v.path))
-        .cloned()
-        .collect();
+    let panic_current = report.panic_counts();
+    let alloc_current = report.alloc_counts();
+    let (panic_regressions, panic_cmp, baseline_total) = ratchet(
+        root,
+        baseline::BASELINE_FILE,
+        &panic_current,
+        &report.panic_sites,
+    )?;
+    let (alloc_regressions, alloc_cmp, alloc_baseline_total) = ratchet(
+        root,
+        baseline::ALLOC_BASELINE_FILE,
+        &alloc_current,
+        &report.alloc_sites,
+    )?;
     Ok(CheckOutcome {
         violations: report.violations,
         panic_regressions,
-        regressed_files: cmp.regressions,
-        stale_baseline: cmp.improvements,
-        panic_total: current.values().sum(),
-        baseline_total: baseline.values().sum(),
+        regressed_files: panic_cmp.regressions,
+        stale_baseline: panic_cmp.improvements,
+        panic_total: panic_current.values().sum(),
+        baseline_total,
+        alloc_regressions,
+        alloc_regressed_files: alloc_cmp.regressions,
+        alloc_stale_baseline: alloc_cmp.improvements,
+        alloc_total: alloc_current.values().sum(),
+        alloc_baseline_total,
+        notes: report.notes,
     })
 }
 
-/// Regenerate the baseline ratchet from the current tree. Returns the new
-/// per-file counts.
+/// Regenerate both baseline ratchets from the current tree. Returns the
+/// new per-file `panic-free` counts.
 pub fn write_baseline(root: &Path) -> Result<BTreeMap<String, usize>, LintError> {
     let report = scan::scan_workspace(root)?;
     let counts = report.panic_counts();
@@ -133,7 +185,23 @@ pub fn write_baseline(root: &Path) -> Result<BTreeMap<String, usize>, LintError>
         root.join(baseline::BASELINE_FILE),
         baseline::render(&counts),
     )?;
+    fs::write(
+        root.join(baseline::ALLOC_BASELINE_FILE),
+        baseline::render_for("hot-path-alloc", &report.alloc_counts()),
+    )?;
     Ok(counts)
+}
+
+/// Regenerate the committed snapshot-schema fingerprint file. Returns the
+/// file's content, or `None` when the tree has no snapshot types (the file
+/// is then left untouched).
+pub fn write_schema(root: &Path) -> Result<Option<String>, LintError> {
+    let files = scan::snapshot_source_files(root)?;
+    let Some(content) = schema::generate(&files) else {
+        return Ok(None);
+    };
+    fs::write(root.join(schema::SCHEMA_FILE), &content)?;
+    Ok(Some(content))
 }
 
 /// Render a check outcome as human-readable text (diagnostics with source
@@ -154,10 +222,20 @@ pub fn render_outcome(root: &Path, outcome: &CheckOutcome) -> String {
     for v in &outcome.panic_regressions {
         emit(&mut out, v);
     }
+    for v in &outcome.alloc_regressions {
+        emit(&mut out, v);
+    }
     for (path, cur, base) in &outcome.regressed_files {
         out.push_str(&format!(
             "error[panic-free]: {path} has {cur} panic site(s), baseline allows {base}; \
              burn the new site(s) down (the ratchet only goes down)\n"
+        ));
+    }
+    for (path, cur, base) in &outcome.alloc_regressed_files {
+        out.push_str(&format!(
+            "error[hot-path-alloc]: {path} has {cur} allocation site(s), baseline \
+             allows {base}; hoist the allocation into SimArena or a constructor \
+             (the ratchet only goes down)\n"
         ));
     }
     for (path, cur, base) in &outcome.stale_baseline {
@@ -166,15 +244,30 @@ pub fn render_outcome(root: &Path, outcome: &CheckOutcome) -> String {
              `cargo run -p resmatch-lint -- baseline` to lock it in\n"
         ));
     }
+    for (path, cur, base) in &outcome.alloc_stale_baseline {
+        out.push_str(&format!(
+            "note: {path} improved to {cur} allocation site(s) (baseline {base}); run \
+             `cargo run -p resmatch-lint -- baseline` to lock it in\n"
+        ));
+    }
+    for note in &outcome.notes {
+        out.push_str(&format!("note: {note}\n"));
+    }
     if outcome.is_clean() {
         out.push_str(&format!(
-            "lint clean: {} panic site(s) tracked (baseline {})\n",
-            outcome.panic_total, outcome.baseline_total
+            "lint clean: {} panic site(s) tracked (baseline {}), {} hot-path \
+             allocation site(s) tracked (baseline {})\n",
+            outcome.panic_total,
+            outcome.baseline_total,
+            outcome.alloc_total,
+            outcome.alloc_baseline_total
         ));
     } else {
         let n = outcome.violations.len()
             + outcome.panic_regressions.len()
-            + outcome.regressed_files.len();
+            + outcome.regressed_files.len()
+            + outcome.alloc_regressions.len()
+            + outcome.alloc_regressed_files.len();
         out.push_str(&format!("lint failed: {n} error(s)\n"));
     }
     out

@@ -1,21 +1,24 @@
-//! `resmatch-lint` binary: `check`, `baseline`, and `explain` subcommands.
+//! `resmatch-lint` binary: `check`, `baseline`, `schema`, and `explain`
+//! subcommands.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use resmatch_lint::rules::Rule;
-use resmatch_lint::{baseline, run_check, scan, write_baseline};
+use resmatch_lint::{baseline, run_check, scan, schema, write_baseline, write_schema};
 
 const USAGE: &str = "\
 resmatch-lint — static analysis for the resmatch workspace
 
 USAGE:
     resmatch-lint check    [--root DIR]   # exit 1 on any violation/regression
-    resmatch-lint baseline [--root DIR]   # rewrite the panic-free ratchet
+    resmatch-lint baseline [--root DIR]   # rewrite both ratchet files
+    resmatch-lint schema   [--root DIR]   # regenerate snapshot-schema.txt
     resmatch-lint explain  <rule>         # describe one rule
 
 RULES:
     determinism panic-free crate-hygiene float-cmp observer-events
+    shard-isolation hot-path-alloc snapshot-schema
 ";
 
 fn main() -> ExitCode {
@@ -51,12 +54,34 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let counts = write_baseline(&root).map_err(|e| e.message)?;
             let total: usize = counts.values().sum();
             println!(
-                "wrote {} ({} panic site(s) across {} file(s))",
+                "wrote {} ({} panic site(s) across {} file(s)) and {}",
                 baseline::BASELINE_FILE,
                 total,
-                counts.len()
+                counts.len(),
+                baseline::ALLOC_BASELINE_FILE
             );
             Ok(ExitCode::SUCCESS)
+        }
+        "schema" => {
+            let root = parse_root(&mut it)?;
+            match write_schema(&root).map_err(|e| e.message)? {
+                Some(content) => {
+                    let fingerprint = content
+                        .lines()
+                        .find_map(|l| l.strip_prefix("fingerprint:"))
+                        .unwrap_or("?")
+                        .trim();
+                    println!("wrote {} (fingerprint {fingerprint})", schema::SCHEMA_FILE);
+                    Ok(ExitCode::SUCCESS)
+                }
+                None => {
+                    println!(
+                        "no snapshot types in this tree; {} left untouched",
+                        schema::SCHEMA_FILE
+                    );
+                    Ok(ExitCode::SUCCESS)
+                }
+            }
         }
         "explain" => {
             let Some(id) = it.next() else {

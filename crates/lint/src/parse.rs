@@ -1,0 +1,996 @@
+//! A lightweight recursive-descent *item* parser on top of [`crate::lexer`].
+//!
+//! The syntax-aware rules (shard-isolation, hot-path-alloc,
+//! snapshot-schema) need more structure than a flat token stream: which
+//! `impl` block a line lives in, what fields a struct declares and in what
+//! order, whether a `static` is `mut`, what a `const` is initialised to.
+//! This module parses exactly that — a brace-matched item tree of
+//! `mod`/`fn`/`struct`/`enum`/`impl`/`trait`/`static`/`const`/`type` with
+//! attributes, doc state, and canonicalised type text — and deliberately
+//! nothing more. There is no expression parsing, no name resolution, and
+//! no type checking: function bodies are kept as token-index ranges for
+//! the symbol pass to scan, and types are re-rendered as canonical text
+//! (`Vec<PersistedGroup>`, `&'a mut T`) for fingerprinting and matching.
+//!
+//! The parser never fails. Unrecognised constructs are skipped
+//! tree-balanced (so a stray macro or an `extern` block cannot desync the
+//! brace matching), which at worst hides an item from a rule in a file
+//! rustc would reject anyway — the same degradation contract the lexer
+//! follows.
+
+use crate::lexer::{lexeme, Lexed, Tok, Token};
+
+/// What kind of item a node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// `mod name { … }` or `mod name;`
+    Mod,
+    /// `fn name(…) { … }` (free, associated, or trait-default).
+    Fn,
+    /// `struct Name { … }`, tuple struct, or unit struct.
+    Struct,
+    /// `enum Name { … }`
+    Enum,
+    /// `impl Type { … }` or `impl Trait for Type { … }`
+    Impl,
+    /// `trait Name { … }`
+    Trait,
+    /// `static NAME: Ty = …;`
+    Static,
+    /// `const NAME: Ty = …;`
+    Const,
+    /// `type Name = Ty;`
+    TypeAlias,
+}
+
+/// One struct field (or tuple-struct / tuple-variant slot, named by
+/// position: `"0"`, `"1"`, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Field name, or the decimal position for tuple fields.
+    pub name: String,
+    /// Canonical type text (see [`canonical_text`]).
+    pub ty: String,
+    /// 1-based line the field starts on.
+    pub line: u32,
+}
+
+/// One enum variant with its payload fields (empty for unit variants).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Variant {
+    /// Variant name.
+    pub name: String,
+    /// Payload fields; tuple payloads use positional names.
+    pub fields: Vec<Field>,
+    /// 1-based line the variant starts on.
+    pub line: u32,
+}
+
+/// One parsed item. Which fields are populated depends on [`ItemKind`]:
+/// structs carry `fields`, enums `variants`, statics/consts `ty`/`init`,
+/// impls `trait_name` + `children`, mods/traits `children`, fns `body`.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// Item kind.
+    pub kind: ItemKind,
+    /// Item name. For impls this is the canonical *self type* text
+    /// (`ServiceShard`, `Vec<T>`); use [`type_head`] for the bare name.
+    pub name: String,
+    /// For `impl Trait for Type`, the canonical trait path text.
+    pub trait_name: Option<String>,
+    /// 1-based line of the introducing keyword (or first attribute).
+    pub line: u32,
+    /// 1-based line of the closing brace / semicolon.
+    pub end_line: u32,
+    /// Outer attributes, canonicalised (`#[cfg(test)]`, `#[derive(Debug)]`).
+    pub attrs: Vec<String>,
+    /// Whether a doc comment immediately precedes the item.
+    pub has_doc: bool,
+    /// True only for `static mut` items.
+    pub is_mut_static: bool,
+    /// Declared type of a static/const/type-alias, canonicalised.
+    pub ty: Option<String>,
+    /// Initialiser text of a static/const, canonicalised (`1`, `*b"RSNP"`).
+    pub init: Option<String>,
+    /// Struct fields, declaration order.
+    pub fields: Vec<Field>,
+    /// Enum variants, declaration order.
+    pub variants: Vec<Variant>,
+    /// Token-index range of a fn body (exclusive of the braces), into the
+    /// file's token stream — the symbol pass scans this for call sites.
+    pub body: Option<(usize, usize)>,
+    /// Nested items (mod / impl / trait members).
+    pub children: Vec<Item>,
+}
+
+impl Item {
+    fn new(kind: ItemKind, line: u32) -> Item {
+        Item {
+            kind,
+            name: String::new(),
+            trait_name: None,
+            line,
+            end_line: line,
+            attrs: Vec::new(),
+            has_doc: false,
+            is_mut_static: false,
+            ty: None,
+            init: None,
+            fields: Vec::new(),
+            variants: Vec::new(),
+            body: None,
+            children: Vec::new(),
+        }
+    }
+
+    /// True when any outer attribute marks the item test-only.
+    pub fn is_cfg_test(&self) -> bool {
+        self.attrs.iter().any(|a| a.contains("cfg(test)"))
+    }
+}
+
+/// The bare head identifier of a canonical type text: `Vec<T>` → `Vec`,
+/// `resmatch_core::snapshot::SnapshotState` → `SnapshotState`,
+/// `&ServiceShard` → `ServiceShard`. Returns `""` for non-path types.
+pub fn type_head(ty: &str) -> &str {
+    let mut ty = ty.trim_start_matches(['&', '*']);
+    loop {
+        let t = ty.trim_start();
+        if let Some(rest) = t.strip_prefix('\'') {
+            // Skip a lifetime token (`'a `) to reach the path.
+            let end = rest.find([' ', ',', '>', ')']).map_or(rest.len(), |i| i);
+            ty = &rest[end..];
+            continue;
+        }
+        if let Some(rest) = t.strip_prefix("mut ") {
+            ty = rest;
+            continue;
+        }
+        if let Some(rest) = t.strip_prefix("dyn ") {
+            ty = rest;
+            continue;
+        }
+        ty = t;
+        break;
+    }
+    let head = ty.split(['<', '(']).next().unwrap_or(ty);
+    head.rsplit("::").next().unwrap_or(head).trim()
+}
+
+/// Render a token slice as canonical type/attribute text: lexemes joined
+/// with a space only between two word-like tokens, so `Vec < T >` becomes
+/// `Vec<T>` and `& 'a mut T` becomes `&'a mut T`. Deterministic for a
+/// given token stream — the schema fingerprint hashes this text.
+pub fn canonical_text(src: &str, toks: &[Token]) -> String {
+    let mut out = String::new();
+    let mut prev_wordy = false;
+    for t in toks {
+        let wordy = matches!(
+            t.tok,
+            Tok::Ident(_) | Tok::Int | Tok::Float | Tok::Lifetime | Tok::Char | Tok::Str(_)
+        );
+        if wordy && prev_wordy {
+            out.push(' ');
+        }
+        out.push_str(lexeme(src, t));
+        prev_wordy = wordy;
+    }
+    out
+}
+
+/// Parse a lexed file into its item tree.
+pub fn parse_items(src: &str, lexed: &Lexed) -> Vec<Item> {
+    let mut p = Parser {
+        toks: &lexed.tokens,
+        src,
+        doc_lines: &lexed.doc_lines,
+        pos: 0,
+    };
+    p.items(false)
+}
+
+/// Visit every item in the tree with its (optional) parent, depth-first.
+pub fn walk_items<'a>(items: &'a [Item], f: &mut impl FnMut(&'a Item, Option<&'a Item>)) {
+    fn go<'a>(
+        items: &'a [Item],
+        parent: Option<&'a Item>,
+        f: &mut impl FnMut(&'a Item, Option<&'a Item>),
+    ) {
+        for item in items {
+            f(item, parent);
+            go(&item.children, Some(item), f);
+        }
+    }
+    go(items, None, f);
+}
+
+/// The chain of items whose line span contains `line`, outermost first.
+/// Used to answer "which fn / which impl does this diagnostic site live
+/// in" without a token-to-item back map.
+pub fn enclosing(items: &[Item], line: u32) -> Vec<&Item> {
+    let mut path = Vec::new();
+    let mut level = items;
+    while let Some(hit) = level.iter().find(|i| i.line <= line && line <= i.end_line) {
+        path.push(hit);
+        level = &hit.children;
+    }
+    path
+}
+
+/// Bracket-nesting depths used while scanning signatures and types.
+/// Angle brackets are tracked arrow-aware: the `>` in `->` and `=>` never
+/// closes a generic.
+#[derive(Default)]
+struct Depth {
+    paren: i32,
+    bracket: i32,
+    brace: i32,
+    angle: i32,
+}
+
+impl Depth {
+    fn zero(&self) -> bool {
+        self.paren == 0 && self.bracket == 0 && self.brace == 0 && self.angle == 0
+    }
+
+    /// Update for `cur`; `prev` disambiguates `->` / `=>` from `>`.
+    /// `track_angle` is off when scanning expressions, where `<` is more
+    /// likely a comparison than a generic.
+    fn update(&mut self, cur: &Tok, prev: Option<&Tok>, track_angle: bool) {
+        match cur {
+            Tok::Punct('(') => self.paren += 1,
+            Tok::Punct(')') => self.paren -= 1,
+            Tok::Punct('[') => self.bracket += 1,
+            Tok::Punct(']') => self.bracket -= 1,
+            Tok::Punct('{') => self.brace += 1,
+            Tok::Punct('}') => self.brace -= 1,
+            Tok::Punct('<') if track_angle => self.angle += 1,
+            Tok::Punct('>') if track_angle => {
+                let arrow = matches!(prev, Some(Tok::Punct('-' | '=')));
+                if !arrow && self.angle > 0 {
+                    self.angle -= 1;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    src: &'a str,
+    doc_lines: &'a [u32],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn cur(&self) -> Option<&'a Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn cur_tok(&self) -> Option<&'a Tok> {
+        self.cur().map(|t| &t.tok)
+    }
+
+    fn nth_tok(&self, n: usize) -> Option<&'a Tok> {
+        self.toks.get(self.pos + n).map(|t| &t.tok)
+    }
+
+    fn cur_ident(&self) -> Option<&'a str> {
+        match self.cur_tok() {
+            Some(Tok::Ident(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    fn at_punct(&self, ch: char) -> bool {
+        matches!(self.cur_tok(), Some(Tok::Punct(c)) if *c == ch)
+    }
+
+    fn bump(&mut self) {
+        self.pos += 1;
+    }
+
+    fn cur_line(&self) -> u32 {
+        self.cur().map_or(0, |t| t.line)
+    }
+
+    /// Skip one token; if it opens a `(`/`[`/`{` group, skip the whole
+    /// balanced tree. Guarantees progress.
+    fn skip_tree(&mut self) {
+        match self.cur_tok() {
+            Some(Tok::Punct('(')) => self.skip_balanced('(', ')'),
+            Some(Tok::Punct('[')) => self.skip_balanced('[', ']'),
+            Some(Tok::Punct('{')) => self.skip_balanced('{', '}'),
+            Some(_) => self.bump(),
+            None => {}
+        }
+    }
+
+    /// Consume a balanced `open … close` group, cursor on `open`.
+    fn skip_balanced(&mut self, open: char, close: char) {
+        let mut depth = 0i32;
+        while let Some(tok) = self.cur_tok() {
+            match tok {
+                Tok::Punct(c) if *c == open => depth += 1,
+                Tok::Punct(c) if *c == close => {
+                    depth -= 1;
+                    if depth == 0 {
+                        self.bump();
+                        return;
+                    }
+                }
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+
+    /// Skip a `<…>` generic parameter list if the cursor is on `<`.
+    fn skip_generics(&mut self) {
+        if !self.at_punct('<') {
+            return;
+        }
+        let mut depth = Depth::default();
+        let mut prev: Option<&Tok> = None;
+        while let Some(tok) = self.cur_tok() {
+            depth.update(tok, prev, true);
+            prev = Some(tok);
+            self.bump();
+            if depth.zero() {
+                return;
+            }
+        }
+    }
+
+    /// Collect tokens until `stop` matches at depth zero, returning the
+    /// canonical text of everything consumed (exclusive of the stop
+    /// token). `track_angle` selects type-vs-expression `<` handling.
+    fn text_until(&mut self, track_angle: bool, stop: impl Fn(&Tok) -> bool) -> String {
+        let start = self.pos;
+        let mut depth = Depth::default();
+        let mut prev: Option<&Tok> = None;
+        while let Some(tok) = self.cur_tok() {
+            if depth.zero() && stop(tok) {
+                break;
+            }
+            depth.update(tok, prev, track_angle);
+            prev = Some(tok);
+            self.bump();
+        }
+        canonical_text(self.src, &self.toks[start..self.pos])
+    }
+
+    /// Parse items until EOF, or until a `}` at this level when
+    /// `inside_braces` (the caller consumes the brace).
+    fn items(&mut self, inside_braces: bool) -> Vec<Item> {
+        let mut out = Vec::new();
+        while self.pos < self.toks.len() {
+            if inside_braces && self.at_punct('}') {
+                break;
+            }
+            let checkpoint = self.pos;
+            if let Some(item) = self.item() {
+                out.push(item);
+            }
+            if self.pos == checkpoint {
+                self.skip_tree();
+            }
+        }
+        out
+    }
+
+    /// Try to parse one item at the cursor. Returns `None` (after making
+    /// whatever progress it safely can) for non-item constructs.
+    fn item(&mut self) -> Option<Item> {
+        let start_idx = self.pos;
+        let prev_line = if start_idx == 0 {
+            0
+        } else {
+            self.toks[start_idx - 1].line
+        };
+        let first_line = self.cur_line();
+
+        // Outer attributes stick to the item; inner `#![…]` are skipped.
+        let mut attrs = Vec::new();
+        while self.at_punct('#') {
+            let inner = matches!(self.nth_tok(1), Some(Tok::Punct('!')));
+            let attr_start = self.pos;
+            self.bump();
+            if inner {
+                self.bump();
+            }
+            if self.at_punct('[') {
+                self.skip_balanced('[', ']');
+            }
+            if !inner {
+                attrs.push(canonical_text(self.src, &self.toks[attr_start..self.pos]));
+            }
+        }
+
+        // Visibility and fn modifiers.
+        loop {
+            match self.cur_ident() {
+                Some("pub") => {
+                    self.bump();
+                    if self.at_punct('(') {
+                        self.skip_balanced('(', ')');
+                    }
+                }
+                Some("unsafe" | "async" | "default") => self.bump(),
+                Some("extern") => {
+                    self.bump();
+                    if matches!(self.cur_tok(), Some(Tok::Str(_))) {
+                        self.bump();
+                    }
+                }
+                Some("const") if matches!(self.nth_tok(1), Some(Tok::Ident(k)) if k == "fn") => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+
+        let kw = self.cur_ident()?;
+        let line = self.cur_line();
+        let mut item = match kw {
+            "mod" => self.finish_mod(line),
+            "fn" => self.finish_fn(line),
+            "struct" => self.finish_struct(line),
+            "enum" => self.finish_enum(line),
+            "impl" => self.finish_impl(line),
+            "trait" => self.finish_trait(line),
+            "static" | "const" => self.finish_static_const(line, kw == "static"),
+            "type" => self.finish_type_alias(line),
+            "use" | "macro_rules" => {
+                self.skip_statement();
+                return None;
+            }
+            _ if matches!(self.nth_tok(1), Some(Tok::Punct('!'))) => {
+                // Item-level macro invocation (`thread_local! { … }`).
+                self.skip_statement();
+                return None;
+            }
+            _ => return None,
+        }?;
+
+        item.line = first_line.min(item.line);
+        item.attrs = attrs;
+        item.has_doc = self
+            .doc_lines
+            .iter()
+            .any(|&d| d > prev_line && d <= first_line);
+        Some(item)
+    }
+
+    /// Consume through the end of a `use`/macro statement: the first `;`
+    /// at depth zero, or the end of a braced group.
+    fn skip_statement(&mut self) {
+        let mut depth = Depth::default();
+        while let Some(tok) = self.cur_tok() {
+            if depth.zero() {
+                if matches!(tok, Tok::Punct(';')) {
+                    self.bump();
+                    return;
+                }
+                if matches!(tok, Tok::Punct('{')) {
+                    self.skip_balanced('{', '}');
+                    return;
+                }
+            }
+            depth.update(tok, None, false);
+            self.bump();
+        }
+    }
+
+    fn finish_mod(&mut self, line: u32) -> Option<Item> {
+        self.bump(); // `mod`
+        let mut item = Item::new(ItemKind::Mod, line);
+        item.name = self.cur_ident()?.to_string();
+        self.bump();
+        if self.at_punct(';') {
+            item.end_line = self.cur_line();
+            self.bump();
+        } else if self.at_punct('{') {
+            self.bump();
+            item.children = self.items(true);
+            item.end_line = self.cur_line();
+            self.bump(); // `}`
+        }
+        Some(item)
+    }
+
+    fn finish_fn(&mut self, line: u32) -> Option<Item> {
+        self.bump(); // `fn`
+        let mut item = Item::new(ItemKind::Fn, line);
+        item.name = self.cur_ident()?.to_string();
+        self.bump();
+        // Signature: everything up to the body `{` or a `;` declaration.
+        let mut depth = Depth::default();
+        let mut prev: Option<&Tok> = None;
+        while let Some(tok) = self.cur_tok() {
+            if depth.zero() {
+                if matches!(tok, Tok::Punct('{')) {
+                    let body_start = self.pos + 1;
+                    self.skip_balanced('{', '}');
+                    item.body = Some((body_start, self.pos - 1));
+                    item.end_line = self.toks[self.pos - 1].line;
+                    return Some(item);
+                }
+                if matches!(tok, Tok::Punct(';')) {
+                    item.end_line = self.cur_line();
+                    self.bump();
+                    return Some(item);
+                }
+            }
+            depth.update(tok, prev, true);
+            prev = Some(tok);
+            self.bump();
+        }
+        Some(item)
+    }
+
+    fn finish_struct(&mut self, line: u32) -> Option<Item> {
+        self.bump(); // `struct`
+        let mut item = Item::new(ItemKind::Struct, line);
+        item.name = self.cur_ident()?.to_string();
+        self.bump();
+        self.skip_generics();
+        if self.at_punct('(') {
+            self.bump();
+            item.fields = self.tuple_fields(')');
+            self.bump(); // `)`
+            let _ = self.text_until(false, |t| matches!(t, Tok::Punct(';'))); // where clause
+            item.end_line = self.cur_line();
+            self.bump(); // `;`
+            return Some(item);
+        }
+        // Skip a where clause.
+        let _ = self.text_until(true, |t| matches!(t, Tok::Punct('{' | ';')));
+        if self.at_punct(';') {
+            item.end_line = self.cur_line();
+            self.bump();
+            return Some(item);
+        }
+        if self.at_punct('{') {
+            self.bump();
+            item.fields = self.named_fields();
+            item.end_line = self.cur_line();
+            self.bump(); // `}`
+        }
+        Some(item)
+    }
+
+    /// Named fields inside `{ … }`, cursor just past the opening brace.
+    fn named_fields(&mut self) -> Vec<Field> {
+        let mut fields = Vec::new();
+        loop {
+            while self.at_punct('#') {
+                self.bump();
+                if self.at_punct('[') {
+                    self.skip_balanced('[', ']');
+                }
+            }
+            if self.at_punct('}') || self.cur().is_none() {
+                break;
+            }
+            if self.cur_ident() == Some("pub") {
+                self.bump();
+                if self.at_punct('(') {
+                    self.skip_balanced('(', ')');
+                }
+            }
+            let Some(name) = self.cur_ident() else {
+                self.skip_tree();
+                continue;
+            };
+            let (name, field_line) = (name.to_string(), self.cur_line());
+            self.bump();
+            if !self.at_punct(':') {
+                continue;
+            }
+            self.bump();
+            let ty = self.text_until(true, |t| matches!(t, Tok::Punct(',' | '}')));
+            fields.push(Field {
+                name,
+                ty,
+                line: field_line,
+            });
+            if self.at_punct(',') {
+                self.bump();
+            }
+        }
+        fields
+    }
+
+    /// Tuple fields inside `( … )`, cursor just past the opening paren;
+    /// `close` is `)` . Fields are named positionally.
+    fn tuple_fields(&mut self, close: char) -> Vec<Field> {
+        let mut fields = Vec::new();
+        let mut index = 0usize;
+        loop {
+            while self.at_punct('#') {
+                self.bump();
+                if self.at_punct('[') {
+                    self.skip_balanced('[', ']');
+                }
+            }
+            if self.at_punct(close) || self.cur().is_none() {
+                break;
+            }
+            if self.cur_ident() == Some("pub") {
+                self.bump();
+                if self.at_punct('(') {
+                    self.skip_balanced('(', ')');
+                }
+            }
+            let field_line = self.cur_line();
+            let ty = self.text_until(
+                true,
+                move |t| matches!(t, Tok::Punct(c) if *c == ',' || *c == close),
+            );
+            if !ty.is_empty() {
+                fields.push(Field {
+                    name: index.to_string(),
+                    ty,
+                    line: field_line,
+                });
+                index += 1;
+            }
+            if self.at_punct(',') {
+                self.bump();
+            }
+        }
+        fields
+    }
+
+    fn finish_enum(&mut self, line: u32) -> Option<Item> {
+        self.bump(); // `enum`
+        let mut item = Item::new(ItemKind::Enum, line);
+        item.name = self.cur_ident()?.to_string();
+        self.bump();
+        self.skip_generics();
+        let _ = self.text_until(true, |t| matches!(t, Tok::Punct('{' | ';')));
+        if !self.at_punct('{') {
+            item.end_line = self.cur_line();
+            self.bump();
+            return Some(item);
+        }
+        self.bump();
+        loop {
+            while self.at_punct('#') {
+                self.bump();
+                if self.at_punct('[') {
+                    self.skip_balanced('[', ']');
+                }
+            }
+            if self.at_punct('}') || self.cur().is_none() {
+                break;
+            }
+            let Some(name) = self.cur_ident() else {
+                self.skip_tree();
+                continue;
+            };
+            let mut variant = Variant {
+                name: name.to_string(),
+                fields: Vec::new(),
+                line: self.cur_line(),
+            };
+            self.bump();
+            if self.at_punct('(') {
+                self.bump();
+                variant.fields = self.tuple_fields(')');
+                self.bump(); // `)`
+            } else if self.at_punct('{') {
+                self.bump();
+                variant.fields = self.named_fields();
+                self.bump(); // `}`
+            } else if self.at_punct('=') {
+                self.bump();
+                let _ = self.text_until(false, |t| matches!(t, Tok::Punct(',' | '}')));
+            }
+            item.variants.push(variant);
+            if self.at_punct(',') {
+                self.bump();
+            }
+        }
+        item.end_line = self.cur_line();
+        self.bump(); // `}`
+        Some(item)
+    }
+
+    fn finish_impl(&mut self, line: u32) -> Option<Item> {
+        self.bump(); // `impl`
+        let mut item = Item::new(ItemKind::Impl, line);
+        self.skip_generics();
+        let first = self.text_until(true, |t| {
+            matches!(t, Tok::Punct('{')) || matches!(t, Tok::Ident(k) if k == "for" || k == "where")
+        });
+        if self.cur_ident() == Some("for") {
+            self.bump();
+            item.trait_name = Some(first);
+            item.name = self.text_until(true, |t| {
+                matches!(t, Tok::Punct('{')) || matches!(t, Tok::Ident(k) if k == "where")
+            });
+        } else {
+            item.name = first;
+        }
+        if self.cur_ident() == Some("where") {
+            let _ = self.text_until(true, |t| matches!(t, Tok::Punct('{')));
+        }
+        if self.at_punct('{') {
+            self.bump();
+            item.children = self.items(true);
+            item.end_line = self.cur_line();
+            self.bump(); // `}`
+        }
+        Some(item)
+    }
+
+    fn finish_trait(&mut self, line: u32) -> Option<Item> {
+        self.bump(); // `trait`
+        let mut item = Item::new(ItemKind::Trait, line);
+        item.name = self.cur_ident()?.to_string();
+        self.bump();
+        let _ = self.text_until(true, |t| matches!(t, Tok::Punct('{' | ';')));
+        if self.at_punct('{') {
+            self.bump();
+            item.children = self.items(true);
+            item.end_line = self.cur_line();
+            self.bump(); // `}`
+        } else {
+            item.end_line = self.cur_line();
+            self.bump();
+        }
+        Some(item)
+    }
+
+    fn finish_static_const(&mut self, line: u32, is_static: bool) -> Option<Item> {
+        self.bump(); // `static` | `const`
+        let kind = if is_static {
+            ItemKind::Static
+        } else {
+            ItemKind::Const
+        };
+        let mut item = Item::new(kind, line);
+        if is_static && self.cur_ident() == Some("mut") {
+            item.is_mut_static = true;
+            self.bump();
+        }
+        // `const _: () = …` anonymous consts use `_`, still an ident.
+        item.name = self.cur_ident()?.to_string();
+        self.bump();
+        if self.at_punct(':') {
+            self.bump();
+            item.ty = Some(self.text_until(true, |t| matches!(t, Tok::Punct('=' | ';'))));
+        }
+        if self.at_punct('=') {
+            self.bump();
+            item.init = Some(self.text_until(false, |t| matches!(t, Tok::Punct(';'))));
+        }
+        item.end_line = self.cur_line();
+        self.bump(); // `;`
+        Some(item)
+    }
+
+    fn finish_type_alias(&mut self, line: u32) -> Option<Item> {
+        self.bump(); // `type`
+        let mut item = Item::new(ItemKind::TypeAlias, line);
+        item.name = self.cur_ident()?.to_string();
+        self.bump();
+        self.skip_generics();
+        if self.at_punct('=') {
+            self.bump();
+            item.ty = Some(self.text_until(true, |t| matches!(t, Tok::Punct(';'))));
+        } else {
+            let _ = self.text_until(true, |t| matches!(t, Tok::Punct(';')));
+        }
+        item.end_line = self.cur_line();
+        self.bump(); // `;`
+        Some(item)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> Vec<Item> {
+        parse_items(src, &lex(src))
+    }
+
+    #[test]
+    fn struct_fields_keep_names_types_and_order() {
+        let items = parse(
+            "pub struct PersistedGroup {\n\
+             \x20   pub key: SimilarityKey,\n\
+             \x20   pub estimate_kb: f64,\n\
+             \x20   pub recent: Vec<u64>,\n\
+             }\n",
+        );
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].kind, ItemKind::Struct);
+        assert_eq!(items[0].name, "PersistedGroup");
+        let fields: Vec<_> = items[0]
+            .fields
+            .iter()
+            .map(|f| (f.name.as_str(), f.ty.as_str()))
+            .collect();
+        assert_eq!(
+            fields,
+            vec![
+                ("key", "SimilarityKey"),
+                ("estimate_kb", "f64"),
+                ("recent", "Vec<u64>"),
+            ]
+        );
+    }
+
+    #[test]
+    fn tuple_structs_and_references() {
+        let items = parse("struct Wrapper<'a>(pub &'a mut Vec<u8>, usize);");
+        assert_eq!(items[0].fields.len(), 2);
+        assert_eq!(items[0].fields[0].name, "0");
+        assert_eq!(items[0].fields[0].ty, "&'a mut Vec<u8>");
+        assert_eq!(items[0].fields[1].ty, "usize");
+    }
+
+    #[test]
+    fn enum_variants_with_payloads() {
+        let items = parse(
+            "pub enum SnapshotState {\n\
+             \x20   SuccessiveV1 { groups: Vec<PersistedGroup> },\n\
+             \x20   LastInstanceV1 { groups: Vec<PersistedLastGroup> },\n\
+             \x20   Unit,\n\
+             \x20   Pair(u32, String),\n\
+             }\n",
+        );
+        let e = &items[0];
+        assert_eq!(e.kind, ItemKind::Enum);
+        let names: Vec<_> = e.variants.iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["SuccessiveV1", "LastInstanceV1", "Unit", "Pair"]
+        );
+        assert_eq!(e.variants[0].fields[0].ty, "Vec<PersistedGroup>");
+        assert_eq!(e.variants[3].fields[1].ty, "String");
+    }
+
+    #[test]
+    fn impl_trait_for_type_and_children() {
+        let items = parse(
+            "impl ResourceEstimator for Successive {\n\
+             \x20   fn estimate(&mut self, job: &Job) -> u64 { self.inner() }\n\
+             \x20   fn observe(&mut self) {}\n\
+             }\n\
+             impl ServiceShard {\n\
+             \x20   pub fn stats(&self) -> &ShardStats { &self.stats }\n\
+             }\n",
+        );
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].kind, ItemKind::Impl);
+        assert_eq!(items[0].trait_name.as_deref(), Some("ResourceEstimator"));
+        assert_eq!(items[0].name, "Successive");
+        let fns: Vec<_> = items[0].children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(fns, vec!["estimate", "observe"]);
+        assert_eq!(items[1].trait_name, None);
+        assert_eq!(items[1].name, "ServiceShard");
+        assert!(items[1].children[0].body.is_some());
+    }
+
+    #[test]
+    fn generic_impl_with_arrow_in_bounds() {
+        let items = parse(
+            "impl<F: Fn(u32) -> bool> Filter for Pred<F> where F: Clone {\n\
+             \x20   fn test(&self) {}\n\
+             }\n",
+        );
+        assert_eq!(items[0].trait_name.as_deref(), Some("Filter"));
+        assert_eq!(items[0].name, "Pred<F>");
+        assert_eq!(items[0].children.len(), 1);
+    }
+
+    #[test]
+    fn statics_and_consts() {
+        let items = parse(
+            "static mut COUNTER: u64 = 0;\n\
+             pub const FORMAT_VERSION: u32 = 1;\n\
+             pub const MAGIC: [u8; 4] = *b\"RSNP\";\n",
+        );
+        assert_eq!(items[0].kind, ItemKind::Static);
+        assert!(items[0].is_mut_static);
+        assert_eq!(items[1].kind, ItemKind::Const);
+        assert_eq!(items[1].name, "FORMAT_VERSION");
+        assert_eq!(items[1].ty.as_deref(), Some("u32"));
+        assert_eq!(items[1].init.as_deref(), Some("1"));
+        assert!(!items[1].is_mut_static);
+        assert_eq!(items[2].ty.as_deref(), Some("[u8;4]"));
+    }
+
+    #[test]
+    fn nested_mods_and_cfg_test() {
+        let items = parse(
+            "mod outer {\n\
+             \x20   pub fn visible() {}\n\
+             \x20   #[cfg(test)]\n\
+             \x20   mod tests {\n\
+             \x20       fn helper() {}\n\
+             \x20   }\n\
+             }\n",
+        );
+        let outer = &items[0];
+        assert_eq!(outer.kind, ItemKind::Mod);
+        assert_eq!(outer.children.len(), 2);
+        assert!(outer.children[1].is_cfg_test());
+        assert_eq!(outer.children[1].children[0].name, "helper");
+    }
+
+    #[test]
+    fn doc_state_is_tracked() {
+        let items = parse(
+            "/// Documented.\n\
+             pub fn a() {}\n\
+             pub fn b() {}\n",
+        );
+        assert!(items[0].has_doc);
+        assert!(!items[1].has_doc);
+    }
+
+    #[test]
+    fn fn_body_ranges_cover_call_sites() {
+        let src = "fn caller() { helper(); other::call(2) }\nfn helper() {}\n";
+        let lexed = lex(src);
+        let items = parse_items(src, &lexed);
+        let (start, end) = items[0].body.expect("body range");
+        let idents: Vec<_> = lexed.tokens[start..end]
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(idents, vec!["helper", "other", "call"]);
+        assert!(items[1].body.expect("body").0 > end);
+    }
+
+    #[test]
+    fn unrecognised_constructs_do_not_desync() {
+        let items = parse(
+            "thread_local! { static TL: u32 = 0; }\n\
+             extern \"C\" { fn c_side(); }\n\
+             use std::collections::BTreeMap;\n\
+             macro_rules! m { () => {}; }\n\
+             struct After { x: u32 }\n",
+        );
+        let after = items.iter().find(|i| i.name == "After").expect("After");
+        assert_eq!(after.fields[0].name, "x");
+        assert!(!items.iter().any(|i| i.name == "TL"));
+    }
+
+    #[test]
+    fn enclosing_reports_fn_and_impl() {
+        let src = "impl Engine {\n\
+                   \x20   fn new() -> Engine {\n\
+                   \x20       Engine {}\n\
+                   \x20   }\n\
+                   }\n";
+        let items = parse(src);
+        let path = enclosing(&items, 3);
+        assert_eq!(path.len(), 2);
+        assert_eq!(path[0].name, "Engine");
+        assert_eq!(path[0].kind, ItemKind::Impl);
+        assert_eq!(path[1].name, "new");
+    }
+
+    #[test]
+    fn type_head_strips_paths_and_generics() {
+        assert_eq!(type_head("Vec<PersistedGroup>"), "Vec");
+        assert_eq!(
+            type_head("resmatch_core::snapshot::SnapshotState"),
+            "SnapshotState"
+        );
+        assert_eq!(type_head("&'a mut ServiceShard"), "ServiceShard");
+        assert_eq!(type_head("&mut ServiceShard"), "ServiceShard");
+    }
+}

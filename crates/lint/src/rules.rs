@@ -7,6 +7,8 @@
 //! convention (the lint does not parse it, reviewers do).
 
 use crate::lexer::{lex, Tok, Token};
+use crate::parse::{enclosing, type_head, Item, ItemKind};
+use crate::symbols::{reachable_fns, SourceFile, SymbolTable};
 
 /// Identifier of a lint rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -24,6 +26,15 @@ pub enum Rule {
     FloatCmp,
     /// Every observer trait method has at least one emission site.
     ObserverEvents,
+    /// No shared mutable state reachable from the service's hot estimate
+    /// path; `ServiceShard` fields stay behind shard-owned methods.
+    ShardIsolation,
+    /// No allocating constructs in the engine's hot modules outside
+    /// `SimArena` setup. Ratcheted by `lint-alloc-baseline.txt`.
+    HotPathAlloc,
+    /// The snapshot wire schema may only change together with a
+    /// `FORMAT_VERSION` bump and a regenerated fingerprint file.
+    SnapshotSchema,
 }
 
 impl Rule {
@@ -35,17 +46,23 @@ impl Rule {
             Rule::CrateHygiene => "crate-hygiene",
             Rule::FloatCmp => "float-cmp",
             Rule::ObserverEvents => "observer-events",
+            Rule::ShardIsolation => "shard-isolation",
+            Rule::HotPathAlloc => "hot-path-alloc",
+            Rule::SnapshotSchema => "snapshot-schema",
         }
     }
 
     /// All rules, in catalog order.
-    pub fn all() -> [Rule; 5] {
+    pub fn all() -> [Rule; 8] {
         [
             Rule::Determinism,
             Rule::PanicFree,
             Rule::CrateHygiene,
             Rule::FloatCmp,
             Rule::ObserverEvents,
+            Rule::ShardIsolation,
+            Rule::HotPathAlloc,
+            Rule::SnapshotSchema,
         ]
     }
 
@@ -123,6 +140,56 @@ impl Rule {
                  When adding a trait method, wire its engine emission in the same \
                  change; when removing an emission, remove or re-route the method."
             }
+            Rule::ShardIsolation => {
+                "shard-isolation — the service's estimate path is fast *because* it \
+                 is shard-local: PR 7 proved one-thread-per-shard bit-identity, and \
+                 that proof only generalises if no shared mutable state can creep \
+                 in. Flagged in crates/service library code:\n\
+                 \x20 - `static mut` items and statics whose type carries interior \
+                 mutability (Mutex, RwLock, RefCell, Cell, Atomic*) — process-wide \
+                 state is visible to every shard at once.\n\
+                 \x20 - `Mutex`/`RwLock` usage inside any fn reachable (by \
+                 name-based call graph) from an `estimate` fn — a lock on the hot \
+                 path serialises shards and can deadlock under feedback flush.\n\
+                 \x20 - `ServiceShard` field access (`shard.queue`, \
+                 `self.shards[i].stats`) outside `impl ServiceShard` — shard \
+                 internals are owned by the shard; cross-shard code goes through \
+                 its methods so the flush-before-estimate rule cannot be bypassed.\n\n\
+                 Suppress a site that provably cannot race (e.g. a read of an \
+                 immutable static) with `// lint: allow(shard-isolation): <why>`."
+            }
+            Rule::HotPathAlloc => {
+                "hot-path-alloc — PR 6 made the engine's steady state allocation-\
+                 free (SimArena owns every buffer; sim/tests/alloc_steady.rs pins \
+                 warm sweep points at <=8 allocations), and this rule freezes that \
+                 discipline statically. Flagged in the hot modules (engine.rs, \
+                 release.rs, queue.rs, store.rs, event.rs of crates/sim):\n\
+                 \x20 - `Vec::new`/`VecDeque::new`/`Box::new`, `vec![…]`, \
+                 `format!`, `.to_vec()`, and `.clone()` calls — each allocates on \
+                 every execution of its enclosing code.\n\n\
+                 Exempt: bodies inside `impl SimArena` (the arena IS the setup \
+                 path) and fns named `new`/`default` or starting `with_`/`from_` \
+                 (constructors run once per simulation, not per event). Remaining \
+                 sites are recorded per file in lint-alloc-baseline.txt and may \
+                 only ratchet DOWN, exactly like panic-free. A once-per-run site \
+                 that must stand takes `// lint: allow(hot-path-alloc): <why>`."
+            }
+            Rule::SnapshotSchema => {
+                "snapshot-schema — the RSNP snapshot codec is schema-static: wire \
+                 layout IS struct declaration order, so reordering, renaming, \
+                 retyping, adding, or removing a field on any type reachable from \
+                 SnapshotDocument silently changes the bytes every saved snapshot \
+                 and every future federation peer depends on. The linter parses \
+                 that type closure (service/file.rs, core/snapshot.rs and the \
+                 persisted group structs), renders field names/types/order into a \
+                 canonical listing, and FNV-1a-64 fingerprints it into the \
+                 committed snapshot-schema.txt.\n\n\
+                 `check` fails when the fingerprint drifts while FORMAT_VERSION \
+                 (crates/service/src/file.rs) is unchanged. An intentional format \
+                 change is two edits in one PR: bump FORMAT_VERSION, then run \
+                 `cargo run -p resmatch-lint -- schema` to regenerate the \
+                 fingerprint file (CI diffs it, so a stale file cannot merge)."
+            }
         }
     }
 }
@@ -168,13 +235,26 @@ pub struct Violation {
 }
 
 /// Crates whose library code must be deterministic.
-const DETERMINISM_CRATES: [&str; 4] = ["sim", "core", "cluster", "service"];
+const DETERMINISM_CRATES: [&str; 5] = ["sim", "core", "cluster", "service", "classad"];
 /// Crates whose library code is subject to the float-comparison rule.
 /// `stats` is the approved comparison-helper crate and deliberately absent.
-const FLOAT_CMP_CRATES: [&str; 5] = ["sim", "core", "cluster", "workload", "service"];
+const FLOAT_CMP_CRATES: [&str; 6] = ["sim", "core", "cluster", "workload", "service", "classad"];
 /// Crates whose public API must be fully documented.
-const DENY_MISSING_DOCS_CRATES: [&str; 7] = [
-    "sim", "core", "workload", "cluster", "stats", "repro", "service",
+const DENY_MISSING_DOCS_CRATES: [&str; 8] = [
+    "sim", "core", "workload", "cluster", "stats", "repro", "service", "classad",
+];
+/// Files exempt from the float-comparison rule by path: the ClassAd
+/// numeric evaluator implements the language's own `==`/`!=` semantics and
+/// must compare floats exactly by specification.
+const FLOAT_CMP_EXEMPT_FILES: [&str; 1] = ["crates/classad/src/value.rs"];
+/// The engine's hot modules, where [`Rule::HotPathAlloc`] applies: every
+/// file on the per-event path PR 6 made steady-state allocation-free.
+pub const HOT_PATH_FILES: [&str; 5] = [
+    "crates/sim/src/engine.rs",
+    "crates/sim/src/release.rs",
+    "crates/sim/src/queue.rs",
+    "crates/sim/src/store.rs",
+    "crates/sim/src/event.rs",
 ];
 
 /// Compute, per token index, whether the token sits inside `#[cfg(test)]`
@@ -278,6 +358,12 @@ impl Allows {
 pub fn check_file(path: &str, src: &str, class: &FileClass) -> Vec<Violation> {
     let lexed = lex(src);
     let mask = test_mask(&lexed.tokens);
+    let hot = HOT_PATH_FILES.contains(&path);
+    let items = if hot {
+        Some(crate::parse::parse_items(src, &lexed))
+    } else {
+        None
+    };
     let allows = Allows(lexed.allows.into_iter().map(|a| (a.line, a.rule)).collect());
     let mut out = Vec::new();
 
@@ -286,8 +372,13 @@ pub fn check_file(path: &str, src: &str, class: &FileClass) -> Vec<Violation> {
             determinism(path, &lexed.tokens, &mask, &allows, &mut out);
         }
         panic_free(path, &lexed.tokens, &mask, &allows, &mut out);
-        if FLOAT_CMP_CRATES.contains(&class.crate_name.as_str()) {
+        if FLOAT_CMP_CRATES.contains(&class.crate_name.as_str())
+            && !FLOAT_CMP_EXEMPT_FILES.contains(&path)
+        {
             float_cmp(path, &lexed.tokens, &mask, &allows, &mut out);
+        }
+        if let Some(items) = &items {
+            hot_path_alloc(path, &lexed.tokens, &mask, items, &allows, &mut out);
         }
     }
     if class.is_crate_root && class.kind == FileKind::Lib {
@@ -603,6 +694,246 @@ fn crate_hygiene(path: &str, tokens: &[Token], class: &FileClass, out: &mut Vec<
             ),
         });
     }
+}
+
+/// Rule 7: hot-path allocation discipline (baseline-ratcheted).
+///
+/// `items` is the parsed item tree of the file — exemption decisions
+/// (constructor fns, `impl SimArena` bodies) are made on the enclosing
+/// item chain of each site, which a flat token scan cannot see.
+fn hot_path_alloc(
+    path: &str,
+    tokens: &[Token],
+    mask: &[bool],
+    items: &[Item],
+    allows: &Allows,
+    out: &mut Vec<Violation>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        if mask[i] {
+            continue;
+        }
+        let Tok::Ident(name) = &t.tok else { continue };
+        let path_call = |target: &str| {
+            is_punct(tokens.get(i + 1), ':')
+                && is_punct(tokens.get(i + 2), ':')
+                && is_ident(tokens.get(i + 3), target)
+        };
+        let method_call =
+            is_punct(tokens.get(i.wrapping_sub(1)), '.') && is_punct(tokens.get(i + 1), '(');
+        let msg = match name.as_str() {
+            "vec" if is_punct(tokens.get(i + 1), '!') => {
+                Some("`vec![…]` allocates a fresh Vec on every execution".to_string())
+            }
+            "format" if is_punct(tokens.get(i + 1), '!') => {
+                Some("`format!` allocates a String on every execution".to_string())
+            }
+            "Vec" | "VecDeque" | "Box" if path_call("new") => Some(format!(
+                "`{name}::new()` allocates outside arena setup; take the buffer \
+                 from SimArena or hoist into a constructor"
+            )),
+            "to_vec" if method_call => {
+                Some("`.to_vec()` copies into a fresh allocation".to_string())
+            }
+            "clone" if method_call => Some(
+                "`.clone()` in a hot module usually deep-copies a collection; \
+                 borrow, mem::take, or move instead"
+                    .to_string(),
+            ),
+            _ => None,
+        };
+        if let Some(msg) = msg {
+            if alloc_exempt(items, t.line) {
+                continue;
+            }
+            push(out, allows, Rule::HotPathAlloc, path, t, msg);
+        }
+    }
+}
+
+/// True when `line` sits inside an allocation-exempt scope: the body of an
+/// `impl SimArena` (the arena *is* the setup path) or a constructor-shaped
+/// fn (`new`, `default`, `with_*`, `from_*` — run once per simulation).
+fn alloc_exempt(items: &[Item], line: u32) -> bool {
+    enclosing(items, line).iter().any(|it| match it.kind {
+        ItemKind::Impl => type_head(&it.name) == "SimArena",
+        ItemKind::Fn => {
+            it.name == "new"
+                || it.name == "default"
+                || it.name.starts_with("with_")
+                || it.name.starts_with("from_")
+        }
+        _ => false,
+    })
+}
+
+/// Rule 6: shard isolation — a cross-file pass over the service crate's
+/// library sources.
+///
+/// Three sub-checks, all static complements of PR 7's dynamic
+/// one-thread-per-shard bit-identity proof:
+///
+/// 1. shared mutable statics (`static mut`, or a static whose type has
+///    interior mutability) — process-wide state visible to every shard;
+/// 2. `Mutex`/`RwLock` inside any fn reachable from an `estimate` fn via
+///    the name-based call graph — locks on the hot path serialise shards;
+/// 3. `ServiceShard` field *access* (not method calls) outside
+///    `impl ServiceShard` blocks — shard internals go through shard-owned
+///    methods so flush-before-estimate cannot be bypassed.
+pub fn shard_isolation(files: &[SourceFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let table = SymbolTable::build(files);
+
+    // 1. Shared mutable statics.
+    for file in files.iter() {
+        let allows = Allows(
+            file.lexed
+                .allows
+                .iter()
+                .map(|a| (a.line, a.rule.clone()))
+                .collect(),
+        );
+        crate::parse::walk_items(&file.items, &mut |item, parent| {
+            if item.kind != ItemKind::Static
+                || item.is_cfg_test()
+                || parent.is_some_and(Item::is_cfg_test)
+            {
+                return;
+            }
+            let interior_mut = item.ty.as_deref().is_some_and(|ty| {
+                ["Mutex", "RwLock", "RefCell", "Cell", "Atomic"]
+                    .iter()
+                    .any(|m| ty.contains(m))
+            });
+            let msg = if item.is_mut_static {
+                Some(format!(
+                    "`static mut {}` is process-wide mutable state shared across \
+                     every shard; move it into ServiceShard",
+                    item.name
+                ))
+            } else if interior_mut {
+                Some(format!(
+                    "static `{}` has interior mutability ({}); shard state must \
+                     be shard-local",
+                    item.name,
+                    item.ty.as_deref().unwrap_or("")
+                ))
+            } else {
+                None
+            };
+            if let Some(msg) = msg {
+                if !allows.permits(item.line, Rule::ShardIsolation) {
+                    out.push(Violation {
+                        rule: Rule::ShardIsolation,
+                        path: file.path.clone(),
+                        line: item.line,
+                        col: 1,
+                        len: item.name.len().max(1) as u32,
+                        msg,
+                    });
+                }
+            }
+        });
+    }
+
+    // 2. Locks reachable from the hot estimate path.
+    let reached = reachable_fns(&table, files, |f| f.name == "estimate");
+    for idx in reached {
+        let f = &table.fns[idx];
+        let file = &files[f.file];
+        let Some((start, end)) = f.item.body else {
+            continue;
+        };
+        let allows = Allows(
+            file.lexed
+                .allows
+                .iter()
+                .map(|a| (a.line, a.rule.clone()))
+                .collect(),
+        );
+        for t in &file.lexed.tokens[start..end.min(file.lexed.tokens.len())] {
+            let Tok::Ident(name) = &t.tok else { continue };
+            if name == "Mutex" || name == "RwLock" {
+                push(
+                    &mut out,
+                    &allows,
+                    Rule::ShardIsolation,
+                    &file.path,
+                    t,
+                    format!(
+                        "`{name}` inside `{fn_name}`, which is reachable from the \
+                         hot estimate path; a lock here serialises shards",
+                        fn_name = f.name
+                    ),
+                );
+            }
+        }
+    }
+
+    // 3. ServiceShard field access outside shard-owned methods.
+    let Some(shard) = table.types.get("ServiceShard") else {
+        return out;
+    };
+    let fields: std::collections::BTreeSet<&str> =
+        shard.item.fields.iter().map(|f| f.name.as_str()).collect();
+    for file in files.iter() {
+        let mask = test_mask(&file.lexed.tokens);
+        let allows = Allows(
+            file.lexed
+                .allows
+                .iter()
+                .map(|a| (a.line, a.rule.clone()))
+                .collect(),
+        );
+        let tokens = &file.lexed.tokens;
+        for (i, t) in tokens.iter().enumerate() {
+            if mask[i] || !matches!(t.tok, Tok::Punct('.')) {
+                continue;
+            }
+            let Some(Token {
+                tok: Tok::Ident(field),
+                ..
+            }) = tokens.get(i + 1)
+            else {
+                continue;
+            };
+            if !fields.contains(field.as_str()) || is_punct(tokens.get(i + 2), '(') {
+                continue;
+            }
+            // Receiver heuristic: a nearby identifier mentioning "shard"
+            // (`shard.queue`, `self.shards[i].stats`). Method calls were
+            // excluded above, so whatever remains is a field access.
+            let receiver_is_shard = (1..=6).any(|back| {
+                matches!(
+                    tokens.get(i.wrapping_sub(back)),
+                    Some(Token { tok: Tok::Ident(r), .. }) if r.to_ascii_lowercase().contains("shard")
+                )
+            });
+            if !receiver_is_shard {
+                continue;
+            }
+            let inside_shard_impl = enclosing(&file.items, t.line)
+                .iter()
+                .any(|it| it.kind == ItemKind::Impl && type_head(&it.name) == "ServiceShard");
+            if inside_shard_impl {
+                continue;
+            }
+            let site = &tokens[i + 1];
+            push(
+                &mut out,
+                &allows,
+                Rule::ShardIsolation,
+                &file.path,
+                site,
+                format!(
+                    "direct access to ServiceShard field `{field}` outside \
+                     `impl ServiceShard`; go through a shard method so \
+                     flush-before-estimate consistency holds"
+                ),
+            );
+        }
+    }
+    out
 }
 
 /// Extract the method names of a `pub trait <name>` block, with the line of

@@ -17,24 +17,45 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::rules::{
-    check_file, method_call_sites, trait_method_names, FileClass, FileKind, Rule, Violation,
+    check_file, method_call_sites, shard_isolation, trait_method_names, FileClass, FileKind, Rule,
+    Violation,
 };
+use crate::schema;
+use crate::symbols::SourceFile;
+
+/// Crates whose library sources are retained (lexed + parsed) for the
+/// cross-file passes: shard-isolation reads `service`, snapshot-schema
+/// reads `service` + `core` (the persisted state types live in core).
+const RETAINED_CRATES: [&str; 2] = ["service", "core"];
 
 /// Result of scanning the whole workspace.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct ScanReport {
-    /// Violations of every rule except `panic-free`: always fatal in
+    /// Violations of every rule except the ratcheted ones: always fatal in
     /// `check`.
     pub violations: Vec<Violation>,
     /// `panic-free` sites: compared against the baseline ratchet.
     pub panic_sites: Vec<Violation>,
+    /// `hot-path-alloc` sites: compared against the alloc ratchet.
+    pub alloc_sites: Vec<Violation>,
+    /// Advisory notes from the schema gate (never fail the build).
+    pub notes: Vec<String>,
 }
 
 impl ScanReport {
     /// Per-file `panic-free` site counts, keyed by workspace-relative path.
     pub fn panic_counts(&self) -> BTreeMap<String, usize> {
+        Self::counts(&self.panic_sites)
+    }
+
+    /// Per-file `hot-path-alloc` site counts.
+    pub fn alloc_counts(&self) -> BTreeMap<String, usize> {
+        Self::counts(&self.alloc_sites)
+    }
+
+    fn counts(sites: &[Violation]) -> BTreeMap<String, usize> {
         let mut counts = BTreeMap::new();
-        for v in &self.panic_sites {
+        for v in sites {
             *counts.entry(v.path.clone()).or_insert(0usize) += 1;
         }
         counts
@@ -47,18 +68,58 @@ pub fn scan_workspace(root: &Path) -> io::Result<ScanReport> {
     let mut files = collect_sources(root)?;
     files.sort_by(|a, b| a.0.cmp(&b.0));
 
+    let mut retained: Vec<SourceFile> = Vec::new();
     for (rel, class) in &files {
         let src = fs::read_to_string(root.join(rel))?;
         for v in check_file(rel, &src, class) {
-            if v.rule == Rule::PanicFree {
-                report.panic_sites.push(v);
-            } else {
-                report.violations.push(v);
+            match v.rule {
+                Rule::PanicFree => report.panic_sites.push(v),
+                Rule::HotPathAlloc => report.alloc_sites.push(v),
+                _ => report.violations.push(v),
             }
+        }
+        if class.kind == FileKind::Lib && RETAINED_CRATES.contains(&class.crate_name.as_str()) {
+            retained.push(SourceFile::parse(rel.clone(), src));
         }
     }
     observer_events(root, &mut report.violations)?;
+
+    // Cross-file passes. Both skip gracefully in trees without the service
+    // crate (synthetic fixture workspaces): shard-isolation over an empty
+    // service file set finds nothing, and the schema gate only applies
+    // when the snapshot document type exists. `retained` is path-sorted,
+    // so the service files form its tail.
+    let service_start = retained
+        .iter()
+        .position(|f| f.path.starts_with("crates/service/"))
+        .unwrap_or(retained.len());
+    report
+        .violations
+        .extend(shard_isolation(&retained[service_start..]));
+
+    let committed = fs::read_to_string(root.join(schema::SCHEMA_FILE)).ok();
+    let schema_result = schema::check(&retained, committed.as_deref());
+    report.violations.extend(schema_result.violations);
+    report.notes.extend(schema_result.notes);
+
     Ok(report)
+}
+
+/// The lexed + parsed library sources the snapshot-schema pass reads
+/// (`crates/core` + `crates/service`), for the `schema` subcommand.
+pub fn snapshot_source_files(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut files = collect_sources(root)?;
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = Vec::new();
+    for (rel, class) in &files {
+        if class.kind == FileKind::Lib && RETAINED_CRATES.contains(&class.crate_name.as_str()) {
+            out.push(SourceFile::parse(
+                rel.clone(),
+                fs::read_to_string(root.join(rel))?,
+            ));
+        }
+    }
+    Ok(out)
 }
 
 /// Gather `(workspace-relative path, classification)` for every scannable

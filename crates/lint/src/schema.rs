@@ -1,0 +1,375 @@
+//! Snapshot wire-schema fingerprinting for the `snapshot-schema` rule.
+//!
+//! PR 7's `RSNP` snapshot file is a *schema-static* binary format: the
+//! codec derives field order from struct declaration order, so silently
+//! reordering, renaming, retyping, adding, or removing a field on any
+//! struct reachable from `SnapshotDocument` changes the wire bytes
+//! without tripping a single compile error. This module makes that drift
+//! a CI-visible event: it computes the transitive type closure of the
+//! snapshot document (struct fields and enum variants, in declaration
+//! order, with canonical type text), renders it as a human-reviewable
+//! listing, hashes the listing with FNV-1a 64 (the workspace's pinned
+//! deterministic hash), and compares against the committed
+//! `snapshot-schema.txt`.
+//!
+//! Gate semantics, designed so an *intentional* format change is exactly
+//! two explicit edits in one PR:
+//!
+//! - fingerprint drifted, `FORMAT_VERSION` unchanged → **violation**
+//!   (silent wire break);
+//! - fingerprint drifted, `FORMAT_VERSION` bumped → note only; the CI
+//!   `git diff` gate then forces the regenerated fingerprint file into
+//!   the same change;
+//! - committed fingerprint file missing while the service crate is in
+//!   the tree → **violation** (run `resmatch-lint schema`).
+
+use crate::parse::ItemKind;
+use crate::rules::{Rule, Violation};
+use crate::symbols::{SourceFile, SymbolTable};
+
+/// Committed fingerprint file, at the workspace root (next to the panic
+/// baseline).
+pub const SCHEMA_FILE: &str = "snapshot-schema.txt";
+
+/// The root of the wire-format type closure.
+pub const ROOT_TYPE: &str = "SnapshotDocument";
+
+/// The snapshot version constant that must be bumped on drift.
+pub const VERSION_CONST: &str = "FORMAT_VERSION";
+
+/// FNV-1a 64 — the same deterministic hash family the engine pins its
+/// golden results with.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Outcome of the schema gate: hard violations plus advisory notes.
+#[derive(Debug, Default)]
+pub struct SchemaCheck {
+    /// Violations (fail `check`).
+    pub violations: Vec<Violation>,
+    /// Advisory notes (rendered, but never fail the build).
+    pub notes: Vec<String>,
+}
+
+/// Render the canonical schema listing over the type closure of
+/// [`ROOT_TYPE`], plus its fingerprint. Returns `None` when the root type
+/// is not in the file set (synthetic test workspaces without the service
+/// crate skip the rule entirely).
+pub fn closure_listing(files: &[SourceFile]) -> Option<(String, u64)> {
+    let table = SymbolTable::build(files);
+    table.types.get(ROOT_TYPE)?;
+
+    // Breadth-first closure over type names referenced from fields and
+    // variant payloads.
+    let mut order: Vec<&str> = vec![ROOT_TYPE];
+    let mut seen = std::collections::BTreeSet::from([ROOT_TYPE.to_string()]);
+    let mut cursor = 0usize;
+    while cursor < order.len() {
+        let sym = &table.types[order[cursor]];
+        cursor += 1;
+        let mut referenced = Vec::new();
+        for f in &sym.item.fields {
+            referenced.push(f.ty.clone());
+        }
+        for v in &sym.item.variants {
+            for f in &v.fields {
+                referenced.push(f.ty.clone());
+            }
+        }
+        for ty in referenced {
+            for name in path_idents(&ty) {
+                if table.types.contains_key(name) && seen.insert(name.to_string()) {
+                    // Borrow the key back out of the table so the lifetime
+                    // outlives this loop's local `ty`.
+                    if let Some((key, _)) = table.types.get_key_value(name) {
+                        order.push(key);
+                    }
+                }
+            }
+        }
+    }
+    order.sort_unstable();
+
+    let mut listing = String::new();
+    for name in order {
+        let sym = &table.types[name];
+        let kw = if sym.item.kind == ItemKind::Enum {
+            "enum"
+        } else {
+            "struct"
+        };
+        listing.push_str(&format!("{kw} {name} ({})\n", files[sym.file].path));
+        for f in &sym.item.fields {
+            listing.push_str(&format!("  {}: {}\n", f.name, f.ty));
+        }
+        for v in &sym.item.variants {
+            listing.push_str(&format!("  {}\n", render_variant(v)));
+        }
+    }
+    let fingerprint = fnv1a64(listing.as_bytes());
+    Some((listing, fingerprint))
+}
+
+fn render_variant(v: &crate::parse::Variant) -> String {
+    if v.fields.is_empty() {
+        return v.name.clone();
+    }
+    let tuple = v.fields.first().is_some_and(|f| f.name == "0");
+    if tuple {
+        let tys: Vec<&str> = v.fields.iter().map(|f| f.ty.as_str()).collect();
+        format!("{}({})", v.name, tys.join(", "))
+    } else {
+        let fs: Vec<String> = v
+            .fields
+            .iter()
+            .map(|f| format!("{}: {}", f.name, f.ty))
+            .collect();
+        format!("{} {{ {} }}", v.name, fs.join(", "))
+    }
+}
+
+/// Identifier-ish segments of a canonical type text:
+/// `Vec<resmatch_core::snapshot::SnapshotState>` → `Vec`, `resmatch_core`,
+/// `snapshot`, `SnapshotState`.
+fn path_idents(ty: &str) -> impl Iterator<Item = &str> {
+    ty.split(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+        .filter(|s| !s.is_empty())
+}
+
+/// The current `FORMAT_VERSION` value and where it is declared:
+/// `(version, path, line)`. `None` when no service crate is present or
+/// the constant's initialiser is not a plain integer literal.
+pub fn current_version(files: &[SourceFile]) -> Option<(u32, String, u32)> {
+    let table = SymbolTable::build(files);
+    let sym = table.consts.get(VERSION_CONST)?;
+    let init = sym.item.init.as_deref()?;
+    let version: u32 = init.trim().replace('_', "").parse().ok()?;
+    Some((version, files[sym.file].path.clone(), sym.item.line))
+}
+
+/// Render the committed fingerprint file's full content.
+pub fn render_file(version: u32, fingerprint: u64, listing: &str) -> String {
+    format!(
+        "# resmatch snapshot wire schema — the field names, types, and order of every\n\
+         # type reachable from SnapshotDocument through the RSNP codec.\n\
+         # Generated by `cargo run -p resmatch-lint -- schema`; verified by `check`.\n\
+         # Any listing change is wire-format drift: bump FORMAT_VERSION in\n\
+         # crates/service/src/file.rs and regenerate this file in the same change.\n\
+         format-version: {version}\n\
+         fingerprint: {fingerprint:#018x}\n\
+         \n\
+         {listing}"
+    )
+}
+
+/// Parse `(version, fingerprint)` out of a committed fingerprint file.
+pub fn parse_file(text: &str) -> Option<(u32, u64)> {
+    let mut version = None;
+    let mut fingerprint = None;
+    for line in text.lines() {
+        if let Some(v) = line.strip_prefix("format-version:") {
+            version = v.trim().parse::<u32>().ok();
+        } else if let Some(f) = line.strip_prefix("fingerprint:") {
+            let f = f.trim().trim_start_matches("0x");
+            fingerprint = u64::from_str_radix(f, 16).ok();
+        }
+    }
+    Some((version?, fingerprint?))
+}
+
+/// Generate the full fingerprint-file content for the current tree, or
+/// `None` when the tree has no snapshot types to fingerprint.
+pub fn generate(files: &[SourceFile]) -> Option<String> {
+    let (listing, fingerprint) = closure_listing(files)?;
+    let version = current_version(files).map_or(0, |(v, _, _)| v);
+    Some(render_file(version, fingerprint, &listing))
+}
+
+/// Run the schema gate: compare the current closure against the committed
+/// fingerprint file. `committed` is the file's content if it exists.
+pub fn check(files: &[SourceFile], committed: Option<&str>) -> SchemaCheck {
+    let mut out = SchemaCheck::default();
+    let Some((_, fingerprint)) = closure_listing(files) else {
+        return out; // no snapshot types in this tree — rule does not apply
+    };
+    let Some((version, version_path, version_line)) = current_version(files) else {
+        out.violations.push(Violation {
+            rule: Rule::SnapshotSchema,
+            path: "crates/service/src/file.rs".to_string(),
+            line: 1,
+            col: 1,
+            len: 1,
+            msg: format!(
+                "snapshot types exist but no `{VERSION_CONST}: u32` constant with a \
+                 literal initialiser was found to version them"
+            ),
+        });
+        return out;
+    };
+    let Some(committed) = committed else {
+        out.violations.push(Violation {
+            rule: Rule::SnapshotSchema,
+            path: SCHEMA_FILE.to_string(),
+            line: 1,
+            col: 1,
+            len: 1,
+            msg: format!(
+                "committed schema fingerprint is missing; run \
+                 `cargo run -p resmatch-lint -- schema` and commit {SCHEMA_FILE}"
+            ),
+        });
+        return out;
+    };
+    let Some((committed_version, committed_fingerprint)) = parse_file(committed) else {
+        out.violations.push(Violation {
+            rule: Rule::SnapshotSchema,
+            path: SCHEMA_FILE.to_string(),
+            line: 1,
+            col: 1,
+            len: 1,
+            msg: format!(
+                "{SCHEMA_FILE} is corrupt (missing format-version/fingerprint \
+                 lines); regenerate with `cargo run -p resmatch-lint -- schema`"
+            ),
+        });
+        return out;
+    };
+
+    if fingerprint != committed_fingerprint {
+        if version == committed_version {
+            out.violations.push(Violation {
+                rule: Rule::SnapshotSchema,
+                path: version_path,
+                line: version_line,
+                col: 1,
+                len: 1,
+                msg: format!(
+                    "snapshot wire schema drifted (fingerprint {fingerprint:#018x}, \
+                     committed {committed_fingerprint:#018x}) without a \
+                     {VERSION_CONST} bump — old snapshot files would be misread; \
+                     bump the constant and regenerate {SCHEMA_FILE}"
+                ),
+            });
+        } else {
+            out.notes.push(format!(
+                "snapshot schema changed with a {VERSION_CONST} bump \
+                 ({committed_version} -> {version}); regenerate {SCHEMA_FILE} with \
+                 `cargo run -p resmatch-lint -- schema` to commit the new fingerprint"
+            ));
+        }
+    } else if version != committed_version {
+        out.notes.push(format!(
+            "{VERSION_CONST} is {version} but {SCHEMA_FILE} records \
+             {committed_version}; regenerate the fingerprint file"
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn service_files(version: &str, estimate_ty: &str) -> Vec<SourceFile> {
+        vec![
+            SourceFile::parse(
+                "crates/service/src/file.rs".to_string(),
+                format!(
+                    "pub const FORMAT_VERSION: u32 = {version};\n\
+                     pub struct SnapshotDocument {{\n\
+                     \x20   pub estimator: String,\n\
+                     \x20   pub state: SnapshotState,\n\
+                     }}\n"
+                ),
+            ),
+            SourceFile::parse(
+                "crates/core/src/snapshot.rs".to_string(),
+                format!(
+                    "pub enum SnapshotState {{\n\
+                     \x20   SuccessiveV1 {{ groups: Vec<PersistedGroup> }},\n\
+                     }}\n\
+                     pub struct PersistedGroup {{\n\
+                     \x20   pub estimate_kb: {estimate_ty},\n\
+                     }}\n"
+                ),
+            ),
+        ]
+    }
+
+    #[test]
+    fn closure_walks_fields_and_variants() {
+        let files = service_files("1", "f64");
+        let (listing, _) = closure_listing(&files).expect("root present");
+        assert!(listing.contains("struct SnapshotDocument"));
+        assert!(listing.contains("enum SnapshotState"));
+        assert!(listing.contains("SuccessiveV1 { groups: Vec<PersistedGroup> }"));
+        assert!(listing.contains("estimate_kb: f64"));
+    }
+
+    #[test]
+    fn fingerprint_is_sensitive_to_field_type_changes() {
+        let (_, a) = closure_listing(&service_files("1", "f64")).expect("a");
+        let (_, b) = closure_listing(&service_files("1", "f32")).expect("b");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let text = render_file(3, 0x1234_5678_9abc_def0, "struct X (a.rs)\n  f: u32\n");
+        assert_eq!(parse_file(&text), Some((3, 0x1234_5678_9abc_def0)));
+    }
+
+    #[test]
+    fn drift_without_bump_is_a_violation() {
+        let committed = generate(&service_files("1", "f64")).expect("generate");
+        let drifted = service_files("1", "f32");
+        let result = check(&drifted, Some(&committed));
+        assert_eq!(result.violations.len(), 1, "{:?}", result.violations);
+        assert!(result.violations[0]
+            .msg
+            .contains("without a FORMAT_VERSION bump"));
+    }
+
+    #[test]
+    fn drift_with_bump_is_only_a_note() {
+        let committed = generate(&service_files("1", "f64")).expect("generate");
+        let drifted_and_bumped = service_files("2", "f32");
+        let result = check(&drifted_and_bumped, Some(&committed));
+        assert!(result.violations.is_empty(), "{:?}", result.violations);
+        assert_eq!(result.notes.len(), 1);
+    }
+
+    #[test]
+    fn missing_fingerprint_file_is_a_violation() {
+        let files = service_files("1", "f64");
+        let result = check(&files, None);
+        assert_eq!(result.violations.len(), 1);
+        assert!(result.violations[0].msg.contains("missing"));
+    }
+
+    #[test]
+    fn trees_without_snapshot_types_skip_the_rule() {
+        let files = vec![SourceFile::parse(
+            "crates/sim/src/engine.rs".to_string(),
+            "pub struct Engine { x: u32 }\n".to_string(),
+        )];
+        let result = check(&files, None);
+        assert!(result.violations.is_empty());
+        assert!(generate(&files).is_none());
+    }
+
+    #[test]
+    fn matching_schema_is_clean() {
+        let files = service_files("1", "f64");
+        let committed = generate(&files).expect("generate");
+        let result = check(&files, Some(&committed));
+        assert!(result.violations.is_empty());
+        assert!(result.notes.is_empty());
+    }
+}

@@ -1,0 +1,292 @@
+//! Cross-file symbol pass: a workspace-level view over parsed items.
+//!
+//! The item parser ([`crate::parse`]) is per-file; the shard-isolation and
+//! snapshot-schema rules need to see *across* files — `SnapshotState` lives
+//! in `crates/core` while the codec that serialises it lives in
+//! `crates/service`, and the service's hot estimate path calls through
+//! free functions the parser sees as opaque names. This module builds the
+//! minimal join: a name-keyed table of type and fn items over a set of
+//! [`SourceFile`]s, call-site extraction from fn body token ranges, and a
+//! name-based breadth-first reachability walk.
+//!
+//! Resolution is *by name*, deliberately: without type inference a call
+//! `flush()` could be any `flush` in the file set, so the walk visits all
+//! of them. That over-approximation is exactly right for an isolation
+//! rule — it can only make the rule stricter, never blind.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::lexer::{lex, Lexed, Tok};
+use crate::parse::{parse_items, type_head, Item, ItemKind};
+
+/// One lexed-and-parsed source file, retained for cross-file passes.
+pub struct SourceFile {
+    /// Workspace-relative path (`crates/service/src/service.rs`).
+    pub path: String,
+    /// Full source text.
+    pub src: String,
+    /// Token stream + allow directives + doc lines.
+    pub lexed: Lexed,
+    /// Parsed item tree.
+    pub items: Vec<Item>,
+}
+
+impl SourceFile {
+    /// Lex and parse `src` into a retained file.
+    pub fn parse(path: String, src: String) -> SourceFile {
+        let lexed = lex(&src);
+        let items = parse_items(&src, &lexed);
+        SourceFile {
+            path,
+            src,
+            lexed,
+            items,
+        }
+    }
+}
+
+/// A function item with its owning context.
+pub struct FnSym<'a> {
+    /// Function name.
+    pub name: &'a str,
+    /// For associated fns, the head of the `impl` self type
+    /// (`ServiceShard` for `impl ServiceShard { fn estimate … }`).
+    pub owner: Option<String>,
+    /// Index into the file set.
+    pub file: usize,
+    /// The parsed item (carries the body token range).
+    pub item: &'a Item,
+}
+
+/// A struct/enum item and where it lives.
+pub struct TypeSym<'a> {
+    /// Index into the file set.
+    pub file: usize,
+    /// The parsed item (carries fields / variants).
+    pub item: &'a Item,
+}
+
+/// Name-keyed symbols over a file set. Test-only items (`#[cfg(test)]` on
+/// the item or any ancestor) are excluded — rules never see test code.
+pub struct SymbolTable<'a> {
+    /// Structs and enums by name. First definition wins on collision.
+    pub types: BTreeMap<&'a str, TypeSym<'a>>,
+    /// Every non-test fn, in file order.
+    pub fns: Vec<FnSym<'a>>,
+    /// Consts by name (`FORMAT_VERSION` → its item), first wins.
+    pub consts: BTreeMap<&'a str, TypeSym<'a>>,
+}
+
+impl<'a> SymbolTable<'a> {
+    /// Build the table over `files`.
+    pub fn build(files: &'a [SourceFile]) -> SymbolTable<'a> {
+        let mut table = SymbolTable {
+            types: BTreeMap::new(),
+            fns: Vec::new(),
+            consts: BTreeMap::new(),
+        };
+        for (file_idx, file) in files.iter().enumerate() {
+            collect(&file.items, file_idx, None, &mut table);
+        }
+        table
+    }
+
+    /// Indices into [`SymbolTable::fns`] for every fn with `name`.
+    fn fns_named(&self, name: &str) -> impl Iterator<Item = usize> + '_ {
+        let name = name.to_string();
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(move |(_, f)| f.name == name)
+            .map(|(i, _)| i)
+    }
+}
+
+fn collect<'a>(
+    items: &'a [Item],
+    file_idx: usize,
+    owner: Option<&'a Item>,
+    table: &mut SymbolTable<'a>,
+) {
+    for item in items {
+        if item.is_cfg_test() {
+            continue;
+        }
+        match item.kind {
+            ItemKind::Struct | ItemKind::Enum => {
+                table.types.entry(item.name.as_str()).or_insert(TypeSym {
+                    file: file_idx,
+                    item,
+                });
+            }
+            ItemKind::Fn => {
+                let owner_name = owner
+                    .filter(|o| o.kind == ItemKind::Impl)
+                    .map(|o| type_head(&o.name).to_string());
+                table.fns.push(FnSym {
+                    name: item.name.as_str(),
+                    owner: owner_name,
+                    file: file_idx,
+                    item,
+                });
+            }
+            ItemKind::Const | ItemKind::Static => {
+                table.consts.entry(item.name.as_str()).or_insert(TypeSym {
+                    file: file_idx,
+                    item,
+                });
+            }
+            _ => {}
+        }
+        collect(&item.children, file_idx, Some(item), table);
+    }
+}
+
+/// Names that appear in call position inside a fn body — any identifier
+/// directly followed by `(`, which covers free calls (`flush(…)`), method
+/// calls (`.flush(…)`), path calls (`codec::to_bytes(…)`), and tuple
+/// constructors. Returns `(name, line)` pairs in source order.
+pub fn called_names<'a>(file: &'a SourceFile, item: &Item) -> Vec<(&'a str, u32)> {
+    let Some((start, end)) = item.body else {
+        return Vec::new();
+    };
+    let toks = &file.lexed.tokens[start..end.min(file.lexed.tokens.len())];
+    let mut out = Vec::new();
+    for (callee, open) in toks.iter().zip(toks.iter().skip(1)) {
+        if let (Tok::Ident(name), Tok::Punct('(')) = (&callee.tok, &open.tok) {
+            out.push((name.as_str(), callee.line));
+        }
+    }
+    out
+}
+
+/// Breadth-first, name-based reachability over the fn call graph: every fn
+/// for which `is_root` holds seeds the walk, and a call site `name(…)`
+/// reaches *every* fn named `name` in the file set. Returns indices into
+/// [`SymbolTable::fns`], roots included, in visit order.
+pub fn reachable_fns<'a>(
+    table: &SymbolTable<'a>,
+    files: &'a [SourceFile],
+    is_root: impl Fn(&FnSym<'a>) -> bool,
+) -> Vec<usize> {
+    let mut seen = BTreeSet::new();
+    let mut queue = VecDeque::new();
+    for (idx, f) in table.fns.iter().enumerate() {
+        if is_root(f) && seen.insert(idx) {
+            queue.push_back(idx);
+        }
+    }
+    let mut order = Vec::new();
+    while let Some(idx) = queue.pop_front() {
+        order.push(idx);
+        let f = &table.fns[idx];
+        for (name, _) in called_names(&files[f.file], f.item) {
+            for callee in table.fns_named(name) {
+                if seen.insert(callee) {
+                    queue.push_back(callee);
+                }
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn files(sources: &[(&str, &str)]) -> Vec<SourceFile> {
+        sources
+            .iter()
+            .map(|(p, s)| SourceFile::parse((*p).to_string(), (*s).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn table_indexes_types_fns_and_consts() {
+        let fs = files(&[
+            (
+                "a.rs",
+                "pub struct Doc { pub state: State }\n\
+                 pub const VERSION: u32 = 3;\n\
+                 impl Doc { pub fn encode(&self) {} }\n",
+            ),
+            ("b.rs", "pub enum State { V1 }\nfn free() {}\n"),
+        ]);
+        let table = SymbolTable::build(&fs);
+        assert_eq!(table.types["Doc"].file, 0);
+        assert_eq!(table.types["State"].file, 1);
+        assert_eq!(table.consts["VERSION"].item.init.as_deref(), Some("3"));
+        let encode = table
+            .fns
+            .iter()
+            .find(|f| f.name == "encode")
+            .expect("encode");
+        assert_eq!(encode.owner.as_deref(), Some("Doc"));
+        let free = table.fns.iter().find(|f| f.name == "free").expect("free");
+        assert_eq!(free.owner, None);
+    }
+
+    #[test]
+    fn cfg_test_items_are_invisible() {
+        let fs = files(&[(
+            "a.rs",
+            "fn real() {}\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+             \x20   struct Hidden { x: u32 }\n\
+             \x20   fn helper() {}\n\
+             }\n",
+        )]);
+        let table = SymbolTable::build(&fs);
+        assert!(!table.types.contains_key("Hidden"));
+        assert!(table.fns.iter().all(|f| f.name != "helper"));
+        assert!(table.fns.iter().any(|f| f.name == "real"));
+    }
+
+    #[test]
+    fn reachability_crosses_files_by_name() {
+        let fs = files(&[
+            (
+                "service.rs",
+                "impl Shard {\n\
+                 \x20   pub fn estimate(&mut self) { self.flush_pending(); }\n\
+                 \x20   fn flush_pending(&mut self) { apply(); }\n\
+                 \x20   fn unrelated(&self) { never_called(); }\n\
+                 }\n",
+            ),
+            (
+                "apply.rs",
+                "pub fn apply() { lock_step(); }\n\
+                 fn lock_step() {}\n\
+                 fn never_called() {}\n",
+            ),
+        ]);
+        let table = SymbolTable::build(&fs);
+        let reached = reachable_fns(&table, &fs, |f| f.name == "estimate");
+        let names: BTreeSet<_> = reached.iter().map(|&i| table.fns[i].name).collect();
+        assert!(names.contains("estimate"));
+        assert!(names.contains("flush_pending"));
+        assert!(names.contains("apply"));
+        assert!(names.contains("lock_step"));
+        assert!(!names.contains("unrelated"));
+        assert!(!names.contains("never_called"));
+    }
+
+    #[test]
+    fn called_names_cover_method_and_path_calls() {
+        let fs = files(&[(
+            "a.rs",
+            "fn f(x: &T) { x.save(); codec::to_bytes(x); plain(); }\n",
+        )]);
+        let table = SymbolTable::build(&fs);
+        let f = &table.fns[0];
+        let names: Vec<_> = called_names(&fs[0], f.item)
+            .iter()
+            .map(|(n, _)| *n)
+            .collect();
+        assert!(names.contains(&"save"));
+        assert!(names.contains(&"to_bytes"));
+        assert!(names.contains(&"plain"));
+    }
+}

@@ -1,0 +1,26 @@
+//! shard-isolation fixture: every violation class in one file, with
+//! flagged-comment markers on the expected sites.
+
+static mut LIVE_SHARDS: u64 = 0; // flagged
+
+static FLUSH_LOG: Mutex<Vec<u64>> = Mutex::new(Vec::new()); // flagged
+
+// lint: allow(shard-isolation): read-only metrics snapshot, audited in PR 7
+static METRICS: Mutex<u64> = Mutex::new(0);
+
+static SHARD_COUNT: u64 = 4;
+
+pub fn record_flush() {
+    let sink: &Mutex<Vec<u64>> = &FLUSH_LOG; // flagged
+    drop(sink.lock());
+}
+
+pub fn cold_audit() {
+    let sink: &Mutex<Vec<u64>> = &FLUSH_LOG;
+    drop(sink.lock());
+}
+
+pub fn poke(shard: &mut ServiceShard) {
+    shard.stats += 1; // flagged
+    shard.flush_pending();
+}

@@ -1,0 +1,19 @@
+//! shard-isolation fixture: the shard type and its hot estimate path.
+//! Field accesses here sit inside `impl ServiceShard` and are exempt.
+
+pub struct ServiceShard {
+    queue: Vec<u64>,
+    stats: u64,
+}
+
+impl ServiceShard {
+    pub fn estimate(&mut self) -> u64 {
+        self.flush_pending();
+        self.stats
+    }
+
+    fn flush_pending(&mut self) {
+        self.queue.clear();
+        record_flush();
+    }
+}

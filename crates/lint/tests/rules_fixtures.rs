@@ -4,7 +4,8 @@
 
 use std::path::PathBuf;
 
-use resmatch_lint::rules::{check_file, FileClass, FileKind, Rule};
+use resmatch_lint::rules::{check_file, shard_isolation, FileClass, FileKind, Rule};
+use resmatch_lint::symbols::SourceFile;
 
 fn fixture(rel: &str) -> String {
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -32,7 +33,11 @@ fn marked_lines(src: &str) -> Vec<u32> {
 }
 
 fn lines_for(rule: Rule, src: &str, class: &FileClass) -> Vec<u32> {
-    let mut lines: Vec<u32> = check_file("crates/x/src/f.rs", src, class)
+    lines_for_at(rule, "crates/x/src/f.rs", src, class)
+}
+
+fn lines_for_at(rule: Rule, path: &str, src: &str, class: &FileClass) -> Vec<u32> {
+    let mut lines: Vec<u32> = check_file(path, src, class)
         .into_iter()
         .filter(|v| v.rule == rule)
         .map(|v| v.line)
@@ -107,22 +112,74 @@ fn crate_hygiene_fixture() {
         lines_for(Rule::CrateHygiene, &missing, &root("stats")).len(),
         2
     );
-    // A non-API crate only needs forbid(unsafe_code): one violation.
+    // classad joined the documented-API tier (PR 8): both attributes.
     assert_eq!(
         lines_for(Rule::CrateHygiene, &missing, &root("classad")).len(),
+        2
+    );
+    // A non-API crate (the CLI) only needs forbid(unsafe_code): one.
+    assert_eq!(
+        lines_for(Rule::CrateHygiene, &missing, &root("cli")).len(),
         1
     );
     // The clean root satisfies both tiers.
     assert_eq!(lines_for(Rule::CrateHygiene, &clean, &root("sim")), vec![]);
-    assert_eq!(
-        lines_for(Rule::CrateHygiene, &clean, &root("classad")),
-        vec![]
-    );
+    assert_eq!(lines_for(Rule::CrateHygiene, &clean, &root("cli")), vec![]);
     // Non-root files are never checked for hygiene.
     assert_eq!(
         lines_for(Rule::CrateHygiene, &missing, &lib_class("sim")),
         vec![]
     );
+}
+
+#[test]
+fn hot_path_alloc_fixture_sites() {
+    let src = fixture("hot_path_alloc/violations.rs");
+    // Scanned under a hot-module path: every unexempted allocation flags.
+    assert_eq!(
+        lines_for_at(
+            Rule::HotPathAlloc,
+            "crates/sim/src/engine.rs",
+            &src,
+            &lib_class("sim"),
+        ),
+        marked_lines(&src),
+    );
+    // The same source outside the hot file set raises nothing.
+    assert_eq!(
+        lines_for_at(
+            Rule::HotPathAlloc,
+            "crates/sim/src/experiment.rs",
+            &src,
+            &lib_class("sim"),
+        ),
+        vec![]
+    );
+}
+
+#[test]
+fn shard_isolation_fixture_sites() {
+    let files = vec![
+        SourceFile::parse(
+            "crates/service/src/service.rs".to_string(),
+            fixture("shard_isolation/service.rs"),
+        ),
+        SourceFile::parse(
+            "crates/service/src/registry.rs".to_string(),
+            fixture("shard_isolation/registry.rs"),
+        ),
+    ];
+    let violations = shard_isolation(&files);
+    assert!(violations.iter().all(|v| v.rule == Rule::ShardIsolation));
+
+    // All expected sites live in registry.rs; the shard's own impl is clean.
+    let mut lines: Vec<u32> = violations
+        .iter()
+        .inspect(|v| assert_eq!(v.path, "crates/service/src/registry.rs", "{}", v.msg))
+        .map(|v| v.line)
+        .collect();
+    lines.sort_unstable();
+    assert_eq!(lines, marked_lines(&fixture("shard_isolation/registry.rs")));
 }
 
 #[test]

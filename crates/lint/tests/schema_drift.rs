@@ -1,0 +1,138 @@
+//! End-to-end snapshot-schema drift gate on a synthetic workspace: a
+//! field-type change through the codec fails `check` until the wire
+//! version constant is bumped, and regenerating the fingerprint file
+//! brings the gate back to silent.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use resmatch_lint::rules::Rule;
+use resmatch_lint::{run_check, write_baseline, write_schema};
+
+const SERVICE_ROOT: &str =
+    "//! Fixture service crate.\n#![deny(missing_docs)]\n#![forbid(unsafe_code)]\n\n\
+     /// Placeholder.\npub fn ok() {}\n";
+
+/// The fixture codec, parameterised on the version literal and one field's
+/// type so tests can drift the wire format deliberately.
+fn codec_source(version: u32, mean_ty: &str) -> String {
+    format!(
+        "//! Fixture snapshot codec.\n\n\
+         /// Wire version.\n\
+         pub const FORMAT_VERSION: u32 = {version};\n\n\
+         /// Snapshot root.\n\
+         pub struct SnapshotDocument {{\n\
+         \x20   /// Estimator id.\n\
+         \x20   pub estimator: String,\n\
+         \x20   /// Persisted state.\n\
+         \x20   pub state: SnapshotState,\n\
+         }}\n\n\
+         /// Persisted state.\n\
+         pub struct SnapshotState {{\n\
+         \x20   /// Groups.\n\
+         \x20   pub groups: Vec<PersistedGroup>,\n\
+         }}\n\n\
+         /// One group.\n\
+         pub struct PersistedGroup {{\n\
+         \x20   /// Key.\n\
+         \x20   pub key: u64,\n\
+         \x20   /// Mean runtime.\n\
+         \x20   pub mean: {mean_ty},\n\
+         }}\n"
+    )
+}
+
+fn temp_workspace(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("resmatch-lint-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create temp workspace");
+    fs::write(dir.join("Cargo.toml"), "[workspace]\n").expect("write Cargo.toml");
+    fs::create_dir_all(dir.join("crates")).expect("create crates/");
+    dir
+}
+
+fn write_crate_file(root: &Path, rel: &str, content: &str) {
+    let path = root.join(rel);
+    fs::create_dir_all(path.parent().expect("rel has a parent")).expect("mkdir");
+    fs::write(path, content).expect("write source");
+}
+
+fn schema_violations(root: &Path) -> Vec<String> {
+    run_check(root)
+        .expect("scan runs")
+        .violations
+        .into_iter()
+        .filter(|v| v.rule == Rule::SnapshotSchema)
+        .map(|v| v.msg)
+        .collect()
+}
+
+#[test]
+fn drift_is_fatal_until_the_version_is_bumped() {
+    let root = temp_workspace("schema-drift");
+    write_crate_file(&root, "crates/service/src/lib.rs", SERVICE_ROOT);
+    write_crate_file(&root, "crates/service/src/file.rs", &codec_source(1, "f64"));
+    write_baseline(&root).expect("baseline writes");
+
+    // No committed fingerprint yet: the gate demands one.
+    let missing = schema_violations(&root);
+    assert_eq!(missing.len(), 1, "{missing:?}");
+    assert!(missing[0].contains("snapshot-schema.txt"), "{missing:?}");
+
+    // Generate it; check goes clean.
+    let written = write_schema(&root).expect("schema writes");
+    assert!(written.is_some(), "snapshot types exist in the fixture");
+    assert_eq!(schema_violations(&root), Vec::<String>::new());
+
+    // Drift a persisted field's type without touching the version: fatal.
+    write_crate_file(&root, "crates/service/src/file.rs", &codec_source(1, "u64"));
+    let drifted = schema_violations(&root);
+    assert_eq!(drifted.len(), 1, "{drifted:?}");
+    assert!(drifted[0].contains("FORMAT_VERSION"), "{drifted:?}");
+
+    // Bump the version alongside the drift: the violation downgrades to a
+    // note (CI's `git diff` gate then forces the regenerated file in).
+    write_crate_file(&root, "crates/service/src/file.rs", &codec_source(2, "u64"));
+    let outcome = run_check(&root).expect("scan runs");
+    assert!(outcome.is_clean(), "bumped drift must pass check");
+    assert!(
+        outcome.notes.iter().any(|n| n.contains("regenerate")),
+        "{:?}",
+        outcome.notes
+    );
+
+    // Regenerate: fingerprint file now records the new version, no notes.
+    write_schema(&root).expect("schema rewrites");
+    let text = fs::read_to_string(root.join("snapshot-schema.txt")).expect("committed file");
+    assert!(text.contains("format-version: 2"), "{text}");
+    assert!(text.contains("mean: u64"), "{text}");
+    let outcome = run_check(&root).expect("scan runs");
+    assert!(outcome.is_clean());
+    assert!(outcome.notes.is_empty(), "{:?}", outcome.notes);
+
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn schema_subcommand_writes_and_reports_the_fingerprint() {
+    let root = temp_workspace("schema-subcmd");
+    write_crate_file(&root, "crates/service/src/lib.rs", SERVICE_ROOT);
+    write_crate_file(&root, "crates/service/src/file.rs", &codec_source(1, "f64"));
+
+    let bin = env!("CARGO_BIN_EXE_resmatch-lint");
+    let out = Command::new(bin)
+        .args(["schema", "--root"])
+        .arg(&root)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("snapshot-schema.txt") && stdout.contains("fingerprint 0x"),
+        "{stdout}"
+    );
+    assert!(root.join("snapshot-schema.txt").is_file());
+
+    let _ = fs::remove_dir_all(&root);
+}

@@ -21,10 +21,22 @@ fn real_workspace_is_lint_clean() {
          for details:\n{}",
         resmatch_lint::render_outcome(&root, &outcome)
     );
-    // The ratchet only goes down: if this number shrinks, regenerate the
-    // baseline in the same change (`cargo run -p resmatch-lint -- baseline`).
+    // The ratchets only go down: if either number shrinks, regenerate the
+    // baselines in the same change (`cargo run -p resmatch-lint -- baseline`).
     assert_eq!(
         outcome.panic_total, outcome.baseline_total,
         "panic-site count diverged from lint-baseline.txt; regenerate the baseline"
+    );
+    assert_eq!(
+        outcome.alloc_total, outcome.alloc_baseline_total,
+        "hot-path allocation count diverged from lint-alloc-baseline.txt; \
+         regenerate the baseline"
+    );
+    // The committed snapshot fingerprint matches the tree exactly: a
+    // version-bump note here means `-- schema` was not re-run.
+    assert!(
+        outcome.notes.is_empty(),
+        "schema gate left advisory notes: {:?}",
+        outcome.notes
     );
 }

@@ -24,7 +24,7 @@ use resmatch_core::snapshot::SnapshotState;
 use crate::codec;
 use crate::error::ServiceError;
 
-/// File magic: "Resmatch SNaPshot".
+/// File magic: `Resmatch SNaPshot`.
 pub const MAGIC: [u8; 4] = *b"RSNP";
 
 /// Current snapshot file format version.

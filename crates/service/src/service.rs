@@ -196,7 +196,7 @@ impl std::fmt::Debug for ServiceShard {
             .field("estimator", &self.estimator.name())
             .field("queued", &self.queue.len())
             .field("stats", &self.stats)
-            .finish()
+            .finish_non_exhaustive()
     }
 }
 
@@ -303,7 +303,7 @@ impl std::fmt::Debug for EstimatorService {
             .field("spec", &self.spec)
             .field("shards", &self.shards.len())
             .field("stats", &self.stats())
-            .finish()
+            .finish_non_exhaustive()
     }
 }
 

@@ -49,7 +49,10 @@ pub fn rescale_arrivals(workload: &Workload, factor: f64) -> Workload {
     if jobs.is_empty() {
         return workload.clone();
     }
-    let first = jobs[0].submit;
+    let first = jobs
+        .first()
+        .expect("invariant: emptiness checked above")
+        .submit;
     let rescaled = jobs
         .iter()
         .map(|j| {

@@ -120,7 +120,7 @@ impl PowerLawSizes {
             acc += (k as f64).powf(-tau);
             cdf.push(acc);
         }
-        let total = *cdf.last().expect("max >= 1");
+        let total = *cdf.last().expect("invariant: max >= 1 is asserted above");
         for v in &mut cdf {
             *v /= total;
         }
@@ -142,7 +142,10 @@ fn pick_weighted<T: Copy>(rng: &mut StdRng, table: &[(T, f64)]) -> T {
         }
         u -= weight;
     }
-    table.last().expect("non-empty table").0
+    table
+        .last()
+        .expect("invariant: weight tables are non-empty constants")
+        .0
 }
 
 /// CM-5 partition sizes for light (small) classes.
