@@ -7,7 +7,7 @@
 //! denominator-independent work measure: it is a deterministic property of
 //! the scenario, so throughput differences are wall-clock differences.
 //!
-//! Three scenario tiers:
+//! Four scenario tiers:
 //!
 //! - the classic 1k/5k matrix, rescaled to saturating load (queues stay
 //!   populated, so in-queue refresh / candidate counting / backfill scans
@@ -15,6 +15,9 @@
 //! - the full 122,055-job calibrated CM5 trace at its *natural* offered
 //!   load (~0.45) — the repro pipeline's default scale — across
 //!   fcfs/sjf/easy × pass_through/successive;
+//! - the matchmaking tier: the same saturating workload enriched with
+//!   synthetic disk/package attributes, allocated through compiled
+//!   ClassAds (first-fit per scheduler, plus one ranked best-fit row);
 //! - with `--full`, a 10-million-job synthetic stress fed through the
 //!   streaming entry point with record retention off: peak heap stays flat
 //!   no matter the trace length.
@@ -30,11 +33,13 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
+use resmatch_classad::{Matchmaker, PoolAd};
 use resmatch_cluster::builder::{cm5_cluster, paper_cluster};
-use resmatch_cluster::{CapacityLadder, Demand};
+use resmatch_cluster::{Capacity, CapacityLadder, Cluster, ClusterBuilder, Demand};
 use resmatch_core::prelude::Feedback;
 use resmatch_service::prelude::*;
 use resmatch_sim::prelude::*;
+use resmatch_workload::attrs::{synthesize_attributes, AttrConfig};
 use resmatch_workload::load::scale_to_load;
 use resmatch_workload::synthetic::{generate, service_stream, stress_stream, Cm5Config};
 use resmatch_workload::{Job, Workload};
@@ -299,6 +304,66 @@ fn matrix(measurements: &mut Vec<Measurement>, prefix: &str, w: &Workload, reps:
     }
 }
 
+/// Matchmaking tier: the paper cluster re-advertised with capability ads —
+/// the 32 MB half carries a finite 2 GB scratch partition and the licensed
+/// package set, the 24 MB half is unconstrained — and a workload enriched
+/// with synthetic disk requests and package masks. Measures the compiled
+/// ClassAd path end to end: one scenario per scheduler through the
+/// first-fit matcher, plus a ranked (best-fit by memory) FCFS row to cover
+/// the candidate-sort path.
+fn matchmaking_tier(measurements: &mut Vec<Measurement>, jobs: usize, seed: u64, reps: usize) {
+    let mut w = trace(jobs, seed);
+    synthesize_attributes(&mut w, &AttrConfig::default(), seed);
+    let cluster_ads = || -> (Cluster, Vec<PoolAd>) {
+        let big = Capacity::new(32 * 1024, 2 * 1024 * 1024, 0xF);
+        let small = Capacity::memory(24 * 1024);
+        let cluster = ClusterBuilder::new()
+            .pool_with(512, big)
+            .pool_with(512, small)
+            .build();
+        let ads = vec![PoolAd::new(big).with_arch("cm5"), PoolAd::new(small)];
+        (cluster, ads)
+    };
+    let combos: [(&'static str, SchedulingPolicy); 3] = [
+        ("fcfs", SchedulingPolicy::Fcfs),
+        ("sjf", SchedulingPolicy::Sjf),
+        ("easy", SchedulingPolicy::EasyBackfill),
+    ];
+    for (name, policy) in combos {
+        let cfg = SimConfig::default().with_scheduling(policy);
+        let mut arena = SimArena::default();
+        measurements.push(measure(
+            &format!("matchmaking_{name}_successive"),
+            name,
+            w.len(),
+            reps,
+            || {
+                let (cluster, ads) = cluster_ads();
+                Simulation::new(cfg, cluster, EstimatorSpec::paper_successive())
+                    .with_matchmaking(Box::new(Matchmaker::new(&ads)))
+                    .run_with_arena(&w, &mut arena)
+            },
+        ));
+    }
+    let cfg = SimConfig::default();
+    let mut arena = SimArena::default();
+    measurements.push(measure(
+        "matchmaking_fcfs_ranked",
+        "fcfs",
+        w.len(),
+        reps,
+        || {
+            let (cluster, ads) = cluster_ads();
+            let mm = Matchmaker::new(&ads)
+                .with_rank("other.Memory")
+                .expect("static rank expression");
+            Simulation::new(cfg, cluster, EstimatorSpec::paper_successive())
+                .with_matchmaking(Box::new(mm))
+                .run_with_arena(&w, &mut arena)
+        },
+    ));
+}
+
 /// The simulator's outcome rule, applied service-side: success when usage
 /// fits the covering rung of what was granted.
 fn service_outcome(ladder: &CapacityLadder, job: &Job, granted: Demand) -> Feedback {
@@ -512,6 +577,10 @@ fn main() {
     let w = natural_trace(TRACE_JOBS, seed);
     matrix(&mut measurements, "trace_", &w, reps);
     drop(w);
+
+    // Matchmaking tier: the allocation path routed through compiled
+    // ClassAds, at the small-matrix scale and saturating load.
+    matchmaking_tier(&mut measurements, jobs.max(1_000), seed, reps);
 
     // Online-service tier: the long-running estimator service.
     service_queries(&mut measurements, seed, service_ops, service_groups);

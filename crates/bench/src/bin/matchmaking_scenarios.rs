@@ -1,0 +1,10 @@
+//! Matchmaking scenarios: disk-constrained and license-pool clusters.
+//!
+//! Thin wrapper over [`resmatch_repro::experiments::matchmaking`]; the experiment logic, its scales, and
+//! the paper claims gated on it live in the `resmatch-repro` manifest.
+//!
+//! Run: `cargo run --release -p resmatch-bench --bin matchmaking_scenarios [--jobs N] [--seed S]`
+
+fn main() {
+    resmatch_bench::run_manifest_experiment("matchmaking_scenarios");
+}

@@ -41,12 +41,16 @@
 
 pub mod ad;
 pub mod bridge;
+pub mod compile;
 pub mod eval;
 pub mod lexer;
+pub mod matchmaker;
 pub mod parser;
 pub mod value;
 
 pub use ad::{matches, rank, ClassAd};
+pub use compile::{compile, AdSchema, CompiledExpr};
 pub use eval::EvalError;
+pub use matchmaker::{Matchmaker, PoolAd};
 pub use parser::{parse, ParseError};
 pub use value::Value;

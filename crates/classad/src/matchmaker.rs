@@ -1,0 +1,377 @@
+//! The allocation-path matchmaker: [`Matchmaker`] implements the
+//! cluster's [`PoolMatcher`] seam on top of compiled ClassAds.
+//!
+//! At construction every pool's capability ad is lowered to a dense slot
+//! row ([`crate::compile::AdSchema`]) and the bridge's machine-side
+//! `Requirements` is compiled once. Job-side `Requirements` depend only on
+//! the demand's package mask (memory and disk enter as slot values, not
+//! program shape), so compiled job programs are cached per distinct mask —
+//! a workload with `k` package profiles compiles `k` programs total, and
+//! the steady-state cost of [`PoolMatcher::matches`] is two compiled
+//! evaluations over preallocated rows, allocation-free.
+//!
+//! Matching is Condor-symmetric, exactly [`crate::ad::matches`]: the job
+//! program, the optional operator constraint, and the machine program must
+//! each evaluate to exactly `true`. An optional `Rank` expression (job
+//! side, `other` = machine) turns first-fit pool order into best-fit by
+//! preference; rank coercion follows [`crate::ad::rank`].
+
+use std::collections::BTreeMap;
+
+use resmatch_cluster::{Capacity, Cluster, Demand, PoolMatcher};
+
+use crate::bridge;
+use crate::compile::{compile, AdSchema, CompiledExpr};
+use crate::parser::{parse, ParseError};
+use crate::value::Value;
+
+/// A pool's capability ad as the matchmaker consumes it: the per-node
+/// capacity plus scenario-level tags the cluster model does not carry.
+#[derive(Debug, Clone)]
+pub struct PoolAd {
+    /// Per-node capacity (memory, disk, packages) of every node in the
+    /// pool.
+    pub capacity: Capacity,
+    /// Architecture / platform tag, advertised as the string attribute
+    /// `Arch` when present.
+    pub arch: Option<String>,
+}
+
+impl PoolAd {
+    /// A tagless ad for `capacity`.
+    pub fn new(capacity: Capacity) -> Self {
+        PoolAd {
+            capacity,
+            arch: None,
+        }
+    }
+
+    /// Attach an `Arch` tag.
+    pub fn with_arch(mut self, arch: &str) -> Self {
+        self.arch = Some(arch.to_string());
+        self
+    }
+}
+
+fn clamped(v: u64) -> Value {
+    Value::Int(v.min(i64::MAX as u64) as i64)
+}
+
+/// Slot index of `RequestedMemory` in the job schema.
+const JOB_MEM: usize = 0;
+/// Slot index of `RequestedDisk` in the job schema.
+const JOB_DISK: usize = 1;
+
+/// A compiled-ad matchmaker for a fixed set of pools, pluggable into
+/// [`resmatch_cluster::Cluster::try_allocate_matched`] (and the simulation
+/// engine's `--matchmaking` mode) via [`PoolMatcher`].
+#[derive(Debug)]
+pub struct Matchmaker {
+    job_schema: AdSchema,
+    machine_schema: AdSchema,
+    /// One slot row per pool, filled at construction.
+    machine_rows: Vec<Vec<Value>>,
+    /// The bridge's machine-side `Requirements`, compiled with
+    /// `my` = machine, `other` = job. Shared by every pool.
+    machine_req: CompiledExpr,
+    /// Compiled job-side `Requirements`, one per distinct package mask.
+    job_programs: Vec<CompiledExpr>,
+    program_by_mask: BTreeMap<u32, usize>,
+    /// Operator constraint conjunct (`my` = job, `other` = machine).
+    constraint: Option<CompiledExpr>,
+    /// Rank expression (`my` = job, `other` = machine).
+    rank: Option<CompiledExpr>,
+    /// The prepared demand's slot row.
+    job_row: Vec<Value>,
+    /// Index into `job_programs` selected by the last `prepare`.
+    active: usize,
+    /// Reused evaluation stack.
+    stack: Vec<Value>,
+}
+
+impl Matchmaker {
+    /// Build for a fixed pool set. Pool index `i` here must correspond to
+    /// the cluster's pool index `i` (construction order).
+    pub fn new(pools: &[PoolAd]) -> Self {
+        let mut job_schema = AdSchema::new();
+        assert_eq!(job_schema.add("RequestedMemory") as usize, JOB_MEM);
+        assert_eq!(job_schema.add("RequestedDisk") as usize, JOB_DISK);
+
+        let mut machine_schema = AdSchema::new();
+        machine_schema.add("Memory");
+        machine_schema.add("Disk");
+        machine_schema.add("Arch");
+        for bit in 0..bridge::PACKAGE_BITS {
+            machine_schema.add(&format!("HasPkg{bit}"));
+        }
+
+        let machine_rows = pools
+            .iter()
+            .map(|pool| {
+                let mut row = machine_schema.blank_row();
+                row[machine_schema
+                    .slot("Memory")
+                    .expect("invariant: slot added to machine_schema above")
+                    as usize] = clamped(pool.capacity.mem_kb);
+                row[machine_schema
+                    .slot("Disk")
+                    .expect("invariant: slot added to machine_schema above")
+                    as usize] = clamped(pool.capacity.disk_kb);
+                if let Some(arch) = &pool.arch {
+                    row[machine_schema
+                        .slot("Arch")
+                        .expect("invariant: slot added to machine_schema above")
+                        as usize] = Value::Str(arch.clone());
+                }
+                for bit in 0..bridge::PACKAGE_BITS {
+                    if pool.capacity.packages & (1 << bit) != 0 {
+                        let slot = machine_schema
+                            .slot(&format!("HasPkg{bit}"))
+                            .expect("invariant: slot added to machine_schema above");
+                        row[slot as usize] = Value::Bool(true);
+                    }
+                }
+                row
+            })
+            .collect();
+
+        // The machine-side Requirements text is pool-independent; lift it
+        // straight off a bridge-generated ad so the compiled matchmaker
+        // and the tree-walking bridge stay textually identical.
+        let machine_ad = bridge::machine_ad(&Capacity::memory(0));
+        let machine_req = compile(
+            machine_ad
+                .expr("requirements")
+                .expect("invariant: bridge machine ads always carry Requirements"),
+            &machine_schema,
+            &job_schema,
+        );
+
+        let mut mm = Matchmaker {
+            job_row: vec![Value::Int(0); job_schema.len()],
+            job_schema,
+            machine_schema,
+            machine_rows,
+            machine_req,
+            job_programs: Vec::new(),
+            program_by_mask: BTreeMap::new(),
+            constraint: None,
+            rank: None,
+            active: 0,
+            stack: Vec::new(),
+        };
+        // Warm the cache for the unconstrained mask so a default workload
+        // never compiles during simulation.
+        mm.active = mm.program_for(0);
+        mm
+    }
+
+    /// Build pool ads straight from a cluster's pools (no arch tags).
+    pub fn from_cluster(cluster: &Cluster) -> Self {
+        let pools: Vec<PoolAd> = (0..cluster.num_pools())
+            .map(|i| PoolAd::new(cluster.pool_capacity(i)))
+            .collect();
+        Matchmaker::new(&pools)
+    }
+
+    /// Add an operator constraint, conjoined into the job side of every
+    /// match (`my` = the job ad, `other` = the machine ad). Like any
+    /// requirement, it must evaluate to exactly `true` — an `undefined`
+    /// result (e.g. probing `other.Arch` on an untagged pool) rejects.
+    ///
+    /// # Errors
+    /// Returns the parse failure for invalid expression text.
+    pub fn with_constraint(mut self, text: &str) -> Result<Self, ParseError> {
+        let expr = parse(text)?;
+        self.constraint = Some(compile(&expr, &self.job_schema, &self.machine_schema));
+        Ok(self)
+    }
+
+    /// Set a `Rank` expression (`my` = the job ad, `other` = the machine
+    /// ad); higher ranks are preferred, ties keep allocation-policy order.
+    ///
+    /// # Errors
+    /// Returns the parse failure for invalid expression text.
+    pub fn with_rank(mut self, text: &str) -> Result<Self, ParseError> {
+        let expr = parse(text)?;
+        self.rank = Some(compile(&expr, &self.job_schema, &self.machine_schema));
+        Ok(self)
+    }
+
+    /// Number of distinct job programs compiled so far (one per package
+    /// mask seen) — observability for the cache the hot path relies on.
+    pub fn compiled_programs(&self) -> usize {
+        self.job_programs.len()
+    }
+
+    /// Look up or compile the job program for a package mask.
+    fn program_for(&mut self, mask: u32) -> usize {
+        if let Some(&i) = self.program_by_mask.get(&mask) {
+            return i;
+        }
+        // Reuse the bridge's generator verbatim: the program *shape* only
+        // depends on the mask, the memory/disk figures enter as slots.
+        let ad = bridge::job_ad(&Demand::new(0, 0, mask));
+        let prog = compile(
+            ad.expr("requirements")
+                .expect("invariant: bridge job ads always carry Requirements"),
+            &self.job_schema,
+            &self.machine_schema,
+        );
+        self.job_programs.push(prog);
+        let idx = self.job_programs.len() - 1;
+        self.program_by_mask.insert(mask, idx);
+        idx
+    }
+}
+
+impl PoolMatcher for Matchmaker {
+    fn prepare(&mut self, demand: &Demand) {
+        self.job_row[JOB_MEM] = clamped(demand.mem_kb);
+        self.job_row[JOB_DISK] = clamped(demand.disk_kb);
+        self.active = self.program_for(demand.packages);
+    }
+
+    fn matches(&mut self, pool: usize, _capacity: &Capacity) -> bool {
+        let machine = &self.machine_rows[pool];
+        // Job requirements (and the operator constraint) against the
+        // machine, then the machine's own requirements against the job —
+        // Condor's symmetric match, each side exactly `true`.
+        self.job_programs[self.active].eval_true(&self.job_row, machine, &mut self.stack)
+            && self
+                .constraint
+                .as_ref()
+                .is_none_or(|c| c.eval_true(&self.job_row, machine, &mut self.stack))
+            && self
+                .machine_req
+                .eval_true(machine, &self.job_row, &mut self.stack)
+    }
+
+    fn rank(&mut self, pool: usize, _capacity: &Capacity) -> f64 {
+        match &self.rank {
+            Some(r) => r.eval_rank(&self.job_row, &self.machine_rows[pool], &mut self.stack),
+            None => 0.0,
+        }
+    }
+
+    fn is_ranked(&self) -> bool {
+        self.rank.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resmatch_cluster::{ClusterBuilder, MatchPolicy};
+
+    const MB: u64 = 1024;
+
+    fn pools() -> Vec<PoolAd> {
+        vec![
+            PoolAd::new(Capacity::new(32 * MB, 1000, 0b01)).with_arch("x86"),
+            PoolAd::new(Capacity::new(24 * MB, 200, 0b11)).with_arch("sparc"),
+        ]
+    }
+
+    #[test]
+    fn capacity_dimensions_match_like_native_satisfies() {
+        let mut mm = Matchmaker::new(&pools());
+        for demand in [
+            Demand::memory(16 * MB),
+            Demand::memory(28 * MB),
+            Demand::new(8 * MB, 500, 0),
+            Demand::new(8 * MB, 100, 0b10),
+            Demand::new(8 * MB, 0, 0b100),
+        ] {
+            mm.prepare(&demand);
+            for (i, pool) in pools().iter().enumerate() {
+                assert_eq!(
+                    mm.matches(i, &pool.capacity),
+                    pool.capacity.satisfies(&demand),
+                    "pool {i}, demand {demand:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn job_programs_are_cached_per_package_mask() {
+        let mut mm = Matchmaker::new(&pools());
+        assert_eq!(mm.compiled_programs(), 1); // mask 0 precompiled
+        for mask in [0, 0b01, 0b01, 0b11, 0] {
+            mm.prepare(&Demand::new(MB, 0, mask));
+        }
+        assert_eq!(mm.compiled_programs(), 3);
+    }
+
+    #[test]
+    fn constraint_conjoins_into_the_job_side() {
+        let mut mm = Matchmaker::new(&pools())
+            .with_constraint("other.Arch == \"sparc\"")
+            .unwrap();
+        mm.prepare(&Demand::memory(MB));
+        assert!(!mm.matches(0, &pools()[0].capacity));
+        assert!(mm.matches(1, &pools()[1].capacity));
+        // Probing an attribute an untagged pool lacks yields undefined,
+        // which rejects rather than matching vacuously.
+        let untagged = [PoolAd::new(Capacity::memory(32 * MB))];
+        let mut mm = Matchmaker::new(&untagged)
+            .with_constraint("other.Arch == \"x86\"")
+            .unwrap();
+        mm.prepare(&Demand::memory(MB));
+        assert!(!mm.matches(0, &untagged[0].capacity));
+    }
+
+    #[test]
+    fn bad_expressions_surface_parse_errors() {
+        assert!(Matchmaker::new(&pools()).with_constraint("1 +").is_err());
+        assert!(Matchmaker::new(&pools()).with_rank("(Memory").is_err());
+    }
+
+    #[test]
+    fn rank_expression_reorders_allocation() {
+        let mut cluster = ClusterBuilder::new()
+            .pool(4, 32 * MB)
+            .pool(4, 24 * MB)
+            .build();
+        // FirstFit would draw from the 32 MB pool; ranking by smallest
+        // sufficient memory sends the job to the 24 MB nodes instead.
+        let mut mm = Matchmaker::from_cluster(&cluster)
+            .with_rank("0 - other.Memory")
+            .unwrap();
+        let demand = Demand::memory(8 * MB);
+        mm.prepare(&demand);
+        let a = cluster
+            .try_allocate_matched(2, &demand, MatchPolicy::FirstFit, 1, &mut mm)
+            .unwrap();
+        assert!(a.nodes().iter().all(|&id| id >= 4), "{:?}", a.nodes());
+        cluster.release(a);
+    }
+
+    #[test]
+    fn from_cluster_mirrors_pool_order_and_agrees_with_bridge() {
+        use crate::ad::matches as ad_matches;
+        let cluster = ClusterBuilder::new()
+            .pool_with(2, Capacity::new(32 * MB, 500, 0b10))
+            .pool_with(2, Capacity::new(24 * MB, 100, 0b01))
+            .build();
+        let mut mm = Matchmaker::from_cluster(&cluster);
+        for demand in [
+            Demand::memory(28 * MB),
+            Demand::new(8 * MB, 300, 0),
+            Demand::new(8 * MB, 50, 0b01),
+        ] {
+            mm.prepare(&demand);
+            for i in 0..cluster.num_pools() {
+                let capacity = cluster.pool_capacity(i);
+                let walked =
+                    ad_matches(&bridge::job_ad(&demand), &bridge::machine_ad(&capacity)).unwrap();
+                assert_eq!(
+                    mm.matches(i, &capacity),
+                    walked,
+                    "pool {i}, demand {demand:?}"
+                );
+            }
+        }
+    }
+}

@@ -2,6 +2,7 @@
 //! returns the text to print, so commands stay unit-testable without
 //! spawning processes.
 
+use resmatch_classad::{Matchmaker, PoolAd};
 use resmatch_cluster::{Cluster, Demand};
 use resmatch_core::prelude::Feedback;
 use resmatch_service::prelude::*;
@@ -9,6 +10,7 @@ use resmatch_sim::prelude::*;
 use resmatch_workload::analysis::{
     group_size_distribution, histogram_log_fit, overprovisioning_histogram, trace_stats,
 };
+use resmatch_workload::attrs::{synthesize_attributes, AttrConfig};
 use resmatch_workload::calibration::{measure, CalibrationReport, CalibrationTargets};
 use resmatch_workload::load::scale_to_load;
 use resmatch_workload::swf;
@@ -16,7 +18,7 @@ use resmatch_workload::synthetic::{generate, service_stream, Cm5Config};
 use resmatch_workload::Workload;
 
 use crate::args::{ArgSpec, Args};
-use crate::parse::{parse_cluster, parse_estimator, parse_loads};
+use crate::parse::{parse_cluster, parse_cluster_ads, parse_estimator, parse_loads};
 use crate::{CliError, CliResult};
 
 /// Load a trace: positional SWF path, or `--synthetic N` jobs.
@@ -45,9 +47,34 @@ fn load_trace(args: &Args, seed: u64) -> CliResult<Workload> {
     }
 }
 
+/// Default cluster layout: the paper's two-pool CM-5 partitioning.
+const DEFAULT_CLUSTER: &str = "512x32M,512x24M";
+
 fn cluster_from(args: &Args) -> CliResult<Cluster> {
-    let layout = args.get("cluster").unwrap_or("512x32M,512x24M").to_string();
-    parse_cluster(&layout)
+    parse_cluster(args.get("cluster").unwrap_or(DEFAULT_CLUSTER))
+}
+
+/// Cluster plus index-aligned capability ads, for matchmaking mode.
+fn cluster_ads_from(args: &Args) -> CliResult<(Cluster, Vec<PoolAd>)> {
+    parse_cluster_ads(args.get("cluster").unwrap_or(DEFAULT_CLUSTER))
+}
+
+/// Build the `--matchmaking` layer: pool ads from the cluster spec, plus
+/// the operator's `--constrain` / `--rank` expressions, compiled up front
+/// so a typo fails the command instead of the first allocation.
+fn matchmaker_from(args: &Args, ads: &[PoolAd]) -> CliResult<Matchmaker> {
+    let mut mm = Matchmaker::new(ads);
+    if let Some(text) = args.get("constrain") {
+        mm = mm
+            .with_constraint(text)
+            .map_err(|e| CliError::new(format!("bad --constrain expression: {e}")))?;
+    }
+    if let Some(text) = args.get("rank") {
+        mm = mm
+            .with_rank(text)
+            .map_err(|e| CliError::new(format!("bad --rank expression: {e}")))?;
+    }
+    Ok(mm)
 }
 
 fn sim_config(args: &Args) -> CliResult<SimConfig> {
@@ -151,7 +178,8 @@ pub fn cmd_analyze(tokens: Vec<String>) -> CliResult<String> {
 }
 
 /// `resmatch simulate [trace | --synthetic N] --cluster L --estimator E
-///  [--load X] [--policy P] [--alpha A] [--beta B] [--explicit]`
+///  [--load X] [--policy P] [--alpha A] [--beta B] [--explicit]
+///  [--matchmaking] [--constrain EXPR] [--rank EXPR] [--attrs]`
 pub fn cmd_simulate(tokens: Vec<String>) -> CliResult<String> {
     use std::fmt::Write as _;
     let args = ArgSpec::new()
@@ -165,22 +193,51 @@ pub fn cmd_simulate(tokens: Vec<String>) -> CliResult<String> {
         .value("beta")
         .value("sim-seed")
         .switch("explicit")
+        .switch("matchmaking")
+        .value("constrain")
+        .value("rank")
+        .switch("attrs")
         .parse(tokens)?;
+    let matchmaking = args.has_switch("matchmaking");
+    for flag in ["constrain", "rank"] {
+        if args.get(flag).is_some() && !matchmaking {
+            return Err(CliError::new(format!("--{flag} requires --matchmaking")));
+        }
+    }
     let seed: u64 = args.get_parsed("seed", 42)?;
     let trace = load_trace(&args, seed)?;
-    let cluster = cluster_from(&args)?;
+    let (cluster, ads) = cluster_ads_from(&args)?;
     let alpha: f64 = args.get_parsed("alpha", 2.0)?;
     let beta: f64 = args.get_parsed("beta", 0.0)?;
     let spec = parse_estimator(args.get("estimator").unwrap_or("successive"), alpha, beta)?;
     let cfg = sim_config(&args)?;
     let load: f64 = args.get_parsed("load", 0.0)?;
-    let trace = if load > 0.0 {
+    let mut trace = if load > 0.0 {
         scale_to_load(&trace, cluster.total_nodes(), load)
     } else {
         trace
     };
-    let r = Simulation::new(cfg, cluster, spec).run(&trace);
+    if args.has_switch("attrs") {
+        synthesize_attributes(&mut trace, &AttrConfig::default(), seed);
+    }
+    let mut builder = Simulation::builder()
+        .config(cfg)
+        .cluster(cluster)
+        .estimator(spec);
+    if matchmaking {
+        builder = builder.matchmaking(Box::new(matchmaker_from(&args, &ads)?));
+    }
+    let sim = builder.build().map_err(|e| CliError::new(format!("{e}")))?;
+    let r = sim.run(&trace);
     let mut out = String::new();
+    if matchmaking {
+        let _ = writeln!(
+            out,
+            "matchmaking:          on (constraint: {}; rank: {})",
+            args.get("constrain").unwrap_or("none"),
+            args.get("rank").unwrap_or("pool order"),
+        );
+    }
     let _ = writeln!(out, "estimator:            {}", r.estimator);
     let _ = writeln!(out, "completed jobs:       {}", r.completed_jobs);
     let _ = writeln!(out, "dropped jobs:         {}", r.dropped_jobs);
@@ -368,6 +425,7 @@ pub fn usage() -> String {
      resmatch simulate [trace.swf | --synthetic N] [--cluster 512x32M,512x24M]\n\
      \x20                [--estimator NAME] [--load X] [--policy fcfs|sjf|easy]\n\
      \x20                [--alpha A] [--beta B] [--explicit]\n\
+     \x20                [--matchmaking] [--constrain EXPR] [--rank EXPR] [--attrs]\n\
      resmatch sweep    [trace.swf | --synthetic N] [--loads 0.2,0.4,...]\n\
      \x20                [--cluster ...] [--estimator NAME] [--csv out.csv]\n\
      \x20                [--progress]\n\
@@ -377,8 +435,15 @@ pub fn usage() -> String {
      resmatch snapshot info <file.rsnp>\n\
      \n\
      Estimators: pass-through, oracle, successive, last-instance, regression,\n\
-     \x20           reinforcement, robust, multi-resource, quantile, adaptive,\n\
-     \x20           warm-start\n"
+     \x20           reinforcement, robust, multi-resource, per-resource,\n\
+     \x20           quantile, adaptive, warm-start\n\
+     \n\
+     Cluster pools accept capability attributes for --matchmaking, e.g.\n\
+     \x20 --cluster 512x32M:disk=2G:pkgs=3:arch=sparc,512x24M\n\
+     (disk=SIZE scratch disk, pkgs=MASK installed packages, arch=NAME tag).\n\
+     --attrs synthesizes per-class disk requests and package masks on the\n\
+     trace; --constrain/--rank take ClassAd expressions where my is the job\n\
+     ad and other the machine ad, e.g. --rank \"other.Memory\".\n"
         .to_string()
 }
 
@@ -440,6 +505,82 @@ mod tests {
         .unwrap();
         assert!(out.contains("utilization:"), "{out}");
         assert!(out.contains("completed jobs:       400"), "{out}");
+    }
+
+    #[test]
+    fn simulate_matchall_matchmaking_is_output_identical() {
+        // An unconstrained matchmaker over untagged pools must reproduce
+        // the legacy path exactly — same metrics, byte for byte, modulo
+        // the mode banner line.
+        let base = "--synthetic 300 --load 1.0 --cluster 64x32M,64x24M";
+        let legacy = cmd_simulate(toks(base)).unwrap();
+        let matched = cmd_simulate(toks(&format!("{base} --matchmaking"))).unwrap();
+        let (banner, rest) = matched.split_once('\n').unwrap();
+        assert!(banner.starts_with("matchmaking:"), "{matched}");
+        assert_eq!(legacy, rest);
+    }
+
+    #[test]
+    fn simulate_disk_constrained_scenario_runs() {
+        // One pool with finite scratch disk, one unconstrained; enriched
+        // jobs whose requests exceed 2G can only land on the second pool.
+        let out = cmd_simulate(toks(
+            "--synthetic 300 --load 1.0 --matchmaking --attrs \
+             --cluster 64x32M:disk=2G,64x24M",
+        ))
+        .unwrap();
+        assert!(out.contains("matchmaking:          on"), "{out}");
+        assert!(out.contains("completed jobs:"), "{out}");
+    }
+
+    #[test]
+    fn simulate_license_pool_scenario_runs() {
+        // Licensed software lives on one pool (pkgs mask); a rank
+        // expression prefers roomier nodes among eligible pools.
+        let out = cmd_simulate(toks(
+            "--synthetic 300 --load 1.0 --matchmaking --attrs \
+             --cluster 64x32M:pkgs=15:arch=sparc,64x24M:pkgs=0 \
+             --rank other.Memory",
+        ))
+        .unwrap();
+        assert!(out.contains("rank: other.Memory"), "{out}");
+        assert!(out.contains("completed jobs:"), "{out}");
+    }
+
+    #[test]
+    fn simulate_constraint_restricts_to_tagged_pool() {
+        // Constrain every job to the sparc-tagged pool: the untagged pool
+        // makes other.Arch undefined, which rejects.
+        let out = cmd_simulate(toks(
+            "--synthetic 200 --load 1.0 --matchmaking \
+             --cluster 32x32M:arch=sparc,32x24M \
+             --constrain other.Arch==\"sparc\"",
+        ))
+        .unwrap();
+        assert!(out.contains("constraint: other.Arch==\"sparc\""), "{out}");
+        assert!(out.contains("completed jobs:"), "{out}");
+    }
+
+    #[test]
+    fn simulate_rejects_bad_matchmaking_flags() {
+        assert!(
+            cmd_simulate(toks("--synthetic 10 --matchmaking --constrain 1+"))
+                .unwrap_err()
+                .message
+                .contains("bad --constrain")
+        );
+        assert!(cmd_simulate(toks("--synthetic 10 --matchmaking --rank )("))
+            .unwrap_err()
+            .message
+            .contains("bad --rank"));
+        assert!(cmd_simulate(toks("--synthetic 10 --constrain true"))
+            .unwrap_err()
+            .message
+            .contains("requires --matchmaking"));
+        assert!(cmd_simulate(toks("--synthetic 10 --rank other.Memory"))
+            .unwrap_err()
+            .message
+            .contains("requires --matchmaking"));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Domain-value parsing: cluster layouts, estimator names, load lists.
 
-use resmatch_cluster::{Cluster, ClusterBuilder};
+use resmatch_classad::PoolAd;
+use resmatch_cluster::{Capacity, Cluster, ClusterBuilder};
 use resmatch_sim::EstimatorSpec;
 
 use crate::{CliError, CliResult};
@@ -21,12 +22,33 @@ pub fn parse_mem_kb(raw: &str) -> CliResult<u64> {
 }
 
 /// Parse a cluster layout: comma-separated `COUNTxMEM` pools, e.g.
-/// `512x32M,512x24M`.
+/// `512x32M,512x24M`. Sugar over [`parse_cluster_ads`] for callers that
+/// only need the capacity model.
 pub fn parse_cluster(raw: &str) -> CliResult<Cluster> {
+    Ok(parse_cluster_ads(raw)?.0)
+}
+
+/// Parse a cluster layout together with per-pool capability ads.
+///
+/// Each pool is `COUNTxMEM` optionally followed by `:`-separated
+/// attributes, e.g. `512x32M:disk=2G:pkgs=3:arch=sparc`:
+///
+/// - `disk=SIZE` — per-node scratch disk (same `M`/`G` suffixes as
+///   memory; default unbounded),
+/// - `pkgs=MASK` — bitmask of installed licensed packages (decimal, or
+///   hex with an `0x` prefix; default all packages),
+/// - `arch=NAME` — architecture tag advertised as the `Arch` ClassAd
+///   attribute (default untagged).
+///
+/// The returned [`PoolAd`] list is index-aligned with the cluster's
+/// pools, ready for [`resmatch_classad::Matchmaker::new`].
+pub fn parse_cluster_ads(raw: &str) -> CliResult<(Cluster, Vec<PoolAd>)> {
     let mut builder = ClusterBuilder::new();
-    let mut any = false;
+    let mut ads = Vec::new();
     for pool in raw.split(',') {
-        let (count, mem) = pool
+        let mut parts = pool.split(':');
+        let head = parts.next().unwrap_or("");
+        let (count, mem) = head
             .split_once(['x', 'X'])
             .ok_or_else(|| CliError::new(format!("pool {pool:?} must look like 512x32M")))?;
         let count: u32 = count
@@ -36,13 +58,49 @@ pub fn parse_cluster(raw: &str) -> CliResult<Cluster> {
         if count == 0 {
             return Err(CliError::new(format!("pool {pool:?} has zero nodes")));
         }
-        builder = builder.pool(count, parse_mem_kb(mem)?);
-        any = true;
+        let mem_kb = parse_mem_kb(mem)?;
+        // Unspecified attributes advertise no constraint, matching
+        // `Capacity::memory`: unbounded disk, every package installed.
+        let mut disk_kb = u64::MAX;
+        let mut packages = u32::MAX;
+        let mut arch: Option<&str> = None;
+        for attr in parts {
+            let (key, value) = attr.split_once('=').ok_or_else(|| {
+                CliError::new(format!("pool attribute {attr:?} must be key=value"))
+            })?;
+            match key.trim() {
+                "disk" => disk_kb = parse_mem_kb(value)?,
+                "pkgs" => {
+                    let value = value.trim();
+                    packages = match value
+                        .strip_prefix("0x")
+                        .or_else(|| value.strip_prefix("0X"))
+                    {
+                        Some(hex) => u32::from_str_radix(hex, 16),
+                        None => value.parse(),
+                    }
+                    .map_err(|_| CliError::new(format!("bad package mask in {pool:?}")))?;
+                }
+                "arch" => arch = Some(value.trim()),
+                other => {
+                    return Err(CliError::new(format!(
+                        "unknown pool attribute {other:?}; expected disk=, pkgs=, or arch="
+                    )))
+                }
+            }
+        }
+        let capacity = Capacity::new(mem_kb, disk_kb, packages);
+        let mut ad = PoolAd::new(capacity);
+        if let Some(arch) = arch {
+            ad = ad.with_arch(arch);
+        }
+        builder = builder.pool_with(count, capacity);
+        ads.push(ad);
     }
-    if !any {
+    if ads.is_empty() {
         return Err(CliError::new("cluster layout is empty"));
     }
-    Ok(builder.build())
+    Ok((builder.build(), ads))
 }
 
 /// Estimator names accepted by `--estimator` — the canonical
@@ -100,6 +158,35 @@ mod tests {
         assert!(parse_cluster("0x32M").is_err());
         assert!(parse_cluster("ax32M").is_err());
         assert!(parse_cluster("512xbogus").is_err());
+    }
+
+    #[test]
+    fn pool_attribute_grammar() {
+        let (c, ads) = parse_cluster_ads("4x32M:disk=2G:pkgs=3:arch=sparc,8x24M").unwrap();
+        assert_eq!(c.total_nodes(), 12);
+        assert_eq!(ads.len(), 2);
+        assert_eq!(ads[0].capacity.mem_kb, 32 * 1024);
+        assert_eq!(ads[0].capacity.disk_kb, 2 * 1024 * 1024);
+        assert_eq!(ads[0].capacity.packages, 3);
+        assert_eq!(ads[0].arch.as_deref(), Some("sparc"));
+        // Unadorned pools advertise no constraint beyond memory.
+        assert_eq!(ads[1].capacity.disk_kb, u64::MAX);
+        assert_eq!(ads[1].capacity.packages, u32::MAX);
+        assert_eq!(ads[1].arch, None);
+    }
+
+    #[test]
+    fn pool_attribute_masks_accept_hex() {
+        let (_, ads) = parse_cluster_ads("2x8M:pkgs=0xF").unwrap();
+        assert_eq!(ads[0].capacity.packages, 0xF);
+    }
+
+    #[test]
+    fn pool_attribute_errors() {
+        assert!(parse_cluster_ads("4x32M:disk").is_err());
+        assert!(parse_cluster_ads("4x32M:disk=bogus").is_err());
+        assert!(parse_cluster_ads("4x32M:pkgs=zz").is_err());
+        assert!(parse_cluster_ads("4x32M:frobs=1").is_err());
     }
 
     #[test]

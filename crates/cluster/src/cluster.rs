@@ -22,6 +22,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::ladder::CapacityLadder;
+use crate::matchmaking::PoolMatcher;
 use crate::resources::{Capacity, Demand};
 
 /// Index of a node within its cluster.
@@ -183,6 +184,9 @@ pub struct Cluster {
     /// Retired allocation buffers, reused by the next `try_allocate` so a
     /// steady-state simulation allocates no fresh vectors per execution.
     spare: Vec<SpareBuffers>,
+    /// Candidate-pool scratch for `try_allocate_matched`, reused across
+    /// calls for the same reason as `spare`.
+    match_scratch: Vec<(u16, f64)>,
 }
 
 impl Cluster {
@@ -257,6 +261,7 @@ impl Cluster {
             order_best,
             order_worst,
             spare: Vec::new(),
+            match_scratch: Vec::new(),
         }
     }
 
@@ -435,16 +440,15 @@ impl Cluster {
         // The pool visit orders are precomputed at construction (pools never
         // change capacity); ineligible pools are skipped in-line, which yields
         // the same sequence a filter-then-sort of eligible pools would.
-        let order: &[u16] = match policy {
-            MatchPolicy::FirstFit => &self.order_first,
-            MatchPolicy::BestFit => &self.order_best,
-            MatchPolicy::WorstFit => &self.order_worst,
-        };
         let (mut nodes, mut per_pool) = self.spare.pop().unwrap_or_default();
         nodes.reserve(count as usize);
         let mut remaining = count;
-        for &pio in order {
-            let pi = pio as usize;
+        for oi in 0..self.pools.len() {
+            let pi = match policy {
+                MatchPolicy::FirstFit => self.order_first[oi],
+                MatchPolicy::BestFit => self.order_best[oi],
+                MatchPolicy::WorstFit => self.order_worst[oi],
+            } as usize;
             if !self.pools[pi].capacity.satisfies(demand) {
                 continue;
             }
@@ -452,27 +456,8 @@ impl Cluster {
             if here == 0 {
                 continue;
             }
-            // Take the top `here` entries of the free stack as one block.
-            // Reversing the slice reproduces the exact order a pop-per-node
-            // loop would have drawn them in, so node selection is
-            // bit-identical while the stack shrinks with a single truncate.
-            let start = self.pools[pi].free.len() - here as usize;
-            {
-                let (pools, occupant) = (&self.pools, &mut self.occupant);
-                // One reverse pass claims and collects each node; claim
-                // order is unobservable (the ids are distinct), and the
-                // collected order matches the pop-per-node draw.
-                nodes.extend(pools[pi].free[start..].iter().rev().map(|&id| {
-                    debug_assert_eq!(occupant[id as usize], FREE_TOKEN);
-                    occupant[id as usize] = token;
-                    id
-                }));
-            }
-            self.pools[pi].free.truncate(start);
+            self.take_block(pi, here, token, &mut nodes, &mut per_pool);
             remaining -= here;
-            per_pool.push((pi as u16, here));
-            self.mem_index
-                .add_free(self.pool_rung[pi] as usize, -(here as i64));
             if remaining == 0 {
                 break;
             }
@@ -484,6 +469,153 @@ impl Cluster {
             per_pool,
             token,
         })
+    }
+
+    /// Claim the top `here` nodes of pool `pi`'s free stack for `token`,
+    /// appending them to an allocation under construction.
+    ///
+    /// Takes the entries as one block: reversing the slice reproduces the
+    /// exact order a pop-per-node loop would have drawn them in, so node
+    /// selection is bit-identical while the stack shrinks with a single
+    /// truncate.
+    fn take_block(
+        &mut self,
+        pi: usize,
+        here: u32,
+        token: u64,
+        nodes: &mut Vec<NodeId>,
+        per_pool: &mut Vec<(u16, u32)>,
+    ) {
+        let start = self.pools[pi].free.len() - here as usize;
+        {
+            let (pools, occupant) = (&self.pools, &mut self.occupant);
+            // One reverse pass claims and collects each node; claim
+            // order is unobservable (the ids are distinct), and the
+            // collected order matches the pop-per-node draw.
+            nodes.extend(pools[pi].free[start..].iter().rev().map(|&id| {
+                debug_assert_eq!(occupant[id as usize], FREE_TOKEN);
+                occupant[id as usize] = token;
+                id
+            }));
+        }
+        self.pools[pi].free.truncate(start);
+        per_pool.push((pi as u16, here));
+        self.mem_index
+            .add_free(self.pool_rung[pi] as usize, -(here as i64));
+    }
+
+    /// [`Cluster::try_allocate`] with a [`PoolMatcher`] intersected into
+    /// pool eligibility: a pool is a candidate only when its capacity
+    /// satisfies `demand` *and* the matcher accepts it. When the matcher
+    /// ranks, candidates are reordered by descending rank (stable, so ties
+    /// keep `policy` order) before nodes are drawn; otherwise pure policy
+    /// order is kept and — for a matcher accepting every pool — the result
+    /// is bit-identical to the native path.
+    ///
+    /// The caller is expected to have [`PoolMatcher::prepare`]d the matcher
+    /// for `demand`.
+    pub fn try_allocate_matched(
+        &mut self,
+        count: u32,
+        demand: &Demand,
+        policy: MatchPolicy,
+        token: u64,
+        matcher: &mut dyn PoolMatcher,
+    ) -> Option<Allocation> {
+        assert!(token < FREE_TOKEN, "tokens above u64::MAX - 2 are reserved");
+        if count == 0 {
+            return Some(Allocation {
+                nodes: Vec::new(),
+                per_pool: Vec::new(),
+                token,
+            });
+        }
+        let order: &[u16] = match policy {
+            MatchPolicy::FirstFit => &self.order_first,
+            MatchPolicy::BestFit => &self.order_best,
+            MatchPolicy::WorstFit => &self.order_worst,
+        };
+        // One pass gathers eligibility, availability, and (when wanted)
+        // rank, so each pool's ads are evaluated at most once per attempt.
+        let ranked = matcher.is_ranked();
+        let mut candidates = std::mem::take(&mut self.match_scratch);
+        candidates.clear();
+        let mut available: u32 = 0;
+        for &pio in order {
+            let pi = pio as usize;
+            let capacity = self.pools[pi].capacity;
+            if !capacity.satisfies(demand) || !matcher.matches(pi, &capacity) {
+                continue;
+            }
+            available += self.pools[pi].free.len() as u32;
+            let rank = if ranked {
+                matcher.rank(pi, &capacity)
+            } else {
+                0.0
+            };
+            candidates.push((pio, rank));
+        }
+        if available < count {
+            self.match_scratch = candidates;
+            return None;
+        }
+        if ranked {
+            candidates.sort_by(|a, b| b.1.total_cmp(&a.1));
+        }
+        let (mut nodes, mut per_pool) = self.spare.pop().unwrap_or_default();
+        nodes.reserve(count as usize);
+        let mut remaining = count;
+        for &(pio, _) in &candidates {
+            let pi = pio as usize;
+            let here = remaining.min(self.pools[pi].free.len() as u32);
+            if here == 0 {
+                continue;
+            }
+            self.take_block(pi, here, token, &mut nodes, &mut per_pool);
+            remaining -= here;
+            if remaining == 0 {
+                break;
+            }
+        }
+        debug_assert_eq!(remaining, 0, "availability was gathered above");
+        self.free_count -= count;
+        self.match_scratch = candidates;
+        Some(Allocation {
+            nodes,
+            per_pool,
+            token,
+        })
+    }
+
+    /// Free nodes in pools that satisfy `demand` *and* are accepted by
+    /// `matcher` — the matched counterpart of
+    /// [`Cluster::free_nodes_satisfying`]. The caller is expected to have
+    /// [`PoolMatcher::prepare`]d the matcher for `demand`.
+    pub fn free_nodes_satisfying_matched(
+        &self,
+        demand: &Demand,
+        matcher: &mut dyn PoolMatcher,
+    ) -> u32 {
+        self.pools
+            .iter()
+            .enumerate()
+            .filter(|(pi, p)| p.capacity.satisfies(demand) && matcher.matches(*pi, &p.capacity))
+            .map(|(_, p)| p.free.len() as u32)
+            .sum()
+    }
+
+    /// Online (free or busy) nodes in pools that satisfy `demand` *and* are
+    /// accepted by `matcher` — the matched counterpart of
+    /// [`Cluster::nodes_satisfying`], used for admission feasibility. The
+    /// caller is expected to have [`PoolMatcher::prepare`]d the matcher for
+    /// `demand`.
+    pub fn nodes_satisfying_matched(&self, demand: &Demand, matcher: &mut dyn PoolMatcher) -> u32 {
+        self.pools
+            .iter()
+            .enumerate()
+            .filter(|(pi, p)| p.capacity.satisfies(demand) && matcher.matches(*pi, &p.capacity))
+            .map(|(_, p)| p.total - p.offline.len() as u32)
+            .sum()
     }
 
     /// Return an allocation's nodes to their pools.
@@ -561,6 +693,29 @@ impl Cluster {
             .unwrap_or(0)
     }
 
+    /// Smallest disk capacity among the nodes an allocation granted — the
+    /// disk analogue of [`Cluster::allocation_min_mem`]. Empty allocations
+    /// constrain nothing and report `u64::MAX`.
+    #[inline]
+    pub fn allocation_min_disk(&self, alloc: &Allocation) -> u64 {
+        alloc
+            .per_pool
+            .iter()
+            .map(|&(pi, _)| self.pools[pi as usize].capacity.disk_kb)
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Capacity of every node in pool `idx` (construction order) — what a
+    /// matchmaker reads to build the pool's capability ad.
+    ///
+    /// # Panics
+    /// Panics for out-of-range pool indices.
+    #[inline]
+    pub fn pool_capacity(&self, idx: usize) -> Capacity {
+        self.pools[idx].capacity
+    }
+
     /// Per-pool occupancy snapshot: `(memory_kb, total, busy)` per pool, in
     /// construction order. Offline nodes count as neither free nor busy.
     pub fn pool_occupancy(&self) -> Vec<(u64, u32, u32)> {
@@ -594,6 +749,29 @@ impl Cluster {
             .per_pool
             .iter()
             .filter(|&&(pi, _)| self.pools[pi as usize].capacity.satisfies(demand))
+            .map(|&(_, n)| n)
+            .sum()
+    }
+
+    /// How many of an allocation's nodes satisfy `demand` *and* sit in a
+    /// pool accepted by `matcher` — the matched counterpart of
+    /// [`Cluster::allocation_nodes_satisfying`], used for backfill
+    /// reservation arithmetic. The caller is expected to have
+    /// [`PoolMatcher::prepare`]d the matcher for `demand`.
+    #[inline]
+    pub fn allocation_nodes_satisfying_matched(
+        &self,
+        alloc: &Allocation,
+        demand: &Demand,
+        matcher: &mut dyn PoolMatcher,
+    ) -> u32 {
+        alloc
+            .per_pool
+            .iter()
+            .filter(|&&(pi, _)| {
+                let capacity = self.pools[pi as usize].capacity;
+                capacity.satisfies(demand) && matcher.matches(pi as usize, &capacity)
+            })
             .map(|&(_, n)| n)
             .sum()
     }
@@ -775,6 +953,198 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn empty_cluster_rejected() {
         let _ = Cluster::from_pools(&[]);
+    }
+
+    use crate::matchmaking::MatchAll;
+
+    /// Accepts only the listed pool indices; unranked.
+    struct OnlyPools(Vec<usize>);
+
+    impl PoolMatcher for OnlyPools {
+        fn matches(&mut self, pool: usize, _capacity: &Capacity) -> bool {
+            self.0.contains(&pool)
+        }
+    }
+
+    /// Accepts everything, ranks small-memory pools highest.
+    struct PreferSmallMem;
+
+    impl PoolMatcher for PreferSmallMem {
+        fn matches(&mut self, _pool: usize, _capacity: &Capacity) -> bool {
+            true
+        }
+
+        fn rank(&mut self, _pool: usize, capacity: &Capacity) -> f64 {
+            -(capacity.mem_kb as f64)
+        }
+
+        fn is_ranked(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn matched_with_match_all_is_bit_identical_to_native() {
+        // Same interleaved allocate/release sequence through both entry
+        // points must grant the same node ids in the same order, under
+        // every policy.
+        for policy in [
+            MatchPolicy::FirstFit,
+            MatchPolicy::BestFit,
+            MatchPolicy::WorstFit,
+        ] {
+            let mut native = two_pool_cluster();
+            let mut matched = two_pool_cluster();
+            let mut matcher = MatchAll;
+            let mut held_native = Vec::new();
+            let mut held_matched = Vec::new();
+            for (i, (count, mem)) in [(3, 1024), (2, 28 * 1024), (4, 1024), (2, 25 * 1024)]
+                .into_iter()
+                .enumerate()
+            {
+                let demand = Demand::memory(mem);
+                let a = native.try_allocate(count, &demand, policy, i as u64);
+                let b =
+                    matched.try_allocate_matched(count, &demand, policy, i as u64, &mut matcher);
+                match (a, b) {
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.nodes(), b.nodes(), "{policy:?} step {i}");
+                        assert_eq!(a.per_pool(), b.per_pool(), "{policy:?} step {i}");
+                        held_native.push(a);
+                        held_matched.push(b);
+                    }
+                    (None, None) => {}
+                    (a, b) => panic!("{policy:?} step {i}: divergent outcomes {a:?} vs {b:?}"),
+                }
+                if i == 1 {
+                    native.release(held_native.remove(0));
+                    matched.release(held_matched.remove(0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matcher_restricts_eligible_pools() {
+        let mut c = two_pool_cluster();
+        let mut only_second = OnlyPools(vec![1]);
+        // Pool 1 holds the 24 MB nodes (ids 4..8); pool 0 must never be
+        // drawn even though its capacity satisfies the demand.
+        let a = c
+            .try_allocate_matched(
+                3,
+                &Demand::memory(1024),
+                MatchPolicy::FirstFit,
+                1,
+                &mut only_second,
+            )
+            .unwrap();
+        assert!(a.nodes().iter().all(|&id| id >= 4));
+        // Only one matched node remains free: a two-node ask must refuse
+        // without leaking, even though pool 0 has four free nodes.
+        assert!(c
+            .try_allocate_matched(
+                2,
+                &Demand::memory(1024),
+                MatchPolicy::FirstFit,
+                2,
+                &mut only_second
+            )
+            .is_none());
+        assert_eq!(c.free_nodes(), 5);
+        c.release(a);
+    }
+
+    #[test]
+    fn rank_reorders_candidates_and_ties_keep_policy_order() {
+        let mut c = two_pool_cluster();
+        // WorstFit would prefer the 32 MB pool; the rank expression inverts
+        // that preference.
+        let mut matcher = PreferSmallMem;
+        let a = c
+            .try_allocate_matched(
+                2,
+                &Demand::memory(1024),
+                MatchPolicy::WorstFit,
+                1,
+                &mut matcher,
+            )
+            .unwrap();
+        assert!(a.nodes().iter().all(|&id| id >= 4), "{:?}", a.nodes());
+        c.release(a);
+        // With a constant rank, the stable sort keeps the policy order.
+        struct FlatRank;
+        impl PoolMatcher for FlatRank {
+            fn matches(&mut self, _p: usize, _c: &Capacity) -> bool {
+                true
+            }
+            fn is_ranked(&self) -> bool {
+                true
+            }
+        }
+        let b = c
+            .try_allocate_matched(
+                2,
+                &Demand::memory(1024),
+                MatchPolicy::WorstFit,
+                1,
+                &mut FlatRank,
+            )
+            .unwrap();
+        assert!(b.nodes().iter().all(|&id| id < 4), "{:?}", b.nodes());
+        c.release(b);
+    }
+
+    #[test]
+    fn matched_counts_intersect_matcher_and_capacity() {
+        let mut c = two_pool_cluster();
+        let mut only_first = OnlyPools(vec![0]);
+        assert_eq!(
+            c.free_nodes_satisfying_matched(&Demand::memory(1024), &mut only_first),
+            4
+        );
+        assert_eq!(
+            c.nodes_satisfying_matched(&Demand::memory(1024), &mut only_first),
+            4
+        );
+        // Capacity still intersects: pool 0 is 32 MB, so a 28 MB demand
+        // matched to pool 1 only has no candidates at all.
+        let mut only_second = OnlyPools(vec![1]);
+        assert_eq!(
+            c.nodes_satisfying_matched(&Demand::memory(28 * 1024), &mut only_second),
+            0
+        );
+        let a = c
+            .try_allocate_matched(
+                2,
+                &Demand::memory(1024),
+                MatchPolicy::FirstFit,
+                1,
+                &mut only_first,
+            )
+            .unwrap();
+        assert_eq!(
+            c.free_nodes_satisfying_matched(&Demand::memory(1024), &mut only_first),
+            2
+        );
+        c.release(a);
+    }
+
+    #[test]
+    fn allocation_min_disk_reports_weakest_node() {
+        let mut c = Cluster::from_pools(&[
+            (2, Capacity::new(32 * 1024, 100, 0)),
+            (2, Capacity::new(32 * 1024, 50, 0)),
+        ]);
+        let a = c
+            .try_allocate(3, &Demand::memory(1024), MatchPolicy::FirstFit, 1)
+            .unwrap();
+        assert_eq!(c.allocation_min_disk(&a), 50);
+        c.release(a);
+        let empty = c
+            .try_allocate(0, &Demand::memory(1024), MatchPolicy::FirstFit, 1)
+            .unwrap();
+        assert_eq!(c.allocation_min_disk(&empty), u64::MAX);
     }
 
     #[test]

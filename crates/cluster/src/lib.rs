@@ -36,9 +36,11 @@
 pub mod builder;
 pub mod cluster;
 pub mod ladder;
+pub mod matchmaking;
 pub mod resources;
 
 pub use builder::ClusterBuilder;
 pub use cluster::{Allocation, AllocationSpare, Cluster, MatchPolicy, NodeId};
 pub use ladder::CapacityLadder;
+pub use matchmaking::{MatchAll, PoolMatcher};
 pub use resources::{Capacity, Demand};

@@ -151,7 +151,7 @@ impl ResourceEstimator for LastInstance {
         };
         Demand {
             mem_kb,
-            disk_kb: 0,
+            disk_kb: job.requested_disk_kb,
             packages: job.requested_packages,
         }
     }

@@ -53,6 +53,7 @@ pub mod adaptive;
 pub mod baseline;
 pub mod last_instance;
 pub mod multi;
+pub mod per_resource;
 pub mod quantile;
 pub mod regression;
 pub mod reinforcement;
@@ -71,6 +72,7 @@ pub mod prelude {
     pub use crate::baseline::{Oracle, PassThrough};
     pub use crate::last_instance::{LastInstance, LastInstanceConfig};
     pub use crate::multi::{MultiResourceConfig, MultiResourceEstimator};
+    pub use crate::per_resource::{PerResourceConfig, PerResourceEstimator};
     pub use crate::quantile::{QuantileConfig, QuantileEstimator};
     pub use crate::regression::{RegressionConfig, RegressionEstimator};
     pub use crate::reinforcement::{ReinforcementConfig, ReinforcementEstimator};

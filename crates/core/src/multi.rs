@@ -119,7 +119,7 @@ impl ResourceEstimator for MultiResourceEstimator {
         };
         Demand {
             mem_kb: mem.mem_kb,
-            disk_kb: 0,
+            disk_kb: job.requested_disk_kb,
             packages,
         }
     }

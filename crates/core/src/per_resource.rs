@@ -1,0 +1,364 @@
+//! Per-resource estimation: every requested dimension shrinks independently.
+//!
+//! The paper's §2.3 observes that once jobs request several resource
+//! capacities, "the estimation algorithm can be applied to each resource
+//! separately" — the similarity insight is not memory-specific. This module
+//! is that composition for the matchmaking allocation mode: the *memory*
+//! dimension runs the existing Algorithm 1 family unchanged
+//! ([`SuccessiveApproximation`]), while the *disk* dimension runs a parallel
+//! Algorithm 1 channel keyed by the **same** similarity policy. Packages are
+//! prerequisites, not capacities — they pass through verbatim (shrinking a
+//! license requirement would change which software the job can run, not how
+//! much of it).
+//!
+//! The disk channel differs from the memory channel in exactly one way: it
+//! has no capacity ladder. Cluster memory comes in a handful of
+//! machine-type rungs, so memory estimates round up to the next rung; disk
+//! is provisioned per pool in arbitrary sizes, so the disk estimate is used
+//! directly (ceiled to whole KB). Everything else — initialization at the
+//! request, divide-by-α on success, restore-and-decay on failure, the
+//! monotone out-of-order guards — mirrors [`crate::successive`] line for
+//! line.
+//!
+//! Jobs that request no disk (`requested_disk_kb == 0`, the convention for
+//! traces without disk records) create no disk-channel state and always get
+//! a zero (unconstrained) disk demand, so on such traces this estimator is
+//! *decision-identical* to plain successive approximation.
+
+use resmatch_cluster::{CapacityLadder, Demand};
+use resmatch_workload::Job;
+
+use crate::similarity::GroupTable;
+use crate::successive::{SuccessiveApproximation, SuccessiveConfig};
+use crate::traits::{EstimateContext, EstimateScope, Feedback, ResourceEstimator};
+
+/// Tunables for [`PerResourceEstimator`]. The memory channel carries a full
+/// [`SuccessiveConfig`] (its policy keys *both* channels); the disk channel
+/// has its own (α, β) so experiments can probe the dimensions at different
+/// aggressiveness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerResourceConfig {
+    /// Memory-channel configuration; `memory.policy` keys both channels.
+    pub memory: SuccessiveConfig,
+    /// Disk-channel learning rate `α > 1`.
+    pub disk_alpha: f64,
+    /// Disk-channel decay-on-failure `0 <= β < 1`.
+    pub disk_beta: f64,
+}
+
+impl Default for PerResourceConfig {
+    fn default() -> Self {
+        PerResourceConfig {
+            memory: SuccessiveConfig::default(),
+            disk_alpha: 2.0,
+            disk_beta: 0.0,
+        }
+    }
+}
+
+/// Disk-channel learning state: Algorithm 1's two parameters plus the
+/// bookkeeping the monotone guards need (mirrors the memory channel's
+/// private state).
+#[derive(Debug, Clone)]
+struct DiskState {
+    /// Current estimate `Eᵢ`, KB.
+    estimate: f64,
+    /// Learning rate `αᵢ`.
+    alpha: f64,
+    /// Last estimate known to work; failures restore to it.
+    prev: f64,
+    /// The group's initial disk request `R` — estimates never exceed it.
+    request: f64,
+}
+
+/// The §2.3 per-resource estimator: memory via [`SuccessiveApproximation`],
+/// disk via a parallel ladder-free Algorithm 1 channel, packages verbatim.
+pub struct PerResourceEstimator {
+    cfg: PerResourceConfig,
+    memory: SuccessiveApproximation,
+    disk: GroupTable<DiskState>,
+}
+
+impl PerResourceEstimator {
+    /// Create for a cluster whose *memory* rungs are `ladder` (disk has no
+    /// ladder; see the module docs).
+    ///
+    /// # Panics
+    /// Panics unless both channels have `alpha > 1` and `0 <= beta < 1`.
+    pub fn new(cfg: PerResourceConfig, ladder: CapacityLadder) -> Self {
+        assert!(cfg.disk_alpha > 1.0, "disk alpha must exceed 1");
+        assert!(
+            (0.0..1.0).contains(&cfg.disk_beta),
+            "disk beta must be in [0, 1)"
+        );
+        PerResourceEstimator {
+            cfg,
+            memory: SuccessiveApproximation::new(cfg.memory, ladder),
+            disk: GroupTable::new(cfg.memory.policy),
+        }
+    }
+
+    /// Number of disk-channel similarity groups created so far (only jobs
+    /// that actually request disk create one).
+    pub fn disk_group_count(&self) -> usize {
+        self.disk.len()
+    }
+
+    /// The memory channel, for its reporting surface
+    /// ([`SuccessiveApproximation::lowered_fraction`] etc.).
+    pub fn memory_channel(&self) -> &SuccessiveApproximation {
+        &self.memory
+    }
+
+    /// Current disk estimate (KB) for `job`'s group, if that group exists.
+    pub fn disk_estimate_kb(&self, job: &Job) -> Option<f64> {
+        self.disk.get(job).map(|g| g.estimate)
+    }
+}
+
+impl ResourceEstimator for PerResourceEstimator {
+    fn name(&self) -> &'static str {
+        "per-resource"
+    }
+
+    fn estimate(&mut self, job: &Job, ctx: &EstimateContext) -> Demand {
+        let mut demand = self.memory.estimate(job, ctx);
+        if job.requested_disk_kb == 0 {
+            demand.disk_kb = 0;
+            return demand;
+        }
+        let alpha = self.cfg.disk_alpha;
+        let group = self.disk.get_or_insert_with(job, |j| DiskState {
+            estimate: j.requested_disk_kb as f64,
+            alpha,
+            prev: j.requested_disk_kb as f64,
+            request: j.requested_disk_kb as f64,
+        });
+        let request = job.requested_disk_kb as f64;
+        demand.disk_kb = (group.estimate.ceil().max(0.0) as u64)
+            .min(request as u64)
+            .max(1);
+        demand
+    }
+
+    fn feedback(
+        &mut self,
+        job: &Job,
+        granted: &Demand,
+        feedback: &Feedback,
+        ctx: &EstimateContext,
+    ) {
+        self.memory.feedback(job, granted, feedback, ctx);
+        if job.requested_disk_kb == 0 {
+            return;
+        }
+        let Some(group) = self.disk.get_mut(job) else {
+            // Feedback for a job never estimated — nothing to learn from
+            // (same rule as the memory channel).
+            return;
+        };
+        let granted_disk = granted.disk_kb as f64;
+        if feedback.is_success() {
+            let proposal = granted_disk / group.alpha;
+            // Monotone guards against out-of-order feedback, as in the
+            // memory channel: successes never raise, failures never lower.
+            group.prev = group.prev.min(granted_disk).min(group.request);
+            group.estimate = group.estimate.min(proposal).min(group.request);
+        } else {
+            group.estimate = group.estimate.max(group.prev);
+            group.alpha = (group.alpha * self.cfg.disk_beta).max(1.0);
+        }
+    }
+
+    fn estimate_scope(&self, job: &Job) -> EstimateScope {
+        // Both channels key on the same policy and keep strictly per-group
+        // state; estimate reads no scheduler context and has no
+        // cross-group side effects (the memory channel's submission
+        // counters feed reports, not estimates). So the combined estimator
+        // upholds the same Group promise as each channel alone.
+        self.memory.estimate_scope(job)
+    }
+
+    // Snapshotting deliberately stays unsupported (the trait default): the
+    // matchmaking experiments run single-process without restarts, and the
+    // disk channel would need its own persisted schema. The memory channel
+    // alone can still be persisted by running plain `successive`.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resmatch_workload::job::JobBuilder;
+
+    const MB: u64 = 1024;
+
+    fn job(req_mem_mb: u64, req_disk_mb: u64, used_disk_mb: u64) -> Job {
+        JobBuilder::new(1)
+            .user(1)
+            .app(1)
+            .requested_mem_kb(req_mem_mb * MB)
+            .used_mem_kb(4 * MB)
+            .requested_disk_kb(req_disk_mb * MB)
+            .used_disk_kb(used_disk_mb * MB)
+            .build()
+    }
+
+    fn estimator(disk_alpha: f64, disk_beta: f64) -> PerResourceEstimator {
+        PerResourceEstimator::new(
+            PerResourceConfig {
+                disk_alpha,
+                disk_beta,
+                ..PerResourceConfig::default()
+            },
+            CapacityLadder::new(vec![32 * MB, 16 * MB, 8 * MB, 4 * MB]),
+        )
+    }
+
+    /// Drive one estimate/feedback cycle; success iff the granted disk
+    /// covers actual usage (memory is sized to always succeed).
+    fn cycle(est: &mut PerResourceEstimator, j: &Job) -> (u64, bool) {
+        let ctx = EstimateContext::default();
+        let d = est.estimate(j, &ctx);
+        let success = j.used_disk_kb <= d.disk_kb || j.requested_disk_kb == 0;
+        let fb = if success {
+            Feedback::success()
+        } else {
+            Feedback::failure()
+        };
+        est.feedback(j, &d, &fb, &ctx);
+        (d.disk_kb, success)
+    }
+
+    #[test]
+    fn disk_channel_walks_down_and_freezes_like_algorithm1() {
+        // Requested 1024 MB of scratch, actually uses 150 MB, α = 2, β = 0:
+        // 1024 → 512 → 256 → (128 fails) → 256 frozen — the disk-dimension
+        // Figure 7.
+        let mut est = estimator(2.0, 0.0);
+        let j = job(32, 1024, 150);
+        let granted: Vec<u64> = (0..6).map(|_| cycle(&mut est, &j).0 / MB).collect();
+        assert_eq!(granted, vec![1024, 512, 256, 128, 256, 256]);
+    }
+
+    #[test]
+    fn dimensions_shrink_independently() {
+        // Memory bottoms out at its rung while disk keeps halving: the
+        // channels must not couple.
+        let mut est = estimator(2.0, 0.0);
+        let j = job(32, 4096, 1);
+        let ctx = EstimateContext::default();
+        let mut mem = Vec::new();
+        let mut disk = Vec::new();
+        for _ in 0..4 {
+            let d = est.estimate(&j, &ctx);
+            mem.push(d.mem_kb / MB);
+            disk.push(d.disk_kb / MB);
+            est.feedback(&j, &d, &Feedback::success(), &ctx);
+        }
+        assert_eq!(mem, vec![32, 16, 8, 4], "memory follows the ladder");
+        assert_eq!(disk, vec![4096, 2048, 1024, 512], "disk is ladder-free");
+    }
+
+    #[test]
+    fn no_disk_request_means_no_disk_state_and_zero_demand() {
+        let mut est = estimator(2.0, 0.0);
+        let j = job(32, 0, 0);
+        let ctx = EstimateContext::default();
+        for _ in 0..3 {
+            let d = est.estimate(&j, &ctx);
+            assert_eq!(d.disk_kb, 0);
+            est.feedback(&j, &d, &Feedback::success(), &ctx);
+        }
+        assert_eq!(est.disk_group_count(), 0);
+        assert!(est.memory_channel().group_count() == 1);
+    }
+
+    #[test]
+    fn matches_plain_successive_on_memory() {
+        // On any trace, the memory demands must be exactly what plain
+        // successive approximation would produce.
+        let ladder = CapacityLadder::new(vec![32 * MB, 16 * MB, 8 * MB, 4 * MB]);
+        let mut per = PerResourceEstimator::new(PerResourceConfig::default(), ladder.clone());
+        let mut plain = SuccessiveApproximation::new(SuccessiveConfig::default(), ladder);
+        let j = job(32, 512, 100);
+        let ctx = EstimateContext::default();
+        for round in 0..6 {
+            let dp = per.estimate(&j, &ctx);
+            let ds = plain.estimate(&j, &ctx);
+            assert_eq!(dp.mem_kb, ds.mem_kb, "round {round}");
+            assert_eq!(dp.packages, ds.packages);
+            let fb = if round % 3 == 2 {
+                Feedback::failure()
+            } else {
+                Feedback::success()
+            };
+            per.feedback(&j, &dp, &fb, &ctx);
+            plain.feedback(&j, &ds, &fb, &ctx);
+        }
+    }
+
+    #[test]
+    fn disk_estimate_never_exceeds_request_and_stays_positive() {
+        let mut est = estimator(8.0, 0.5);
+        let j = job(32, 100, 1);
+        let ctx = EstimateContext::default();
+        for _ in 0..12 {
+            let d = est.estimate(&j, &ctx);
+            assert!(d.disk_kb >= 1 && d.disk_kb <= j.requested_disk_kb);
+            est.feedback(&j, &d, &Feedback::success(), &ctx);
+        }
+    }
+
+    #[test]
+    fn stale_disk_feedback_respects_monotone_guards() {
+        let mut est = estimator(2.0, 0.0);
+        let j = job(32, 1024, 100);
+        cycle(&mut est, &j);
+        cycle(&mut est, &j); // estimate now 256 MB
+        let before = est.disk_estimate_kb(&j).unwrap();
+        let ctx = EstimateContext::default();
+        // Stale success at the full request must not raise the estimate.
+        let stale = Demand {
+            mem_kb: 32 * MB,
+            disk_kb: 1024 * MB,
+            packages: 0,
+        };
+        est.feedback(&j, &stale, &Feedback::success(), &ctx);
+        assert!(est.disk_estimate_kb(&j).unwrap() <= before);
+        // Stale failure at a tiny grant must not lower it.
+        let tiny = Demand {
+            mem_kb: 32 * MB,
+            disk_kb: 1,
+            packages: 0,
+        };
+        let mid = est.disk_estimate_kb(&j).unwrap();
+        est.feedback(&j, &tiny, &Feedback::failure(), &ctx);
+        assert!(est.disk_estimate_kb(&j).unwrap() >= mid);
+    }
+
+    #[test]
+    fn scope_is_group_and_matches_the_memory_channel() {
+        let est = estimator(2.0, 0.0);
+        let j = job(32, 512, 100);
+        match est.estimate_scope(&j) {
+            EstimateScope::Group(_) => {}
+            other => panic!("expected Group scope, got {other:?}"),
+        }
+        assert_eq!(
+            est.estimate_scope(&j),
+            est.memory_channel().estimate_scope(&j)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "disk alpha must exceed 1")]
+    fn rejects_disk_alpha_at_most_one() {
+        let _ = estimator(1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "disk beta must be in [0, 1)")]
+    fn rejects_disk_beta_of_one() {
+        let _ = estimator(2.0, 1.0);
+    }
+}

@@ -132,7 +132,7 @@ impl ResourceEstimator for RegressionEstimator {
         };
         Demand {
             mem_kb,
-            disk_kb: 0,
+            disk_kb: job.requested_disk_kb,
             packages: job.requested_packages,
         }
     }

@@ -159,7 +159,7 @@ impl ResourceEstimator for ReinforcementEstimator {
             .clamp(64.min(job.requested_mem_kb), job.requested_mem_kb);
         Demand {
             mem_kb,
-            disk_kb: 0,
+            disk_kb: job.requested_disk_kb,
             packages: job.requested_packages,
         }
     }

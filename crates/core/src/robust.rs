@@ -124,7 +124,7 @@ impl ResourceEstimator for RobustBisection {
         let mem_kb = (mem.ceil().max(64.0) as u64).min(job.requested_mem_kb);
         Demand {
             mem_kb,
-            disk_kb: 0,
+            disk_kb: job.requested_disk_kb,
             packages: job.requested_packages,
         }
     }

@@ -14,6 +14,7 @@ use crate::adaptive::{AdaptiveConfig, AdaptiveSimilarity};
 use crate::baseline::{Oracle, PassThrough};
 use crate::last_instance::{LastInstance, LastInstanceConfig};
 use crate::multi::{MultiResourceConfig, MultiResourceEstimator};
+use crate::per_resource::{PerResourceConfig, PerResourceEstimator};
 use crate::quantile::{QuantileConfig, QuantileEstimator};
 use crate::regression::{RegressionConfig, RegressionEstimator};
 use crate::reinforcement::{ReinforcementConfig, ReinforcementEstimator};
@@ -41,6 +42,9 @@ pub enum EstimatorSpec {
     Robust(RobustConfig),
     /// Multi-resource coordinate descent (§2.3 extension).
     MultiResource(MultiResourceConfig),
+    /// Per-resource successive approximation: memory via Algorithm 1,
+    /// disk via a parallel ladder-free channel (§2.3, matchmaking mode).
+    PerResource(PerResourceConfig),
     /// Quantile-of-window estimation (explicit feedback + similarity, with
     /// a risk dial).
     Quantile(QuantileConfig),
@@ -73,6 +77,9 @@ impl EstimatorSpec {
             EstimatorSpec::MultiResource(cfg) => {
                 Box::new(MultiResourceEstimator::new(cfg, ladder.clone()))
             }
+            EstimatorSpec::PerResource(cfg) => {
+                Box::new(PerResourceEstimator::new(cfg, ladder.clone()))
+            }
             EstimatorSpec::Quantile(cfg) => Box::new(QuantileEstimator::new(cfg)),
             EstimatorSpec::Adaptive(cfg) => Box::new(AdaptiveSimilarity::new(cfg, ladder.clone())),
             EstimatorSpec::WarmStart(cfg) => Box::new(WarmStartEstimator::new(cfg, ladder.clone())),
@@ -90,6 +97,7 @@ impl EstimatorSpec {
             EstimatorSpec::Reinforcement(_) => "reinforcement-learning",
             EstimatorSpec::Robust(_) => "robust-bisection",
             EstimatorSpec::MultiResource(_) => "multi-resource",
+            EstimatorSpec::PerResource(_) => "per-resource",
             EstimatorSpec::Quantile(_) => "quantile",
             EstimatorSpec::Adaptive(_) => "adaptive-similarity",
             EstimatorSpec::WarmStart(_) => "warm-start-successive",
@@ -119,6 +127,7 @@ impl EstimatorSpec {
         "reinforcement",
         "robust",
         "multi-resource",
+        "per-resource",
         "quantile",
         "adaptive",
         "warm-start",
@@ -135,6 +144,7 @@ impl EstimatorSpec {
             EstimatorSpec::Reinforcement(_) => "reinforcement",
             EstimatorSpec::Robust(_) => "robust",
             EstimatorSpec::MultiResource(_) => "multi-resource",
+            EstimatorSpec::PerResource(_) => "per-resource",
             EstimatorSpec::Quantile(_) => "quantile",
             EstimatorSpec::Adaptive(_) => "adaptive",
             EstimatorSpec::WarmStart(_) => "warm-start",
@@ -147,6 +157,7 @@ impl EstimatorSpec {
         match self {
             EstimatorSpec::Successive(c) => Some((c.alpha, c.beta)),
             EstimatorSpec::MultiResource(c) => Some((c.memory.alpha, c.memory.beta)),
+            EstimatorSpec::PerResource(c) => Some((c.memory.alpha, c.memory.beta)),
             EstimatorSpec::Adaptive(c) => Some((c.successive.alpha, c.successive.beta)),
             EstimatorSpec::WarmStart(c) => Some((c.successive.alpha, c.successive.beta)),
             _ => None,
@@ -167,6 +178,15 @@ impl EstimatorSpec {
                 c.memory.alpha = alpha;
                 c.memory.beta = beta;
                 EstimatorSpec::MultiResource(c)
+            }
+            EstimatorSpec::PerResource(mut c) => {
+                // The override speaks for both channels: a sweep over α/β
+                // probes memory and disk at the same aggressiveness.
+                c.memory.alpha = alpha;
+                c.memory.beta = beta;
+                c.disk_alpha = alpha;
+                c.disk_beta = beta;
+                EstimatorSpec::PerResource(c)
             }
             EstimatorSpec::Adaptive(mut c) => {
                 c.successive.alpha = alpha;
@@ -278,6 +298,7 @@ impl FromStr for EstimatorSpec {
             "reinforcement" => EstimatorSpec::Reinforcement(ReinforcementConfig::default()),
             "robust" => EstimatorSpec::Robust(RobustConfig::default()),
             "multi-resource" => EstimatorSpec::MultiResource(MultiResourceConfig::default()),
+            "per-resource" => EstimatorSpec::PerResource(PerResourceConfig::default()),
             "quantile" => EstimatorSpec::Quantile(QuantileConfig::default()),
             "adaptive" => EstimatorSpec::Adaptive(AdaptiveConfig::default()),
             "warm-start" => EstimatorSpec::WarmStart(WarmStartConfig::default()),
@@ -309,6 +330,7 @@ mod tests {
             EstimatorSpec::Reinforcement(ReinforcementConfig::default()),
             EstimatorSpec::Robust(RobustConfig::default()),
             EstimatorSpec::MultiResource(MultiResourceConfig::default()),
+            EstimatorSpec::PerResource(PerResourceConfig::default()),
             EstimatorSpec::Quantile(QuantileConfig::default()),
             EstimatorSpec::Adaptive(AdaptiveConfig::default()),
             EstimatorSpec::WarmStart(WarmStartConfig::default()),

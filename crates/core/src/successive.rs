@@ -260,7 +260,7 @@ impl ResourceEstimator for SuccessiveApproximation {
         let granted = rounded.min(request).max(0.0) as u64;
         Demand {
             mem_kb: granted,
-            disk_kb: 0,
+            disk_kb: job.requested_disk_kb,
             packages: job.requested_packages,
         }
     }

@@ -184,11 +184,14 @@ pub trait ResourceEstimator: Send {
     }
 }
 
-/// The demand a job's raw request corresponds to (no estimation).
+/// The demand a job's raw request corresponds to (no estimation). Jobs
+/// from traces without disk records carry `requested_disk_kb == 0`, which
+/// `Demand` already reads as "unconstrained" — so this stays equivalent to
+/// the historical memory-and-packages demand for every such trace.
 pub fn requested_demand(job: &Job) -> Demand {
     Demand {
         mem_kb: job.requested_mem_kb,
-        disk_kb: 0,
+        disk_kb: job.requested_disk_kb,
         packages: job.requested_packages,
     }
 }
@@ -197,7 +200,7 @@ pub fn requested_demand(job: &Job) -> Demand {
 pub fn used_demand(job: &Job) -> Demand {
     Demand {
         mem_kb: job.used_mem_kb,
-        disk_kb: 0,
+        disk_kb: job.used_disk_kb,
         packages: job.used_packages,
     }
 }

@@ -19,5 +19,6 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod futurework;
+pub mod matchmaking;
 pub mod robustness;
 pub mod table1;

@@ -202,6 +202,16 @@ pub const MANIFEST: &[ExperimentDef] = &[
         expectations: experiments::futurework::EXPECTATIONS,
     },
     ExperimentDef {
+        id: "matchmaking_scenarios",
+        artifact: "§1.1",
+        title: "ClassAd matchmaking: disk-constrained and license-pool scenarios",
+        default_jobs: 15_000,
+        quick_jobs: 3_000,
+        seed: 42,
+        run: experiments::matchmaking::run,
+        expectations: experiments::matchmaking::EXPECTATIONS,
+    },
+    ExperimentDef {
         id: "robustness_workloads",
         artifact: "robustness",
         title: "Figure 5 replayed on an independent workload family",
@@ -237,8 +247,8 @@ mod tests {
     use std::collections::BTreeSet;
 
     #[test]
-    fn manifest_covers_all_17_experiments_with_unique_ids() {
-        assert_eq!(MANIFEST.len(), 17);
+    fn manifest_covers_all_18_experiments_with_unique_ids() {
+        assert_eq!(MANIFEST.len(), 18);
         let ids: BTreeSet<&str> = MANIFEST.iter().map(|e| e.id).collect();
         assert_eq!(ids.len(), MANIFEST.len(), "duplicate experiment id");
     }

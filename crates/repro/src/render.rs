@@ -578,6 +578,35 @@ fn block_for(id: &str, m: &Metrics) -> Result<String, String> {
                 ),
             ),
         ]),
+        "matchmaking_scenarios" => table(&[
+            row(
+                "matchmaking seam is identity-preserving",
+                "required",
+                format!(
+                    "{} (unconstrained ads == legacy path)",
+                    yes_no(v("matchall_identity")?)
+                ),
+            ),
+            row(
+                "disk-constrained nodes: estimation gain",
+                "direction is general",
+                format!(
+                    "memory-only {}, per-resource {} utilization",
+                    gain(v("disk_mem_ratio")? - 1.0),
+                    gain(v("disk_per_ratio")? - 1.0)
+                ),
+            ),
+            row(
+                "software license pool: estimation gain",
+                "direction is general",
+                format!(
+                    "{} utilization (wait {:.0} s → {:.0} s)",
+                    gain(v("license_mem_ratio")? - 1.0),
+                    v("license_base_wait_s")?,
+                    v("license_mem_wait_s")?
+                ),
+            ),
+        ]),
         "robustness_workloads" => table(&[
             row(
                 "estimation improves every seed",

@@ -21,7 +21,7 @@
 
 use std::fmt;
 
-use resmatch_cluster::Cluster;
+use resmatch_cluster::{Cluster, PoolMatcher};
 use resmatch_core::ResourceEstimator;
 
 use crate::engine::{ChurnEvent, SimConfig, Simulation};
@@ -79,6 +79,7 @@ pub struct SimulationBuilder {
     estimator: Option<EstimatorSource>,
     churn: Vec<ChurnEvent>,
     observers: Vec<Box<dyn SimObserver>>,
+    matchmaking: Option<Box<dyn PoolMatcher>>,
 }
 
 impl Default for SimulationBuilder {
@@ -96,6 +97,7 @@ impl SimulationBuilder {
             estimator: None,
             churn: Vec::new(),
             observers: Vec::new(),
+            matchmaking: None,
         }
     }
 
@@ -146,6 +148,14 @@ impl SimulationBuilder {
         self.observer(Box::new(TraceLogObserver::new()))
     }
 
+    /// Attach a matchmaking layer (see
+    /// [`Simulation::with_matchmaking`]). Replaces any previously set
+    /// matcher; the default is the legacy capacity-only path.
+    pub fn matchmaking(mut self, matcher: Box<dyn PoolMatcher>) -> Self {
+        self.matchmaking = Some(matcher);
+        self
+    }
+
     /// Assemble the [`Simulation`].
     ///
     /// # Errors
@@ -157,7 +167,10 @@ impl SimulationBuilder {
             EstimatorSource::Spec(spec) => Simulation::new(self.cfg, cluster, spec),
             EstimatorSource::Boxed(est) => Simulation::from_parts(self.cfg, cluster, est),
         };
-        let sim = sim.with_churn(self.churn);
+        let mut sim = sim.with_churn(self.churn);
+        if let Some(matcher) = self.matchmaking {
+            sim = sim.with_matchmaking(matcher);
+        }
         Ok(self
             .observers
             .into_iter()

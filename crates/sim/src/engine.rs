@@ -35,7 +35,7 @@ use std::mem;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use resmatch_cluster::{AllocationSpare, Cluster, Demand, MatchPolicy};
+use resmatch_cluster::{AllocationSpare, Cluster, Demand, MatchPolicy, PoolMatcher};
 use resmatch_core::similarity::FnvBuildHasher;
 use resmatch_core::traits::{requested_demand, used_demand};
 use resmatch_core::{EstimateContext, EstimateScope, Feedback, ResourceEstimator};
@@ -355,6 +355,10 @@ pub struct Simulation {
     estimator: Box<dyn ResourceEstimator>,
     churn: Vec<ChurnEvent>,
     observer: Option<Box<dyn SimObserver>>,
+    /// Matchmaking layer, when active (see [`Simulation::with_matchmaking`]).
+    /// `None` — the default — is the legacy capacity-only allocation path,
+    /// byte-identical to every simulation ever run without it.
+    matchmaking: Option<Box<dyn PoolMatcher>>,
 }
 
 impl Simulation {
@@ -383,6 +387,7 @@ impl Simulation {
             estimator,
             churn: Vec::new(),
             observer: None,
+            matchmaking: None,
         }
     }
 
@@ -407,6 +412,27 @@ impl Simulation {
             None => observer,
             Some(existing) => Box::new(MultiObserver::pair(existing, observer)),
         });
+        self
+    }
+
+    /// Attach a matchmaking layer: every allocation decision — the up-front
+    /// feasibility gate, availability bounds, EASY reservation arithmetic,
+    /// and the allocation itself — then consults `matcher` in addition to
+    /// raw capacity, and the matcher's rank expression (when
+    /// [`PoolMatcher::is_ranked`]) replaces [`MatchPolicy`]'s pool order.
+    ///
+    /// The matcher's verdicts must be pure in `(prepared demand, pool ad)`:
+    /// the engine memoizes eligible-node counts across a retry epoch and
+    /// replays refusals, exactly as it does for capacity. A matcher whose
+    /// answers drift between identical calls breaks those proofs.
+    ///
+    /// Disk usage accounting rides along: with a matcher attached, a
+    /// running job whose `used_disk_kb` exceeds the weakest allocated
+    /// node's scratch disk fails mid-run like a memory overrun, and
+    /// explicit feedback carries the granted disk floor. Without one,
+    /// granted disk stays zero — the historical behaviour.
+    pub fn with_matchmaking(mut self, matcher: Box<dyn PoolMatcher>) -> Self {
+        self.matchmaking = Some(matcher);
         self
     }
 
@@ -465,6 +491,7 @@ impl Simulation {
     fn next_surviving<I: Iterator<Item = Job>>(
         feed: &mut I,
         gate: &Cluster,
+        mut matcher: Option<&mut (dyn PoolMatcher + 'static)>,
         first_submit: &mut Option<Time>,
         dropped: &mut usize,
     ) -> Option<Job> {
@@ -473,7 +500,15 @@ impl Simulation {
             if first_submit.is_none() {
                 *first_submit = Some(job.submit);
             }
-            if gate.nodes_satisfying(&requested_demand(&job)) < job.nodes {
+            let request = requested_demand(&job);
+            let eligible = match matcher.as_deref_mut() {
+                Some(m) => {
+                    m.prepare(&request);
+                    gate.nodes_satisfying_matched(&request, m)
+                }
+                None => gate.nodes_satisfying(&request),
+            };
+            if eligible < job.nodes {
                 *dropped += 1;
                 continue;
             }
@@ -640,6 +675,7 @@ impl Simulation {
         let mut pending = Self::next_surviving(
             &mut feed,
             pristine.as_ref().unwrap_or(&self.cluster),
+            self.matchmaking.as_deref_mut(),
             &mut first_submit_seen,
             &mut state.dropped_jobs,
         );
@@ -708,6 +744,7 @@ impl Simulation {
                 pending = Self::next_surviving(
                     &mut feed,
                     pristine.as_ref().unwrap_or(&self.cluster),
+                    self.matchmaking.as_deref_mut(),
                     &mut first_submit_seen,
                     &mut state.dropped_jobs,
                 );
@@ -901,9 +938,17 @@ impl Simulation {
         let job = state.store.job(slot).clone();
         let resource_failure = run.flags & run_flags::RESOURCE_FAILURE != 0;
         let min_mem = self.cluster.allocation_min_mem(&run.alloc);
+        // Granted disk is a matchmaking-mode concept: the legacy path
+        // reports zero, keeping feedback bytes identical for every
+        // pre-matchmaking configuration.
+        let min_disk = if self.matchmaking.is_some() {
+            self.cluster.allocation_min_disk(&run.alloc)
+        } else {
+            0
+        };
         let granted = Demand {
             mem_kb: min_mem,
-            disk_kb: 0,
+            disk_kb: min_disk,
             packages: self.cluster.allocation_packages(&run.alloc) & job.requested_packages,
         };
         for &(pi, n) in run.alloc.per_pool() {
@@ -920,9 +965,14 @@ impl Simulation {
             (FeedbackMode::Explicit, true) => Feedback::explicit(true, used_demand(&job)),
             (FeedbackMode::Explicit, false) => {
                 // A failed run's measurement is truncated at the
-                // allocation's ceiling.
+                // allocation's ceiling. Disk is ceilinged only under
+                // matchmaking, where the allocation has a disk floor at
+                // all (legacy granted disk is a flat zero).
                 let mut used = used_demand(&job);
                 used.mem_kb = used.mem_kb.min(min_mem);
+                if self.matchmaking.is_some() {
+                    used.disk_kb = used.disk_kb.min(min_disk);
+                }
                 Feedback::explicit(false, used)
             }
         };
@@ -1063,8 +1113,17 @@ impl Simulation {
             (d, self.scope_slot_of(state, slot))
         };
         let lowered = demand != request && demand.within(&request);
-        let benefited =
-            self.cluster.nodes_satisfying(&demand) > self.cluster.nodes_satisfying(&request);
+        let benefited = match self.matchmaking.as_deref_mut() {
+            Some(m) => {
+                m.prepare(&demand);
+                let eligible = self.cluster.nodes_satisfying_matched(&demand, m);
+                m.prepare(&request);
+                eligible > self.cluster.nodes_satisfying_matched(&request, m)
+            }
+            None => {
+                self.cluster.nodes_satisfying(&demand) > self.cluster.nodes_satisfying(&request)
+            }
+        };
         Queued {
             job: slot,
             attempts,
@@ -1133,7 +1192,12 @@ impl Simulation {
     /// the epoch), so `nodes > bound` proves `try_allocate` would refuse
     /// at its availability gate — its only refusal condition — without
     /// calling it.
-    fn free_bound(cluster: &Cluster, state: &mut RunState, demand: &Demand) -> u32 {
+    fn free_bound(
+        cluster: &Cluster,
+        state: &mut RunState,
+        demand: &Demand,
+        matcher: Option<&mut (dyn PoolMatcher + 'static)>,
+    ) -> u32 {
         if state.free_cache_stamp != state.retry_epoch {
             state.free_cache.clear();
             state.free_cache_stamp = state.retry_epoch;
@@ -1141,7 +1205,16 @@ impl Simulation {
         if let Some(&(_, f)) = state.free_cache.iter().find(|(d, _)| d == demand) {
             return f;
         }
-        let f = cluster.free_nodes_satisfying(demand);
+        // Matcher verdicts are pure in (demand, pool ad), so a matched
+        // count is memoizable under exactly the same epoch reasoning as
+        // the capacity-only one.
+        let f = match matcher {
+            Some(m) => {
+                m.prepare(demand);
+                cluster.free_nodes_satisfying_matched(demand, m)
+            }
+            None => cluster.free_nodes_satisfying(demand),
+        };
         state.free_cache.push((*demand, f));
         f
     }
@@ -1186,22 +1259,53 @@ impl Simulation {
         // more nodes than the epoch's free bound is exactly the refusal
         // `try_allocate`'s availability gate would produce, side-effect
         // free.
-        if job_nodes > Self::free_bound(&self.cluster, state, &demand) {
+        if job_nodes
+            > Self::free_bound(
+                &self.cluster,
+                state,
+                &demand,
+                self.matchmaking.as_deref_mut(),
+            )
+        {
             state.queue.set_failed_stamp(idx, state.retry_epoch);
             return false;
         }
         // Reuse a finished slab slot when one is free. Peeked, not popped:
         // a refused allocation must leave the free list untouched.
         let run_id = state.runs.peek_id();
-        let Some(alloc) =
-            self.cluster
-                .try_allocate(job_nodes, &demand, self.cfg.match_policy, run_id)
-        else {
+        let alloc = match self.matchmaking.as_deref_mut() {
+            Some(m) => {
+                if let Some(obs) = state.obs.as_deref_mut() {
+                    obs.on_match_attempt(now, state.store.job(q.job).id, job_nodes);
+                }
+                m.prepare(&demand);
+                self.cluster.try_allocate_matched(
+                    job_nodes,
+                    &demand,
+                    self.cfg.match_policy,
+                    run_id,
+                    m,
+                )
+            }
+            None => self
+                .cluster
+                .try_allocate(job_nodes, &demand, self.cfg.match_policy, run_id),
+        };
+        let Some(alloc) = alloc else {
             // The bound over-approximated (an earlier start in this epoch
             // shrank the free set); tighten it to the live count and
             // record the refusal — until the next execution end or churn
             // event it would repeat identically, so passes skip it.
-            let live = self.cluster.free_nodes_satisfying(&demand);
+            let live = match self.matchmaking.as_deref_mut() {
+                Some(m) => {
+                    if let Some(obs) = state.obs.as_deref_mut() {
+                        obs.on_match_refused(now, state.store.job(q.job).id);
+                    }
+                    // Still prepared for `demand` from the refused attempt.
+                    self.cluster.free_nodes_satisfying_matched(&demand, m)
+                }
+                None => self.cluster.free_nodes_satisfying(&demand),
+            };
             if let Some(slot) = state.free_cache.iter_mut().find(|(d, _)| *d == demand) {
                 slot.1 = live;
             }
@@ -1221,13 +1325,22 @@ impl Simulation {
         // regardless of the (smaller) estimated demand.
         let min_mem = self.cluster.allocation_min_mem(&alloc);
         let packages = self.cluster.allocation_packages(&alloc);
+        // Disk overruns only exist in matchmaking mode; the legacy bound
+        // is infinite so the check below is vacuously true there.
+        let min_disk = if self.matchmaking.is_some() {
+            self.cluster.allocation_min_disk(&alloc)
+        } else {
+            u64::MAX
+        };
         let (job_id, runtime, at_request, resources_ok) = {
             let job = state.store.job(slot);
             (
                 job.id,
                 job.runtime,
                 queued.demand == requested_demand(job),
-                job.used_mem_kb <= min_mem && (job.used_packages & !packages) == 0,
+                job.used_mem_kb <= min_mem
+                    && job.used_disk_kb <= min_disk
+                    && (job.used_packages & !packages) == 0,
             )
         };
         let injected_fault = self.cfg.false_positive_rate > 0.0
@@ -1351,16 +1464,34 @@ impl Simulation {
                         state.last_shadow_demand = Some(head_demand);
                         state.shadow_demand_epoch += 1;
                     }
-                    let free_now = self.cluster.free_nodes_satisfying(&head_demand);
+                    let free_now = match self.matchmaking.as_deref_mut() {
+                        Some(m) => {
+                            m.prepare(&head_demand);
+                            self.cluster.free_nodes_satisfying_matched(&head_demand, m)
+                        }
+                        None => self.cluster.free_nodes_satisfying(&head_demand),
+                    };
                     let crossing = {
                         let epoch = state.shadow_demand_epoch;
                         let runs = &state.runs;
                         let cluster = &self.cluster;
+                        // Prepared for `head_demand` by the free count above;
+                        // eligible counts below reuse that program set.
+                        let mut matcher = self.matchmaking.as_deref_mut();
                         state
                             .release_table
                             .crossing(free_now, head_nodes, epoch, |run_id| {
-                                cluster
-                                    .allocation_nodes_satisfying(runs.alloc(run_id), &head_demand)
+                                let alloc = runs.alloc(run_id);
+                                match matcher.as_deref_mut() {
+                                    Some(m) => cluster.allocation_nodes_satisfying_matched(
+                                        alloc,
+                                        &head_demand,
+                                        m,
+                                    ),
+                                    None => {
+                                        cluster.allocation_nodes_satisfying(alloc, &head_demand)
+                                    }
+                                }
                             })
                     };
                     // The incremental path must agree with the historical
@@ -1371,9 +1502,16 @@ impl Simulation {
                             .runs
                             .iter_live()
                             .map(|(end, alloc)| {
-                                let eligible = self
-                                    .cluster
-                                    .allocation_nodes_satisfying(alloc, &head_demand);
+                                let eligible = match self.matchmaking.as_deref_mut() {
+                                    Some(m) => self.cluster.allocation_nodes_satisfying_matched(
+                                        alloc,
+                                        &head_demand,
+                                        m,
+                                    ),
+                                    None => self
+                                        .cluster
+                                        .allocation_nodes_satisfying(alloc, &head_demand),
+                                };
                                 (end, eligible)
                             })
                             .collect();
@@ -1426,6 +1564,7 @@ impl Simulation {
                         let structural = state.structural_epoch;
                         let feedback = state.feedback_epoch;
                         let cluster = &self.cluster;
+                        let mut matcher = self.matchmaking.as_deref_mut();
                         if state.free_cache_stamp != epoch {
                             state.free_cache.clear();
                             state.free_cache_stamp = epoch;
@@ -1460,7 +1599,13 @@ impl Simulation {
                                 {
                                     f
                                 } else {
-                                    let f = cluster.free_nodes_satisfying(&q.demand);
+                                    let f = match matcher.as_deref_mut() {
+                                        Some(m) => {
+                                            m.prepare(&q.demand);
+                                            cluster.free_nodes_satisfying_matched(&q.demand, m)
+                                        }
+                                        None => cluster.free_nodes_satisfying(&q.demand),
+                                    };
                                     cache.push((q.demand, f));
                                     f
                                 };

@@ -93,6 +93,21 @@ pub trait SimObserver: Send {
         let _ = (time, delta);
     }
 
+    /// Matchmaking mode only: the engine asked the matchmaker to place
+    /// `nodes` machines for `job`. Fires once per genuine allocation
+    /// attempt — entries skipped by the availability fast paths never
+    /// reach the matchmaker and are not reported.
+    fn on_match_attempt(&mut self, time: Time, job: JobId, nodes: u32) {
+        let _ = (time, job, nodes);
+    }
+
+    /// Matchmaking mode only: the attempt reported by
+    /// [`SimObserver::on_match_attempt`] found no placement (too few
+    /// eligible free nodes among the matching pools).
+    fn on_match_refused(&mut self, time: Time, job: JobId) {
+        let _ = (time, job);
+    }
+
     /// The run finished. Observers may fold what they accumulated into the
     /// result (this is how [`TraceLogObserver`] populates
     /// [`SimResult::trace_log`]).
@@ -569,6 +584,18 @@ impl SimObserver for MultiObserver {
     fn on_churn(&mut self, time: Time, delta: i64) {
         for o in &mut self.observers {
             o.on_churn(time, delta);
+        }
+    }
+
+    fn on_match_attempt(&mut self, time: Time, job: JobId, nodes: u32) {
+        for o in &mut self.observers {
+            o.on_match_attempt(time, job, nodes);
+        }
+    }
+
+    fn on_match_refused(&mut self, time: Time, job: JobId) {
+        for o in &mut self.observers {
+            o.on_match_refused(time, job);
         }
     }
 

@@ -16,6 +16,7 @@
 //! and review the resulting diffs like any other code change.
 
 use resmatch_cluster::builder::paper_cluster;
+use resmatch_cluster::MatchAll;
 use resmatch_sim::prelude::*;
 use resmatch_workload::load::scale_to_load;
 use resmatch_workload::synthetic::{generate, Cm5Config};
@@ -340,6 +341,48 @@ fn golden_trace_easy_successive_hash_pinned() {
     let cfg = SimConfig::default().with_scheduling(SchedulingPolicy::EasyBackfill);
     let r = run(cfg, EstimatorSpec::paper_successive(), &w);
     check_pinned("trace_easy_successive", 0x1706_9e7d_e28c_d27f, &r);
+}
+
+/// The matchmaking seam must be invisible when the matcher constrains
+/// nothing: a [`MatchAll`] run renders byte-identically against the same
+/// golden files — and digests to the same pinned constants — as the
+/// native capacity-only path, under every scheduling policy. This is the
+/// proof that `try_allocate_matched` and the matched counting variants
+/// walk pools in exactly the historical order.
+#[test]
+fn golden_matchall_matchmaking_is_byte_identical() {
+    let w = base_workload();
+    let matched = |cfg: SimConfig| {
+        Simulation::new(cfg, paper_cluster(24), EstimatorSpec::paper_successive())
+            .with_matchmaking(Box::new(MatchAll))
+            .run(&w)
+    };
+
+    let r = matched(SimConfig::default());
+    check("fcfs_successive_implicit", &r);
+    check_pinned("fcfs_successive", 0x9404_ab49_01a3_c631, &r);
+
+    let r = matched(SimConfig::default().with_scheduling(SchedulingPolicy::EasyBackfill));
+    check("easy_successive_implicit", &r);
+    check_pinned("easy_successive", 0xa5e6_18e2_905d_f119, &r);
+
+    let r = matched(SimConfig::default().with_scheduling(SchedulingPolicy::Sjf));
+    check("sjf_successive_implicit", &r);
+    check_pinned("sjf_successive", 0xe4dc_bc47_2ad5_a974, &r);
+}
+
+/// Explicit feedback under [`MatchAll`]: the matchmaking-mode feedback
+/// path reports the allocation's disk floor instead of the legacy zero,
+/// but a memory-only estimator consumes only the memory channel — so the
+/// run must still render byte-identically.
+#[test]
+fn golden_matchall_explicit_feedback_is_byte_identical() {
+    let w = base_workload();
+    let cfg = SimConfig::default().with_feedback(FeedbackMode::Explicit);
+    let r = Simulation::new(cfg, paper_cluster(24), EstimatorSpec::paper_successive())
+        .with_matchmaking(Box::new(MatchAll))
+        .run(&w);
+    check("fcfs_successive_explicit", &r);
 }
 
 #[test]

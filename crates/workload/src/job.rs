@@ -61,6 +61,14 @@ pub struct Job {
     pub requested_mem_kb: u64,
     /// Peak memory the job actually used, KB per node.
     pub used_mem_kb: u64,
+    /// Scratch disk the user requested, KB per node. Zero — the value for
+    /// traces without disk records — means unconstrained, matching
+    /// `Demand`'s convention.
+    #[serde(default)]
+    pub requested_disk_kb: u64,
+    /// Peak scratch disk actually used, KB per node.
+    #[serde(default)]
+    pub used_disk_kb: u64,
     /// Bitmask of software packages listed as prerequisites.
     pub requested_packages: u32,
     /// Bitmask of packages the job actually exercised (⊆ requested in the
@@ -90,6 +98,7 @@ impl Job {
     /// requests never fall below actual usage.
     pub fn request_covers_usage(&self) -> bool {
         self.used_mem_kb <= self.requested_mem_kb
+            && (self.requested_disk_kb == 0 || self.used_disk_kb <= self.requested_disk_kb)
             && (self.used_packages & !self.requested_packages) == 0
     }
 }
@@ -166,6 +175,13 @@ impl Workload {
         before - self.jobs.len()
     }
 
+    /// Mutable access to the jobs, preserving order — the hook in-place
+    /// enrichment passes (e.g. [`crate::attrs::synthesize_attributes`])
+    /// use. Callers must not reorder submissions.
+    pub fn jobs_mut(&mut self) -> &mut [Job] {
+        &mut self.jobs
+    }
+
     /// Consume into the underlying job vector.
     pub fn into_jobs(self) -> Vec<Job> {
         self.jobs
@@ -204,6 +220,8 @@ impl JobBuilder {
                 nodes: 1,
                 requested_mem_kb: 32 * 1024,
                 used_mem_kb: 32 * 1024,
+                requested_disk_kb: 0,
+                used_disk_kb: 0,
                 requested_packages: 0,
                 used_packages: 0,
                 status: JobStatus::Completed,
@@ -257,6 +275,18 @@ impl JobBuilder {
     /// Set used memory (KB per node).
     pub fn used_mem_kb(mut self, kb: u64) -> Self {
         self.job.used_mem_kb = kb;
+        self
+    }
+
+    /// Set requested disk (KB per node).
+    pub fn requested_disk_kb(mut self, kb: u64) -> Self {
+        self.job.requested_disk_kb = kb;
+        self
+    }
+
+    /// Set used disk (KB per node).
+    pub fn used_disk_kb(mut self, kb: u64) -> Self {
+        self.job.used_disk_kb = kb;
         self
     }
 

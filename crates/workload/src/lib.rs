@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 
 pub mod analysis;
+pub mod attrs;
 pub mod calibration;
 pub mod filter;
 pub mod job;

@@ -152,6 +152,8 @@ fn parse_job_line(line_no: usize, line: &str) -> Result<Job, SwfError> {
         nodes,
         requested_mem_kb,
         used_mem_kb,
+        requested_disk_kb: 0,
+        used_disk_kb: 0,
         requested_packages: 0,
         used_packages: 0,
         status: match status {

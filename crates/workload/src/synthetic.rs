@@ -460,7 +460,7 @@ impl Iterator for StressStream {
 /// SplitMix64 finalizer: a cheap, high-quality mix from a class index to
 /// its per-class parameters, so [`service_stream`] can derive any of
 /// millions of classes on demand instead of materializing them.
-fn splitmix64(x: u64) -> u64 {
+pub(crate) fn splitmix64(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

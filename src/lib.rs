@@ -28,7 +28,9 @@
 //!   statistics used throughout;
 //! - [`classad`] — a miniature Condor-style ClassAd matchmaking language
 //!   (the declarative substrate the paper's related work builds on), with
-//!   a bridge proving it matches exactly like the native matcher.
+//!   a bridge proving it matches exactly like the native matcher and a
+//!   compiled [`classad::Matchmaker`] that plugs straight into the
+//!   simulator's allocation path (`Simulation::with_matchmaking`).
 //!
 //! # Quickstart
 //!
@@ -74,9 +76,11 @@ mod readme_doctests {}
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
+    pub use resmatch_classad::{Matchmaker, PoolAd};
     pub use resmatch_cluster::builder::{cm5_cluster, paper_cluster};
     pub use resmatch_cluster::{
-        Allocation, Capacity, CapacityLadder, Cluster, ClusterBuilder, Demand, MatchPolicy,
+        Allocation, Capacity, CapacityLadder, Cluster, ClusterBuilder, Demand, MatchAll,
+        MatchPolicy, PoolMatcher,
     };
     pub use resmatch_core::prelude::*;
     pub use resmatch_service::prelude::*;
@@ -85,6 +89,7 @@ pub mod prelude {
         gain_vs_range, group_size_distribution, histogram_log_fit, overprovisioned_fraction,
         overprovisioning_histogram, trace_stats, GroupKey,
     };
+    pub use resmatch_workload::attrs::{synthesize_attributes, AttrConfig};
     pub use resmatch_workload::job::JobBuilder;
     pub use resmatch_workload::load::{offered_load, rescale_arrivals, scale_to_load};
     pub use resmatch_workload::synthetic::{generate, service_stream, Cm5Config};
