@@ -385,6 +385,89 @@ fn golden_matchall_explicit_feedback_is_byte_identical() {
     check("fcfs_successive_explicit", &r);
 }
 
+/// The matchmaking bench workload and cluster, byte-for-byte the
+/// `matchmaking_tier` configuration in `bench_report` at its default
+/// scale: the 5,000-job trace rescaled to saturating load and enriched
+/// with synthetic disk/package attributes, allocated over a split cluster
+/// whose 32 MB half carries a finite scratch partition, the licensed
+/// package set, and an `Arch` tag.
+fn matchmaking_workload() -> Workload {
+    use resmatch_workload::attrs::{synthesize_attributes, AttrConfig};
+    let cfg = Cm5Config {
+        jobs: 5_000,
+        ..Cm5Config::default()
+    };
+    let mut w = generate(&cfg, 42);
+    w.retain_max_nodes(512);
+    let mut w = scale_to_load(&w, TOTAL_NODES, 1.0);
+    synthesize_attributes(&mut w, &AttrConfig::default(), 42);
+    w
+}
+
+fn matchmaking_cluster_ads() -> (resmatch_cluster::Cluster, Vec<resmatch_classad::PoolAd>) {
+    use resmatch_classad::PoolAd;
+    use resmatch_cluster::{Capacity, ClusterBuilder};
+    let big = Capacity::new(32 * 1024, 2 * 1024 * 1024, 0xF);
+    let small = Capacity::memory(24 * 1024);
+    let cluster = ClusterBuilder::new()
+        .pool_with(512, big)
+        .pool_with(512, small)
+        .build();
+    let ads = vec![PoolAd::new(big).with_arch("cm5"), PoolAd::new(small)];
+    (cluster, ads)
+}
+
+fn run_matchmaking(cfg: SimConfig, rank: Option<&str>) -> SimResult {
+    let w = matchmaking_workload();
+    let (cluster, ads) = matchmaking_cluster_ads();
+    let mut mm = resmatch_classad::Matchmaker::new(&ads);
+    if let Some(rank) = rank {
+        mm = mm.with_rank(rank).expect("static rank expression");
+    }
+    Simulation::new(cfg, cluster, EstimatorSpec::paper_successive())
+        .with_matchmaking(Box::new(mm))
+        .run(&w)
+}
+
+/// Pinned digest of the `matchmaking_fcfs_successive` bench scenario.
+/// All four matchmaking digests were pinned *before* the indexed
+/// eligibility / program-specialization rework of the matchmaker's hot
+/// path, so the speedup is machine-checked byte-identical to the
+/// interpret-per-pool evaluator it replaced (the same pre-pin discipline
+/// as the PR-5 engine-cache overhaul).
+#[test]
+fn golden_matchmaking_fcfs_successive_hash_pinned() {
+    let r = run_matchmaking(SimConfig::default(), None);
+    check_pinned("matchmaking_fcfs_successive", 0x5e30_1bed_f86a_1b1e, &r);
+}
+
+/// Pinned digest of the `matchmaking_sjf_successive` bench scenario.
+#[test]
+fn golden_matchmaking_sjf_successive_hash_pinned() {
+    let cfg = SimConfig::default().with_scheduling(SchedulingPolicy::Sjf);
+    let r = run_matchmaking(cfg, None);
+    check_pinned("matchmaking_sjf_successive", 0x5c01_28f4_979e_e207, &r);
+}
+
+/// Pinned digest of the `matchmaking_easy_successive` bench scenario —
+/// the configuration whose shadow walks and backfill hunts hammer the
+/// matcher hardest, and the one the throughput work targets first.
+#[test]
+fn golden_matchmaking_easy_successive_hash_pinned() {
+    let cfg = SimConfig::default().with_scheduling(SchedulingPolicy::EasyBackfill);
+    let r = run_matchmaking(cfg, None);
+    check_pinned("matchmaking_easy_successive", 0xfc7e_a838_e815_29e6, &r);
+}
+
+/// Pinned digest of the `matchmaking_fcfs_ranked` bench scenario: a
+/// machine-side `Rank` turns first-fit into best-fit by memory, covering
+/// the candidate-sort path.
+#[test]
+fn golden_matchmaking_fcfs_ranked_hash_pinned() {
+    let r = run_matchmaking(SimConfig::default(), Some("other.Memory"));
+    check_pinned("matchmaking_fcfs_ranked", 0x2111_68e7_c6fe_5a69, &r);
+}
+
 #[test]
 fn golden_fcfs_robust_implicit() {
     use resmatch_core::robust::RobustConfig;
