@@ -251,7 +251,8 @@ fn render_json(measurements: &[Measurement]) -> String {
              \"alloc_count\": {}, \"peak_heap_bytes\": {}, \
              \"counters\": {{\"arrivals\": {}, \"admissions\": {}, \"started\": {}, \
              \"completed\": {}, \"failed\": {}, \"requeued\": {}, \
-             \"estimator_bypassed\": {}, \"churn_events\": {}}}{}}}{}\n",
+             \"estimator_bypassed\": {}, \"churn_events\": {}, \
+             \"match_attempts\": {}, \"match_refusals\": {}}}{}}}{}\n",
             json_escape(&m.scenario),
             m.scheduler,
             m.jobs,
@@ -269,6 +270,8 @@ fn render_json(measurements: &[Measurement]) -> String {
             c.requeued,
             c.estimator_bypassed,
             c.churn_events,
+            c.match_attempts,
+            c.match_refusals,
             service,
             if i + 1 < measurements.len() { "," } else { "" },
         ));

@@ -16,6 +16,17 @@ use crate::ad::ClassAd;
 /// Number of package bits the bridge advertises as boolean attributes.
 pub const PACKAGE_BITS: u32 = 32;
 
+/// The machine-side `Requirements` text every machine ad carries. Shared
+/// with the matchmaker's specializer so the fast path and the generated
+/// ads stay textually identical by construction.
+pub(crate) const MACHINE_REQ_TEXT: &str =
+    "other.RequestedMemory <= my.Memory && other.RequestedDisk <= my.Disk";
+
+/// The job-side `Requirements` base text; [`job_ad`] appends one
+/// `&& other.HasPkgN == true` atom per set package-mask bit.
+pub(crate) const JOB_REQ_BASE_TEXT: &str =
+    "other.Memory >= my.RequestedMemory && other.Disk >= my.RequestedDisk";
+
 /// Advertise a node's capacity as a machine ad.
 pub fn machine_ad(capacity: &Capacity) -> ClassAd {
     let mut ad = ClassAd::new();
@@ -26,11 +37,8 @@ pub fn machine_ad(capacity: &Capacity) -> ClassAd {
             ad.insert_bool(&format!("HasPkg{bit}"), true);
         }
     }
-    ad.insert_expr(
-        "Requirements",
-        "other.RequestedMemory <= my.Memory && other.RequestedDisk <= my.Disk",
-    )
-    .expect("invariant: static expression parses");
+    ad.insert_expr("Requirements", MACHINE_REQ_TEXT)
+        .expect("invariant: static expression parses");
     ad
 }
 
@@ -40,8 +48,7 @@ pub fn job_ad(demand: &Demand) -> ClassAd {
     let mut ad = ClassAd::new();
     ad.insert_int("RequestedMemory", demand.mem_kb.min(i64::MAX as u64) as i64);
     ad.insert_int("RequestedDisk", demand.disk_kb.min(i64::MAX as u64) as i64);
-    let mut requirements =
-        String::from("other.Memory >= my.RequestedMemory && other.Disk >= my.RequestedDisk");
+    let mut requirements = String::from(JOB_REQ_BASE_TEXT);
     for bit in 0..PACKAGE_BITS {
         if demand.packages & (1 << bit) != 0 {
             requirements.push_str(&format!(" && other.HasPkg{bit} == true"));

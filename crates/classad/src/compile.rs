@@ -228,6 +228,16 @@ impl CompiledExpr {
             _ => 0.0,
         }
     }
+
+    /// Whether evaluation can read the `my` row at all. A program that
+    /// never does is a pure function of `other` — its verdict or rank per
+    /// machine row can be computed once at setup and memoized for the
+    /// matcher's whole lifetime (the machine table is fixed).
+    pub fn reads_my(&self) -> bool {
+        self.instrs
+            .iter()
+            .any(|i| matches!(i, Instr::LoadMy(_) | Instr::LoadEither(..)))
+    }
 }
 
 /// Compile `expr` for evaluation against a `my` row laid out by
@@ -291,6 +301,111 @@ fn emit(expr: &Expr, my: &AdSchema, other: &AdSchema, out: &mut Vec<Instr>) {
                 }
             }
         }
+    }
+}
+
+/// A slot reference inside a specialized requirement atom: which ad row
+/// the operand reads, and which slot of it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotRef {
+    /// Slot in the `my` row.
+    My(u16),
+    /// Slot in the `other` row.
+    Other(u16),
+}
+
+/// The canonical-conjunction shape of a `Requirements` program, as
+/// recognized by [`specialize`]: a bag of threshold, flag, and string-tag
+/// atoms whose conjunction *is* the program.
+///
+/// Soundness of atom-wise evaluation: a match verdict demands the whole
+/// program evaluate to exactly `true`, and by [`Value::and`]'s truth table
+/// an `&&`-tree is exactly `true` iff every conjunct is exactly `true`
+/// (any non-`true` operand — `false`, `undefined`, `error`, a non-bool —
+/// yields a non-`true` conjunction). So checking each atom independently
+/// and AND-ing the booleans reproduces `eval_true` of the full program,
+/// short-circuit order and all.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReqShape {
+    /// Threshold atoms `hi >= lo`, from `a >= b` or `b <= a`. Exactly
+    /// `true` iff both slots hold comparable values ordering that way
+    /// (an absent slot is `undefined`, which never compares `true`).
+    pub ge: Vec<(SlotRef, SlotRef)>,
+    /// Flag atoms `attr == true`: the slot must hold exactly `Bool(true)`.
+    pub must_true: Vec<SlotRef>,
+    /// Tag atoms `attr == "lit"`: the slot must hold exactly that string.
+    pub eq_str: Vec<(SlotRef, String)>,
+}
+
+/// Recognize `expr` as a canonical conjunction of threshold / flag /
+/// string-tag atoms over explicitly scoped attributes, or `None` when any
+/// part of it falls outside that shape (the caller then keeps the compiled
+/// program and interprets). Unqualified (`Either`-scoped) references are
+/// rejected: their fall-through resolution depends on both rows at once,
+/// which the atom forms cannot express.
+pub fn specialize(expr: &Expr, my: &AdSchema, other: &AdSchema) -> Option<ReqShape> {
+    let mut shape = ReqShape::default();
+    collect_atoms(expr, my, other, &mut shape).then_some(shape)
+}
+
+/// Resolve an explicitly scoped attribute reference to a slot.
+fn atom_slot(expr: &Expr, my: &AdSchema, other: &AdSchema) -> Option<SlotRef> {
+    match expr {
+        Expr::Attr {
+            scope: Scope::My,
+            name,
+        } => my.slot(name).map(SlotRef::My),
+        Expr::Attr {
+            scope: Scope::Other,
+            name,
+        } => other.slot(name).map(SlotRef::Other),
+        _ => None,
+    }
+}
+
+fn collect_atoms(expr: &Expr, my: &AdSchema, other: &AdSchema, out: &mut ReqShape) -> bool {
+    let Expr::Binary { op, lhs, rhs } = expr else {
+        return false;
+    };
+    match op {
+        BinOp::And => collect_atoms(lhs, my, other, out) && collect_atoms(rhs, my, other, out),
+        BinOp::Ge | BinOp::Le => {
+            let (hi, lo) = if *op == BinOp::Ge {
+                (lhs, rhs)
+            } else {
+                (rhs, lhs)
+            };
+            match (atom_slot(hi, my, other), atom_slot(lo, my, other)) {
+                (Some(hi), Some(lo)) => {
+                    out.ge.push((hi, lo));
+                    true
+                }
+                _ => false,
+            }
+        }
+        BinOp::Eq => {
+            // Literal on either side of the `==`.
+            let (attr, lit) = if matches!(&**lhs, Expr::Attr { .. }) {
+                (lhs, rhs)
+            } else {
+                (rhs, lhs)
+            };
+            let Some(slot) = atom_slot(attr, my, other) else {
+                return false;
+            };
+            match &**lit {
+                Expr::Bool(true) => {
+                    out.must_true.push(slot);
+                    true
+                }
+                Expr::Str(s) => {
+                    out.eq_str.push((slot, s.clone()));
+                    true
+                }
+                _ => false,
+            }
+        }
+        _ => false,
     }
 }
 
@@ -404,6 +519,81 @@ mod tests {
         assert_eq!(s.len(), 2);
         assert!(!s.is_empty());
         assert_eq!(s.blank_row(), vec![Value::Undefined, Value::Undefined]);
+    }
+
+    #[test]
+    fn specialize_recognizes_the_bridge_shape() {
+        let mut job = AdSchema::new();
+        job.add("RequestedMemory");
+        job.add("RequestedDisk");
+        let mut machine = AdSchema::new();
+        machine.add("Memory");
+        machine.add("Disk");
+        machine.add("Arch");
+        machine.add("HasPkg0");
+        let text = "other.Memory >= my.RequestedMemory && other.Disk >= my.RequestedDisk \
+                    && other.HasPkg0 == true && other.Arch == \"x86\"";
+        let shape = specialize(&parse(text).unwrap(), &job, &machine).unwrap();
+        assert_eq!(
+            shape.ge,
+            vec![
+                (SlotRef::Other(0), SlotRef::My(0)),
+                (SlotRef::Other(1), SlotRef::My(1)),
+            ]
+        );
+        assert_eq!(shape.must_true, vec![SlotRef::Other(3)]);
+        assert_eq!(shape.eq_str, vec![(SlotRef::Other(2), "x86".to_string())]);
+        // The machine side (`my` = machine, `other` = job) lowers to the
+        // mirrored thresholds.
+        let text = "other.RequestedMemory <= my.Memory && other.RequestedDisk <= my.Disk";
+        let shape = specialize(&parse(text).unwrap(), &machine, &job).unwrap();
+        assert_eq!(
+            shape.ge,
+            vec![
+                (SlotRef::My(0), SlotRef::Other(0)),
+                (SlotRef::My(1), SlotRef::Other(1)),
+            ]
+        );
+        // Literal order does not matter for == atoms.
+        let shape = specialize(&parse("true == other.HasPkg0").unwrap(), &job, &machine).unwrap();
+        assert_eq!(shape.must_true, vec![SlotRef::Other(3)]);
+    }
+
+    #[test]
+    fn specialize_rejects_non_canonical_programs() {
+        let mut job = AdSchema::new();
+        job.add("RequestedMemory");
+        let mut machine = AdSchema::new();
+        machine.add("Memory");
+        for text in [
+            "other.Memory >= 1000",                       // literal threshold
+            "Memory >= my.RequestedMemory",               // unqualified scope
+            "other.Memory >= my.RequestedMemory || true", // disjunction
+            "other.HasPkg0 == false",                     // flag polarity
+            "other.Missing >= my.RequestedMemory",        // unresolvable slot
+            "!other.Memory",
+            "42",
+        ] {
+            assert!(
+                specialize(&parse(text).unwrap(), &job, &machine).is_none(),
+                "{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn reads_my_distinguishes_machine_only_programs() {
+        let mut job = AdSchema::new();
+        job.add("RequestedMemory");
+        let mut machine = AdSchema::new();
+        machine.add("Memory");
+        let compiled = |text: &str| compile(&parse(text).unwrap(), &job, &machine);
+        assert!(!compiled("other.Memory > 100").reads_my());
+        assert!(compiled("other.Memory >= my.RequestedMemory").reads_my());
+        // Unqualified references may fall through to `my`.
+        assert!(compiled("RequestedMemory").reads_my());
+        // Unknown names compile to constant undefined — not a `my` read.
+        assert!(!compiled("Nope + 1").reads_my());
     }
 
     // ---- compiled == tree-walk, property-tested ------------------------

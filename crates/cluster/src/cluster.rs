@@ -149,6 +149,13 @@ fn mem_only(demand: &Demand) -> bool {
     demand.disk_kb == 0 && demand.packages == 0
 }
 
+/// Bit `i` of a pool-index bitset as handed out by
+/// [`PoolMatcher::eligible_pools`]; words beyond the slice read as zero.
+#[inline]
+fn pool_bit(bits: &[u64], i: usize) -> bool {
+    bits.get(i >> 6).is_some_and(|w| (w >> (i & 63)) & 1 != 0)
+}
+
 /// A retired allocation's buffers — `(node ids, per-pool segments)` —
 /// parked for reuse by the next `try_allocate`.
 type SpareBuffers = (Vec<NodeId>, Vec<(u16, u32)>);
@@ -591,11 +598,24 @@ impl Cluster {
     /// `matcher` — the matched counterpart of
     /// [`Cluster::free_nodes_satisfying`]. The caller is expected to have
     /// [`PoolMatcher::prepare`]d the matcher for `demand`.
+    ///
+    /// When the matcher exposes a precomputed eligibility bitset
+    /// ([`PoolMatcher::eligible_pools`]) the walk tests bits locally —
+    /// one virtual call per *count* instead of one per pool.
     pub fn free_nodes_satisfying_matched(
         &self,
         demand: &Demand,
         matcher: &mut dyn PoolMatcher,
     ) -> u32 {
+        if let Some(bits) = matcher.eligible_pools() {
+            return self
+                .pools
+                .iter()
+                .enumerate()
+                .filter(|(pi, p)| pool_bit(bits, *pi) && p.capacity.satisfies(demand))
+                .map(|(_, p)| p.free.len() as u32)
+                .sum();
+        }
         self.pools
             .iter()
             .enumerate()
@@ -610,6 +630,15 @@ impl Cluster {
     /// caller is expected to have [`PoolMatcher::prepare`]d the matcher for
     /// `demand`.
     pub fn nodes_satisfying_matched(&self, demand: &Demand, matcher: &mut dyn PoolMatcher) -> u32 {
+        if let Some(bits) = matcher.eligible_pools() {
+            return self
+                .pools
+                .iter()
+                .enumerate()
+                .filter(|(pi, p)| pool_bit(bits, *pi) && p.capacity.satisfies(demand))
+                .map(|(_, p)| p.total - p.offline.len() as u32)
+                .sum();
+        }
         self.pools
             .iter()
             .enumerate()
@@ -765,6 +794,17 @@ impl Cluster {
         demand: &Demand,
         matcher: &mut dyn PoolMatcher,
     ) -> u32 {
+        if let Some(bits) = matcher.eligible_pools() {
+            return alloc
+                .per_pool
+                .iter()
+                .filter(|&&(pi, _)| {
+                    pool_bit(bits, pi as usize)
+                        && self.pools[pi as usize].capacity.satisfies(demand)
+                })
+                .map(|&(_, n)| n)
+                .sum();
+        }
         alloc
             .per_pool
             .iter()

@@ -54,6 +54,32 @@ pub trait PoolMatcher: Send {
     fn is_ranked(&self) -> bool {
         false
     }
+
+    /// Identifier of the prepared demand's verdict class, when the
+    /// matcher can vouch for one. `Some(s)` is a guarantee: any two
+    /// demands that prepare to the same `s` have identical per-pool
+    /// outcomes of `matches(pool) && capacity.satisfies(demand)` *and*
+    /// identical rank values — the full predicate the allocator applies —
+    /// so memo layers (eligible-count epochs, free-bound caches) may key
+    /// cached state by the signature alone, collapsing distinct raw
+    /// demands that the matcher proves equivalent. `None` (the default)
+    /// makes no claim; memo layers must fall back to comparing demands.
+    /// Within one matcher lifetime a signature, once handed out, always
+    /// denotes the same verdict class.
+    fn demand_signature(&self) -> Option<u64> {
+        None
+    }
+
+    /// The prepared demand's eligibility set as a pool-index bitset
+    /// (word `i`, bit `b` covers pool `i * 64 + b`), or `None` when the
+    /// matcher has no precomputed index. When present, bit `p` must equal
+    /// what [`PoolMatcher::matches`] would return for pool `p` — the
+    /// allocator's counting walks then test bits locally instead of
+    /// calling through the trait per pool. Words beyond the slice are
+    /// all-zero (no pools).
+    fn eligible_pools(&self) -> Option<&[u64]> {
+        None
+    }
 }
 
 /// A matcher that accepts every pool and ranks nothing — the identity

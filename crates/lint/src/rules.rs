@@ -248,13 +248,18 @@ const DENY_MISSING_DOCS_CRATES: [&str; 8] = [
 /// must compare floats exactly by specification.
 const FLOAT_CMP_EXEMPT_FILES: [&str; 1] = ["crates/classad/src/value.rs"];
 /// The engine's hot modules, where [`Rule::HotPathAlloc`] applies: every
-/// file on the per-event path PR 6 made steady-state allocation-free.
-pub const HOT_PATH_FILES: [&str; 5] = [
+/// file on the per-event path PR 6 made steady-state allocation-free,
+/// plus the matchmaking attempt path (matcher, expression compiler, and
+/// the allocator seam) now that match attempts run allocation-free too.
+pub const HOT_PATH_FILES: [&str; 8] = [
     "crates/sim/src/engine.rs",
     "crates/sim/src/release.rs",
     "crates/sim/src/queue.rs",
     "crates/sim/src/store.rs",
     "crates/sim/src/event.rs",
+    "crates/classad/src/matchmaker.rs",
+    "crates/classad/src/compile.rs",
+    "crates/cluster/src/matchmaking.rs",
 ];
 
 /// Compute, per token index, whether the token sits inside `#[cfg(test)]`

@@ -217,6 +217,7 @@ pub struct SimArena {
     runs: RunTable,
     release_table: ReleaseTable,
     free_cache: Vec<(Demand, u32)>,
+    free_cache_sig: Vec<(u64, u32)>,
     group_slots: HashMap<u64, u32, FnvBuildHasher>,
     group_epoch_by_slot: Vec<u64>,
     sjf_heap: BinaryHeap<Reverse<(Time, i64)>>,
@@ -280,15 +281,26 @@ struct RunState {
     /// so a handful of entries absorbs most of a saturated queue's
     /// allocation attempts.
     free_cache: Vec<(Demand, u32)>,
-    /// Retry epoch the `free_cache` memo belongs to; a mismatch clears it.
+    /// Signature-keyed twin of `free_cache`, used when the matcher
+    /// vouches for its demand signatures (`demand_signature()` returns
+    /// `Some`): one cached bound then serves every demand in a verdict
+    /// class, and the probe compares one integer instead of a `Demand`.
+    free_cache_sig: Vec<(u64, u32)>,
+    /// Retry epoch the `free_cache`/`free_cache_sig` memos belong to; a
+    /// mismatch clears them.
     free_cache_stamp: u64,
     /// Running jobs sorted by conservative completion time (EASY only).
     release_table: ReleaseTable,
     /// Last computed EASY reservation, keyed by head and generations.
     shadow_cache: Option<ShadowCache>,
     /// The head demand the release table's eligible counts were computed
-    /// against, and the epoch stamped on them.
+    /// against, and the epoch stamped on them. When the matcher vouches
+    /// for its demand signatures, the signature stands in for the demand
+    /// — equal signatures guarantee equal per-pool allocator verdicts, so
+    /// the epoch (and the counts behind it) holds across raw demand
+    /// changes within one verdict class.
     last_shadow_demand: Option<Demand>,
+    last_shadow_sig: Option<u64>,
     shadow_demand_epoch: u64,
     /// SJF's index heap: `(requested_runtime, queue rank)`, so the next
     /// candidate is an O(1) peek instead of an O(queue) scan. Mirrors the
@@ -609,6 +621,11 @@ impl Simulation {
                 v.clear();
                 v
             },
+            free_cache_sig: {
+                let mut v = mem::take(&mut arena.free_cache_sig);
+                v.clear();
+                v
+            },
             free_cache_stamp: 0,
             release_table: {
                 let mut t = mem::take(&mut arena.release_table);
@@ -617,6 +634,7 @@ impl Simulation {
             },
             shadow_cache: None,
             last_shadow_demand: None,
+            last_shadow_sig: None,
             shadow_demand_epoch: 0,
             sjf_heap: {
                 let mut h = mem::take(&mut arena.sjf_heap);
@@ -840,6 +858,7 @@ impl Simulation {
             group_slots,
             group_epoch_by_slot,
             free_cache,
+            free_cache_sig,
             release_table,
             sjf_heap,
             pool_busy_time,
@@ -909,6 +928,7 @@ impl Simulation {
         arena.runs = runs;
         arena.release_table = release_table;
         arena.free_cache = free_cache;
+        arena.free_cache_sig = free_cache_sig;
         arena.group_slots = group_slots;
         arena.group_epoch_by_slot = group_epoch_by_slot;
         arena.sjf_heap = sjf_heap;
@@ -1200,23 +1220,41 @@ impl Simulation {
     ) -> u32 {
         if state.free_cache_stamp != state.retry_epoch {
             state.free_cache.clear();
+            state.free_cache_sig.clear();
             state.free_cache_stamp = state.retry_epoch;
-        }
-        if let Some(&(_, f)) = state.free_cache.iter().find(|(d, _)| d == demand) {
-            return f;
         }
         // Matcher verdicts are pure in (demand, pool ad), so a matched
         // count is memoizable under exactly the same epoch reasoning as
-        // the capacity-only one.
-        let f = match matcher {
+        // the capacity-only one. A vouched signature collapses the memo
+        // further: one entry per verdict class instead of per demand.
+        match matcher {
             Some(m) => {
                 m.prepare(demand);
-                cluster.free_nodes_satisfying_matched(demand, m)
+                if let Some(s) = m.demand_signature() {
+                    if let Some(&(_, f)) = state.free_cache_sig.iter().find(|(k, _)| *k == s) {
+                        return f;
+                    }
+                    let f = cluster.free_nodes_satisfying_matched(demand, m);
+                    state.free_cache_sig.push((s, f));
+                    f
+                } else {
+                    if let Some(&(_, f)) = state.free_cache.iter().find(|(d, _)| d == demand) {
+                        return f;
+                    }
+                    let f = cluster.free_nodes_satisfying_matched(demand, m);
+                    state.free_cache.push((*demand, f));
+                    f
+                }
             }
-            None => cluster.free_nodes_satisfying(demand),
-        };
-        state.free_cache.push((*demand, f));
-        f
+            None => {
+                if let Some(&(_, f)) = state.free_cache.iter().find(|(d, _)| d == demand) {
+                    return f;
+                }
+                let f = cluster.free_nodes_satisfying(demand);
+                state.free_cache.push((*demand, f));
+                f
+            }
+        }
     }
 
     /// Try to start the queued entry at `idx`, refreshing its estimate if
@@ -1275,6 +1313,7 @@ impl Simulation {
         let run_id = state.runs.peek_id();
         let alloc = match self.matchmaking.as_deref_mut() {
             Some(m) => {
+                state.counters.match_attempts += 1;
                 if let Some(obs) = state.obs.as_deref_mut() {
                     obs.on_match_attempt(now, state.store.job(q.job).id, job_nodes);
                 }
@@ -1298,6 +1337,7 @@ impl Simulation {
             // event it would repeat identically, so passes skip it.
             let live = match self.matchmaking.as_deref_mut() {
                 Some(m) => {
+                    state.counters.match_refusals += 1;
                     if let Some(obs) = state.obs.as_deref_mut() {
                         obs.on_match_refused(now, state.store.job(q.job).id);
                     }
@@ -1306,8 +1346,23 @@ impl Simulation {
                 }
                 None => self.cluster.free_nodes_satisfying(&demand),
             };
-            if let Some(slot) = state.free_cache.iter_mut().find(|(d, _)| *d == demand) {
-                slot.1 = live;
+            // Tighten whichever memo row served this demand (the matcher,
+            // when present, is still prepared for it).
+            match self
+                .matchmaking
+                .as_deref()
+                .and_then(|m| m.demand_signature())
+            {
+                Some(s) => {
+                    if let Some(slot) = state.free_cache_sig.iter_mut().find(|(k, _)| *k == s) {
+                        slot.1 = live;
+                    }
+                }
+                None => {
+                    if let Some(slot) = state.free_cache.iter_mut().find(|(d, _)| *d == demand) {
+                        slot.1 = live;
+                    }
+                }
             }
             state.queue.set_failed_stamp(idx, state.retry_epoch);
             return false;
@@ -1460,15 +1515,29 @@ impl Simulation {
                     let head_demand = head.demand;
                     let head_job = head.job;
                     let head_nodes = head.nodes;
-                    if state.last_shadow_demand != Some(head_demand) {
+                    // Prepare the matcher once for the head and thread its
+                    // interned demand signature into the eligible-count
+                    // epoch. A vouched signature (`Some`) guarantees the
+                    // full allocator predicate is unchanged across the
+                    // class, so the epoch holds still even when the raw
+                    // head demand moved; without one (native mode, or a
+                    // matcher like MatchAll that makes no claim) the
+                    // demand compare decides.
+                    let sig = self.matchmaking.as_deref_mut().map(|m| {
+                        m.prepare(&head_demand);
+                        m.demand_signature()
+                    });
+                    let moved = match sig {
+                        Some(Some(s)) => state.last_shadow_sig != Some(s),
+                        _ => state.last_shadow_demand != Some(head_demand),
+                    };
+                    if moved {
                         state.last_shadow_demand = Some(head_demand);
+                        state.last_shadow_sig = sig.flatten();
                         state.shadow_demand_epoch += 1;
                     }
                     let free_now = match self.matchmaking.as_deref_mut() {
-                        Some(m) => {
-                            m.prepare(&head_demand);
-                            self.cluster.free_nodes_satisfying_matched(&head_demand, m)
-                        }
+                        Some(m) => self.cluster.free_nodes_satisfying_matched(&head_demand, m),
                         None => self.cluster.free_nodes_satisfying(&head_demand),
                     };
                     let crossing = {
@@ -1567,9 +1636,11 @@ impl Simulation {
                         let mut matcher = self.matchmaking.as_deref_mut();
                         if state.free_cache_stamp != epoch {
                             state.free_cache.clear();
+                            state.free_cache_sig.clear();
                             state.free_cache_stamp = epoch;
                         }
                         let cache = &mut state.free_cache;
+                        let cache_sig = &mut state.free_cache_sig;
                         let slots = &state.group_epoch_by_slot;
                         let (rts, stamps, colds) = state.queue.hunt_columns(hunt_from);
                         let mut found = None;
@@ -1594,20 +1665,46 @@ impl Simulation {
                                     slot => slots[slot as usize] > q.feedback_stamp,
                                 };
                             if !needs_refresh {
-                                let bound = if let Some(&(_, f)) =
-                                    cache.iter().find(|(d, _)| d == &q.demand)
-                                {
-                                    f
-                                } else {
-                                    let f = match matcher.as_deref_mut() {
-                                        Some(m) => {
-                                            m.prepare(&q.demand);
-                                            cluster.free_nodes_satisfying_matched(&q.demand, m)
+                                let bound = match matcher.as_deref_mut() {
+                                    Some(m) => {
+                                        // Preparing before the probe is what
+                                        // makes the signature key available;
+                                        // it is a memo hit itself for every
+                                        // demand class seen this epoch.
+                                        m.prepare(&q.demand);
+                                        if let Some(s) = m.demand_signature() {
+                                            if let Some(&(_, f)) =
+                                                cache_sig.iter().find(|(k, _)| *k == s)
+                                            {
+                                                f
+                                            } else {
+                                                let f = cluster
+                                                    .free_nodes_satisfying_matched(&q.demand, m);
+                                                cache_sig.push((s, f));
+                                                f
+                                            }
+                                        } else if let Some(&(_, f)) =
+                                            cache.iter().find(|(d, _)| d == &q.demand)
+                                        {
+                                            f
+                                        } else {
+                                            let f =
+                                                cluster.free_nodes_satisfying_matched(&q.demand, m);
+                                            cache.push((q.demand, f));
+                                            f
                                         }
-                                        None => cluster.free_nodes_satisfying(&q.demand),
-                                    };
-                                    cache.push((q.demand, f));
-                                    f
+                                    }
+                                    None => {
+                                        if let Some(&(_, f)) =
+                                            cache.iter().find(|(d, _)| d == &q.demand)
+                                        {
+                                            f
+                                        } else {
+                                            let f = cluster.free_nodes_satisfying(&q.demand);
+                                            cache.push((q.demand, f));
+                                            f
+                                        }
+                                    }
                                 };
                                 if q.nodes > bound {
                                     *stamp = epoch;

@@ -97,6 +97,13 @@ pub struct RunCounters {
     pub estimator_bypassed: u64,
     /// Cluster membership changes applied.
     pub churn_events: u64,
+    /// Matchmaking mode only: allocation attempts that reached the
+    /// matchmaker (past the free-bound gate); zero in native mode.
+    pub match_attempts: u64,
+    /// Matchmaking mode only: matchmaker attempts the allocator refused
+    /// (the free bound over-approximated after an earlier start in the
+    /// same epoch).
+    pub match_refusals: u64,
 }
 
 /// Aggregate outcome of one simulation run.

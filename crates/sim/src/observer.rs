@@ -198,6 +198,8 @@ struct SharedCounters {
     requeued: AtomicU64,
     estimator_bypassed: AtomicU64,
     churn_events: AtomicU64,
+    match_attempts: AtomicU64,
+    match_refusals: AtomicU64,
     runs_started: AtomicU64,
     runs_finished: AtomicU64,
     sweep_points: AtomicU64,
@@ -265,6 +267,8 @@ impl CountersObserver {
                 requeued: load(&c.requeued),
                 estimator_bypassed: load(&c.estimator_bypassed),
                 churn_events: load(&c.churn_events),
+                match_attempts: load(&c.match_attempts),
+                match_refusals: load(&c.match_refusals),
             },
             runs_started: load(&c.runs_started),
             runs_finished: load(&c.runs_finished),
@@ -314,6 +318,14 @@ impl SimObserver for CountersObserver {
 
     fn on_churn(&mut self, _time: Time, _delta: i64) {
         self.inner.churn_events.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_match_attempt(&mut self, _time: Time, _job: JobId, _nodes: u32) {
+        self.inner.match_attempts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_match_refused(&mut self, _time: Time, _job: JobId) {
+        self.inner.match_refusals.fetch_add(1, Ordering::Relaxed);
     }
 
     fn on_run_end(&mut self, _result: &mut SimResult) {
